@@ -1,0 +1,219 @@
+//! Program feature extraction for the learned cost model.
+//!
+//! Features are deliberately coarser than the full performance model: the
+//! cost model (like Ansor's XGBoost) sees loop structure, annotation and
+//! stride summaries, not the simulator's cache analysis — so ranking
+//! candidates with it is genuinely approximate and top-k measurement
+//! remains necessary.
+
+use alt_tensor::expr::Env;
+
+use alt_loopir::tir::{LoopKind, Program, Stmt, TirNode};
+
+/// Fixed feature vector width.
+pub const N_FEATURES: usize = 16;
+
+#[derive(Default)]
+struct Accum {
+    iters: f64,
+    flops: f64,
+    loads: f64,
+    vec_iters: f64,
+    unrolled_iters: f64,
+    par_extent_max: f64,
+    innermost_extent_sum: f64,
+    innermost_count: f64,
+    unit_stride_loads: f64,
+    broadcast_loads: f64,
+    strided_loads: f64,
+    store_unit: f64,
+    touched_bytes: f64,
+    n_stmts: f64,
+    depth_sum: f64,
+}
+
+fn walk(
+    program: &Program,
+    nodes: &[TirNode],
+    stack: &mut Vec<(alt_tensor::Var, i64, LoopKind)>,
+    acc: &mut Accum,
+) {
+    for node in nodes {
+        match node {
+            TirNode::Loop {
+                var,
+                extent,
+                kind,
+                body,
+            } => {
+                stack.push((var.clone(), *extent, *kind));
+                walk(program, body, stack, acc);
+                stack.pop();
+            }
+            TirNode::Stmt(s) => stmt_features(program, s, stack, acc),
+        }
+    }
+}
+
+fn stmt_features(
+    program: &Program,
+    stmt: &Stmt,
+    stack: &[(alt_tensor::Var, i64, LoopKind)],
+    acc: &mut Accum,
+) {
+    let iters: f64 = stack.iter().map(|(_, e, _)| *e as f64).product();
+    acc.n_stmts += 1.0;
+    acc.depth_sum += stack.len() as f64;
+    acc.iters += iters;
+    acc.flops += iters * stmt.value.flops() as f64;
+
+    let vectorized = stack.iter().any(|(_, _, k)| *k == LoopKind::Vectorized);
+    let unrolled = stack.iter().any(|(_, _, k)| *k == LoopKind::Unrolled);
+    if vectorized {
+        acc.vec_iters += iters;
+    }
+    if unrolled {
+        acc.unrolled_iters += iters;
+    }
+    let par: f64 = stack
+        .iter()
+        .filter(|(_, _, k)| *k == LoopKind::Parallel)
+        .map(|(_, e, _)| *e as f64)
+        .product();
+    acc.par_extent_max = acc.par_extent_max.max(par);
+    if let Some((_, e, _)) = stack.last() {
+        acc.innermost_extent_sum += *e as f64;
+        acc.innermost_count += 1.0;
+    }
+
+    // Stride classes with respect to the innermost loop.
+    let mut env = Env::new();
+    for (v, _, _) in stack {
+        env.bind(v, 0);
+    }
+    let innermost = stack.last().map(|(v, _, _)| v.clone());
+    let stride_of = |indices: &[alt_tensor::Expr], strides: &[i64]| -> f64 {
+        let Some(v) = &innermost else { return 0.0 };
+        let base: f64 = indices
+            .iter()
+            .zip(strides)
+            .map(|(e, &s)| e.eval(&env) as f64 * s as f64)
+            .sum();
+        let mut env2 = env.clone();
+        env2.bind(v, 1);
+        let moved: f64 = indices
+            .iter()
+            .zip(strides)
+            .map(|(e, &s)| e.eval(&env2) as f64 * s as f64)
+            .sum();
+        (moved - base).abs()
+    };
+    stmt.value.visit_loads(&mut |buf, idx| {
+        acc.loads += iters;
+        let s = stride_of(idx, &program.buffer(buf).shape.strides());
+        if s == 0.0 {
+            acc.broadcast_loads += iters;
+        } else if s <= 1.0 {
+            acc.unit_stride_loads += iters;
+        } else {
+            acc.strided_loads += iters;
+        }
+    });
+    let ss = stride_of(&stmt.indices, &program.buffer(stmt.buf).shape.strides());
+    if (ss - 1.0).abs() < 1e-6 {
+        acc.store_unit += iters;
+    }
+    acc.touched_bytes += program.buffer(stmt.buf).shape.numel() as f64 * 4.0;
+}
+
+/// Extracts the feature vector for a lowered program.
+pub fn extract_features(program: &Program) -> Vec<f32> {
+    let mut acc = Accum::default();
+    for g in &program.groups {
+        let mut stack = Vec::new();
+        walk(program, &g.nodes, &mut stack, &mut acc);
+    }
+    let ln = |v: f64| (v.max(1.0)).ln() as f32;
+    let frac = |a: f64, b: f64| if b > 0.0 { (a / b) as f32 } else { 0.0 };
+    vec![
+        ln(acc.iters),
+        ln(acc.flops),
+        ln(acc.loads),
+        frac(acc.vec_iters, acc.iters),
+        frac(acc.unrolled_iters, acc.iters),
+        ln(acc.par_extent_max),
+        frac(acc.innermost_extent_sum, acc.innermost_count.max(1.0)) / 64.0,
+        frac(acc.unit_stride_loads, acc.loads),
+        frac(acc.broadcast_loads, acc.loads),
+        frac(acc.strided_loads, acc.loads),
+        frac(acc.store_unit, acc.iters),
+        ln(acc.touched_bytes),
+        acc.n_stmts as f32 / 8.0,
+        frac(acc.depth_sum, acc.n_stmts.max(1.0)) / 8.0,
+        program.groups.len() as f32 / 8.0,
+        ln(acc.iters / acc.n_stmts.max(1.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_layout::{LayoutPlan, PropagationMode};
+    use alt_loopir::{lower, AxisTiling, GraphSchedule, OpSchedule};
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::{Graph, Shape};
+
+    fn programs() -> (Program, Program) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 16, 18, 18]));
+        let w = g.add_param("w", Shape::new([16, 16, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let op = g.tensor(y).producer.unwrap();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let naive = lower(&g, &plan, &GraphSchedule::naive());
+        let mut sched = GraphSchedule::naive();
+        sched.set(
+            op,
+            OpSchedule {
+                spatial: vec![
+                    AxisTiling::none(),
+                    AxisTiling::one(8),
+                    AxisTiling::one(4),
+                    AxisTiling::one(16),
+                ],
+                reduce: vec![AxisTiling::one(4), AxisTiling::none(), AxisTiling::none()],
+                vectorize: true,
+                unroll: true,
+                parallel: true,
+                fuse_into_producer: false,
+            },
+        );
+        let tiled = lower(&g, &plan, &sched);
+        (naive, tiled)
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_width() {
+        let (a, b) = programs();
+        assert_eq!(extract_features(&a).len(), N_FEATURES);
+        assert_eq!(extract_features(&b).len(), N_FEATURES);
+    }
+
+    #[test]
+    fn features_distinguish_schedules() {
+        let (a, b) = programs();
+        let fa = extract_features(&a);
+        let fb = extract_features(&b);
+        assert_ne!(fa, fb);
+        // The tiled schedule is vectorized and parallel.
+        assert_eq!(fa[3], 0.0);
+        assert!(fb[3] > 0.5);
+        assert!(fb[5] > fa[5]);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let (a, _) = programs();
+        assert!(extract_features(&a).iter().all(|v| v.is_finite()));
+    }
+}

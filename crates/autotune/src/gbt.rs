@@ -1,0 +1,276 @@
+//! Gradient-boosted regression trees (the paper's XGBoost-style cost
+//! model, §5.2.3).
+//!
+//! Squared-error boosting over depth-limited regression trees with
+//! quantile-candidate splits. Trained online on (program features,
+//! measured latency) pairs accumulated during tuning; used to rank a
+//! batch of candidate points so only the predicted top-k are "measured on
+//! device" (i.e. run through the full simulator).
+
+/// One node of a regression tree (flattened binary tree).
+#[derive(Clone, Debug)]
+enum TreeNode {
+    Leaf(f32),
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A depth-limited regression tree.
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f32]) -> f32 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf(v) => return *v,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Fits a tree to residuals by greedy variance-reduction splitting.
+    fn fit(xs: &[Vec<f32>], ys: &[f32], idx: &[usize], depth: usize, min_leaf: usize) -> Tree {
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.build(xs, ys, idx, depth, min_leaf);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        xs: &[Vec<f32>],
+        ys: &[f32],
+        idx: &[usize],
+        depth: usize,
+        min_leaf: usize,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f32>() / idx.len().max(1) as f32;
+        if depth == 0 || idx.len() < 2 * min_leaf {
+            self.nodes.push(TreeNode::Leaf(mean));
+            return self.nodes.len() - 1;
+        }
+        let n_features = xs[idx[0]].len();
+        let base_err: f32 = idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+        let mut best: Option<(f32, usize, f32)> = None; // (err, feature, threshold)
+        for f in 0..n_features {
+            // Quantile candidate thresholds.
+            let mut vals: Vec<f32> = idx.iter().map(|&i| xs[i][f]).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            for q in 1..8.min(vals.len()) {
+                let thr = vals[q * vals.len() / 8.min(vals.len())];
+                let (mut sl, mut nl, mut sr, mut nr) = (0.0f32, 0usize, 0.0f32, 0usize);
+                for &i in idx {
+                    if xs[i][f] <= thr {
+                        sl += ys[i];
+                        nl += 1;
+                    } else {
+                        sr += ys[i];
+                        nr += 1;
+                    }
+                }
+                if nl < min_leaf || nr < min_leaf {
+                    continue;
+                }
+                let (ml, mr) = (sl / nl as f32, sr / nr as f32);
+                let err: f32 = idx
+                    .iter()
+                    .map(|&i| {
+                        let m = if xs[i][f] <= thr { ml } else { mr };
+                        (ys[i] - m).powi(2)
+                    })
+                    .sum();
+                if best
+                    .as_ref()
+                    .map(|b| err < b.0)
+                    .unwrap_or(err < base_err * 0.999)
+                {
+                    best = Some((err, f, thr));
+                }
+            }
+        }
+        let Some((_, f, thr)) = best else {
+            self.nodes.push(TreeNode::Leaf(mean));
+            return self.nodes.len() - 1;
+        };
+        let left_idx: Vec<usize> = idx.iter().copied().filter(|&i| xs[i][f] <= thr).collect();
+        let right_idx: Vec<usize> = idx.iter().copied().filter(|&i| xs[i][f] > thr).collect();
+        let me = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf(0.0)); // placeholder
+        let left = self.build(xs, ys, &left_idx, depth - 1, min_leaf);
+        let right = self.build(xs, ys, &right_idx, depth - 1, min_leaf);
+        self.nodes[me] = TreeNode::Split {
+            feature: f,
+            threshold: thr,
+            left,
+            right,
+        };
+        me
+    }
+}
+
+/// Gradient-boosted tree ensemble for latency regression.
+#[derive(Clone, Debug, Default)]
+pub struct GbtModel {
+    trees: Vec<Tree>,
+    base: f32,
+    shrinkage: f32,
+}
+
+/// Training hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GbtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub depth: usize,
+    /// Learning rate.
+    pub shrinkage: f32,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 40,
+            depth: 4,
+            shrinkage: 0.3,
+            min_leaf: 3,
+        }
+    }
+}
+
+impl GbtModel {
+    /// Fits the ensemble to (features, target) pairs.
+    ///
+    /// Targets are typically `-log(latency)` so that higher predictions
+    /// mean faster programs.
+    pub fn fit(xs: &[Vec<f32>], ys: &[f32], params: GbtParams) -> GbtModel {
+        assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return GbtModel::default();
+        }
+        let base = ys.iter().sum::<f32>() / ys.len() as f32;
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut residuals: Vec<f32> = ys.iter().map(|y| y - base).collect();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let tree = Tree::fit(xs, &residuals, &idx, params.depth, params.min_leaf);
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= params.shrinkage * tree.predict(&xs[i]);
+            }
+            trees.push(tree);
+        }
+        GbtModel {
+            trees,
+            base,
+            shrinkage: params.shrinkage,
+        }
+    }
+
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut out = self.base;
+        for t in &self.trees {
+            out += self.shrinkage * t.predict(x);
+        }
+        out
+    }
+
+    /// True when the model has been trained.
+    pub fn is_trained(&self) -> bool {
+        !self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        // A nonlinear target over 3 features.
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let a = (i % 7) as f32 / 7.0;
+                let b = (i % 5) as f32 / 5.0;
+                let c = (i % 3) as f32 / 3.0;
+                vec![a, b, c]
+            })
+            .collect();
+        let ys: Vec<f32> = xs
+            .iter()
+            .map(|x| x[0] * 2.0 + if x[1] > 0.5 { 1.0 } else { 0.0 } + x[2] * x[0])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (xs, ys) = synth(200);
+        let model = GbtModel::fit(&xs, &ys, GbtParams::default());
+        let mse: f32 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (model.predict(x) - y).powi(2))
+            .sum::<f32>()
+            / xs.len() as f32;
+        let var: f32 = {
+            let m = ys.iter().sum::<f32>() / ys.len() as f32;
+            ys.iter().map(|y| (y - m).powi(2)).sum::<f32>() / ys.len() as f32
+        };
+        assert!(mse < var * 0.1, "mse {mse} vs variance {var}");
+    }
+
+    #[test]
+    fn ranks_candidates() {
+        let (xs, ys) = synth(100);
+        let model = GbtModel::fit(&xs, &ys, GbtParams::default());
+        // The highest-target sample should rank near the top.
+        let best_true = ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&a, &b| model.predict(&xs[b]).total_cmp(&model.predict(&xs[a])));
+        let rank = order.iter().position(|&i| i == best_true).unwrap();
+        assert!(rank < 10, "true best ranked {rank}");
+    }
+
+    #[test]
+    fn empty_training_is_untrained() {
+        let m = GbtModel::fit(&[], &[], GbtParams::default());
+        assert!(!m.is_trained());
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let xs = vec![vec![1.0, 2.0]; 10];
+        let ys = vec![5.0; 10];
+        let m = GbtModel::fit(&xs, &ys, GbtParams::default());
+        assert!((m.predict(&[1.0, 2.0]) - 5.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,31 @@
+//! The ALT auto-tuning framework (paper §5).
+//!
+//! * [`space`] — pruned layout templates (§5.1) and loop spaces.
+//! * [`nn`] / [`ppo`] — from-scratch MLPs and PPO-clip (normalized
+//!   one-step advantages, shared critic, §5.2), including pretraining
+//!   ([`pretrain`], Fig. 11).
+//! * [`gbt`] — the boosted-tree cost model (§5.2.3) with program
+//!   [`features`].
+//! * [`measure`] — budget-accounted measurement against the hardware
+//!   model.
+//! * [`tuner`] — the two-stage joint tuner with the cross-exploration
+//!   architecture (Fig. 8).
+
+pub mod features;
+pub mod gbt;
+pub mod measure;
+pub mod nn;
+pub mod ppo;
+pub mod pretrain;
+pub mod space;
+pub mod tuner;
+
+pub use gbt::{GbtModel, GbtParams};
+pub use measure::Measurer;
+pub use ppo::{PpoAgent, PpoWeights, SharedCritic};
+pub use pretrain::{pretrain_ppo, tune_with_pretraining};
+pub use space::{build_layout_template, build_loop_space, LayoutTemplate, Point, Space};
+pub use tuner::{
+    apply_fixed_layout, base_schedule, tune_graph, FixedLayout, LayoutSearch, TuneConfig,
+    TuneResult, Tuner,
+};

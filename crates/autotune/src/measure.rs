@@ -1,0 +1,127 @@
+//! "On-device" measurement against the hardware model, with the paper's
+//! budget accounting (one measurement = one budget unit).
+
+use std::collections::HashSet;
+
+use alt_layout::LayoutPlan;
+use alt_loopir::{lower, lower_filtered, GraphSchedule, Program};
+use alt_sim::{MachineProfile, Simulator};
+use alt_tensor::{Graph, OpId};
+
+/// Measurement driver: lowers programs and queries the performance model,
+/// counting every measurement against the search budget.
+pub struct Measurer<'g> {
+    graph: &'g Graph,
+    sim: Simulator,
+    /// Budget units consumed so far.
+    pub used: u64,
+    /// History of (budget used, latency measured) pairs, for efficiency
+    /// curves like Fig. 11.
+    pub history: Vec<(u64, f64)>,
+}
+
+impl<'g> Measurer<'g> {
+    /// Creates a measurer for a graph on a machine.
+    pub fn new(graph: &'g Graph, profile: MachineProfile) -> Self {
+        Self {
+            graph,
+            sim: Simulator::new(profile),
+            used: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The underlying simulator (for profiling runs that should not count
+    /// against the budget).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Lowers only `op`'s fusion group (plus its conversion groups).
+    pub fn lower_op(&self, plan: &LayoutPlan, sched: &GraphSchedule, op: OpId) -> Program {
+        let mut roots = HashSet::new();
+        roots.insert(op);
+        lower_filtered(self.graph, plan, sched, Some(&roots))
+    }
+
+    /// Measures one operator's group; consumes one budget unit.
+    pub fn measure_op(&mut self, plan: &LayoutPlan, sched: &GraphSchedule, op: OpId) -> f64 {
+        let program = self.lower_op(plan, sched, op);
+        self.measure_program(&program)
+    }
+
+    /// Measures the groups rooted at a set of operators; one budget unit.
+    pub fn measure_ops(
+        &mut self,
+        plan: &LayoutPlan,
+        sched: &GraphSchedule,
+        roots: &HashSet<OpId>,
+    ) -> f64 {
+        let program = lower_filtered(self.graph, plan, sched, Some(roots));
+        self.measure_program(&program)
+    }
+
+    /// Measures an already-lowered program; consumes one budget unit.
+    pub fn measure_program(&mut self, program: &Program) -> f64 {
+        let lat = self.sim.measure(program);
+        self.used += 1;
+        self.history.push((self.used, lat));
+        lat
+    }
+
+    /// Measures the whole graph (does not count against the budget; used
+    /// for final reporting).
+    pub fn measure_graph_free(&self, plan: &LayoutPlan, sched: &GraphSchedule) -> f64 {
+        let program = lower(self.graph, plan, sched);
+        self.sim.measure(&program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_layout::PropagationMode;
+    use alt_sim::intel_cpu;
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::Shape;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+        let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let _ = ops::relu(&mut g, c);
+        g
+    }
+
+    #[test]
+    fn budget_accounting_counts_measurements() {
+        let g = graph();
+        let mut m = Measurer::new(&g, intel_cpu());
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        assert_eq!(m.used, 0);
+        let a = m.measure_op(&plan, &sched, op);
+        let b = m.measure_op(&plan, &sched, op);
+        assert_eq!(m.used, 2);
+        assert_eq!(a, b, "same program must measure identically");
+        assert_eq!(m.history.len(), 2);
+        // Whole-graph measurement is free (reporting only).
+        let full = m.measure_graph_free(&plan, &sched);
+        assert_eq!(m.used, 2);
+        assert!(full >= a, "graph includes the conv group and more");
+    }
+
+    #[test]
+    fn filtered_lowering_contains_only_requested_group() {
+        let g = graph();
+        let m = Measurer::new(&g, intel_cpu());
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        let program = m.lower_op(&plan, &sched, op);
+        assert_eq!(program.groups.len(), 1);
+        assert_eq!(program.groups[0].root, op);
+    }
+}

@@ -1,0 +1,298 @@
+//! Minimal neural-network substrate: dense layers with tanh activations,
+//! manual reverse-mode gradients, and an Adam optimizer.
+//!
+//! This is the substrate for the PPO actor/critic networks (paper §5.2).
+//! It is deliberately small: two hidden layers cover the paper's agents.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `y = W x + b`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dense {
+    /// Row-major `[out x in]` weights.
+    pub w: Vec<f32>,
+    /// Biases, length `out`.
+    pub b: Vec<f32>,
+    /// Input width.
+    pub n_in: usize,
+    /// Output width.
+    pub n_out: usize,
+}
+
+impl Dense {
+    /// Xavier-initialized layer.
+    pub fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / (n_in + n_out) as f32).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let mut acc = self.b[o];
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Backward pass: given dL/dy, accumulates parameter grads and returns
+    /// dL/dx.
+    fn backward(&self, x: &[f32], dy: &[f32], gw: &mut [f32], gb: &mut [f32]) -> Vec<f32> {
+        let mut dx = vec![0.0; self.n_in];
+        for o in 0..self.n_out {
+            gb[o] += dy[o];
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let grow = &mut gw[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                grow[i] += dy[o] * x[i];
+                dx[i] += row[i] * dy[o];
+            }
+        }
+        dx
+    }
+}
+
+/// A two-hidden-layer MLP with tanh activations and linear output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    /// First hidden layer.
+    pub l1: Dense,
+    /// Second hidden layer.
+    pub l2: Dense,
+    /// Output layer.
+    pub l3: Dense,
+}
+
+/// Cached activations for one forward pass.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    x: Vec<f32>,
+    h1: Vec<f32>,
+    a1: Vec<f32>,
+    h2: Vec<f32>,
+    a2: Vec<f32>,
+}
+
+/// Gradient accumulator matching an [`Mlp`].
+#[derive(Clone, Debug)]
+pub struct MlpGrad {
+    gw1: Vec<f32>,
+    gb1: Vec<f32>,
+    gw2: Vec<f32>,
+    gb2: Vec<f32>,
+    gw3: Vec<f32>,
+    gb3: Vec<f32>,
+}
+
+impl Mlp {
+    /// Builds an MLP `n_in -> hidden -> hidden -> n_out`.
+    pub fn new(n_in: usize, hidden: usize, n_out: usize, rng: &mut StdRng) -> Self {
+        Self {
+            l1: Dense::new(n_in, hidden, rng),
+            l2: Dense::new(hidden, hidden, rng),
+            l3: Dense::new(hidden, n_out, rng),
+        }
+    }
+
+    /// Forward pass, returning the output and caching activations.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Trace) {
+        let mut t = Trace {
+            x: x.to_vec(),
+            ..Trace::default()
+        };
+        self.l1.forward(x, &mut t.h1);
+        t.a1 = t.h1.iter().map(|v| v.tanh()).collect();
+        self.l2.forward(&t.a1, &mut t.h2);
+        t.a2 = t.h2.iter().map(|v| v.tanh()).collect();
+        let mut out = Vec::new();
+        self.l3.forward(&t.a2, &mut out);
+        (out, t)
+    }
+
+    /// Inference-only forward pass.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        self.forward(x).0
+    }
+
+    /// Fresh zeroed gradient accumulator.
+    pub fn zero_grad(&self) -> MlpGrad {
+        MlpGrad {
+            gw1: vec![0.0; self.l1.w.len()],
+            gb1: vec![0.0; self.l1.b.len()],
+            gw2: vec![0.0; self.l2.w.len()],
+            gb2: vec![0.0; self.l2.b.len()],
+            gw3: vec![0.0; self.l3.w.len()],
+            gb3: vec![0.0; self.l3.b.len()],
+        }
+    }
+
+    /// Accumulates gradients for one sample given dL/d(output).
+    pub fn backward(&self, t: &Trace, dout: &[f32], g: &mut MlpGrad) {
+        let da2 = self.l3.backward(&t.a2, dout, &mut g.gw3, &mut g.gb3);
+        let dh2: Vec<f32> = da2
+            .iter()
+            .zip(&t.a2)
+            .map(|(d, a)| d * (1.0 - a * a))
+            .collect();
+        let da1 = self.l2.backward(&t.a1, &dh2, &mut g.gw2, &mut g.gb2);
+        let dh1: Vec<f32> = da1
+            .iter()
+            .zip(&t.a1)
+            .map(|(d, a)| d * (1.0 - a * a))
+            .collect();
+        let _ = self.l1.backward(&t.x, &dh1, &mut g.gw1, &mut g.gb1);
+    }
+}
+
+/// Adam optimizer state for one [`Mlp`].
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `mlp` with learning rate `lr`.
+    pub fn new(mlp: &Mlp, lr: f32) -> Self {
+        let sizes = [
+            mlp.l1.w.len(),
+            mlp.l1.b.len(),
+            mlp.l2.w.len(),
+            mlp.l2.b.len(),
+            mlp.l3.w.len(),
+            mlp.l3.b.len(),
+        ];
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            v: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+        }
+    }
+
+    /// Applies accumulated gradients (scaled by `1/batch`) to the model.
+    pub fn step(&mut self, mlp: &mut Mlp, g: &MlpGrad, batch: f32) {
+        self.t += 1;
+        let params: [(&mut [f32], &[f32]); 6] = [
+            (&mut mlp.l1.w, &g.gw1),
+            (&mut mlp.l1.b, &g.gb1),
+            (&mut mlp.l2.w, &g.gw2),
+            (&mut mlp.l2.b, &g.gb2),
+            (&mut mlp.l3.w, &g.gw3),
+            (&mut mlp.l3.b, &g.gb3),
+        ];
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (k, (p, grad)) in params.into_iter().enumerate() {
+            let m = &mut self.m[k];
+            let v = &mut self.v[k];
+            for i in 0..p.len() {
+                let gi = grad[i] / batch;
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Convenience: deterministic RNG for network initialization.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded_rng(0);
+        let mlp = Mlp::new(4, 8, 2, &mut rng);
+        let (out, _) = mlp.forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(1);
+        let mut mlp = Mlp::new(3, 5, 1, &mut rng);
+        let x = [0.3, -0.2, 0.7];
+        // Loss = 0.5 * out^2; dL/dout = out.
+        let (out, trace) = mlp.forward(&x);
+        let mut g = mlp.zero_grad();
+        mlp.backward(&trace, &[out[0]], &mut g);
+        // Finite difference on one weight.
+        let eps = 1e-3;
+        let orig = mlp.l1.w[2];
+        mlp.l1.w[2] = orig + eps;
+        let lp = 0.5 * mlp.infer(&x)[0].powi(2);
+        mlp.l1.w[2] = orig - eps;
+        let lm = 0.5 * mlp.infer(&x)[0].powi(2);
+        mlp.l1.w[2] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - g.gw1[2]).abs() < 1e-3,
+            "finite diff {fd} vs backprop {}",
+            g.gw1[2]
+        );
+    }
+
+    #[test]
+    fn adam_reduces_regression_loss() {
+        let mut rng = seeded_rng(2);
+        let mut mlp = Mlp::new(2, 16, 1, &mut rng);
+        let mut opt = Adam::new(&mlp, 1e-2);
+        // Fit y = x0 + 2*x1 on a fixed dataset.
+        let data: Vec<([f32; 2], f32)> = (0..32)
+            .map(|i| {
+                let x0 = (i % 8) as f32 / 8.0;
+                let x1 = (i / 8) as f32 / 4.0;
+                ([x0, x1], x0 + 2.0 * x1)
+            })
+            .collect();
+        let loss = |mlp: &Mlp| -> f32 {
+            data.iter()
+                .map(|(x, y)| (mlp.infer(x)[0] - y).powi(2))
+                .sum::<f32>()
+                / data.len() as f32
+        };
+        let before = loss(&mlp);
+        for _ in 0..300 {
+            let mut g = mlp.zero_grad();
+            for (x, y) in &data {
+                let (out, t) = mlp.forward(x);
+                mlp.backward(&t, &[2.0 * (out[0] - y)], &mut g);
+            }
+            opt.step(&mut mlp, &g, data.len() as f32);
+        }
+        let after = loss(&mlp);
+        assert!(
+            after < before * 0.05,
+            "loss did not drop: {before} -> {after}"
+        );
+    }
+}

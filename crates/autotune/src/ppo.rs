@@ -1,0 +1,314 @@
+//! Proximal Policy Optimization for space exploration (paper §5.2).
+//!
+//! The paper uses PPO actors to propose layout split factors (continuous
+//! actions in `(0, 1)`, Eq. 2) and loop random-walk directions, with one
+//! *shared critic* judging all actors. Actor and critic dimensions are
+//! fixed (`OBS_DIM`/`ACT_DIM`, padded/truncated per space) so pretrained
+//! weights transfer across operators — the mechanism behind Fig. 11's
+//! PPO-Pret curve.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::nn::{Adam, Mlp};
+
+/// Fixed observation width (states are padded/truncated).
+pub const OBS_DIM: usize = 32;
+/// Fixed action width (spaces use a prefix).
+pub const ACT_DIM: usize = 16;
+const HIDDEN: usize = 64;
+
+/// Pads or truncates a state vector to [`OBS_DIM`].
+pub fn pad_obs(mut v: Vec<f32>) -> Vec<f32> {
+    v.resize(OBS_DIM, 0.0);
+    v
+}
+
+/// Serializable actor/critic weights (pretraining artifact).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PpoWeights {
+    /// Actor network.
+    pub actor: Mlp,
+    /// Critic network.
+    pub critic: Mlp,
+}
+
+/// The shared critic: one value network serving every actor of a tuning
+/// session (paper §5.2.2: "a global shared critic network for all
+/// actors").
+#[derive(Debug)]
+pub struct SharedCritic {
+    net: Mlp,
+    opt: Adam,
+}
+
+impl SharedCritic {
+    /// Fresh critic.
+    pub fn new(seed: u64) -> Rc<RefCell<SharedCritic>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(OBS_DIM, HIDDEN, 1, &mut rng);
+        let opt = Adam::new(&net, 3e-3);
+        Rc::new(RefCell::new(SharedCritic { net, opt }))
+    }
+
+    /// From pretrained weights.
+    pub fn from_weights(w: &PpoWeights) -> Rc<RefCell<SharedCritic>> {
+        let net = w.critic.clone();
+        let opt = Adam::new(&net, 3e-3);
+        Rc::new(RefCell::new(SharedCritic { net, opt }))
+    }
+
+    fn value(&self, obs: &[f32]) -> f32 {
+        self.net.infer(obs)[0]
+    }
+
+    fn train(&mut self, batch: &[(Vec<f32>, f32)]) {
+        for _ in 0..4 {
+            let mut g = self.net.zero_grad();
+            for (obs, ret) in batch {
+                let (out, t) = self.net.forward(obs);
+                self.net.backward(&t, &[2.0 * (out[0] - ret)], &mut g);
+            }
+            self.opt.step(&mut self.net, &g, batch.len() as f32);
+        }
+    }
+}
+
+/// One stored transition (bandit-style one-step episode).
+#[derive(Clone, Debug)]
+struct Transition {
+    obs: Vec<f32>,
+    act: Vec<f32>,
+    logp: f32,
+    reward: f32,
+}
+
+/// A PPO actor with Gaussian exploration and clipped policy updates.
+pub struct PpoAgent {
+    actor: Mlp,
+    opt: Adam,
+    critic: Rc<RefCell<SharedCritic>>,
+    std: f32,
+    buffer: Vec<Transition>,
+    rng: StdRng,
+    /// Update after this many stored transitions.
+    pub batch_size: usize,
+}
+
+impl PpoAgent {
+    /// Fresh agent sharing `critic`.
+    pub fn new(critic: Rc<RefCell<SharedCritic>>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actor = Mlp::new(OBS_DIM, HIDDEN, ACT_DIM, &mut rng);
+        let opt = Adam::new(&actor, 1e-3);
+        Self {
+            actor,
+            opt,
+            critic,
+            std: 0.15,
+            buffer: Vec::new(),
+            rng,
+            batch_size: 16,
+        }
+    }
+
+    /// Agent initialized from pretrained weights.
+    pub fn from_weights(w: &PpoWeights, critic: Rc<RefCell<SharedCritic>>, seed: u64) -> Self {
+        let mut agent = Self::new(critic, seed);
+        agent.actor = w.actor.clone();
+        agent.opt = Adam::new(&agent.actor, 1e-3);
+        agent
+    }
+
+    /// Snapshots the current weights (for pretraining artifacts).
+    pub fn weights(&self) -> PpoWeights {
+        PpoWeights {
+            actor: self.actor.clone(),
+            critic: self.critic.borrow().net.clone(),
+        }
+    }
+
+    fn mean(&self, obs: &[f32]) -> Vec<f32> {
+        self.actor
+            .infer(obs)
+            .iter()
+            .map(|v| 1.0 / (1.0 + (-v).exp()))
+            .collect()
+    }
+
+    /// Samples actions in `(0, 1)` for a padded observation; returns the
+    /// actions and their log-probability.
+    pub fn act(&mut self, obs: &[f32]) -> (Vec<f32>, f32) {
+        let mu = self.mean(obs);
+        let mut acts = Vec::with_capacity(ACT_DIM);
+        let mut logp = 0.0;
+        for m in &mu {
+            // Box-Muller Gaussian sample.
+            let u1: f32 = self.rng.gen_range(1e-6..1.0);
+            let u2: f32 = self.rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            let a = (m + self.std * z).clamp(0.0, 1.0);
+            logp += -((a - m) * (a - m)) / (2.0 * self.std * self.std);
+            acts.push(a);
+        }
+        (acts, logp)
+    }
+
+    /// Greedy (mean) actions, for evaluation.
+    pub fn act_greedy(&self, obs: &[f32]) -> Vec<f32> {
+        self.mean(obs)
+    }
+
+    /// Stores a one-step transition.
+    pub fn store(&mut self, obs: Vec<f32>, act: Vec<f32>, logp: f32, reward: f32) {
+        self.buffer.push(Transition {
+            obs,
+            act,
+            logp,
+            reward,
+        });
+        if self.buffer.len() >= self.batch_size {
+            self.update();
+        }
+    }
+
+    /// PPO-clip update over the buffered transitions.
+    pub fn update(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        // Advantages from the shared critic.
+        let mut advs: Vec<f32> = batch
+            .iter()
+            .map(|t| t.reward - self.critic.borrow().value(&t.obs))
+            .collect();
+        let mean = advs.iter().sum::<f32>() / advs.len() as f32;
+        let var = advs.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / advs.len() as f32;
+        let std = var.sqrt().max(1e-4);
+        for a in &mut advs {
+            *a = (*a - mean) / std;
+        }
+
+        let clip = 0.2f32;
+        for _ in 0..4 {
+            let mut g = self.actor.zero_grad();
+            for (t, &adv) in batch.iter().zip(&advs) {
+                let (raw, trace) = self.actor.forward(&t.obs);
+                let mu: Vec<f32> = raw.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect();
+                let logp: f32 = t
+                    .act
+                    .iter()
+                    .zip(&mu)
+                    .map(|(a, m)| -((a - m) * (a - m)) / (2.0 * self.std * self.std))
+                    .sum();
+                let ratio = (logp - t.logp).exp().clamp(0.0, 10.0);
+                let clipped = ratio.clamp(1.0 - clip, 1.0 + clip);
+                // PPO-clip objective: maximize min(r*A, clip(r)*A). The
+                // gradient flows only through the unclipped branch when it
+                // is the active one.
+                let use_unclipped = (ratio * adv) <= (clipped * adv);
+                if !use_unclipped {
+                    continue;
+                }
+                // dL/d(logp) for L = -ratio * adv.
+                let dlogp = -ratio * adv;
+                // d(logp)/d(raw_k) = ((a_k - mu_k)/std^2) * sigmoid'(raw_k).
+                let dout: Vec<f32> = raw
+                    .iter()
+                    .zip(t.act.iter().zip(&mu))
+                    .map(|(r, (a, m))| {
+                        let sig_d = {
+                            let s = 1.0 / (1.0 + (-r).exp());
+                            s * (1.0 - s)
+                        };
+                        dlogp * ((a - m) / (self.std * self.std)) * sig_d
+                    })
+                    .collect();
+                self.actor.backward(&trace, &dout, &mut g);
+            }
+            self.opt.step(&mut self.actor, &g, batch.len() as f32);
+        }
+        // Shared critic regression toward observed rewards.
+        let critic_batch: Vec<(Vec<f32>, f32)> =
+            batch.iter().map(|t| (t.obs.clone(), t.reward)).collect();
+        self.critic.borrow_mut().train(&critic_batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_in_unit_interval() {
+        let critic = SharedCritic::new(0);
+        let mut agent = PpoAgent::new(critic, 1);
+        let obs = pad_obs(vec![0.5; 8]);
+        for _ in 0..50 {
+            let (a, _) = agent.act(&obs);
+            assert_eq!(a.len(), ACT_DIM);
+            assert!(a.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn learns_a_bandit_target() {
+        // Reward peaks when action[0] is near 0.8; PPO should shift the
+        // policy mean toward it.
+        let critic = SharedCritic::new(2);
+        let mut agent = PpoAgent::new(critic, 3);
+        agent.batch_size = 32;
+        let obs = pad_obs(vec![0.3; 4]);
+        let reward = |a: f32| 1.0 - (a - 0.8).abs() * 4.0;
+        let before = agent.act_greedy(&obs)[0];
+        for _ in 0..40 {
+            for _ in 0..32 {
+                let (a, logp) = agent.act(&obs);
+                let r = reward(a[0]);
+                agent.store(obs.clone(), a, logp, r);
+            }
+        }
+        let after = agent.act_greedy(&obs)[0];
+        assert!(
+            (after - 0.8).abs() < (before - 0.8).abs() + 0.05,
+            "policy did not move toward optimum: {before} -> {after}"
+        );
+        assert!((after - 0.8).abs() < 0.25, "after = {after}");
+    }
+
+    #[test]
+    fn weights_roundtrip_through_serde() {
+        let critic = SharedCritic::new(4);
+        let agent = PpoAgent::new(critic, 5);
+        let w = agent.weights();
+        let json = serde_json::to_string(&w).unwrap();
+        let back: PpoWeights = serde_json::from_str(&json).unwrap();
+        let critic2 = SharedCritic::from_weights(&back);
+        let agent2 = PpoAgent::from_weights(&back, critic2, 6);
+        let obs = pad_obs(vec![0.1; 4]);
+        assert_eq!(agent.act_greedy(&obs), agent2.act_greedy(&obs));
+    }
+
+    #[test]
+    fn shared_critic_is_shared() {
+        let critic = SharedCritic::new(7);
+        let a1 = PpoAgent::new(critic.clone(), 8);
+        let _a2 = PpoAgent::new(critic.clone(), 9);
+        let obs = pad_obs(vec![0.0; 4]);
+        let v1 = critic.borrow().value(&obs);
+        // Training through one agent's buffer changes the value both see.
+        let mut a1 = a1;
+        a1.batch_size = 4;
+        for _ in 0..4 {
+            let (a, logp) = a1.act(&obs);
+            a1.store(obs.clone(), a, logp, 5.0);
+        }
+        let v2 = critic.borrow().value(&obs);
+        assert_ne!(v1, v2);
+    }
+}

@@ -1,0 +1,722 @@
+//! Tuning spaces (paper §5.1).
+//!
+//! A [`Space`] is a list of integer-valued knobs; a point is one choice
+//! per knob. Layout spaces are pruned by the paper's tiling templates:
+//! only complex operators get a layout space, and each template exposes a
+//! handful of split factors (six for C2D, three for GMM). Loop spaces
+//! expose one tile factor per physical output dimension, one per
+//! reduction axis, and the vectorize/unroll/parallel annotations.
+
+use alt_layout::{presets, Layout, LayoutPlan};
+use alt_loopir::{AxisTiling, OpSchedule};
+use alt_tensor::{ComplexKind, Graph, OpId, OpTag, Shape, TensorId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Greatest common divisor.
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.max(1), b.max(1));
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// All positive divisors of `n`, ascending.
+pub fn divisors(n: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut k = 1;
+    while k * k <= n {
+        if n % k == 0 {
+            out.push(k);
+            if k != n / k {
+                out.push(n / k);
+            }
+        }
+        k += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// One tunable knob: a named list of integer options.
+#[derive(Clone, Debug)]
+pub struct Knob {
+    /// Display name (for logs).
+    pub name: String,
+    /// The options; a point stores an index into this list.
+    pub options: Vec<i64>,
+}
+
+impl Knob {
+    /// A divisor knob for a dimension of size `n`.
+    pub fn divisor(name: impl Into<String>, n: i64) -> Knob {
+        Knob {
+            name: name.into(),
+            options: divisors(n),
+        }
+    }
+
+    /// A boolean knob.
+    pub fn boolean(name: impl Into<String>) -> Knob {
+        Knob {
+            name: name.into(),
+            options: vec![0, 1],
+        }
+    }
+}
+
+/// A tuning space: the cartesian product of its knobs.
+#[derive(Clone, Debug, Default)]
+pub struct Space {
+    /// The knobs.
+    pub knobs: Vec<Knob>,
+}
+
+/// One point in a [`Space`]: an option index per knob.
+pub type Point = Vec<usize>;
+
+impl Space {
+    /// Number of points in the space.
+    pub fn size(&self) -> f64 {
+        self.knobs.iter().map(|k| k.options.len() as f64).product()
+    }
+
+    /// Uniform random point.
+    pub fn random_point(&self, rng: &mut StdRng) -> Point {
+        self.knobs
+            .iter()
+            .map(|k| rng.gen_range(0..k.options.len()))
+            .collect()
+    }
+
+    /// A neighbour of `p`: one to two knobs stepped or re-rolled
+    /// (random-walk move).
+    pub fn neighbor(&self, p: &Point, rng: &mut StdRng) -> Point {
+        let mut q = p.clone();
+        if self.knobs.is_empty() {
+            return q;
+        }
+        let n_changes = 1 + rng.gen_range(0..2);
+        for _ in 0..n_changes {
+            let k = rng.gen_range(0..self.knobs.len());
+            let n = self.knobs[k].options.len();
+            if n <= 1 {
+                continue;
+            }
+            if rng.gen_bool(0.5) {
+                // Step +-1.
+                let delta: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                q[k] = (q[k] as i64 + delta).clamp(0, n as i64 - 1) as usize;
+            } else {
+                q[k] = rng.gen_range(0..n);
+            }
+        }
+        q
+    }
+
+    /// Applies per-knob directions in `{-1, 0, +1}` (RL walk move).
+    pub fn step(&self, p: &Point, directions: &[i64]) -> Point {
+        p.iter()
+            .zip(self.knobs.iter())
+            .zip(directions.iter().chain(std::iter::repeat(&0)))
+            .map(|((&i, k), &d)| (i as i64 + d).clamp(0, k.options.len() as i64 - 1) as usize)
+            .collect()
+    }
+
+    /// Option values selected by a point.
+    pub fn values(&self, p: &Point) -> Vec<i64> {
+        p.iter()
+            .zip(self.knobs.iter())
+            .map(|(&i, k)| k.options[i])
+            .collect()
+    }
+
+    /// Normalized encoding of a point in `[0, 1]` per knob (RL state).
+    pub fn encode(&self, p: &Point) -> Vec<f32> {
+        p.iter()
+            .zip(self.knobs.iter())
+            .map(|(&i, k)| {
+                if k.options.len() <= 1 {
+                    0.0
+                } else {
+                    i as f32 / (k.options.len() - 1) as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Maps continuous actions in `(0, 1)` to a point (the paper's
+    /// `F = R(D * a)` rounding, realized as an index into the feasible
+    /// divisor list).
+    pub fn decode_actions(&self, actions: &[f32]) -> Point {
+        self.knobs
+            .iter()
+            .zip(actions.iter().chain(std::iter::repeat(&0.0)))
+            .map(|(k, &a)| {
+                let n = k.options.len();
+                let a = a.clamp(0.0, 1.0);
+                ((a * (n as f32 - 1.0)).round() as usize).min(n - 1)
+            })
+            .collect()
+    }
+}
+
+/// Which template a complex operator uses.
+#[derive(Clone, Debug)]
+pub enum TemplateKind {
+    /// Direct convolutions: tunable spatial tiles + `ot` for the output,
+    /// `it` for the (unfolded) input, `it'`/`ot'` for the weight.
+    Conv {
+        /// Spatial rank (1, 2 or 3).
+        d: usize,
+        /// Per-dimension convolution strides.
+        strides: Vec<i64>,
+        /// Dilated window extents per spatial dim.
+        windows: Vec<i64>,
+    },
+    /// Transposed convolutions: output template + weight tiling (input
+    /// unfold does not apply to the scatter access pattern).
+    TransposedConv {
+        /// Spatial rank.
+        d: usize,
+    },
+    /// GMM: `mt, nt, kt` (the `NKn` family).
+    Gmm,
+    /// Batched GMM: `mt, nt, kt` with the batch dimension untouched.
+    BatchGmm,
+}
+
+/// The pruned per-operator layout space (paper §5.1 templates).
+#[derive(Clone, Debug)]
+pub struct LayoutTemplate {
+    /// The operator this template tunes.
+    pub op: OpId,
+    /// Template family.
+    pub kind: TemplateKind,
+    /// The knob space (see `kind` for knob meanings).
+    pub space: Space,
+    /// Tiling levels (1 = the default one-level templates; 2 adds a
+    /// second-level split per knob, Fig. 13).
+    pub levels: u8,
+}
+
+/// Builds the layout template for a complex operator, or `None` for
+/// non-complex operators.
+pub fn build_layout_template(graph: &Graph, op: OpId, levels: u8) -> Option<LayoutTemplate> {
+    let node = graph.node(op);
+    let OpTag::Complex(kind) = node.tag else {
+        return None;
+    };
+    let out_shape = &graph.tensor(node.output).shape;
+    let mut knobs = Vec::new();
+    let template_kind = match kind {
+        ComplexKind::Conv1d | ComplexKind::Conv2d | ComplexKind::Conv3d => {
+            let d = out_shape.ndim() - 2;
+            let in_shape = &graph.tensor(node.inputs[0]).shape;
+            let w_shape = &graph.tensor(node.inputs[1]).shape;
+            // Recover stride/dilation from the compute: out = (in - win)/s + 1.
+            // The reduce axes after the channel axis carry kernel extents.
+            let k_ext: Vec<i64> = (0..d).map(|k| w_shape.dim(2 + k)).collect();
+            let (strides, windows) = infer_conv_geometry(in_shape, out_shape, &k_ext);
+            for k in 0..d {
+                knobs.push(Knob::divisor(format!("t{k}"), out_shape.dim(2 + k)));
+            }
+            knobs.push(Knob::divisor("ot", out_shape.dim(1)));
+            knobs.push(Knob::divisor("it", in_shape.dim(1)));
+            knobs.push(Knob::divisor("w_it", w_shape.dim(1)));
+            knobs.push(Knob::divisor("w_ot", w_shape.dim(0)));
+            TemplateKind::Conv {
+                d,
+                strides,
+                windows,
+            }
+        }
+        ComplexKind::TransposedConv2d | ComplexKind::TransposedConv3d => {
+            let d = out_shape.ndim() - 2;
+            let in_shape = &graph.tensor(node.inputs[0]).shape;
+            let w_shape = &graph.tensor(node.inputs[1]).shape;
+            for k in 0..d {
+                knobs.push(Knob::divisor(format!("t{k}"), out_shape.dim(2 + k)));
+            }
+            knobs.push(Knob::divisor("ot", out_shape.dim(1)));
+            knobs.push(Knob::divisor("it", in_shape.dim(1)));
+            knobs.push(Knob::divisor("w_it", w_shape.dim(0)));
+            knobs.push(Knob::divisor("w_ot", w_shape.dim(1)));
+            TemplateKind::TransposedConv { d }
+        }
+        ComplexKind::Gmm => {
+            let a_shape = &graph.tensor(node.inputs[0]).shape;
+            knobs.push(Knob::divisor("mt", out_shape.dim(0)));
+            knobs.push(Knob::divisor("nt", out_shape.dim(1)));
+            knobs.push(Knob::divisor("kt", a_shape.dim(1)));
+            TemplateKind::Gmm
+        }
+        ComplexKind::BatchGmm => {
+            let a_shape = &graph.tensor(node.inputs[0]).shape;
+            knobs.push(Knob::divisor("mt", out_shape.dim(1)));
+            knobs.push(Knob::divisor("nt", out_shape.dim(2)));
+            knobs.push(Knob::divisor("kt", a_shape.dim(2)));
+            TemplateKind::BatchGmm
+        }
+    };
+    if levels >= 2 {
+        // Second-level factors (Fig. 13's two-level templates): the
+        // spatial tiles and `ot` each gain a companion knob that further
+        // splits the first-level tile. The effective inner factor is
+        // `gcd(first, second)` so every point decodes to a valid layout.
+        let n_two_level = match template_kind {
+            TemplateKind::Conv { d, .. } | TemplateKind::TransposedConv { d } => d + 1,
+            TemplateKind::Gmm | TemplateKind::BatchGmm => 2,
+        };
+        let firsts: Vec<Knob> = knobs[..n_two_level].to_vec();
+        for k in firsts {
+            let max = k.options.last().copied().unwrap_or(1);
+            knobs.push(Knob::divisor(format!("{}2", k.name), max));
+        }
+    }
+    Some(LayoutTemplate {
+        op,
+        kind: template_kind,
+        space: Space { knobs },
+        levels,
+    })
+}
+
+/// Infers (per-dimension strides, dilated windows) from conv
+/// input/output shapes and kernel extents: `out = (in - win)/stride + 1`.
+fn infer_conv_geometry(in_shape: &Shape, out_shape: &Shape, k_ext: &[i64]) -> (Vec<i64>, Vec<i64>) {
+    let d = k_ext.len();
+    // Try dilations 1..=4 (uniform) with per-dimension strides 1..=4.
+    for dil in 1..=4i64 {
+        let windows: Vec<i64> = (0..d).map(|k| (k_ext[k] - 1) * dil + 1).collect();
+        let mut strides = Vec::with_capacity(d);
+        let mut ok = true;
+        for k in 0..d {
+            let (i, o) = (in_shape.dim(2 + k), out_shape.dim(2 + k));
+            match (1..=4i64).find(|s| o == (i - windows[k]) / s + 1 && (i - windows[k]) % s == 0) {
+                Some(s) => strides.push(s),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return (strides, windows);
+        }
+    }
+    (vec![1; d], k_ext.to_vec())
+}
+
+/// The decoded layouts of one template point.
+#[derive(Clone, Debug)]
+pub struct LayoutDecision {
+    /// Output tensor layout.
+    pub output: Layout,
+    /// Input (data) tensor layout.
+    pub input: Option<Layout>,
+    /// Weight tensor layout.
+    pub weight: Option<Layout>,
+}
+
+/// Decodes a template point into concrete layouts.
+///
+/// Degenerate points (tile == full extent everywhere with `ot == O`)
+/// decode to non-identity but semantically equivalent layouts; the tuner
+/// treats them like any other point.
+pub fn decode_layout_point(
+    graph: &Graph,
+    tmpl: &LayoutTemplate,
+    point: &Point,
+) -> Result<LayoutDecision, alt_layout::LayoutError> {
+    let node = graph.node(tmpl.op);
+    let out_shape = graph.tensor(node.output).shape.clone();
+    let vals = tmpl.space.values(point);
+    match &tmpl.kind {
+        TemplateKind::Conv {
+            d,
+            strides,
+            windows,
+        } => {
+            let in_shape = graph.tensor(node.inputs[0]).shape.clone();
+            let w_shape = graph.tensor(node.inputs[1]).shape.clone();
+            let tiles = &vals[..*d];
+            let (ot, it, w_it, w_ot) = (vals[*d], vals[*d + 1], vals[*d + 2], vals[*d + 3]);
+            let output = if tmpl.levels >= 2 {
+                // Inner factors come from the companion knobs; `gcd` keeps
+                // them dividing the first-level tiles.
+                let seconds = &vals[*d + 4..];
+                let inner: Vec<i64> = tiles
+                    .iter()
+                    .zip(seconds.iter())
+                    .map(|(&a, &b)| gcd(a, b))
+                    .collect();
+                let mid: Vec<i64> = tiles.iter().zip(&inner).map(|(&a, &i)| a / i).collect();
+                let o_in = gcd(ot, seconds[*d]);
+                let o_mid = ot / o_in;
+                presets::conv_output_tiled2_nd(out_shape, &mid, &inner, o_mid, o_in)?
+            } else {
+                presets::conv_output_tiled_nd(out_shape, tiles, ot)?
+            };
+            let input = presets::conv_input_tiled_nd(in_shape, it, tiles, strides, windows)?;
+            let weight = presets::conv_weight_tiled_nd(w_shape, w_it, w_ot)?;
+            Ok(LayoutDecision {
+                output,
+                input: Some(input),
+                weight: Some(weight),
+            })
+        }
+        TemplateKind::TransposedConv { d } => {
+            let in_shape = graph.tensor(node.inputs[0]).shape.clone();
+            let w_shape = graph.tensor(node.inputs[1]).shape.clone();
+            let tiles = &vals[..*d];
+            let (ot, it, w_it, w_ot) = (vals[*d], vals[*d + 1], vals[*d + 2], vals[*d + 3]);
+            let output = presets::conv_output_tiled_nd(out_shape, tiles, ot)?;
+            let input = presets::channel_tiled(in_shape, it)?;
+            let weight = presets::tconv_weight_tiled_nd(w_shape, w_it, w_ot)?;
+            Ok(LayoutDecision {
+                output,
+                input: Some(input),
+                weight: Some(weight),
+            })
+        }
+        TemplateKind::Gmm => {
+            let a_shape = graph.tensor(node.inputs[0]).shape.clone();
+            let b_shape = graph.tensor(node.inputs[1]).shape.clone();
+            let (mt, nt, kt) = (vals[0], vals[1], vals[2]);
+            Ok(LayoutDecision {
+                output: presets::gmm_tiled(out_shape, mt, nt)?,
+                input: Some(presets::gmm_tiled(a_shape, mt, kt)?),
+                weight: Some(presets::gmm_tiled(b_shape, kt, nt)?),
+            })
+        }
+        TemplateKind::BatchGmm => {
+            let a_shape = graph.tensor(node.inputs[0]).shape.clone();
+            let b_shape = graph.tensor(node.inputs[1]).shape.clone();
+            let (mt, nt, kt) = (vals[0], vals[1], vals[2]);
+            Ok(LayoutDecision {
+                output: presets::batch_gmm_tiled(out_shape, mt, nt)?,
+                input: Some(presets::batch_gmm_tiled(a_shape, mt, kt)?),
+                weight: Some(presets::batch_gmm_tiled(b_shape, kt, nt)?),
+            })
+        }
+    }
+}
+
+/// Applies a decoded layout decision to the plan.
+///
+/// `free_inputs` treats graph-input tensors like parameters (offline
+/// packing) — the single-operator benchmark setting, where the harness
+/// feeds data already in the tuned layout.
+pub fn apply_layout_decision(
+    graph: &Graph,
+    plan: &mut LayoutPlan,
+    op: OpId,
+    decision: &LayoutDecision,
+    free_inputs: bool,
+) {
+    let node = graph.node(op);
+    plan.assign_output_layout(graph, op, decision.output.clone());
+    let assign_in = |plan: &mut LayoutPlan, tensor: TensorId, layout: Layout| {
+        let info = graph.tensor(tensor);
+        if free_inputs && info.producer.is_none() {
+            plan.set_layout(tensor, layout);
+        } else {
+            plan.assign_input_layout(graph, op, tensor, layout);
+        }
+    };
+    if let Some(l) = &decision.input {
+        assign_in(plan, node.inputs[0], l.clone());
+    }
+    if let Some(l) = &decision.weight {
+        assign_in(plan, node.inputs[1], l.clone());
+    }
+}
+
+/// Builds the loop space for an operator given its current output layout.
+///
+/// This is rebuilt whenever the layout changes — the space-reconstruction
+/// problem the paper's two-stage design addresses.
+pub fn build_loop_space(graph: &Graph, plan: &LayoutPlan, op: OpId) -> Space {
+    build_loop_space_ex(graph, plan, op, false)
+}
+
+/// [`build_loop_space`] with optional two-level spatial tiling: each
+/// spatial dimension gains a second tile knob (the effective inner
+/// factor is `gcd(first, second)`), deepening the space the way larger
+/// TVM sketches do.
+pub fn build_loop_space_ex(graph: &Graph, plan: &LayoutPlan, op: OpId, two_level: bool) -> Space {
+    let node = graph.node(op);
+    let phys = plan.layout_of(graph, node.output).physical_shape();
+    let mut knobs = Vec::new();
+    for k in 0..phys.ndim() {
+        if phys.dim(k) > 1 {
+            knobs.push(Knob::divisor(format!("s{k}"), phys.dim(k)));
+        } else {
+            knobs.push(Knob {
+                name: format!("s{k}"),
+                options: vec![1],
+            });
+        }
+    }
+    if two_level {
+        for k in 0..phys.ndim() {
+            if phys.dim(k) > 1 {
+                knobs.push(Knob::divisor(format!("s{k}b"), phys.dim(k)));
+            } else {
+                knobs.push(Knob {
+                    name: format!("s{k}b"),
+                    options: vec![1],
+                });
+            }
+        }
+    }
+    for (k, ax) in node.compute.reduce_axes.iter().enumerate() {
+        knobs.push(Knob::divisor(format!("r{k}"), ax.extent));
+    }
+    knobs.push(Knob::boolean("vectorize"));
+    knobs.push(Knob::boolean("unroll"));
+    knobs.push(Knob::boolean("parallel"));
+    Space { knobs }
+}
+
+/// Decodes a loop-space point into an [`OpSchedule`].
+pub fn decode_loop_point(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    op: OpId,
+    space: &Space,
+    p: &Point,
+) -> OpSchedule {
+    let node = graph.node(op);
+    let phys = plan.layout_of(graph, node.output).physical_shape();
+    let vals = space.values(p);
+    let nd = phys.ndim();
+    let nr = node.compute.reduce_axes.len();
+    // One- vs two-level spaces are distinguished by knob count.
+    let two_level = space.knobs.len() == 2 * nd + nr + 3;
+    let spatial: Vec<AxisTiling> = (0..nd)
+        .map(|k| {
+            let t = vals[k];
+            if two_level {
+                let inner = gcd(t, vals[nd + k]);
+                let mid = t / inner;
+                if mid > 1 && inner > 1 {
+                    return AxisTiling::two(mid, inner);
+                }
+            }
+            if t <= 1 {
+                AxisTiling::none()
+            } else {
+                AxisTiling::one(t)
+            }
+        })
+        .collect();
+    let base = if two_level { 2 * nd } else { nd };
+    let reduce: Vec<AxisTiling> = (0..nr)
+        .map(|k| {
+            let t = vals[base + k];
+            if t <= 1 {
+                AxisTiling::none()
+            } else {
+                AxisTiling::one(t)
+            }
+        })
+        .collect();
+    OpSchedule {
+        spatial,
+        reduce,
+        vectorize: vals[base + nr] != 0,
+        unroll: vals[base + nr + 1] != 0,
+        parallel: vals[base + nr + 2] != 0,
+        fuse_into_producer: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_layout::PropagationMode;
+    use alt_tensor::ops::{self, ConvCfg};
+    use rand::SeedableRng;
+
+    #[test]
+    fn divisors_basic() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    fn conv_graph() -> (Graph, OpId) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 16, 18, 18]));
+        let w = g.add_param("w", Shape::new([32, 16, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let op = g.tensor(y).producer.unwrap();
+        (g, op)
+    }
+
+    #[test]
+    fn conv_template_has_six_knobs() {
+        let (g, op) = conv_graph();
+        let tmpl = build_layout_template(&g, op, 1).unwrap();
+        // ht, wt, ot, it, w_it, w_ot (paper: six tunables for C2D).
+        assert_eq!(tmpl.space.knobs.len(), 6);
+        assert!(
+            matches!(&tmpl.kind, TemplateKind::Conv { d: 2, strides, .. } if strides == &vec![1, 1])
+        );
+    }
+
+    #[test]
+    fn two_level_template_doubles_knobs() {
+        let (g, op) = conv_graph();
+        let tmpl = build_layout_template(&g, op, 2).unwrap();
+        // Six one-level knobs plus second-level companions for ht, wt, ot.
+        assert_eq!(tmpl.space.knobs.len(), 9);
+    }
+
+    #[test]
+    fn decode_and_apply_roundtrip() {
+        let (g, op) = conv_graph();
+        let tmpl = build_layout_template(&g, op, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = tmpl.space.random_point(&mut rng);
+            let dec = decode_layout_point(&g, &tmpl, &p).expect("decodable");
+            let mut plan = LayoutPlan::new(PropagationMode::Full);
+            apply_layout_decision(&g, &mut plan, op, &dec, true);
+            // Physical shapes must preserve element counts for the output
+            // (no advanced primitives in the output template).
+            let out = g.node(op).output;
+            assert_eq!(
+                plan.layout_of(&g, out).physical_shape().numel(),
+                g.tensor(out).shape.numel()
+            );
+        }
+    }
+
+    #[test]
+    fn stride_inference_detects_strided_conv() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 3, 23, 23]));
+        let w = g.add_param("w", Shape::new([8, 3, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::strided(2));
+        let op = g.tensor(y).producer.unwrap();
+        let tmpl = build_layout_template(&g, op, 1).unwrap();
+        match &tmpl.kind {
+            TemplateKind::Conv { strides, .. } => assert_eq!(strides, &vec![2, 2]),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn loop_space_decodes_valid_schedules() {
+        let (g, op) = conv_graph();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let space = build_loop_space(&g, &plan, op);
+        let mut rng = StdRng::seed_from_u64(5);
+        let node = g.node(op);
+        let phys = plan.layout_of(&g, node.output).physical_shape();
+        let spatial_extents: Vec<i64> = phys.dims().to_vec();
+        let reduce_extents: Vec<i64> = node.compute.reduce_axes.iter().map(|a| a.extent).collect();
+        for _ in 0..50 {
+            let p = space.random_point(&mut rng);
+            let sched = decode_loop_point(&g, &plan, op, &space, &p);
+            assert!(sched.validate(&spatial_extents, &reduce_extents));
+        }
+    }
+
+    #[test]
+    fn space_walk_stays_in_bounds() {
+        let (g, op) = conv_graph();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let space = build_loop_space(&g, &plan, op);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = space.random_point(&mut rng);
+        for _ in 0..100 {
+            p = space.neighbor(&p, &mut rng);
+            for (i, k) in p.iter().zip(space.knobs.iter()) {
+                assert!(*i < k.options.len());
+            }
+        }
+        let dirs = vec![1i64; space.knobs.len()];
+        let q = space.step(&p, &dirs);
+        for (i, k) in q.iter().zip(space.knobs.iter()) {
+            assert!(*i < k.options.len());
+        }
+    }
+
+    #[test]
+    fn gmm_template_three_knobs() {
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([64, 128]));
+        let b = g.add_param("b", Shape::new([128, 256]));
+        let c = ops::gmm(&mut g, a, b);
+        let op = g.tensor(c).producer.unwrap();
+        let tmpl = build_layout_template(&g, op, 1).unwrap();
+        assert_eq!(tmpl.space.knobs.len(), 3);
+    }
+
+    #[test]
+    fn encode_decode_actions() {
+        let (g, op) = conv_graph();
+        let tmpl = build_layout_template(&g, op, 1).unwrap();
+        let p = tmpl.space.decode_actions(&[0.0, 1.0, 0.5, 0.2, 0.9, 0.1]);
+        for (i, k) in p.iter().zip(tmpl.space.knobs.iter()) {
+            assert!(*i < k.options.len());
+        }
+        let enc = tmpl.space.encode(&p);
+        assert_eq!(enc.len(), 6);
+        assert!(enc.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn two_level_loop_space_decodes_valid_schedules() {
+        let (g, op) = conv_graph();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let space = build_loop_space_ex(&g, &plan, op, true);
+        let one = build_loop_space(&g, &plan, op);
+        assert!(space.knobs.len() > one.knobs.len());
+        let node = g.node(op);
+        let phys = plan.layout_of(&g, node.output).physical_shape();
+        let reduce_extents: Vec<i64> = node.compute.reduce_axes.iter().map(|a| a.extent).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let p = space.random_point(&mut rng);
+            let sched = decode_loop_point(&g, &plan, op, &space, &p);
+            assert!(sched.validate(phys.dims(), &reduce_extents));
+        }
+    }
+
+    #[test]
+    fn template_space_sizes_match_paper_scale() {
+        // §5.1: the pruned C2D layout space is ~O(10^6) for realistic
+        // shapes (six divisor knobs) and the GMM space is up to O(10^3).
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 512, 58, 58]));
+        let w = g.add_param("w", Shape::new([512, 512, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let op = g.tensor(y).producer.unwrap();
+        let tmpl = build_layout_template(&g, op, 1).unwrap();
+        let size = tmpl.space.size();
+        assert!(
+            (1e4..1e8).contains(&size),
+            "C2D layout space has {size} points"
+        );
+
+        let mut g2 = Graph::new();
+        let a = g2.add_input("a", Shape::new([1024, 1024]));
+        let b = g2.add_param("b", Shape::new([1024, 1024]));
+        let c = ops::gmm(&mut g2, a, b);
+        let op2 = g2.tensor(c).producer.unwrap();
+        let tmpl2 = build_layout_template(&g2, op2, 1).unwrap();
+        let size2 = tmpl2.space.size();
+        assert!(
+            (1e2..1e5).contains(&size2),
+            "GMM layout space has {size2} points"
+        );
+    }
+}

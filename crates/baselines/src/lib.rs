@@ -1,0 +1,11 @@
+//! Baseline systems for the ALT reproduction: vendor libraries
+//! ([`vendor`]), auto-tuning frameworks ([`tuners`]) and ALT ablations
+//! ([`ablations`]).
+
+pub mod ablations;
+pub mod tuners;
+pub mod vendor;
+
+pub use ablations::{alt_full, alt_ol, alt_wp};
+pub use tuners::{ansor_like, autotvm_like, baseline_layout, flextensor_like, BaselineResult};
+pub use vendor::vendor_plan;

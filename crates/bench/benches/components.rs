@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the substrate components: expression
+//! rewriting, layout packing, lowering, the performance model, the cache
+//! simulator and the cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use alt_autotune::features::extract_features;
+use alt_autotune::{GbtModel, GbtParams};
+use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
+use alt_loopir::{lower, GraphSchedule};
+use alt_sim::{intel_cpu, CacheSim, Simulator};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, NdBuf, Shape};
+
+fn conv_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 64, 58, 58]));
+    let w = g.add_param("w", Shape::new([64, 64, 3, 3]));
+    let _ = ops::conv2d(&mut g, x, w, ConvCfg::default());
+    g
+}
+
+fn tiled_plan(g: &Graph) -> LayoutPlan {
+    let op = g.complex_ops()[0];
+    let y = g.node(op).output;
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        g,
+        op,
+        presets::c2d_output_tiled(g.tensor(y).shape.clone(), 8, 8, 16).unwrap(),
+    );
+    plan
+}
+
+fn bench_layout_rewrite(c: &mut Criterion) {
+    let layout = presets::c2d_output_tiled(Shape::new([1, 64, 56, 56]), 8, 8, 16).unwrap();
+    c.bench_function("layout/logical_to_physical", |b| {
+        b.iter(|| layout.logical_to_physical(std::hint::black_box(&[0, 37, 23, 41])))
+    });
+}
+
+fn bench_layout_pack(c: &mut Criterion) {
+    let layout: Layout = presets::nhwo(Shape::new([1, 32, 32, 32])).unwrap();
+    let buf = NdBuf::from_fn(Shape::new([1, 32, 32, 32]), |i| i as f32);
+    c.bench_function("layout/pack_32k_elems", |b| b.iter(|| layout.pack(&buf)));
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let g = conv_graph();
+    let plan = tiled_plan(&g);
+    let sched = GraphSchedule::naive();
+    c.bench_function("lower/conv2d_tiled_layout", |b| {
+        b.iter(|| lower(&g, &plan, &sched))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let g = conv_graph();
+    let plan = tiled_plan(&g);
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    let sim = Simulator::new(intel_cpu());
+    c.bench_function("sim/measure_conv2d", |b| b.iter(|| sim.measure(&program)));
+}
+
+fn bench_features(c: &mut Criterion) {
+    let g = conv_graph();
+    let plan = tiled_plan(&g);
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    c.bench_function("costmodel/extract_features", |b| {
+        b.iter(|| extract_features(&program))
+    });
+}
+
+fn bench_gbt(c: &mut Criterion) {
+    let xs: Vec<Vec<f32>> = (0..256)
+        .map(|i| (0..16).map(|f| ((i * 7 + f * 3) % 13) as f32).collect())
+        .collect();
+    let ys: Vec<f32> = xs.iter().map(|x| x[0] * 2.0 + x[3]).collect();
+    c.bench_function("costmodel/gbt_fit_256x16", |b| {
+        b.iter_batched(
+            || (xs.clone(), ys.clone()),
+            |(xs, ys)| GbtModel::fit(&xs, &ys, GbtParams::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    let model = GbtModel::fit(&xs, &ys, GbtParams::default());
+    c.bench_function("costmodel/gbt_predict", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&xs[0])))
+    });
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    c.bench_function("cache/trace_64k_accesses", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::with_geometry(64 * 1024, 64, 4, 4);
+            for i in 0..65536u64 {
+                sim.access(i * 4);
+            }
+            sim.stats().misses
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_layout_rewrite,
+        bench_layout_pack,
+        bench_lowering,
+        bench_simulator,
+        bench_features,
+        bench_gbt,
+        bench_cache_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Figure 9: single-operator normalized performance.
+//!
+//! Nine layout-sensitive operator families (C2D, GRP, DIL, DEP, C3D, C1D,
+//! GMM, T2D, T3D), several random configurations each, tuned by five
+//! systems — a vendor library, AutoTVM-like, FlexTensor-like, Ansor-like
+//! and ALT — on all three platform profiles. The result is normalized by
+//! the geometric mean of speedups over the worst latency per test case,
+//! as in the paper.
+//!
+//! Environment: `ALT_BUDGET_SCALE` scales the per-case budget (default
+//! 120, paper 1000); `ALT_FIG9_CONFIGS` sets configurations per operator
+//! (default 3, paper 10). Pass `--report-ot` to also print the §7.3.5
+//! observation (the tuned `ot` relative to the platform vector lanes).
+
+use std::collections::HashMap;
+
+use alt_autotune::tune_graph;
+use alt_autotune::tuner::{TuneConfig, TuneResult};
+use alt_baselines::{ansor_like, autotvm_like, flextensor_like, vendor_plan};
+use alt_bench::{normalized_performance, scaled, single_op_cases, write_json, TablePrinter};
+use alt_layout::LayoutPrim;
+use alt_sim::MachineProfile;
+use alt_tensor::Graph;
+
+const SYSTEMS: [&str; 5] = ["Vendor", "AutoTVM", "FlexTensor", "Ansor", "ALT"];
+const OPS: [&str; 9] = [
+    "C2D", "GRP", "DIL", "DEP", "C3D", "C1D", "GMM", "T2D", "T3D",
+];
+
+fn alt_tune(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) -> TuneResult {
+    // Paper split: 300/700 of 1000 => 30%/70%.
+    let joint = (budget as f64 * 0.3) as u64;
+    let cfg = TuneConfig {
+        joint_budget: joint,
+        loop_budget: budget - joint,
+        free_input_layouts: true,
+        seed,
+        ..TuneConfig::default()
+    };
+    tune_graph(graph, profile, cfg)
+}
+
+/// Reports the tuned `ot` (innermost channel tile) of ALT's layouts.
+fn observed_ot(graph: &Graph, result: &TuneResult) -> Option<i64> {
+    let op = graph.complex_ops().first().copied()?;
+    let out = graph.node(op).output;
+    let layout = result.plan.layout_of(graph, out);
+    // The template puts `ot` last: find the final Split's last factor.
+    layout.prims().iter().rev().find_map(|p| match p {
+        LayoutPrim::Split { factors, .. } => factors.last().copied(),
+        _ => None,
+    })
+}
+
+fn main() {
+    let report_ot = std::env::args().any(|a| a == "--report-ot");
+    let budget = scaled(120);
+    let n_cfg: usize = std::env::var("ALT_FIG9_CONFIGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "Fig. 9 reproduction: single-operator normalized performance \
+         (budget {budget}/case, {n_cfg} configs/op)"
+    );
+    let cases = single_op_cases(n_cfg, 2023);
+    let mut json = Vec::new();
+    let mut ot_observations: Vec<(String, i64, u32)> = Vec::new();
+
+    for profile in alt_bench::platforms() {
+        println!("\n## {} ", profile.name);
+        // per op family -> list of per-case latencies by system.
+        let mut by_op: HashMap<&str, Vec<HashMap<String, f64>>> = HashMap::new();
+        for case in &cases {
+            let g = &case.graph;
+            let mut lats: HashMap<String, f64> = HashMap::new();
+            // Vendor library (no search).
+            let (vp, vs) = vendor_plan(g, &profile, true);
+            let m = alt_autotune::Measurer::new(g, profile);
+            lats.insert("Vendor".into(), m.measure_graph_free(&vp, &vs));
+            // Auto-tuners.
+            lats.insert(
+                "AutoTVM".into(),
+                autotvm_like(g, profile, budget, 1).latency,
+            );
+            lats.insert(
+                "FlexTensor".into(),
+                flextensor_like(g, profile, budget, 1).latency,
+            );
+            lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
+            let alt = alt_tune(g, profile, budget, 1);
+            lats.insert("ALT".into(), alt.latency);
+            if report_ot {
+                if let Some(ot) = observed_ot(g, &alt) {
+                    ot_observations.push((case.op.to_string(), ot, profile.vector_lanes));
+                }
+            }
+            json.push(serde_json::json!({
+                "platform": profile.name,
+                "op": case.op,
+                "config": case.config,
+                "latencies": lats,
+            }));
+            by_op.entry(case.op).or_default().push(lats);
+        }
+
+        let mut headers = vec!["op"];
+        headers.extend(SYSTEMS);
+        let printer = TablePrinter::new(&headers, &[6, 10, 10, 10, 10, 10]);
+        let mut alt_vs_ansor = Vec::new();
+        for op in OPS {
+            let Some(case_lats) = by_op.get(op) else {
+                continue;
+            };
+            let norm = normalized_performance(case_lats, &SYSTEMS);
+            let mut row = vec![op.to_string()];
+            for sys in SYSTEMS {
+                row.push(format!("{:.3}", norm[sys]));
+            }
+            printer.row(&row);
+            if norm["Ansor"] > 0.0 {
+                alt_vs_ansor.push(norm["ALT"] / norm["Ansor"]);
+            }
+        }
+        println!(
+            "ALT vs Ansor geomean speedup on {}: {:.2}x (paper: 1.4-1.6x)",
+            profile.name,
+            alt_bench::geomean(&alt_vs_ansor)
+        );
+    }
+
+    if report_ot && !ot_observations.is_empty() {
+        println!("\n§7.3.5: tuned ot vs platform vector lanes");
+        let mut counts: HashMap<(i64, u32), usize> = HashMap::new();
+        for (_, ot, lanes) in &ot_observations {
+            *counts.entry((*ot, *lanes)).or_default() += 1;
+        }
+        let mut rows: Vec<_> = counts.into_iter().collect();
+        rows.sort_by_key(|((ot, lanes), _)| (*lanes, *ot));
+        for ((ot, lanes), n) in rows {
+            println!(
+                "  ot = {ot:4} (lanes {lanes:2}, ratio {:.1}): {n} cases",
+                ot as f64 / lanes as f64
+            );
+        }
+    }
+    write_json("fig09", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,158 @@
+//! Figure 10: end-to-end inference performance.
+//!
+//! Five networks (ResNet-18, MobileNet-V2, BERT-base, BERT-tiny,
+//! ResNet3D-18) compiled by a hardware-specific vendor compiler
+//! (OpenVINO / TensorRT / Torch), AutoTVM-like, Ansor-like, ALT, and the
+//! two ablations ALT-OL (loop-only on channels-last) and ALT-WP
+//! (propagation without fusion alignment), on the three platform
+//! profiles. Latencies are printed in milliseconds above each normalized
+//! bar, as in the paper.
+//!
+//! Environment: `ALT_BUDGET_SCALE` scales the per-network budget
+//! (default 600; paper 20000). `ALT_FIG10_MODELS` restricts to a
+//! comma-separated subset (e.g. `R18,MV2`).
+
+use std::collections::HashMap;
+
+use alt_autotune::tune_graph;
+use alt_autotune::tuner::TuneConfig;
+use alt_baselines::{alt_ol, alt_wp, ansor_like, autotvm_like, vendor_plan};
+use alt_bench::{normalized_performance, scaled, write_json, TablePrinter};
+use alt_layout::PropagationMode;
+use alt_models::{bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d_18};
+use alt_sim::{MachineKind, MachineProfile};
+use alt_tensor::Graph;
+
+const SYSTEMS: [&str; 6] = ["VendorC", "AutoTVM", "Ansor", "ALT", "ALT-OL", "ALT-WP"];
+
+fn alt_full_e2e(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) -> f64 {
+    // Paper split: 8000/12000 of 20000 => 40%/60%.
+    let joint = (budget as f64 * 0.4) as u64;
+    let cfg = TuneConfig {
+        joint_budget: joint,
+        loop_budget: budget - joint,
+        mode: PropagationMode::Full,
+        free_input_layouts: false,
+        seed,
+        ..TuneConfig::default()
+    };
+    tune_graph(graph, profile, cfg).latency
+}
+
+fn workloads(profile: &MachineProfile) -> Vec<(String, Graph)> {
+    let filter: Option<Vec<String>> = std::env::var("ALT_FIG10_MODELS")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_uppercase()).collect());
+    let keep = |name: &str| {
+        filter
+            .as_ref()
+            .map(|f| f.iter().any(|m| name.to_uppercase().starts_with(m)))
+            .unwrap_or(true)
+    };
+    let mut out: Vec<(String, Graph)> = Vec::new();
+    match profile.name {
+        // Paper Fig. 10a: Intel CPU, batch 1 and 16 (R3D only b1).
+        "intel-cpu" => {
+            for b in [1i64, 16] {
+                out.push((format!("R18-b{b}"), resnet18(b)));
+                out.push((format!("MV2-b{b}"), mobilenet_v2(b)));
+                out.push((format!("BB-b{b}"), bert_base(b)));
+            }
+            out.push(("R3D-b1".into(), resnet3d_18(1)));
+        }
+        // Fig. 10b: NVIDIA GPU, batch 1 and 16 including R3D-b16.
+        "nvidia-gpu" => {
+            for b in [1i64, 16] {
+                out.push((format!("R18-b{b}"), resnet18(b)));
+                out.push((format!("MV2-b{b}"), mobilenet_v2(b)));
+                out.push((format!("BB-b{b}"), bert_base(b)));
+                out.push((format!("R3D-b{b}"), resnet3d_18(b)));
+            }
+        }
+        // Fig. 10c: ARM CPU, batch 1 only, BERT-tiny instead of base.
+        _ => {
+            out.push(("R18-b1".into(), resnet18(1)));
+            out.push(("MV2-b1".into(), mobilenet_v2(1)));
+            out.push(("BT-b1".into(), bert_tiny(1)));
+            out.push(("R3D-b1".into(), resnet3d_18(1)));
+        }
+    }
+    out.retain(|(n, _)| keep(n));
+    out
+}
+
+fn main() {
+    let budget = scaled(600);
+    println!("Fig. 10 reproduction: end-to-end inference (budget {budget}/network)");
+    let mut json = Vec::new();
+    for profile in alt_bench::platforms() {
+        let vendor_name = match (profile.kind, profile.name) {
+            (MachineKind::Cpu, "intel-cpu") => "OpenVINO-like",
+            (MachineKind::Gpu, _) => "TensorRT-like",
+            _ => "Torch-like",
+        };
+        println!("\n## {} (VendorC = {vendor_name})", profile.name);
+        let mut headers = vec!["network"];
+        headers.extend(SYSTEMS);
+        let printer = TablePrinter::new(&headers, &[10, 12, 12, 12, 12, 12, 12]);
+        let mut per_case: Vec<HashMap<String, f64>> = Vec::new();
+        let mut names = Vec::new();
+        for (name, g) in workloads(&profile) {
+            let mut lats: HashMap<String, f64> = HashMap::new();
+            // Vendor graph compiler: ARM Torch runs eager (no fusion).
+            let fuse = profile.name != "arm-cpu";
+            let (vp, vs) = vendor_plan(&g, &profile, fuse);
+            let m = alt_autotune::Measurer::new(&g, profile);
+            lats.insert("VendorC".into(), m.measure_graph_free(&vp, &vs));
+            lats.insert(
+                "AutoTVM".into(),
+                autotvm_like(&g, profile, budget, 1).latency,
+            );
+            lats.insert("Ansor".into(), ansor_like(&g, profile, budget, 1).latency);
+            lats.insert("ALT".into(), alt_full_e2e(&g, profile, budget, 1));
+            lats.insert("ALT-OL".into(), alt_ol(&g, profile, budget, 1).latency);
+            let joint = (budget as f64 * 0.4) as u64;
+            lats.insert(
+                "ALT-WP".into(),
+                alt_wp(&g, profile, joint, budget - joint, 1).latency,
+            );
+            let mut row = vec![name.clone()];
+            for sys in SYSTEMS {
+                row.push(format!("{:.2}ms", lats[sys] * 1e3));
+            }
+            printer.row(&row);
+            json.push(serde_json::json!({
+                "platform": profile.name,
+                "network": name,
+                "latencies_ms": lats.iter().map(|(k, v)| (k.clone(), v * 1e3)).collect::<HashMap<_, _>>(),
+            }));
+            per_case.push(lats);
+            names.push(name);
+        }
+        if per_case.is_empty() {
+            println!("(no workloads selected on this platform)");
+            continue;
+        }
+        printer.rule();
+        let norm = normalized_performance(&per_case, &SYSTEMS);
+        let mut row = vec!["norm.".to_string()];
+        for sys in SYSTEMS {
+            row.push(format!("{:.3}", norm[sys]));
+        }
+        printer.row(&row);
+        let speedup = |a: &str, b: &str| {
+            let ratios: Vec<f64> = per_case.iter().map(|c| c[b] / c[a]).collect();
+            alt_bench::geomean(&ratios)
+        };
+        println!(
+            "ALT speedup on {}: vs Ansor {:.2}x (paper ~1.4x), vs {vendor_name} {:.2}x, \
+             vs ALT-OL {:.2}x, vs ALT-WP {:.2}x",
+            profile.name,
+            speedup("ALT", "Ansor"),
+            speedup("ALT", "VendorC"),
+            speedup("ALT", "ALT-OL"),
+            speedup("ALT", "ALT-WP"),
+        );
+    }
+    write_json("fig10", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,130 @@
+//! Figure 11: layout-search efficiency of Random vs PPO (with and
+//! without pretraining).
+//!
+//! The workload is the first C2D of ResNet-18 (N=1, I=3, H=W=230, O=64,
+//! KH=KW=7, stride 2) on the Intel CPU profile. We run the joint tuner
+//! with each search method and plot best-latency-so-far against the
+//! measurement budget.
+
+use alt_autotune::tuner::{LayoutSearch, TuneConfig};
+use alt_autotune::{pretrain_ppo, tune_graph};
+use alt_bench::{scaled, write_json, TablePrinter};
+use alt_sim::intel_cpu;
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+fn workload() -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 3, 230, 230]));
+    let w = g.add_param("w", Shape::new([64, 3, 7, 7]));
+    let _ = ops::conv2d(&mut g, x, w, ConvCfg::strided(2));
+    g
+}
+
+/// Best-so-far curve sampled at fixed budget points.
+fn curve(history: &[(u64, f64)], points: &[u64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut i = 0;
+    for &p in points {
+        while i < history.len() && history[i].0 <= p {
+            best = best.min(history[i].1);
+            i += 1;
+        }
+        out.push(best);
+    }
+    out
+}
+
+fn main() {
+    let budget = scaled(300);
+    println!("Fig. 11 reproduction: layout tuning efficiency (budget {budget})");
+    let g = workload();
+
+    let base = TuneConfig {
+        joint_budget: budget,
+        loop_budget: 0,
+        free_input_layouts: true,
+        seed: 17,
+        // Compare raw explorers: no seeded template points.
+        seed_candidates: false,
+        ..TuneConfig::default()
+    };
+
+    println!("pretraining PPO on the C2D/GMM workload set...");
+    let weights = pretrain_ppo(intel_cpu(), 48, 99);
+
+    let runs: Vec<(&str, TuneConfig)> = vec![
+        (
+            "Random",
+            TuneConfig {
+                layout_search: LayoutSearch::Random,
+                ..base.clone()
+            },
+        ),
+        (
+            "PPO-woPret",
+            TuneConfig {
+                layout_search: LayoutSearch::Ppo,
+                ..base.clone()
+            },
+        ),
+        (
+            "PPO-Pret",
+            TuneConfig {
+                layout_search: LayoutSearch::Ppo,
+                pretrained: Some(weights),
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let points: Vec<u64> = (1..=10).map(|i| i * budget / 10).collect();
+    let mut curves = Vec::new();
+    for (name, cfg) in &runs {
+        let r = tune_graph(&g, intel_cpu(), cfg.clone());
+        let c = curve(&r.history, &points);
+        println!(
+            "{name:12}: final best {:.1} us after {} measurements",
+            c.last().unwrap() * 1e6,
+            r.measurements
+        );
+        curves.push((name.to_string(), c));
+    }
+
+    println!("\nbest-so-far latency (us) vs budget:");
+    let mut headers = vec!["budget"];
+    for (n, _) in &curves {
+        headers.push(n);
+    }
+    let printer = TablePrinter::new(&headers, &[8, 12, 12, 12]);
+    for (i, p) in points.iter().enumerate() {
+        let mut row = vec![p.to_string()];
+        for (_, c) in &curves {
+            row.push(format!("{:.1}", c[i] * 1e6));
+        }
+        printer.row(&row);
+    }
+
+    let fin = |name: &str| {
+        curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c.last().unwrap())
+            .unwrap()
+    };
+    let (r, wo, pre) = (fin("Random"), fin("PPO-woPret"), fin("PPO-Pret"));
+    println!(
+        "\nPPO-Pret vs Random: {:.2}x better final latency (paper: 1.2x with 2x less budget); \
+         PPO-Pret vs PPO-woPret: {:.2}x",
+        r / pre,
+        wo / pre
+    );
+    write_json(
+        "fig11",
+        &serde_json::json!({
+            "points": points,
+            "curves": curves.iter().map(|(n, c)| (n.clone(), c.clone())).collect::<std::collections::HashMap<_, _>>(),
+        }),
+    );
+}

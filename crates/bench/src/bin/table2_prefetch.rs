@@ -1,0 +1,83 @@
+//! Table 2: profiled L1 data cache misses — layout tiling vs loop tiling
+//! under hardware prefetching.
+//!
+//! Two functions load the same `512 x W` f32 block with NEON-width
+//! accesses on a Cortex-A76-like L1 (64 B lines, ~4 lines fetched per
+//! miss event):
+//!
+//! * **first function (layout tiling)** — the block's elements are stored
+//!   contiguously, so the prefetcher's next-lines fetches are all useful;
+//! * **second function (loop tiling)** — the block is a `512 x W` window
+//!   of a larger row-major matrix, so each row sits far from the next and
+//!   prefetched lines are wasted.
+//!
+//! The prediction column reproduces the paper's calculation
+//! `rows*W / (16 * 4)` (16 floats per line, 4 lines per miss event).
+
+use alt_bench::{write_json, TablePrinter};
+use alt_sim::CacheSim;
+
+const ROWS: u64 = 512;
+const LINE: u64 = 64;
+const PREFETCH: u32 = 4;
+/// Row stride (floats) of the large matrix the loop-tiling case reads.
+const BIG_ROW: u64 = 1024;
+
+fn run_layout_tiling(w: u64) -> u64 {
+    // Contiguous storage: element (r, c) at linear offset r*w + c.
+    let mut sim = CacheSim::with_geometry(64 * 1024, LINE, 4, PREFETCH);
+    for r in 0..ROWS {
+        for c in 0..w {
+            sim.access((r * w + c) * 4);
+        }
+    }
+    sim.stats().misses
+}
+
+fn run_loop_tiling(w: u64) -> u64 {
+    // Row-major window of a larger matrix: element (r, c) at r*BIG_ROW + c.
+    let mut sim = CacheSim::with_geometry(64 * 1024, LINE, 4, PREFETCH);
+    for r in 0..ROWS {
+        for c in 0..w {
+            sim.access((r * BIG_ROW + c) * 4);
+        }
+    }
+    sim.stats().misses
+}
+
+fn main() {
+    println!("Table 2 reproduction: L1 miss events, layout tiling vs loop tiling");
+    println!("(L1: 64 KiB, 64 B lines, prefetch {PREFETCH} lines per miss event)\n");
+    let printer = TablePrinter::new(
+        &["tile size", "#L1-mis (1st F.)", "pred.", "#L1-mis (2nd F.)"],
+        &[12, 18, 8, 18],
+    );
+    let mut json = Vec::new();
+    for w in [4u64, 16, 64, 256] {
+        let layout = run_layout_tiling(w);
+        let pred = ROWS * w / (16 * PREFETCH as u64);
+        let loop_ = run_loop_tiling(w);
+        printer.row(&[
+            format!("512 x {w}"),
+            layout.to_string(),
+            pred.to_string(),
+            loop_.to_string(),
+        ]);
+        json.push(serde_json::json!({
+            "tile": format!("512x{w}"),
+            "layout_tiling_misses": layout,
+            "predicted": pred,
+            "loop_tiling_misses": loop_,
+        }));
+        assert!(
+            layout <= loop_,
+            "layout tiling must not miss more than loop tiling"
+        );
+    }
+    println!(
+        "\nPaper reference (Cortex-A76): 32/208, 96/262, 501/785, 2037/2952 — \
+         layout tiling consistently triggers ~4x fewer miss events because the \
+         prefetched neighbour lines are useful."
+    );
+    write_json("table2", &serde_json::Value::Array(json));
+}

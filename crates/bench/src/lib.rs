@@ -1,0 +1,358 @@
+//! Shared harness utilities for the per-figure/table benchmark binaries.
+//!
+//! Every binary prints the same rows/series as the corresponding paper
+//! figure or table and also writes a JSON record next to the text output
+//! when `ALT_BENCH_JSON` is set to a directory.
+//!
+//! Budgets default to scaled-down values so the full suite runs in
+//! minutes on a laptop; set `ALT_BUDGET_SCALE` (e.g. `5` or `0.5`) to
+//! re-scale all budgets toward (or beyond) the paper's settings.
+
+use std::collections::HashMap;
+
+use alt_sim::MachineProfile;
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-walk loop tuning of a single operator under a fixed layout
+/// plan: alternates neighbourhood walks around the incumbent with random
+/// restarts, measuring every candidate. Leaves `sched` holding the best
+/// schedule found and returns its latency.
+///
+/// This is the shared "loop-only tuning" primitive used by the Fig. 1,
+/// Fig. 12 and Table 3 harnesses (simpler and more transparent than the
+/// cost-model tuner, which those studies are not about).
+pub fn random_walk_loop_tune(
+    graph: &Graph,
+    plan: &alt_layout::LayoutPlan,
+    sched: &mut alt_loopir::GraphSchedule,
+    op: alt_tensor::OpId,
+    measurer: &mut alt_autotune::Measurer,
+    budget: u64,
+    seed: u64,
+) -> f64 {
+    use alt_autotune::space::{build_loop_space, decode_loop_point};
+    let space = build_loop_space(graph, plan, op);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = f64::INFINITY;
+    let mut best_p: Option<Vec<usize>> = None;
+    for i in 0..budget {
+        let p = match (&best_p, i % 2) {
+            (Some(bp), 0) => space.neighbor(bp, &mut rng),
+            _ => space.random_point(&mut rng),
+        };
+        let s = decode_loop_point(graph, plan, op, &space, &p);
+        let saved = sched.get(op);
+        sched.set(op, s);
+        let lat = measurer.measure_op(plan, sched, op);
+        if lat < best {
+            best = lat;
+            best_p = Some(p);
+        } else {
+            sched.set(op, saved);
+        }
+    }
+    best
+}
+
+/// Reads the global budget scale from `ALT_BUDGET_SCALE` (default 1.0).
+pub fn budget_scale() -> f64 {
+    std::env::var("ALT_BUDGET_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales a default budget by [`budget_scale`].
+pub fn scaled(budget: u64) -> u64 {
+    ((budget as f64) * budget_scale()).round().max(1.0) as u64
+}
+
+/// Formats a latency in adaptive units.
+pub fn fmt_latency(seconds: f64) -> String {
+    if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} us", seconds * 1e6)
+    }
+}
+
+/// A simple fixed-width table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer and prints the header row.
+    pub fn new(headers: &[&str], widths: &[usize]) -> Self {
+        let p = Self {
+            widths: widths.to_vec(),
+        };
+        p.row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        p.rule();
+        p
+    }
+
+    /// Prints one row.
+    pub fn row(&self, cells: &[String]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(self.widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+
+    /// Prints a horizontal rule.
+    pub fn rule(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + 2 * (self.widths.len() - 1);
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// Writes a JSON record if `ALT_BENCH_JSON` points at a directory.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    if let Ok(dir) = std::env::var("ALT_BENCH_JSON") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
+        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// One single-operator workload (paper §7.1).
+#[derive(Clone, Debug)]
+pub struct OperatorCase {
+    /// Operator family name (C2D, GRP, ...).
+    pub op: &'static str,
+    /// Configuration description.
+    pub config: String,
+    /// The graph containing exactly this operator.
+    pub graph: Graph,
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Builds a conv-family single-operator graph.
+#[allow(clippy::too_many_arguments)]
+fn conv_case(
+    op: &'static str,
+    n: i64,
+    i: i64,
+    o: i64,
+    hw: i64,
+    k: i64,
+    stride: i64,
+    groups: i64,
+    dilation: i64,
+) -> OperatorCase {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([n, i, hw, hw]));
+    let w = g.add_param("w", Shape::new([o, i / groups, k, k]));
+    let _ = ops::conv2d(
+        &mut g,
+        x,
+        w,
+        ConvCfg {
+            stride,
+            groups,
+            dilation,
+            ..ConvCfg::default()
+        },
+    );
+    OperatorCase {
+        op,
+        config: format!("n{n}_i{i}_o{o}_s{hw}_k{k}_st{stride}_g{groups}_d{dilation}"),
+        graph: g,
+    }
+}
+
+/// The nine layout-sensitive operator families of Fig. 9, with `count`
+/// random configurations each (deterministic in `seed`).
+pub fn single_op_cases(count: usize, seed: u64) -> Vec<OperatorCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::new();
+    // Sampling pools follow §7.1: batch in [1, 16], channels from a wide
+    // list, spatial sizes and kernel sizes from common settings. Sizes
+    // are kept divisor-friendly.
+    let batches = [1i64, 16];
+    let chans = [16i64, 32, 64, 128];
+    let spat = [16i64, 32, 64];
+    for _ in 0..count {
+        let n = pick(&mut rng, &batches);
+        let i = pick(&mut rng, &chans);
+        let o = pick(&mut rng, &chans);
+        let s = pick(&mut rng, &spat);
+        let k = pick(&mut rng, &[1i64, 3]);
+        let st = pick(&mut rng, &[1i64, 2]);
+        let hw = s + k - 1 + (s % st);
+        // C2D.
+        cases.push(conv_case("C2D", n, i, o, hw, k, st, 1, 1));
+        // Group-wise (4 groups).
+        let gi = (i / 4).max(1) * 4;
+        let go = (o / 4).max(1) * 4;
+        cases.push(conv_case("GRP", n, gi, go, hw, k, st, 4, 1));
+        // Dilated.
+        cases.push(conv_case("DIL", n, i, o, s + (k - 1) * 2 + 1, k, 1, 1, 2));
+        // Depth-wise.
+        cases.push(conv_case("DEP", n, i, i, hw, k, st, i, 1));
+        // C3D.
+        {
+            let mut g = Graph::new();
+            let d = 8 + k - 1;
+            let sp = s.min(32) + k - 1;
+            let x = g.add_input("x", Shape::new([n, i.min(32), d, sp, sp]));
+            let w = g.add_param("w", Shape::new([o.min(32), i.min(32), k, k, k]));
+            let _ = ops::conv3d(&mut g, x, w, ConvCfg::default());
+            cases.push(OperatorCase {
+                op: "C3D",
+                config: format!("n{n}_i{}_o{}_s{sp}_k{k}", i.min(32), o.min(32)),
+                graph: g,
+            });
+        }
+        // C1D.
+        {
+            let mut g = Graph::new();
+            let len = s * 8 + k - 1;
+            let x = g.add_input("x", Shape::new([n, i, len]));
+            let w = g.add_param("w", Shape::new([o, i, k]));
+            let _ = ops::conv1d(&mut g, x, w, ConvCfg::default());
+            cases.push(OperatorCase {
+                op: "C1D",
+                config: format!("n{n}_i{i}_o{o}_l{len}_k{k}"),
+                graph: g,
+            });
+        }
+        // GMM.
+        {
+            let mut g = Graph::new();
+            let m = pick(&mut rng, &[64i64, 128, 256]) * n.min(4);
+            let kk = pick(&mut rng, &[64i64, 128, 256]);
+            let nn = pick(&mut rng, &[64i64, 128, 256]);
+            let a = g.add_input("a", Shape::new([m, kk]));
+            let b = g.add_param("b", Shape::new([kk, nn]));
+            let _ = ops::gmm(&mut g, a, b);
+            cases.push(OperatorCase {
+                op: "GMM",
+                config: format!("m{m}_k{kk}_n{nn}"),
+                graph: g,
+            });
+        }
+        // T2D.
+        {
+            let mut g = Graph::new();
+            let sp = s.min(32);
+            let x = g.add_input("x", Shape::new([n, i, sp, sp]));
+            let w = g.add_param("w", Shape::new([i, o, k, k]));
+            let _ = ops::tconv2d(&mut g, x, w, st);
+            cases.push(OperatorCase {
+                op: "T2D",
+                config: format!("n{n}_i{i}_o{o}_s{sp}_k{k}_st{st}"),
+                graph: g,
+            });
+        }
+        // T3D.
+        {
+            let mut g = Graph::new();
+            let sp = 16;
+            let x = g.add_input("x", Shape::new([n, i.min(32), 4, sp, sp]));
+            let w = g.add_param("w", Shape::new([i.min(32), o.min(32), k, k, k]));
+            let _ = ops::tconv3d(&mut g, x, w, st);
+            cases.push(OperatorCase {
+                op: "T3D",
+                config: format!("n{n}_i{}_o{}_s{sp}_k{k}_st{st}", i.min(32), o.min(32)),
+                graph: g,
+            });
+        }
+    }
+    cases
+}
+
+/// Normalized performance: each case's latencies scaled so the *worst*
+/// system gets its speedup = 1, then geometric-mean per system (the
+/// paper's normalization for Figs. 9/10).
+pub fn normalized_performance(
+    per_case: &[HashMap<String, f64>],
+    systems: &[&str],
+) -> HashMap<String, f64> {
+    let mut speedups: HashMap<String, Vec<f64>> = HashMap::new();
+    for case in per_case {
+        let worst = case.values().cloned().fold(f64::MIN, f64::max);
+        for (sys, lat) in case {
+            speedups.entry(sys.clone()).or_default().push(worst / lat);
+        }
+    }
+    let best_mean = systems
+        .iter()
+        .filter_map(|s| speedups.get(*s).map(|v| geomean(v)))
+        .fold(f64::MIN, f64::max);
+    systems
+        .iter()
+        .map(|s| {
+            let m = speedups.get(*s).map(|v| geomean(v)).unwrap_or(0.0);
+            (s.to_string(), m / best_mean)
+        })
+        .collect()
+}
+
+/// Three-platform list used by most figures.
+pub fn platforms() -> Vec<MachineProfile> {
+    vec![
+        alt_sim::intel_cpu(),
+        alt_sim::nvidia_gpu(),
+        alt_sim::arm_cpu(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_cover_all_nine_ops() {
+        let cases = single_op_cases(1, 0);
+        let ops: std::collections::HashSet<_> = cases.iter().map(|c| c.op).collect();
+        for o in [
+            "C2D", "GRP", "DIL", "DEP", "C3D", "C1D", "GMM", "T2D", "T3D",
+        ] {
+            assert!(ops.contains(o), "missing {o}");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = single_op_cases(2, 7);
+        let b = single_op_cases(2, 7);
+        assert_eq!(
+            a.iter().map(|c| c.config.clone()).collect::<Vec<_>>(),
+            b.iter().map(|c| c.config.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_best_is_one() {
+        let mut case = HashMap::new();
+        case.insert("a".to_string(), 1.0);
+        case.insert("b".to_string(), 2.0);
+        let norm = normalized_performance(&[case], &["a", "b"]);
+        assert!((norm["a"] - 1.0).abs() < 1e-9);
+        assert!((norm["b"] - 0.5).abs() < 1e-9);
+    }
+}

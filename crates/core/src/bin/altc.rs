@@ -1,0 +1,176 @@
+//! `altc` — command-line driver for the ALT compiler.
+//!
+//! Compiles a model from the built-in zoo (or a named single operator)
+//! for one of the machine profiles and reports the tuning outcome.
+//!
+//! ```text
+//! altc --model r18 --platform intel --budget 400
+//! altc --model mv2 --platform gpu --budget 200 --json
+//! altc --model r18 --dot > r18.dot
+//! ```
+
+use alt_core::{CompileOptions, Compiler};
+use alt_models::{bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d_18};
+use alt_sim::{arm_cpu, intel_cpu, nvidia_gpu, MachineProfile};
+use alt_tensor::Graph;
+
+struct Args {
+    model: String,
+    platform: String,
+    budget: u64,
+    batch: i64,
+    seed: u64,
+    json: bool,
+    dot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        model: "r18".into(),
+        platform: "intel".into(),
+        budget: 300,
+        batch: 1,
+        seed: 0,
+        json: false,
+        dot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--model" | "-m" => args.model = value("--model")?,
+            "--platform" | "-p" => args.platform = value("--platform")?,
+            "--budget" | "-b" => {
+                args.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => args.json = true,
+            "--dot" => args.dot = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "altc — ALT deep-learning compiler (EuroSys '23 reproduction)
+
+USAGE:
+    altc [OPTIONS]
+
+OPTIONS:
+    -m, --model <NAME>       r18 | mv2 | bert-base | bert-tiny | r3d  [default: r18]
+    -p, --platform <NAME>    intel | gpu | arm                        [default: intel]
+    -b, --budget <N>         total tuning measurements                [default: 300]
+        --batch <N>          batch size                               [default: 1]
+        --seed <N>           tuning seed                              [default: 0]
+        --json               machine-readable output
+        --dot                print the model graph in DOT format and exit
+    -h, --help               this message"
+    );
+}
+
+fn build_model(name: &str, batch: i64) -> Result<Graph, String> {
+    Ok(match name {
+        "r18" | "resnet18" => resnet18(batch),
+        "mv2" | "mobilenetv2" => mobilenet_v2(batch),
+        "bert-base" | "bb" => bert_base(batch),
+        "bert-tiny" | "bt" => bert_tiny(batch),
+        "r3d" | "resnet3d" => resnet3d_18(batch),
+        other => return Err(format!("unknown model `{other}` (try --help)")),
+    })
+}
+
+fn build_platform(name: &str) -> Result<MachineProfile, String> {
+    Ok(match name {
+        "intel" | "cpu" => intel_cpu(),
+        "gpu" | "nvidia" => nvidia_gpu(),
+        "arm" => arm_cpu(),
+        other => return Err(format!("unknown platform `{other}` (try --help)")),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let graph = match build_model(&args.model, args.batch) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.dot {
+        print!("{}", alt_tensor::viz::to_dot(&graph));
+        return;
+    }
+    let profile = match build_platform(&args.platform) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let joint = (args.budget as f64 * 0.4) as u64;
+    let compiler = Compiler::new(profile).with_options(CompileOptions {
+        joint_budget: joint,
+        loop_budget: args.budget - joint,
+        seed: args.seed,
+        ..CompileOptions::default()
+    });
+
+    eprintln!(
+        "compiling {} (batch {}) for {} with budget {}...",
+        args.model, args.batch, profile.name, args.budget
+    );
+    let t0 = std::time::Instant::now();
+    let unopt = compiler.compile_unoptimized(&graph);
+    let compiled = compiler.compile(&graph);
+    let wall = t0.elapsed();
+
+    if args.json {
+        let record = serde_json::json!({
+            "model": args.model,
+            "platform": profile.name,
+            "batch": args.batch,
+            "budget": args.budget,
+            "measurements": compiled.measurements(),
+            "latency_ms": compiled.estimated_latency() * 1e3,
+            "unoptimized_latency_ms": unopt.estimated_latency() * 1e3,
+            "speedup": unopt.estimated_latency() / compiled.estimated_latency(),
+            "compile_wall_s": wall.as_secs_f64(),
+        });
+        println!("{}", serde_json::to_string_pretty(&record).unwrap());
+    } else {
+        print!("{}", compiled.report());
+        println!(
+            "\nunoptimized: {:.3} ms -> tuned: {:.3} ms ({:.2}x, compiled in {:.1?})",
+            unopt.estimated_latency() * 1e3,
+            compiled.estimated_latency() * 1e3,
+            unopt.estimated_latency() / compiled.estimated_latency(),
+            wall
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! ALT: a deep-learning compiler with joint graph-level data-layout and
+//! operator-level loop optimization (EuroSys '23 reproduction).
+//!
+//! This crate is the user-facing facade over the full stack:
+//!
+//! ```
+//! use alt_core::{Compiler, CompileOptions};
+//! use alt_sim::intel_cpu;
+//! use alt_tensor::{ops, ops::ConvCfg, Graph, Shape};
+//!
+//! // Describe a computation as a graph.
+//! let mut g = Graph::new();
+//! let x = g.add_input("x", Shape::new([1, 8, 18, 18]));
+//! let w = g.add_param("w", Shape::new([16, 8, 3, 3]));
+//! let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+//!
+//! // Compile with a small tuning budget.
+//! let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+//!     joint_budget: 16,
+//!     loop_budget: 16,
+//!     ..CompileOptions::default()
+//! });
+//! let compiled = compiler.compile(&g);
+//!
+//! // Execute it on real data and inspect the result.
+//! let inputs = alt_tensor::exec::random_bindings(&g, 0);
+//! let outputs = compiled.run(&inputs);
+//! assert_eq!(outputs[&y].shape().dims(), &[1, 16, 16, 16]);
+//! ```
+
+use std::collections::HashMap;
+
+use alt_autotune::tuner::{FixedLayout, LayoutSearch, TuneConfig};
+use alt_autotune::{tune_graph, PpoWeights};
+use alt_layout::{Layout, LayoutPlan, PropagationMode};
+use alt_loopir::{lower, run_program, GraphSchedule, Program};
+use alt_sim::{MachineProfile, Simulator};
+use alt_tensor::{Graph, NdBuf, TensorId};
+
+pub use alt_autotune::tuner::TuneResult;
+
+/// Compilation options (a curated surface over the tuner configuration).
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Measurement budget for the joint layout+loop stage.
+    pub joint_budget: u64,
+    /// Measurement budget for the loop-only stage.
+    pub loop_budget: u64,
+    /// Layout template tiling levels (1 or 2).
+    pub levels: u8,
+    /// Layout propagation mode.
+    pub propagation: PropagationMode,
+    /// Treat graph inputs as re-layoutable offline (single-operator
+    /// benchmarking); end-to-end compilation should leave this `false`.
+    pub free_input_layouts: bool,
+    /// Random seed (compilation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Pretrained PPO weights to warm-start the layout agents.
+    pub pretrained: Option<PpoWeights>,
+    /// Skip layout tuning and pin this layout family instead.
+    pub fixed_layout: Option<FixedLayout>,
+    /// Layout candidate generator (PPO or random).
+    pub layout_search: LayoutSearch,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            joint_budget: 300,
+            loop_budget: 700,
+            levels: 1,
+            propagation: PropagationMode::Full,
+            free_input_layouts: false,
+            seed: 0,
+            pretrained: None,
+            fixed_layout: None,
+            layout_search: LayoutSearch::Ppo,
+        }
+    }
+}
+
+/// The ALT compiler for one target machine.
+#[derive(Clone, Debug)]
+pub struct Compiler {
+    profile: MachineProfile,
+    options: CompileOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with default options.
+    pub fn new(profile: MachineProfile) -> Self {
+        Self {
+            profile,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Replaces the compilation options.
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The target machine profile.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// Compiles a graph: joint layout+loop auto-tuning followed by
+    /// lowering to an executable program.
+    pub fn compile(&self, graph: &Graph) -> CompiledGraph {
+        let o = &self.options;
+        let cfg = TuneConfig {
+            joint_budget: o.joint_budget,
+            loop_budget: o.loop_budget,
+            levels: o.levels,
+            mode: o.propagation,
+            free_input_layouts: o.free_input_layouts,
+            seed: o.seed,
+            pretrained: o.pretrained.clone(),
+            fixed_layout: o.fixed_layout,
+            layout_search: o.layout_search,
+            ..TuneConfig::default()
+        };
+        let result = tune_graph(graph, self.profile, cfg);
+        let program = lower(graph, &result.plan, &result.sched);
+        CompiledGraph {
+            graph: graph.clone(),
+            plan: result.plan.clone(),
+            sched: result.sched.clone(),
+            program,
+            estimated_latency: result.latency,
+            measurements: result.measurements,
+            history: result.history.clone(),
+        }
+    }
+
+    /// Compiles without any tuning: identity layouts, naive schedules.
+    /// Useful as a correctness reference and a "before" point.
+    pub fn compile_unoptimized(&self, graph: &Graph) -> CompiledGraph {
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let program = lower(graph, &plan, &sched);
+        let estimated_latency = Simulator::new(self.profile).measure(&program);
+        CompiledGraph {
+            graph: graph.clone(),
+            plan,
+            sched,
+            program,
+            estimated_latency,
+            measurements: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+/// A compiled, executable graph.
+#[derive(Clone, Debug)]
+pub struct CompiledGraph {
+    graph: Graph,
+    plan: LayoutPlan,
+    sched: GraphSchedule,
+    program: Program,
+    estimated_latency: f64,
+    measurements: u64,
+    history: Vec<(u64, f64)>,
+}
+
+impl CompiledGraph {
+    /// Executes the compiled program on logical input/parameter buffers,
+    /// returning logical buffers for every graph tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binding is missing or has the wrong shape.
+    pub fn run(&self, bindings: &HashMap<TensorId, NdBuf>) -> HashMap<TensorId, NdBuf> {
+        run_program(&self.program, &self.graph, &self.plan, bindings)
+    }
+
+    /// The model-estimated latency on the target machine (seconds).
+    pub fn estimated_latency(&self) -> f64 {
+        self.estimated_latency
+    }
+
+    /// Measurements spent during tuning.
+    pub fn measurements(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Tuning history: (budget used, measured latency).
+    pub fn history(&self) -> &[(u64, f64)] {
+        &self.history
+    }
+
+    /// The layout chosen for a tensor.
+    pub fn layout_of(&self, tensor: TensorId) -> Layout {
+        self.plan.layout_of(&self.graph, tensor)
+    }
+
+    /// The final layout plan.
+    pub fn plan(&self) -> &LayoutPlan {
+        &self.plan
+    }
+
+    /// The final schedules.
+    pub fn schedule(&self) -> &GraphSchedule {
+        &self.sched
+    }
+
+    /// The lowered program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Full performance-counter profile on the target machine.
+    pub fn profile_counters(&self, profile: MachineProfile) -> alt_sim::Counters {
+        Simulator::new(profile).profile_counters(&self.program)
+    }
+
+    /// A human-readable compilation report: per-tensor layouts and
+    /// per-group fusion structure.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "estimated latency: {:.3} ms ({} measurements)\n",
+            self.estimated_latency * 1e3,
+            self.measurements
+        ));
+        out.push_str("layouts:\n");
+        for (k, t) in self.graph.tensors().iter().enumerate() {
+            let l = self.plan.layout_of(&self.graph, TensorId(k));
+            if !l.is_identity() {
+                out.push_str(&format!("  {}: {}\n", t.name, l));
+            }
+        }
+        out.push_str("groups:\n");
+        for g in &self.program.groups {
+            out.push_str(&format!("  {}\n", g.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_sim::intel_cpu;
+    use alt_tensor::exec::{random_bindings, run_graph};
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::Shape;
+
+    fn sample_graph() -> (Graph, TensorId) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 18, 18]));
+        let w = g.add_param("w", Shape::new([16, 8, 3, 3]));
+        let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let b = g.add_param("b", Shape::new([16]));
+        let ba = ops::bias_add(&mut g, c, b, 1);
+        let r = ops::relu(&mut g, ba);
+        (g, r)
+    }
+
+    #[test]
+    fn compiled_graph_matches_reference_execution() {
+        let (g, out) = sample_graph();
+        let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+            joint_budget: 16,
+            loop_budget: 16,
+            free_input_layouts: true,
+            seed: 3,
+            ..CompileOptions::default()
+        });
+        let compiled = compiler.compile(&g);
+        let bindings = random_bindings(&g, 0);
+        let got = compiled.run(&bindings);
+        let want = run_graph(&g, &bindings);
+        let diff = want[out.0].max_abs_diff(&got[&out]);
+        assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    #[test]
+    fn tuned_beats_unoptimized() {
+        let (g, _) = sample_graph();
+        let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+            joint_budget: 24,
+            loop_budget: 24,
+            free_input_layouts: true,
+            seed: 5,
+            ..CompileOptions::default()
+        });
+        let tuned = compiler.compile(&g);
+        let unopt = compiler.compile_unoptimized(&g);
+        assert!(tuned.estimated_latency() < unopt.estimated_latency());
+    }
+
+    #[test]
+    fn report_mentions_layouts_and_groups() {
+        let (g, _) = sample_graph();
+        let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+            joint_budget: 8,
+            loop_budget: 8,
+            free_input_layouts: true,
+            ..CompileOptions::default()
+        });
+        let compiled = compiler.compile(&g);
+        let report = compiled.report();
+        assert!(report.contains("estimated latency"));
+        assert!(report.contains("groups:"));
+    }
+}

@@ -1,0 +1,494 @@
+//! Common layout constructors used throughout the paper's evaluation.
+//!
+//! Logical dimension order for convolution tensors is `N, C, spatial...`
+//! (i.e. the paper's `NOHW` for a C2D output), so e.g. `NHWO` is the
+//! physical permutation `[0, 2, 3, 1]`.
+
+use crate::primitives::{Layout, LayoutError, LayoutPrim};
+use alt_tensor::Shape;
+
+/// Pure permutation layout.
+pub fn permuted(shape: Shape, perm: &[usize]) -> Result<Layout, LayoutError> {
+    Layout::identity(shape).with(LayoutPrim::Reorder {
+        perm: perm.to_vec(),
+    })
+}
+
+/// `NOHW` (identity for our logical order).
+pub fn nohw(shape: Shape) -> Layout {
+    Layout::identity(shape)
+}
+
+/// `NHWO`: channels-last for 4-d tensors.
+pub fn nhwo(shape: Shape) -> Result<Layout, LayoutError> {
+    permuted(shape, &[0, 2, 3, 1])
+}
+
+/// `HWON`: DSP-style layout for 4-d tensors.
+pub fn hwon(shape: Shape) -> Result<Layout, LayoutError> {
+    permuted(shape, &[2, 3, 1, 0])
+}
+
+/// `NDHWO`: channels-last for 5-d tensors.
+pub fn ndhwo(shape: Shape) -> Result<Layout, LayoutError> {
+    permuted(shape, &[0, 2, 3, 4, 1])
+}
+
+/// `NWO`: channels-last for 3-d tensors.
+pub fn nwo(shape: Shape) -> Result<Layout, LayoutError> {
+    permuted(shape, &[0, 2, 1])
+}
+
+/// Channels-last for any rank >= 3 (`N, spatial..., C`).
+pub fn channels_last(shape: Shape) -> Result<Layout, LayoutError> {
+    let nd = shape.ndim();
+    let mut perm = vec![0];
+    perm.extend(2..nd);
+    perm.push(1);
+    permuted(shape, &perm)
+}
+
+/// `N (C/ct) spatial... ct`: NeoCPU-style tiled channel layout (the
+/// paper's `N O/ot H W ot`). Works for any rank with channels at dim 1.
+pub fn channel_tiled(shape: Shape, ct: i64) -> Result<Layout, LayoutError> {
+    let c = shape.dim(1);
+    if ct <= 0 || c % ct != 0 {
+        return Err(LayoutError::BadFactors {
+            factors: vec![c / ct.max(1), ct],
+            dim_size: c,
+        });
+    }
+    let nd = shape.ndim();
+    let l = Layout::identity(shape).with(LayoutPrim::Split {
+        dim: 1,
+        factors: vec![c / ct, ct],
+    })?;
+    // [N, C/ct, ct, S...] -> [N, C/ct, S..., ct]
+    let mut perm = vec![0, 1];
+    perm.extend(3..nd + 1);
+    perm.push(2);
+    l.with(LayoutPrim::Reorder { perm })
+}
+
+/// The paper's §5.1 C2D *output* template:
+/// `N (H/ht) (W/wt) (O/ot) ht wt ot`.
+pub fn c2d_output_tiled(shape: Shape, ht: i64, wt: i64, ot: i64) -> Result<Layout, LayoutError> {
+    let (o, h, w) = (shape.dim(1), shape.dim(2), shape.dim(3));
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 1,
+            factors: vec![o / ot, ot],
+        })?
+        // [N, O/ot, ot, H, W]
+        .with(LayoutPrim::Split {
+            dim: 3,
+            factors: vec![h / ht, ht],
+        })?
+        // [N, O/ot, ot, H/ht, ht, W]
+        .with(LayoutPrim::Split {
+            dim: 5,
+            factors: vec![w / wt, wt],
+        })?;
+    // [N, O/ot, ot, H/ht, ht, W/wt, wt] -> [N, H/ht, W/wt, O/ot, ht, wt, ot]
+    l.with(LayoutPrim::Reorder {
+        perm: vec![0, 3, 5, 1, 4, 6, 2],
+    })
+}
+
+/// The paper's §5.1 C2D *input* template:
+/// `N (tiles_h) (tiles_w) (I/it) Bh Bw it` with overlapped spatial tiles of
+/// size `B = (ht-1)*stride + window` advancing by `S = ht*stride`, so that
+/// one output tile's halo region is stored contiguously (Fig. 2).
+///
+/// `window` is the dilated kernel extent `(K-1)*dilation + 1`.
+pub fn c2d_input_tiled(
+    shape: Shape,
+    it: i64,
+    ht: i64,
+    wt: i64,
+    stride: i64,
+    window_h: i64,
+    window_w: i64,
+) -> Result<Layout, LayoutError> {
+    let i = shape.dim(1);
+    let bh = (ht - 1) * stride + window_h;
+    let bw = (wt - 1) * stride + window_w;
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 1,
+            factors: vec![i / it, it],
+        })?
+        // [N, I/it, it, H, W]
+        .with(LayoutPrim::Unfold {
+            dim: 3,
+            tile: bh,
+            stride: ht * stride,
+        })?
+        // [N, I/it, it, Th, Bh, W]
+        .with(LayoutPrim::Unfold {
+            dim: 5,
+            tile: bw,
+            stride: wt * stride,
+        })?;
+    // [N, I/it, it, Th, Bh, Tw, Bw] -> [N, Th, Tw, I/it, Bh, Bw, it]
+    l.with(LayoutPrim::Reorder {
+        perm: vec![0, 3, 5, 1, 4, 6, 2],
+    })
+}
+
+/// The paper's §5.1 C2D *weight* template:
+/// `(O/ot') (I/it') KH KW it' ot'` for logical `[O, I, KH, KW]`.
+pub fn c2d_weight_tiled(shape: Shape, it: i64, ot: i64) -> Result<Layout, LayoutError> {
+    let (o, i) = (shape.dim(0), shape.dim(1));
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 0,
+            factors: vec![o / ot, ot],
+        })?
+        // [O/ot, ot, I, KH, KW]
+        .with(LayoutPrim::Split {
+            dim: 2,
+            factors: vec![i / it, it],
+        })?;
+    // [O/ot, ot, I/it, it, KH, KW] -> [O/ot, I/it, KH, KW, it, ot]
+    l.with(LayoutPrim::Reorder {
+        perm: vec![0, 2, 4, 5, 3, 1],
+    })
+}
+
+/// 2-d transpose (the paper's `NK` layout for the GMM weight `B`).
+pub fn transposed2d(shape: Shape) -> Result<Layout, LayoutError> {
+    permuted(shape, &[1, 0])
+}
+
+/// The paper's §5.1 GMM template `(R/rt) (C/ct) rt ct` for a 2-d matrix
+/// (`M/mt N/nt mt nt` for `C`, `M/mt K/kt mt kt` for `A`, `K/kt N/nt kt nt`
+/// for `B` — the `NKn` family).
+pub fn gmm_tiled(shape: Shape, rt: i64, ct: i64) -> Result<Layout, LayoutError> {
+    let (r, c) = (shape.dim(0), shape.dim(1));
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 0,
+            factors: vec![r / rt, rt],
+        })?
+        // [R/rt, rt, C]
+        .with(LayoutPrim::Split {
+            dim: 2,
+            factors: vec![c / ct, ct],
+        })?;
+    // [R/rt, rt, C/ct, ct] -> [R/rt, C/ct, rt, ct]
+    l.with(LayoutPrim::Reorder {
+        perm: vec![0, 2, 1, 3],
+    })
+}
+
+/// N-dimensional §5.1 convolution *output* template:
+/// `N (S1/t1) .. (Sd/td) (O/ot) t1 .. td ot` for logical `[N, O, S1..Sd]`.
+pub fn conv_output_tiled_nd(shape: Shape, tiles: &[i64], ot: i64) -> Result<Layout, LayoutError> {
+    let d = shape.ndim() - 2;
+    assert_eq!(tiles.len(), d, "one tile per spatial dim");
+    let o = shape.dim(1);
+    let mut l = Layout::identity(shape.clone()).with(LayoutPrim::Split {
+        dim: 1,
+        factors: vec![o / ot, ot],
+    })?;
+    // [N, O/ot, ot, S1..Sd]
+    for (k, &t) in tiles.iter().enumerate() {
+        let dim = 3 + 2 * k;
+        let s = shape.dim(2 + k);
+        l = l.with(LayoutPrim::Split {
+            dim,
+            factors: vec![s / t, t],
+        })?;
+    }
+    // [N, O/ot, ot, S1/t1, t1, .., Sd/td, td]
+    // -> [N, S1/t1, .., Sd/td, O/ot, t1, .., td, ot]
+    let mut perm = vec![0usize];
+    for k in 0..d {
+        perm.push(3 + 2 * k);
+    }
+    perm.push(1);
+    for k in 0..d {
+        perm.push(4 + 2 * k);
+    }
+    perm.push(2);
+    l.with(LayoutPrim::Reorder { perm })
+}
+
+/// N-dimensional §5.1 convolution *input* template with overlapped
+/// spatial tiles: `N T1..Td (I/it) B1..Bd it` for logical `[N, I, S1..Sd]`.
+///
+/// Tile `k` has size `B = (t_k - 1) * stride + window_k` and advances by
+/// `S = t_k * stride` so each output tile's halo is contiguous (Fig. 2).
+pub fn conv_input_tiled_nd(
+    shape: Shape,
+    it: i64,
+    tiles: &[i64],
+    strides: &[i64],
+    windows: &[i64],
+) -> Result<Layout, LayoutError> {
+    let d = shape.ndim() - 2;
+    assert_eq!(tiles.len(), d, "one tile per spatial dim");
+    assert_eq!(windows.len(), d, "one window per spatial dim");
+    assert_eq!(strides.len(), d, "one stride per spatial dim");
+    let i = shape.dim(1);
+    let mut l = Layout::identity(shape).with(LayoutPrim::Split {
+        dim: 1,
+        factors: vec![i / it, it],
+    })?;
+    // [N, I/it, it, S1..Sd]
+    for (k, (&t, &m)) in tiles.iter().zip(windows).enumerate() {
+        let dim = 3 + 2 * k;
+        let stride = strides[k];
+        let b = (t - 1) * stride + m;
+        l = l.with(LayoutPrim::Unfold {
+            dim,
+            tile: b,
+            stride: t * stride,
+        })?;
+    }
+    // [N, I/it, it, T1, B1, .., Td, Bd]
+    // -> [N, T1, .., Td, I/it, B1, .., Bd, it]
+    let mut perm = vec![0usize];
+    for k in 0..d {
+        perm.push(3 + 2 * k);
+    }
+    perm.push(1);
+    for k in 0..d {
+        perm.push(4 + 2 * k);
+    }
+    perm.push(2);
+    l.with(LayoutPrim::Reorder { perm })
+}
+
+/// N-dimensional §5.1 convolution *weight* template:
+/// `(O/ot) (I/it) K1..Kd it ot` for logical `[O, I, K1..Kd]`.
+pub fn conv_weight_tiled_nd(shape: Shape, it: i64, ot: i64) -> Result<Layout, LayoutError> {
+    let d = shape.ndim() - 2;
+    let (o, i) = (shape.dim(0), shape.dim(1));
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 0,
+            factors: vec![o / ot, ot],
+        })?
+        // [O/ot, ot, I, K..]
+        .with(LayoutPrim::Split {
+            dim: 2,
+            factors: vec![i / it, it],
+        })?;
+    // [O/ot, ot, I/it, it, K1..Kd] -> [O/ot, I/it, K1..Kd, it, ot]
+    let mut perm = vec![0usize, 2];
+    for k in 0..d {
+        perm.push(4 + k);
+    }
+    perm.push(3);
+    perm.push(1);
+    l.with(LayoutPrim::Reorder { perm })
+}
+
+/// Weight template for *transposed* convolutions (logical `[I, O, K..]`):
+/// `(I/it) (O/ot) K1..Kd it ot`.
+pub fn tconv_weight_tiled_nd(shape: Shape, it: i64, ot: i64) -> Result<Layout, LayoutError> {
+    let d = shape.ndim() - 2;
+    let (i, o) = (shape.dim(0), shape.dim(1));
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 0,
+            factors: vec![i / it, it],
+        })?
+        .with(LayoutPrim::Split {
+            dim: 2,
+            factors: vec![o / ot, ot],
+        })?;
+    // [I/it, it, O/ot, ot, K1..Kd] -> [I/it, O/ot, K1..Kd, it, ot]
+    let mut perm = vec![0usize, 2];
+    for k in 0..d {
+        perm.push(4 + k);
+    }
+    perm.push(1);
+    perm.push(3);
+    l.with(LayoutPrim::Reorder { perm })
+}
+
+/// Batched version of [`gmm_tiled`]: `B (R/rt) (C/ct) rt ct` for logical
+/// `[B, R, C]`.
+pub fn batch_gmm_tiled(shape: Shape, rt: i64, ct: i64) -> Result<Layout, LayoutError> {
+    let (r, c) = (shape.dim(1), shape.dim(2));
+    let l = Layout::identity(shape)
+        .with(LayoutPrim::Split {
+            dim: 1,
+            factors: vec![r / rt, rt],
+        })?
+        // [B, R/rt, rt, C]
+        .with(LayoutPrim::Split {
+            dim: 3,
+            factors: vec![c / ct, ct],
+        })?;
+    // [B, R/rt, rt, C/ct, ct] -> [B, R/rt, C/ct, rt, ct]
+    l.with(LayoutPrim::Reorder {
+        perm: vec![0, 1, 3, 2, 4],
+    })
+}
+
+/// Two-level n-dimensional convolution *output* template (Fig. 13):
+/// `N  S1/(m1 i1) .. Sd/(md id)  O/(om oi)  m1..md om  i1..id oi`.
+///
+/// `tiles_mid` and `tiles_in` are the second- and first-level tile sizes
+/// per spatial dim (`m_k`, `i_k`); `ot_mid`/`ot_in` tile the channels.
+pub fn conv_output_tiled2_nd(
+    shape: Shape,
+    tiles_mid: &[i64],
+    tiles_in: &[i64],
+    ot_mid: i64,
+    ot_in: i64,
+) -> Result<Layout, LayoutError> {
+    let d = shape.ndim() - 2;
+    assert_eq!(tiles_mid.len(), d);
+    assert_eq!(tiles_in.len(), d);
+    let o = shape.dim(1);
+    let mut l = Layout::identity(shape.clone()).with(LayoutPrim::Split {
+        dim: 1,
+        factors: vec![o / (ot_mid * ot_in), ot_mid, ot_in],
+    })?;
+    // [N, O/(om oi), om, oi, S1..Sd]
+    for k in 0..d {
+        let dim = 4 + 3 * k;
+        let s = shape.dim(2 + k);
+        let (m, i) = (tiles_mid[k], tiles_in[k]);
+        l = l.with(LayoutPrim::Split {
+            dim,
+            factors: vec![s / (m * i), m, i],
+        })?;
+    }
+    // [N, O0, O1, O2, S1_0, S1_1, S1_2, ..] ->
+    // [N, S*_0.., O0, S*_1.., O1, S*_2.., O2]
+    let mut perm = vec![0usize];
+    for k in 0..d {
+        perm.push(4 + 3 * k);
+    }
+    perm.push(1);
+    for k in 0..d {
+        perm.push(5 + 3 * k);
+    }
+    perm.push(2);
+    for k in 0..d {
+        perm.push(6 + 3 * k);
+    }
+    perm.push(3);
+    l.with(LayoutPrim::Reorder { perm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_tensor::NdBuf;
+
+    #[test]
+    fn nhwo_roundtrip() {
+        let s = Shape::new([2, 3, 4, 5]);
+        let l = nhwo(s.clone()).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[2, 4, 5, 3]);
+        let buf = NdBuf::from_fn(s, |i| i as f32);
+        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+    }
+
+    #[test]
+    fn channel_tiled_matches_neocpu_shape() {
+        let l = channel_tiled(Shape::new([1, 64, 7, 7]), 16).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[1, 4, 7, 7, 16]);
+    }
+
+    #[test]
+    fn channel_tiled_rejects_nondivisor() {
+        assert!(channel_tiled(Shape::new([1, 64, 7, 7]), 7).is_err());
+    }
+
+    #[test]
+    fn c2d_output_template_shape() {
+        let l = c2d_output_tiled(Shape::new([1, 64, 16, 16]), 4, 16, 16).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[1, 4, 1, 4, 4, 16, 16]);
+        let buf = NdBuf::from_fn(Shape::new([1, 64, 16, 16]), |i| (i % 97) as f32);
+        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+    }
+
+    #[test]
+    fn c2d_input_template_matches_fig2() {
+        // Fig. 2: stride 1, spatial halving, window KH: each input tile is
+        // H/2 + (KH - 1) with stride H/2.
+        let (h, kh) = (16, 3);
+        let ht = h / 2; // two output tiles; input H here is H + KH - 1
+        let in_h = h + kh - 1;
+        let l = c2d_input_tiled(
+            Shape::new([1, 8, in_h as i64, in_h as i64]),
+            8,
+            ht as i64,
+            ht as i64,
+            1,
+            kh as i64,
+            kh as i64,
+        )
+        .unwrap();
+        let dims = l.physical_shape();
+        // [N, Th, Tw, I/it, Bh, Bw, it]
+        assert_eq!(dims.dims()[1], 2);
+        assert_eq!(dims.dims()[4], (ht + kh - 1) as i64);
+        let buf = NdBuf::from_fn(Shape::new([1, 8, in_h as i64, in_h as i64]), |i| i as f32);
+        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+    }
+
+    #[test]
+    fn gmm_template_shape() {
+        let l = gmm_tiled(Shape::new([64, 128]), 16, 16).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[4, 8, 16, 16]);
+    }
+
+    #[test]
+    fn weight_template_shape() {
+        let l = c2d_weight_tiled(Shape::new([64, 32, 3, 3]), 8, 16).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[4, 4, 3, 3, 8, 16]);
+    }
+
+    #[test]
+    fn nd_templates_match_2d_shapes() {
+        let out2d = c2d_output_tiled(Shape::new([1, 64, 16, 16]), 4, 16, 16).unwrap();
+        let outnd = conv_output_tiled_nd(Shape::new([1, 64, 16, 16]), &[4, 16], 16).unwrap();
+        assert_eq!(out2d.physical_shape(), outnd.physical_shape());
+        let in2d = c2d_input_tiled(Shape::new([1, 8, 18, 18]), 8, 8, 8, 1, 3, 3).unwrap();
+        let innd =
+            conv_input_tiled_nd(Shape::new([1, 8, 18, 18]), 8, &[8, 8], &[1, 1], &[3, 3]).unwrap();
+        assert_eq!(in2d.physical_shape(), innd.physical_shape());
+        let w2d = c2d_weight_tiled(Shape::new([64, 32, 3, 3]), 8, 16).unwrap();
+        let wnd = conv_weight_tiled_nd(Shape::new([64, 32, 3, 3]), 8, 16).unwrap();
+        assert_eq!(w2d.physical_shape(), wnd.physical_shape());
+    }
+
+    #[test]
+    fn conv1d_3d_templates_roundtrip() {
+        let l = conv_output_tiled_nd(Shape::new([1, 8, 12]), &[4], 4).unwrap();
+        let buf = NdBuf::from_fn(Shape::new([1, 8, 12]), |i| i as f32);
+        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+        let l3 = conv_output_tiled_nd(Shape::new([1, 8, 4, 6, 6]), &[2, 3, 3], 4).unwrap();
+        let b3 = NdBuf::from_fn(Shape::new([1, 8, 4, 6, 6]), |i| (i % 31) as f32);
+        assert_eq!(l3.unpack(&l3.pack(&b3)).data(), b3.data());
+    }
+
+    #[test]
+    fn batch_gmm_template_shape() {
+        let l = batch_gmm_tiled(Shape::new([4, 32, 64]), 8, 16).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[4, 4, 4, 8, 16]);
+    }
+
+    #[test]
+    fn tconv_weight_template_shape() {
+        let l = tconv_weight_tiled_nd(Shape::new([32, 64, 3, 3]), 8, 16).unwrap();
+        assert_eq!(l.physical_shape().dims(), &[4, 4, 3, 3, 8, 16]);
+    }
+
+    #[test]
+    fn two_level_output_template_roundtrip() {
+        let l = conv_output_tiled2_nd(Shape::new([1, 32, 16, 16]), &[2, 2], &[4, 4], 2, 8).unwrap();
+        assert_eq!(l.physical_shape().numel(), 32 * 16 * 16);
+        let buf = NdBuf::from_fn(Shape::new([1, 32, 16, 16]), |i| (i % 251) as f32);
+        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+    }
+}

@@ -1,0 +1,1005 @@
+//! Data-layout primitives (paper §4.1).
+//!
+//! A [`Layout`] is a sequence of primitives applied to a tensor's logical
+//! shape. Primitives rewrite three things consistently:
+//!
+//! 1. the *physical shape* of the buffer,
+//! 2. symbolic *access expressions* (how consumers index the tensor —
+//!    Table 1 of the paper, plus Eq. 1 for `unfold`), and
+//! 3. the *inverse* mapping from physical loop variables back to logical
+//!    indices (how the producer of the tensor reconstructs its loop nest,
+//!    paper §6).
+//!
+//! Concrete (integer) index maps are derived from the symbolic rewrites by
+//! evaluating them on constant expressions, so there is a single source of
+//! truth for the transformation semantics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use alt_tensor::expr::Expr;
+use alt_tensor::op::Cond;
+use alt_tensor::{NdBuf, Shape};
+
+/// Errors from invalid primitive applications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// Dimension index out of range.
+    BadDim {
+        /// The offending dimension.
+        dim: usize,
+        /// Current number of dimensions.
+        ndim: usize,
+    },
+    /// `split` factors do not multiply to the dimension size.
+    BadFactors {
+        /// Requested factors.
+        factors: Vec<i64>,
+        /// Size of the dimension being split.
+        dim_size: i64,
+    },
+    /// `reorder` permutation is not a permutation of `0..ndim`.
+    BadPermutation(Vec<usize>),
+    /// `fuse` range is empty or out of bounds.
+    BadFuseRange {
+        /// First fused dimension.
+        start: usize,
+        /// Number of fused dimensions.
+        count: usize,
+        /// Current number of dimensions.
+        ndim: usize,
+    },
+    /// `unfold` parameters are invalid (`tile` must be in `1..=dim`,
+    /// `stride` in `1..=tile`).
+    BadUnfold {
+        /// Tile size.
+        tile: i64,
+        /// Tile stride.
+        stride: i64,
+        /// Size of the dimension being unfolded.
+        dim_size: i64,
+    },
+    /// `pad` amounts are negative.
+    BadPad,
+    /// The primitive sequence cannot be inverted at this point.
+    NotInvertible(&'static str),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadDim { dim, ndim } => {
+                write!(f, "dimension {dim} out of range for {ndim}-d layout")
+            }
+            LayoutError::BadFactors { factors, dim_size } => {
+                write!(
+                    f,
+                    "split factors {factors:?} do not cover dim of size {dim_size}"
+                )
+            }
+            LayoutError::BadPermutation(p) => write!(f, "invalid permutation {p:?}"),
+            LayoutError::BadFuseRange { start, count, ndim } => {
+                write!(
+                    f,
+                    "fuse range {start}+{count} out of bounds for {ndim} dims"
+                )
+            }
+            LayoutError::BadUnfold {
+                tile,
+                stride,
+                dim_size,
+            } => write!(
+                f,
+                "unfold(tile={tile}, stride={stride}) invalid for dim of size {dim_size}"
+            ),
+            LayoutError::BadPad => write!(f, "pad amounts must be non-negative"),
+            LayoutError::NotInvertible(what) => write!(f, "cannot invert: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// One data-layout primitive (paper Table 1 and §4.1.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutPrim {
+    /// Splits dimension `dim` into `factors` (all new sizes, outermost
+    /// first; their product must equal the dimension size).
+    Split {
+        /// Dimension to split.
+        dim: usize,
+        /// New dimension sizes, outermost first.
+        factors: Vec<i64>,
+    },
+    /// Permutes dimensions: new dimension `j` is old dimension `perm[j]`.
+    Reorder {
+        /// Permutation vector.
+        perm: Vec<usize>,
+    },
+    /// Fuses `count` consecutive dimensions starting at `start` into one.
+    Fuse {
+        /// First dimension of the fused range.
+        start: usize,
+        /// Number of dimensions to fuse (>= 2).
+        count: usize,
+    },
+    /// Overlapped tiling of dimension `dim` into `(num_tiles, tile)` where
+    /// consecutive tiles start `stride` elements apart (paper Fig. 2).
+    ///
+    /// Elements covered by several tiles are *duplicated* in memory.
+    Unfold {
+        /// Dimension to unfold.
+        dim: usize,
+        /// Tile size `B`.
+        tile: i64,
+        /// Tile stride `S` (`S <= B` gives overlap of `B - S`).
+        stride: i64,
+    },
+    /// Appends `after` (and prepends `before`) zero elements along `dim`,
+    /// e.g. to avoid GPU shared-memory bank conflicts.
+    Pad {
+        /// Dimension to pad.
+        dim: usize,
+        /// Elements prepended.
+        before: i64,
+        /// Elements appended.
+        after: i64,
+    },
+    /// Reserves one extra physical slot along `dim` so that another tensor
+    /// (e.g. a bias vector) can be stored inline (paper's `store_at`).
+    ///
+    /// Only valid on constant parameter tensors: the host's producer never
+    /// iterates the reserved slot, so this is rejected during lowering for
+    /// operator-produced tensors.
+    StoreAtHost {
+        /// Dimension that gains the guest slot.
+        dim: usize,
+    },
+}
+
+impl LayoutPrim {
+    fn check(&self, shape: &[i64]) -> Result<(), LayoutError> {
+        let ndim = shape.len();
+        match self {
+            LayoutPrim::Split { dim, factors } => {
+                if *dim >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                let prod: i64 = factors.iter().product();
+                if factors.len() < 2 || factors.iter().any(|&f| f <= 0) || prod != shape[*dim] {
+                    return Err(LayoutError::BadFactors {
+                        factors: factors.clone(),
+                        dim_size: shape[*dim],
+                    });
+                }
+                Ok(())
+            }
+            LayoutPrim::Reorder { perm } => {
+                let mut seen = vec![false; ndim];
+                if perm.len() != ndim {
+                    return Err(LayoutError::BadPermutation(perm.clone()));
+                }
+                for &p in perm {
+                    if p >= ndim || seen[p] {
+                        return Err(LayoutError::BadPermutation(perm.clone()));
+                    }
+                    seen[p] = true;
+                }
+                Ok(())
+            }
+            LayoutPrim::Fuse { start, count } => {
+                if *count < 2 || start + count > ndim {
+                    return Err(LayoutError::BadFuseRange {
+                        start: *start,
+                        count: *count,
+                        ndim,
+                    });
+                }
+                Ok(())
+            }
+            LayoutPrim::Unfold { dim, tile, stride } => {
+                if *dim >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                let d = shape[*dim];
+                if *tile < 1 || *tile > d || *stride < 1 || *stride > *tile {
+                    return Err(LayoutError::BadUnfold {
+                        tile: *tile,
+                        stride: *stride,
+                        dim_size: d,
+                    });
+                }
+                Ok(())
+            }
+            LayoutPrim::Pad { dim, before, after } => {
+                if *dim >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                if *before < 0 || *after < 0 {
+                    return Err(LayoutError::BadPad);
+                }
+                Ok(())
+            }
+            LayoutPrim::StoreAtHost { dim } => {
+                if *dim >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Shape after applying this primitive to `shape`.
+    fn apply_shape(&self, shape: &[i64]) -> Vec<i64> {
+        let mut out = shape.to_vec();
+        match self {
+            LayoutPrim::Split { dim, factors } => {
+                out.splice(*dim..=*dim, factors.iter().copied());
+            }
+            LayoutPrim::Reorder { perm } => {
+                out = perm.iter().map(|&p| shape[p]).collect();
+            }
+            LayoutPrim::Fuse { start, count } => {
+                let fused: i64 = shape[*start..start + count].iter().product();
+                out.splice(*start..start + count, [fused]);
+            }
+            LayoutPrim::Unfold { dim, tile, stride } => {
+                let d = shape[*dim];
+                let tiles = num_tiles(d, *tile, *stride);
+                out.splice(*dim..=*dim, [tiles, *tile]);
+            }
+            LayoutPrim::Pad { dim, before, after } => {
+                out[*dim] += before + after;
+            }
+            LayoutPrim::StoreAtHost { dim } => {
+                out[*dim] += 1;
+            }
+        }
+        out
+    }
+
+    /// Whether the primitive is "advanced" in the paper's sense, i.e. can
+    /// expand data (Algorithm 1, first constraint).
+    pub fn is_advanced(&self) -> bool {
+        matches!(
+            self,
+            LayoutPrim::Unfold { .. } | LayoutPrim::Pad { .. } | LayoutPrim::StoreAtHost { .. }
+        )
+    }
+}
+
+/// Number of tiles produced by `unfold`: `ceil((d - tile) / stride) + 1`.
+pub fn num_tiles(d: i64, tile: i64, stride: i64) -> i64 {
+    if d <= tile {
+        1
+    } else {
+        (d - tile + stride - 1) / stride + 1
+    }
+}
+
+/// Extents of index variables, used to recognize sliding-window access
+/// patterns (`V*i + r`) so `unfold` can apply the paper's Eq. 1.
+pub type VarExtents = HashMap<u32, i64>;
+
+/// Result of pattern-matching an access expression against `V*i + r`.
+struct WindowPattern {
+    /// The window-position subexpression `i`.
+    base: Expr,
+    /// Constant stride `V` multiplying the window position.
+    stride: i64,
+    /// The in-window offset subexpression `r` (already scaled by dilation).
+    offset: Expr,
+    /// Window extent `M` (max value of `r` plus one).
+    window: i64,
+}
+
+/// Tries to decompose `e` as `base * V + offset` where `offset` is a
+/// (possibly dilated) reduction variable with known extent.
+fn match_window(e: &Expr, extents: &VarExtents) -> Option<WindowPattern> {
+    // Accept `a + off` where `off` is `Var(r)` or `Var(r) * c`, and `a` is
+    // `Var(i)` or `Var(i) * V` or any expression not containing `r`.
+    let (a, off) = match e {
+        Expr::Bin(alt_tensor::expr::BinOp::Add, x, y) => (x.as_ref(), y.as_ref()),
+        _ => return None,
+    };
+    let (offset, window) = match off {
+        Expr::Var(r) => {
+            let m = *extents.get(&r.id())?;
+            (off.clone(), m)
+        }
+        Expr::Bin(alt_tensor::expr::BinOp::Mul, v, c) => match (v.as_ref(), c.as_ref()) {
+            (Expr::Var(r), Expr::Const(c)) if *c > 0 => {
+                let m = *extents.get(&r.id())?;
+                (off.clone(), (m - 1) * c + 1)
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let (base, stride) = match a {
+        Expr::Bin(alt_tensor::expr::BinOp::Mul, v, c) => match c.as_ref() {
+            Expr::Const(cv) if *cv > 0 => (v.as_ref().clone(), *cv),
+            _ => (a.clone(), 1),
+        },
+        _ => (a.clone(), 1),
+    };
+    Some(WindowPattern {
+        base,
+        stride,
+        offset,
+        window,
+    })
+}
+
+/// A data layout: a logical shape plus a primitive sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layout {
+    logical: Shape,
+    prims: Vec<LayoutPrim>,
+    /// Shape before each primitive; `shapes[i]` is the input of `prims[i]`
+    /// and `shapes[prims.len()]` is the physical shape.
+    shapes: Vec<Vec<i64>>,
+}
+
+impl Layout {
+    /// The identity layout for a logical shape.
+    pub fn identity(logical: Shape) -> Self {
+        let dims = logical.dims().to_vec();
+        Self {
+            logical,
+            prims: Vec::new(),
+            shapes: vec![dims],
+        }
+    }
+
+    /// Applies one primitive, validating it against the current shape.
+    pub fn apply(&mut self, prim: LayoutPrim) -> Result<(), LayoutError> {
+        let cur = self.shapes.last().expect("shape chain non-empty");
+        prim.check(cur)?;
+        let next = prim.apply_shape(cur);
+        self.prims.push(prim);
+        self.shapes.push(next);
+        Ok(())
+    }
+
+    /// Builder-style [`Layout::apply`].
+    pub fn with(mut self, prim: LayoutPrim) -> Result<Self, LayoutError> {
+        self.apply(prim)?;
+        Ok(self)
+    }
+
+    /// The logical shape this layout started from.
+    pub fn logical_shape(&self) -> &Shape {
+        &self.logical
+    }
+
+    /// The physical buffer shape.
+    pub fn physical_shape(&self) -> Shape {
+        Shape::new(self.shapes.last().expect("non-empty").clone())
+    }
+
+    /// The primitive sequence.
+    pub fn prims(&self) -> &[LayoutPrim] {
+        &self.prims
+    }
+
+    /// True when no primitives have been applied.
+    pub fn is_identity(&self) -> bool {
+        self.prims.is_empty()
+    }
+
+    /// True when the sequence contains a data-expanding (advanced)
+    /// primitive.
+    pub fn has_advanced(&self) -> bool {
+        self.prims.iter().any(|p| p.is_advanced())
+    }
+
+    /// Removes the most recent primitive (used by the inverse primitives
+    /// `fold`, `unpad` and `decouple_at`, which transform layouts back —
+    /// §4.1.2).
+    pub fn pop_prim(&mut self) -> Option<LayoutPrim> {
+        let p = self.prims.pop()?;
+        self.shapes.pop();
+        Some(p)
+    }
+
+    /// Inverse of [`LayoutPrim::Unfold`]: removes a trailing unfold.
+    pub fn fold(&mut self) -> Result<(), LayoutError> {
+        match self.prims.last() {
+            Some(LayoutPrim::Unfold { .. }) => {
+                self.pop_prim();
+                Ok(())
+            }
+            _ => Err(LayoutError::NotInvertible("last primitive is not unfold")),
+        }
+    }
+
+    /// Inverse of [`LayoutPrim::Pad`]: removes a trailing pad.
+    pub fn unpad(&mut self) -> Result<(), LayoutError> {
+        match self.prims.last() {
+            Some(LayoutPrim::Pad { .. }) => {
+                self.pop_prim();
+                Ok(())
+            }
+            _ => Err(LayoutError::NotInvertible("last primitive is not pad")),
+        }
+    }
+
+    /// Inverse of [`LayoutPrim::StoreAtHost`]: releases the guest slot.
+    pub fn decouple_at(&mut self) -> Result<(), LayoutError> {
+        match self.prims.last() {
+            Some(LayoutPrim::StoreAtHost { .. }) => {
+                self.pop_prim();
+                Ok(())
+            }
+            _ => Err(LayoutError::NotInvertible("last primitive is not store_at")),
+        }
+    }
+
+    /// Replicates this layout's primitive sequence onto another tensor of
+    /// the same logical shape (the propagation mechanism of §4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` differs from this layout's logical shape —
+    /// propagation is only defined for shape-equal tensors (Algorithm 1,
+    /// third constraint), which callers must check.
+    pub fn replicate_for(&self, logical: Shape) -> Layout {
+        assert_eq!(
+            self.logical, logical,
+            "layout propagation requires identical logical shapes"
+        );
+        self.clone()
+    }
+
+    /// Rewrites logical access expressions into physical access
+    /// expressions (consumer side; Table 1 and Eq. 1).
+    ///
+    /// `extents` provides variable extents so sliding-window accesses can
+    /// use the paper's Eq. 1 placement for unfolded dimensions; pass an
+    /// empty map to always use the generic (clamped) placement.
+    pub fn rewrite_access(&self, exprs: &[Expr], extents: &VarExtents) -> Vec<Expr> {
+        assert_eq!(
+            exprs.len(),
+            self.logical.ndim(),
+            "access rank mismatch for layout of {}",
+            self.logical
+        );
+        let mut cur: Vec<Expr> = exprs.to_vec();
+        for (prim, shape) in self.prims.iter().zip(self.shapes.iter()) {
+            cur = rewrite_forward(prim, shape, &cur, extents);
+        }
+        cur
+    }
+
+    /// Maps physical index expressions (producer loop variables) back to
+    /// logical index expressions, together with the validity conditions
+    /// under which the physical slot corresponds to a real element (false
+    /// for pad slots and unfold overhang).
+    pub fn inverse_access(&self, phys: &[Expr]) -> (Vec<Expr>, Vec<Cond>) {
+        assert_eq!(
+            phys.len(),
+            self.physical_shape().ndim(),
+            "physical rank mismatch"
+        );
+        let mut cur: Vec<Expr> = phys.to_vec();
+        let mut conds = Vec::new();
+        for (prim, shape) in self.prims.iter().zip(self.shapes.iter()).rev() {
+            cur = rewrite_inverse(prim, shape, &cur, &mut conds);
+        }
+        (cur, conds)
+    }
+
+    /// Maps a concrete logical index to its canonical physical index.
+    pub fn logical_to_physical(&self, idx: &[i64]) -> Vec<i64> {
+        let exprs: Vec<Expr> = idx.iter().map(|&i| Expr::c(i)).collect();
+        let out = self.rewrite_access(&exprs, &HashMap::new());
+        out.iter()
+            .map(|e| match e {
+                Expr::Const(v) => *v,
+                other => panic!("non-constant physical index {other}"),
+            })
+            .collect()
+    }
+
+    /// Maps a concrete physical index back to the logical index it holds,
+    /// or `None` for slots that hold no logical element (padding/overhang).
+    pub fn physical_to_logical(&self, idx: &[i64]) -> Option<Vec<i64>> {
+        let exprs: Vec<Expr> = idx.iter().map(|&i| Expr::c(i)).collect();
+        let (out, conds) = self.inverse_access(&exprs);
+        let env = alt_tensor::Env::new();
+        if !conds.iter().all(|c| c.eval(&env)) {
+            return None;
+        }
+        let log: Vec<i64> = out
+            .iter()
+            .map(|e| match e {
+                Expr::Const(v) => *v,
+                other => panic!("non-constant logical index {other}"),
+            })
+            .collect();
+        // Guard against overhang beyond the logical extent.
+        if log
+            .iter()
+            .zip(self.logical.dims())
+            .any(|(&i, &d)| i < 0 || i >= d)
+        {
+            return None;
+        }
+        Some(log)
+    }
+
+    /// Packs a logically-laid-out buffer into this physical layout.
+    ///
+    /// Physical slots with no logical element (padding, overhang) are
+    /// zero-filled; overlapped slots duplicate their logical element.
+    pub fn pack(&self, logical: &NdBuf) -> NdBuf {
+        assert_eq!(logical.shape(), &self.logical, "pack: shape mismatch");
+        let phys = self.physical_shape();
+        let mut out = NdBuf::zeros(phys.clone());
+        for pidx in phys.iter_indices() {
+            if let Some(lidx) = self.physical_to_logical(&pidx) {
+                out.set(&pidx, logical.get(&lidx));
+            }
+        }
+        out
+    }
+
+    /// Unpacks a physical buffer back to logical order using canonical
+    /// slots.
+    pub fn unpack(&self, physical: &NdBuf) -> NdBuf {
+        assert_eq!(
+            physical.shape(),
+            &self.physical_shape(),
+            "unpack: shape mismatch"
+        );
+        let mut out = NdBuf::zeros(self.logical.clone());
+        for lidx in self.logical.clone().iter_indices() {
+            let pidx = self.logical_to_physical(&lidx);
+            out.set(&lidx, physical.get(&pidx));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ->", self.logical)?;
+        for p in &self.prims {
+            match p {
+                LayoutPrim::Split { dim, factors } => write!(f, " split({dim}, {factors:?})")?,
+                LayoutPrim::Reorder { perm } => write!(f, " reorder({perm:?})")?,
+                LayoutPrim::Fuse { start, count } => {
+                    write!(f, " fuse({start}..{})", start + count)?
+                }
+                LayoutPrim::Unfold { dim, tile, stride } => {
+                    write!(f, " unfold({dim}, B={tile}, S={stride})")?
+                }
+                LayoutPrim::Pad { dim, before, after } => {
+                    write!(f, " pad({dim}, {before}, {after})")?
+                }
+                LayoutPrim::StoreAtHost { dim } => write!(f, " store_at_host({dim})")?,
+            }
+        }
+        write!(f, " => {}", self.physical_shape())
+    }
+}
+
+/// Applies one primitive's forward access rewrite.
+fn rewrite_forward(
+    prim: &LayoutPrim,
+    shape_before: &[i64],
+    exprs: &[Expr],
+    extents: &VarExtents,
+) -> Vec<Expr> {
+    match prim {
+        LayoutPrim::Split { dim, factors } => {
+            let e = &exprs[*dim];
+            let m = factors.len();
+            let mut parts = Vec::with_capacity(m);
+            for j in 0..m {
+                let suffix: i64 = factors[j + 1..].iter().product();
+                let mut part = e.div_c(suffix);
+                if j > 0 {
+                    part = part.mod_c(factors[j]);
+                }
+                parts.push(part);
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*dim..=*dim, parts);
+            out
+        }
+        LayoutPrim::Reorder { perm } => perm.iter().map(|&p| exprs[p].clone()).collect(),
+        LayoutPrim::Fuse { start, count } => {
+            let mut fused = exprs[*start].clone();
+            for j in 1..*count {
+                fused = fused.mul_c(shape_before[start + j]).add(&exprs[start + j]);
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*start..start + count, [fused]);
+            out
+        }
+        LayoutPrim::Unfold { dim, tile, stride } => {
+            let d = shape_before[*dim];
+            let tiles = num_tiles(d, *tile, *stride);
+            let e = &exprs[*dim];
+            // Paper Eq. 1: place a whole sliding window inside one tile;
+            // the tile index comes from the window-position subexpression,
+            // not the raw element index. This placement is only in-bounds
+            // when the tile stride advances by exactly `windows_per_tile`
+            // windows (`S == V * wpt`), which is how the §5.1 template
+            // instantiates unfold; otherwise fall back to the generic
+            // clamped placement.
+            let eq1 = match_window(e, extents).and_then(|w| {
+                if w.window > *tile {
+                    return None;
+                }
+                let wpt = (*tile - w.window) / w.stride + 1;
+                if *stride != w.stride * wpt {
+                    return None;
+                }
+                let t = w.base.div_c(wpt).min_e(&Expr::c(tiles - 1));
+                let b = w.base.mul_c(w.stride).add(&w.offset).sub(&t.mul_c(*stride));
+                Some((t, b))
+            });
+            let (t, b) = eq1.unwrap_or_else(|| generic_unfold(e, *stride, tiles));
+            let mut out = exprs.to_vec();
+            out.splice(*dim..=*dim, [t, b]);
+            out
+        }
+        LayoutPrim::Pad { dim, before, .. } => {
+            let mut out = exprs.to_vec();
+            out[*dim] = out[*dim].add_c(*before);
+            out
+        }
+        LayoutPrim::StoreAtHost { .. } => exprs.to_vec(),
+    }
+}
+
+/// Generic (pattern-free) unfold placement: canonical tile `min(e/S, T-1)`.
+fn generic_unfold(e: &Expr, stride: i64, tiles: i64) -> (Expr, Expr) {
+    let t = e.div_c(stride).min_e(&Expr::c(tiles - 1));
+    let b = e.sub(&t.mul_c(stride));
+    (t, b)
+}
+
+/// Applies one primitive's inverse access rewrite (physical -> logical).
+fn rewrite_inverse(
+    prim: &LayoutPrim,
+    shape_before: &[i64],
+    exprs: &[Expr],
+    conds: &mut Vec<Cond>,
+) -> Vec<Expr> {
+    match prim {
+        LayoutPrim::Split { dim, factors } => {
+            // dims dim..dim+m recombine.
+            let m = factors.len();
+            let mut e = exprs[*dim].clone();
+            for j in 1..m {
+                e = e.mul_c(factors[j]).add(&exprs[dim + j]);
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*dim..dim + m, [e]);
+            out
+        }
+        LayoutPrim::Reorder { perm } => {
+            let mut out = vec![Expr::c(0); exprs.len()];
+            for (j, &p) in perm.iter().enumerate() {
+                out[p] = exprs[j].clone();
+            }
+            out
+        }
+        LayoutPrim::Fuse { start, count } => {
+            let e = &exprs[*start];
+            let mut parts = Vec::with_capacity(*count);
+            for j in 0..*count {
+                let suffix: i64 = shape_before[start + j + 1..start + count].iter().product();
+                let mut part = e.div_c(suffix);
+                if j > 0 {
+                    part = part.mod_c(shape_before[start + j]);
+                }
+                parts.push(part);
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*start..start + 1, parts);
+            out
+        }
+        LayoutPrim::Unfold { dim, tile, stride } => {
+            let d = shape_before[*dim];
+            let t = &exprs[*dim];
+            let b = &exprs[dim + 1];
+            let e = t.mul_c(*stride).add(b);
+            // Overhang slots of the last tile map past the end.
+            let tiles = num_tiles(d, *tile, *stride);
+            if (tiles - 1) * stride + tile > d {
+                conds.push(Cond::Lt(e.clone(), Expr::c(d)));
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*dim..dim + 2, [e]);
+            out
+        }
+        LayoutPrim::Pad { dim, before, after } => {
+            let d = shape_before[*dim];
+            let mut out = exprs.to_vec();
+            let e = out[*dim].sub(&Expr::c(*before));
+            if *before > 0 {
+                conds.push(Cond::Ge(e.clone(), Expr::c(0)));
+            }
+            if *after > 0 {
+                conds.push(Cond::Lt(e.clone(), Expr::c(d)));
+            }
+            out[*dim] = e;
+            out
+        }
+        LayoutPrim::StoreAtHost { dim } => {
+            let d = shape_before[*dim];
+            conds.push(Cond::Lt(exprs[*dim].clone(), Expr::c(d)));
+            exprs.to_vec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_tensor::{Env, VarGen};
+
+    fn layout4(dims: [i64; 4]) -> Layout {
+        Layout::identity(Shape::new(dims.to_vec()))
+    }
+
+    #[test]
+    fn nhwo_permutation() {
+        // NOHW (logical) -> NHWO (physical).
+        let l = layout4([1, 64, 56, 56])
+            .with(LayoutPrim::Reorder {
+                perm: vec![0, 2, 3, 1],
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[1, 56, 56, 64]);
+        assert_eq!(l.logical_to_physical(&[0, 5, 6, 7]), vec![0, 6, 7, 5]);
+        assert_eq!(l.physical_to_logical(&[0, 6, 7, 5]), Some(vec![0, 5, 6, 7]));
+    }
+
+    #[test]
+    fn split_reorder_tiled_channels() {
+        // N O H W -> N O/16 H W 16 (the N O/ot H W ot layout).
+        let l = layout4([1, 64, 8, 8])
+            .with(LayoutPrim::Split {
+                dim: 1,
+                factors: vec![4, 16],
+            })
+            .unwrap()
+            .with(LayoutPrim::Reorder {
+                perm: vec![0, 1, 3, 4, 2],
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[1, 4, 8, 8, 16]);
+        // o = 37 -> (2, 5): phys [n, 2, h, w, 5].
+        assert_eq!(l.logical_to_physical(&[0, 37, 3, 4]), vec![0, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fuse_then_split_paper_example() {
+        // Paper §4.1.1: NHWO -fuse(1..4)-> N(HWO) -split-> N (O/4) 4 (HW)
+        // -reorder-> N (O/4) (HW) 4.
+        let (h, w, o) = (6, 5, 8);
+        let l = Layout::identity(Shape::new([2, h, w, o]))
+            .with(LayoutPrim::Fuse { start: 1, count: 3 })
+            .unwrap()
+            .with(LayoutPrim::Split {
+                dim: 1,
+                factors: vec![o / 4, 4, h * w],
+            })
+            .unwrap()
+            .with(LayoutPrim::Reorder {
+                perm: vec![0, 1, 3, 2],
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[2, o / 4, h * w, 4]);
+        // Spot-check the access arithmetic of the paper's running example:
+        // e = h*(W*O) + w*O + o; phys = [n, e/(HW)/4, e%(HW), (e/(HW))%4].
+        for &(n, hh, ww, oo) in &[(0i64, 0i64, 0i64, 0i64), (1, 3, 2, 5), (1, 5, 4, 7)] {
+            let e = hh * (w * o) + ww * o + oo;
+            let expect = vec![n, e / (h * w) / 4, e % (h * w), (e / (h * w)) % 4];
+            assert_eq!(l.logical_to_physical(&[n, hh, ww, oo]), expect);
+        }
+    }
+
+    #[test]
+    fn unfold_array_example() {
+        // Paper §4.1.2: {1,2,3,4,5} with B=3, S=2 -> {{1,2,3},{3,4,5}}.
+        let l = Layout::identity(Shape::new([5]))
+            .with(LayoutPrim::Unfold {
+                dim: 0,
+                tile: 3,
+                stride: 2,
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[2, 3]);
+        let data = NdBuf::from_vec(Shape::new([5]), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let packed = l.pack(&data);
+        assert_eq!(packed.data(), &[1.0, 2.0, 3.0, 3.0, 4.0, 5.0]);
+        let unpacked = l.unpack(&packed);
+        assert_eq!(unpacked.data(), data.data());
+    }
+
+    #[test]
+    fn unfold_overhang_is_zero_filled() {
+        // d=5, B=3, S=3 -> tiles = ceil(2/3)+1 = 2, second tile covers 3..5
+        // plus one overhang slot.
+        let l = Layout::identity(Shape::new([5]))
+            .with(LayoutPrim::Unfold {
+                dim: 0,
+                tile: 3,
+                stride: 3,
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[2, 3]);
+        let data = NdBuf::from_vec(Shape::new([5]), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let packed = l.pack(&data);
+        assert_eq!(packed.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 0.0]);
+        assert_eq!(l.physical_to_logical(&[1, 2]), None);
+    }
+
+    #[test]
+    fn pad_shifts_and_guards() {
+        let l = Layout::identity(Shape::new([4]))
+            .with(LayoutPrim::Pad {
+                dim: 0,
+                before: 1,
+                after: 2,
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[7]);
+        assert_eq!(l.logical_to_physical(&[0]), vec![1]);
+        assert_eq!(l.physical_to_logical(&[0]), None);
+        assert_eq!(l.physical_to_logical(&[5]), None);
+        assert_eq!(l.physical_to_logical(&[2]), Some(vec![1]));
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_composite() {
+        let l = layout4([2, 8, 6, 6])
+            .with(LayoutPrim::Split {
+                dim: 1,
+                factors: vec![2, 4],
+            })
+            .unwrap()
+            .with(LayoutPrim::Reorder {
+                perm: vec![0, 1, 3, 4, 2],
+            })
+            .unwrap()
+            .with(LayoutPrim::Unfold {
+                dim: 2,
+                tile: 4,
+                stride: 2,
+            })
+            .unwrap();
+        let logical = NdBuf::from_fn(Shape::new([2, 8, 6, 6]), |i| i as f32);
+        let packed = l.pack(&logical);
+        let unpacked = l.unpack(&packed);
+        assert_eq!(unpacked.data(), logical.data());
+    }
+
+    #[test]
+    fn window_pattern_uses_eq1() {
+        // Access h*1 + rh where rh has extent 3 (KH=3), unfold with
+        // B = ht + KH - 1 = 6, S = ht = 4: Eq. 1 gives t = h / 4.
+        let mut g = VarGen::new();
+        let h = g.fresh("h");
+        let rh = g.fresh("rh");
+        let mut extents = VarExtents::new();
+        extents.insert(rh.id(), 3);
+        let l = Layout::identity(Shape::new([10]))
+            .with(LayoutPrim::Unfold {
+                dim: 0,
+                tile: 6,
+                stride: 4,
+            })
+            .unwrap();
+        let access = Expr::v(&h).add(&Expr::v(&rh));
+        let out = l.rewrite_access(&[access], &extents);
+        assert_eq!(out.len(), 2);
+        // Evaluate: for h in 0..8 (output positions), rh in 0..3, the
+        // physical element must hold logical h + rh.
+        for hh in 0..8 {
+            for rr in 0..3 {
+                let mut env = Env::new();
+                env.bind(&h, hh);
+                env.bind(&rh, rr);
+                let t = out[0].eval(&env);
+                let b = out[1].eval(&env);
+                // Tile content: tile t starts at logical t*S.
+                assert_eq!(t * 4 + b, hh + rr, "h={hh} rh={rr}");
+                assert!((0..6).contains(&b), "offset {b} out of tile");
+                // Eq. 1 keeps a whole window inside one tile.
+                assert_eq!(t, hh / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn store_at_host_reserves_slot() {
+        let l = Layout::identity(Shape::new([3, 4]))
+            .with(LayoutPrim::StoreAtHost { dim: 0 })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[4, 4]);
+        assert_eq!(l.physical_to_logical(&[3, 0]), None);
+        assert_eq!(l.logical_to_physical(&[2, 1]), vec![2, 1]);
+    }
+
+    #[test]
+    fn invalid_primitives_rejected() {
+        let l = layout4([1, 8, 4, 4]);
+        assert!(matches!(
+            l.clone()
+                .with(LayoutPrim::Split {
+                    dim: 1,
+                    factors: vec![3, 2]
+                })
+                .unwrap_err(),
+            LayoutError::BadFactors { .. }
+        ));
+        assert!(matches!(
+            l.clone()
+                .with(LayoutPrim::Reorder {
+                    perm: vec![0, 0, 2, 3]
+                })
+                .unwrap_err(),
+            LayoutError::BadPermutation(_)
+        ));
+        assert!(matches!(
+            l.clone()
+                .with(LayoutPrim::Unfold {
+                    dim: 2,
+                    tile: 8,
+                    stride: 1
+                })
+                .unwrap_err(),
+            LayoutError::BadUnfold { .. }
+        ));
+        assert!(matches!(
+            l.with(LayoutPrim::Fuse { start: 3, count: 2 }).unwrap_err(),
+            LayoutError::BadFuseRange { .. }
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = layout4([1, 8, 4, 4])
+            .with(LayoutPrim::Reorder {
+                perm: vec![0, 2, 3, 1],
+            })
+            .unwrap();
+        let s = format!("{l}");
+        assert!(s.contains("reorder"), "{s}");
+    }
+
+    #[test]
+    fn inverse_primitives_undo() {
+        let mut l = Layout::identity(Shape::new([8]))
+            .with(LayoutPrim::Unfold {
+                dim: 0,
+                tile: 4,
+                stride: 2,
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[3, 4]);
+        l.fold().unwrap();
+        assert!(l.is_identity());
+        assert!(l.fold().is_err());
+        l.apply(LayoutPrim::Pad {
+            dim: 0,
+            before: 0,
+            after: 3,
+        })
+        .unwrap();
+        l.unpad().unwrap();
+        assert!(l.is_identity());
+        l.apply(LayoutPrim::StoreAtHost { dim: 0 }).unwrap();
+        l.decouple_at().unwrap();
+        assert!(l.is_identity());
+        assert!(l.decouple_at().is_err());
+    }
+}

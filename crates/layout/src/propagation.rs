@@ -1,0 +1,497 @@
+//! Layout propagation (paper §4.2, Algorithm 1).
+//!
+//! A [`LayoutPlan`] records the physical layout chosen for every tensor of
+//! a graph plus the layout-conversion operators that must be materialized
+//! at runtime. Propagation avoids conversions in two ways:
+//!
+//! * a *simple* producer (padding / elementwise) can yield a consumer's
+//!   requested layout directly (Fig. 5b), and
+//! * a complex operator's tuned output layout is replicated across
+//!   downstream elementwise operators so their loop nests reconstruct
+//!   identically and fusion-after-tiling still aligns (Figs. 6/7).
+
+use std::collections::HashMap;
+
+use alt_tensor::{Graph, OpId, OpTag, TensorId};
+
+use crate::primitives::Layout;
+
+/// How aggressively layouts are propagated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropagationMode {
+    /// Full ALT behaviour: absorb conversions into simple producers and
+    /// replicate output layouts downstream for fusion alignment.
+    Full,
+    /// The paper's ALT-WP ablation: conversions between adjacent operators
+    /// are eliminated (Fig. 5b) but output layouts are *not* replicated
+    /// downstream, so fusion conflicts remain.
+    WithoutFusionAlign,
+    /// No propagation at all: every non-identity layout goes through an
+    /// explicit conversion operator.
+    None,
+}
+
+/// What happened when a layout was assigned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOutcome {
+    /// The producer now yields the layout directly.
+    Absorbed,
+    /// A runtime conversion operator is required.
+    Conversion,
+    /// The layout was identity; nothing to do.
+    Identity,
+}
+
+/// A runtime layout conversion: consumer `consumer` reads tensor `tensor`
+/// through a converted copy with layout `layout`.
+#[derive(Clone, Debug)]
+pub struct Conversion {
+    /// The tensor being converted.
+    pub tensor: TensorId,
+    /// The operator that reads the converted copy.
+    pub consumer: OpId,
+    /// Layout of the converted copy.
+    pub layout: Layout,
+}
+
+/// Layout assignment for every tensor of a graph plus required runtime
+/// conversions.
+#[derive(Clone, Debug)]
+pub struct LayoutPlan {
+    layouts: HashMap<TensorId, Layout>,
+    conversions: Vec<Conversion>,
+    /// `guest -> (host, host_dim)` buffer embeddings created by the
+    /// `store_at` primitive.
+    embeddings: HashMap<TensorId, (TensorId, usize)>,
+    mode: PropagationMode,
+}
+
+impl LayoutPlan {
+    /// Creates an all-identity plan.
+    pub fn new(mode: PropagationMode) -> Self {
+        Self {
+            layouts: HashMap::new(),
+            conversions: Vec::new(),
+            embeddings: HashMap::new(),
+            mode,
+        }
+    }
+
+    /// The propagation mode of this plan.
+    pub fn mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// The layout of `tensor` as stored by its producer (identity unless
+    /// assigned).
+    pub fn layout_of(&self, g: &Graph, tensor: TensorId) -> Layout {
+        self.layouts
+            .get(&tensor)
+            .cloned()
+            .unwrap_or_else(|| Layout::identity(g.tensor(tensor).shape.clone()))
+    }
+
+    /// The layout through which `consumer` reads `tensor` (the conversion
+    /// copy if one exists, the stored layout otherwise).
+    pub fn layout_for_read(&self, g: &Graph, tensor: TensorId, consumer: OpId) -> Layout {
+        if let Some(c) = self.conversion_for(tensor, consumer) {
+            return c.layout.clone();
+        }
+        self.layout_of(g, tensor)
+    }
+
+    /// Looks up a conversion registered for an edge.
+    pub fn conversion_for(&self, tensor: TensorId, consumer: OpId) -> Option<&Conversion> {
+        self.conversions
+            .iter()
+            .find(|c| c.tensor == tensor && c.consumer == consumer)
+    }
+
+    /// All registered conversions.
+    pub fn conversions(&self) -> &[Conversion] {
+        &self.conversions
+    }
+
+    /// Directly sets the stored layout of a tensor (used for parameters,
+    /// whose conversion is free because it happens offline, and by tests).
+    pub fn set_layout(&mut self, tensor: TensorId, layout: Layout) {
+        self.layouts.insert(tensor, layout);
+    }
+
+    /// Assigns the layout a complex operator wants for one of its *input*
+    /// tensors (paper Fig. 5).
+    ///
+    /// Parameters are always absorbed (offline packing). Otherwise the
+    /// producer absorbs the conversion when it is a simple operator and
+    /// the primitive sequence contains no data-expanding primitive
+    /// (Algorithm 1 line 3); otherwise a runtime conversion operator is
+    /// registered on the edge.
+    pub fn assign_input_layout(
+        &mut self,
+        g: &Graph,
+        consumer: OpId,
+        tensor: TensorId,
+        layout: Layout,
+    ) -> AssignOutcome {
+        if layout.is_identity() {
+            // Re-assigning identity drops any previous decision for this
+            // edge (the joint tuner revisits layouts many times).
+            self.conversions
+                .retain(|c| !(c.tensor == tensor && c.consumer == consumer));
+            self.layouts.remove(&tensor);
+            return AssignOutcome::Identity;
+        }
+        let info = g.tensor(tensor);
+        // A `store_at` host's layout is pinned: replacing it would strand
+        // the embedded guest at a slot that no longer exists.
+        if self.embeddings.values().any(|(h, _)| *h == tensor) {
+            return AssignOutcome::Absorbed;
+        }
+        if info.kind == alt_tensor::TensorKind::Param {
+            // Constants are packed offline; no runtime cost (§4.2).
+            self.layouts.insert(tensor, layout);
+            return AssignOutcome::Absorbed;
+        }
+        // Requesting the layout the tensor is already stored in needs no
+        // conversion at all.
+        if self
+            .layouts
+            .get(&tensor)
+            .map(|l| l.prims() == layout.prims())
+            .unwrap_or(false)
+        {
+            self.conversions
+                .retain(|c| !(c.tensor == tensor && c.consumer == consumer));
+            return AssignOutcome::Absorbed;
+        }
+        let producer_tag = info.producer.map(|p| g.node(p).tag);
+        // A padding operator rewrites the whole buffer anyway, so it can
+        // materialize even data-expanding layouts directly (Fig. 5b: "the
+        // padding operator performs two tasks: padding zeros and
+        // converting the layout"). Other simple producers only absorb
+        // non-expanding primitive sequences (Algorithm 1, line 3).
+        let absorbable = match producer_tag {
+            Some(OpTag::Padding) => true,
+            Some(OpTag::Elementwise) | Some(OpTag::Other) => !layout.has_advanced(),
+            _ => false,
+        };
+        let absorb = self.mode != PropagationMode::None
+            && absorbable
+            // Absorbing only works if no other consumer insists on a
+            // different view of this tensor; keep it simple and safe by
+            // requiring single-consumer edges.
+            && info.consumers.len() == 1;
+        if absorb {
+            self.layouts.insert(tensor, layout);
+            AssignOutcome::Absorbed
+        } else {
+            self.conversions
+                .retain(|c| !(c.tensor == tensor && c.consumer == consumer));
+            self.conversions.push(Conversion {
+                tensor,
+                consumer,
+                layout,
+            });
+            AssignOutcome::Conversion
+        }
+    }
+
+    /// Assigns the tuned *output* layout of a complex operator and, in
+    /// [`PropagationMode::Full`], replicates it across downstream
+    /// elementwise operators so fusion-after-tiling aligns (Algorithm 1's
+    /// queue walk).
+    ///
+    /// Returns the tensors whose layouts were set.
+    pub fn assign_output_layout(&mut self, g: &Graph, op: OpId, layout: Layout) -> Vec<TensorId> {
+        let out = g.node(op).output;
+        let mut applied = vec![out];
+        if layout.is_identity() {
+            self.layouts.remove(&out);
+            return applied;
+        }
+        self.layouts.insert(out, layout.clone());
+        if self.mode != PropagationMode::Full || layout.has_advanced() {
+            return applied;
+        }
+        // Queue walk: propagate across elementwise consumers with equal
+        // shapes, stopping (without conversion) at complex operators.
+        let mut queue = vec![out];
+        while let Some(s) = queue.pop() {
+            let s_shape = g.tensor(s).shape.clone();
+            for &o2 in &g.tensor(s).consumers.clone() {
+                let node = g.node(o2);
+                if node.tag.is_complex() {
+                    // The next complex operator tunes its own input layout
+                    // (§4.2: no conversion inserted here; a simple op in
+                    // between performs the conversion if needed).
+                    continue;
+                }
+                if node.tag != OpTag::Elementwise {
+                    continue;
+                }
+                let t = node.output;
+                if g.tensor(t).shape != s_shape {
+                    continue;
+                }
+                if self.layouts.contains_key(&t) {
+                    continue;
+                }
+                let replicated = self
+                    .layout_of(g, s)
+                    .replicate_for(g.tensor(t).shape.clone());
+                self.layouts.insert(t, replicated);
+                applied.push(t);
+                queue.push(t);
+            }
+        }
+        applied
+    }
+
+    /// Applies the paper's `store_at` primitive: stores `guest` (a
+    /// vector-like constant, e.g. a bias) inline in `host` (e.g. a weight
+    /// matrix) along `host_dim`, so consumers touch both in the same
+    /// cache lines.
+    ///
+    /// Restrictions (checked): both tensors must be constants with no
+    /// other layout primitives applied, and the guest's shape must equal
+    /// the host's shape with `host_dim` removed.
+    pub fn store_at(
+        &mut self,
+        g: &Graph,
+        host: TensorId,
+        guest: TensorId,
+        host_dim: usize,
+    ) -> Result<(), crate::primitives::LayoutError> {
+        use crate::primitives::{LayoutError, LayoutPrim};
+        let hinfo = g.tensor(host);
+        let ginfo = g.tensor(guest);
+        if hinfo.kind != alt_tensor::TensorKind::Param
+            || ginfo.kind != alt_tensor::TensorKind::Param
+        {
+            return Err(LayoutError::NotInvertible(
+                "store_at requires constant tensors",
+            ));
+        }
+        if !self.layout_of(g, host).is_identity() || !self.layout_of(g, guest).is_identity() {
+            return Err(LayoutError::NotInvertible(
+                "store_at requires untransformed layouts",
+            ));
+        }
+        let mut expect: Vec<i64> = hinfo.shape.dims().to_vec();
+        if host_dim >= expect.len() {
+            return Err(LayoutError::BadDim {
+                dim: host_dim,
+                ndim: expect.len(),
+            });
+        }
+        expect.remove(host_dim);
+        if ginfo.shape.dims() != expect.as_slice() {
+            return Err(LayoutError::NotInvertible(
+                "guest shape must equal host shape minus host_dim",
+            ));
+        }
+        let host_layout = Layout::identity(hinfo.shape.clone())
+            .with(LayoutPrim::StoreAtHost { dim: host_dim })?;
+        self.layouts.insert(host, host_layout);
+        self.embeddings.insert(guest, (host, host_dim));
+        Ok(())
+    }
+
+    /// The host buffer a tensor is embedded in via `store_at`, if any.
+    pub fn embedding_of(&self, tensor: TensorId) -> Option<(TensorId, usize)> {
+        self.embeddings.get(&tensor).copied()
+    }
+
+    /// All embeddings (`guest -> (host, dim)`).
+    pub fn embeddings(&self) -> impl Iterator<Item = (&TensorId, &(TensorId, usize))> {
+        self.embeddings.iter()
+    }
+
+    /// Clears all decisions (used between joint-tuning episodes).
+    pub fn reset(&mut self) {
+        self.layouts.clear();
+        self.conversions.clear();
+        self.embeddings.clear();
+    }
+
+    /// Iterates over all explicitly assigned layouts.
+    pub fn assigned(&self) -> impl Iterator<Item = (&TensorId, &Layout)> {
+        self.layouts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::Shape;
+
+    /// pad -> C2D -> bias -> relu -> C2D chain used by several tests.
+    fn sample_graph() -> (Graph, TensorId, OpId, TensorId, OpId) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 14, 14]));
+        let w1 = g.add_param("w1", Shape::new([16, 8, 3, 3]));
+        let padded = ops::pad2d_spatial(&mut g, x, 1);
+        let c1 = ops::conv2d(&mut g, padded, w1, ConvCfg::default());
+        let r = ops::relu(&mut g, c1);
+        let w2 = g.add_param("w2", Shape::new([32, 16, 1, 1]));
+        let c2 = ops::conv2d(&mut g, r, w2, ConvCfg::default());
+        let conv1_op = g.tensor(c1).producer.unwrap();
+        let conv2_op = g.tensor(c2).producer.unwrap();
+        (g, padded, conv1_op, c1, conv2_op)
+    }
+
+    #[test]
+    fn padding_absorbs_simple_input_layout() {
+        let (g, padded, conv1, _, _) = sample_graph();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout = presets::nhwo(g.tensor(padded).shape.clone()).unwrap();
+        let outcome = plan.assign_input_layout(&g, conv1, padded, layout.clone());
+        assert_eq!(outcome, AssignOutcome::Absorbed);
+        assert_eq!(plan.layout_of(&g, padded), layout);
+        assert!(plan.conversions().is_empty());
+    }
+
+    #[test]
+    fn unfolded_input_layout_absorbed_by_padding() {
+        let (g, padded, conv1, _, _) = sample_graph();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout =
+            presets::c2d_input_tiled(g.tensor(padded).shape.clone(), 8, 7, 7, 1, 3, 3).unwrap();
+        let outcome = plan.assign_input_layout(&g, conv1, padded, layout.clone());
+        // The padding producer materializes even the unfolded layout
+        // directly (Fig. 5b).
+        assert_eq!(outcome, AssignOutcome::Absorbed);
+        assert_eq!(plan.layout_of(&g, padded), layout);
+    }
+
+    #[test]
+    fn param_layout_is_free() {
+        let (g, _, conv1, _, _) = sample_graph();
+        let w1 = g.node(conv1).inputs[1];
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout = presets::c2d_weight_tiled(g.tensor(w1).shape.clone(), 8, 16).unwrap();
+        assert_eq!(
+            plan.assign_input_layout(&g, conv1, w1, layout),
+            AssignOutcome::Absorbed
+        );
+        assert!(plan.conversions().is_empty());
+    }
+
+    #[test]
+    fn output_layout_replicates_across_elementwise() {
+        let (g, _, conv1, c1_out, conv2) = sample_graph();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout = presets::channel_tiled(g.tensor(c1_out).shape.clone(), 8).unwrap();
+        let applied = plan.assign_output_layout(&g, conv1, layout.clone());
+        // conv1 output and the relu output both get the layout; conv2
+        // tunes its own input so propagation stops there.
+        assert_eq!(applied.len(), 2);
+        let relu_out = g.node(conv2).inputs[0];
+        assert_eq!(plan.layout_of(&g, relu_out).prims(), layout.prims());
+        assert!(plan.conversions().is_empty());
+    }
+
+    #[test]
+    fn without_fusion_align_stops_at_direct_output() {
+        let (g, _, conv1, c1_out, conv2) = sample_graph();
+        let mut plan = LayoutPlan::new(PropagationMode::WithoutFusionAlign);
+        let layout = presets::channel_tiled(g.tensor(c1_out).shape.clone(), 8).unwrap();
+        let applied = plan.assign_output_layout(&g, conv1, layout);
+        assert_eq!(applied, vec![c1_out]);
+        let relu_out = g.node(conv2).inputs[0];
+        assert!(plan.layout_of(&g, relu_out).is_identity());
+    }
+
+    #[test]
+    fn mode_none_always_converts() {
+        let (g, padded, conv1, _, _) = sample_graph();
+        let mut plan = LayoutPlan::new(PropagationMode::None);
+        let layout = presets::nhwo(g.tensor(padded).shape.clone()).unwrap();
+        assert_eq!(
+            plan.assign_input_layout(&g, conv1, padded, layout),
+            AssignOutcome::Conversion
+        );
+        assert_eq!(plan.conversions().len(), 1);
+    }
+
+    #[test]
+    fn identity_assignment_clears_previous() {
+        let (g, padded, conv1, _, _) = sample_graph();
+        let mut plan = LayoutPlan::new(PropagationMode::None);
+        let layout = presets::nhwo(g.tensor(padded).shape.clone()).unwrap();
+        plan.assign_input_layout(&g, conv1, padded, layout);
+        assert_eq!(plan.conversions().len(), 1);
+        let ident = Layout::identity(g.tensor(padded).shape.clone());
+        assert_eq!(
+            plan.assign_input_layout(&g, conv1, padded, ident),
+            AssignOutcome::Identity
+        );
+        assert!(plan.conversions().is_empty());
+    }
+
+    #[test]
+    fn elementwise_producer_rejects_advanced_layouts() {
+        // relu -> C2D: an unfolded input layout must go through a
+        // conversion because relu is not a buffer-rewriting pad.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 16, 16]));
+        let r = alt_tensor::ops::relu(&mut g, x);
+        let w = g.add_param("w", Shape::new([8, 8, 3, 3]));
+        let c = alt_tensor::ops::conv2d(&mut g, r, w, ConvCfg::default());
+        let conv = g.tensor(c).producer.unwrap();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout =
+            crate::presets::c2d_input_tiled(g.tensor(r).shape.clone(), 8, 7, 7, 1, 3, 3).unwrap();
+        assert_eq!(
+            plan.assign_input_layout(&g, conv, r, layout),
+            AssignOutcome::Conversion
+        );
+    }
+
+    #[test]
+    fn diamond_first_producer_wins_propagation() {
+        // Paper §6: for an elementwise op with multiple tuned producers,
+        // the first propagated layout is kept (heuristically "choose X0").
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 10, 10]));
+        let w1 = g.add_param("w1", Shape::new([8, 8, 1, 1]));
+        let w2 = g.add_param("w2", Shape::new([8, 8, 1, 1]));
+        let c1 = ops::conv2d(&mut g, x, w1, ConvCfg::default());
+        let c2 = ops::conv2d(&mut g, x, w2, ConvCfg::default());
+        let s = ops::add(&mut g, c1, c2);
+        let op1 = g.tensor(c1).producer.unwrap();
+        let op2 = g.tensor(c2).producer.unwrap();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let l1 = crate::presets::channel_tiled(g.tensor(c1).shape.clone(), 4).unwrap();
+        let l2 = crate::presets::nhwo(g.tensor(c2).shape.clone()).unwrap();
+        let a1 = plan.assign_output_layout(&g, op1, l1.clone());
+        // op1's layout reaches the add's output.
+        assert!(a1.contains(&s));
+        let a2 = plan.assign_output_layout(&g, op2, l2);
+        // op2's propagation stops at the already-assigned add output.
+        assert_eq!(a2, vec![c2]);
+        assert_eq!(plan.layout_of(&g, s).prims(), l1.prims());
+    }
+
+    #[test]
+    fn store_at_host_layout_is_pinned() {
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([6, 10]));
+        let w = g.add_param("w", Shape::new([10, 8]));
+        let b = g.add_param("b", Shape::new([8]));
+        let c = alt_tensor::ops::gmm(&mut g, a, w);
+        let op = g.tensor(c).producer.unwrap();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        plan.store_at(&g, w, b, 0).unwrap();
+        let before = plan.layout_of(&g, w);
+        // A later tuner attempt to re-layout the host must be a no-op.
+        let tiled = crate::presets::gmm_tiled(g.tensor(w).shape.clone(), 5, 4).unwrap();
+        assert_eq!(
+            plan.assign_input_layout(&g, op, w, tiled),
+            AssignOutcome::Absorbed
+        );
+        assert_eq!(plan.layout_of(&g, w).prims(), before.prims());
+    }
+}

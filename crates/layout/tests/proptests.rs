@@ -1,0 +1,150 @@
+//! Property-based tests: every randomly generated primitive sequence must
+//! preserve the fundamental layout invariants.
+
+use proptest::prelude::*;
+
+use alt_layout::{Layout, LayoutPrim};
+use alt_tensor::{NdBuf, Shape};
+
+/// Generates a random small logical shape (2-4 dims, sizes 1-12).
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1i64..=12, 2..=4).prop_map(Shape::new)
+}
+
+/// Generates a random factorization of `n` into >= 2 factors.
+fn factorize(n: i64, rng_val: u64) -> Vec<i64> {
+    let mut factors = Vec::new();
+    let mut rest = n;
+    let mut x = rng_val;
+    while rest > 1 && factors.len() < 2 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let divs: Vec<i64> = (1..=rest).filter(|d| rest % d == 0).collect();
+        let f = divs[(x >> 33) as usize % divs.len()];
+        factors.push(f);
+        rest /= f;
+    }
+    factors.push(rest);
+    factors
+}
+
+/// Applies up to `n_prims` random valid primitives to a layout.
+fn random_layout(shape: Shape, seed: u64, n_prims: usize) -> Layout {
+    let mut layout = Layout::identity(shape);
+    let mut x = seed;
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for _ in 0..n_prims {
+        let dims = layout.physical_shape();
+        let nd = dims.ndim();
+        match next() % 5 {
+            0 => {
+                // Split a dimension with size > 1.
+                let candidates: Vec<usize> = (0..nd).filter(|&k| dims.dim(k) > 1).collect();
+                if let Some(&k) = candidates.get(next() % candidates.len().max(1)) {
+                    let factors = factorize(dims.dim(k), next() as u64);
+                    if factors.len() >= 2 {
+                        let _ = layout.apply(LayoutPrim::Split { dim: k, factors });
+                    }
+                }
+            }
+            1 => {
+                // Random permutation.
+                let mut perm: Vec<usize> = (0..nd).collect();
+                for i in (1..nd).rev() {
+                    perm.swap(i, next() % (i + 1));
+                }
+                let _ = layout.apply(LayoutPrim::Reorder { perm });
+            }
+            2 => {
+                if nd >= 2 {
+                    let start = next() % (nd - 1);
+                    let count = 2 + next() % (nd - start - 1).max(1);
+                    let count = count.min(nd - start);
+                    let _ = layout.apply(LayoutPrim::Fuse { start, count });
+                }
+            }
+            3 => {
+                let k = next() % nd;
+                let d = dims.dim(k);
+                if d >= 2 {
+                    let tile = 2 + (next() as i64) % (d - 1);
+                    let stride = 1 + (next() as i64) % tile;
+                    let _ = layout.apply(LayoutPrim::Unfold {
+                        dim: k,
+                        tile,
+                        stride,
+                    });
+                }
+            }
+            _ => {
+                let k = next() % nd;
+                let _ = layout.apply(LayoutPrim::Pad {
+                    dim: k,
+                    before: (next() % 3) as i64,
+                    after: (next() % 3) as i64,
+                });
+            }
+        }
+    }
+    layout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pack followed by unpack restores the logical buffer exactly, for
+    /// any primitive sequence (including overlapping unfolds and pads).
+    #[test]
+    fn pack_unpack_roundtrip(shape in arb_shape(), seed in any::<u64>(), n in 0usize..4) {
+        let layout = random_layout(shape.clone(), seed, n);
+        let logical = NdBuf::from_fn(shape, |i| (i % 251) as f32 + 1.0);
+        let packed = layout.pack(&logical);
+        let unpacked = layout.unpack(&packed);
+        prop_assert_eq!(unpacked.data(), logical.data());
+    }
+
+    /// The canonical physical slot of every logical index is in bounds and
+    /// inverts back to the same logical index.
+    #[test]
+    fn logical_physical_inverse(shape in arb_shape(), seed in any::<u64>(), n in 0usize..4) {
+        let layout = random_layout(shape.clone(), seed, n);
+        let phys = layout.physical_shape();
+        for idx in shape.iter_indices().step_by(7) {
+            let p = layout.logical_to_physical(&idx);
+            for (pi, pd) in p.iter().zip(phys.dims()) {
+                prop_assert!(*pi >= 0 && pi < pd, "physical index out of bounds");
+            }
+            let back = layout.physical_to_logical(&p);
+            prop_assert_eq!(back, Some(idx));
+        }
+    }
+
+    /// Physical capacity is always >= logical element count (data can be
+    /// duplicated or padded, never lost).
+    #[test]
+    fn physical_capacity_bounds(shape in arb_shape(), seed in any::<u64>(), n in 0usize..4) {
+        let layout = random_layout(shape.clone(), seed, n);
+        prop_assert!(layout.physical_shape().numel() >= shape.numel());
+    }
+
+    /// Every physical slot either maps to a valid logical element or is
+    /// reported as a hole (None); the union of mapped slots covers all
+    /// logical elements.
+    #[test]
+    fn physical_slots_cover_logical(shape in arb_shape(), seed in any::<u64>(), n in 0usize..3) {
+        let layout = random_layout(shape.clone(), seed, n);
+        let phys = layout.physical_shape();
+        prop_assume!(phys.numel() <= 4096);
+        let mut covered = vec![false; shape.numel() as usize];
+        for pidx in phys.iter_indices() {
+            if let Some(lidx) = layout.physical_to_logical(&pidx) {
+                covered[shape.flatten(&lidx) as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "some logical element has no slot");
+    }
+}

@@ -1,0 +1,177 @@
+//! Functional interpreter for TIR-lite programs.
+//!
+//! Executes lowered loop trees over real `f32` buffers, packing inputs and
+//! unpacking outputs through their assigned layouts. Used to validate that
+//! every layout/loop transformation preserves the reference semantics.
+
+use std::collections::HashMap;
+
+use alt_layout::LayoutPlan;
+use alt_tensor::expr::Env;
+use alt_tensor::op::ScalarBinOp;
+use alt_tensor::{Graph, NdBuf, TensorId, TensorKind};
+
+use crate::tir::{BufKind, Program, SExpr, Stmt, StoreMode, TirNode};
+
+/// Evaluates an [`SExpr`] against the buffer table.
+fn eval_sexpr(e: &SExpr, env: &Env, bufs: &[NdBuf]) -> f32 {
+    match e {
+        SExpr::Imm(v) => *v,
+        SExpr::Load { buf, indices } => {
+            let idx: Vec<i64> = indices.iter().map(|i| i.eval(env)).collect();
+            bufs[buf.0].get(&idx)
+        }
+        SExpr::Bin(op, a, b) => {
+            let x = eval_sexpr(a, env, bufs);
+            let y = eval_sexpr(b, env, bufs);
+            match op {
+                ScalarBinOp::Add => x + y,
+                ScalarBinOp::Sub => x - y,
+                ScalarBinOp::Mul => x * y,
+                ScalarBinOp::Div => x / y,
+                ScalarBinOp::Max => x.max(y),
+                ScalarBinOp::Min => x.min(y),
+            }
+        }
+        SExpr::Unary(op, a) => op.apply(eval_sexpr(a, env, bufs)),
+        SExpr::Select { cond, then_, else_ } => {
+            if cond.eval(env) {
+                eval_sexpr(then_, env, bufs)
+            } else {
+                eval_sexpr(else_, env, bufs)
+            }
+        }
+    }
+}
+
+fn exec_stmt(stmt: &Stmt, env: &Env, bufs: &mut [NdBuf]) {
+    // Invalid physical slots (padding, unfold overhang) hold zero and are
+    // never accumulated into; the value expression is not evaluated for
+    // them because its logical indices would be out of bounds.
+    if let Some(pred) = &stmt.pred {
+        if !pred.eval(env) {
+            if stmt.mode == StoreMode::Assign {
+                let idx: Vec<i64> = stmt.indices.iter().map(|i| i.eval(env)).collect();
+                bufs[stmt.buf.0].set(&idx, 0.0);
+            }
+            return;
+        }
+    }
+    let idx: Vec<i64> = stmt.indices.iter().map(|i| i.eval(env)).collect();
+    let v = eval_sexpr(&stmt.value, env, bufs);
+    let b = &mut bufs[stmt.buf.0];
+    match stmt.mode {
+        StoreMode::Assign => b.set(&idx, v),
+        StoreMode::AddAcc => {
+            let old = b.get(&idx);
+            b.set(&idx, old + v);
+        }
+        StoreMode::MaxAcc => {
+            let old = b.get(&idx);
+            b.set(&idx, old.max(v));
+        }
+    }
+}
+
+fn exec_nodes(nodes: &[TirNode], env: &mut Env, bufs: &mut [NdBuf]) {
+    for node in nodes {
+        match node {
+            TirNode::Loop {
+                var, extent, body, ..
+            } => {
+                for i in 0..*extent {
+                    env.bind(var, i);
+                    exec_nodes(body, env, bufs);
+                }
+            }
+            TirNode::Stmt(s) => exec_stmt(s, env, bufs),
+        }
+    }
+}
+
+/// Runs a lowered program.
+///
+/// `bindings` supplies *logical* buffers for every input and parameter;
+/// they are packed into their physical layouts before execution. Returns
+/// the *logical* contents of every graph tensor (unpacked through its
+/// layout), indexable by [`TensorId`].
+///
+/// # Panics
+///
+/// Panics on missing bindings or shape mismatches (caller bugs).
+pub fn run_program(
+    program: &Program,
+    graph: &Graph,
+    plan: &LayoutPlan,
+    bindings: &HashMap<TensorId, NdBuf>,
+) -> HashMap<TensorId, NdBuf> {
+    let mut bufs: Vec<NdBuf> = program
+        .buffers
+        .iter()
+        .map(|b| NdBuf::zeros(b.shape.clone()))
+        .collect();
+
+    // Pack inputs and parameters.
+    for (k, decl) in program.buffers.iter().enumerate() {
+        if let BufKind::Tensor(t) = decl.kind {
+            let info = graph.tensor(t);
+            if info.kind != TensorKind::Intermediate {
+                let logical = bindings
+                    .get(&t)
+                    .unwrap_or_else(|| panic!("missing binding for `{}`", info.name));
+                bufs[k] = plan.layout_of(graph, t).pack(logical);
+            }
+        }
+    }
+
+    // Pack `store_at` guests into the reserved slots of their hosts.
+    for (&guest, &(host, host_dim)) in plan.embeddings() {
+        let gbuf = bindings
+            .get(&guest)
+            .unwrap_or_else(|| panic!("missing binding for store_at guest"));
+        let host_layout = plan.layout_of(graph, host);
+        let host_size = graph.tensor(host).shape.dim(host_dim);
+        let host_buf_idx = program
+            .buffer_for_tensor(host)
+            .expect("host buffer exists")
+            .0;
+        for gidx in gbuf.shape().clone().iter_indices() {
+            let mut lidx = gidx.clone();
+            lidx.insert(host_dim, host_size);
+            let pidx = host_layout.logical_to_physical(&lidx);
+            let v = gbuf.get(&gidx);
+            bufs[host_buf_idx].set(&pidx, v);
+        }
+    }
+
+    let mut env = Env::new();
+    for group in &program.groups {
+        exec_nodes(&group.nodes, &mut env, &mut bufs);
+    }
+
+    // Unpack every graph tensor back to logical order. Embedded guests
+    // are read back out of their host's reserved slot.
+    let mut out = HashMap::new();
+    for (k, decl) in program.buffers.iter().enumerate() {
+        if let BufKind::Tensor(t) = decl.kind {
+            if let Some((host, host_dim)) = plan.embedding_of(t) {
+                let host_layout = plan.layout_of(graph, host);
+                let host_size = graph.tensor(host).shape.dim(host_dim);
+                let host_buf = program.buffer_for_tensor(host).expect("host buffer").0;
+                let gshape = graph.tensor(t).shape.clone();
+                let mut g = NdBuf::zeros(gshape.clone());
+                for gidx in gshape.iter_indices() {
+                    let mut lidx = gidx.clone();
+                    lidx.insert(host_dim, host_size);
+                    let pidx = host_layout.logical_to_physical(&lidx);
+                    g.set(&gidx, bufs[host_buf].get(&pidx));
+                }
+                out.insert(t, g);
+                continue;
+            }
+            let layout = plan.layout_of(graph, t);
+            out.insert(t, layout.unpack(&bufs[k]));
+        }
+    }
+    out
+}

@@ -1,0 +1,676 @@
+//! Lowering: scheduled computational graph -> TIR-lite program.
+//!
+//! This is the compilation pass described in paper §6. For an operator
+//! `Y = F(X...)`:
+//!
+//! * the loop nest is reconstructed from the *physical* dimensions of `Y`'s
+//!   layout (one spatial loop per physical dimension),
+//! * logical output indices are recovered via the inverse primitive
+//!   sequence `S_Y^{-1}(L')`, and
+//! * every access to an input `X` is rewritten to
+//!   `S_X(S_Y^{-1}(L'))` — so changing a layout never requires manually
+//!   re-implementing the operator.
+//!
+//! Tiling follows the schedule's multi-level structure
+//! (`S0 [init | R0 S1 R1 S2 | epilogue]`), with elementwise consumers fused
+//! into the epilogue of their producer's tile loops when layouts align.
+
+use std::collections::HashMap;
+
+use alt_layout::{LayoutPlan, VarExtents};
+use alt_tensor::expr::{Expr, Var, VarGen};
+use alt_tensor::op::{Cond, ReduceKind, ScalarBinOp, ScalarExpr};
+use alt_tensor::{Graph, Node, OpId, OpTag, TensorId};
+
+use crate::schedule::GraphSchedule;
+use crate::tir::{
+    BufId, BufKind, BufferDecl, LoopKind, LoweredGroup, Program, SExpr, Stmt, StoreMode, TirNode,
+};
+
+/// One tiled axis: per-level loop extents plus the variables bound at each
+/// level (extent-1 levels carry no variable).
+struct TiledAxis {
+    levels: Vec<i64>,
+    vars: Vec<Option<Var>>,
+}
+
+impl TiledAxis {
+    fn new(
+        extent: i64,
+        tiling: &crate::schedule::AxisTiling,
+        vargen: &mut VarGen,
+        name: &str,
+    ) -> Self {
+        let levels = tiling.levels(extent);
+        let vars = levels
+            .iter()
+            .enumerate()
+            .map(|(l, &e)| {
+                if e > 1 {
+                    Some(vargen.fresh(&format!("{name}.{l}")))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Self { levels, vars }
+    }
+
+    /// The reconstructed axis index expression (Horner form over levels).
+    fn index_expr(&self) -> Expr {
+        let mut e = Expr::c(0);
+        for (l, v) in self.vars.iter().enumerate() {
+            e = e.mul_c(self.levels[l]);
+            if let Some(v) = v {
+                e = e.add(&Expr::v(v));
+            }
+        }
+        e
+    }
+
+    fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Loop (var, extent) at `level`, if it needs emitting.
+    fn loop_at(&self, level: usize) -> Option<(Var, i64)> {
+        if level >= self.levels.len() {
+            return None;
+        }
+        self.vars[level]
+            .as_ref()
+            .map(|v| (v.clone(), self.levels[level]))
+    }
+}
+
+/// Wraps `body` in the given loops (outermost first).
+fn nest(loops: Vec<(Var, i64, LoopKind)>, body: Vec<TirNode>) -> Vec<TirNode> {
+    let mut cur = body;
+    for (var, extent, kind) in loops.into_iter().rev() {
+        cur = vec![TirNode::loop_(var, extent, kind, cur)];
+    }
+    cur
+}
+
+/// Conjunction of a condition list.
+fn conj(conds: &[Cond]) -> Option<Cond> {
+    let mut it = conds.iter().cloned();
+    let first = it.next()?;
+    Some(it.fold(first, |a, b| a.and(b)))
+}
+
+/// Converts a compute-body [`ScalarExpr`] (logical loads) into an
+/// [`SExpr`] (physical buffer loads), rewriting each access through the
+/// input tensor's layout.
+#[allow(clippy::too_many_arguments)]
+fn convert_body(
+    expr: &ScalarExpr,
+    node: &Node,
+    graph: &Graph,
+    plan: &LayoutPlan,
+    bufs: &HashMap<TensorId, BufId>,
+    converted: &HashMap<(TensorId, OpId), BufId>,
+    subst: &HashMap<u32, Expr>,
+    extents: &VarExtents,
+) -> SExpr {
+    match expr {
+        ScalarExpr::Imm(v) => SExpr::Imm(*v),
+        ScalarExpr::Load { input, indices } => {
+            let t = node.inputs[*input];
+            let mut logical: Vec<Expr> = indices.iter().map(|e| e.subst(subst)).collect();
+            // A `store_at` guest lives inside its host's buffer, at the
+            // reserved slot along the host dimension.
+            if let Some((host, host_dim)) = plan.embedding_of(t) {
+                let host_size = graph.tensor(host).shape.dim(host_dim);
+                logical.insert(host_dim, Expr::c(host_size));
+                let layout = plan.layout_of(graph, host);
+                let phys = layout.rewrite_access(&logical, extents);
+                return SExpr::Load {
+                    buf: bufs[&host],
+                    indices: phys,
+                };
+            }
+            let layout = plan.layout_for_read(graph, t, node.id);
+            let phys = layout.rewrite_access(&logical, extents);
+            let buf = converted
+                .get(&(t, node.id))
+                .copied()
+                .unwrap_or_else(|| bufs[&t]);
+            SExpr::Load { buf, indices: phys }
+        }
+        ScalarExpr::Bin(op, a, b) => SExpr::Bin(
+            *op,
+            Box::new(convert_body(
+                a, node, graph, plan, bufs, converted, subst, extents,
+            )),
+            Box::new(convert_body(
+                b, node, graph, plan, bufs, converted, subst, extents,
+            )),
+        ),
+        ScalarExpr::Unary(op, a) => SExpr::Unary(
+            *op,
+            Box::new(convert_body(
+                a, node, graph, plan, bufs, converted, subst, extents,
+            )),
+        ),
+        ScalarExpr::Select { cond, then_, else_ } => SExpr::Select {
+            cond: cond.subst(subst),
+            then_: Box::new(convert_body(
+                then_, node, graph, plan, bufs, converted, subst, extents,
+            )),
+            else_: Box::new(convert_body(
+                else_, node, graph, plan, bufs, converted, subst, extents,
+            )),
+        },
+    }
+}
+
+/// The lowering context.
+struct Lowerer<'g> {
+    graph: &'g Graph,
+    plan: &'g LayoutPlan,
+    sched: &'g GraphSchedule,
+    vargen: VarGen,
+    program: Program,
+    bufs: HashMap<TensorId, BufId>,
+    converted: HashMap<(TensorId, OpId), BufId>,
+}
+
+/// Lowers a scheduled, layout-annotated graph into a program.
+pub fn lower(graph: &Graph, plan: &LayoutPlan, sched: &GraphSchedule) -> Program {
+    lower_filtered(graph, plan, sched, None)
+}
+
+/// Lowers only the fusion groups rooted at the given operators (all groups
+/// when `roots` is `None`). Tuners use this to measure a single operator's
+/// group — including its layout-conversion groups — without paying for the
+/// rest of the network.
+pub fn lower_filtered(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    sched: &GraphSchedule,
+    roots: Option<&std::collections::HashSet<OpId>>,
+) -> Program {
+    let mut l = Lowerer {
+        graph,
+        plan,
+        sched,
+        vargen: graph.vargen.clone(),
+        program: Program::default(),
+        bufs: HashMap::new(),
+        converted: HashMap::new(),
+    };
+    l.declare_buffers();
+    let groups = l.fusion_groups();
+    for (root, fused) in groups {
+        if let Some(filter) = roots {
+            if !filter.contains(&root) {
+                continue;
+            }
+        }
+        l.emit_conversions_for(root);
+        for &f in &fused {
+            l.emit_conversions_for(f);
+        }
+        l.lower_group(root, fused);
+    }
+    l.program
+}
+
+impl<'g> Lowerer<'g> {
+    fn declare_buffers(&mut self) {
+        for (k, t) in self.graph.tensors().iter().enumerate() {
+            let id = TensorId(k);
+            let shape = self.plan.layout_of(self.graph, id).physical_shape();
+            let buf = self.program.add_buffer(BufferDecl {
+                name: t.name.clone(),
+                shape,
+                kind: BufKind::Tensor(id),
+            });
+            self.bufs.insert(id, buf);
+        }
+    }
+
+    /// Groups operators for fusion: an elementwise op whose schedule asks
+    /// for fusion joins its producer's group when it is the sole consumer
+    /// and its output layout replicates the producer's (the alignment that
+    /// layout propagation establishes — paper Fig. 7).
+    fn fusion_groups(&self) -> Vec<(OpId, Vec<OpId>)> {
+        let mut assigned = vec![false; self.graph.num_ops()];
+        let mut groups = Vec::new();
+        for node in self.graph.nodes() {
+            if assigned[node.id.0] {
+                continue;
+            }
+            assigned[node.id.0] = true;
+            let mut fused = Vec::new();
+            let mut tail = node.output;
+            loop {
+                let consumers = &self.graph.tensor(tail).consumers;
+                if consumers.len() != 1 {
+                    break;
+                }
+                let c = consumers[0];
+                if assigned[c.0] {
+                    break;
+                }
+                let cn = self.graph.node(c);
+                if cn.tag != OpTag::Elementwise || !self.sched.get(c).fuse_into_producer {
+                    break;
+                }
+                // Conversions on the fused edge make fusion meaningless.
+                if self.plan.conversion_for(tail, c).is_some() {
+                    break;
+                }
+                let tail_layout = self.plan.layout_of(self.graph, tail);
+                let out_layout = self.plan.layout_of(self.graph, cn.output);
+                if tail_layout.prims() != out_layout.prims()
+                    || tail_layout.logical_shape() != out_layout.logical_shape()
+                {
+                    break;
+                }
+                assigned[c.0] = true;
+                fused.push(c);
+                tail = cn.output;
+            }
+            groups.push((node.id, fused));
+        }
+        groups
+    }
+
+    /// Emits the runtime layout-conversion groups feeding `op`.
+    fn emit_conversions_for(&mut self, op: OpId) {
+        let node = self.graph.node(op);
+        for &t in &node.inputs.clone() {
+            let Some(conv) = self.plan.conversion_for(t, op) else {
+                continue;
+            };
+            if self.converted.contains_key(&(t, op)) {
+                continue;
+            }
+            let new_layout = conv.layout.clone();
+            let src_layout = self.plan.layout_of(self.graph, t);
+            let phys = new_layout.physical_shape();
+            let buf = self.program.add_buffer(BufferDecl {
+                name: format!("{}_conv", self.graph.tensor(t).name),
+                shape: phys.clone(),
+                kind: BufKind::Converted(t),
+            });
+            self.converted.insert((t, op), buf);
+
+            // Simple parallel/vectorized copy nest over the new physical
+            // dims.
+            let vars: Vec<Var> = (0..phys.ndim())
+                .map(|k| self.vargen.fresh(&format!("cv{k}")))
+                .collect();
+            let var_exprs: Vec<Expr> = vars.iter().map(Expr::v).collect();
+            let (logical, conds) = new_layout.inverse_access(&var_exprs);
+            let src_phys = src_layout.rewrite_access(&logical, &VarExtents::new());
+            let stmt = Stmt {
+                buf,
+                indices: var_exprs.clone(),
+                value: SExpr::Load {
+                    buf: self.bufs[&t],
+                    indices: src_phys,
+                },
+                mode: StoreMode::Assign,
+                pred: conj(&conds),
+            };
+            // Parallelize outer loops until there is enough parallelism
+            // to feed every core, and vectorize the innermost copy loop.
+            let mut par_extent = 1i64;
+            let loops: Vec<(Var, i64, LoopKind)> = vars
+                .iter()
+                .enumerate()
+                .map(|(k, v)| {
+                    let kind = if k + 1 < phys.ndim() && par_extent < 512 {
+                        par_extent *= phys.dim(k);
+                        LoopKind::Parallel
+                    } else if k == phys.ndim() - 1 {
+                        LoopKind::Vectorized
+                    } else {
+                        LoopKind::Serial
+                    };
+                    (v.clone(), phys.dim(k), kind)
+                })
+                .collect();
+            let nodes = nest(loops, vec![TirNode::Stmt(stmt)]);
+            self.program.groups.push(LoweredGroup {
+                root: op,
+                fused: vec![],
+                nodes,
+                label: format!("convert({})", self.graph.tensor(t).name),
+            });
+        }
+    }
+
+    fn lower_group(&mut self, root: OpId, fused: Vec<OpId>) {
+        let node = self.graph.node(root).clone();
+        let out_layout = self.plan.layout_of(self.graph, node.output);
+        let phys = out_layout.physical_shape();
+        let out_buf = self.bufs[&node.output];
+        // A schedule authored against a different (since-changed) layout
+        // no longer divides the physical dims; fall back to an automatic
+        // schedule rather than producing invalid loops.
+        let reduce_ext: Vec<i64> = node.compute.reduce_axes.iter().map(|a| a.extent).collect();
+        let mut sched = self.sched.get(root);
+        if !sched.validate(phys.dims(), &reduce_ext) {
+            sched = auto_schedule(&phys, sched.fuse_into_producer);
+        }
+
+        // Variable extents for sliding-window (Eq. 1) matching: the
+        // reduction variables stay live in the main nest.
+        let mut extents = VarExtents::new();
+        for ax in &node.compute.reduce_axes {
+            extents.insert(ax.var.id(), ax.extent);
+        }
+
+        // Tiled spatial axes over the *physical* output dims.
+        let spatial: Vec<TiledAxis> = (0..phys.ndim())
+            .map(|k| {
+                TiledAxis::new(
+                    phys.dim(k),
+                    &sched.spatial_tiling(k),
+                    &mut self.vargen,
+                    &format!("s{k}"),
+                )
+            })
+            .collect();
+        let max_s_levels = spatial.iter().map(TiledAxis::num_levels).max().unwrap_or(1);
+
+        // S0 loops (outermost level of every spatial axis).
+        let s0_kind = if sched.parallel {
+            LoopKind::Parallel
+        } else {
+            LoopKind::Serial
+        };
+        let s0_loops: Vec<(Var, i64, LoopKind)> = spatial
+            .iter()
+            .filter_map(|a| a.loop_at(0))
+            .map(|(v, e)| (v, e, s0_kind))
+            .collect();
+
+        // Inner spatial loops builder (levels 1..): returns the loop list
+        // for a fresh traversal of the tile.
+        let inner_spatial_loops = |spatial: &[TiledAxis], vectorize: bool| {
+            let mut loops: Vec<(Var, i64, LoopKind)> = Vec::new();
+            for level in 1..max_s_levels {
+                for a in spatial {
+                    if let Some((v, e)) = a.loop_at(level) {
+                        loops.push((v, e, LoopKind::Serial));
+                    }
+                }
+            }
+            if vectorize {
+                if let Some(last) = loops.last_mut() {
+                    last.2 = LoopKind::Vectorized;
+                }
+            }
+            loops
+        };
+
+        // Physical index expressions and the logical reconstruction.
+        let phys_exprs: Vec<Expr> = spatial.iter().map(TiledAxis::index_expr).collect();
+        let (logical_exprs, conds) = out_layout.inverse_access(&phys_exprs);
+        let pred = conj(&conds);
+
+        // Substitution: compute axis vars -> logical index exprs.
+        let mut subst = HashMap::new();
+        for (ax, e) in node.compute.axes.iter().zip(logical_exprs.iter()) {
+            subst.insert(ax.var.id(), e.clone());
+        }
+
+        let body = convert_body(
+            &node.compute.body,
+            &node,
+            self.graph,
+            self.plan,
+            &self.bufs,
+            &self.converted,
+            &subst,
+            &extents,
+        );
+
+        let mut tile_body: Vec<TirNode> = Vec::new();
+        let is_reduce = node.compute.reduce != ReduceKind::None;
+
+        if is_reduce {
+            // Init pass over the tile.
+            let init_stmt = Stmt {
+                buf: out_buf,
+                indices: phys_exprs.clone(),
+                value: SExpr::Imm(node.compute.init),
+                mode: StoreMode::Assign,
+                pred: pred.clone(),
+            };
+            tile_body.extend(nest(
+                inner_spatial_loops(&spatial, sched.vectorize),
+                vec![TirNode::Stmt(init_stmt)],
+            ));
+
+            // Main accumulation nest: R0 S1 R1 S2 ...
+            let reduce_axes: Vec<TiledAxis> = node
+                .compute
+                .reduce_axes
+                .iter()
+                .enumerate()
+                .map(|(k, ax)| {
+                    // The level-0 "loop" reuses the original reduce var at
+                    // the innermost level so the body expression stays
+                    // valid; tiling splits it.
+                    TiledAxis::new(
+                        ax.extent,
+                        &sched.reduce_tiling(k),
+                        &mut self.vargen,
+                        &format!("r{k}"),
+                    )
+                })
+                .collect();
+            // Reduce axis reconstruction: original reduce var = Horner of
+            // level vars; substitute into the body.
+            let mut rsubst = HashMap::new();
+            for (ax, ta) in node.compute.reduce_axes.iter().zip(reduce_axes.iter()) {
+                rsubst.insert(ax.var.id(), ta.index_expr());
+            }
+            let body_main = subst_sexpr(&body, &rsubst);
+            let pred_main = pred.clone().map(|c| c.subst(&rsubst));
+
+            let mode = match node.compute.reduce {
+                ReduceKind::Sum => StoreMode::AddAcc,
+                ReduceKind::Max => StoreMode::MaxAcc,
+                ReduceKind::None => unreachable!(),
+            };
+            let acc_stmt = Stmt {
+                buf: out_buf,
+                indices: phys_exprs.clone(),
+                value: body_main,
+                mode,
+                pred: pred_main,
+            };
+            let max_r_levels = reduce_axes
+                .iter()
+                .map(TiledAxis::num_levels)
+                .max()
+                .unwrap_or(1);
+            // Interleave as `S0 R0 S1 R1 S2`: reduce level l, then spatial
+            // level l+1, holding the *last* spatial level back so it stays
+            // innermost (vectorizable).
+            let last_s_level = max_s_levels - 1;
+            let mut loops: Vec<(Var, i64, LoopKind)> = Vec::new();
+            for level in 0..max_r_levels.max(max_s_levels.saturating_sub(1)) {
+                for a in &reduce_axes {
+                    if let Some((v, e)) = a.loop_at(level) {
+                        loops.push((v, e, LoopKind::Serial));
+                    }
+                }
+                if level + 1 < last_s_level {
+                    for a in &spatial {
+                        if let Some((v, e)) = a.loop_at(level + 1) {
+                            loops.push((v, e, LoopKind::Serial));
+                        }
+                    }
+                }
+            }
+            // The innermost reduce loop can be unrolled.
+            if sched.unroll {
+                if let Some(last) = loops.last_mut() {
+                    last.2 = LoopKind::Unrolled;
+                }
+            }
+            // Deferred last spatial level, innermost and vectorizable.
+            if last_s_level > 0 {
+                let before = loops.len();
+                for a in &spatial {
+                    if let Some((v, e)) = a.loop_at(last_s_level) {
+                        loops.push((v, e, LoopKind::Serial));
+                    }
+                }
+                if sched.vectorize && loops.len() > before {
+                    if let Some(last) = loops.last_mut() {
+                        last.2 = LoopKind::Vectorized;
+                    }
+                }
+            }
+            tile_body.extend(nest(loops, vec![TirNode::Stmt(acc_stmt)]));
+        } else {
+            // Pure elementwise/gather root: direct store.
+            let stmt = Stmt {
+                buf: out_buf,
+                indices: phys_exprs.clone(),
+                value: body,
+                mode: StoreMode::Assign,
+                pred: pred.clone(),
+            };
+            tile_body.extend(nest(
+                inner_spatial_loops(&spatial, sched.vectorize),
+                vec![TirNode::Stmt(stmt)],
+            ));
+        }
+
+        // Epilogue: post-scale plus the fused elementwise chain, iterating
+        // the same tile.
+        let needs_scale = node.compute.post_scale != 1.0;
+        if needs_scale || !fused.is_empty() {
+            let mut stmts: Vec<TirNode> = Vec::new();
+            if needs_scale {
+                stmts.push(TirNode::Stmt(Stmt {
+                    buf: out_buf,
+                    indices: phys_exprs.clone(),
+                    value: SExpr::Bin(
+                        ScalarBinOp::Mul,
+                        Box::new(SExpr::Load {
+                            buf: out_buf,
+                            indices: phys_exprs.clone(),
+                        }),
+                        Box::new(SExpr::Imm(node.compute.post_scale)),
+                    ),
+                    mode: StoreMode::Assign,
+                    pred: pred.clone(),
+                }));
+            }
+            for &f in &fused {
+                let fnode = self.graph.node(f).clone();
+                // The fused op's axes map one-to-one onto the root's
+                // logical output indices.
+                let mut fsubst = HashMap::new();
+                for (ax, e) in fnode.compute.axes.iter().zip(logical_exprs.iter()) {
+                    fsubst.insert(ax.var.id(), e.clone());
+                }
+                let fbuf = self.bufs[&fnode.output];
+                // Convert the body; loads of `prev_out` become physical
+                // loads at the current tile position (its layout equals
+                // the root output layout, so the rewrite yields exactly
+                // `phys_exprs` — no special-casing needed).
+                let fbody = convert_body(
+                    &fnode.compute.body,
+                    &fnode,
+                    self.graph,
+                    self.plan,
+                    &self.bufs,
+                    &self.converted,
+                    &fsubst,
+                    &extents,
+                );
+                stmts.push(TirNode::Stmt(Stmt {
+                    buf: fbuf,
+                    indices: phys_exprs.clone(),
+                    value: fbody,
+                    mode: StoreMode::Assign,
+                    pred: pred.clone(),
+                }));
+            }
+            tile_body.extend(nest(inner_spatial_loops(&spatial, sched.vectorize), stmts));
+        }
+
+        let nodes = nest(s0_loops, tile_body);
+        let label = if fused.is_empty() {
+            node.compute.name.clone()
+        } else {
+            format!(
+                "{}+{}",
+                node.compute.name,
+                fused
+                    .iter()
+                    .map(|f| self.graph.node(*f).compute.name.clone())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            )
+        };
+        self.program.groups.push(LoweredGroup {
+            root,
+            fused,
+            nodes,
+            label,
+        });
+    }
+}
+
+/// Fallback schedule derived from the physical output shape: parallel
+/// outer loops and a vectorizable innermost tile.
+fn auto_schedule(phys: &alt_tensor::Shape, fuse: bool) -> crate::schedule::OpSchedule {
+    let nd = phys.ndim();
+    let mut spatial = vec![crate::schedule::AxisTiling::none(); nd];
+    if nd > 0 {
+        let last = phys.dim(nd - 1);
+        // Largest divisor <= 64 keeps the inner loop vector-friendly.
+        let mut tile = 1;
+        for d in 1..=last.min(64) {
+            if last % d == 0 {
+                tile = d;
+            }
+        }
+        if tile > 1 {
+            spatial[nd - 1] = crate::schedule::AxisTiling::one(tile);
+        }
+    }
+    crate::schedule::OpSchedule {
+        spatial,
+        reduce: Vec::new(),
+        vectorize: true,
+        unroll: false,
+        parallel: true,
+        fuse_into_producer: fuse,
+    }
+}
+
+/// Substitutes index variables inside an [`SExpr`].
+fn subst_sexpr(e: &SExpr, map: &HashMap<u32, Expr>) -> SExpr {
+    match e {
+        SExpr::Imm(v) => SExpr::Imm(*v),
+        SExpr::Load { buf, indices } => SExpr::Load {
+            buf: *buf,
+            indices: indices.iter().map(|i| i.subst(map)).collect(),
+        },
+        SExpr::Bin(op, a, b) => SExpr::Bin(
+            *op,
+            Box::new(subst_sexpr(a, map)),
+            Box::new(subst_sexpr(b, map)),
+        ),
+        SExpr::Unary(op, a) => SExpr::Unary(*op, Box::new(subst_sexpr(a, map))),
+        SExpr::Select { cond, then_, else_ } => SExpr::Select {
+            cond: cond.subst(map),
+            then_: Box::new(subst_sexpr(then_, map)),
+            else_: Box::new(subst_sexpr(else_, map)),
+        },
+    }
+}

@@ -1,0 +1,279 @@
+//! TIR-lite: the concrete loop-nest IR produced by lowering.
+//!
+//! A [`Program`] is a buffer table plus a sequence of loop trees. Both the
+//! functional interpreter and the hardware performance model walk this
+//! structure, so every transformation is validated and costed against the
+//! exact same program.
+
+use alt_tensor::expr::{Expr, Var};
+use alt_tensor::op::{Cond, ScalarBinOp, UnaryOp};
+use alt_tensor::{Shape, TensorId};
+
+/// Identifier of a buffer in a [`Program`]'s buffer table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufId(pub usize);
+
+/// Where a buffer's contents come from / go to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BufKind {
+    /// Bound to a graph tensor (input, parameter or intermediate); the
+    /// runner packs/unpacks it according to the tensor's layout.
+    Tensor(TensorId),
+    /// A layout-converted copy of a graph tensor, produced at runtime.
+    Converted(TensorId),
+}
+
+/// A physical buffer declaration.
+#[derive(Clone, Debug)]
+pub struct BufferDecl {
+    /// Display name.
+    pub name: String,
+    /// Physical shape.
+    pub shape: Shape,
+    /// Binding.
+    pub kind: BufKind,
+}
+
+/// Loop annotations (subset of TVM loop primitives: `parallel`,
+/// `vectorize`, `unroll`; plain `split`/`reorder` are encoded
+/// structurally).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// Parallelized across cores (outermost spatial tiles).
+    Parallel,
+    /// SIMD-vectorized innermost loop.
+    Vectorized,
+    /// Fully unrolled loop.
+    Unrolled,
+}
+
+/// How a [`Stmt`] writes its destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreMode {
+    /// `buf[i] = value`.
+    Assign,
+    /// `buf[i] += value`.
+    AddAcc,
+    /// `buf[i] = max(buf[i], value)`.
+    MaxAcc,
+}
+
+/// Scalar expressions over physical buffer accesses.
+#[derive(Clone, Debug)]
+pub enum SExpr {
+    /// Literal.
+    Imm(f32),
+    /// Load `buf` at physical `indices`.
+    Load {
+        /// Source buffer.
+        buf: BufId,
+        /// Physical index expressions.
+        indices: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin(ScalarBinOp, Box<SExpr>, Box<SExpr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<SExpr>),
+    /// Conditional; only the taken branch is evaluated.
+    Select {
+        /// Predicate over index expressions.
+        cond: Cond,
+        /// Taken branch.
+        then_: Box<SExpr>,
+        /// Untaken branch.
+        else_: Box<SExpr>,
+    },
+}
+
+impl SExpr {
+    /// Counts the floating-point operations of one evaluation.
+    pub fn flops(&self) -> u64 {
+        match self {
+            SExpr::Imm(_) | SExpr::Load { .. } => 0,
+            SExpr::Bin(_, a, b) => 1 + a.flops() + b.flops(),
+            SExpr::Unary(_, a) => 1 + a.flops(),
+            SExpr::Select { then_, else_, .. } => 1 + then_.flops().max(else_.flops()),
+        }
+    }
+
+    /// Visits every load (including those in select branches).
+    pub fn visit_loads(&self, f: &mut impl FnMut(BufId, &[Expr])) {
+        match self {
+            SExpr::Imm(_) => {}
+            SExpr::Load { buf, indices } => f(*buf, indices),
+            SExpr::Bin(_, a, b) => {
+                a.visit_loads(f);
+                b.visit_loads(f);
+            }
+            SExpr::Unary(_, a) => a.visit_loads(f),
+            SExpr::Select { then_, else_, .. } => {
+                then_.visit_loads(f);
+                else_.visit_loads(f);
+            }
+        }
+    }
+}
+
+/// A single store statement.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// Destination buffer.
+    pub buf: BufId,
+    /// Physical destination indices.
+    pub indices: Vec<Expr>,
+    /// Value expression.
+    pub value: SExpr,
+    /// Assignment vs. accumulation.
+    pub mode: StoreMode,
+    /// Validity predicate from the destination layout's inverse map: when
+    /// false, `Assign` stores write `0.0` (pad/overhang slots) and
+    /// accumulating stores are skipped.
+    pub pred: Option<Cond>,
+}
+
+/// A node of the loop tree.
+#[derive(Clone, Debug)]
+pub enum TirNode {
+    /// A loop over `0..extent` binding `var`.
+    Loop {
+        /// Bound variable.
+        var: Var,
+        /// Trip count.
+        extent: i64,
+        /// Annotation.
+        kind: LoopKind,
+        /// Loop body.
+        body: Vec<TirNode>,
+    },
+    /// A leaf statement.
+    Stmt(Stmt),
+}
+
+impl TirNode {
+    /// Builds a loop node.
+    pub fn loop_(var: Var, extent: i64, kind: LoopKind, body: Vec<TirNode>) -> TirNode {
+        TirNode::Loop {
+            var,
+            extent,
+            kind,
+            body,
+        }
+    }
+
+    /// Total number of innermost statement executions under this node.
+    pub fn stmt_iterations(&self) -> u64 {
+        match self {
+            TirNode::Loop { extent, body, .. } => {
+                *extent as u64 * body.iter().map(|n| n.stmt_iterations()).sum::<u64>()
+            }
+            TirNode::Stmt(_) => 1,
+        }
+    }
+}
+
+/// A lowered group: one root operator plus the elementwise chain fused
+/// into its tile loops.
+#[derive(Clone, Debug)]
+pub struct LoweredGroup {
+    /// The root operator.
+    pub root: alt_tensor::OpId,
+    /// Fused elementwise consumers, in execution order.
+    pub fused: Vec<alt_tensor::OpId>,
+    /// Loop tree (a list of top-level loops/statements).
+    pub nodes: Vec<TirNode>,
+    /// Human-readable description for logs.
+    pub label: String,
+}
+
+/// A complete lowered program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Buffer table.
+    pub buffers: Vec<BufferDecl>,
+    /// Groups in execution order.
+    pub groups: Vec<LoweredGroup>,
+}
+
+impl Program {
+    /// Registers a buffer and returns its id.
+    pub fn add_buffer(&mut self, decl: BufferDecl) -> BufId {
+        let id = BufId(self.buffers.len());
+        self.buffers.push(decl);
+        id
+    }
+
+    /// Looks up a buffer declaration.
+    pub fn buffer(&self, id: BufId) -> &BufferDecl {
+        &self.buffers[id.0]
+    }
+
+    /// The buffer bound to a graph tensor (not a converted copy).
+    pub fn buffer_for_tensor(&self, t: TensorId) -> Option<BufId> {
+        self.buffers
+            .iter()
+            .position(|b| b.kind == BufKind::Tensor(t))
+            .map(BufId)
+    }
+
+    /// Total statement executions (a cheap size measure used in tests).
+    pub fn total_stmt_iterations(&self) -> u64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.nodes.iter())
+            .map(|n| n.stmt_iterations())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_tensor::VarGen;
+
+    #[test]
+    fn stmt_iterations_count() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let j = g.fresh("j");
+        let stmt = Stmt {
+            buf: BufId(0),
+            indices: vec![Expr::v(&i), Expr::v(&j)],
+            value: SExpr::Imm(1.0),
+            mode: StoreMode::Assign,
+            pred: None,
+        };
+        let tree = TirNode::loop_(
+            i,
+            4,
+            LoopKind::Serial,
+            vec![TirNode::loop_(
+                j,
+                5,
+                LoopKind::Serial,
+                vec![TirNode::Stmt(stmt)],
+            )],
+        );
+        assert_eq!(tree.stmt_iterations(), 20);
+    }
+
+    #[test]
+    fn sexpr_flops_and_loads() {
+        let e = SExpr::Bin(
+            ScalarBinOp::Add,
+            Box::new(SExpr::Load {
+                buf: BufId(0),
+                indices: vec![],
+            }),
+            Box::new(SExpr::Load {
+                buf: BufId(1),
+                indices: vec![],
+            }),
+        );
+        assert_eq!(e.flops(), 1);
+        let mut n = 0;
+        e.visit_loads(&mut |_, _| n += 1);
+        assert_eq!(n, 2);
+    }
+}

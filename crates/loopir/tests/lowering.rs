@@ -1,0 +1,521 @@
+//! End-to-end lowering correctness: every combination of layout and loop
+//! schedule must produce bit-compatible results with the naive reference
+//! executor (up to floating-point reassociation from tiled reductions).
+
+use std::collections::HashMap;
+
+use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
+use alt_loopir::{lower, run_program, AxisTiling, GraphSchedule, OpSchedule};
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, OpId, Shape, TensorId};
+
+const TOL: f32 = 2e-3;
+
+/// Runs both executors and compares every graph tensor.
+fn check(graph: &Graph, plan: &LayoutPlan, sched: &GraphSchedule, seed: u64) {
+    let bindings = random_bindings(graph, seed);
+    let reference = run_graph(graph, &bindings);
+    let program = lower(graph, plan, sched);
+    let got = run_program(&program, graph, plan, &bindings);
+    for (t, buf) in &got {
+        let want = &reference[t.0];
+        let diff = want.max_abs_diff(buf);
+        assert!(
+            diff <= TOL,
+            "tensor `{}` differs by {diff} (layout {})",
+            graph.tensor(*t).name,
+            plan.layout_of(graph, *t)
+        );
+    }
+}
+
+fn conv_graph() -> (Graph, TensorId, OpId, TensorId) {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+    let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+    let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+    let conv = g.tensor(y).producer.unwrap();
+    (g, x, conv, y)
+}
+
+#[test]
+fn naive_conv_matches_reference() {
+    let (g, _, _, _) = conv_graph();
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    check(&g, &plan, &GraphSchedule::naive(), 1);
+}
+
+#[test]
+fn nhwo_output_layout_matches_reference() {
+    let (g, _, conv, y) = conv_graph();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    let layout = presets::nhwo(g.tensor(y).shape.clone()).unwrap();
+    plan.assign_output_layout(&g, conv, layout);
+    check(&g, &plan, &GraphSchedule::naive(), 2);
+}
+
+#[test]
+fn hwon_output_layout_matches_reference() {
+    let (g, _, conv, y) = conv_graph();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    let layout = presets::hwon(g.tensor(y).shape.clone()).unwrap();
+    plan.assign_output_layout(&g, conv, layout);
+    check(&g, &plan, &GraphSchedule::naive(), 3);
+}
+
+#[test]
+fn full_c2d_template_layouts_match_reference() {
+    // Output tiled, input unfolded (via a runtime conversion), weight
+    // tiled: the §5.1 template end to end.
+    let (g, x, conv, y) = conv_graph();
+    let w = g.node(conv).inputs[1];
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    let (ht, wt, ot, it) = (4, 4, 4, 2);
+    plan.assign_output_layout(
+        &g,
+        conv,
+        presets::c2d_output_tiled(g.tensor(y).shape.clone(), ht, wt, ot).unwrap(),
+    );
+    let in_layout =
+        presets::c2d_input_tiled(g.tensor(x).shape.clone(), it, ht, wt, 1, 3, 3).unwrap();
+    plan.assign_input_layout(&g, conv, x, in_layout);
+    plan.assign_input_layout(
+        &g,
+        conv,
+        w,
+        presets::c2d_weight_tiled(g.tensor(w).shape.clone(), 2, 4).unwrap(),
+    );
+    check(&g, &plan, &GraphSchedule::naive(), 4);
+}
+
+#[test]
+fn strided_conv_with_unfolded_input_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 3, 11, 11]));
+    let w = g.add_param("w", Shape::new([4, 3, 3, 3]));
+    let y = ops::conv2d(&mut g, x, w, ConvCfg::strided(2));
+    let conv = g.tensor(y).producer.unwrap();
+    // Output spatial = 5; tile by ht=wt... 5 is prime, use channel tiling
+    // for the output and unfold for the input tied to stride 2.
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        conv,
+        presets::c2d_output_tiled(g.tensor(y).shape.clone(), 5, 1, 2).unwrap(),
+    );
+    let in_layout = presets::c2d_input_tiled(g.tensor(x).shape.clone(), 3, 5, 1, 2, 3, 3).unwrap();
+    plan.assign_input_layout(&g, conv, x, in_layout);
+    check(&g, &plan, &GraphSchedule::naive(), 5);
+}
+
+#[test]
+fn tiled_schedule_matches_reference() {
+    let (g, _, conv, _) = conv_graph();
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    let mut sched = GraphSchedule::naive();
+    sched.set(
+        conv,
+        OpSchedule {
+            // Physical dims: [N=1, O=8, H=8, W=8].
+            spatial: vec![
+                AxisTiling::none(),
+                AxisTiling::one(4),
+                AxisTiling::two(2, 2),
+                AxisTiling::one(8),
+            ],
+            reduce: vec![AxisTiling::one(2), AxisTiling::none(), AxisTiling::none()],
+            vectorize: true,
+            unroll: true,
+            parallel: true,
+            fuse_into_producer: false,
+        },
+    );
+    check(&g, &plan, &sched, 6);
+}
+
+#[test]
+fn tiled_schedule_and_tiled_layout_together() {
+    let (g, _, conv, y) = conv_graph();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        conv,
+        presets::c2d_output_tiled(g.tensor(y).shape.clone(), 2, 4, 4).unwrap(),
+    );
+    let mut sched = GraphSchedule::naive();
+    sched.set(
+        conv,
+        OpSchedule {
+            // Physical dims: [1, H/2=4, W/4=2, O/4=2, 2, 4, 4].
+            spatial: vec![
+                AxisTiling::none(),
+                AxisTiling::one(2),
+                AxisTiling::none(),
+                AxisTiling::none(),
+                AxisTiling::none(),
+                AxisTiling::one(4),
+                AxisTiling::one(4),
+            ],
+            reduce: vec![AxisTiling::one(4), AxisTiling::none(), AxisTiling::none()],
+            vectorize: true,
+            unroll: false,
+            parallel: true,
+            fuse_into_producer: false,
+        },
+    );
+    check(&g, &plan, &sched, 7);
+}
+
+#[test]
+fn fused_conv_bias_relu_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 8, 8]));
+    let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+    let b = g.add_param("b", Shape::new([8]));
+    let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+    let ba = ops::bias_add(&mut g, c, b, 1);
+    let r = ops::relu(&mut g, ba);
+    let conv = g.tensor(c).producer.unwrap();
+    let bias_op = g.tensor(ba).producer.unwrap();
+    let relu_op = g.tensor(r).producer.unwrap();
+
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    // Propagate a tiled output layout through bias+relu for fusion
+    // alignment (paper Figs. 6/7).
+    let applied = plan.assign_output_layout(
+        &g,
+        conv,
+        presets::c2d_output_tiled(g.tensor(c).shape.clone(), 3, 2, 4).unwrap(),
+    );
+    assert_eq!(applied.len(), 3, "propagation should cover bias and relu");
+
+    let mut sched = GraphSchedule::naive();
+    let fuse = OpSchedule {
+        fuse_into_producer: true,
+        ..OpSchedule::default()
+    };
+    sched.set(bias_op, fuse.clone());
+    sched.set(relu_op, fuse);
+    check(&g, &plan, &sched, 8);
+
+    // The lowered program must contain a single fused group.
+    let program = lower(&g, &plan, &sched);
+    assert_eq!(program.groups.len(), 1, "conv+bias+relu should fuse");
+    assert_eq!(program.groups[0].fused.len(), 2);
+}
+
+#[test]
+fn padding_absorbs_conversion_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 8, 8]));
+    let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+    let p = ops::pad2d_spatial(&mut g, x, 1);
+    let c = ops::conv2d(&mut g, p, w, ConvCfg::default());
+    let conv = g.tensor(c).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    let layout = presets::nhwo(g.tensor(p).shape.clone()).unwrap();
+    let outcome = plan.assign_input_layout(&g, conv, p, layout);
+    assert_eq!(outcome, alt_layout::AssignOutcome::Absorbed);
+    check(&g, &plan, &GraphSchedule::naive(), 9);
+    // No conversion group should exist: the pad op writes NHWO directly.
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    assert!(program
+        .groups
+        .iter()
+        .all(|gr| !gr.label.starts_with("convert")));
+}
+
+#[test]
+fn explicit_conversion_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 8, 8]));
+    let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+    let p = ops::pad2d_spatial(&mut g, x, 1);
+    let c = ops::conv2d(&mut g, p, w, ConvCfg::default());
+    let conv = g.tensor(c).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::None);
+    let layout = presets::nhwo(g.tensor(p).shape.clone()).unwrap();
+    let outcome = plan.assign_input_layout(&g, conv, p, layout);
+    assert_eq!(outcome, alt_layout::AssignOutcome::Conversion);
+    check(&g, &plan, &GraphSchedule::naive(), 10);
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    assert!(program
+        .groups
+        .iter()
+        .any(|gr| gr.label.starts_with("convert")));
+}
+
+#[test]
+fn gmm_nkn_layouts_match_reference() {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([8, 12]));
+    let b = g.add_param("b", Shape::new([12, 16]));
+    let c = ops::gmm(&mut g, a, b);
+    let op = g.tensor(c).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        op,
+        presets::gmm_tiled(g.tensor(c).shape.clone(), 4, 4).unwrap(),
+    );
+    plan.assign_input_layout(
+        &g,
+        op,
+        a,
+        presets::gmm_tiled(g.tensor(a).shape.clone(), 4, 4).unwrap(),
+    );
+    plan.assign_input_layout(
+        &g,
+        op,
+        b,
+        presets::gmm_tiled(g.tensor(b).shape.clone(), 4, 4).unwrap(),
+    );
+    check(&g, &plan, &GraphSchedule::naive(), 11);
+}
+
+#[test]
+fn gmm_transposed_b_matches_reference() {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([6, 10]));
+    let b = g.add_param("b", Shape::new([10, 6]));
+    let c = ops::gmm(&mut g, a, b);
+    let op = g.tensor(c).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_input_layout(
+        &g,
+        op,
+        b,
+        presets::transposed2d(g.tensor(b).shape.clone()).unwrap(),
+    );
+    check(&g, &plan, &GraphSchedule::naive(), 12);
+}
+
+#[test]
+fn depthwise_conv_channel_tiled_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 8, 9, 9]));
+    let w = g.add_param("w", Shape::new([8, 1, 3, 3]));
+    let y = ops::conv2d(
+        &mut g,
+        x,
+        w,
+        ConvCfg {
+            groups: 8,
+            ..ConvCfg::default()
+        },
+    );
+    let conv = g.tensor(y).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        conv,
+        presets::channel_tiled(g.tensor(y).shape.clone(), 4).unwrap(),
+    );
+    check(&g, &plan, &GraphSchedule::naive(), 13);
+}
+
+#[test]
+fn tconv2d_nhwo_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 5, 5]));
+    let w = g.add_param("w", Shape::new([4, 6, 3, 3]));
+    let y = ops::tconv2d(&mut g, x, w, 2);
+    let op = g.tensor(y).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(&g, op, presets::nhwo(g.tensor(y).shape.clone()).unwrap());
+    check(&g, &plan, &GraphSchedule::naive(), 14);
+}
+
+#[test]
+fn conv3d_ndhwo_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 3, 6, 6, 6]));
+    let w = g.add_param("w", Shape::new([4, 3, 3, 3, 3]));
+    let y = ops::conv3d(&mut g, x, w, ConvCfg::default());
+    let op = g.tensor(y).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(&g, op, presets::ndhwo(g.tensor(y).shape.clone()).unwrap());
+    check(&g, &plan, &GraphSchedule::naive(), 15);
+}
+
+#[test]
+fn pooling_softmax_layernorm_lower_correctly() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([2, 4, 8, 8]));
+    let p = ops::max_pool2d(&mut g, x, 2, 2);
+    let a = ops::avg_pool2d(&mut g, p, 2, 2);
+    let flat = ops::reshape(&mut g, a, Shape::new([2, 16]));
+    let sm = ops::softmax_lastdim(&mut g, flat);
+    let gamma = g.add_param("gamma", Shape::new([16]));
+    let beta = g.add_param("beta", Shape::new([16]));
+    let _ln = ops::layernorm_lastdim(&mut g, sm, gamma, beta, 1e-5);
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    check(&g, &plan, &GraphSchedule::naive(), 16);
+}
+
+#[test]
+fn residual_add_fusion_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 6, 6]));
+    let w = g.add_param("w", Shape::new([4, 4, 3, 3]));
+    let p = ops::pad2d_spatial(&mut g, x, 1);
+    let c = ops::conv2d(&mut g, p, w, ConvCfg::default());
+    // Residual: add the conv result to the original input.
+    let s = ops::add(&mut g, c, x);
+    let conv = g.tensor(c).producer.unwrap();
+    let add_op = g.tensor(s).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        conv,
+        presets::channel_tiled(g.tensor(c).shape.clone(), 2).unwrap(),
+    );
+    let mut sched = GraphSchedule::naive();
+    sched.set(
+        add_op,
+        OpSchedule {
+            fuse_into_producer: true,
+            ..OpSchedule::default()
+        },
+    );
+    check(&g, &plan, &sched, 17);
+    let program = lower(&g, &plan, &sched);
+    // pad group + fused conv+add group.
+    let conv_group = program
+        .groups
+        .iter()
+        .find(|gr| gr.root == conv)
+        .expect("conv group");
+    assert_eq!(conv_group.fused.len(), 1, "residual add should fuse");
+}
+
+#[test]
+fn batch_gmm_matches_reference() {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([3, 4, 6]));
+    let b = g.add_input("b", Shape::new([3, 6, 5]));
+    let _ = ops::batch_gmm(&mut g, a, b);
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    check(&g, &plan, &GraphSchedule::naive(), 18);
+}
+
+#[test]
+fn conv1d_nwo_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([2, 3, 12]));
+    let w = g.add_param("w", Shape::new([4, 3, 3]));
+    let y = ops::conv1d(&mut g, x, w, ConvCfg::default());
+    let op = g.tensor(y).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(&g, op, presets::nwo(g.tensor(y).shape.clone()).unwrap());
+    check(&g, &plan, &GraphSchedule::naive(), 19);
+}
+
+#[test]
+fn dilated_conv_matches_reference() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 3, 12, 12]));
+    let w = g.add_param("w", Shape::new([4, 3, 3, 3]));
+    let y = ops::conv2d(
+        &mut g,
+        x,
+        w,
+        ConvCfg {
+            dilation: 2,
+            ..ConvCfg::default()
+        },
+    );
+    let op = g.tensor(y).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    // Output spatial is 8: tile it and unfold the input with the dilated
+    // window (window = (3-1)*2 + 1 = 5).
+    let (op_, out_layout) = conv_out_tiled(&g, y, 4, 4, 2);
+    assert_eq!(op_, op);
+    plan.assign_output_layout(&g, op, out_layout);
+    let in_layout = presets::c2d_input_tiled(g.tensor(x).shape.clone(), 3, 4, 4, 1, 5, 5).unwrap();
+    plan.assign_input_layout(&g, op, x, in_layout);
+    check(&g, &plan, &GraphSchedule::naive(), 20);
+}
+
+/// Helper so the dilated test reads naturally.
+fn conv_out_tiled(g: &Graph, y: TensorId, ht: i64, wt: i64, ot: i64) -> (OpId, Layout) {
+    let op = g.tensor(y).producer.unwrap();
+    (
+        op,
+        presets::c2d_output_tiled(g.tensor(y).shape.clone(), ht, wt, ot).unwrap(),
+    )
+}
+
+#[test]
+fn store_at_bias_in_weight_matches_reference() {
+    // The paper's store_at example: attach the bias vector of a fully
+    // connected layer to the weight matrix so the inner product and the
+    // bias addition read the same cache lines.
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([6, 10]));
+    let w = g.add_param("w", Shape::new([10, 8]));
+    let c = ops::gmm(&mut g, a, w);
+    let b = g.add_param("b", Shape::new([8]));
+    let out = ops::bias_add(&mut g, c, b, 1);
+    let gmm_op = g.tensor(c).producer.unwrap();
+    let bias_op = g.tensor(out).producer.unwrap();
+
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    // Attach bias to the weight matrix along K (dim 0): each bias element
+    // sits below its weight column.
+    plan.store_at(&g, w, b, 0).expect("store_at valid");
+
+    let mut sched = GraphSchedule::naive();
+    sched.set(
+        bias_op,
+        OpSchedule {
+            fuse_into_producer: true,
+            ..OpSchedule::default()
+        },
+    );
+    let _ = gmm_op;
+    check(&g, &plan, &sched, 31);
+    // The host buffer physically reserves one extra row.
+    let program = lower(&g, &plan, &sched);
+    let host_buf = program.buffer_for_tensor(w).unwrap();
+    assert_eq!(program.buffer(host_buf).shape.dims(), &[11, 8]);
+}
+
+#[test]
+fn store_at_rejects_invalid_pairs() {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([6, 10]));
+    let w = g.add_param("w", Shape::new([10, 8]));
+    let b = g.add_param("b", Shape::new([7]));
+    let _ = ops::gmm(&mut g, a, w);
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    // Wrong guest shape.
+    assert!(plan.store_at(&g, w, b, 0).is_err());
+    // Non-constant host.
+    assert!(plan.store_at(&g, a, b, 0).is_err());
+}
+
+#[test]
+fn diamond_mixed_producer_layouts_match_reference() {
+    // Two convolutions with *different* tuned output layouts feeding one
+    // add: the add reads each input through its own layout (no
+    // conversion operator is required for reads).
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 8, 10, 10]));
+    let w1 = g.add_param("w1", Shape::new([8, 8, 1, 1]));
+    let w2 = g.add_param("w2", Shape::new([8, 8, 1, 1]));
+    let c1 = ops::conv2d(&mut g, x, w1, ConvCfg::default());
+    let c2 = ops::conv2d(&mut g, x, w2, ConvCfg::default());
+    let _s = ops::add(&mut g, c1, c2);
+    let op1 = g.tensor(c1).producer.unwrap();
+    let op2 = g.tensor(c2).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        op1,
+        presets::channel_tiled(g.tensor(c1).shape.clone(), 4).unwrap(),
+    );
+    plan.assign_output_layout(&g, op2, presets::nhwo(g.tensor(c2).shape.clone()).unwrap());
+    check(&g, &plan, &GraphSchedule::naive(), 41);
+}

@@ -1,0 +1,156 @@
+//! Property-based lowering tests: random template layouts combined with
+//! random loop schedules must always match the reference executor.
+
+use proptest::prelude::*;
+
+use alt_layout::{presets, LayoutPlan, PropagationMode};
+use alt_loopir::{lower, run_program, AxisTiling, GraphSchedule, OpSchedule};
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+fn divisors(n: i64) -> Vec<i64> {
+    (1..=n).filter(|d| n % d == 0).collect()
+}
+
+fn pick(divs: &[i64], sel: u64) -> i64 {
+    divs[(sel % divs.len() as u64) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random §5.1 template instantiations on a small C2D.
+    #[test]
+    fn random_c2d_template_layouts_match_reference(
+        sel in prop::collection::vec(any::<u64>(), 6),
+        seed in any::<u64>(),
+    ) {
+        let (i_ch, o_ch, hw, k) = (4i64, 8i64, 10i64, 3i64);
+        let out_sp = hw - k + 1;
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, i_ch, hw, hw]));
+        let w = g.add_param("w", Shape::new([o_ch, i_ch, k, k]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+
+        let ht = pick(&divisors(out_sp), sel[0]);
+        let wt = pick(&divisors(out_sp), sel[1]);
+        let ot = pick(&divisors(o_ch), sel[2]);
+        let it = pick(&divisors(i_ch), sel[3]);
+        let wit = pick(&divisors(i_ch), sel[4]);
+        let wot = pick(&divisors(o_ch), sel[5]);
+
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        plan.assign_output_layout(
+            &g,
+            conv,
+            presets::conv_output_tiled_nd(g.tensor(y).shape.clone(), &[ht, wt], ot).unwrap(),
+        );
+        plan.assign_input_layout(
+            &g,
+            conv,
+            x,
+            presets::conv_input_tiled_nd(
+                g.tensor(x).shape.clone(),
+                it,
+                &[ht, wt],
+                &[1, 1],
+                &[k, k],
+            )
+            .unwrap(),
+        );
+        plan.assign_input_layout(
+            &g,
+            conv,
+            w,
+            presets::conv_weight_tiled_nd(g.tensor(w).shape.clone(), wit, wot).unwrap(),
+        );
+
+        let bindings = random_bindings(&g, seed);
+        let reference = run_graph(&g, &bindings);
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let got = run_program(&program, &g, &plan, &bindings);
+        let diff = reference[y.0].max_abs_diff(&got[&y]);
+        prop_assert!(diff < 1e-3, "diff {diff} for ht={ht} wt={wt} ot={ot} it={it}");
+    }
+
+    /// Random loop schedules (tilings + annotations) on a fixed layout.
+    #[test]
+    fn random_loop_schedules_match_reference(
+        sel in prop::collection::vec(any::<u64>(), 8),
+        vectorize in any::<bool>(),
+        unroll in any::<bool>(),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let phys = plan.layout_of(&g, y).physical_shape();
+
+        let spatial: Vec<AxisTiling> = (0..phys.ndim())
+            .map(|d| {
+                let t = pick(&divisors(phys.dim(d)), sel[d]);
+                if t > 1 { AxisTiling::one(t) } else { AxisTiling::none() }
+            })
+            .collect();
+        let reduce_ext = [4i64, 3, 3];
+        let reduce: Vec<AxisTiling> = (0..3)
+            .map(|d| {
+                let t = pick(&divisors(reduce_ext[d]), sel[4 + d]);
+                if t > 1 { AxisTiling::one(t) } else { AxisTiling::none() }
+            })
+            .collect();
+        let mut sched = GraphSchedule::naive();
+        sched.set(
+            conv,
+            OpSchedule {
+                spatial,
+                reduce,
+                vectorize,
+                unroll,
+                parallel,
+                fuse_into_producer: false,
+            },
+        );
+
+        let bindings = random_bindings(&g, seed);
+        let reference = run_graph(&g, &bindings);
+        let program = lower(&g, &plan, &sched);
+        let got = run_program(&program, &g, &plan, &bindings);
+        let diff = reference[y.0].max_abs_diff(&got[&y]);
+        prop_assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    /// Random GMM template instantiations.
+    #[test]
+    fn random_gmm_template_layouts_match_reference(
+        sel in prop::collection::vec(any::<u64>(), 3),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = (8i64, 12i64, 16i64);
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([m, k]));
+        let b = g.add_param("b", Shape::new([k, n]));
+        let c = ops::gmm(&mut g, a, b);
+        let op = g.tensor(c).producer.unwrap();
+        let mt = pick(&divisors(m), sel[0]);
+        let nt = pick(&divisors(n), sel[1]);
+        let kt = pick(&divisors(k), sel[2]);
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        plan.assign_output_layout(&g, op, presets::gmm_tiled(g.tensor(c).shape.clone(), mt, nt).unwrap());
+        plan.assign_input_layout(&g, op, a, presets::gmm_tiled(g.tensor(a).shape.clone(), mt, kt).unwrap());
+        plan.assign_input_layout(&g, op, b, presets::gmm_tiled(g.tensor(b).shape.clone(), kt, nt).unwrap());
+
+        let bindings = random_bindings(&g, seed);
+        let reference = run_graph(&g, &bindings);
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let got = run_program(&program, &g, &plan, &bindings);
+        let diff = reference[c.0].max_abs_diff(&got[&c]);
+        prop_assert!(diff < 1e-3, "diff {diff} for mt={mt} nt={nt} kt={kt}");
+    }
+}

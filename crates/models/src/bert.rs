@@ -1,0 +1,111 @@
+//! BERT encoders (Devlin et al.) for `N x 128` token sequences.
+//!
+//! The graph starts at the embedding output (`[N*S, H]`) — embedding
+//! lookup is a memory gather with no layout/loop tuning surface, so the
+//! compilation benchmark starts after it, as in the paper's `N x 128`
+//! input description.
+
+use alt_tensor::ops;
+use alt_tensor::{Graph, Shape, TensorId};
+
+/// Encoder hyperparameters.
+struct BertCfg {
+    layers: usize,
+    hidden: i64,
+    heads: i64,
+    ff: i64,
+}
+
+fn dense(g: &mut Graph, x: TensorId, out: i64, name: &str) -> TensorId {
+    let in_dim = g.tensor(x).shape.dim(1);
+    let w = g.add_param(format!("{name}_w"), Shape::new([in_dim, out]));
+    let y = ops::gmm(g, x, w);
+    let b = g.add_param(format!("{name}_b"), Shape::new([out]));
+    ops::bias_add(g, y, b, 1)
+}
+
+fn layer_norm(g: &mut Graph, x: TensorId, name: &str) -> TensorId {
+    let h = g.tensor(x).shape.dim(1);
+    let gamma = g.add_param(format!("{name}_g"), Shape::new([h]));
+    let beta = g.add_param(format!("{name}_b"), Shape::new([h]));
+    ops::layernorm_lastdim(g, x, gamma, beta, 1e-5)
+}
+
+/// `[N*S, H] -> [N*A, S, Dh]` (split heads and move them into the batch).
+fn split_heads(g: &mut Graph, x: TensorId, n: i64, s: i64, a: i64, dh: i64) -> TensorId {
+    let x4 = ops::reshape(g, x, Shape::new([n, s, a, dh]));
+    let perm = ops::permute(g, x4, &[0, 2, 1, 3]);
+    ops::reshape(g, perm, Shape::new([n * a, s, dh]))
+}
+
+fn one_layer(g: &mut Graph, x: TensorId, cfg: &BertCfg, n: i64, s: i64, name: &str) -> TensorId {
+    let h = cfg.hidden;
+    let a = cfg.heads;
+    let dh = h / a;
+
+    let q = dense(g, x, h, &format!("{name}_q"));
+    let k = dense(g, x, h, &format!("{name}_k"));
+    let v = dense(g, x, h, &format!("{name}_v"));
+
+    let qh = split_heads(g, q, n, s, a, dh);
+    let kh = split_heads(g, k, n, s, a, dh);
+    let vh = split_heads(g, v, n, s, a, dh);
+
+    // scores[b, i, j] = sum_d q[b, i, d] * k[b, j, d]: transpose K.
+    let kt = ops::permute(g, kh, &[0, 2, 1]);
+    let scores = ops::batch_gmm(g, qh, kt);
+    let scaled = ops::scale_const(g, scores, 1.0 / (dh as f32).sqrt());
+    let probs = ops::softmax_lastdim(g, scaled);
+    let ctx = ops::batch_gmm(g, probs, vh);
+
+    // Merge heads back: [N*A, S, Dh] -> [N*S, H].
+    let ctx4 = ops::reshape(g, ctx, Shape::new([n, a, s, dh]));
+    let merged = ops::permute(g, ctx4, &[0, 2, 1, 3]);
+    let ctx2 = ops::reshape(g, merged, Shape::new([n * s, h]));
+
+    let attn_out = dense(g, ctx2, h, &format!("{name}_o"));
+    let res1 = ops::add(g, attn_out, x);
+    let ln1 = layer_norm(g, res1, &format!("{name}_ln1"));
+
+    let ff1 = dense(g, ln1, cfg.ff, &format!("{name}_ff1"));
+    let act = ops::gelu(g, ff1);
+    let ff2 = dense(g, act, h, &format!("{name}_ff2"));
+    let res2 = ops::add(g, ff2, ln1);
+    layer_norm(g, res2, &format!("{name}_ln2"))
+}
+
+fn bert(cfg: BertCfg, batch: i64) -> Graph {
+    let s = 128;
+    let mut g = Graph::new();
+    let mut cur = g.add_input("embeddings", Shape::new([batch * s, cfg.hidden]));
+    for l in 0..cfg.layers {
+        cur = one_layer(&mut g, cur, &cfg, batch, s, &format!("layer{l}"));
+    }
+    g
+}
+
+/// BERT-base: 12 layers, hidden 768, 12 heads, FF 3072.
+pub fn bert_base(batch: i64) -> Graph {
+    bert(
+        BertCfg {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ff: 3072,
+        },
+        batch,
+    )
+}
+
+/// BERT-tiny: 2 layers, hidden 128, 2 heads, FF 512.
+pub fn bert_tiny(batch: i64) -> Graph {
+    bert(
+        BertCfg {
+            layers: 2,
+            hidden: 128,
+            heads: 2,
+            ff: 512,
+        },
+        batch,
+    )
+}

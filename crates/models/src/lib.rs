@@ -1,0 +1,142 @@
+//! Model zoo: the five networks of the paper's end-to-end evaluation
+//! (§7.2) built as computational graphs.
+//!
+//! * ResNet-18 and MobileNet-V2 on `N x 3 x 224 x 224` images,
+//! * BERT-base and BERT-tiny on `N x 128` token sequences,
+//! * ResNet3D-18 on `N x 3 x 16 x 112 x 112` clips.
+//!
+//! Batch normalization is folded into per-channel scale/shift parameters
+//! (standard for inference). Weights are synthetic; only graph structure
+//! matters for compilation.
+
+pub mod bert;
+pub mod mobilenet;
+pub mod resnet;
+pub mod resnet3d;
+
+pub use bert::{bert_base, bert_tiny};
+pub use mobilenet::mobilenet_v2;
+pub use resnet::resnet18;
+pub use resnet3d::resnet3d_18;
+
+use alt_tensor::Graph;
+
+/// A named model graph.
+pub struct Model {
+    /// Display name used in benchmark tables.
+    pub name: String,
+    /// The computational graph.
+    pub graph: Graph,
+}
+
+/// All end-to-end benchmark models at a given batch size.
+pub fn all_models(batch: i64) -> Vec<Model> {
+    vec![
+        Model {
+            name: format!("R18-b{batch}"),
+            graph: resnet18(batch),
+        },
+        Model {
+            name: format!("MV2-b{batch}"),
+            graph: mobilenet_v2(batch),
+        },
+        Model {
+            name: format!("BB-b{batch}"),
+            graph: bert_base(batch),
+        },
+        Model {
+            name: format!("BT-b{batch}"),
+            graph: bert_tiny(batch),
+        },
+        Model {
+            name: format!("R3D-b{batch}"),
+            graph: resnet3d_18(batch),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_tensor::{OpTag, TensorKind};
+
+    fn check_model(g: &Graph, min_complex: usize) {
+        assert!(g.complex_ops().len() >= min_complex);
+        // Exactly one runtime input.
+        assert_eq!(g.input_tensors().len(), 1);
+        // Every intermediate has a producer; the graph ends in >= 1 output.
+        assert!(!g.output_tensors().is_empty());
+        for t in g.tensors() {
+            if t.kind == TensorKind::Intermediate {
+                assert!(t.producer.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet18(1);
+        // 1 stem + 16 block convs + 3 downsample convs + 1 fc.
+        assert_eq!(g.complex_ops().len(), 21);
+        check_model(&g, 20);
+        let out = g.output_tensors()[0];
+        assert_eq!(g.tensor(out).shape.dims(), &[1, 1000]);
+    }
+
+    #[test]
+    fn mobilenet_v2_structure() {
+        let g = mobilenet_v2(1);
+        check_model(&g, 30);
+        let out = g.output_tensors()[0];
+        assert_eq!(g.tensor(out).shape.dims(), &[1, 1000]);
+        // Depthwise convolutions are present.
+        let has_dw = g.nodes().iter().any(|n| {
+            matches!(n.tag, OpTag::Complex(alt_tensor::ComplexKind::Conv2d))
+                && g.tensor(n.inputs[1]).shape.dim(1) == 1
+        });
+        assert!(has_dw);
+    }
+
+    #[test]
+    fn bert_tiny_structure() {
+        let g = bert_tiny(1);
+        check_model(&g, 8);
+        let out = g.output_tensors()[0];
+        assert_eq!(g.tensor(out).shape.dims(), &[128, 128]);
+    }
+
+    #[test]
+    fn bert_base_structure() {
+        let g = bert_base(1);
+        // 12 layers x (6 dense projections + 2 batched matmuls) = 96.
+        assert_eq!(g.complex_ops().len(), 96);
+        let out = g.output_tensors()[0];
+        assert_eq!(g.tensor(out).shape.dims(), &[128, 768]);
+    }
+
+    #[test]
+    fn resnet3d_structure() {
+        let g = resnet3d_18(1);
+        check_model(&g, 15);
+        let out = g.output_tensors()[0];
+        assert_eq!(g.tensor(out).shape.dims(), &[1, 400]);
+    }
+
+    #[test]
+    fn batch_size_scales_input() {
+        let g = resnet18(16);
+        let input = g.input_tensors()[0];
+        assert_eq!(g.tensor(input).shape.dims(), &[16, 3, 224, 224]);
+    }
+
+    #[test]
+    fn models_lower_without_panicking() {
+        use alt_layout::{LayoutPlan, PropagationMode};
+        use alt_loopir::{lower, GraphSchedule};
+        for m in all_models(1) {
+            let plan = LayoutPlan::new(PropagationMode::Full);
+            let p = lower(&m.graph, &plan, &GraphSchedule::naive());
+            assert!(!p.groups.is_empty(), "{} lowered empty", m.name);
+        }
+    }
+}

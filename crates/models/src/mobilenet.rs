@@ -1,0 +1,110 @@
+//! MobileNet-V2 (Sandler et al., CVPR'18) for `N x 3 x 224 x 224` inputs.
+
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape, TensorId};
+
+fn conv_bn_relu6(
+    g: &mut Graph,
+    x: TensorId,
+    out_ch: i64,
+    k: i64,
+    stride: i64,
+    pad: i64,
+    groups: i64,
+    relu: bool,
+    name: &str,
+) -> TensorId {
+    let in_ch = g.tensor(x).shape.dim(1);
+    let x = if pad > 0 {
+        ops::pad2d_spatial(g, x, pad)
+    } else {
+        x
+    };
+    let w = g.add_param(
+        format!("{name}_w"),
+        Shape::new([out_ch, in_ch / groups, k, k]),
+    );
+    let c = ops::conv2d(
+        g,
+        x,
+        w,
+        ConvCfg {
+            stride,
+            groups,
+            ..ConvCfg::default()
+        },
+    );
+    let s = g.add_param(format!("{name}_bn_s"), Shape::new([out_ch]));
+    let t = g.add_param(format!("{name}_bn_t"), Shape::new([out_ch]));
+    let bn = ops::scale_shift(g, c, s, t, 1);
+    if relu {
+        ops::relu6(g, bn)
+    } else {
+        bn
+    }
+}
+
+/// Inverted residual block: expand (1x1) -> depthwise (3x3) -> project
+/// (1x1), with a residual connection when shapes allow.
+fn inverted_residual(
+    g: &mut Graph,
+    x: TensorId,
+    out_ch: i64,
+    stride: i64,
+    expand: i64,
+    name: &str,
+) -> TensorId {
+    let in_ch = g.tensor(x).shape.dim(1);
+    let hidden = in_ch * expand;
+    let mut cur = x;
+    if expand != 1 {
+        cur = conv_bn_relu6(g, cur, hidden, 1, 1, 0, 1, true, &format!("{name}_exp"));
+    }
+    cur = conv_bn_relu6(
+        g,
+        cur,
+        hidden,
+        3,
+        stride,
+        1,
+        hidden,
+        true,
+        &format!("{name}_dw"),
+    );
+    cur = conv_bn_relu6(g, cur, out_ch, 1, 1, 0, 1, false, &format!("{name}_proj"));
+    if stride == 1 && in_ch == out_ch {
+        ops::add(g, cur, x)
+    } else {
+        cur
+    }
+}
+
+/// Builds MobileNet-V2 at the given batch size.
+pub fn mobilenet_v2(batch: i64) -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("image", Shape::new([batch, 3, 224, 224]));
+    let mut cur = conv_bn_relu6(&mut g, x, 32, 3, 2, 1, 1, true, "stem");
+    // (expand t, channels c, repeats n, stride s) per the paper.
+    let cfg: [(i64, i64, i64, i64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (bi, (t, c, n, s)) in cfg.iter().enumerate() {
+        for r in 0..*n {
+            let stride = if r == 0 { *s } else { 1 };
+            cur = inverted_residual(&mut g, cur, *c, stride, *t, &format!("ir{bi}_{r}"));
+        }
+    }
+    cur = conv_bn_relu6(&mut g, cur, 1280, 1, 1, 0, 1, true, "head");
+    let gap = ops::global_avg_pool(&mut g, cur);
+    let w = g.add_param("fc_w", Shape::new([1280, 1000]));
+    let logits = ops::gmm(&mut g, gap, w);
+    let b = g.add_param("fc_b", Shape::new([1000]));
+    ops::bias_add(&mut g, logits, b, 1);
+    g
+}

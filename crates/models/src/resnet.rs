@@ -1,0 +1,72 @@
+//! ResNet-18 (He et al., CVPR'16) for `N x 3 x 224 x 224` inputs.
+
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape, TensorId};
+
+/// Convolution + folded batch-norm + optional ReLU.
+pub(crate) fn conv_bn(
+    g: &mut Graph,
+    x: TensorId,
+    out_ch: i64,
+    k: i64,
+    stride: i64,
+    pad: i64,
+    relu: bool,
+    name: &str,
+) -> TensorId {
+    let in_ch = g.tensor(x).shape.dim(1);
+    let x = if pad > 0 {
+        ops::pad2d_spatial(g, x, pad)
+    } else {
+        x
+    };
+    let w = g.add_param(format!("{name}_w"), Shape::new([out_ch, in_ch, k, k]));
+    let c = ops::conv2d(g, x, w, ConvCfg::strided(stride));
+    let s = g.add_param(format!("{name}_bn_s"), Shape::new([out_ch]));
+    let t = g.add_param(format!("{name}_bn_t"), Shape::new([out_ch]));
+    let bn = ops::scale_shift(g, c, s, t, 1);
+    if relu {
+        ops::relu(g, bn)
+    } else {
+        bn
+    }
+}
+
+/// One basic residual block (two 3x3 convolutions).
+fn basic_block(g: &mut Graph, x: TensorId, out_ch: i64, stride: i64, name: &str) -> TensorId {
+    let in_ch = g.tensor(x).shape.dim(1);
+    let c1 = conv_bn(g, x, out_ch, 3, stride, 1, true, &format!("{name}_c1"));
+    let c2 = conv_bn(g, c1, out_ch, 3, 1, 1, false, &format!("{name}_c2"));
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        conv_bn(g, x, out_ch, 1, stride, 0, false, &format!("{name}_ds"))
+    } else {
+        x
+    };
+    let sum = ops::add(g, c2, shortcut);
+    ops::relu(g, sum)
+}
+
+/// Builds ResNet-18 at the given batch size.
+pub fn resnet18(batch: i64) -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("image", Shape::new([batch, 3, 224, 224]));
+    // Stem: 7x7/2 conv (pad 3) + 3x3/2 max pool (pad 1).
+    let stem = conv_bn(&mut g, x, 64, 7, 2, 3, true, "stem");
+    let pooled = {
+        let p = ops::pad2d_spatial(&mut g, stem, 1);
+        ops::max_pool2d(&mut g, p, 3, 2)
+    };
+    let mut cur = pooled;
+    for (stage, (ch, stride)) in [(64, 1), (128, 2), (256, 2), (512, 2)].iter().enumerate() {
+        for blk in 0..2 {
+            let s = if blk == 0 { *stride } else { 1 };
+            cur = basic_block(&mut g, cur, *ch, s, &format!("l{stage}b{blk}"));
+        }
+    }
+    let gap = ops::global_avg_pool(&mut g, cur);
+    let w = g.add_param("fc_w", Shape::new([512, 1000]));
+    let logits = ops::gmm(&mut g, gap, w);
+    let b = g.add_param("fc_b", Shape::new([1000]));
+    ops::bias_add(&mut g, logits, b, 1);
+    g
+}

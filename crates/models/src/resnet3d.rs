@@ -1,0 +1,115 @@
+//! ResNet3D-18 (Hara et al., ICCV'17 workshops) for
+//! `N x 3 x 16 x 112 x 112` video clips, 400 Kinetics classes.
+
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape, TensorId};
+
+/// 3-D convolution + folded batch-norm + optional ReLU, with symmetric
+/// spatial padding `pad` (per dimension triple).
+#[allow(clippy::too_many_arguments)]
+fn conv3_bn(
+    g: &mut Graph,
+    x: TensorId,
+    out_ch: i64,
+    k: [i64; 3],
+    strides: [i64; 3],
+    pad: [i64; 3],
+    relu: bool,
+    name: &str,
+) -> TensorId {
+    let in_ch = g.tensor(x).shape.dim(1);
+    let x = if pad.iter().any(|&p| p > 0) {
+        ops::pad(
+            g,
+            x,
+            &[
+                (0, 0),
+                (0, 0),
+                (pad[0], pad[0]),
+                (pad[1], pad[1]),
+                (pad[2], pad[2]),
+            ],
+        )
+    } else {
+        x
+    };
+    let w = g.add_param(
+        format!("{name}_w"),
+        Shape::new([out_ch, in_ch, k[0], k[1], k[2]]),
+    );
+    let c = ops::conv3d(g, x, w, ConvCfg::with_strides(&strides));
+    let s = g.add_param(format!("{name}_bn_s"), Shape::new([out_ch]));
+    let t = g.add_param(format!("{name}_bn_t"), Shape::new([out_ch]));
+    let bn = ops::scale_shift(g, c, s, t, 1);
+    if relu {
+        ops::relu(g, bn)
+    } else {
+        bn
+    }
+}
+
+fn basic_block3d(g: &mut Graph, x: TensorId, out_ch: i64, stride: i64, name: &str) -> TensorId {
+    let in_ch = g.tensor(x).shape.dim(1);
+    let c1 = conv3_bn(
+        g,
+        x,
+        out_ch,
+        [3, 3, 3],
+        [stride, stride, stride],
+        [1, 1, 1],
+        true,
+        &format!("{name}_c1"),
+    );
+    let c2 = conv3_bn(
+        g,
+        c1,
+        out_ch,
+        [3, 3, 3],
+        [1, 1, 1],
+        [1, 1, 1],
+        false,
+        &format!("{name}_c2"),
+    );
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        conv3_bn(
+            g,
+            x,
+            out_ch,
+            [1, 1, 1],
+            [stride, stride, stride],
+            [0, 0, 0],
+            false,
+            &format!("{name}_ds"),
+        )
+    } else {
+        x
+    };
+    let sum = ops::add(g, c2, shortcut);
+    ops::relu(g, sum)
+}
+
+/// Builds ResNet3D-18 at the given batch size.
+pub fn resnet3d_18(batch: i64) -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("clip", Shape::new([batch, 3, 16, 112, 112]));
+    // Stem: 3x7x7 conv, stride (1, 2, 2), pad (1, 3, 3).
+    let stem = conv3_bn(&mut g, x, 64, [3, 7, 7], [1, 2, 2], [1, 3, 3], true, "stem");
+    // 3x3x3 max pool, stride 2, pad 1.
+    let pooled = {
+        let p = ops::pad(&mut g, stem, &[(0, 0), (0, 0), (1, 1), (1, 1), (1, 1)]);
+        ops::max_pool3d(&mut g, p, 3, 2)
+    };
+    let mut cur = pooled;
+    for (stage, (ch, stride)) in [(64, 1), (128, 2), (256, 2), (512, 2)].iter().enumerate() {
+        for blk in 0..2 {
+            let s = if blk == 0 { *stride } else { 1 };
+            cur = basic_block3d(&mut g, cur, *ch, s, &format!("l{stage}b{blk}"));
+        }
+    }
+    let gap = ops::global_avg_pool(&mut g, cur);
+    let w = g.add_param("fc_w", Shape::new([512, 400]));
+    let logits = ops::gmm(&mut g, gap, w);
+    let b = g.add_param("fc_b", Shape::new([400]));
+    ops::bias_add(&mut g, logits, b, 1);
+    g
+}

@@ -1,0 +1,614 @@
+//! Analytical latency model over TIR-lite programs.
+//!
+//! The model walks each lowered loop tree once (no per-iteration
+//! interpretation) and estimates, per statement:
+//!
+//! * instruction throughput with SIMD lane accounting (a vectorize
+//!   annotation only helps when the store is unit-stride and every load is
+//!   unit-stride or broadcast),
+//! * cache behaviour via a classic footprint/reuse analysis: for each
+//!   cache level, find the outermost loop depth whose data footprint fits,
+//!   charge one line transfer per new line outside that depth, and
+//! * a next-N-lines hardware-prefetcher correction: miss events on long
+//!   contiguous streams are divided by the prefetch degree, which is what
+//!   makes *layout tiling* cheaper than loop tiling (paper Table 2), and
+//! * parallel scaling limited by core count, efficiency and shared DRAM
+//!   bandwidth; per-group fork/join (CPU) or kernel-launch (GPU) overhead.
+//!
+//! The model is fully deterministic: it is the "target hardware" that all
+//! auto-tuners in this reproduction measure against.
+
+use alt_tensor::expr::{Env, Expr, Var};
+
+use alt_loopir::tir::{LoopKind, Program, Stmt, StoreMode, TirNode};
+
+use crate::profiles::{MachineKind, MachineProfile};
+
+/// Aggregate performance counters (the paper's Table 3 columns).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Dynamic instructions (vector ops count once).
+    pub instructions: f64,
+    /// Scalar floating-point operations.
+    pub flops: f64,
+    /// L1 load instructions.
+    pub l1_loads: f64,
+    /// L1 store instructions.
+    pub l1_stores: f64,
+    /// L1 miss line-fill events (after prefetching).
+    pub l1_misses: f64,
+    /// L2 miss line-fill events.
+    pub l2_misses: f64,
+    /// Estimated latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Counters {
+    fn add(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.flops += other.flops;
+        self.l1_loads += other.l1_loads;
+        self.l1_stores += other.l1_stores;
+        self.l1_misses += other.l1_misses;
+        self.l2_misses += other.l2_misses;
+        self.latency_s += other.latency_s;
+    }
+}
+
+/// One loop surrounding a statement.
+#[derive(Clone, Debug)]
+struct LoopCtx {
+    var: Var,
+    extent: i64,
+    kind: LoopKind,
+}
+
+/// Stride profile of one memory access with respect to the surrounding
+/// loops.
+#[derive(Clone, Debug)]
+struct AccessProfile {
+    /// Per-loop: average element step (can be fractional for `v / k`
+    /// indices), distinct elements touched, and total address span.
+    steps: Vec<f64>,
+    distinct: Vec<f64>,
+    spans: Vec<f64>,
+    is_store: bool,
+}
+
+impl AccessProfile {
+    /// Builds the profile by numeric probing of the flattened address.
+    fn probe(indices: &[Expr], buf_strides: &[i64], loops: &[LoopCtx], is_store: bool) -> Self {
+        let addr = |env: &Env| -> f64 {
+            indices
+                .iter()
+                .zip(buf_strides)
+                .map(|(e, &s)| e.eval(env) as f64 * s as f64)
+                .sum()
+        };
+        let mut base_env = Env::new();
+        for l in loops {
+            base_env.bind(&l.var, 0);
+        }
+        let base = addr(&base_env);
+        let mut steps = Vec::with_capacity(loops.len());
+        let mut distinct = Vec::with_capacity(loops.len());
+        let mut spans = Vec::with_capacity(loops.len());
+        for l in loops {
+            if l.extent <= 1 {
+                steps.push(0.0);
+                distinct.push(1.0);
+                spans.push(0.0);
+                continue;
+            }
+            let mut env = base_env.clone();
+            env.bind(&l.var, l.extent - 1);
+            let span = (addr(&env) - base).abs();
+            let step = span / (l.extent - 1) as f64;
+            steps.push(step);
+            spans.push(span);
+            distinct.push(if span == 0.0 {
+                1.0
+            } else {
+                (span + 1.0).min(l.extent as f64)
+            });
+        }
+        Self {
+            steps,
+            distinct,
+            spans,
+            is_store,
+        }
+    }
+
+    /// Step of this access along a given loop (by stack position).
+    fn step_at(&self, pos: usize) -> f64 {
+        self.steps[pos]
+    }
+
+    /// Number of distinct cache lines touched by loops at depth `d` and
+    /// deeper.
+    ///
+    /// The per-loop `distinct` product overcounts when loops overlap the
+    /// same addresses (sliding windows: the `h` and `rh` loops of a
+    /// convolution walk the same rows), so it is capped by the address
+    /// bounding box (the sum of per-loop spans — exact for affine
+    /// accesses).
+    fn lines_within(&self, d: usize, line_bytes: f64) -> f64 {
+        let mut elems = 1.0;
+        let mut span_sum = 0.0;
+        let mut min_step = f64::INFINITY;
+        for l in d..self.steps.len() {
+            elems *= self.distinct[l];
+            span_sum += self.spans[l];
+            if self.steps[l] > 0.0 {
+                min_step = min_step.min(self.steps[l]);
+            }
+        }
+        let elems = elems.min(span_sum + 1.0);
+        if elems <= 1.0 {
+            return 1.0;
+        }
+        let eff_bytes = (min_step.max(1.0) * 4.0).min(line_bytes);
+        (elems * eff_bytes / line_bytes).max(1.0)
+    }
+
+    /// Length in bytes of the longest contiguous run this access streams
+    /// through (chained unit-stride loops), used for prefetch modeling.
+    fn contiguous_run_bytes(&self) -> f64 {
+        // Sort loops by step ascending and chain while each loop's step
+        // continues the run built by the finer loops.
+        let mut order: Vec<usize> = (0..self.steps.len())
+            .filter(|&l| self.steps[l] > 0.0)
+            .collect();
+        order.sort_by(|&a, &b| self.steps[a].total_cmp(&self.steps[b]));
+        let mut run_elems: f64 = 1.0;
+        for &l in &order {
+            let step = self.steps[l];
+            if step <= 1.0 {
+                // Dense packing along this loop.
+                run_elems = run_elems.max(self.distinct[l]);
+            } else if (step - run_elems).abs() <= 0.51 * run_elems {
+                // This loop's stride continues the run built by the finer
+                // loops, so the streams chain into one longer stream.
+                run_elems *= self.distinct[l];
+            } else {
+                break;
+            }
+        }
+        run_elems * 4.0
+    }
+}
+
+/// The performance simulator for one machine profile.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    profile: MachineProfile,
+}
+
+impl Simulator {
+    /// Creates a simulator for a machine.
+    pub fn new(profile: MachineProfile) -> Self {
+        Self { profile }
+    }
+
+    /// The machine profile.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// Estimates end-to-end latency in seconds.
+    pub fn measure(&self, program: &Program) -> f64 {
+        self.profile_counters(program).latency_s
+    }
+
+    /// Per-group latency breakdown (used by the layout-propagation
+    /// overhead study, Fig. 12).
+    pub fn group_latencies(&self, program: &Program) -> Vec<(String, f64)> {
+        program
+            .groups
+            .iter()
+            .map(|group| {
+                let mut stack = Vec::new();
+                let mut c = Counters::default();
+                self.walk(program, &group.nodes, &mut stack, &mut c);
+                (
+                    group.label.clone(),
+                    c.latency_s + self.profile.group_overhead_us * 1e-6,
+                )
+            })
+            .collect()
+    }
+
+    /// Full counter breakdown (Table 3).
+    pub fn profile_counters(&self, program: &Program) -> Counters {
+        let mut total = Counters::default();
+        for group in &program.groups {
+            let mut stack = Vec::new();
+            let mut c = Counters::default();
+            self.walk(program, &group.nodes, &mut stack, &mut c);
+            c.latency_s += self.profile.group_overhead_us * 1e-6;
+            total.add(&c);
+        }
+        total
+    }
+
+    fn walk(
+        &self,
+        program: &Program,
+        nodes: &[TirNode],
+        stack: &mut Vec<LoopCtx>,
+        out: &mut Counters,
+    ) {
+        for node in nodes {
+            match node {
+                TirNode::Loop {
+                    var,
+                    extent,
+                    kind,
+                    body,
+                } => {
+                    stack.push(LoopCtx {
+                        var: var.clone(),
+                        extent: *extent,
+                        kind: *kind,
+                    });
+                    self.walk(program, body, stack, out);
+                    stack.pop();
+                }
+                TirNode::Stmt(stmt) => {
+                    let c = self.cost_stmt(program, stmt, stack);
+                    out.add(&c);
+                }
+            }
+        }
+    }
+
+    fn cost_stmt(&self, program: &Program, stmt: &Stmt, loops: &[LoopCtx]) -> Counters {
+        let p = &self.profile;
+        let iterations: f64 = loops.iter().map(|l| l.extent as f64).product();
+        if iterations == 0.0 {
+            return Counters::default();
+        }
+
+        // Collect all memory accesses with stride profiles.
+        let mut accesses: Vec<AccessProfile> = Vec::new();
+        let mut n_loads = 0.0;
+        stmt.value.visit_loads(&mut |buf, idx| {
+            let strides = program.buffer(buf).shape.strides();
+            accesses.push(AccessProfile::probe(idx, &strides, loops, false));
+            n_loads += 1.0;
+        });
+        // Accumulating stores read-modify-write the destination.
+        if stmt.mode != StoreMode::Assign {
+            let strides = program.buffer(stmt.buf).shape.strides();
+            accesses.push(AccessProfile::probe(&stmt.indices, &strides, loops, false));
+            n_loads += 1.0;
+        }
+        let store_strides = program.buffer(stmt.buf).shape.strides();
+        accesses.push(AccessProfile::probe(
+            &stmt.indices,
+            &store_strides,
+            loops,
+            true,
+        ));
+
+        // SIMD eligibility: find the vectorized loop.
+        let vec_pos = loops.iter().rposition(|l| l.kind == LoopKind::Vectorized);
+        let mut vector_factor = 1.0;
+        let mut bank_conflict = false;
+        if let Some(pos) = vec_pos {
+            let ok = accesses.iter().all(|a| {
+                let s = a.step_at(pos);
+                if a.is_store {
+                    (s - 1.0).abs() < 1e-6
+                } else {
+                    s < 1.0 + 1e-6
+                }
+            });
+            if ok {
+                vector_factor = p.vector_lanes as f64;
+            }
+            if p.kind == MachineKind::Gpu {
+                // Lanes hitting a stride that is a multiple of the bank
+                // count serialize (shared-memory bank conflicts); the
+                // `pad` layout primitive breaks such strides.
+                bank_conflict = accesses.iter().any(|a| {
+                    let s = a.step_at(pos);
+                    s >= 32.0 && (s % 32.0).abs() < 1e-6
+                });
+            }
+        }
+
+        // Instruction accounting.
+        let flops_per_iter = stmt.value.flops() as f64
+            + if stmt.mode != StoreMode::Assign {
+                1.0
+            } else {
+                0.0
+            };
+        let unrolled = loops
+            .last()
+            .map(|l| l.kind == LoopKind::Unrolled)
+            .unwrap_or(false);
+        let loop_overhead = if unrolled { 0.15 } else { 1.0 };
+        let ops_per_iter = flops_per_iter + n_loads + 1.0 + loop_overhead;
+        let instructions = iterations * ops_per_iter / vector_factor;
+        let flops = iterations * flops_per_iter;
+        let l1_loads = iterations * n_loads / vector_factor;
+        let l1_stores = iterations / vector_factor;
+
+        // Cache modeling: hierarchical reuse-distance analysis. Every
+        // access pays its *compulsory* misses (distinct lines it touches)
+        // plus *re-touch* misses: at each loop level, lines reused across
+        // iterations of that loop miss again only when the data touched
+        // within one iteration overflows the cache (graded eviction
+        // fraction). The next-N-lines prefetcher divides miss events on
+        // long contiguous streams — the Table 2 mechanism that favours
+        // layout tiling.
+        let line = p.l1.line_bytes as f64;
+        let n = loops.len();
+        let total_lines_at =
+            |d: usize| -> f64 { accesses.iter().map(|a| a.lines_within(d, line)).sum() };
+        // Eviction fraction for data whose reuse distance spans one
+        // iteration of the loop *above* depth d.
+        let evict_at = |d: usize, capacity: f64| -> f64 {
+            let bytes = total_lines_at(d) * line;
+            (bytes / (capacity * 0.75) - 1.0).clamp(0.0, 1.0)
+        };
+        let misses_for = |a: &AccessProfile, capacity: f64, assoc: f64| -> f64 {
+            // Compulsory: every distinct line of the region this statement
+            // touches.
+            let mut m = a.lines_within(0, line);
+            let mut reps = 1.0;
+            // Cache-set conflicts: a loop whose stride is a multiple of
+            // the way size maps every iteration onto the same cache sets,
+            // so once the loop runs past the associativity its lines evict
+            // each other regardless of total footprint. This is the
+            // real-hardware effect that panel-packed layouts (the paper's
+            // `NKn` GMM family) avoid by making strides small.
+            let way_bytes = capacity / assoc;
+            let conflicts = |l: usize| -> bool {
+                let stride_bytes = a.steps[l] * 4.0;
+                stride_bytes >= way_bytes
+                    && (stride_bytes % way_bytes).abs() < 1e-6
+                    && a.distinct[l] > 2.0 * assoc
+            };
+            for l in 0..n {
+                let ext = loops[l].extent as f64;
+                if ext > 1.0 {
+                    let inner = a.lines_within(l + 1, line);
+                    let outer = a.lines_within(l, line);
+                    // Lines a single iteration shares with its
+                    // predecessor (full tile for stride-0 loops, the
+                    // sliding-window overlap otherwise).
+                    let retouched = if a.steps[l] == 0.0 {
+                        inner
+                    } else {
+                        (inner - (outer - inner) / (ext - 1.0)).max(0.0)
+                    };
+                    // The reuse distance of a re-touch at level `l` spans
+                    // one iteration of loop `l`; a conflicting loop
+                    // *inside* that span thrashes the sets the tile lives
+                    // in even when the footprint nominally fits.
+                    let evict = if (l + 1..n).any(&conflicts) {
+                        1.0
+                    } else {
+                        evict_at(l + 1, capacity)
+                    };
+                    m += retouched * (ext - 1.0) * reps * evict;
+                    reps *= ext;
+                }
+            }
+            m
+        };
+
+        let mut l1_misses = 0.0;
+        let mut l2_misses = 0.0;
+        let mut miss_latency_cycles = 0.0;
+        // Memory-level parallelism: out-of-order cores overlap a few
+        // outstanding misses (GPUs hide far more via warp switching); the
+        // prefetcher hides most of the latency of long streams on top.
+        let mlp = p.mlp;
+        let stream_hide = 4.0;
+        for a in &accesses {
+            let run = a.contiguous_run_bytes();
+            let pf1 = (run / line).clamp(1.0, p.l1.prefetch_lines as f64);
+            let pf2 = (run / line).clamp(1.0, p.l2.prefetch_lines as f64);
+            let m1 = misses_for(a, p.l1.size_bytes as f64, p.l1.assoc as f64) / pf1;
+            let m2 = (misses_for(a, p.l2.size_bytes as f64, p.l2.assoc as f64) / pf2).min(m1);
+            l1_misses += m1;
+            l2_misses += m2;
+            let streaming = run >= 2.0 * line;
+            let hide = if streaming { mlp * stream_hide } else { mlp };
+            miss_latency_cycles += m1 * p.l2_latency_cycles / hide;
+            miss_latency_cycles += m2 * p.dram_latency_cycles / (hide * 2.0);
+        }
+
+        // Parallel scaling.
+        let parallel_extent: f64 = loops
+            .iter()
+            .filter(|l| l.kind == LoopKind::Parallel)
+            .map(|l| l.extent as f64)
+            .product();
+        let cores_used = parallel_extent.min(p.cores as f64).max(1.0);
+        let speedup = if cores_used > 1.0 {
+            cores_used * p.parallel_efficiency
+        } else {
+            1.0
+        };
+
+        // GPUs are throughput machines: unparallelized code uses a single
+        // SM's scalar pipeline.
+        let mut compute_cycles = instructions / p.flops_per_cycle;
+        if bank_conflict {
+            compute_cycles *= p.bank_conflict_penalty;
+        }
+        compute_cycles /= speedup;
+
+        let l2_traffic_cycles = l1_misses * line / p.l1.bytes_per_cycle / speedup;
+        let dram_traffic_cycles = l2_misses * line / p.dram_bytes_per_cycle;
+        let latency_cycles = miss_latency_cycles / speedup;
+
+        let mem_cycles = l2_traffic_cycles + dram_traffic_cycles + latency_cycles;
+        let cycles = compute_cycles.max(mem_cycles) + 0.25 * compute_cycles.min(mem_cycles);
+
+        Counters {
+            instructions,
+            flops,
+            l1_loads,
+            l1_stores,
+            l1_misses,
+            l2_misses,
+            latency_s: cycles / (p.freq_ghz * 1e9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::intel_cpu;
+    use alt_layout::{presets, LayoutPlan, PropagationMode};
+    use alt_loopir::{lower, AxisTiling, GraphSchedule, OpSchedule};
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::{Graph, Shape};
+
+    fn conv_program(
+        layout_tiled: bool,
+        sched_tiled: bool,
+    ) -> (alt_loopir::Program, Graph, LayoutPlan) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 64, 58, 58]));
+        let w = g.add_param("w", Shape::new([64, 64, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        if layout_tiled {
+            plan.assign_output_layout(
+                &g,
+                conv,
+                presets::c2d_output_tiled(g.tensor(y).shape.clone(), 8, 8, 16).unwrap(),
+            );
+        }
+        let mut sched = GraphSchedule::naive();
+        if sched_tiled {
+            let nd = plan.layout_of(&g, y).physical_shape().ndim();
+            let mut spatial = vec![AxisTiling::none(); nd];
+            if !layout_tiled {
+                spatial[1] = AxisTiling::one(16);
+                spatial[2] = AxisTiling::one(8);
+                spatial[3] = AxisTiling::one(8);
+            }
+            sched.set(
+                conv,
+                OpSchedule {
+                    spatial,
+                    reduce: vec![AxisTiling::one(8), AxisTiling::none(), AxisTiling::none()],
+                    vectorize: true,
+                    unroll: true,
+                    parallel: true,
+                    fuse_into_producer: false,
+                },
+            );
+        }
+        let program = lower(&g, &plan, &sched);
+        (program, g, plan)
+    }
+
+    #[test]
+    fn measure_is_deterministic_and_positive() {
+        let (p, _, _) = conv_program(false, false);
+        let sim = Simulator::new(intel_cpu());
+        let a = sim.measure(&p);
+        let b = sim.measure(&p);
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_tiled_schedule_is_faster_than_naive() {
+        let sim = Simulator::new(intel_cpu());
+        let (naive, _, _) = conv_program(false, false);
+        let (tiled, _, _) = conv_program(false, true);
+        let t_naive = sim.measure(&naive);
+        let t_tiled = sim.measure(&tiled);
+        assert!(
+            t_tiled < t_naive,
+            "tiled {t_tiled} should beat naive {t_naive}"
+        );
+    }
+
+    #[test]
+    fn counters_scale_with_problem_size() {
+        let sim = Simulator::new(intel_cpu());
+        let (p, _, _) = conv_program(false, false);
+        let c = sim.profile_counters(&p);
+        // 56*56*64 outputs x 64*3*3 reduce x 2 ops: ~2.3e8 flops.
+        assert!(c.flops > 1e8, "flops {}", c.flops);
+        assert!(c.l1_loads > 0.0 && c.l1_misses > 0.0);
+        assert!(c.l1_misses < c.l1_loads);
+    }
+
+    #[test]
+    fn vectorization_reduces_instructions() {
+        let sim = Simulator::new(intel_cpu());
+        let (naive, _, _) = conv_program(false, false);
+        let (tiled, _, _) = conv_program(false, true);
+        let ci = sim.profile_counters(&naive);
+        let ct = sim.profile_counters(&tiled);
+        assert!(ct.instructions < ci.instructions / 4.0);
+    }
+
+    #[test]
+    fn pad_primitive_avoids_gpu_bank_conflicts() {
+        // A transposed read whose stride is a multiple of 32 lanes
+        // serializes on GPU shared-memory banks; padding the trailing
+        // dimension by one element breaks the alignment. The `pad`
+        // layout primitive must therefore reduce estimated latency on
+        // the GPU profile.
+        use alt_layout::{Layout, LayoutPlan, LayoutPrim, PropagationMode};
+        use alt_loopir::{lower, AxisTiling, GraphSchedule, OpSchedule};
+        use alt_tensor::ops;
+        use alt_tensor::Shape;
+
+        let build = |pad: bool| {
+            let mut g = alt_tensor::Graph::new();
+            let x = g.add_input("x", Shape::new([128, 128]));
+            let y = ops::permute(&mut g, x, &[1, 0]);
+            let op = g.tensor(y).producer.unwrap();
+            let mut plan = LayoutPlan::new(PropagationMode::Full);
+            if pad {
+                plan.set_layout(
+                    x,
+                    Layout::identity(Shape::new([128, 128]))
+                        .with(LayoutPrim::Pad {
+                            dim: 1,
+                            before: 0,
+                            after: 1,
+                        })
+                        .unwrap(),
+                );
+            }
+            let mut sched = GraphSchedule::naive();
+            sched.set(
+                op,
+                OpSchedule {
+                    spatial: vec![AxisTiling::none(), AxisTiling::one(32)],
+                    reduce: vec![],
+                    vectorize: true,
+                    unroll: false,
+                    parallel: true,
+                    fuse_into_producer: false,
+                },
+            );
+            let program = lower(&g, &plan, &sched);
+            Simulator::new(crate::profiles::nvidia_gpu()).measure(&program)
+        };
+        let conflicted = build(false);
+        let padded = build(true);
+        assert!(
+            padded < conflicted,
+            "padded {padded} should beat conflicted {conflicted}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Hardware performance models for the ALT reproduction.
+//!
+//! The paper measures latency on real Intel/NVIDIA/ARM hardware; this
+//! crate substitutes deterministic performance models that capture the
+//! mechanisms the paper's results depend on — SIMD friendliness, cache
+//! footprints and reuse, hardware prefetching of contiguous streams,
+//! parallel scaling and per-kernel overheads.
+//!
+//! * [`profiles`] — the three machine descriptions.
+//! * [`cache`] — a trace-driven set-associative cache simulator with a
+//!   next-N-lines prefetcher (Table 2).
+//! * [`analytic`] — the analytical latency model used as "target
+//!   hardware" by every auto-tuner in this repository.
+
+pub mod analytic;
+pub mod cache;
+pub mod profiles;
+pub mod trace;
+
+pub use analytic::{Counters, Simulator};
+pub use cache::{CacheSim, CacheStats};
+pub use profiles::{arm_cpu, intel_cpu, nvidia_gpu, CacheLevel, MachineKind, MachineProfile};
+pub use trace::{trace_program, TraceCounters};

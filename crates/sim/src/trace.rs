@@ -1,0 +1,214 @@
+//! Trace-driven execution of TIR-lite programs against the cache
+//! simulator.
+//!
+//! Walks a lowered loop tree iteration by iteration, emits the exact
+//! byte-address stream of every load and store, and feeds it to
+//! [`CacheSim`]. This is exact but slow (every iteration is visited), so
+//! it is used to *validate and calibrate* the fast analytical model on
+//! small kernels, not to drive tuning.
+
+use alt_tensor::expr::Env;
+
+use alt_loopir::tir::{Program, SExpr, Stmt, TirNode};
+
+use crate::cache::{CacheSim, CacheStats};
+use crate::profiles::CacheLevel;
+
+/// Byte-address trace statistics from a full program walk.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceCounters {
+    /// Total demand loads issued.
+    pub loads: u64,
+    /// Total stores issued.
+    pub stores: u64,
+    /// Cache statistics (loads and stores combined).
+    pub cache: CacheStats,
+}
+
+/// Exact trace-driven cache profile of a program on one cache level.
+///
+/// Buffers are laid out back to back at 4 KiB-aligned base addresses.
+/// Intended for programs with at most a few million statement
+/// executions; use [`crate::Simulator`] for anything larger.
+pub fn trace_program(program: &Program, level: &CacheLevel) -> TraceCounters {
+    let mut sim = CacheSim::new(level);
+    let mut counters = TraceCounters::default();
+
+    // Assign base addresses.
+    let mut bases = Vec::with_capacity(program.buffers.len());
+    let mut cursor: u64 = 0;
+    for b in &program.buffers {
+        bases.push(cursor);
+        let bytes = b.shape.numel() as u64 * 4;
+        cursor += bytes.div_ceil(4096) * 4096;
+    }
+
+    let mut env = Env::new();
+    for group in &program.groups {
+        walk(
+            program,
+            &group.nodes,
+            &mut env,
+            &bases,
+            &mut sim,
+            &mut counters,
+        );
+    }
+    counters.cache = sim.stats();
+    counters
+}
+
+fn addr_of(
+    program: &Program,
+    bases: &[u64],
+    buf: alt_loopir::BufId,
+    indices: &[alt_tensor::Expr],
+    env: &Env,
+) -> u64 {
+    let strides = program.buffer(buf).shape.strides();
+    let mut off: i64 = 0;
+    for (e, s) in indices.iter().zip(&strides) {
+        off += e.eval(env) * s;
+    }
+    bases[buf.0] + (off.max(0) as u64) * 4
+}
+
+fn touch_expr(
+    program: &Program,
+    e: &SExpr,
+    env: &Env,
+    bases: &[u64],
+    sim: &mut CacheSim,
+    counters: &mut TraceCounters,
+) {
+    match e {
+        SExpr::Imm(_) => {}
+        SExpr::Load { buf, indices } => {
+            counters.loads += 1;
+            sim.access(addr_of(program, bases, *buf, indices, env));
+        }
+        SExpr::Bin(_, a, b) => {
+            touch_expr(program, a, env, bases, sim, counters);
+            touch_expr(program, b, env, bases, sim, counters);
+        }
+        SExpr::Unary(_, a) => touch_expr(program, a, env, bases, sim, counters),
+        SExpr::Select { cond, then_, else_ } => {
+            // Trace the branch that actually executes.
+            if cond.eval(env) {
+                touch_expr(program, then_, env, bases, sim, counters);
+            } else {
+                touch_expr(program, else_, env, bases, sim, counters);
+            }
+        }
+    }
+}
+
+fn exec_stmt(
+    program: &Program,
+    stmt: &Stmt,
+    env: &Env,
+    bases: &[u64],
+    sim: &mut CacheSim,
+    counters: &mut TraceCounters,
+) {
+    if let Some(pred) = &stmt.pred {
+        if !pred.eval(env) {
+            return;
+        }
+    }
+    touch_expr(program, &stmt.value, env, bases, sim, counters);
+    counters.stores += 1;
+    sim.access(addr_of(program, bases, stmt.buf, &stmt.indices, env));
+}
+
+fn walk(
+    program: &Program,
+    nodes: &[TirNode],
+    env: &mut Env,
+    bases: &[u64],
+    sim: &mut CacheSim,
+    counters: &mut TraceCounters,
+) {
+    for node in nodes {
+        match node {
+            TirNode::Loop {
+                var, extent, body, ..
+            } => {
+                for i in 0..*extent {
+                    env.bind(var, i);
+                    walk(program, body, env, bases, sim, counters);
+                }
+            }
+            TirNode::Stmt(s) => exec_stmt(program, s, env, bases, sim, counters),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::Simulator;
+    use crate::profiles::intel_cpu;
+    use alt_layout::{presets, LayoutPlan, PropagationMode};
+    use alt_loopir::{lower, GraphSchedule};
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::{Graph, Shape};
+
+    fn small_conv(layout_tiled: bool) -> (alt_loopir::Program, f64) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 18, 18]));
+        let w = g.add_param("w", Shape::new([16, 8, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        if layout_tiled {
+            plan.assign_output_layout(
+                &g,
+                conv,
+                presets::c2d_output_tiled(g.tensor(y).shape.clone(), 4, 4, 8).unwrap(),
+            );
+        }
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let analytic = Simulator::new(intel_cpu())
+            .profile_counters(&program)
+            .l1_misses;
+        (program, analytic)
+    }
+
+    #[test]
+    fn trace_counts_every_access() {
+        let (program, _) = small_conv(false);
+        let c = trace_program(&program, &intel_cpu().l1);
+        // Init pass (16x16x16 stores) + main nest (16x16x16x8x3x3: 2 loads
+        // + 1 store each).
+        let main_iters = 16 * 16 * 16 * 8 * 3 * 3u64;
+        assert_eq!(c.loads, 2 * main_iters);
+        assert_eq!(c.stores, main_iters + 16 * 16 * 16);
+        assert_eq!(c.cache.accesses, c.loads + c.stores);
+    }
+
+    #[test]
+    fn analytic_misses_track_trace_within_an_order_of_magnitude() {
+        // The analytical model is an approximation; calibration keeps it
+        // within ~10x of ground truth on both layouts, which is enough to
+        // rank schedules.
+        for tiled in [false, true] {
+            let (program, analytic) = small_conv(tiled);
+            let c = trace_program(&program, &intel_cpu().l1);
+            let traced = c.cache.misses.max(1) as f64;
+            let ratio = analytic / traced;
+            assert!(
+                (0.1..=10.0).contains(&ratio),
+                "tiled={tiled}: analytic {analytic} vs traced {traced} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let (program, _) = small_conv(true);
+        let a = trace_program(&program, &intel_cpu().l1);
+        let b = trace_program(&program, &intel_cpu().l1);
+        assert_eq!(a.cache.misses, b.cache.misses);
+    }
+}

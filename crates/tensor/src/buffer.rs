@@ -1,0 +1,136 @@
+//! Dense row-major `f32` buffers used by the functional interpreter.
+
+use crate::shape::Shape;
+
+/// A dense, row-major `f32` tensor buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NdBuf {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl NdBuf {
+    /// Creates a zero-filled buffer of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.numel() as usize;
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a buffer filled with `v`.
+    pub fn full(shape: Shape, v: f32) -> Self {
+        let n = shape.numel() as usize;
+        Self {
+            shape,
+            data: vec![v; n],
+        }
+    }
+
+    /// Creates a buffer from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len() as i64,
+            shape.numel(),
+            "data length does not match shape {shape}"
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a buffer whose element at linear offset `i` is `f(i)`.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = shape.numel() as usize;
+        let data = (0..n).map(&mut f).collect();
+        Self { shape, data }
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Returns the raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the raw data slice, mutably.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reads the element at a multi-index.
+    pub fn get(&self, idx: &[i64]) -> f32 {
+        self.data[self.shape.flatten(idx) as usize]
+    }
+
+    /// Writes the element at a multi-index.
+    pub fn set(&mut self, idx: &[i64], v: f32) {
+        let off = self.shape.flatten(idx) as usize;
+        self.data[off] = v;
+    }
+
+    /// Reads by linear offset.
+    pub fn get_flat(&self, off: i64) -> f32 {
+        self.data[off as usize]
+    }
+
+    /// Writes by linear offset.
+    pub fn set_flat(&mut self, off: i64, v: f32) {
+        self.data[off as usize] = v;
+    }
+
+    /// Maximum absolute difference against another buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &NdBuf) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Returns true when all elements are within `tol` of `other`.
+    pub fn allclose(&self, other: &NdBuf, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut b = NdBuf::zeros(Shape::new([2, 3]));
+        assert_eq!(b.get(&[1, 2]), 0.0);
+        b.set(&[1, 2], 5.0);
+        assert_eq!(b.get(&[1, 2]), 5.0);
+        assert_eq!(b.get_flat(5), 5.0);
+    }
+
+    #[test]
+    fn from_fn_linear() {
+        let b = NdBuf::from_fn(Shape::new([2, 2]), |i| i as f32);
+        assert_eq!(b.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn allclose_detects_mismatch() {
+        let a = NdBuf::full(Shape::new([4]), 1.0);
+        let mut b = a.clone();
+        assert!(a.allclose(&b, 0.0));
+        b.set(&[0], 1.5);
+        assert!(!a.allclose(&b, 0.1));
+        assert!(a.allclose(&b, 0.6));
+    }
+}

@@ -1,0 +1,279 @@
+//! Naive reference execution of computational graphs.
+//!
+//! This executor ignores layouts and schedules entirely: it evaluates every
+//! operator's tensor expression directly over logically-indexed buffers.
+//! It is the ground truth the scheduled/layout-transformed interpreter is
+//! checked against.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::buffer::NdBuf;
+use crate::expr::Env;
+use crate::graph::{Graph, TensorId, TensorKind};
+use crate::op::{Compute, ReduceKind, ScalarExpr};
+use crate::shape::Shape;
+
+/// Evaluates a scalar body expression under `env`, reading from `inputs`.
+pub fn eval_scalar(expr: &ScalarExpr, env: &Env, inputs: &[&NdBuf]) -> f32 {
+    match expr {
+        ScalarExpr::Imm(v) => *v,
+        ScalarExpr::Load { input, indices } => {
+            let idx: Vec<i64> = indices.iter().map(|e| e.eval(env)).collect();
+            inputs[*input].get(&idx)
+        }
+        ScalarExpr::Bin(op, a, b) => {
+            let x = eval_scalar(a, env, inputs);
+            let y = eval_scalar(b, env, inputs);
+            use crate::op::ScalarBinOp::*;
+            match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Max => x.max(y),
+                Min => x.min(y),
+            }
+        }
+        ScalarExpr::Unary(op, a) => op.apply(eval_scalar(a, env, inputs)),
+        ScalarExpr::Select { cond, then_, else_ } => {
+            // Only the taken branch is evaluated, so out-of-bounds loads in
+            // the untaken branch never happen (implicit zero padding).
+            if cond.eval(env) {
+                eval_scalar(then_, env, inputs)
+            } else {
+                eval_scalar(else_, env, inputs)
+            }
+        }
+    }
+}
+
+/// Evaluates one output element of a compute at the given spatial index.
+pub fn eval_point(compute: &Compute, spatial: &[i64], inputs: &[&NdBuf]) -> f32 {
+    let mut env = Env::new();
+    for (axis, &i) in compute.axes.iter().zip(spatial) {
+        env.bind(&axis.var, i);
+    }
+    if compute.reduce == ReduceKind::None {
+        return eval_scalar(&compute.body, &env, inputs) * compute.post_scale;
+    }
+    let red_shape = Shape::new(
+        compute
+            .reduce_axes
+            .iter()
+            .map(|a| a.extent)
+            .collect::<Vec<_>>(),
+    );
+    let mut acc = compute.init;
+    for ridx in red_shape.iter_indices() {
+        for (axis, &i) in compute.reduce_axes.iter().zip(ridx.iter()) {
+            env.bind(&axis.var, i);
+        }
+        let v = eval_scalar(&compute.body, &env, inputs);
+        acc = match compute.reduce {
+            ReduceKind::Sum => acc + v,
+            ReduceKind::Max => acc.max(v),
+            ReduceKind::None => unreachable!(),
+        };
+    }
+    acc * compute.post_scale
+}
+
+/// Evaluates an entire compute into a fresh logically-laid-out buffer.
+pub fn eval_compute(compute: &Compute, inputs: &[&NdBuf]) -> NdBuf {
+    let out_shape = compute.out_shape();
+    let mut out = NdBuf::zeros(out_shape.clone());
+    for idx in out_shape.iter_indices() {
+        let v = eval_point(compute, &idx, inputs);
+        out.set(&idx, v);
+    }
+    out
+}
+
+/// Runs a whole graph given bindings for inputs and parameters.
+///
+/// Returns a buffer for every tensor in the graph (indexable by
+/// [`TensorId`]).
+///
+/// # Panics
+///
+/// Panics if an input or parameter tensor is missing from `bindings`.
+pub fn run_graph(graph: &Graph, bindings: &HashMap<TensorId, NdBuf>) -> Vec<NdBuf> {
+    let mut bufs: Vec<Option<NdBuf>> = vec![None; graph.num_tensors()];
+    for (k, t) in graph.tensors().iter().enumerate() {
+        if t.kind != TensorKind::Intermediate {
+            let id = TensorId(k);
+            let b = bindings
+                .get(&id)
+                .unwrap_or_else(|| panic!("missing binding for tensor `{}`", t.name));
+            assert_eq!(
+                b.shape(),
+                &t.shape,
+                "binding shape mismatch for `{}`",
+                t.name
+            );
+            bufs[k] = Some(b.clone());
+        }
+    }
+    for node in graph.nodes() {
+        let inputs: Vec<&NdBuf> = node
+            .inputs
+            .iter()
+            .map(|t| bufs[t.0].as_ref().expect("topological order violated"))
+            .collect();
+        let out = eval_compute(&node.compute, &inputs);
+        bufs[node.output.0] = Some(out);
+    }
+    bufs.into_iter()
+        .map(|b| b.unwrap_or_else(|| NdBuf::zeros(Shape::new([1]))))
+        .collect()
+}
+
+/// Creates seeded random bindings for every input and parameter tensor.
+pub fn random_bindings(graph: &Graph, seed: u64) -> HashMap<TensorId, NdBuf> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = HashMap::new();
+    for (k, t) in graph.tensors().iter().enumerate() {
+        if t.kind != TensorKind::Intermediate {
+            let shape = t.shape.clone();
+            let buf = NdBuf::from_fn(shape, |_| rng.gen_range(-1.0..1.0));
+            out.insert(TensorId(k), buf);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::ops::{self, ConvCfg};
+
+    #[test]
+    fn conv2d_matches_hand_computation() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 1, 3, 3]));
+        let w = g.add_param("w", Shape::new([1, 1, 2, 2]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let mut b = HashMap::new();
+        b.insert(x, NdBuf::from_fn(Shape::new([1, 1, 3, 3]), |i| i as f32));
+        b.insert(w, NdBuf::full(Shape::new([1, 1, 2, 2]), 1.0));
+        let bufs = run_graph(&g, &b);
+        let out = &bufs[y.0];
+        // Each output = sum of a 2x2 window of 0..8 arranged row-major.
+        assert_eq!(out.get(&[0, 0, 0, 0]), 0.0 + 1.0 + 3.0 + 4.0);
+        assert_eq!(out.get(&[0, 0, 1, 1]), 4.0 + 5.0 + 7.0 + 8.0);
+    }
+
+    #[test]
+    fn gmm_matches_hand_computation() {
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([2, 2]));
+        let bm = g.add_param("b", Shape::new([2, 2]));
+        let c = ops::gmm(&mut g, a, bm);
+        let mut bind = HashMap::new();
+        bind.insert(
+            a,
+            NdBuf::from_vec(Shape::new([2, 2]), vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        bind.insert(
+            bm,
+            NdBuf::from_vec(Shape::new([2, 2]), vec![5.0, 6.0, 7.0, 8.0]),
+        );
+        let bufs = run_graph(&g, &bind);
+        assert_eq!(bufs[c.0].data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn pad_inserts_zeros() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 2]));
+        let y = ops::pad(&mut g, x, &[(1, 1), (1, 1)]);
+        let mut bind = HashMap::new();
+        bind.insert(x, NdBuf::full(Shape::new([2, 2]), 3.0));
+        let bufs = run_graph(&g, &bind);
+        let out = &bufs[y.0];
+        assert_eq!(out.get(&[0, 0]), 0.0);
+        assert_eq!(out.get(&[1, 1]), 3.0);
+        assert_eq!(out.get(&[3, 3]), 0.0);
+        assert_eq!(out.get(&[2, 2]), 3.0);
+    }
+
+    #[test]
+    fn tconv_matches_upsampling_identity() {
+        // 1x1 kernel of value 1 with stride 2 scatters inputs to even
+        // positions and zeros elsewhere.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 1, 2, 2]));
+        let w = g.add_param("w", Shape::new([1, 1, 1, 1]));
+        let y = ops::tconv2d(&mut g, x, w, 2);
+        let mut bind = HashMap::new();
+        bind.insert(x, NdBuf::full(Shape::new([1, 1, 2, 2]), 2.0));
+        bind.insert(w, NdBuf::full(Shape::new([1, 1, 1, 1]), 1.0));
+        let bufs = run_graph(&g, &bind);
+        let out = &bufs[y.0];
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(out.get(&[0, 0, 0, 0]), 2.0);
+        assert_eq!(out.get(&[0, 0, 0, 1]), 0.0);
+        assert_eq!(out.get(&[0, 0, 2, 2]), 2.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([3, 7]));
+        let y = ops::softmax_lastdim(&mut g, x);
+        let bind = random_bindings(&g, 42);
+        let bufs = run_graph(&g, &bind);
+        let out = &bufs[y.0];
+        for r in 0..3 {
+            let s: f32 = (0..7).map(|c| out.get(&[r, c])).sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 1, 2, 2]));
+        let y = ops::avg_pool2d(&mut g, x, 2, 2);
+        let mut bind = HashMap::new();
+        bind.insert(
+            x,
+            NdBuf::from_vec(Shape::new([1, 1, 2, 2]), vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        let bufs = run_graph(&g, &bind);
+        assert_eq!(bufs[y.0].get(&[0, 0, 0, 0]), 2.5);
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 8]));
+        let gamma = g.add_param("gamma", Shape::new([8]));
+        let beta = g.add_param("beta", Shape::new([8]));
+        let y = ops::layernorm_lastdim(&mut g, x, gamma, beta, 1e-5);
+        let mut bind = random_bindings(&g, 7);
+        bind.insert(gamma, NdBuf::full(Shape::new([8]), 1.0));
+        bind.insert(beta, NdBuf::full(Shape::new([8]), 0.0));
+        let bufs = run_graph(&g, &bind);
+        let out = &bufs[y.0];
+        for r in 0..2 {
+            let mean: f32 = (0..8).map(|c| out.get(&[r, c])).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_rowmajor_order() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 3]));
+        let y = ops::reshape(&mut g, x, Shape::new([3, 2]));
+        let mut bind = HashMap::new();
+        bind.insert(x, NdBuf::from_fn(Shape::new([2, 3]), |i| i as f32));
+        let bufs = run_graph(&g, &bind);
+        assert_eq!(bufs[y.0].data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

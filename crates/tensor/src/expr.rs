@@ -1,0 +1,431 @@
+//! Symbolic integer index expressions.
+//!
+//! Layout and loop transformations rewrite the index expressions used by
+//! tensor accesses (e.g. `split` turns `i` into `i / F` and `i % F`, `fuse`
+//! turns `(i, j)` into `i * N + j`). This module provides the small integer
+//! expression language those rewrites operate on, together with a
+//! constant-folding simplifier and an evaluator.
+//!
+//! Expressions are immutable trees behind [`Rc`] so that sharing subterms
+//! (which layout rewriting produces a lot of) is cheap.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A symbolic integer variable (usually a loop variable).
+///
+/// Identity is the numeric `id`; `name` is carried only for display.
+#[derive(Clone, Debug, Eq)]
+pub struct Var {
+    id: u32,
+    name: Rc<str>,
+}
+
+impl Var {
+    /// Creates a variable with an explicit id and display name.
+    ///
+    /// Callers are responsible for id uniqueness; [`VarGen`] is the usual
+    /// way to allocate fresh ids.
+    pub fn new(id: u32, name: impl Into<Rc<str>>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+        }
+    }
+
+    /// Returns the unique id of this variable.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Returns the display name of this variable.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl PartialEq for Var {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl std::hash::Hash for Var {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Allocator for fresh [`Var`] ids.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    next: u32,
+}
+
+impl VarGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable with the given display name.
+    pub fn fresh(&mut self, name: &str) -> Var {
+        let id = self.next;
+        self.next += 1;
+        Var::new(id, format!("{name}"))
+    }
+}
+
+/// Binary integer operators available in index expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Floor division (rounds toward negative infinity).
+    FloorDiv,
+    /// Euclidean remainder paired with [`BinOp::FloorDiv`].
+    Mod,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// A symbolic integer expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Variable reference.
+    Var(Var),
+    /// Binary operation.
+    Bin(BinOp, Rc<Expr>, Rc<Expr>),
+}
+
+impl Expr {
+    /// Builds a constant expression.
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Builds a variable reference.
+    pub fn v(var: &Var) -> Expr {
+        Expr::Var(var.clone())
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        // Constant folding and algebraic identities keep rewritten access
+        // expressions readable and cheap to evaluate.
+        use BinOp::*;
+        match (&a, &b) {
+            (Expr::Const(x), Expr::Const(y)) => {
+                return Expr::Const(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    FloorDiv => {
+                        if *y == 0 {
+                            // Division by zero is an internal bug in a
+                            // transformation; surface it loudly.
+                            panic!("index expression divides by zero")
+                        }
+                        x.div_euclid(*y)
+                    }
+                    Mod => {
+                        if *y == 0 {
+                            panic!("index expression mod by zero")
+                        }
+                        x.rem_euclid(*y)
+                    }
+                    Min => (*x).min(*y),
+                    Max => (*x).max(*y),
+                });
+            }
+            _ => {}
+        }
+        match (op, &a, &b) {
+            (Add, e, Expr::Const(0)) | (Sub, e, Expr::Const(0)) => return e.clone(),
+            (Add, Expr::Const(0), e) => return e.clone(),
+            (Mul, _, Expr::Const(0)) | (Mul, Expr::Const(0), _) => return Expr::Const(0),
+            (Mul, e, Expr::Const(1)) | (Mul, Expr::Const(1), e) => return e.clone(),
+            (FloorDiv, e, Expr::Const(1)) => return e.clone(),
+            (Mod, _, Expr::Const(1)) => return Expr::Const(0),
+            _ => {}
+        }
+        Expr::Bin(op, Rc::new(a), Rc::new(b))
+    }
+
+    /// Returns `self + rhs` with simplification.
+    pub fn add(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::Add, self.clone(), rhs.clone())
+    }
+
+    /// Returns `self - rhs` with simplification.
+    pub fn sub(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self.clone(), rhs.clone())
+    }
+
+    /// Returns `self * rhs` with simplification.
+    pub fn mul(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self.clone(), rhs.clone())
+    }
+
+    /// Returns `self / rhs` (floor division) with simplification.
+    pub fn floordiv(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::FloorDiv, self.clone(), rhs.clone())
+    }
+
+    /// Returns `self % rhs` (Euclidean) with simplification.
+    pub fn modulo(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::Mod, self.clone(), rhs.clone())
+    }
+
+    /// Returns `min(self, rhs)` with simplification.
+    pub fn min_e(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::Min, self.clone(), rhs.clone())
+    }
+
+    /// Returns `max(self, rhs)` with simplification.
+    pub fn max_e(&self, rhs: &Expr) -> Expr {
+        Expr::bin(BinOp::Max, self.clone(), rhs.clone())
+    }
+
+    /// Convenience: `self + c`.
+    pub fn add_c(&self, c: i64) -> Expr {
+        self.add(&Expr::Const(c))
+    }
+
+    /// Convenience: `self * c`.
+    pub fn mul_c(&self, c: i64) -> Expr {
+        self.mul(&Expr::Const(c))
+    }
+
+    /// Convenience: `self / c` (floor).
+    pub fn div_c(&self, c: i64) -> Expr {
+        self.floordiv(&Expr::Const(c))
+    }
+
+    /// Convenience: `self % c`.
+    pub fn mod_c(&self, c: i64) -> Expr {
+        self.modulo(&Expr::Const(c))
+    }
+
+    /// Evaluates the expression under a variable environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is missing from `env`; that always indicates a
+    /// lowering bug, not a user error.
+    pub fn eval(&self, env: &Env) -> i64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(v) => env.get(v),
+            Expr::Bin(op, a, b) => {
+                let x = a.eval(env);
+                let y = b.eval(env);
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::FloorDiv => x.div_euclid(y),
+                    BinOp::Mod => x.rem_euclid(y),
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                }
+            }
+        }
+    }
+
+    /// Substitutes variables by expressions.
+    ///
+    /// Variables not present in `map` are left untouched.
+    pub fn subst(&self, map: &HashMap<u32, Expr>) -> Expr {
+        match self {
+            Expr::Const(_) => self.clone(),
+            Expr::Var(v) => map.get(&v.id).cloned().unwrap_or_else(|| self.clone()),
+            Expr::Bin(op, a, b) => Expr::bin(*op, a.subst(map), b.subst(map)),
+        }
+    }
+
+    /// Collects the ids of all variables referenced by this expression.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !out.iter().any(|o| o.id == v.id) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns true if the expression references the given variable.
+    pub fn uses_var(&self, id: u32) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Var(v) => v.id == id,
+            Expr::Bin(_, a, b) => a.uses_var(id) || b.uses_var(id),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::FloorDiv => "/",
+                    BinOp::Mod => "%",
+                    BinOp::Min => return write!(f, "min({a}, {b})"),
+                    BinOp::Max => return write!(f, "max({a}, {b})"),
+                };
+                write!(f, "({a} {s} {b})")
+            }
+        }
+    }
+}
+
+/// Variable binding environment used during evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    vals: HashMap<u32, i64>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `var` to `val`, replacing any previous binding.
+    pub fn bind(&mut self, var: &Var, val: i64) {
+        self.vals.insert(var.id(), val);
+    }
+
+    /// Binds a variable by raw id.
+    pub fn bind_id(&mut self, id: u32, val: i64) {
+        self.vals.insert(id, val);
+    }
+
+    /// Looks up the value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is unbound (a lowering bug).
+    pub fn get(&self, var: &Var) -> i64 {
+        match self.vals.get(&var.id()) {
+            Some(v) => *v,
+            None => panic!("unbound index variable `{}` (id {})", var.name(), var.id()),
+        }
+    }
+
+    /// Looks up a binding by raw id, if present.
+    pub fn get_id(&self, id: u32) -> Option<i64> {
+        self.vals.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (VarGen, Var, Var) {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let j = g.fresh("j");
+        (g, i, j)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::c(6).mul(&Expr::c(7));
+        assert_eq!(e, Expr::Const(42));
+        let e = Expr::c(7).div_c(2);
+        assert_eq!(e, Expr::Const(3));
+        let e = Expr::c(7).mod_c(4);
+        assert_eq!(e, Expr::Const(3));
+        assert_eq!(Expr::c(3).min_e(&Expr::c(5)), Expr::Const(3));
+        assert_eq!(Expr::c(3).max_e(&Expr::c(5)), Expr::Const(5));
+    }
+
+    #[test]
+    fn identities() {
+        let (_, i, _) = vars();
+        let iv = Expr::v(&i);
+        assert_eq!(iv.add_c(0), iv);
+        assert_eq!(iv.mul_c(1), iv);
+        assert_eq!(iv.mul_c(0), Expr::Const(0));
+        assert_eq!(iv.div_c(1), iv);
+        assert_eq!(iv.mod_c(1), Expr::Const(0));
+    }
+
+    #[test]
+    fn eval_split_roundtrip() {
+        // i -> (i / 4) * 4 + i % 4 must be the identity for all i.
+        let (_, i, _) = vars();
+        let iv = Expr::v(&i);
+        let recomposed = iv.div_c(4).mul_c(4).add(&iv.mod_c(4));
+        for x in 0..64 {
+            let mut env = Env::new();
+            env.bind(&i, x);
+            assert_eq!(recomposed.eval(&env), x);
+        }
+    }
+
+    #[test]
+    fn subst_replaces_vars() {
+        let (_, i, j) = vars();
+        let e = Expr::v(&i).add(&Expr::v(&j)).mul_c(2);
+        let mut map = HashMap::new();
+        map.insert(i.id(), Expr::c(3));
+        map.insert(j.id(), Expr::c(4));
+        assert_eq!(e.subst(&map), Expr::Const(14));
+    }
+
+    #[test]
+    fn collect_and_uses() {
+        let (_, i, j) = vars();
+        let e = Expr::v(&i).add(&Expr::v(&j)).add(&Expr::v(&i));
+        let mut vs = Vec::new();
+        e.collect_vars(&mut vs);
+        assert_eq!(vs.len(), 2);
+        assert!(e.uses_var(i.id()));
+        assert!(e.uses_var(j.id()));
+        assert!(!e.uses_var(999));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (_, i, _) = vars();
+        let e = Expr::v(&i).div_c(4);
+        assert_eq!(format!("{e}"), "(i / 4)");
+    }
+
+    #[test]
+    fn floor_division_is_euclidean() {
+        let e = Expr::c(-7).div_c(2);
+        assert_eq!(e, Expr::Const(-4));
+        let e = Expr::c(-7).mod_c(2);
+        assert_eq!(e, Expr::Const(1));
+    }
+}

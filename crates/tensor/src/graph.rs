@@ -1,0 +1,296 @@
+//! Computational graphs: operators as nodes, tensors as edges.
+
+use crate::expr::VarGen;
+use crate::op::Compute;
+use crate::shape::Shape;
+
+/// Identifier of a tensor (edge) in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorId(pub usize);
+
+/// Identifier of an operator (node) in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// The kind of complex (layout-sensitive) operator, per the paper's
+/// definition: convolutions and general matrix multiplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComplexKind {
+    /// 1-D convolution.
+    Conv1d,
+    /// 2-D convolution (also covers grouped / depthwise / dilated variants).
+    Conv2d,
+    /// 3-D convolution.
+    Conv3d,
+    /// Transposed 2-D convolution.
+    TransposedConv2d,
+    /// Transposed 3-D convolution.
+    TransposedConv3d,
+    /// General matrix multiplication.
+    Gmm,
+    /// Batched matrix multiplication.
+    BatchGmm,
+}
+
+/// Coarse operator classification used by layout propagation (Algorithm 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpTag {
+    /// Convolution / GMM — layout tuning targets.
+    Complex(ComplexKind),
+    /// `Y[i] = F(X[i])` with identical shape — propagation can cross it.
+    Elementwise,
+    /// Zero padding — treated like an elementwise producer that can absorb
+    /// layout conversions (Fig. 5b).
+    Padding,
+    /// Shape-changing reductions (pooling, softmax partials, mean...).
+    Reduction,
+    /// Anything else (reshape-like data movement, explicit layout
+    /// conversion operators, ...).
+    Other,
+}
+
+impl OpTag {
+    /// True for convolutions and GMM.
+    pub fn is_complex(&self) -> bool {
+        matches!(self, OpTag::Complex(_))
+    }
+}
+
+/// Where a tensor's contents come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TensorKind {
+    /// Runtime input (activations).
+    Input,
+    /// Constant parameter (weights/bias) — layout conversions on these are
+    /// free because they happen offline.
+    Param,
+    /// Produced by an operator.
+    Intermediate,
+}
+
+/// A tensor edge.
+#[derive(Clone, Debug)]
+pub struct TensorInfo {
+    /// Display name.
+    pub name: String,
+    /// Logical shape (semantic dimension order; physical layout is tracked
+    /// separately by the layout module).
+    pub shape: Shape,
+    /// Producing operator, if any.
+    pub producer: Option<OpId>,
+    /// Consuming operators.
+    pub consumers: Vec<OpId>,
+    /// Input / parameter / intermediate.
+    pub kind: TensorKind,
+}
+
+/// An operator node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: OpId,
+    /// Tensor-expression definition.
+    pub compute: Compute,
+    /// Input tensors, in the order referenced by the compute body's loads.
+    pub inputs: Vec<TensorId>,
+    /// Output tensor.
+    pub output: TensorId,
+    /// Classification for propagation and tuning.
+    pub tag: OpTag,
+}
+
+/// A computational graph.
+///
+/// Nodes are stored in insertion order, which is a valid topological order
+/// by construction (an op may only consume already-existing tensors).
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    tensors: Vec<TensorInfo>,
+    /// Shared fresh-variable allocator for all computes in this graph.
+    pub vargen: VarGen,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a runtime input tensor.
+    pub fn add_input(&mut self, name: impl Into<String>, shape: Shape) -> TensorId {
+        self.add_tensor(name.into(), shape, TensorKind::Input)
+    }
+
+    /// Adds a constant parameter tensor.
+    pub fn add_param(&mut self, name: impl Into<String>, shape: Shape) -> TensorId {
+        self.add_tensor(name.into(), shape, TensorKind::Param)
+    }
+
+    fn add_tensor(&mut self, name: String, shape: Shape, kind: TensorKind) -> TensorId {
+        let id = TensorId(self.tensors.len());
+        self.tensors.push(TensorInfo {
+            name,
+            shape,
+            producer: None,
+            consumers: Vec::new(),
+            kind,
+        });
+        id
+    }
+
+    /// Adds an operator node; returns its output tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input id is out of range (graph construction bug).
+    pub fn add_op(&mut self, compute: Compute, inputs: Vec<TensorId>, tag: OpTag) -> TensorId {
+        for t in &inputs {
+            assert!(t.0 < self.tensors.len(), "unknown input tensor {t:?}");
+        }
+        let out_shape = compute.out_shape();
+        let out = self.add_tensor(
+            format!("{}_out", compute.name),
+            out_shape,
+            TensorKind::Intermediate,
+        );
+        let id = OpId(self.nodes.len());
+        for t in &inputs {
+            self.tensors[t.0].consumers.push(id);
+        }
+        self.tensors[out.0].producer = Some(id);
+        self.nodes.push(Node {
+            id,
+            compute,
+            inputs,
+            output: out,
+            tag,
+        });
+        out
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: OpId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node lookup.
+    pub fn node_mut(&mut self, id: OpId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// All tensors.
+    pub fn tensors(&self) -> &[TensorInfo] {
+        &self.tensors
+    }
+
+    /// Tensor lookup.
+    pub fn tensor(&self, id: TensorId) -> &TensorInfo {
+        &self.tensors[id.0]
+    }
+
+    /// Number of operator nodes.
+    pub fn num_ops(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tensors.
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Tensors that no operator consumes (the graph outputs).
+    pub fn output_tensors(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.consumers.is_empty() && t.producer.is_some())
+            .map(|(i, _)| TensorId(i))
+            .collect()
+    }
+
+    /// Runtime input tensors.
+    pub fn input_tensors(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TensorKind::Input)
+            .map(|(i, _)| TensorId(i))
+            .collect()
+    }
+
+    /// Parameter tensors.
+    pub fn param_tensors(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TensorKind::Param)
+            .map(|(i, _)| TensorId(i))
+            .collect()
+    }
+
+    /// Ids of all complex operators, in topological order.
+    pub fn complex_ops(&self) -> Vec<OpId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.tag.is_complex())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Total floating-point work of the graph.
+    pub fn total_flops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.compute.total_flops()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::op::{Axis, ReduceKind, ScalarExpr};
+
+    fn identity_compute(g: &mut Graph, n: i64, name: &str) -> Compute {
+        let i = g.vargen.fresh("i");
+        Compute {
+            name: name.into(),
+            body: ScalarExpr::load(0, vec![Expr::v(&i)]),
+            axes: vec![Axis::new(i, n)],
+            reduce_axes: vec![],
+            reduce: ReduceKind::None,
+            init: 0.0,
+            post_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([8]));
+        let c = identity_compute(&mut g, 8, "copy");
+        let y = g.add_op(c, vec![x], OpTag::Elementwise);
+        assert_eq!(g.num_ops(), 1);
+        assert_eq!(g.tensor(y).producer, Some(OpId(0)));
+        assert_eq!(g.tensor(x).consumers, vec![OpId(0)]);
+        assert_eq!(g.output_tensors(), vec![y]);
+        assert_eq!(g.input_tensors(), vec![x]);
+    }
+
+    #[test]
+    fn chains_are_topological() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([4]));
+        let c1 = identity_compute(&mut g, 4, "a");
+        let t1 = g.add_op(c1, vec![x], OpTag::Elementwise);
+        let c2 = identity_compute(&mut g, 4, "b");
+        let t2 = g.add_op(c2, vec![t1], OpTag::Elementwise);
+        assert_eq!(g.output_tensors(), vec![t2]);
+        // Insertion order is topological.
+        assert!(g.nodes()[0].output == t1 && g.nodes()[1].output == t2);
+    }
+}

@@ -1,0 +1,994 @@
+//! Operator catalog: constructors for every operator used by the paper.
+//!
+//! Logical dimension order is fixed and semantic — `N, C, spatial...` for
+//! convolutions, `M, K` / `K, N` for GMM. *Physical* data layout is a
+//! separate concern handled by the layout module; e.g. the `NHWO` layout of
+//! the paper is a physical permutation of the logical `N, O, H, W` output.
+
+use crate::expr::{Expr, Var};
+use crate::graph::{ComplexKind, Graph, OpTag, TensorId};
+use crate::op::{Axis, Compute, Cond, ReduceKind, ScalarExpr, UnaryOp};
+use crate::shape::Shape;
+
+/// Configuration of an n-D convolution.
+#[derive(Clone, Debug)]
+pub struct ConvCfg {
+    /// Stride along every spatial dimension (overridden per dimension by
+    /// [`ConvCfg::strides`] when non-empty).
+    pub stride: i64,
+    /// Per-dimension strides (e.g. `(1, 2, 2)` for a ResNet3D stem);
+    /// empty means uniform [`ConvCfg::stride`].
+    pub strides: Vec<i64>,
+    /// Dilation along every spatial dimension.
+    pub dilation: i64,
+    /// Number of channel groups (`1` = dense, `I` = depthwise).
+    pub groups: i64,
+}
+
+impl Default for ConvCfg {
+    fn default() -> Self {
+        Self {
+            stride: 1,
+            strides: Vec::new(),
+            dilation: 1,
+            groups: 1,
+        }
+    }
+}
+
+impl ConvCfg {
+    /// Dense convolution with the given uniform stride.
+    pub fn strided(stride: i64) -> Self {
+        Self {
+            stride,
+            ..Self::default()
+        }
+    }
+
+    /// Dense convolution with per-dimension strides.
+    pub fn with_strides(strides: &[i64]) -> Self {
+        Self {
+            strides: strides.to_vec(),
+            ..Self::default()
+        }
+    }
+
+    /// The stride used for spatial dimension `k`.
+    pub fn stride_at(&self, k: usize) -> i64 {
+        self.strides.get(k).copied().unwrap_or(self.stride)
+    }
+
+    /// Output spatial size for input size `in_sz`, kernel size `k`, along
+    /// spatial dimension `dim`.
+    pub fn out_spatial(&self, in_sz: i64, k: i64, dim: usize) -> i64 {
+        (in_sz - self.dilation * (k - 1) - 1) / self.stride_at(dim) + 1
+    }
+}
+
+fn v(var: &Var) -> Expr {
+    Expr::v(var)
+}
+
+/// General n-D convolution shared by the 1-D/2-D/3-D constructors.
+///
+/// `x` has logical shape `[N, I, S1, .., Sd]`, `w` has
+/// `[O, I/g, K1, .., Kd]`; the output is `[N, O, P1, .., Pd]` (valid
+/// convolution — apply [`pad`] first for same-padding).
+fn conv_nd(
+    g: &mut Graph,
+    x: TensorId,
+    w: TensorId,
+    cfg: ConvCfg,
+    kind: ComplexKind,
+    name: &str,
+) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let ws = g.tensor(w).shape.clone();
+    let d = xs.ndim() - 2;
+    assert_eq!(ws.ndim(), d + 2, "weight rank mismatch for {name}");
+    let (n, i_ch) = (xs.dim(0), xs.dim(1));
+    let (o_ch, ipg) = (ws.dim(0), ws.dim(1));
+    assert_eq!(
+        ipg * cfg.groups,
+        i_ch,
+        "{name}: weight input channels {ipg} x groups {} != input channels {i_ch}",
+        cfg.groups
+    );
+    assert_eq!(o_ch % cfg.groups, 0, "{name}: O not divisible by groups");
+    let opg = o_ch / cfg.groups;
+
+    let nv = g.vargen.fresh("n");
+    let ov = g.vargen.fresh("o");
+    let mut axes = vec![Axis::new(nv.clone(), n), Axis::new(ov.clone(), o_ch)];
+    let mut spatial_vars = Vec::new();
+    for k in 0..d {
+        let insz = xs.dim(2 + k);
+        let ksz = ws.dim(2 + k);
+        let out = cfg.out_spatial(insz, ksz, k);
+        assert!(out > 0, "{name}: non-positive output spatial size");
+        let var = g.vargen.fresh(["h", "w", "z"][k.min(2)]);
+        spatial_vars.push(var.clone());
+        axes.push(Axis::new(var, out));
+    }
+
+    let ri = g.vargen.fresh("ri");
+    let mut reduce_axes = vec![Axis::new(ri.clone(), ipg)];
+    let mut rvars = Vec::new();
+    for k in 0..d {
+        let var = g.vargen.fresh(["rh", "rw", "rz"][k.min(2)]);
+        rvars.push(var.clone());
+        reduce_axes.push(Axis::new(var, ws.dim(2 + k)));
+    }
+
+    // Input channel index: (o / opg) * ipg + ri (group-local channel).
+    let in_ch = if cfg.groups == 1 {
+        v(&ri)
+    } else {
+        v(&ov).div_c(opg).mul_c(ipg).add(&v(&ri))
+    };
+    let mut x_idx = vec![v(&nv), in_ch];
+    for k in 0..d {
+        x_idx.push(
+            v(&spatial_vars[k])
+                .mul_c(cfg.stride_at(k))
+                .add(&v(&rvars[k]).mul_c(cfg.dilation)),
+        );
+    }
+    let mut w_idx = vec![v(&ov), v(&ri)];
+    for rv in &rvars {
+        w_idx.push(v(rv));
+    }
+    let body = ScalarExpr::load(0, x_idx).mul(ScalarExpr::load(1, w_idx));
+    let compute = Compute {
+        name: name.into(),
+        axes,
+        reduce_axes,
+        reduce: ReduceKind::Sum,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x, w], OpTag::Complex(kind))
+}
+
+/// 1-D convolution: `x: [N, I, W]`, `w: [O, I, KW]`.
+pub fn conv1d(g: &mut Graph, x: TensorId, w: TensorId, cfg: ConvCfg) -> TensorId {
+    conv_nd(g, x, w, cfg, ComplexKind::Conv1d, "c1d")
+}
+
+/// 2-D convolution: `x: [N, I, H, W]`, `w: [O, I/g, KH, KW]`.
+///
+/// Covers dense (`groups == 1`), grouped, depthwise (`groups == I`) and
+/// dilated (`dilation > 1`) variants.
+pub fn conv2d(g: &mut Graph, x: TensorId, w: TensorId, cfg: ConvCfg) -> TensorId {
+    conv_nd(g, x, w, cfg, ComplexKind::Conv2d, "c2d")
+}
+
+/// 3-D convolution: `x: [N, I, D, H, W]`, `w: [O, I, KD, KH, KW]`.
+pub fn conv3d(g: &mut Graph, x: TensorId, w: TensorId, cfg: ConvCfg) -> TensorId {
+    conv_nd(g, x, w, cfg, ComplexKind::Conv3d, "c3d")
+}
+
+/// Transposed n-D convolution shared by T2D/T3D.
+///
+/// `x: [N, I, S...]`, `w: [I, O, K...]`; output spatial size is
+/// `(S-1)*stride + K`.
+fn tconv_nd(g: &mut Graph, x: TensorId, w: TensorId, stride: i64, kind: ComplexKind) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let ws = g.tensor(w).shape.clone();
+    let d = xs.ndim() - 2;
+    let name = if d == 2 { "t2d" } else { "t3d" };
+    let (n, i_ch) = (xs.dim(0), xs.dim(1));
+    assert_eq!(ws.dim(0), i_ch, "{name}: weight/input channel mismatch");
+    let o_ch = ws.dim(1);
+
+    let nv = g.vargen.fresh("n");
+    let ov = g.vargen.fresh("o");
+    let mut axes = vec![Axis::new(nv.clone(), n), Axis::new(ov.clone(), o_ch)];
+    let mut svars = Vec::new();
+    for k in 0..d {
+        let out = (xs.dim(2 + k) - 1) * stride + ws.dim(2 + k);
+        let var = g.vargen.fresh(["h", "w", "z"][k.min(2)]);
+        svars.push(var.clone());
+        axes.push(Axis::new(var, out));
+    }
+    let ri = g.vargen.fresh("ri");
+    let mut reduce_axes = vec![Axis::new(ri.clone(), i_ch)];
+    let mut rvars = Vec::new();
+    for k in 0..d {
+        let var = g.vargen.fresh(["rh", "rw", "rz"][k.min(2)]);
+        rvars.push(var.clone());
+        reduce_axes.push(Axis::new(var, ws.dim(2 + k)));
+    }
+
+    // out[h] += select((h - rh) divisible by stride and in range,
+    //                  x[(h - rh) / stride] * w[rh], 0)
+    let mut x_idx = vec![v(&nv), v(&ri)];
+    let mut cond: Option<Cond> = None;
+    for k in 0..d {
+        let diff = v(&svars[k]).sub(&v(&rvars[k]));
+        let q = diff.floordiv(&Expr::c(stride));
+        let c = Cond::Ge(diff.clone(), Expr::c(0))
+            .and(Cond::Eq(diff.modulo(&Expr::c(stride)), Expr::c(0)))
+            .and(Cond::Lt(q.clone(), Expr::c(xs.dim(2 + k))));
+        cond = Some(match cond {
+            None => c,
+            Some(p) => p.and(c),
+        });
+        x_idx.push(q);
+    }
+    let mut w_idx = vec![v(&ri), v(&ov)];
+    for rv in &rvars {
+        w_idx.push(v(rv));
+    }
+    let prod = ScalarExpr::load(0, x_idx).mul(ScalarExpr::load(1, w_idx));
+    let body = ScalarExpr::select(cond.expect("d >= 1"), prod, ScalarExpr::Imm(0.0));
+    let compute = Compute {
+        name: name.into(),
+        axes,
+        reduce_axes,
+        reduce: ReduceKind::Sum,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x, w], OpTag::Complex(kind))
+}
+
+/// Transposed 2-D convolution: `x: [N, I, H, W]`, `w: [I, O, KH, KW]`.
+pub fn tconv2d(g: &mut Graph, x: TensorId, w: TensorId, stride: i64) -> TensorId {
+    tconv_nd(g, x, w, stride, ComplexKind::TransposedConv2d)
+}
+
+/// Transposed 3-D convolution: `x: [N, I, D, H, W]`, `w: [I, O, KD, KH, KW]`.
+pub fn tconv3d(g: &mut Graph, x: TensorId, w: TensorId, stride: i64) -> TensorId {
+    tconv_nd(g, x, w, stride, ComplexKind::TransposedConv3d)
+}
+
+/// General matrix multiplication `C[m, n] = sum_k A[m, k] * B[k, n]`.
+pub fn gmm(g: &mut Graph, a: TensorId, b: TensorId) -> TensorId {
+    let asz = g.tensor(a).shape.clone();
+    let bsz = g.tensor(b).shape.clone();
+    assert_eq!(asz.dim(1), bsz.dim(0), "gmm: inner dimension mismatch");
+    let m = g.vargen.fresh("m");
+    let n = g.vargen.fresh("n");
+    let k = g.vargen.fresh("k");
+    let body = ScalarExpr::load(0, vec![v(&m), v(&k)]).mul(ScalarExpr::load(1, vec![v(&k), v(&n)]));
+    let compute = Compute {
+        name: "gmm".into(),
+        axes: vec![Axis::new(m.clone(), asz.dim(0)), Axis::new(n, bsz.dim(1))],
+        reduce_axes: vec![Axis::new(k, asz.dim(1))],
+        reduce: ReduceKind::Sum,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![a, b], OpTag::Complex(ComplexKind::Gmm))
+}
+
+/// Batched matrix multiplication `C[b, m, n] = sum_k A[b, m, k] * B[b, k, n]`.
+pub fn batch_gmm(g: &mut Graph, a: TensorId, b: TensorId) -> TensorId {
+    let asz = g.tensor(a).shape.clone();
+    let bsz = g.tensor(b).shape.clone();
+    assert_eq!(asz.dim(0), bsz.dim(0), "batch_gmm: batch mismatch");
+    assert_eq!(asz.dim(2), bsz.dim(1), "batch_gmm: inner dim mismatch");
+    let bv = g.vargen.fresh("b");
+    let m = g.vargen.fresh("m");
+    let n = g.vargen.fresh("n");
+    let k = g.vargen.fresh("k");
+    let body = ScalarExpr::load(0, vec![v(&bv), v(&m), v(&k)])
+        .mul(ScalarExpr::load(1, vec![v(&bv), v(&k), v(&n)]));
+    let compute = Compute {
+        name: "batch_gmm".into(),
+        axes: vec![
+            Axis::new(bv, asz.dim(0)),
+            Axis::new(m, asz.dim(1)),
+            Axis::new(n, bsz.dim(2)),
+        ],
+        reduce_axes: vec![Axis::new(k, asz.dim(2))],
+        reduce: ReduceKind::Sum,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![a, b], OpTag::Complex(ComplexKind::BatchGmm))
+}
+
+/// Zero padding: adds `(before, after)` zeros per dimension.
+pub fn pad(g: &mut Graph, x: TensorId, pads: &[(i64, i64)]) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    assert_eq!(pads.len(), xs.ndim(), "pad: rank mismatch");
+    let mut axes = Vec::new();
+    let mut idx = Vec::new();
+    let mut cond: Option<Cond> = None;
+    for (k, &(b, a)) in pads.iter().enumerate() {
+        let var = g.vargen.fresh(&format!("p{k}"));
+        axes.push(Axis::new(var.clone(), xs.dim(k) + b + a));
+        let shifted = v(&var).sub(&Expr::c(b));
+        if b > 0 || a > 0 {
+            let c = Cond::Ge(shifted.clone(), Expr::c(0))
+                .and(Cond::Lt(shifted.clone(), Expr::c(xs.dim(k))));
+            cond = Some(match cond {
+                None => c,
+                Some(p) => p.and(c),
+            });
+        }
+        idx.push(shifted);
+    }
+    let load = ScalarExpr::load(0, idx);
+    let body = match cond {
+        Some(c) => ScalarExpr::select(c, load, ScalarExpr::Imm(0.0)),
+        None => load,
+    };
+    let compute = Compute {
+        name: "pad".into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Padding)
+}
+
+/// Same-padding helper for 2-D convolutions: pads the two trailing spatial
+/// dimensions by `p` on each side.
+pub fn pad2d_spatial(g: &mut Graph, x: TensorId, p: i64) -> TensorId {
+    let nd = g.tensor(x).shape.ndim();
+    let mut pads = vec![(0, 0); nd];
+    pads[nd - 2] = (p, p);
+    pads[nd - 1] = (p, p);
+    pad(g, x, &pads)
+}
+
+fn elementwise_axes(g: &mut Graph, shape: &Shape) -> (Vec<Axis>, Vec<Expr>) {
+    let mut axes = Vec::new();
+    let mut idx = Vec::new();
+    for k in 0..shape.ndim() {
+        let var = g.vargen.fresh(&format!("e{k}"));
+        idx.push(v(&var));
+        axes.push(Axis::new(var, shape.dim(k)));
+    }
+    (axes, idx)
+}
+
+fn unary_elementwise(g: &mut Graph, x: TensorId, op: UnaryOp, name: &str) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let body = ScalarExpr::load(0, idx).unary(op);
+    let compute = Compute {
+        name: name.into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Elementwise)
+}
+
+/// Rectified linear unit.
+pub fn relu(g: &mut Graph, x: TensorId) -> TensorId {
+    unary_elementwise(g, x, UnaryOp::Relu, "relu")
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(g: &mut Graph, x: TensorId) -> TensorId {
+    unary_elementwise(g, x, UnaryOp::Sigmoid, "sigmoid")
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(g: &mut Graph, x: TensorId) -> TensorId {
+    unary_elementwise(g, x, UnaryOp::Tanh, "tanh")
+}
+
+/// Gaussian error linear unit.
+pub fn gelu(g: &mut Graph, x: TensorId) -> TensorId {
+    unary_elementwise(g, x, UnaryOp::Gelu, "gelu")
+}
+
+/// Multiplies every element by a compile-time constant.
+pub fn scale_const(g: &mut Graph, x: TensorId, c: f32) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let compute = Compute {
+        name: "scale_const".into(),
+        body: ScalarExpr::load(0, idx).mul(ScalarExpr::Imm(c)),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Elementwise)
+}
+
+/// Clipped rectifier `min(max(x, 0), 6)` (MobileNet's ReLU6).
+pub fn relu6(g: &mut Graph, x: TensorId) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let body = ScalarExpr::Bin(
+        crate::op::ScalarBinOp::Min,
+        Box::new(ScalarExpr::load(0, idx).unary(UnaryOp::Relu)),
+        Box::new(ScalarExpr::Imm(6.0)),
+    );
+    let compute = Compute {
+        name: "relu6".into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Elementwise)
+}
+
+/// Dimension permutation as an explicit copy: `out[i] = in[i . perm]`
+/// (i.e. output dim `k` enumerates input dim `perm[k]`).
+pub fn permute(g: &mut Graph, x: TensorId, perm: &[usize]) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    assert_eq!(perm.len(), xs.ndim(), "permute: rank mismatch");
+    let new_shape = Shape::new(perm.iter().map(|&p| xs.dim(p)).collect::<Vec<_>>());
+    let (axes, idx) = elementwise_axes(g, &new_shape);
+    // in index for dim j = output index of the dim that maps to j.
+    let mut in_idx = vec![Expr::c(0); xs.ndim()];
+    for (k, &p) in perm.iter().enumerate() {
+        in_idx[p] = idx[k].clone();
+    }
+    let compute = Compute {
+        name: "permute".into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body: ScalarExpr::load(0, in_idx),
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Other)
+}
+
+/// Identity copy (used as an explicit layout-conversion operator).
+pub fn identity(g: &mut Graph, x: TensorId, name: &str) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let compute = Compute {
+        name: name.into(),
+        body: ScalarExpr::load(0, idx),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Other)
+}
+
+fn binary_elementwise(
+    g: &mut Graph,
+    x: TensorId,
+    y: TensorId,
+    f: impl Fn(ScalarExpr, ScalarExpr) -> ScalarExpr,
+    name: &str,
+) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    assert_eq!(xs, g.tensor(y).shape, "{name}: shape mismatch");
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let body = f(ScalarExpr::load(0, idx.clone()), ScalarExpr::load(1, idx));
+    let compute = Compute {
+        name: name.into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x, y], OpTag::Elementwise)
+}
+
+/// Elementwise addition (residual connections).
+pub fn add(g: &mut Graph, x: TensorId, y: TensorId) -> TensorId {
+    binary_elementwise(g, x, y, |a, b| a.add(b), "add")
+}
+
+/// Elementwise multiplication.
+pub fn mul(g: &mut Graph, x: TensorId, y: TensorId) -> TensorId {
+    binary_elementwise(g, x, y, |a, b| a.mul(b), "mul")
+}
+
+/// Adds a per-channel bias: `out[.., c, ..] = x[.., c, ..] + b[c]`.
+///
+/// `chan_dim` selects which dimension of `x` the bias vector indexes.
+pub fn bias_add(g: &mut Graph, x: TensorId, b: TensorId, chan_dim: usize) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    assert_eq!(
+        g.tensor(b).shape.dims(),
+        &[xs.dim(chan_dim)],
+        "bias_add: bias length mismatch"
+    );
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let bias_idx = vec![idx[chan_dim].clone()];
+    let body = ScalarExpr::load(0, idx).add(ScalarExpr::load(1, bias_idx));
+    let compute = Compute {
+        name: "bias_add".into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x, b], OpTag::Elementwise)
+}
+
+/// Scales and shifts per channel (folded batch-norm):
+/// `out[.., c, ..] = x[.., c, ..] * s[c] + t[c]`.
+pub fn scale_shift(
+    g: &mut Graph,
+    x: TensorId,
+    s: TensorId,
+    t: TensorId,
+    chan_dim: usize,
+) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let c_idx = vec![idx[chan_dim].clone()];
+    let body = ScalarExpr::load(0, idx)
+        .mul(ScalarExpr::load(1, c_idx.clone()))
+        .add(ScalarExpr::load(2, c_idx));
+    let compute = Compute {
+        name: "scale_shift".into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body,
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x, s, t], OpTag::Elementwise)
+}
+
+/// 2-D max pooling over `[N, C, H, W]`.
+pub fn max_pool2d(g: &mut Graph, x: TensorId, k: i64, stride: i64) -> TensorId {
+    pool2d(
+        g,
+        x,
+        k,
+        stride,
+        ReduceKind::Max,
+        f32::NEG_INFINITY,
+        1.0,
+        "max_pool2d",
+    )
+}
+
+/// 2-D average pooling over `[N, C, H, W]`.
+pub fn avg_pool2d(g: &mut Graph, x: TensorId, k: i64, stride: i64) -> TensorId {
+    pool2d(
+        g,
+        x,
+        k,
+        stride,
+        ReduceKind::Sum,
+        0.0,
+        1.0 / (k * k) as f32,
+        "avg_pool2d",
+    )
+}
+
+fn pool2d(
+    g: &mut Graph,
+    x: TensorId,
+    k: i64,
+    stride: i64,
+    reduce: ReduceKind,
+    init: f32,
+    post_scale: f32,
+    name: &str,
+) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (n, c, h, w) = (xs.dim(0), xs.dim(1), xs.dim(2), xs.dim(3));
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let nv = g.vargen.fresh("n");
+    let cv = g.vargen.fresh("c");
+    let hv = g.vargen.fresh("h");
+    let wv = g.vargen.fresh("w");
+    let rh = g.vargen.fresh("rh");
+    let rw = g.vargen.fresh("rw");
+    let body = ScalarExpr::load(
+        0,
+        vec![
+            v(&nv),
+            v(&cv),
+            v(&hv).mul_c(stride).add(&v(&rh)),
+            v(&wv).mul_c(stride).add(&v(&rw)),
+        ],
+    );
+    let compute = Compute {
+        name: name.into(),
+        axes: vec![
+            Axis::new(nv, n),
+            Axis::new(cv, c),
+            Axis::new(hv, oh),
+            Axis::new(wv, ow),
+        ],
+        reduce_axes: vec![Axis::new(rh, k), Axis::new(rw, k)],
+        reduce,
+        init,
+        body,
+        post_scale,
+    };
+    g.add_op(compute, vec![x], OpTag::Reduction)
+}
+
+/// 3-D max pooling over `[N, C, D, H, W]`.
+pub fn max_pool3d(g: &mut Graph, x: TensorId, k: i64, stride: i64) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let (n, c) = (xs.dim(0), xs.dim(1));
+    let out: Vec<i64> = (2..5).map(|d| (xs.dim(d) - k) / stride + 1).collect();
+    let nv = g.vargen.fresh("n");
+    let cv = g.vargen.fresh("c");
+    let mut axes = vec![Axis::new(nv.clone(), n), Axis::new(cv.clone(), c)];
+    let mut idx = vec![v(&nv), v(&cv)];
+    let mut reduce_axes = Vec::new();
+    for (kdim, &o) in out.iter().enumerate() {
+        let sv = g.vargen.fresh(&format!("s{kdim}"));
+        let rv = g.vargen.fresh(&format!("r{kdim}"));
+        idx.push(v(&sv).mul_c(stride).add(&v(&rv)));
+        axes.push(Axis::new(sv, o));
+        reduce_axes.push(Axis::new(rv, k));
+    }
+    let compute = Compute {
+        name: "max_pool3d".into(),
+        axes,
+        reduce_axes,
+        reduce: ReduceKind::Max,
+        init: f32::NEG_INFINITY,
+        body: ScalarExpr::load(0, idx),
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Reduction)
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+pub fn global_avg_pool(g: &mut Graph, x: TensorId) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let spatial: i64 = xs.dims()[2..].iter().product();
+    let nv = g.vargen.fresh("n");
+    let cv = g.vargen.fresh("c");
+    let mut idx = vec![v(&nv), v(&cv)];
+    let mut reduce_axes = Vec::new();
+    for k in 2..xs.ndim() {
+        let var = g.vargen.fresh(&format!("r{k}"));
+        idx.push(v(&var));
+        reduce_axes.push(Axis::new(var, xs.dim(k)));
+    }
+    let compute = Compute {
+        name: "global_avg_pool".into(),
+        axes: vec![Axis::new(nv, xs.dim(0)), Axis::new(cv, xs.dim(1))],
+        reduce_axes,
+        reduce: ReduceKind::Sum,
+        init: 0.0,
+        body: ScalarExpr::load(0, idx),
+        post_scale: 1.0 / spatial as f32,
+    };
+    g.add_op(compute, vec![x], OpTag::Reduction)
+}
+
+/// Reshape as an explicit copy: reads the input at the row-major
+/// delinearization of the output's row-major offset.
+pub fn reshape(g: &mut Graph, x: TensorId, new_shape: Shape) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    assert_eq!(
+        xs.numel(),
+        new_shape.numel(),
+        "reshape: element count mismatch"
+    );
+    let (axes, idx) = elementwise_axes(g, &new_shape);
+    // Linear offset in the new shape.
+    let mut lin = Expr::c(0);
+    for (k, e) in idx.iter().enumerate() {
+        lin = lin.mul_c(new_shape.dim(k)).add(e);
+    }
+    // Delinearize into the old shape.
+    let strides = xs.strides();
+    let mut old_idx = Vec::new();
+    for k in 0..xs.ndim() {
+        old_idx.push(lin.div_c(strides[k]).mod_c(xs.dim(k)));
+    }
+    let compute = Compute {
+        name: "reshape".into(),
+        axes,
+        reduce_axes: vec![],
+        reduce: ReduceKind::None,
+        init: 0.0,
+        body: ScalarExpr::load(0, old_idx),
+        post_scale: 1.0,
+    };
+    g.add_op(compute, vec![x], OpTag::Other)
+}
+
+/// Softmax over the last dimension, decomposed into four primitive
+/// operators (max-reduce, exp-of-difference, sum-reduce, divide).
+pub fn softmax_lastdim(g: &mut Graph, x: TensorId) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let nd = xs.ndim();
+    let last = xs.dim(nd - 1);
+
+    // Row maxima: shape without the last dimension.
+    let mut outer_axes = Vec::new();
+    let mut outer_idx = Vec::new();
+    for k in 0..nd - 1 {
+        let var = g.vargen.fresh(&format!("s{k}"));
+        outer_idx.push(v(&var));
+        outer_axes.push(Axis::new(var, xs.dim(k)));
+    }
+    let r = g.vargen.fresh("r");
+    let mut full_idx = outer_idx.clone();
+    full_idx.push(v(&r));
+    let mx = g.add_op(
+        Compute {
+            name: "softmax_max".into(),
+            axes: outer_axes.clone(),
+            reduce_axes: vec![Axis::new(r.clone(), last)],
+            reduce: ReduceKind::Max,
+            init: f32::NEG_INFINITY,
+            body: ScalarExpr::load(0, full_idx),
+            post_scale: 1.0,
+        },
+        vec![x],
+        OpTag::Reduction,
+    );
+
+    // exp(x - max) with the max broadcast along the last dim.
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let bcast: Vec<Expr> = idx[..nd - 1].to_vec();
+    let ex = g.add_op(
+        Compute {
+            name: "softmax_exp".into(),
+            axes,
+            reduce_axes: vec![],
+            reduce: ReduceKind::None,
+            init: 0.0,
+            body: ScalarExpr::load(0, idx)
+                .sub(ScalarExpr::load(1, bcast))
+                .unary(UnaryOp::Exp),
+            post_scale: 1.0,
+        },
+        vec![x, mx],
+        OpTag::Elementwise,
+    );
+
+    // Row sums.
+    let mut outer_axes2 = Vec::new();
+    let mut outer_idx2 = Vec::new();
+    for k in 0..nd - 1 {
+        let var = g.vargen.fresh(&format!("t{k}"));
+        outer_idx2.push(v(&var));
+        outer_axes2.push(Axis::new(var, xs.dim(k)));
+    }
+    let r2 = g.vargen.fresh("r");
+    let mut full2 = outer_idx2.clone();
+    full2.push(v(&r2));
+    let sm = g.add_op(
+        Compute {
+            name: "softmax_sum".into(),
+            axes: outer_axes2,
+            reduce_axes: vec![Axis::new(r2, last)],
+            reduce: ReduceKind::Sum,
+            init: 0.0,
+            body: ScalarExpr::load(0, full2),
+            post_scale: 1.0,
+        },
+        vec![ex],
+        OpTag::Reduction,
+    );
+
+    // Divide.
+    let (axes3, idx3) = elementwise_axes(g, &xs);
+    let bcast3: Vec<Expr> = idx3[..nd - 1].to_vec();
+    g.add_op(
+        Compute {
+            name: "softmax_div".into(),
+            axes: axes3,
+            reduce_axes: vec![],
+            reduce: ReduceKind::None,
+            init: 0.0,
+            body: ScalarExpr::load(0, idx3).div(ScalarExpr::load(1, bcast3)),
+            post_scale: 1.0,
+        },
+        vec![ex, sm],
+        OpTag::Elementwise,
+    )
+}
+
+/// Layer normalization over the last dimension with learned scale/shift.
+pub fn layernorm_lastdim(
+    g: &mut Graph,
+    x: TensorId,
+    gamma: TensorId,
+    beta: TensorId,
+    eps: f32,
+) -> TensorId {
+    let xs = g.tensor(x).shape.clone();
+    let nd = xs.ndim();
+    let last = xs.dim(nd - 1);
+
+    let reduce_lastdim = |g: &mut Graph, inp: TensorId, name: &str, square: bool| -> TensorId {
+        let shape = g.tensor(inp).shape.clone();
+        let mut axes = Vec::new();
+        let mut idx = Vec::new();
+        for k in 0..nd - 1 {
+            let var = g.vargen.fresh(&format!("l{k}"));
+            idx.push(v(&var));
+            axes.push(Axis::new(var, shape.dim(k)));
+        }
+        let r = g.vargen.fresh("r");
+        let mut full = idx.clone();
+        full.push(v(&r));
+        let load = ScalarExpr::load(0, full);
+        let body = if square { load.clone().mul(load) } else { load };
+        g.add_op(
+            Compute {
+                name: name.into(),
+                axes,
+                reduce_axes: vec![Axis::new(r, last)],
+                reduce: ReduceKind::Sum,
+                init: 0.0,
+                body,
+                post_scale: 1.0 / last as f32,
+            },
+            vec![inp],
+            OpTag::Reduction,
+        )
+    };
+
+    let mean = reduce_lastdim(g, x, "ln_mean", false);
+    let meansq = reduce_lastdim(g, x, "ln_meansq", true);
+
+    // out = (x - mean) * rsqrt(meansq - mean^2 + eps) * gamma + beta
+    let (axes, idx) = elementwise_axes(g, &xs);
+    let outer: Vec<Expr> = idx[..nd - 1].to_vec();
+    let last_idx = vec![idx[nd - 1].clone()];
+    let mean_l = ScalarExpr::load(1, outer.clone());
+    let meansq_l = ScalarExpr::load(2, outer);
+    let var_e = meansq_l
+        .sub(mean_l.clone().mul(mean_l.clone()))
+        .add(ScalarExpr::Imm(eps));
+    let body = ScalarExpr::load(0, idx)
+        .sub(mean_l)
+        .mul(var_e.unary(UnaryOp::Rsqrt))
+        .mul(ScalarExpr::load(3, last_idx.clone()))
+        .add(ScalarExpr::load(4, last_idx));
+    g.add_op(
+        Compute {
+            name: "ln_norm".into(),
+            axes,
+            reduce_axes: vec![],
+            reduce: ReduceKind::None,
+            init: 0.0,
+            body,
+            post_scale: 1.0,
+        },
+        vec![x, mean, meansq, gamma, beta],
+        OpTag::Elementwise,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpTag;
+
+    #[test]
+    fn conv2d_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 3, 8, 8]));
+        let w = g.add_param("w", Shape::new([16, 3, 3, 3]));
+        let y = conv2d(&mut g, x, w, ConvCfg::default());
+        assert_eq!(g.tensor(y).shape.dims(), &[1, 16, 6, 6]);
+        assert!(g.node(g.tensor(y).producer.unwrap()).tag.is_complex());
+    }
+
+    #[test]
+    fn depthwise_conv_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 1, 3, 3]));
+        let y = conv2d(
+            &mut g,
+            x,
+            w,
+            ConvCfg {
+                groups: 8,
+                ..ConvCfg::default()
+            },
+        );
+        assert_eq!(g.tensor(y).shape.dims(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn tconv2d_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 5, 5]));
+        let w = g.add_param("w", Shape::new([4, 8, 3, 3]));
+        let y = tconv2d(&mut g, x, w, 2);
+        assert_eq!(g.tensor(y).shape.dims(), &[1, 8, 11, 11]);
+    }
+
+    #[test]
+    fn gmm_shapes() {
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([4, 6]));
+        let b = g.add_param("b", Shape::new([6, 8]));
+        let c = gmm(&mut g, a, b);
+        assert_eq!(g.tensor(c).shape.dims(), &[4, 8]);
+    }
+
+    #[test]
+    fn pad_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 3, 8, 8]));
+        let y = pad2d_spatial(&mut g, x, 2);
+        assert_eq!(g.tensor(y).shape.dims(), &[1, 3, 12, 12]);
+        assert_eq!(g.node(g.tensor(y).producer.unwrap()).tag, OpTag::Padding);
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 8, 8]));
+        let y = max_pool2d(&mut g, x, 2, 2);
+        assert_eq!(g.tensor(y).shape.dims(), &[1, 4, 4, 4]);
+        let z = global_avg_pool(&mut g, y);
+        assert_eq!(g.tensor(z).shape.dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn softmax_builds_four_ops() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 5]));
+        let y = softmax_lastdim(&mut g, x);
+        assert_eq!(g.tensor(y).shape.dims(), &[2, 5]);
+        assert_eq!(g.num_ops(), 4);
+    }
+
+    #[test]
+    fn reshape_shapes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 3, 4]));
+        let y = reshape(&mut g, x, Shape::new([6, 4]));
+        assert_eq!(g.tensor(y).shape.dims(), &[6, 4]);
+    }
+
+    #[test]
+    fn relu6_clips() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([3]));
+        let y = relu6(&mut g, x);
+        let mut bind = std::collections::HashMap::new();
+        bind.insert(
+            x,
+            crate::NdBuf::from_vec(Shape::new([3]), vec![-1.0, 3.0, 9.0]),
+        );
+        let bufs = crate::exec::run_graph(&g, &bind);
+        assert_eq!(bufs[y.0].data(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn permute_transposes() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 3]));
+        let y = permute(&mut g, x, &[1, 0]);
+        assert_eq!(g.tensor(y).shape.dims(), &[3, 2]);
+        let mut bind = std::collections::HashMap::new();
+        bind.insert(x, crate::NdBuf::from_fn(Shape::new([2, 3]), |i| i as f32));
+        let bufs = crate::exec::run_graph(&g, &bind);
+        assert_eq!(bufs[y.0].get(&[2, 1]), 5.0);
+        assert_eq!(bufs[y.0].get(&[0, 1]), 3.0);
+    }
+}

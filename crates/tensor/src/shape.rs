@@ -1,0 +1,135 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The shape of a dense tensor (sizes of each dimension, outermost first).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<i64>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive.
+    pub fn new(dims: impl Into<Vec<i64>>) -> Self {
+        let dims = dims.into();
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Size of dimension `k`.
+    pub fn dim(&self, k: usize) -> i64 {
+        self.0[k]
+    }
+
+    /// All dimension sizes.
+    pub fn dims(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> i64 {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<i64> {
+        let mut s = vec![1; self.0.len()];
+        for k in (0..self.0.len().saturating_sub(1)).rev() {
+            s[k] = s[k + 1] * self.0[k + 1];
+        }
+        s
+    }
+
+    /// Flattens a multi-index into a row-major linear offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank mismatches or any coordinate is out of
+    /// bounds; both indicate lowering bugs.
+    pub fn flatten(&self, idx: &[i64]) -> i64 {
+        assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0;
+        for (k, (&i, &d)) in idx.iter().zip(self.0.iter()).enumerate() {
+            assert!(
+                (0..d).contains(&i),
+                "index {i} out of bounds for dim {k} of size {d} in shape {self}"
+            );
+            off = off * d + i;
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::flatten`].
+    pub fn unflatten(&self, mut off: i64) -> Vec<i64> {
+        let mut idx = vec![0; self.0.len()];
+        for k in (0..self.0.len()).rev() {
+            idx[k] = off.rem_euclid(self.0[k]);
+            off = off.div_euclid(self.0[k]);
+        }
+        idx
+    }
+
+    /// Iterates over all multi-indices in row-major order.
+    pub fn iter_indices(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        let n = self.numel();
+        (0..n).map(move |off| self.unflatten(off))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (k, d) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let s = Shape::new([3, 5, 7]);
+        for off in 0..s.numel() {
+            let idx = s.unflatten(off);
+            assert_eq!(s.flatten(&idx), off);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flatten_oob_panics() {
+        Shape::new([2, 2]).flatten(&[0, 2]);
+    }
+
+    #[test]
+    fn iter_indices_is_row_major() {
+        let s = Shape::new([2, 2]);
+        let all: Vec<_> = s.iter_indices().collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Graphviz (DOT) export of computational graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, OpTag, TensorKind};
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Operators are boxes (complex operators shaded), tensors are ellipses;
+/// constants are drawn dashed.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    for (k, t) in graph.tensors().iter().enumerate() {
+        let style = match t.kind {
+            TensorKind::Param => "shape=ellipse, style=dashed",
+            TensorKind::Input => "shape=ellipse, style=bold",
+            TensorKind::Intermediate => "shape=ellipse",
+        };
+        let _ = writeln!(out, "  t{k} [label=\"{}\\n{}\", {style}];", t.name, t.shape);
+    }
+    for node in graph.nodes() {
+        let style = match node.tag {
+            OpTag::Complex(_) => "shape=box, style=filled, fillcolor=lightblue",
+            OpTag::Elementwise => "shape=box",
+            OpTag::Padding => "shape=box, style=dotted",
+            _ => "shape=box, style=rounded",
+        };
+        let _ = writeln!(
+            out,
+            "  op{} [label=\"{}\", {style}];",
+            node.id.0, node.compute.name
+        );
+        for t in &node.inputs {
+            let _ = writeln!(out, "  t{} -> op{};", t.0, node.id.0);
+        }
+        let _ = writeln!(out, "  op{} -> t{};", node.id.0, node.output.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{self, ConvCfg};
+    use crate::Shape;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 3, 8, 8]));
+        let w = g.add_param("w", Shape::new([4, 3, 3, 3]));
+        let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let _ = ops::relu(&mut g, c);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("c2d"));
+        assert!(dot.contains("relu"));
+        assert!(dot.contains("lightblue"), "complex op should be shaded");
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the tensor substrate: shape arithmetic,
+//! index-expression algebra, and operator semantics invariants.
+
+use proptest::prelude::*;
+
+use alt_tensor::expr::{Env, Expr, VarGen};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, NdBuf, Shape};
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1i64..=9, 1..=4).prop_map(Shape::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Row-major flatten/unflatten are inverse bijections.
+    #[test]
+    fn shape_flatten_roundtrip(shape in arb_shape(), off_sel in any::<u64>()) {
+        let n = shape.numel() as u64;
+        let off = (off_sel % n) as i64;
+        let idx = shape.unflatten(off);
+        prop_assert_eq!(shape.flatten(&idx), off);
+    }
+
+    /// split semantics: i == (i / F) * F + i % F for every element, in the
+    /// symbolic expression algebra.
+    #[test]
+    fn split_recomposition_identity(d in 1i64..=64, f_sel in any::<u64>(), i_sel in any::<u64>()) {
+        let divisors: Vec<i64> = (1..=d).filter(|k| d % k == 0).collect();
+        let f = divisors[(f_sel % divisors.len() as u64) as usize];
+        let mut g = VarGen::new();
+        let v = g.fresh("i");
+        let recomposed = Expr::v(&v).div_c(f).mul_c(f).add(&Expr::v(&v).mod_c(f));
+        let mut env = Env::new();
+        let i = (i_sel % d as u64) as i64;
+        env.bind(&v, i);
+        prop_assert_eq!(recomposed.eval(&env), i);
+    }
+
+    /// fuse semantics: delinearizing a fused index recovers the parts.
+    #[test]
+    fn fuse_delinearize_identity(a in 1i64..=8, b in 1i64..=8, i_sel in any::<u64>(), j_sel in any::<u64>()) {
+        let mut g = VarGen::new();
+        let vi = g.fresh("i");
+        let vj = g.fresh("j");
+        let fused = Expr::v(&vi).mul_c(b).add(&Expr::v(&vj));
+        let back_i = fused.div_c(b);
+        let back_j = fused.mod_c(b);
+        let mut env = Env::new();
+        env.bind(&vi, (i_sel % a as u64) as i64);
+        env.bind(&vj, (j_sel % b as u64) as i64);
+        prop_assert_eq!(back_i.eval(&env), (i_sel % a as u64) as i64);
+        prop_assert_eq!(back_j.eval(&env), (j_sel % b as u64) as i64);
+    }
+
+    /// Expression simplification preserves evaluation: building the same
+    /// arithmetic with and without folding-friendly association gives the
+    /// same value.
+    #[test]
+    fn expr_algebra_is_consistent(x in -50i64..50, a in 1i64..10, b in 1i64..10) {
+        let mut g = VarGen::new();
+        let v = g.fresh("x");
+        let mut env = Env::new();
+        env.bind(&v, x);
+        // (x * a + b) computed two ways.
+        let e1 = Expr::v(&v).mul_c(a).add_c(b);
+        let e2 = Expr::v(&v).mul(&Expr::c(a)).add(&Expr::c(b).mul_c(1));
+        prop_assert_eq!(e1.eval(&env), x * a + b);
+        prop_assert_eq!(e2.eval(&env), x * a + b);
+        // Euclidean div/mod invariant holds for negatives too.
+        let d = Expr::v(&v).div_c(a);
+        let m = Expr::v(&v).mod_c(a);
+        prop_assert_eq!(d.eval(&env) * a + m.eval(&env), x);
+        prop_assert!(m.eval(&env) >= 0);
+    }
+
+    /// ReLU is idempotent and monotone through the reference executor.
+    #[test]
+    fn relu_idempotent(vals in prop::collection::vec(-10.0f32..10.0, 1..32)) {
+        let n = vals.len() as i64;
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([n]));
+        let r1 = ops::relu(&mut g, x);
+        let r2 = ops::relu(&mut g, r1);
+        let mut bind = std::collections::HashMap::new();
+        bind.insert(x, NdBuf::from_vec(Shape::new([n]), vals.clone()));
+        let bufs = alt_tensor::exec::run_graph(&g, &bind);
+        prop_assert_eq!(bufs[r1.0].data(), bufs[r2.0].data());
+        for (o, i) in bufs[r1.0].data().iter().zip(&vals) {
+            prop_assert!(*o >= 0.0 && *o >= *i - 1e-6);
+        }
+    }
+
+    /// Convolution is linear in the input: conv(a*x) == a * conv(x).
+    #[test]
+    fn conv_is_linear(scale in 0.5f32..3.0, seed in any::<u64>()) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 2, 6, 6]));
+        let w = g.add_param("w", Shape::new([3, 2, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let mut bind = alt_tensor::exec::random_bindings(&g, seed);
+        let base = alt_tensor::exec::run_graph(&g, &bind);
+        let xb = bind.get_mut(&x).unwrap();
+        let scaled = NdBuf::from_fn(xb.shape().clone(), |i| xb.data()[i] * scale);
+        *xb = scaled;
+        let out2 = alt_tensor::exec::run_graph(&g, &bind);
+        for (a, b) in base[y.0].data().iter().zip(out2[y.0].data()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Max pooling commutes with monotone rescaling by a positive factor.
+    #[test]
+    fn maxpool_commutes_with_positive_scale(scale in 0.5f32..4.0, seed in any::<u64>()) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 2, 6, 6]));
+        let p = ops::max_pool2d(&mut g, x, 2, 2);
+        let mut bind = alt_tensor::exec::random_bindings(&g, seed);
+        let base = alt_tensor::exec::run_graph(&g, &bind);
+        let xb = bind.get_mut(&x).unwrap();
+        *xb = NdBuf::from_fn(xb.shape().clone(), |i| xb.data()[i] * scale);
+        let out2 = alt_tensor::exec::run_graph(&g, &bind);
+        for (a, b) in base[p.0].data().iter().zip(out2[p.0].data()) {
+            prop_assert!((a * scale - b).abs() < 1e-4 * (1.0 + b.abs()));
+        }
+    }
+
+    /// permute then inverse-permute is the identity copy.
+    #[test]
+    fn permute_roundtrip(seed in any::<u64>()) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([2, 3, 4]));
+        let p = ops::permute(&mut g, x, &[2, 0, 1]);
+        // Inverse of [2,0,1] is [1,2,0].
+        let back = ops::permute(&mut g, p, &[1, 2, 0]);
+        let bind = alt_tensor::exec::random_bindings(&g, seed);
+        let bufs = alt_tensor::exec::run_graph(&g, &bind);
+        prop_assert_eq!(bufs[back.0].data(), bind[&x].data());
+    }
+}

@@ -1,0 +1,73 @@
+//! GMM-centric tuning for NLP workloads: tunes the `NKn`-family layouts
+//! for BERT-shaped matrix multiplications and shows the layout the joint
+//! stage discovers (the paper's Fig. 1c/1d observation that `NKn` tiling
+//! often, but not always, wins).
+//!
+//! ```text
+//! cargo run --release --example bert_gmm
+//! ```
+
+use alt_autotune::tune_graph;
+use alt_autotune::tuner::{FixedLayout, TuneConfig};
+use alt_sim::intel_cpu;
+use alt_tensor::ops;
+use alt_tensor::{Graph, Shape};
+
+fn gmm_graph(m: i64, k: i64, n: i64) -> Graph {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([m, k]));
+    let b = g.add_param("b", Shape::new([k, n]));
+    let _ = ops::gmm(&mut g, a, b);
+    g
+}
+
+fn main() {
+    // BERT-base projection / FFN shapes at sequence length 128.
+    let shapes = [
+        (128i64, 768i64, 768i64), // QKV / output projection
+        (128, 768, 3072),         // FFN up
+        (128, 3072, 768),         // FFN down
+        (2048, 768, 768),         // batch-16 projection
+    ];
+    let profile = intel_cpu();
+    let budget = 240u64;
+
+    println!(
+        "BERT GMM tuning on {} (budget {budget} each)\n",
+        profile.name
+    );
+    for (m, k, n) in shapes {
+        let g = gmm_graph(m, k, n);
+        // Joint tuning over the mt/nt/kt template.
+        let alt = tune_graph(
+            &g,
+            profile,
+            TuneConfig {
+                joint_budget: budget * 2 / 5,
+                loop_budget: budget * 3 / 5,
+                free_input_layouts: true,
+                seed: 3,
+                ..TuneConfig::default()
+            },
+        );
+        // Fixed default layout baseline.
+        let kn = tune_graph(
+            &g,
+            profile,
+            TuneConfig {
+                joint_budget: 0,
+                loop_budget: budget,
+                fixed_layout: Some(FixedLayout::Identity),
+                free_input_layouts: true,
+                seed: 3,
+                ..TuneConfig::default()
+            },
+        );
+        let c = g.node(g.complex_ops()[0]).output;
+        println!("GMM {m}x{k}x{n}:");
+        println!("  KN (default, loop-tuned): {:8.1} us", kn.latency * 1e6);
+        println!("  ALT joint:                {:8.1} us", alt.latency * 1e6);
+        println!("  tuned C layout: {}", alt.plan.layout_of(&g, c));
+        println!();
+    }
+}

@@ -1,0 +1,129 @@
+//! Hand-driving the layout primitives: the paper's Fig. 2/3 motivating
+//! example — multi-dimensional layout tiling with *overlapped* spatial
+//! tiles (`unfold`), built manually and validated against the reference
+//! executor.
+//!
+//! ```text
+//! cargo run --release --example custom_layout
+//! ```
+
+use alt_layout::{Layout, LayoutPlan, LayoutPrim, PropagationMode};
+use alt_loopir::{lower, run_program, GraphSchedule};
+use alt_sim::{intel_cpu, Simulator};
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+fn main() {
+    // A stride-1 C2D whose input is H+(KH-1) x W+(KW-1), as in Fig. 2.
+    let (h, w, kh, kw, i_ch, o_ch) = (32i64, 32i64, 3i64, 3i64, 8i64, 32i64);
+    let mut g = Graph::new();
+    let x = g.add_input("Inp", Shape::new([1, i_ch, h + kh - 1, w + kw - 1]));
+    let ker = g.add_param("Ker", Shape::new([o_ch, i_ch, kh, kw]));
+    let conv = ops::conv2d(&mut g, x, ker, ConvCfg::default());
+    let conv_op = g.tensor(conv).producer.unwrap();
+
+    // ---- Output tensor: tile H and W into 2x2 spatial blocks and the
+    // output channels by o_t, exactly the Fig. 3 shape
+    // N x 2 x 2 x O/o_t x H/2 x W/2 x o_t. ----
+    let o_t = 8;
+    let out_layout = Layout::identity(Shape::new([1, o_ch, h, w]))
+        // N O H W -> N O/o_t o_t H W
+        .with(LayoutPrim::Split {
+            dim: 1,
+            factors: vec![o_ch / o_t, o_t],
+        })
+        .unwrap()
+        // split H and W in half.
+        .with(LayoutPrim::Split {
+            dim: 3,
+            factors: vec![2, h / 2],
+        })
+        .unwrap()
+        .with(LayoutPrim::Split {
+            dim: 5,
+            factors: vec![2, w / 2],
+        })
+        .unwrap()
+        // [N, O/ot, ot, 2, H/2, 2, W/2] -> [N, 2, 2, O/ot, H/2, W/2, ot]
+        .with(LayoutPrim::Reorder {
+            perm: vec![0, 3, 5, 1, 4, 6, 2],
+        })
+        .unwrap();
+    println!("output layout: {out_layout}");
+
+    // ---- Input tensor: overlapped tiling (Fig. 2). Each input tile has
+    // size H/2 + (KH-1) and advances by H/2, so the halo region between
+    // neighbouring tiles is stored twice but each tile is contiguous. ----
+    let in_layout = Layout::identity(Shape::new([1, i_ch, h + kh - 1, w + kw - 1]))
+        .with(LayoutPrim::Unfold {
+            dim: 2,
+            tile: h / 2 + (kh - 1),
+            stride: h / 2,
+        })
+        .unwrap()
+        .with(LayoutPrim::Unfold {
+            dim: 4,
+            tile: w / 2 + (kw - 1),
+            stride: w / 2,
+        })
+        .unwrap()
+        // [N, I, Th, Bh, Tw, Bw] -> [N, Th, Tw, I, Bh, Bw]
+        .with(LayoutPrim::Reorder {
+            perm: vec![0, 2, 4, 1, 3, 5],
+        })
+        .unwrap();
+    println!("input layout:  {in_layout}");
+    println!(
+        "overlap along input height is exactly KH-1 = {} elements (Fig. 2)",
+        kh - 1
+    );
+
+    // ---- Weight tensor: O/o_t I KH KW o_t (o_t innermost, Fig. 3). ----
+    let ker_layout = Layout::identity(Shape::new([o_ch, i_ch, kh, kw]))
+        .with(LayoutPrim::Split {
+            dim: 0,
+            factors: vec![o_ch / o_t, o_t],
+        })
+        .unwrap()
+        .with(LayoutPrim::Reorder {
+            perm: vec![0, 2, 3, 4, 1],
+        })
+        .unwrap();
+    println!("weight layout: {ker_layout}");
+
+    // Apply all three and lower: the compilation pass rewrites every
+    // access (no operator re-implementation needed — §4.1).
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.set_layout(g.tensor(conv).producer.map(|_| conv).unwrap(), out_layout);
+    plan.set_layout(x, in_layout);
+    plan.set_layout(ker, ker_layout);
+    let _ = conv_op;
+
+    let sched = GraphSchedule::naive();
+    let program = lower(&g, &plan, &sched);
+    println!(
+        "\nlowered loop nest has {} statement executions (duplicated halo included)",
+        program.total_stmt_iterations()
+    );
+
+    // Execute and compare against the reference semantics.
+    let bindings = random_bindings(&g, 1);
+    let got = run_program(&program, &g, &plan, &bindings);
+    let want = run_graph(&g, &bindings);
+    let diff = want[conv.0].max_abs_diff(&got[&conv]);
+    println!("max |transformed - reference| = {diff:.2e}");
+    assert!(diff < 1e-3);
+
+    // The performance model sees the improved intra-tile contiguity.
+    let sim = Simulator::new(intel_cpu());
+    let tiled_lat = sim.measure(&program);
+    let naive_plan = LayoutPlan::new(PropagationMode::Full);
+    let naive_lat = sim.measure(&lower(&g, &naive_plan, &sched));
+    println!(
+        "estimated latency: NOHW {:.1} us -> overlapped-tiled {:.1} us",
+        naive_lat * 1e6,
+        tiled_lat * 1e6
+    );
+    println!("custom_layout OK");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: define a small convolution graph, compile it with joint
+//! layout + loop tuning, inspect the chosen layouts and run inference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use alt_core::{CompileOptions, Compiler};
+use alt_sim::intel_cpu;
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+fn main() {
+    // 1. Describe the computation: pad -> conv2d -> bias -> relu.
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 16, 32, 32]));
+    let padded = ops::pad2d_spatial(&mut g, x, 1);
+    let w = g.add_param("w", Shape::new([32, 16, 3, 3]));
+    let conv = ops::conv2d(&mut g, padded, w, ConvCfg::default());
+    let b = g.add_param("b", Shape::new([32]));
+    let biased = ops::bias_add(&mut g, conv, b, 1);
+    let out = ops::relu(&mut g, biased);
+
+    // 2. Compile for the Intel CPU profile with a small tuning budget.
+    let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+        joint_budget: 60,
+        loop_budget: 120,
+        seed: 42,
+        ..CompileOptions::default()
+    });
+    let unoptimized = compiler.compile_unoptimized(&g);
+    let compiled = compiler.compile(&g);
+
+    println!("=== compilation report ===");
+    print!("{}", compiled.report());
+    println!(
+        "\nnaive latency:  {:.3} ms\ntuned latency:  {:.3} ms  ({:.1}x speedup, {} measurements)",
+        unoptimized.estimated_latency() * 1e3,
+        compiled.estimated_latency() * 1e3,
+        unoptimized.estimated_latency() / compiled.estimated_latency(),
+        compiled.measurements(),
+    );
+
+    // 3. Run the compiled program and validate against the reference
+    //    executor.
+    let inputs = random_bindings(&g, 7);
+    let outputs = compiled.run(&inputs);
+    let reference = run_graph(&g, &inputs);
+    let diff = reference[out.0].max_abs_diff(&outputs[&out]);
+    println!("\nmax |tuned - reference| = {diff:.2e} (bit-compatible up to fp reassociation)");
+    assert!(diff < 1e-3);
+    println!("quickstart OK");
+}

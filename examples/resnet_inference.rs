@@ -1,0 +1,68 @@
+//! End-to-end compilation of ResNet-18: joint layout+loop tuning of a
+//! whole network, with the ablation comparison from the paper (ALT vs
+//! ALT-OL vs a vendor-style compiler).
+//!
+//! ```text
+//! cargo run --release --example resnet_inference
+//! ```
+
+use alt_autotune::tuner::TuneConfig;
+use alt_autotune::{tune_graph, Measurer};
+use alt_baselines::{alt_ol, vendor_plan};
+use alt_models::resnet18;
+use alt_sim::intel_cpu;
+
+fn main() {
+    let g = resnet18(1);
+    println!(
+        "ResNet-18 b1: {} operators ({} complex), {:.2} GFLOPs",
+        g.num_ops(),
+        g.complex_ops().len(),
+        g.total_flops() as f64 / 1e9
+    );
+
+    let budget = 400u64;
+    let profile = intel_cpu();
+
+    // Vendor-style compiler (fixed blocked layouts, expert schedules).
+    let (vp, vs) = vendor_plan(&g, &profile, true);
+    let vendor = Measurer::new(&g, profile).measure_graph_free(&vp, &vs);
+    println!("vendor-style compiler:     {:.2} ms", vendor * 1e3);
+
+    // Loop-only tuning on channels-last (the ALT-OL ablation).
+    let ol = alt_ol(&g, profile, budget, 1);
+    println!(
+        "ALT-OL (loop-only, NHWO):  {:.2} ms  ({} measurements)",
+        ol.latency * 1e3,
+        ol.measurements
+    );
+
+    // Full joint tuning.
+    let cfg = TuneConfig {
+        joint_budget: budget * 2 / 5,
+        loop_budget: budget * 3 / 5,
+        seed: 1,
+        ..TuneConfig::default()
+    };
+    let alt = tune_graph(&g, profile, cfg);
+    println!(
+        "ALT (joint layout + loop): {:.2} ms  ({} measurements)",
+        alt.latency * 1e3,
+        alt.measurements
+    );
+
+    // Show a few of the layouts the joint stage picked.
+    println!("\nsample of tuned layouts:");
+    let mut shown = 0;
+    for (t, layout) in alt.plan.assigned() {
+        if !layout.is_identity() && shown < 6 {
+            println!("  {}: {layout}", g.tensor(*t).name);
+            shown += 1;
+        }
+    }
+    println!(
+        "\nspeedup vs vendor {:.2}x, vs loop-only {:.2}x",
+        vendor / alt.latency,
+        ol.latency / alt.latency
+    );
+}

@@ -1,0 +1,97 @@
+//! Speech-recognition acoustic model — the other production workload the
+//! paper names. A wav2letter-style stack of 1-D convolutions over a
+//! spectrogram (C1D is one of the nine layout-sensitive operator
+//! families of Fig. 9).
+//!
+//! ```text
+//! cargo run --release --example speech_recognition
+//! ```
+
+use alt_autotune::tune_graph;
+use alt_autotune::tuner::TuneConfig;
+use alt_baselines::{ansor_like, vendor_plan};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape, TensorId};
+
+/// A small wav2letter-like model: widening 1-D conv stack over 80
+/// mel-filterbank features and 200 frames, ending in per-frame logits.
+fn wav2letter_small(batch: i64) -> (Graph, TensorId) {
+    let mut g = Graph::new();
+    let x = g.add_input("spectrogram", Shape::new([batch, 80, 200]));
+    let mut cur = x;
+    // (out channels, kernel, stride)
+    for (i, (o, k, s)) in [
+        (128i64, 11i64, 2i64),
+        (128, 11, 1),
+        (192, 11, 1),
+        (256, 9, 1),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let in_ch = g.tensor(cur).shape.dim(1);
+        let p = (k - 1) / 2;
+        let nd = g.tensor(cur).shape.ndim();
+        let mut pads = vec![(0, 0); nd];
+        pads[nd - 1] = (p, p);
+        let padded = ops::pad(&mut g, cur, &pads);
+        let w = g.add_param(format!("w{i}"), Shape::new([*o, in_ch, *k]));
+        let c = ops::conv1d(&mut g, padded, w, ConvCfg::strided(*s));
+        cur = ops::relu(&mut g, c);
+    }
+    // Per-frame classifier: 1x1 conv to 29 graphemes.
+    let in_ch = g.tensor(cur).shape.dim(1);
+    let w = g.add_param("w_cls", Shape::new([29, in_ch, 1]));
+    let logits = ops::conv1d(&mut g, cur, w, ConvCfg::default());
+    (g, logits)
+}
+
+fn main() {
+    let (g, out) = wav2letter_small(1);
+    let profile = alt_sim::intel_cpu();
+    println!(
+        "wav2letter-small: {} operators ({} C1D), logits {}",
+        g.num_ops(),
+        g.complex_ops().len(),
+        g.tensor(out).shape
+    );
+
+    let budget = 300u64;
+    let (vp, vs) = vendor_plan(&g, &profile, true);
+    let vendor = alt_autotune::Measurer::new(&g, profile).measure_graph_free(&vp, &vs);
+    let ansor = ansor_like(&g, profile, budget, 7);
+    let alt = tune_graph(
+        &g,
+        profile,
+        TuneConfig {
+            joint_budget: budget * 2 / 5,
+            loop_budget: budget * 3 / 5,
+            seed: 7,
+            ..TuneConfig::default()
+        },
+    );
+    println!(
+        "vendor (MKL-DNN-like):     {:.2} ms\n\
+         Ansor-like (fixed layout): {:.2} ms\n\
+         ALT (joint tuning):        {:.2} ms  ({:.2}x vs Ansor)",
+        vendor * 1e3,
+        ansor.latency * 1e3,
+        alt.latency * 1e3,
+        ansor.latency / alt.latency
+    );
+
+    // Validate numerically.
+    let program = alt_loopir::lower(&g, &alt.plan, &alt.sched);
+    let bindings = alt_tensor::exec::random_bindings(&g, 3);
+    let got = alt_loopir::run_program(&program, &g, &alt.plan, &bindings);
+    let want = alt_tensor::exec::run_graph(&g, &bindings);
+    let diff = want[out.0].max_abs_diff(&got[&out]);
+    let scale = want[out.0]
+        .data()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()));
+    println!("\nmax |tuned - reference| = {diff:.2e} (output scale {scale:.1})");
+    // Reductions over ~900 terms reassociate; use a relative tolerance.
+    assert!(diff < 1e-4 * scale.max(1.0) + 1e-3);
+    println!("speech_recognition OK");
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the ALT reproduction stack.
+pub use alt_autotune as autotune;
+pub use alt_baselines as baselines;
+pub use alt_core as core;
+pub use alt_layout as layout;
+pub use alt_loopir as loopir;
+pub use alt_models as models;
+pub use alt_sim as sim;
+pub use alt_tensor as tensor;

@@ -1,0 +1,309 @@
+//! Workspace-level integration tests: the full pipeline (graph -> joint
+//! tuning -> lowering -> execution) against the reference executor, plus
+//! cross-cutting invariants that span crates.
+
+use std::collections::HashMap;
+
+use alt_core::{CompileOptions, Compiler};
+use alt_layout::{presets, LayoutPlan, PropagationMode};
+use alt_loopir::{lower, run_program, GraphSchedule};
+use alt_sim::{arm_cpu, intel_cpu, nvidia_gpu};
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, NdBuf, Shape, TensorId};
+
+/// A small conv network: stem -> residual block -> pool -> dense.
+fn mini_convnet() -> (Graph, TensorId) {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 3, 18, 18]));
+    let w0 = g.add_param("w0", Shape::new([8, 3, 3, 3]));
+    let stem = ops::conv2d(&mut g, x, w0, ConvCfg::default());
+    let r0 = ops::relu(&mut g, stem);
+    let p = ops::pad2d_spatial(&mut g, r0, 1);
+    let w1 = g.add_param("w1", Shape::new([8, 8, 3, 3]));
+    let c1 = ops::conv2d(&mut g, p, w1, ConvCfg::default());
+    let sum = ops::add(&mut g, c1, r0);
+    let act = ops::relu(&mut g, sum);
+    let pool = ops::max_pool2d(&mut g, act, 2, 2);
+    let flat = ops::reshape(&mut g, pool, Shape::new([1, 8 * 8 * 8]));
+    let wfc = g.add_param("wfc", Shape::new([8 * 8 * 8, 10]));
+    let out = ops::gmm(&mut g, flat, wfc);
+    (g, out)
+}
+
+/// A tiny transformer block: projections, attention, FFN, layernorm.
+fn mini_transformer() -> (Graph, TensorId) {
+    let mut g = Graph::new();
+    let (s, h, a) = (8i64, 16i64, 2i64);
+    let x = g.add_input("x", Shape::new([s, h]));
+    let wq = g.add_param("wq", Shape::new([h, h]));
+    let wk = g.add_param("wk", Shape::new([h, h]));
+    let wv = g.add_param("wv", Shape::new([h, h]));
+    let q = ops::gmm(&mut g, x, wq);
+    let k = ops::gmm(&mut g, x, wk);
+    let v = ops::gmm(&mut g, x, wv);
+    let split = |g: &mut Graph, t| {
+        let t4 = ops::reshape(g, t, Shape::new([1, s, a, h / a]));
+        let p = ops::permute(g, t4, &[0, 2, 1, 3]);
+        ops::reshape(g, p, Shape::new([a, s, h / a]))
+    };
+    let qh = split(&mut g, q);
+    let kh = split(&mut g, k);
+    let vh = split(&mut g, v);
+    let kt = ops::permute(&mut g, kh, &[0, 2, 1]);
+    let scores = ops::batch_gmm(&mut g, qh, kt);
+    let scaled = ops::scale_const(&mut g, scores, 1.0 / (h as f32 / a as f32).sqrt());
+    let probs = ops::softmax_lastdim(&mut g, scaled);
+    let ctx = ops::batch_gmm(&mut g, probs, vh);
+    let ctx4 = ops::reshape(&mut g, ctx, Shape::new([1, a, s, h / a]));
+    let merged = ops::permute(&mut g, ctx4, &[0, 2, 1, 3]);
+    let ctx2 = ops::reshape(&mut g, merged, Shape::new([s, h]));
+    let res = ops::add(&mut g, ctx2, x);
+    let gamma = g.add_param("gamma", Shape::new([h]));
+    let beta = g.add_param("beta", Shape::new([h]));
+    let out = ops::layernorm_lastdim(&mut g, res, gamma, beta, 1e-5);
+    (g, out)
+}
+
+fn compare(
+    graph: &Graph,
+    out: TensorId,
+    got: &HashMap<TensorId, NdBuf>,
+    bindings: &HashMap<TensorId, NdBuf>,
+    tol: f32,
+) {
+    let want = run_graph(graph, bindings);
+    let diff = want[out.0].max_abs_diff(&got[&out]);
+    assert!(diff < tol, "output differs by {diff}");
+}
+
+#[test]
+fn compiled_convnet_matches_reference_on_all_platforms() {
+    let (g, out) = mini_convnet();
+    for profile in [intel_cpu(), nvidia_gpu(), arm_cpu()] {
+        let compiler = Compiler::new(profile).with_options(CompileOptions {
+            joint_budget: 24,
+            loop_budget: 24,
+            seed: 11,
+            ..CompileOptions::default()
+        });
+        let compiled = compiler.compile(&g);
+        let bindings = random_bindings(&g, 5);
+        let outputs = compiled.run(&bindings);
+        compare(&g, out, &outputs, &bindings, 1e-3);
+    }
+}
+
+#[test]
+fn compiled_transformer_matches_reference() {
+    let (g, out) = mini_transformer();
+    let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+        joint_budget: 16,
+        loop_budget: 16,
+        seed: 3,
+        ..CompileOptions::default()
+    });
+    let compiled = compiler.compile(&g);
+    let bindings = random_bindings(&g, 8);
+    let outputs = compiled.run(&bindings);
+    compare(&g, out, &outputs, &bindings, 1e-3);
+}
+
+#[test]
+fn propagation_modes_agree_numerically() {
+    // Full propagation, no propagation (conversions everywhere) and
+    // WithoutFusionAlign must all compute the same values.
+    let (g, out) = mini_convnet();
+    let bindings = random_bindings(&g, 9);
+    let reference = run_graph(&g, &bindings);
+    for mode in [
+        PropagationMode::Full,
+        PropagationMode::WithoutFusionAlign,
+        PropagationMode::None,
+    ] {
+        let mut plan = LayoutPlan::new(mode);
+        // Assign a tiled layout to the first conv's output and a
+        // channels-last input to the second conv.
+        let convs = g.complex_ops();
+        let c0_out = g.node(convs[0]).output;
+        plan.assign_output_layout(
+            &g,
+            convs[0],
+            presets::channel_tiled(g.tensor(c0_out).shape.clone(), 4).unwrap(),
+        );
+        let c1_in = g.node(convs[1]).inputs[0];
+        plan.assign_input_layout(
+            &g,
+            convs[1],
+            c1_in,
+            presets::nhwo(g.tensor(c1_in).shape.clone()).unwrap(),
+        );
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let got = run_program(&program, &g, &plan, &bindings);
+        let diff = reference[out.0].max_abs_diff(&got[&out]);
+        assert!(diff < 1e-3, "{mode:?} differs by {diff}");
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let (g, _) = mini_convnet();
+    let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+        joint_budget: 16,
+        loop_budget: 16,
+        seed: 77,
+        ..CompileOptions::default()
+    });
+    let a = compiler.compile(&g);
+    let b = compiler.compile(&g);
+    assert_eq!(a.estimated_latency(), b.estimated_latency());
+    assert_eq!(a.measurements(), b.measurements());
+}
+
+#[test]
+fn baselines_and_alt_are_numerically_equivalent() {
+    // The tuners only change layouts and schedules, never semantics.
+    let (g, out) = mini_convnet();
+    let bindings = random_bindings(&g, 13);
+    let r = alt_baselines::ansor_like(&g, intel_cpu(), 16, 2);
+    assert!(r.latency.is_finite());
+    // Vendor plan executes correctly too.
+    let (plan, sched) = alt_baselines::vendor_plan(&g, &intel_cpu(), true);
+    let program = lower(&g, &plan, &sched);
+    let got = run_program(&program, &g, &plan, &bindings);
+    compare(&g, out, &got, &bindings, 1e-3);
+}
+
+#[test]
+fn two_level_templates_compile_and_run() {
+    let (g, out) = mini_convnet();
+    let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+        joint_budget: 24,
+        loop_budget: 8,
+        levels: 2,
+        seed: 21,
+        ..CompileOptions::default()
+    });
+    let compiled = compiler.compile(&g);
+    let bindings = random_bindings(&g, 17);
+    let outputs = compiled.run(&bindings);
+    compare(&g, out, &outputs, &bindings, 1e-3);
+}
+
+/// A faithful MobileNet-V2 inverted-residual block at toy size:
+/// expand 1x1 -> depthwise 3x3 -> project 1x1 with a residual.
+fn mini_inverted_residual() -> (Graph, TensorId) {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 8, 12, 12]));
+    let we = g.add_param("we", Shape::new([24, 8, 1, 1]));
+    let ex = ops::conv2d(&mut g, x, we, ConvCfg::default());
+    let e6 = ops::relu6(&mut g, ex);
+    let p = ops::pad2d_spatial(&mut g, e6, 1);
+    let wd = g.add_param("wd", Shape::new([24, 1, 3, 3]));
+    let dw = ops::conv2d(
+        &mut g,
+        p,
+        wd,
+        ConvCfg {
+            groups: 24,
+            ..ConvCfg::default()
+        },
+    );
+    let d6 = ops::relu6(&mut g, dw);
+    let wp = g.add_param("wp", Shape::new([8, 24, 1, 1]));
+    let proj = ops::conv2d(&mut g, d6, wp, ConvCfg::default());
+    let out = ops::add(&mut g, proj, x);
+    (g, out)
+}
+
+#[test]
+fn compiled_inverted_residual_matches_reference() {
+    let (g, out) = mini_inverted_residual();
+    let compiler = Compiler::new(arm_cpu()).with_options(CompileOptions {
+        joint_budget: 24,
+        loop_budget: 24,
+        seed: 19,
+        ..CompileOptions::default()
+    });
+    let compiled = compiler.compile(&g);
+    let bindings = random_bindings(&g, 23);
+    let outputs = compiled.run(&bindings);
+    compare(&g, out, &outputs, &bindings, 1e-3);
+}
+
+#[test]
+fn compiled_conv3d_block_matches_reference() {
+    // ResNet3D-style block at toy size, with per-dimension strides.
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 3, 5, 10, 10]));
+    let p = ops::pad(&mut g, x, &[(0, 0), (0, 0), (1, 1), (1, 1), (1, 1)]);
+    let w = g.add_param("w", Shape::new([6, 3, 3, 3, 3]));
+    let c = ops::conv3d(&mut g, p, w, ConvCfg::with_strides(&[1, 2, 2]));
+    let out = ops::relu(&mut g, c);
+    let compiler = Compiler::new(nvidia_gpu()).with_options(CompileOptions {
+        joint_budget: 16,
+        loop_budget: 16,
+        seed: 29,
+        ..CompileOptions::default()
+    });
+    let compiled = compiler.compile(&g);
+    let bindings = random_bindings(&g, 31);
+    let outputs = compiled.run(&bindings);
+    compare(&g, out, &outputs, &bindings, 1e-3);
+}
+
+#[test]
+fn two_level_loop_tiling_compiles_and_runs() {
+    use alt_autotune::tuner::TuneConfig;
+    let (g, out) = mini_convnet();
+    let cfg = TuneConfig {
+        joint_budget: 16,
+        loop_budget: 24,
+        loop_levels: 2,
+        free_input_layouts: true,
+        seed: 37,
+        ..TuneConfig::default()
+    };
+    let r = alt_autotune::tune_graph(&g, intel_cpu(), cfg);
+    let program = alt_loopir::lower(&g, &r.plan, &r.sched);
+    let bindings = random_bindings(&g, 39);
+    let got = alt_loopir::run_program(&program, &g, &r.plan, &bindings);
+    compare(&g, out, &got, &bindings, 1e-3);
+}
+
+#[test]
+fn tuning_a_graph_with_no_complex_ops_is_safe() {
+    // Elementwise-only graph: the joint stage has nothing to do; tuning
+    // must not panic or spin.
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([4, 64]));
+    let r = ops::relu(&mut g, x);
+    let _ = ops::tanh(&mut g, r);
+    let cfg = alt_autotune::TuneConfig {
+        joint_budget: 16,
+        loop_budget: 16,
+        seed: 1,
+        ..alt_autotune::TuneConfig::default()
+    };
+    let res = alt_autotune::tune_graph(&g, intel_cpu(), cfg);
+    assert!(res.latency.is_finite() && res.latency > 0.0);
+}
+
+#[test]
+fn empty_graph_compiles_to_empty_program() {
+    let g = Graph::new();
+    let compiler = Compiler::new(intel_cpu());
+    let compiled = compiler.compile_unoptimized(&g);
+    assert!(compiled.program().groups.is_empty());
+    let outputs = compiled.run(&HashMap::new());
+    assert!(outputs.is_empty());
+}
+
+#[test]
+fn run_panics_on_missing_binding() {
+    let (g, _) = mini_convnet();
+    let compiler = Compiler::new(intel_cpu());
+    let compiled = compiler.compile_unoptimized(&g);
+    let result = std::panic::catch_unwind(|| compiled.run(&HashMap::new()));
+    assert!(result.is_err(), "missing bindings must be reported loudly");
+}
