@@ -70,6 +70,7 @@ impl Tree {
         let n_features = xs[idx[0]].len();
         let base_err: f32 = idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
         let mut best: Option<(f32, usize, f32)> = None; // (err, feature, threshold)
+        #[allow(clippy::needless_range_loop)] // `f` also indexes the row slices below
         for f in 0..n_features {
             // Quantile candidate thresholds.
             let mut vals: Vec<f32> = idx.iter().map(|&i| xs[i][f]).collect();

@@ -1,34 +1,104 @@
 //! "On-device" measurement against the hardware model, with the paper's
 //! budget accounting (one measurement = one budget unit).
+//!
+//! `measure_program` is the single point where budget is consumed, so it
+//! is also where telemetry is emitted: with an enabled sink, every budget
+//! unit produces exactly one [`MeasurementRecord`] carrying the simulator
+//! counters of the measured program, and a `sim`-scoped
+//! [`alt_telemetry::CounterRegistry`] accumulates cache/prefetch totals
+//! across the whole run.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use alt_layout::LayoutPlan;
 use alt_loopir::{lower, lower_filtered, GraphSchedule, Program};
 use alt_sim::{MachineProfile, Simulator};
+use alt_telemetry::{CounterRegistry, MeasurementRecord, Record, SimCounters, Stage, Telemetry};
 use alt_tensor::{Graph, OpId};
+
+/// Labels attached to the next measurement (who is measuring and why).
+/// The tuner updates this as it moves between ops, stages and candidates.
+#[derive(Clone, Debug)]
+pub struct MeasureCtx {
+    /// Operator tag, e.g. `conv2d#3`.
+    pub op: String,
+    /// Tuning stage spending the budget.
+    pub stage: Stage,
+    /// Tuning round within the stage.
+    pub round: u64,
+    /// Candidate point summary.
+    pub candidate: String,
+    /// Cost-model prediction for the candidate, when ranked.
+    pub predicted_cost: Option<f64>,
+}
+
+impl Default for MeasureCtx {
+    fn default() -> Self {
+        Self {
+            op: "graph".to_string(),
+            stage: Stage::Joint,
+            round: 0,
+            candidate: String::new(),
+            predicted_cost: None,
+        }
+    }
+}
+
+/// Converts simulator counters into the telemetry schema.
+fn convert_counters(c: &alt_sim::Counters) -> SimCounters {
+    SimCounters {
+        instructions: c.instructions,
+        flops: c.flops,
+        l1_loads: c.l1_loads,
+        l1_stores: c.l1_stores,
+        l1_misses: c.l1_misses,
+        l2_misses: c.l2_misses,
+        prefetch_issued: c.prefetch_issued,
+        prefetch_useful: c.prefetch_useful,
+        simd_utilization: c.simd_utilization(),
+    }
+}
 
 /// Measurement driver: lowers programs and queries the performance model,
 /// counting every measurement against the search budget.
 pub struct Measurer<'g> {
     graph: &'g Graph,
     sim: Simulator,
+    telemetry: Telemetry,
+    registry: CounterRegistry,
+    best_by_op: HashMap<String, f64>,
     /// Budget units consumed so far.
     pub used: u64,
     /// History of (budget used, latency measured) pairs, for efficiency
     /// curves like Fig. 11.
     pub history: Vec<(u64, f64)>,
+    /// Labels for the next measurement's trace record.
+    pub ctx: MeasureCtx,
 }
 
 impl<'g> Measurer<'g> {
-    /// Creates a measurer for a graph on a machine.
+    /// Creates a measurer for a graph on a machine (telemetry disabled).
     pub fn new(graph: &'g Graph, profile: MachineProfile) -> Self {
+        Self::with_telemetry(graph, profile, Telemetry::noop())
+    }
+
+    /// Creates a measurer that emits one trace record per budget unit.
+    pub fn with_telemetry(graph: &'g Graph, profile: MachineProfile, telemetry: Telemetry) -> Self {
         Self {
             graph,
             sim: Simulator::new(profile),
+            telemetry,
+            registry: CounterRegistry::new("sim"),
+            best_by_op: HashMap::new(),
             used: 0,
             history: Vec::new(),
+            ctx: MeasureCtx::default(),
         }
+    }
+
+    /// The telemetry handle measurements are emitted through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The underlying simulator (for profiling runs that should not count
@@ -61,12 +131,52 @@ impl<'g> Measurer<'g> {
         self.measure_program(&program)
     }
 
-    /// Measures an already-lowered program; consumes one budget unit.
+    /// Measures an already-lowered program; consumes one budget unit and
+    /// (with an enabled sink) emits exactly one measurement record.
     pub fn measure_program(&mut self, program: &Program) -> f64 {
-        let lat = self.sim.measure(program);
         self.used += 1;
+        let lat = if self.telemetry.is_enabled() {
+            let c = self.sim.profile_counters(program);
+            let lat = c.latency_s;
+            let best = self
+                .best_by_op
+                .entry(self.ctx.op.clone())
+                .or_insert(f64::INFINITY);
+            if lat < *best {
+                *best = lat;
+            }
+            let best = *best;
+            self.registry.add("l1.accesses", c.l1_loads + c.l1_stores);
+            self.registry.add("l1.misses", c.l1_misses);
+            self.registry.add("l2.misses", c.l2_misses);
+            self.registry.add("prefetch.issued", c.prefetch_issued);
+            self.registry.add("prefetch.useful", c.prefetch_useful);
+            self.registry
+                .observe("simd.utilization", c.simd_utilization());
+            self.registry.observe("latency_us", lat * 1e6);
+            self.telemetry.emit(Record::Measurement(MeasurementRecord {
+                seq: self.used,
+                op: self.ctx.op.clone(),
+                stage: self.ctx.stage,
+                round: self.ctx.round,
+                candidate: self.ctx.candidate.clone(),
+                predicted_cost: self.ctx.predicted_cost,
+                latency_s: lat,
+                best_so_far_s: best,
+                counters: convert_counters(&c),
+            }));
+            lat
+        } else {
+            self.sim.measure(program)
+        };
         self.history.push((self.used, lat));
         lat
+    }
+
+    /// Flushes the run-level simulator counter registry to the sink.
+    /// Call once at the end of a tuning run.
+    pub fn flush_counters(&self) {
+        self.registry.flush_to(&self.telemetry);
     }
 
     /// Measures the whole graph (does not count against the budget; used
@@ -111,6 +221,63 @@ mod tests {
         let full = m.measure_graph_free(&plan, &sched);
         assert_eq!(m.used, 2);
         assert!(full >= a, "graph includes the conv group and more");
+    }
+
+    #[test]
+    fn telemetry_emits_one_record_per_budget_unit() {
+        let g = graph();
+        let (t, sink) = Telemetry::memory();
+        let mut m = Measurer::with_telemetry(&g, intel_cpu(), t);
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        m.ctx.op = "conv2d#0".to_string();
+        for _ in 0..3 {
+            m.measure_op(&plan, &sched, op);
+        }
+        m.flush_counters();
+        let records = sink.records();
+        let measurements: Vec<&MeasurementRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Measurement(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(measurements.len(), 3, "one record per budget unit");
+        for (i, rec) in measurements.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.op, "conv2d#0");
+            assert!(rec.counters.flops > 0.0);
+            assert!(rec.best_so_far_s <= rec.latency_s);
+        }
+        // The run-level registry flushed cache/prefetch totals.
+        let counters: Vec<&str> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Counter(c) => Some(c.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(counters.contains(&"l1.accesses"), "{counters:?}");
+        assert!(counters.contains(&"prefetch.useful"), "{counters:?}");
+        assert!(counters.contains(&"simd.utilization.mean"), "{counters:?}");
+    }
+
+    #[test]
+    fn disabled_telemetry_measures_identically() {
+        let g = graph();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        let mut plain = Measurer::new(&g, intel_cpu());
+        let (t, _sink) = Telemetry::memory();
+        let mut traced = Measurer::with_telemetry(&g, intel_cpu(), t);
+        assert_eq!(
+            plain.measure_op(&plan, &sched, op),
+            traced.measure_op(&plan, &sched, op),
+            "tracing must not perturb the measurement"
+        );
     }
 
     #[test]

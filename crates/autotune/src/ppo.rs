@@ -87,6 +87,22 @@ struct Transition {
     reward: f32,
 }
 
+/// Summary of one PPO update, surfaced for telemetry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PpoUpdateStats {
+    /// Transitions consumed by the update.
+    pub transitions: usize,
+    /// Mean reward over those transitions.
+    pub reward_mean: f32,
+    /// Mean clipped surrogate loss after the update epochs (the quantity
+    /// the policy gradient descends).
+    pub policy_loss: f32,
+    /// Critic mean squared error before the critic update.
+    pub value_loss: f32,
+    /// Gaussian policy entropy in nats (fixed exploration std).
+    pub entropy: f32,
+}
+
 /// A PPO actor with Gaussian exploration and clipped policy updates.
 pub struct PpoAgent {
     actor: Mlp,
@@ -97,6 +113,8 @@ pub struct PpoAgent {
     rng: StdRng,
     /// Update after this many stored transitions.
     pub batch_size: usize,
+    /// Stats of updates performed since the last [`PpoAgent::take_update_log`].
+    update_log: Vec<PpoUpdateStats>,
 }
 
 impl PpoAgent {
@@ -113,6 +131,7 @@ impl PpoAgent {
             buffer: Vec::new(),
             rng,
             batch_size: 16,
+            update_log: Vec::new(),
         }
     }
 
@@ -176,12 +195,28 @@ impl PpoAgent {
         }
     }
 
+    /// Drains the accumulated per-update statistics (telemetry hook).
+    /// Covers updates triggered implicitly by [`PpoAgent::store`] as well
+    /// as explicit [`PpoAgent::update`] calls.
+    pub fn take_update_log(&mut self) -> Vec<PpoUpdateStats> {
+        std::mem::take(&mut self.update_log)
+    }
+
     /// PPO-clip update over the buffered transitions.
     pub fn update(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.buffer);
+        let reward_mean = batch.iter().map(|t| t.reward).sum::<f32>() / batch.len() as f32;
+        let value_loss = batch
+            .iter()
+            .map(|t| {
+                let v = self.critic.borrow().value(&t.obs);
+                (v - t.reward) * (v - t.reward)
+            })
+            .sum::<f32>()
+            / batch.len() as f32;
         // Advantages from the shared critic.
         let mut advs: Vec<f32> = batch
             .iter()
@@ -233,6 +268,39 @@ impl PpoAgent {
             }
             self.opt.step(&mut self.actor, &g, batch.len() as f32);
         }
+        // Post-update surrogate loss: how far the new policy moved on
+        // this batch (the quantity the clipped objective descends).
+        let clip = 0.2f32;
+        let policy_loss = batch
+            .iter()
+            .zip(&advs)
+            .map(|(t, &adv)| {
+                let mu = self.mean(&t.obs);
+                let logp: f32 = t
+                    .act
+                    .iter()
+                    .zip(&mu)
+                    .map(|(a, m)| -((a - m) * (a - m)) / (2.0 * self.std * self.std))
+                    .sum();
+                let ratio = (logp - t.logp).exp().clamp(0.0, 10.0);
+                let clipped = ratio.clamp(1.0 - clip, 1.0 + clip);
+                -(ratio * adv).min(clipped * adv)
+            })
+            .sum::<f32>()
+            / batch.len() as f32;
+        // Entropy of an isotropic Gaussian with fixed std, per batch (the
+        // policy never changes its exploration width, so this is a
+        // constant trace of the exploration level).
+        let entropy = ACT_DIM as f32
+            * 0.5
+            * (2.0 * std::f32::consts::PI * std::f32::consts::E * self.std * self.std).ln();
+        self.update_log.push(PpoUpdateStats {
+            transitions: batch.len(),
+            reward_mean,
+            policy_loss,
+            value_loss,
+            entropy,
+        });
         // Shared critic regression toward observed rewards.
         let critic_batch: Vec<(Vec<f32>, f32)> =
             batch.iter().map(|t| (t.obs.clone(), t.reward)).collect();
@@ -279,6 +347,25 @@ mod tests {
             "policy did not move toward optimum: {before} -> {after}"
         );
         assert!((after - 0.8).abs() < 0.25, "after = {after}");
+    }
+
+    #[test]
+    fn update_stats_are_logged() {
+        let critic = SharedCritic::new(10);
+        let mut agent = PpoAgent::new(critic, 11);
+        agent.batch_size = 8;
+        let obs = pad_obs(vec![0.2; 4]);
+        for _ in 0..8 {
+            let (a, logp) = agent.act(&obs);
+            agent.store(obs.clone(), a, logp, 1.0);
+        }
+        let log = agent.take_update_log();
+        assert_eq!(log.len(), 1, "store() at batch_size triggers one update");
+        assert_eq!(log[0].transitions, 8);
+        assert!((log[0].reward_mean - 1.0).abs() < 1e-6);
+        assert!(log[0].value_loss >= 0.0);
+        assert!(log[0].entropy.is_finite());
+        assert!(agent.take_update_log().is_empty(), "log drains");
     }
 
     #[test]

@@ -294,9 +294,9 @@ fn infer_conv_geometry(in_shape: &Shape, out_shape: &Shape, k_ext: &[i64]) -> (V
         let windows: Vec<i64> = (0..d).map(|k| (k_ext[k] - 1) * dil + 1).collect();
         let mut strides = Vec::with_capacity(d);
         let mut ok = true;
-        for k in 0..d {
+        for (k, &win) in windows.iter().enumerate() {
             let (i, o) = (in_shape.dim(2 + k), out_shape.dim(2 + k));
-            match (1..=4i64).find(|s| o == (i - windows[k]) / s + 1 && (i - windows[k]) % s == 0) {
+            match (1..=4i64).find(|s| o == (i - win) / s + 1 && (i - win) % s == 0) {
                 Some(s) => strides.push(s),
                 None => {
                     ok = false;

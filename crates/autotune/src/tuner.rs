@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{GraphSchedule, OpSchedule};
 use alt_sim::MachineProfile;
+use alt_telemetry::{CostModelRecord, PpoUpdateRecord, Record, Span, Stage, Telemetry};
 use alt_tensor::{Graph, OpId, OpTag};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -91,6 +92,10 @@ pub struct TuneConfig {
     /// NCHW) before exploring. On by default; the search-method study
     /// (Fig. 11) disables it to compare raw explorers.
     pub seed_candidates: bool,
+    /// Trace sink for structured tuning-run telemetry. Disabled
+    /// (`Telemetry::noop()`) by default; with a sink attached, every
+    /// budget unit emits one measurement record.
+    pub telemetry: Telemetry,
 }
 
 impl Default for TuneConfig {
@@ -110,6 +115,7 @@ impl Default for TuneConfig {
             layout_search: LayoutSearch::Ppo,
             fixed_layout: None,
             seed_candidates: true,
+            telemetry: Telemetry::noop(),
         }
     }
 }
@@ -179,6 +185,10 @@ struct LoopTuneState {
     dataset_x: Vec<Vec<f32>>,
     dataset_y: Vec<f32>,
     model: GbtModel,
+    /// Loop-tuning rounds executed for this op (trace labelling).
+    rounds: u64,
+    /// Dataset size the current model was trained on.
+    trained_on: u64,
 }
 
 impl LoopTuneState {
@@ -187,6 +197,8 @@ impl LoopTuneState {
             dataset_x: Vec::new(),
             dataset_y: Vec::new(),
             model: GbtModel::default(),
+            rounds: 0,
+            trained_on: 0,
         }
     }
 
@@ -198,6 +210,7 @@ impl LoopTuneState {
     fn retrain(&mut self) {
         if self.dataset_x.len() >= 16 {
             self.model = GbtModel::fit(&self.dataset_x, &self.dataset_y, GbtParams::default());
+            self.trained_on = self.dataset_x.len() as u64;
         }
     }
 }
@@ -216,7 +229,7 @@ pub struct Tuner<'g> {
 impl<'g> Tuner<'g> {
     /// Creates a tuner.
     pub fn new(graph: &'g Graph, profile: MachineProfile, cfg: TuneConfig) -> Self {
-        let measurer = Measurer::new(graph, profile);
+        let measurer = Measurer::with_telemetry(graph, profile, cfg.telemetry.clone());
         let rng = StdRng::seed_from_u64(cfg.seed);
         Self {
             graph,
@@ -261,13 +274,31 @@ impl<'g> Tuner<'g> {
         let shares = budget_shares(self.graph, &reps);
 
         // ---- Joint stage (Fig. 8) ----
-        if self.cfg.fixed_layout.is_none() && self.cfg.joint_budget > 0 {
+        // Budget accounting is strict: the joint stage never spends more
+        // than `joint_budget` in total (per-op shares are capped by what
+        // is left), and anything it under-spends is handed to the
+        // loop-only stage, so a run with at least one complex operator
+        // consumes exactly `joint_budget + loop_budget` measurements.
+        let telemetry = self.cfg.telemetry.clone();
+        let joint_ran = self.cfg.fixed_layout.is_none() && self.cfg.joint_budget > 0;
+        if joint_ran && !reps.is_empty() {
+            let span = Span::enter(&telemetry, "joint_stage");
+            self.measurer.ctx.stage = Stage::Joint;
+            let joint_start = self.measurer.used;
             let critic = match &self.cfg.pretrained {
                 Some(w) => SharedCritic::from_weights(w),
                 None => SharedCritic::new(self.cfg.seed ^ 0x9e37),
             };
             for (i, &op) in reps.iter().enumerate() {
-                let op_budget = (self.cfg.joint_budget as f64 * shares[i]).ceil() as u64;
+                let joint_left = self
+                    .cfg
+                    .joint_budget
+                    .saturating_sub(self.measurer.used - joint_start);
+                if joint_left == 0 {
+                    break;
+                }
+                let op_budget =
+                    ((self.cfg.joint_budget as f64 * shares[i]).ceil() as u64).min(joint_left);
                 let agent = match &self.cfg.pretrained {
                     Some(w) => PpoAgent::from_weights(w, critic.clone(), self.cfg.seed + i as u64),
                     None => PpoAgent::new(critic.clone(), self.cfg.seed + i as u64),
@@ -276,6 +307,13 @@ impl<'g> Tuner<'g> {
                 // Replicate the winning layout and schedule to the task's
                 // clones.
                 if let Some((point, lsched)) = best {
+                    span.event(
+                        "layout_committed",
+                        &[
+                            ("op", op_label(self.graph, op)),
+                            ("point", format!("{point:?}")),
+                        ],
+                    );
                     for &clone in &clones_of[&op] {
                         if let Some(ct) = build_layout_template(self.graph, clone, self.cfg.levels)
                         {
@@ -296,25 +334,29 @@ impl<'g> Tuner<'g> {
         }
 
         // ---- Loop-only stage ----
-        if self.cfg.loop_budget > 0 {
-            let start = self.measurer.used;
-            if !reps.is_empty() {
-                let mut i = 0;
-                while self.measurer.used - start < self.cfg.loop_budget {
-                    let op = reps[i % reps.len()];
-                    self.loop_tune_rounds(op, &plan, &mut sched, 1, u64::MAX);
-                    for &clone in &clones_of[&op] {
-                        sched.set(clone, sched.get(op));
-                    }
-                    i += 1;
-                    if i > 100_000 {
-                        break;
-                    }
+        // Tops the total up to exactly `joint_budget + loop_budget`
+        // (or just `loop_budget` when the joint stage was disabled).
+        let target = if joint_ran { self.cfg.joint_budget } else { 0 } + self.cfg.loop_budget;
+        if !reps.is_empty() && self.measurer.used < target {
+            let _span = Span::enter(&telemetry, "loop_stage");
+            self.measurer.ctx.stage = Stage::Loop;
+            let mut i = 0;
+            while self.measurer.used < target {
+                let op = reps[i % reps.len()];
+                let remaining = target - self.measurer.used;
+                self.loop_tune_rounds(op, &plan, &mut sched, 1, remaining);
+                for &clone in &clones_of[&op] {
+                    sched.set(clone, sched.get(op));
+                }
+                i += 1;
+                if i > 100_000 {
+                    break;
                 }
             }
         }
 
         let latency = self.measurer.measure_graph_free(&plan, &sched);
+        self.measurer.flush_counters();
         TuneResult {
             plan,
             sched,
@@ -334,9 +376,7 @@ impl<'g> Tuner<'g> {
         plan: &mut LayoutPlan,
         sched: &mut GraphSchedule,
     ) -> Option<(Point, OpSchedule)> {
-        let Some(tmpl) = build_layout_template(self.graph, op, self.cfg.levels) else {
-            return None;
-        };
+        let tmpl = build_layout_template(self.graph, op, self.cfg.levels)?;
         // Not enough budget for even one layout episode: leave the op on
         // its default layout rather than burning budget on half-episodes.
         if budget < self.cfg.topk as u64 {
@@ -344,6 +384,11 @@ impl<'g> Tuner<'g> {
         }
         let n_knobs = tmpl.space.knobs.len();
         let start = self.measurer.used;
+        self.measurer.ctx.op = op_label(self.graph, op);
+        // Reserve roughly a third of the op budget for re-assessing the
+        // finalists; exploration gets the rest. Both phases are hard-capped
+        // so the op never spends more than `budget` in total.
+        let explore_budget = budget - budget / 3;
         let mut cur_point: Point = tmpl
             .space
             .knobs
@@ -363,7 +408,12 @@ impl<'g> Tuner<'g> {
             Vec::new()
         };
 
-        while self.measurer.used - start < budget {
+        let mut iters = 0u64;
+        while self.measurer.used - start < explore_budget {
+            iters += 1;
+            if iters > 100_000 {
+                break;
+            }
             let obs = pad_obs(tmpl.space.encode(&cur_point));
             let (point, acts, logp) = if let Some(p) = seeds.pop() {
                 (p, vec![], f32::NAN)
@@ -394,7 +444,9 @@ impl<'g> Tuner<'g> {
             // Layout change invalidates the best loop point (the space is
             // reconstructed), but not the cost model.
             self.best_points.remove(&op);
-            let remaining = budget.saturating_sub(self.measurer.used - start).max(1);
+            let remaining = explore_budget
+                .saturating_sub(self.measurer.used - start)
+                .max(1);
             let lat =
                 self.loop_tune_rounds(op, &trial, sched, self.cfg.rounds_per_layout, remaining);
             let r0 = *ref_lat.get_or_insert(lat);
@@ -410,15 +462,28 @@ impl<'g> Tuner<'g> {
             cur_point = point;
         }
         agent.update();
+        if self.cfg.telemetry.is_enabled() {
+            for (episode, s) in agent.take_update_log().into_iter().enumerate() {
+                self.cfg.telemetry.emit(Record::PpoUpdate(PpoUpdateRecord {
+                    op: op_label(self.graph, op),
+                    episode: episode as u64 + 1,
+                    transitions: s.transitions as u64,
+                    reward_mean: s.reward_mean as f64,
+                    policy_loss: s.policy_loss as f64,
+                    value_loss: s.value_loss as f64,
+                    entropy: s.entropy as f64,
+                }));
+            }
+        }
 
         // Re-assess the finalists more deeply before committing: shallow
         // per-layout assessments are noisy, and a mis-commit cannot be
-        // recovered in the loop-only stage. The re-assessment is capped to
-        // half the op budget so small-budget runs stay cheap.
+        // recovered in the loop-only stage. The re-assessment spends what
+        // is left of the op budget, never more.
         finalists.sort_by(|a, b| a.0.total_cmp(&b.0));
         finalists.dedup_by(|a, b| a.1 == b.1);
         finalists.truncate(3);
-        let finalist_cap = (budget / 2).max(self.cfg.topk as u64);
+        let finalist_cap = budget.saturating_sub(self.measurer.used - start);
         let finalist_start = self.measurer.used;
         for (_, point) in &finalists {
             if self.measurer.used - finalist_start >= finalist_cap {
@@ -510,6 +575,7 @@ impl<'g> Tuner<'g> {
         let space =
             crate::space::build_loop_space_ex(self.graph, plan, op, self.cfg.loop_levels >= 2);
         let start = self.measurer.used;
+        self.measurer.ctx.op = op_label(self.graph, op);
         let mut best = self
             .best_points
             .get(&op)
@@ -517,6 +583,8 @@ impl<'g> Tuner<'g> {
             .map(|(p, l)| (l, p))
             .unwrap_or((f64::INFINITY, vec![]));
         if best.0.is_infinite() {
+            self.measurer.ctx.candidate = "incumbent".to_string();
+            self.measurer.ctx.predicted_cost = None;
             // The incumbent schedule may predate a layout change, in which
             // case its tilings no longer match the physical dims; reset it
             // before measuring the baseline.
@@ -536,6 +604,11 @@ impl<'g> Tuner<'g> {
         for _ in 0..rounds {
             if self.measurer.used - start >= budget_cap {
                 break;
+            }
+            {
+                let state = self.loop_state.entry(op).or_insert_with(LoopTuneState::new);
+                state.rounds += 1;
+                self.measurer.ctx.round = state.rounds;
             }
             // Candidate batch: random exploration plus walks around the
             // incumbent.
@@ -574,16 +647,28 @@ impl<'g> Tuner<'g> {
                     scored.push((0.0, p, s, feats));
                 }
             }
-            // Measure the predicted top-k.
+            // Measure the predicted top-k. `k` respects the remaining
+            // budget cap strictly: when nothing is left, the round stops.
             let k = self
                 .cfg
                 .topk
                 .min(scored.len())
                 .min(budget_cap.saturating_sub(self.measurer.used - start) as usize);
-            for (_, p, s, feats) in scored.into_iter().take(k.max(1)) {
+            if k == 0 {
+                break;
+            }
+            let mut measured: Vec<(f64, f64)> = Vec::with_capacity(k);
+            for (score, p, s, feats) in scored.into_iter().take(k) {
                 let mut trial_sched = sched.clone();
                 trial_sched.set(op, s.clone());
+                self.measurer.ctx.candidate = format!("{p:?}");
+                self.measurer.ctx.predicted_cost = if model_trained { Some(score) } else { None };
                 let lat = self.measurer.measure_ops(plan, &trial_sched, &roots);
+                if model_trained {
+                    // Quality on the model's own scale (-ln latency), so
+                    // the rank correlation below reads "+1 = perfect".
+                    measured.push((score, -lat.max(1e-12).ln()));
+                }
                 let state = self.loop_state.get_mut(&op).expect("state exists");
                 state.record(feats, lat);
                 if lat < best.0 {
@@ -591,7 +676,19 @@ impl<'g> Tuner<'g> {
                     sched.set(op, s);
                 }
             }
+            self.measurer.ctx.predicted_cost = None;
             let state = self.loop_state.get_mut(&op).expect("state exists");
+            if self.cfg.telemetry.is_enabled() && measured.len() >= 2 {
+                let (pred, qual): (Vec<f64>, Vec<f64>) = measured.into_iter().unzip();
+                self.cfg.telemetry.emit(Record::CostModel(CostModelRecord {
+                    op: self.measurer.ctx.op.clone(),
+                    stage: self.measurer.ctx.stage,
+                    round: state.rounds,
+                    measured: pred.len() as u64,
+                    spearman: alt_telemetry::spearman(&pred, &qual),
+                    train_size: state.trained_on,
+                }));
+            }
             state.retrain();
         }
         if !best.1.is_empty() {
@@ -599,6 +696,11 @@ impl<'g> Tuner<'g> {
         }
         best.0
     }
+}
+
+/// Human-readable operator tag used in trace records, e.g. `conv2d#3`.
+pub fn op_label(graph: &Graph, op: OpId) -> String {
+    format!("{}#{}", graph.node(op).compute.name, op.0)
 }
 
 /// Tuning-task signature: operators with the same kind and tensor shapes
@@ -663,8 +765,12 @@ pub fn seed_points(graph: &Graph, tmpl: &crate::space::LayoutTemplate) -> Vec<Po
             // NCHW-equivalent: full spatial tiles with every channel
             // knob at 1 (input stays channels-first, weight stays OIKK).
             let mut identity_like = full.clone();
-            for k in *d..(*d + 4).min(knobs.len()) {
-                identity_like[k] = 0;
+            for v in identity_like
+                .iter_mut()
+                .take((*d + 4).min(knobs.len()))
+                .skip(*d)
+            {
+                *v = 0;
             }
             vec![spatial, chan_tiled, identity_like, channels_last]
         }
@@ -760,8 +866,7 @@ fn default_tiling(graph: &Graph, op: OpId) -> Vec<alt_loopir::AxisTiling> {
         let last = shape.dim(nd - 1);
         let tile = crate::space::divisors(last)
             .into_iter()
-            .filter(|&d| d <= 64)
-            .next_back()
+            .rfind(|&d| d <= 64)
             .unwrap_or(1);
         if tile > 1 {
             out[nd - 1] = alt_loopir::AxisTiling::one(tile);
@@ -904,8 +1009,7 @@ pub fn apply_fixed_layout(
 pub fn largest_divisor_at_most(n: i64, cap: i64) -> i64 {
     crate::space::divisors(n)
         .into_iter()
-        .filter(|&d| d <= cap)
-        .next_back()
+        .rfind(|&d| d <= cap)
         .unwrap_or(1)
 }
 
@@ -964,10 +1068,9 @@ mod tests {
             ..TuneConfig::default()
         };
         let result = tune_graph(&g, intel_cpu(), cfg);
-        // Bounded overshoot is allowed: the last round completes and the
-        // finalist re-assessment (3 finalists x 3 rounds x topk) runs to
-        // avoid committing a noisy layout.
-        assert!(result.measurements <= 150, "used {}", result.measurements);
+        // Accounting is strict: the joint stage never exceeds its budget
+        // and the loop stage tops the total up to exactly joint + loop.
+        assert_eq!(result.measurements, 32, "used {}", result.measurements);
         assert!(!result.history.is_empty());
     }
 
@@ -986,11 +1089,71 @@ mod tests {
         };
         let result = tune_graph(&g, intel_cpu(), cfg);
         // Joint budget unused: only the loop stage measures.
-        assert!(result.measurements <= 32, "used {}", result.measurements);
+        assert_eq!(result.measurements, 16, "used {}", result.measurements);
         // The conv output layout is the fixed channels-last permutation.
         let conv = g.complex_ops()[0];
         let out = g.node(conv).output;
         assert!(!result.plan.layout_of(&g, out).is_identity());
+    }
+
+    #[test]
+    fn trace_has_one_measurement_record_per_budget_unit() {
+        let g = small_conv_graph();
+        let (telemetry, sink) = Telemetry::memory();
+        let cfg = TuneConfig {
+            joint_budget: 20,
+            loop_budget: 30,
+            batch: 8,
+            topk: 4,
+            free_input_layouts: true,
+            seed: 5,
+            telemetry,
+            ..TuneConfig::default()
+        };
+        let result = tune_graph(&g, intel_cpu(), cfg);
+        assert_eq!(result.measurements, 50);
+        let records = sink.records();
+        let measurements: Vec<&alt_telemetry::MeasurementRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Measurement(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            measurements.len() as u64,
+            result.measurements,
+            "exactly one trace record per consumed budget unit"
+        );
+        // seq is the budget counter itself.
+        for (i, m) in measurements.iter().enumerate() {
+            assert_eq!(m.seq, i as u64 + 1);
+        }
+        let joint = measurements
+            .iter()
+            .filter(|m| m.stage == Stage::Joint)
+            .count() as u64;
+        assert!(joint <= 20, "joint stage overspent: {joint}");
+        assert_eq!(joint + (measurements.len() as u64 - joint), 50);
+        // Both stage spans closed, and the dataset grew enough for the
+        // cost model to rank rounds (spearman records).
+        let span_names: Vec<&str> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(span_names.contains(&"joint_stage"), "{span_names:?}");
+        assert!(span_names.contains(&"loop_stage"), "{span_names:?}");
+        assert!(
+            records.iter().any(|r| matches!(r, Record::CostModel(_))),
+            "trained-model rounds must report rank correlation"
+        );
+        // The run-level simulator counter registry was flushed.
+        assert!(records.iter().any(
+            |r| matches!(r, Record::Counter(c) if c.scope == "sim" && c.name == "l1.accesses")
+        ));
     }
 
     #[test]
@@ -1026,7 +1189,7 @@ mod tests {
         let r = tune_graph(&g, intel_cpu(), cfg);
         let log = r.to_log(&g);
         assert!(log["measurements"].as_u64().unwrap() > 0);
-        assert!(log["best_so_far"].as_array().unwrap().len() > 0);
+        assert!(!log["best_so_far"].as_array().unwrap().is_empty());
         // Best-so-far curve is monotone non-increasing.
         let curve = log["best_so_far"].as_array().unwrap();
         let mut prev = f64::INFINITY;

@@ -10,7 +10,7 @@
 
 use alt_autotune::tuner::{base_schedule, TuneConfig};
 use alt_autotune::{tune_graph, Measurer};
-use alt_bench::{scaled, write_json, TablePrinter};
+use alt_bench::{scaled, BenchReport, TablePrinter};
 use alt_layout::{LayoutPlan, PropagationMode};
 use alt_sim::intel_cpu;
 use alt_tensor::ops::{self, ConvCfg};
@@ -31,7 +31,7 @@ fn main() {
     let budget = scaled(200);
     println!("Design ablations (budget {budget})\n");
     let profile = intel_cpu();
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("ablations");
 
     // --- Fusion ablation: tune once, then strip the fusion flags from
     // the final schedule and re-measure (same layouts, same loop
@@ -61,7 +61,7 @@ fn main() {
             lu * 1e6,
             lu / lf
         );
-        json.push(
+        report.push(
             serde_json::json!({"ablation": "fusion", "fused_us": lf * 1e6, "unfused_us": lu * 1e6}),
         );
     }
@@ -85,7 +85,7 @@ fn main() {
             };
             let r = tune_graph(&g, profile, cfg);
             printer.row(&[name.to_string(), format!("{:.1}", r.latency * 1e6)]);
-            json.push(serde_json::json!({"ablation": "propagation", "mode": name, "latency_us": r.latency * 1e6}));
+            report.push(serde_json::json!({"ablation": "propagation", "mode": name, "latency_us": r.latency * 1e6}));
         }
     }
 
@@ -103,7 +103,7 @@ fn main() {
             };
             let r = tune_graph(&g, profile, cfg);
             println!("seeds={seeds:5}: {:.1} us", r.latency * 1e6);
-            json.push(serde_json::json!({"ablation": "seeds", "enabled": seeds, "latency_us": r.latency * 1e6}));
+            report.push(serde_json::json!({"ablation": "seeds", "enabled": seeds, "latency_us": r.latency * 1e6}));
         }
     }
 
@@ -131,7 +131,7 @@ fn main() {
                 sigs.len(),
                 total as f64 / sigs.len() as f64
             );
-            json.push(serde_json::json!({"ablation": "dedup", "model": name, "ops": total, "tasks": sigs.len()}));
+            report.push(serde_json::json!({"ablation": "dedup", "model": name, "ops": total, "tasks": sigs.len()}));
         }
     }
 
@@ -166,8 +166,8 @@ fn main() {
             every * 1e6,
             tuned * 1e6
         );
-        json.push(serde_json::json!({"ablation": "cost_model", "random_us": base * 1e6, "tuner_us": tuned * 1e6}));
+        report.push(serde_json::json!({"ablation": "cost_model", "random_us": base * 1e6, "tuner_us": tuned * 1e6}));
     }
 
-    write_json("ablations", &serde_json::Value::Array(json));
+    report.write();
 }

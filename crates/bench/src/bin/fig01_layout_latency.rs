@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use alt_autotune::tuner::base_schedule;
 use alt_autotune::Measurer;
-use alt_bench::{fmt_latency, scaled, write_json, TablePrinter};
+use alt_bench::{fmt_latency, scaled, BenchReport, TablePrinter};
 use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
 use alt_sim::{intel_cpu, nvidia_gpu, MachineProfile};
 use alt_tensor::ops::{self, ConvCfg};
@@ -164,7 +164,7 @@ fn run_family(
     layouts_of: impl Fn(&Graph) -> Vec<(&'static str, LayoutPlan)>,
     profile: MachineProfile,
     budget: u64,
-    json: &mut Vec<serde_json::Value>,
+    report: &mut BenchReport,
 ) {
     println!("\n## Fig. 1 {name} on {}", profile.name);
     let layout_names: Vec<&str> = layouts_of(&configs[0].1).iter().map(|(n, _)| *n).collect();
@@ -188,7 +188,7 @@ fn run_family(
             .unwrap();
         cells.push(best.to_string());
         printer.row(&cells);
-        json.push(serde_json::json!({
+        report.push(serde_json::json!({
             "family": name,
             "platform": profile.name,
             "config": cname,
@@ -200,7 +200,7 @@ fn run_family(
 fn main() {
     let budget = scaled(120);
     println!("Fig. 1 reproduction: tuned latency per fixed layout (budget {budget} per layout)");
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("fig01");
     for profile in [intel_cpu(), nvidia_gpu()] {
         run_family(
             "C2D",
@@ -208,7 +208,7 @@ fn main() {
             c2d_layouts,
             profile,
             budget,
-            &mut json,
+            &mut report,
         );
         run_family(
             "GMM",
@@ -216,13 +216,13 @@ fn main() {
             gmm_layouts,
             profile,
             budget,
-            &mut json,
+            &mut report,
         );
     }
     // Summary: how much the best layout improves over the default.
     let mut c2d_gains = Vec::new();
     let mut gmm_gains = Vec::new();
-    for rec in &json {
+    for rec in report.rows() {
         let lats = rec["latencies"].as_object().unwrap();
         let vals: Vec<f64> = lats.values().map(|v| v.as_f64().unwrap()).collect();
         let best = vals.iter().cloned().fold(f64::MAX, f64::min);
@@ -245,5 +245,5 @@ fn main() {
         avg(&c2d_gains),
         avg(&gmm_gains)
     );
-    write_json("fig01", &serde_json::Value::Array(json));
+    report.write();
 }

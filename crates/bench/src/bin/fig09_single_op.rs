@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use alt_autotune::tune_graph;
 use alt_autotune::tuner::{TuneConfig, TuneResult};
 use alt_baselines::{ansor_like, autotvm_like, flextensor_like, vendor_plan};
-use alt_bench::{normalized_performance, scaled, single_op_cases, write_json, TablePrinter};
+use alt_bench::{normalized_performance, scaled, single_op_cases, BenchReport, TablePrinter};
 use alt_layout::LayoutPrim;
 use alt_sim::MachineProfile;
 use alt_tensor::Graph;
@@ -64,7 +64,7 @@ fn main() {
          (budget {budget}/case, {n_cfg} configs/op)"
     );
     let cases = single_op_cases(n_cfg, 2023);
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("fig09");
     let mut ot_observations: Vec<(String, i64, u32)> = Vec::new();
 
     for profile in alt_bench::platforms() {
@@ -89,13 +89,14 @@ fn main() {
             );
             lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
             let alt = alt_tune(g, profile, budget, 1);
+            report.note_run(alt.measurements, alt.latency);
             lats.insert("ALT".into(), alt.latency);
             if report_ot {
                 if let Some(ot) = observed_ot(g, &alt) {
                     ot_observations.push((case.op.to_string(), ot, profile.vector_lanes));
                 }
             }
-            json.push(serde_json::json!({
+            report.push(serde_json::json!({
                 "platform": profile.name,
                 "op": case.op,
                 "config": case.config,
@@ -144,5 +145,5 @@ fn main() {
             );
         }
     }
-    write_json("fig09", &serde_json::Value::Array(json));
+    report.write();
 }

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use alt_autotune::tune_graph;
 use alt_autotune::tuner::TuneConfig;
 use alt_baselines::{alt_ol, alt_wp, ansor_like, autotvm_like, vendor_plan};
-use alt_bench::{normalized_performance, scaled, write_json, TablePrinter};
+use alt_bench::{normalized_performance, scaled, BenchReport, TablePrinter};
 use alt_layout::PropagationMode;
 use alt_models::{bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d_18};
 use alt_sim::{MachineKind, MachineProfile};
@@ -84,7 +84,7 @@ fn workloads(profile: &MachineProfile) -> Vec<(String, Graph)> {
 fn main() {
     let budget = scaled(600);
     println!("Fig. 10 reproduction: end-to-end inference (budget {budget}/network)");
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("fig10");
     for profile in alt_bench::platforms() {
         let vendor_name = match (profile.kind, profile.name) {
             (MachineKind::Cpu, "intel-cpu") => "OpenVINO-like",
@@ -121,7 +121,7 @@ fn main() {
                 row.push(format!("{:.2}ms", lats[sys] * 1e3));
             }
             printer.row(&row);
-            json.push(serde_json::json!({
+            report.push(serde_json::json!({
                 "platform": profile.name,
                 "network": name,
                 "latencies_ms": lats.iter().map(|(k, v)| (k.clone(), v * 1e3)).collect::<HashMap<_, _>>(),
@@ -154,5 +154,5 @@ fn main() {
             speedup("ALT", "ALT-WP"),
         );
     }
-    write_json("fig10", &serde_json::Value::Array(json));
+    report.write();
 }

@@ -8,7 +8,7 @@
 
 use alt_autotune::tuner::{LayoutSearch, TuneConfig};
 use alt_autotune::{pretrain_ppo, tune_graph};
-use alt_bench::{scaled, write_json, TablePrinter};
+use alt_bench::{scaled, BenchReport, TablePrinter};
 use alt_sim::intel_cpu;
 use alt_tensor::ops::{self, ConvCfg};
 use alt_tensor::{Graph, Shape};
@@ -79,10 +79,13 @@ fn main() {
         ),
     ];
 
+    let mut report = BenchReport::new("fig11");
     let points: Vec<u64> = (1..=10).map(|i| i * budget / 10).collect();
     let mut curves = Vec::new();
     for (name, cfg) in &runs {
         let r = tune_graph(&g, intel_cpu(), cfg.clone());
+        report.note_budget(cfg.joint_budget, cfg.loop_budget);
+        report.note_run(r.measurements, r.latency);
         let c = curve(&r.history, &points);
         println!(
             "{name:12}: final best {:.1} us after {} measurements",
@@ -120,11 +123,9 @@ fn main() {
         r / pre,
         wo / pre
     );
-    write_json(
-        "fig11",
-        &serde_json::json!({
-            "points": points,
-            "curves": curves.iter().map(|(n, c)| (n.clone(), c.clone())).collect::<std::collections::HashMap<_, _>>(),
-        }),
-    );
+    report.push(serde_json::json!({
+        "points": points,
+        "curves": curves.iter().map(|(n, c)| (n.clone(), c.clone())).collect::<std::collections::HashMap<_, _>>(),
+    }));
+    report.write();
 }

@@ -19,7 +19,7 @@ use alt_autotune::space::{apply_layout_decision, build_layout_template, decode_l
 use alt_autotune::tuner::{apply_fixed_layout, base_schedule};
 use alt_autotune::{Measurer, Point};
 use alt_baselines::baseline_layout;
-use alt_bench::{scaled, write_json, TablePrinter};
+use alt_bench::{scaled, BenchReport, TablePrinter};
 use alt_layout::{LayoutPlan, PropagationMode};
 use alt_loopir::{lower, GraphSchedule};
 use alt_sim::{intel_cpu, nvidia_gpu, MachineProfile, Simulator};
@@ -126,7 +126,7 @@ fn breakdown(
 fn main() {
     let budget = scaled(180);
     println!("Fig. 12 reproduction: layout propagation overhead (budget {budget}/conv)\n");
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("fig12");
     for (gname, hw, o2, profile) in [
         ("Sg#1-CPU", 7, 512, intel_cpu()),
         ("Sg#1-GPU", 7, 512, nvidia_gpu()),
@@ -222,7 +222,7 @@ fn main() {
                 format!("{c2:.1}"),
                 format!("{:.1}", c1 + cv + c2),
             ]);
-            json.push(serde_json::json!({
+            report.push(serde_json::json!({
                 "subgraph": gname,
                 "system": sys,
                 "conv3x3_us": c1,
@@ -236,5 +236,5 @@ fn main() {
         "Paper reference: ALT's conversion costs only 2-8 us while independent \
          tuning recovers more than that on the convolutions."
     );
-    write_json("fig12", &serde_json::Value::Array(json));
+    report.write();
 }

@@ -14,7 +14,7 @@
 
 use alt_autotune::tune_graph;
 use alt_autotune::tuner::TuneConfig;
-use alt_bench::{scaled, write_json, TablePrinter};
+use alt_bench::{scaled, BenchReport, TablePrinter};
 use alt_models::{bert_base, mobilenet_v2, resnet18, resnet3d_18};
 use alt_sim::{intel_cpu, nvidia_gpu};
 
@@ -37,7 +37,7 @@ fn main() {
         ],
         &[8, 10, 10, 12, 10, 9, 11],
     );
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("fig13");
     let mut ratios_same = Vec::new();
     let mut ratios_more = Vec::new();
     for profile in [intel_cpu(), nvidia_gpu()] {
@@ -72,7 +72,7 @@ fn main() {
             ]);
             ratios_same.push(one / two_same);
             ratios_more.push(one / two_more);
-            json.push(serde_json::json!({
+            report.push(serde_json::json!({
                 "network": name,
                 "platform": profile.name,
                 "two_level_same_budget_ms": two_same * 1e3,
@@ -88,5 +88,5 @@ fn main() {
         alt_bench::geomean(&ratios_same),
         alt_bench::geomean(&ratios_more),
     );
-    write_json("fig13", &serde_json::Value::Array(json));
+    report.write();
 }

@@ -14,7 +14,7 @@
 //! The prediction column reproduces the paper's calculation
 //! `rows*W / (16 * 4)` (16 floats per line, 4 lines per miss event).
 
-use alt_bench::{write_json, TablePrinter};
+use alt_bench::{BenchReport, TablePrinter};
 use alt_sim::CacheSim;
 
 const ROWS: u64 = 512;
@@ -52,7 +52,7 @@ fn main() {
         &["tile size", "#L1-mis (1st F.)", "pred.", "#L1-mis (2nd F.)"],
         &[12, 18, 8, 18],
     );
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("table2");
     for w in [4u64, 16, 64, 256] {
         let layout = run_layout_tiling(w);
         let pred = ROWS * w / (16 * PREFETCH as u64);
@@ -63,7 +63,7 @@ fn main() {
             pred.to_string(),
             loop_.to_string(),
         ]);
-        json.push(serde_json::json!({
+        report.push(serde_json::json!({
             "tile": format!("512x{w}"),
             "layout_tiling_misses": layout,
             "predicted": pred,
@@ -79,5 +79,5 @@ fn main() {
          layout tiling consistently triggers ~4x fewer miss events because the \
          prefetched neighbour lines are useful."
     );
-    write_json("table2", &serde_json::Value::Array(json));
+    report.write();
 }

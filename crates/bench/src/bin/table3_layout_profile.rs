@@ -13,7 +13,7 @@
 
 use alt_autotune::tuner::base_schedule;
 use alt_autotune::Measurer;
-use alt_bench::{scaled, write_json, TablePrinter};
+use alt_bench::{scaled, BenchReport, TablePrinter};
 use alt_layout::{presets, LayoutPlan, PropagationMode};
 use alt_loopir::lower;
 use alt_sim::{intel_cpu, Simulator};
@@ -126,7 +126,7 @@ fn main() {
         ],
         &[22, 10, 11, 11, 11, 9],
     );
-    let mut json = Vec::new();
+    let mut report = BenchReport::new("table3");
     let mut results: Vec<(String, f64, f64)> = Vec::new();
     for case in cases(&g, p, w, c) {
         // Loop-tune the convolution under this layout.
@@ -144,7 +144,7 @@ fn main() {
             format!("{:.1}", counters.l1_stores / 1e6),
             format!("{:.3}", counters.latency_s * 1e3),
         ]);
-        json.push(serde_json::json!({
+        report.push(serde_json::json!({
             "layout": case.name,
             "instructions_m": counters.instructions / 1e6,
             "l1_loads_m": counters.l1_loads / 1e6,
@@ -173,5 +173,5 @@ fn main() {
         tiled.2 * 1e3,
         best_other * 1e3
     );
-    write_json("table3", &serde_json::Value::Array(json));
+    report.write();
 }

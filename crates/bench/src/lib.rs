@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use alt_sim::MachineProfile;
+use alt_telemetry::RunSummaryRecord;
 use alt_tensor::ops::{self, ConvCfg};
 use alt_tensor::{Graph, Shape};
 use rand::rngs::StdRng;
@@ -112,11 +113,90 @@ impl TablePrinter {
     }
 }
 
-/// Writes a JSON record if `ALT_BENCH_JSON` points at a directory.
-pub fn write_json(name: &str, value: &serde_json::Value) {
-    if let Ok(dir) = std::env::var("ALT_BENCH_JSON") {
-        let path = std::path::Path::new(&dir).join(format!("{name}.json"));
-        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+/// Collects a benchmark binary's JSON result rows and writes them in a
+/// single envelope — `{bench, budget_scale, run_summary, rows}` — to
+/// `$ALT_BENCH_JSON/<name>.json`. The embedded [`RunSummaryRecord`] is
+/// the same schema the tuning trace ends with, so downstream tooling can
+/// treat figure results and `altc` traces uniformly.
+pub struct BenchReport {
+    name: String,
+    started: std::time::Instant,
+    rows: Vec<serde_json::Value>,
+    joint_budget: u64,
+    loop_budget: u64,
+    measurements: u64,
+    best_latency_s: f64,
+}
+
+impl BenchReport {
+    /// Starts a report (and its wall-time clock) for one figure/table.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            started: std::time::Instant::now(),
+            rows: Vec::new(),
+            joint_budget: 0,
+            loop_budget: 0,
+            measurements: 0,
+            best_latency_s: f64::INFINITY,
+        }
+    }
+
+    /// Appends one result row.
+    pub fn push(&mut self, row: serde_json::Value) {
+        self.rows.push(row);
+    }
+
+    /// The rows collected so far.
+    pub fn rows(&self) -> &[serde_json::Value] {
+        &self.rows
+    }
+
+    /// Accumulates the budgets configured for one tuning run.
+    pub fn note_budget(&mut self, joint: u64, loop_: u64) {
+        self.joint_budget += joint;
+        self.loop_budget += loop_;
+    }
+
+    /// Accumulates one tuning run's outcome: measurements consumed and
+    /// the latency it reached (the summary keeps the best).
+    pub fn note_run(&mut self, measurements: u64, latency_s: f64) {
+        self.measurements += measurements;
+        if latency_s < self.best_latency_s {
+            self.best_latency_s = latency_s;
+        }
+    }
+
+    /// The aggregated run summary over every noted tuning run.
+    pub fn run_summary(&self) -> RunSummaryRecord {
+        RunSummaryRecord {
+            joint_budget: self.joint_budget,
+            loop_budget: self.loop_budget,
+            measurements: self.measurements,
+            best_latency_s: if self.best_latency_s.is_finite() {
+                self.best_latency_s
+            } else {
+                0.0
+            },
+            wall_s: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Writes the enveloped rows if `ALT_BENCH_JSON` points at a
+    /// directory (no-op otherwise, like the text-only default).
+    pub fn write(self) {
+        let Ok(dir) = std::env::var("ALT_BENCH_JSON") else {
+            return;
+        };
+        let summary = serde_json::to_value(&self.run_summary());
+        let envelope = serde_json::json!({
+            "bench": self.name,
+            "budget_scale": budget_scale(),
+            "run_summary": summary,
+            "rows": serde_json::Value::Array(self.rows),
+        });
+        let path = std::path::Path::new(&dir).join(format!("{}.json", self.name));
+        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&envelope).unwrap()) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }

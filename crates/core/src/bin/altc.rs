@@ -7,9 +7,11 @@
 //! altc --model r18 --platform intel --budget 400
 //! altc --model mv2 --platform gpu --budget 200 --json
 //! altc --model r18 --dot > r18.dot
+//! altc --model r18 --budget 64 --trace r18.trace.jsonl
+//! altc report r18.trace.jsonl
 //! ```
 
-use alt_core::{CompileOptions, Compiler};
+use alt_core::{CompileOptions, Compiler, JsonlSink};
 use alt_models::{bert_base, bert_tiny, mobilenet_v2, resnet18, resnet3d_18};
 use alt_sim::{arm_cpu, intel_cpu, nvidia_gpu, MachineProfile};
 use alt_tensor::Graph;
@@ -22,6 +24,7 @@ struct Args {
     seed: u64,
     json: bool,
     dot: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         json: false,
         dot: false,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--dot" => args.dot = true,
+            "--trace" => args.trace = Some(value("--trace")?),
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -73,6 +78,7 @@ fn print_help() {
 
 USAGE:
     altc [OPTIONS]
+    altc report <TRACE.jsonl>
 
 OPTIONS:
     -m, --model <NAME>       r18 | mv2 | bert-base | bert-tiny | r3d  [default: r18]
@@ -82,8 +88,35 @@ OPTIONS:
         --seed <N>           tuning seed                              [default: 0]
         --json               machine-readable output
         --dot                print the model graph in DOT format and exit
-    -h, --help               this message"
+        --trace <PATH>       write a JSONL tuning trace (inspect with `altc report`)
+    -h, --help               this message
+
+SUBCOMMANDS:
+    report <TRACE.jsonl>     summarize a tuning trace: best-latency curve
+                             per op, budget per stage, cost-model accuracy
+                             per round, and cache/prefetch counters"
     );
+}
+
+/// `altc report <trace.jsonl>`: render a recorded tuning trace.
+fn run_report(rest: &[String]) -> i32 {
+    let path = match rest {
+        [p] if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: altc report <TRACE.jsonl>");
+            return 2;
+        }
+    };
+    match alt_telemetry::read_jsonl(path) {
+        Ok(records) => {
+            print!("{}", alt_telemetry::render_report(&records));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            2
+        }
+    }
 }
 
 fn build_model(name: &str, batch: i64) -> Result<Graph, String> {
@@ -107,6 +140,10 @@ fn build_platform(name: &str) -> Result<MachineProfile, String> {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("report") {
+        std::process::exit(run_report(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -134,12 +171,21 @@ fn main() {
     };
 
     let joint = (args.budget as f64 * 0.4) as u64;
-    let compiler = Compiler::new(profile).with_options(CompileOptions {
+    let mut compiler = Compiler::new(profile).with_options(CompileOptions {
         joint_budget: joint,
         loop_budget: args.budget - joint,
         seed: args.seed,
         ..CompileOptions::default()
     });
+    if let Some(path) = &args.trace {
+        match JsonlSink::create(path) {
+            Ok(sink) => compiler = compiler.with_telemetry(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("error: --trace {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     eprintln!(
         "compiling {} (batch {}) for {} with budget {}...",
@@ -172,5 +218,8 @@ fn main() {
             unopt.estimated_latency() / compiled.estimated_latency(),
             wall
         );
+    }
+    if let Some(path) = &args.trace {
+        eprintln!("trace written to {path}; inspect with `altc report {path}`");
     }
 }

@@ -35,9 +35,11 @@ use alt_autotune::{tune_graph, PpoWeights};
 use alt_layout::{Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{lower, run_program, GraphSchedule, Program};
 use alt_sim::{MachineProfile, Simulator};
+use alt_telemetry::{Record, Telemetry};
 use alt_tensor::{Graph, NdBuf, TensorId};
 
 pub use alt_autotune::tuner::TuneResult;
+pub use alt_telemetry::{JsonlSink, MemorySink, NoopSink, RunSummaryRecord, Sink};
 
 /// Compilation options (a curated surface over the tuner configuration).
 #[derive(Clone, Debug)]
@@ -84,20 +86,31 @@ impl Default for CompileOptions {
 pub struct Compiler {
     profile: MachineProfile,
     options: CompileOptions,
+    telemetry: Telemetry,
 }
 
 impl Compiler {
-    /// Creates a compiler with default options.
+    /// Creates a compiler with default options (telemetry disabled).
     pub fn new(profile: MachineProfile) -> Self {
         Self {
             profile,
             options: CompileOptions::default(),
+            telemetry: Telemetry::noop(),
         }
     }
 
     /// Replaces the compilation options.
     pub fn with_options(mut self, options: CompileOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Attaches a telemetry sink: every subsequent `compile` emits a
+    /// structured trace (one measurement record per budget unit, PPO and
+    /// cost-model records, aggregated simulator counters, and a final run
+    /// summary) through the sink.
+    pub fn with_telemetry(mut self, sink: std::sync::Arc<dyn Sink>) -> Self {
+        self.telemetry = Telemetry::new(sink);
         self
     }
 
@@ -109,6 +122,7 @@ impl Compiler {
     /// Compiles a graph: joint layout+loop auto-tuning followed by
     /// lowering to an executable program.
     pub fn compile(&self, graph: &Graph) -> CompiledGraph {
+        let t0 = std::time::Instant::now();
         let o = &self.options;
         let cfg = TuneConfig {
             joint_budget: o.joint_budget,
@@ -120,10 +134,22 @@ impl Compiler {
             pretrained: o.pretrained.clone(),
             fixed_layout: o.fixed_layout,
             layout_search: o.layout_search,
+            telemetry: self.telemetry.clone(),
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);
         let program = lower(graph, &result.plan, &result.sched);
+        let run_summary = RunSummaryRecord {
+            joint_budget: o.joint_budget,
+            loop_budget: o.loop_budget,
+            measurements: result.measurements,
+            best_latency_s: result.latency,
+            wall_s: t0.elapsed().as_secs_f64(),
+        };
+        if self.telemetry.is_enabled() {
+            self.telemetry.emit(Record::RunSummary(run_summary.clone()));
+            self.telemetry.flush();
+        }
         CompiledGraph {
             graph: graph.clone(),
             plan: result.plan.clone(),
@@ -132,6 +158,7 @@ impl Compiler {
             estimated_latency: result.latency,
             measurements: result.measurements,
             history: result.history.clone(),
+            run_summary,
         }
     }
 
@@ -150,6 +177,13 @@ impl Compiler {
             estimated_latency,
             measurements: 0,
             history: Vec::new(),
+            run_summary: RunSummaryRecord {
+                joint_budget: 0,
+                loop_budget: 0,
+                measurements: 0,
+                best_latency_s: estimated_latency,
+                wall_s: 0.0,
+            },
         }
     }
 }
@@ -164,6 +198,7 @@ pub struct CompiledGraph {
     estimated_latency: f64,
     measurements: u64,
     history: Vec<(u64, f64)>,
+    run_summary: RunSummaryRecord,
 }
 
 impl CompiledGraph {
@@ -190,6 +225,12 @@ impl CompiledGraph {
     /// Tuning history: (budget used, measured latency).
     pub fn history(&self) -> &[(u64, f64)] {
         &self.history
+    }
+
+    /// The telemetry run summary for the compilation that produced this
+    /// graph (budgets, measurements consumed, best latency, wall time).
+    pub fn run_summary(&self) -> &RunSummaryRecord {
+        &self.run_summary
     }
 
     /// The layout chosen for a tensor.
@@ -291,6 +332,37 @@ mod tests {
         let tuned = compiler.compile(&g);
         let unopt = compiler.compile_unoptimized(&g);
         assert!(tuned.estimated_latency() < unopt.estimated_latency());
+    }
+
+    #[test]
+    fn traced_compile_emits_full_budget_and_summary() {
+        let (g, _) = sample_graph();
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let compiler = Compiler::new(intel_cpu())
+            .with_options(CompileOptions {
+                joint_budget: 16,
+                loop_budget: 16,
+                free_input_layouts: true,
+                seed: 3,
+                ..CompileOptions::default()
+            })
+            .with_telemetry(sink.clone());
+        let compiled = compiler.compile(&g);
+        assert_eq!(compiled.run_summary().measurements, 32);
+        let records = sink.records();
+        let measured = records
+            .iter()
+            .filter(|r| matches!(r, Record::Measurement(_)))
+            .count() as u64;
+        assert_eq!(measured, 32, "one trace record per budget unit");
+        let summary = records.iter().find_map(|r| match r {
+            Record::RunSummary(s) => Some(s),
+            _ => None,
+        });
+        let summary = summary.expect("run summary record");
+        assert_eq!(summary.joint_budget + summary.loop_budget, 32);
+        assert_eq!(summary.measurements, 32);
+        assert!(summary.best_latency_s > 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use alt_tensor::ops::{self, ConvCfg};
 use alt_tensor::{Graph, Shape, TensorId};
 
+#[allow(clippy::too_many_arguments)]
 fn conv_bn_relu6(
     g: &mut Graph,
     x: TensorId,

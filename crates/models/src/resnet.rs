@@ -4,6 +4,7 @@ use alt_tensor::ops::{self, ConvCfg};
 use alt_tensor::{Graph, Shape, TensorId};
 
 /// Convolution + folded batch-norm + optional ReLU.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_bn(
     g: &mut Graph,
     x: TensorId,

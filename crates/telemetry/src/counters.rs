@@ -1,0 +1,218 @@
+//! Counter and histogram registries.
+//!
+//! A [`CounterRegistry`] aggregates named scalar counters (summed) and
+//! histograms (distribution summaries) across an arbitrary number of
+//! contributing sites — e.g. simulator cache statistics accumulated over
+//! every program measured inside a tuning run — and flushes them to a
+//! sink as [`CounterRecord`]s.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::record::{CounterRecord, Record};
+use crate::sink::Telemetry;
+
+/// Summary statistics of an observed distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Thread-safe registry of named counters and histograms under one scope.
+pub struct CounterRegistry {
+    scope: String,
+    inner: Mutex<Registry>,
+}
+
+impl CounterRegistry {
+    /// Creates an empty registry; `scope` prefixes flushed record names.
+    pub fn new(scope: impl Into<String>) -> Self {
+        Self {
+            scope: scope.into(),
+            inner: Mutex::new(Registry::default()),
+        }
+    }
+
+    /// Adds `delta` to the named counter (created at zero on first use).
+    pub fn add(&self, name: &str, delta: f64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter, or 0 if never touched.
+    pub fn get(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Snapshot of a histogram's summary, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .histograms
+            .get(name)
+            .copied()
+    }
+
+    /// Emits every counter (and histogram count/sum/min/max/mean) as
+    /// [`CounterRecord`]s, then clears the registry.
+    pub fn flush_to(&self, telemetry: &Telemetry) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        for (name, value) in &inner.counters {
+            telemetry.emit(Record::Counter(CounterRecord {
+                scope: self.scope.clone(),
+                name: name.clone(),
+                value: *value,
+            }));
+        }
+        for (name, h) in &inner.histograms {
+            for (suffix, value) in [
+                ("count", h.count as f64),
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("mean", h.mean()),
+            ] {
+                telemetry.emit(Record::Counter(CounterRecord {
+                    scope: self.scope.clone(),
+                    name: format!("{name}.{suffix}"),
+                    value,
+                }));
+            }
+        }
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_adds() {
+        let reg = CounterRegistry::new("sim");
+        reg.add("l1_misses", 10.0);
+        reg.add("l1_misses", 5.0);
+        reg.add("l2_misses", 1.0);
+        assert_eq!(reg.get("l1_misses"), 15.0);
+        assert_eq!(
+            reg.snapshot(),
+            vec![
+                ("l1_misses".to_string(), 15.0),
+                ("l2_misses".to_string(), 1.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn histograms_track_min_max_mean() {
+        let reg = CounterRegistry::new("sim");
+        for v in [2.0, 6.0, 4.0] {
+            reg.observe("latency_us", v);
+        }
+        let h = reg.histogram("latency_us").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn flush_emits_and_clears() {
+        let reg = CounterRegistry::new("sim");
+        reg.add("hits", 7.0);
+        reg.observe("util", 0.5);
+        let (t, sink) = Telemetry::memory();
+        reg.flush_to(&t);
+        // 1 counter + 5 histogram stats.
+        assert_eq!(sink.len(), 6);
+        assert_eq!(reg.get("hits"), 0.0);
+        let records = sink.records();
+        match &records[0] {
+            Record::Counter(c) => {
+                assert_eq!(c.scope, "sim");
+                assert_eq!(c.name, "hits");
+                assert_eq!(c.value, 7.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let reg = std::sync::Arc::new(CounterRegistry::new("x"));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        reg.add("n", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(reg.get("n"), 8000.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Structured observability for ALT tuning runs.
+//!
+//! This crate is the telemetry layer the rest of the workspace emits
+//! into. It deliberately depends on nothing but the (vendored) serde
+//! pair, so any crate — simulator, tuner, compiler driver — can adopt it
+//! without cycles.
+//!
+//! The pieces:
+//!
+//! * [`Telemetry`] — a cheap clonable handle; disabled by default
+//!   (`Telemetry::noop()`), or backed by a [`MemorySink`] /
+//!   [`JsonlSink`] shared across threads.
+//! * [`Record`] — the typed trace schema: one record per measurement
+//!   ([`MeasurementRecord`]), PPO policy updates, cost-model ranking
+//!   accuracy, spans/events, counters, and a run summary.
+//! * [`Span`] — RAII timed regions with per-thread nesting depth and
+//!   monotonic microsecond timestamps.
+//! * [`CounterRegistry`] — named counter/histogram aggregation (e.g.
+//!   simulator cache statistics summed over a whole tuning run), flushed
+//!   to a sink as [`CounterRecord`]s.
+//! * [`report`] — reads a JSONL trace back and renders the plain-text
+//!   report behind `altc report`.
+
+pub mod counters;
+pub mod record;
+pub mod report;
+pub mod sink;
+pub mod span;
+pub mod stats;
+
+pub use counters::{CounterRegistry, HistogramSummary};
+pub use record::{
+    CostModelRecord, CounterRecord, EventRecord, MeasurementRecord, PpoUpdateRecord, Record,
+    RunSummaryRecord, SimCounters, SpanRecord, Stage,
+};
+pub use report::{fmt_latency, read_jsonl, render_report};
+pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, Telemetry};
+pub use span::{current_depth, now_us, Span};
+pub use stats::spearman;

@@ -1,0 +1,334 @@
+//! Typed trace record schema for tuning runs.
+//!
+//! One JSONL line per record. Every record carries a `type` tag so a
+//! trace file can be read back without out-of-band schema knowledge:
+//!
+//! ```text
+//! {"type":"measurement","seq":1,"op":"conv2d#0","stage":"Joint",...}
+//! {"type":"ppo_update","op":"conv2d#0","episode":1,...}
+//! {"type":"cost_model","op":"conv2d#0","round":3,"spearman":0.82,...}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Which tuning stage issued a measurement (the paper's two-stage split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Joint layout + loop stage (Fig. 8 cross-exploration).
+    Joint,
+    /// Loop-only refinement stage with frozen layouts.
+    Loop,
+}
+
+/// Simulator counters aggregated over one measured program.
+///
+/// Mirrors `alt_sim::Counters` but lives here so the telemetry schema has
+/// no dependency on the simulator crate (the conversion happens at the
+/// instrumentation site).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Dynamic instructions (vector ops count once).
+    pub instructions: f64,
+    /// Scalar floating-point operations.
+    pub flops: f64,
+    /// L1 load instructions.
+    pub l1_loads: f64,
+    /// L1 store instructions.
+    pub l1_stores: f64,
+    /// L1 miss line-fill events (after prefetching).
+    pub l1_misses: f64,
+    /// L2 miss line-fill events.
+    pub l2_misses: f64,
+    /// Lines the hardware prefetcher was modeled to fetch.
+    pub prefetch_issued: f64,
+    /// Prefetched lines that absorbed a would-be demand miss.
+    pub prefetch_useful: f64,
+    /// Fraction of issued instructions running at full SIMD width
+    /// (instruction-weighted, in `[0, 1]`).
+    pub simd_utilization: f64,
+}
+
+/// One budget unit: a single candidate measured on the hardware model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementRecord {
+    /// Budget unit index, 1-based; the paper's x-axis in Fig. 11.
+    pub seq: u64,
+    /// Operator tag, e.g. `conv2d#3`.
+    pub op: String,
+    /// Tuning stage that spent this unit.
+    pub stage: Stage,
+    /// Tuning round within the stage (one round measures up to top-k).
+    pub round: u64,
+    /// Compact candidate-point summary (layout or loop knob indices).
+    pub candidate: String,
+    /// GBT-predicted score for this candidate, when the model ranked it.
+    pub predicted_cost: Option<f64>,
+    /// Simulated latency of the measured program (seconds).
+    pub latency_s: f64,
+    /// Best latency seen for this op so far, including this measurement.
+    pub best_so_far_s: f64,
+    /// Simulator counters for the measured program.
+    pub counters: SimCounters,
+}
+
+/// One PPO policy update (an "episode" of the layout actor).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PpoUpdateRecord {
+    /// Operator whose layout actor updated.
+    pub op: String,
+    /// Update index for this actor, 1-based.
+    pub episode: u64,
+    /// Transitions consumed by the update.
+    pub transitions: u64,
+    /// Mean reward over the consumed transitions.
+    pub reward_mean: f64,
+    /// Mean clipped surrogate policy loss (lower is better).
+    pub policy_loss: f64,
+    /// Critic mean squared error before the update.
+    pub value_loss: f64,
+    /// Gaussian policy entropy (nats per action dimension).
+    pub entropy: f64,
+}
+
+/// Cost-model ranking quality for one tuning round.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModelRecord {
+    /// Operator being tuned.
+    pub op: String,
+    /// Stage the round belongs to.
+    pub stage: Stage,
+    /// Round index, 1-based, counted per op.
+    pub round: u64,
+    /// Candidates measured this round (the top-k).
+    pub measured: u64,
+    /// Spearman rank correlation between the GBT scores and the measured
+    /// quality of this round's top-k. `1.0` = the model ranked the
+    /// measured candidates perfectly.
+    pub spearman: f64,
+    /// Training-set size of the model that produced the ranking.
+    pub train_size: u64,
+}
+
+/// A named span (timed region) that closed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name, e.g. `joint_stage` or `compile`.
+    pub name: String,
+    /// Nesting depth at entry (0 = top level).
+    pub depth: u64,
+    /// Start time, microseconds since the process telemetry epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A point event with free-form key/value fields.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: String,
+    /// Nesting depth of the enclosing span stack.
+    pub depth: u64,
+    /// Timestamp, microseconds since the process telemetry epoch.
+    pub t_us: u64,
+    /// Key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// One aggregated counter flushed from a registry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterRecord {
+    /// Registry scope, e.g. `sim` or `tuner`.
+    pub scope: String,
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: f64,
+}
+
+/// End-of-run summary written by the compiler.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummaryRecord {
+    /// Configured joint-stage budget.
+    pub joint_budget: u64,
+    /// Configured loop-stage budget.
+    pub loop_budget: u64,
+    /// Measurements actually consumed.
+    pub measurements: u64,
+    /// Final tuned end-to-end latency (seconds).
+    pub best_latency_s: f64,
+    /// Compilation wall time (seconds).
+    pub wall_s: f64,
+}
+
+/// Any trace record. Serialized as the payload object plus a `type` tag.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    Measurement(MeasurementRecord),
+    PpoUpdate(PpoUpdateRecord),
+    CostModel(CostModelRecord),
+    Span(SpanRecord),
+    Event(EventRecord),
+    Counter(CounterRecord),
+    RunSummary(RunSummaryRecord),
+}
+
+impl Record {
+    /// The `type` tag used on the wire.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Record::Measurement(_) => "measurement",
+            Record::PpoUpdate(_) => "ppo_update",
+            Record::CostModel(_) => "cost_model",
+            Record::Span(_) => "span",
+            Record::Event(_) => "event",
+            Record::Counter(_) => "counter",
+            Record::RunSummary(_) => "run_summary",
+        }
+    }
+}
+
+impl Serialize for Record {
+    fn to_value(&self) -> serde::Value {
+        let inner = match self {
+            Record::Measurement(r) => r.to_value(),
+            Record::PpoUpdate(r) => r.to_value(),
+            Record::CostModel(r) => r.to_value(),
+            Record::Span(r) => r.to_value(),
+            Record::Event(r) => r.to_value(),
+            Record::Counter(r) => r.to_value(),
+            Record::RunSummary(r) => r.to_value(),
+        };
+        let mut fields = vec![(
+            "type".to_string(),
+            serde::Value::Str(self.type_tag().to_string()),
+        )];
+        if let serde::Value::Object(obj) = inner {
+            fields.extend(obj);
+        }
+        serde::Value::Object(fields.into())
+    }
+}
+
+impl Deserialize for Record {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let tag = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| serde::Error("record has no `type` tag".to_string()))?;
+        Ok(match tag {
+            "measurement" => Record::Measurement(MeasurementRecord::from_value(v)?),
+            "ppo_update" => Record::PpoUpdate(PpoUpdateRecord::from_value(v)?),
+            "cost_model" => Record::CostModel(CostModelRecord::from_value(v)?),
+            "span" => Record::Span(SpanRecord::from_value(v)?),
+            "event" => Record::Event(EventRecord::from_value(v)?),
+            "counter" => Record::Counter(CounterRecord::from_value(v)?),
+            "run_summary" => Record::RunSummary(RunSummaryRecord::from_value(v)?),
+            other => return Err(serde::Error(format!("unknown record type `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement() -> Record {
+        Record::Measurement(MeasurementRecord {
+            seq: 7,
+            op: "conv2d#0".into(),
+            stage: Stage::Joint,
+            round: 2,
+            candidate: "[1,0,3]".into(),
+            predicted_cost: Some(1.25),
+            latency_s: 3.5e-4,
+            best_so_far_s: 3.0e-4,
+            counters: SimCounters {
+                instructions: 1e6,
+                flops: 2e6,
+                l1_loads: 5e5,
+                l1_stores: 1e5,
+                l1_misses: 1e4,
+                l2_misses: 2e3,
+                prefetch_issued: 3e4,
+                prefetch_useful: 2.5e4,
+                simd_utilization: 0.75,
+            },
+        })
+    }
+
+    #[test]
+    fn records_roundtrip_through_jsonl() {
+        let records = vec![
+            sample_measurement(),
+            Record::PpoUpdate(PpoUpdateRecord {
+                op: "gmm#1".into(),
+                episode: 1,
+                transitions: 16,
+                reward_mean: 1.1,
+                policy_loss: -0.05,
+                value_loss: 0.3,
+                entropy: 0.9,
+            }),
+            Record::CostModel(CostModelRecord {
+                op: "conv2d#0".into(),
+                stage: Stage::Loop,
+                round: 4,
+                measured: 8,
+                spearman: 0.82,
+                train_size: 64,
+            }),
+            Record::Span(SpanRecord {
+                name: "joint_stage".into(),
+                depth: 1,
+                start_us: 10,
+                dur_us: 1500,
+            }),
+            Record::Event(EventRecord {
+                name: "layout_committed".into(),
+                depth: 2,
+                t_us: 900,
+                fields: vec![("op".into(), "conv2d#0".into())],
+            }),
+            Record::Counter(CounterRecord {
+                scope: "sim".into(),
+                name: "l1_misses".into(),
+                value: 12345.0,
+            }),
+            Record::RunSummary(RunSummaryRecord {
+                joint_budget: 300,
+                loop_budget: 700,
+                measurements: 1000,
+                best_latency_s: 1e-3,
+                wall_s: 42.0,
+            }),
+        ];
+        for r in &records {
+            let line = serde_json::to_string(r).unwrap();
+            let back: Record = serde_json::from_str(&line).unwrap();
+            assert_eq!(*r, back, "line {line}");
+        }
+    }
+
+    #[test]
+    fn type_tag_is_first_field() {
+        let line = serde_json::to_string(&sample_measurement()).unwrap();
+        assert!(line.starts_with(r#"{"type":"measurement""#), "{line}");
+    }
+
+    #[test]
+    fn optional_predicted_cost_serializes_as_null() {
+        let mut r = match sample_measurement() {
+            Record::Measurement(m) => m,
+            _ => unreachable!(),
+        };
+        r.predicted_cost = None;
+        let line = serde_json::to_string(&Record::Measurement(r)).unwrap();
+        assert!(line.contains(r#""predicted_cost":null"#), "{line}");
+        let back: Record = serde_json::from_str(&line).unwrap();
+        match back {
+            Record::Measurement(m) => assert_eq!(m.predicted_cost, None),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Trace-file inspection: the library behind `altc report`.
+//!
+//! Reads a JSONL trace back into [`Record`]s and renders a plain-text
+//! report: the best-so-far latency curve per op (the data behind the
+//! paper's Fig. 11 curves), budget spent per stage, cost-model ranking
+//! accuracy per round, and the top simulator counters.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::record::{Record, Stage};
+
+/// Reads a JSONL trace file into records.
+///
+/// A line that fails to parse aborts with `InvalidData` naming the line,
+/// so schema drift is caught loudly rather than silently skipped.
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<Record>> {
+    let file = std::fs::File::open(path)?;
+    let mut records = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("trace line {}: {}", idx + 1, e.0),
+            )
+        })?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_latency(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "inf".to_string();
+    }
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Renders the full plain-text report for a trace.
+pub fn render_report(records: &[Record]) -> String {
+    let mut out = String::new();
+    render_summary(records, &mut out);
+    render_latency_curves(records, &mut out);
+    render_budget(records, &mut out);
+    render_cost_model(records, &mut out);
+    render_counters(records, &mut out);
+    out
+}
+
+fn render_summary(records: &[Record], out: &mut String) {
+    out.push_str("=== tuning run report ===\n");
+    for r in records {
+        if let Record::RunSummary(s) = r {
+            out.push_str(&format!(
+                "budget: joint {} + loop {} = {} units; consumed {}\n",
+                s.joint_budget,
+                s.loop_budget,
+                s.joint_budget + s.loop_budget,
+                s.measurements
+            ));
+            out.push_str(&format!(
+                "best end-to-end latency: {}; compile wall time {:.2} s\n",
+                fmt_latency(s.best_latency_s),
+                s.wall_s
+            ));
+        }
+    }
+    out.push('\n');
+}
+
+/// Best-so-far latency at ~8 evenly spaced checkpoints per op.
+fn render_latency_curves(records: &[Record], out: &mut String) {
+    // op -> Vec<(seq, best_so_far)>, in trace order.
+    let mut curves: BTreeMap<&str, Vec<(u64, f64)>> = BTreeMap::new();
+    for r in records {
+        if let Record::Measurement(m) = r {
+            curves
+                .entry(&m.op)
+                .or_default()
+                .push((m.seq, m.best_so_far_s));
+        }
+    }
+    if curves.is_empty() {
+        out.push_str("no measurement records in trace\n\n");
+        return;
+    }
+    out.push_str("--- best-latency curve per op (seq -> best so far) ---\n");
+    for (op, points) in &curves {
+        let n = points.len();
+        let checkpoints: Vec<(u64, f64)> = if n <= 8 {
+            points.clone()
+        } else {
+            (0..8).map(|i| points[(i * (n - 1)) / 7]).collect()
+        };
+        let first = points.first().map(|p| p.1).unwrap_or(f64::INFINITY);
+        let last = points.last().map(|p| p.1).unwrap_or(f64::INFINITY);
+        let speedup = if last > 0.0 { first / last } else { 1.0 };
+        out.push_str(&format!(
+            "{op}: {} measurements, {} -> {} ({speedup:.2}x)\n",
+            n,
+            fmt_latency(first),
+            fmt_latency(last)
+        ));
+        let curve: Vec<String> = checkpoints
+            .iter()
+            .map(|(seq, best)| format!("@{seq} {}", fmt_latency(*best)))
+            .collect();
+        out.push_str(&format!("    {}\n", curve.join("  ")));
+    }
+    out.push('\n');
+}
+
+fn render_budget(records: &[Record], out: &mut String) {
+    let mut per_stage: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut per_op_stage: BTreeMap<(&str, &'static str), u64> = BTreeMap::new();
+    for r in records {
+        if let Record::Measurement(m) = r {
+            let stage = match m.stage {
+                Stage::Joint => "joint",
+                Stage::Loop => "loop",
+            };
+            *per_stage.entry(stage).or_insert(0) += 1;
+            *per_op_stage.entry((&m.op, stage)).or_insert(0) += 1;
+        }
+    }
+    if per_stage.is_empty() {
+        return;
+    }
+    out.push_str("--- budget spent per stage ---\n");
+    for (stage, n) in &per_stage {
+        out.push_str(&format!("{stage}: {n} measurements\n"));
+    }
+    for ((op, stage), n) in &per_op_stage {
+        out.push_str(&format!("    {op} [{stage}]: {n}\n"));
+    }
+    out.push('\n');
+}
+
+fn render_cost_model(records: &[Record], out: &mut String) {
+    // round -> (sum of spearman, count)
+    let mut per_round: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+    for r in records {
+        if let Record::CostModel(c) = r {
+            let e = per_round.entry(c.round).or_insert((0.0, 0));
+            e.0 += c.spearman;
+            e.1 += 1;
+        }
+    }
+    if per_round.is_empty() {
+        return;
+    }
+    out.push_str("--- cost-model top-k rank correlation per round ---\n");
+    for (round, (sum, n)) in &per_round {
+        out.push_str(&format!(
+            "round {round}: mean spearman {:+.3} over {n} op-round(s)\n",
+            sum / *n as f64
+        ));
+    }
+    out.push('\n');
+}
+
+fn render_counters(records: &[Record], out: &mut String) {
+    // Aggregate simulator counters over every measured program.
+    let mut total = crate::record::SimCounters::default();
+    let mut simd_weighted = 0.0f64;
+    let mut measured = 0u64;
+    for r in records {
+        if let Record::Measurement(m) = r {
+            let c = &m.counters;
+            total.instructions += c.instructions;
+            total.flops += c.flops;
+            total.l1_loads += c.l1_loads;
+            total.l1_stores += c.l1_stores;
+            total.l1_misses += c.l1_misses;
+            total.l2_misses += c.l2_misses;
+            total.prefetch_issued += c.prefetch_issued;
+            total.prefetch_useful += c.prefetch_useful;
+            simd_weighted += c.simd_utilization * c.instructions;
+            measured += 1;
+        }
+    }
+    let mut flushed: Vec<(String, f64)> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Counter(c) => Some((format!("{}/{}", c.scope, c.name), c.value)),
+            _ => None,
+        })
+        .collect();
+    if measured == 0 && flushed.is_empty() {
+        return;
+    }
+    out.push_str("--- cache / prefetch counters (all measured programs) ---\n");
+    if measured > 0 {
+        let accesses = total.l1_loads + total.l1_stores;
+        let miss_rate = if accesses > 0.0 {
+            total.l1_misses / accesses
+        } else {
+            0.0
+        };
+        let pf_acc = if total.prefetch_issued > 0.0 {
+            total.prefetch_useful / total.prefetch_issued
+        } else {
+            0.0
+        };
+        let simd = if total.instructions > 0.0 {
+            simd_weighted / total.instructions
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "l1 accesses {:.3e} (miss rate {:.2}%), l2 misses {:.3e}\n",
+            accesses,
+            miss_rate * 100.0,
+            total.l2_misses
+        ));
+        out.push_str(&format!(
+            "prefetch issued {:.3e}, useful {:.3e} (accuracy {:.1}%)\n",
+            total.prefetch_issued,
+            total.prefetch_useful,
+            pf_acc * 100.0
+        ));
+        out.push_str(&format!(
+            "mean SIMD lane utilization {:.1}% over {measured} programs\n",
+            simd * 100.0
+        ));
+    }
+    if !flushed.is_empty() {
+        flushed.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out.push_str("top flushed counters:\n");
+        for (name, value) in flushed.iter().take(10) {
+            out.push_str(&format!("    {name} = {value:.3e}\n"));
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::*;
+
+    fn measurement(seq: u64, op: &str, stage: Stage, lat: f64, best: f64) -> Record {
+        Record::Measurement(MeasurementRecord {
+            seq,
+            op: op.to_string(),
+            stage,
+            round: 1,
+            candidate: "[0]".to_string(),
+            predicted_cost: None,
+            latency_s: lat,
+            best_so_far_s: best,
+            counters: SimCounters {
+                instructions: 100.0,
+                flops: 200.0,
+                l1_loads: 50.0,
+                l1_stores: 10.0,
+                l1_misses: 5.0,
+                l2_misses: 1.0,
+                prefetch_issued: 8.0,
+                prefetch_useful: 6.0,
+                simd_utilization: 0.5,
+            },
+        })
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let records = vec![
+            measurement(1, "conv2d#0", Stage::Joint, 2e-3, 2e-3),
+            measurement(2, "conv2d#0", Stage::Joint, 1e-3, 1e-3),
+            measurement(3, "conv2d#0", Stage::Loop, 5e-4, 5e-4),
+            Record::CostModel(CostModelRecord {
+                op: "conv2d#0".to_string(),
+                stage: Stage::Loop,
+                round: 1,
+                measured: 8,
+                spearman: 0.5,
+                train_size: 32,
+            }),
+            Record::Counter(CounterRecord {
+                scope: "sim".to_string(),
+                name: "l1.accesses".to_string(),
+                value: 1234.0,
+            }),
+            Record::RunSummary(RunSummaryRecord {
+                joint_budget: 2,
+                loop_budget: 1,
+                measurements: 3,
+                best_latency_s: 5e-4,
+                wall_s: 0.1,
+            }),
+        ];
+        let report = render_report(&records);
+        assert!(report.contains("best-latency curve"), "{report}");
+        assert!(report.contains("conv2d#0: 3 measurements"), "{report}");
+        assert!(report.contains("4.00x"), "{report}");
+        assert!(report.contains("joint: 2 measurements"), "{report}");
+        assert!(report.contains("loop: 1 measurements"), "{report}");
+        assert!(report.contains("mean spearman +0.500"), "{report}");
+        assert!(report.contains("sim/l1.accesses"), "{report}");
+        assert!(report.contains("prefetch issued"), "{report}");
+        assert!(report.contains("SIMD lane utilization 50.0%"), "{report}");
+        assert!(report.contains("consumed 3"), "{report}");
+    }
+
+    #[test]
+    fn long_curves_are_downsampled_to_eight_points() {
+        let records: Vec<Record> = (1..=100)
+            .map(|i| measurement(i, "gmm#0", Stage::Loop, 1e-3, 1e-3 / i as f64))
+            .collect();
+        let report = render_report(&records);
+        let curve_line = report
+            .lines()
+            .find(|l| l.trim_start().starts_with("@"))
+            .unwrap();
+        assert_eq!(curve_line.matches('@').count(), 8, "{curve_line}");
+        assert!(curve_line.contains("@1 "), "{curve_line}");
+        assert!(curve_line.contains("@100 "), "{curve_line}");
+    }
+
+    #[test]
+    fn fmt_latency_picks_units() {
+        assert_eq!(fmt_latency(2.5), "2.500 s");
+        assert_eq!(fmt_latency(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_latency(2.5e-6), "2.500 us");
+        assert_eq!(fmt_latency(2.5e-8), "25.0 ns");
+    }
+
+    #[test]
+    fn jsonl_roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("alt-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        {
+            let t = crate::Telemetry::jsonl(&path).unwrap();
+            t.emit(measurement(1, "op", Stage::Joint, 1e-3, 1e-3));
+            t.emit(Record::RunSummary(RunSummaryRecord {
+                joint_budget: 1,
+                loop_budget: 0,
+                measurements: 1,
+                best_latency_s: 1e-3,
+                wall_s: 0.0,
+            }));
+            t.flush();
+        }
+        let records = read_jsonl(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(matches!(records[0], Record::Measurement(_)));
+        assert!(matches!(records[1], Record::RunSummary(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_jsonl_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join("alt-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("bad-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"type\":\"nope\"}\n").unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! Pluggable trace sinks and the cheap `Telemetry` handle.
+//!
+//! A [`Telemetry`] handle is what instrumented code holds. It is either
+//! disabled (the default — one `Option` check per emit, no allocation)
+//! or wraps an `Arc<dyn Sink>` shared across threads.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::record::Record;
+
+/// Destination for trace records. Implementations must be safe to share
+/// across tuning threads.
+pub trait Sink: Send + Sync {
+    /// Accepts one record. Called on the hot measurement path, so
+    /// implementations should be cheap or buffered.
+    fn record(&self, record: &Record);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Thread-safe in-memory collector, mainly for tests and for embedding a
+/// run summary in benchmark output.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("memory sink poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, record: &Record) {
+        self.records
+            .lock()
+            .expect("memory sink poisoned")
+            .push(record.clone());
+    }
+}
+
+/// Appends one compact-JSON line per record to a file.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record) {
+        let line = serde_json::to_string(record).expect("record serializes");
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Discards everything. Exists so a sink can be configured explicitly
+/// "off" where an API requires a concrete sink.
+#[derive(Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _record: &Record) {}
+}
+
+/// Cheap, clonable handle instrumented code emits through.
+///
+/// The disabled (`noop`) handle costs one branch per emit and is the
+/// default everywhere, so uninstrumented runs pay essentially nothing.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Disabled handle; emits are dropped before any work happens.
+    pub fn noop() -> Self {
+        Self { sink: None }
+    }
+
+    /// Wraps an existing shared sink.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Collects records in memory; returns the handle and the sink for
+    /// later inspection.
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Self::new(sink.clone()), sink)
+    }
+
+    /// Streams records to a JSONL trace file.
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(Arc::new(JsonlSink::create(path)?)))
+    }
+
+    /// Whether emits reach a sink.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Sends one record to the sink, if any.
+    pub fn emit(&self, record: Record) {
+        if let Some(sink) = &self.sink {
+            sink.record(&record);
+        }
+    }
+
+    /// Flushes the underlying sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CounterRecord, EventRecord};
+
+    fn event(name: &str) -> Record {
+        Record::Event(EventRecord {
+            name: name.to_string(),
+            depth: 0,
+            t_us: 0,
+            fields: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn noop_handle_drops_records() {
+        let t = Telemetry::noop();
+        assert!(!t.is_enabled());
+        t.emit(event("ignored"));
+        t.flush();
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let (t, sink) = Telemetry::memory();
+        assert!(t.is_enabled());
+        t.emit(event("a"));
+        t.emit(event("b"));
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        match &records[0] {
+            Record::Event(e) => assert_eq!(e.name, "a"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_emit_is_thread_safe() {
+        let (t, sink) = Telemetry::memory();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        t.emit(Record::Counter(CounterRecord {
+                            scope: format!("thread{i}"),
+                            name: format!("n{j}"),
+                            value: j as f64,
+                        }));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(sink.len(), 800);
+    }
+}

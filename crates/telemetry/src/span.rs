@@ -1,0 +1,156 @@
+//! RAII spans and point events with monotonic timestamps.
+//!
+//! Timestamps are microseconds since a process-wide epoch captured on
+//! first use, so all records within a run share one clock. Nesting depth
+//! is tracked per thread: a span entered while another is open records
+//! `depth + 1`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::record::{EventRecord, Record, SpanRecord};
+use crate::sink::Telemetry;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Microseconds since the process telemetry epoch.
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Current per-thread span nesting depth.
+pub fn current_depth() -> u64 {
+    DEPTH.with(|d| d.get())
+}
+
+/// An open timed region. Emits a [`SpanRecord`] when dropped.
+pub struct Span {
+    telemetry: Telemetry,
+    name: String,
+    depth: u64,
+    start_us: u64,
+}
+
+impl Span {
+    /// Opens a span. Cheap when telemetry is disabled (no clock read).
+    pub fn enter(telemetry: &Telemetry, name: impl Into<String>) -> Self {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        let start_us = if telemetry.is_enabled() { now_us() } else { 0 };
+        Self {
+            telemetry: telemetry.clone(),
+            name: name.into(),
+            depth,
+            start_us,
+        }
+    }
+
+    /// Emits a point event inside this span with key/value fields.
+    pub fn event(&self, name: impl Into<String>, fields: &[(&str, String)]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.emit(Record::Event(EventRecord {
+            name: name.into(),
+            depth: self.depth + 1,
+            t_us: now_us(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if self.telemetry.is_enabled() {
+            let end = now_us();
+            self.telemetry.emit(Record::Span(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                depth: self.depth,
+                start_us: self.start_us,
+                dur_us: end.saturating_sub(self.start_us),
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_depth() {
+        let (t, sink) = Telemetry::memory();
+        {
+            let outer = Span::enter(&t, "outer");
+            outer.event("tick", &[("k", "v".to_string())]);
+            {
+                let _inner = Span::enter(&t, "inner");
+            }
+        }
+        let records = sink.records();
+        // Event first, then inner span closes, then outer.
+        assert_eq!(records.len(), 3);
+        match &records[0] {
+            Record::Event(e) => {
+                assert_eq!(e.name, "tick");
+                assert_eq!(e.depth, 1);
+                assert_eq!(e.fields, vec![("k".to_string(), "v".to_string())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &records[1] {
+            Record::Span(s) => {
+                assert_eq!(s.name, "inner");
+                assert_eq!(s.depth, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &records[2] {
+            Record::Span(s) => {
+                assert_eq!(s.name, "outer");
+                assert_eq!(s.depth, 0);
+                assert!(s.dur_us >= records[1].span_dur());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    impl Record {
+        fn span_dur(&self) -> u64 {
+            match self {
+                Record::Span(s) => s.dur_us,
+                _ => 0,
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_spans_leave_no_records_but_track_depth() {
+        let t = Telemetry::noop();
+        assert_eq!(current_depth(), 0);
+        {
+            let _s = Span::enter(&t, "quiet");
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+    }
+}

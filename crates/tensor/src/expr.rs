@@ -79,7 +79,7 @@ impl VarGen {
     pub fn fresh(&mut self, name: &str) -> Var {
         let id = self.next;
         self.next += 1;
-        Var::new(id, format!("{name}"))
+        Var::new(id, name.to_string())
     }
 }
 
@@ -128,31 +128,28 @@ impl Expr {
         // Constant folding and algebraic identities keep rewritten access
         // expressions readable and cheap to evaluate.
         use BinOp::*;
-        match (&a, &b) {
-            (Expr::Const(x), Expr::Const(y)) => {
-                return Expr::Const(match op {
-                    Add => x + y,
-                    Sub => x - y,
-                    Mul => x * y,
-                    FloorDiv => {
-                        if *y == 0 {
-                            // Division by zero is an internal bug in a
-                            // transformation; surface it loudly.
-                            panic!("index expression divides by zero")
-                        }
-                        x.div_euclid(*y)
+        if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+            return Expr::Const(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                FloorDiv => {
+                    if *y == 0 {
+                        // Division by zero is an internal bug in a
+                        // transformation; surface it loudly.
+                        panic!("index expression divides by zero")
                     }
-                    Mod => {
-                        if *y == 0 {
-                            panic!("index expression mod by zero")
-                        }
-                        x.rem_euclid(*y)
+                    x.div_euclid(*y)
+                }
+                Mod => {
+                    if *y == 0 {
+                        panic!("index expression mod by zero")
                     }
-                    Min => (*x).min(*y),
-                    Max => (*x).max(*y),
-                });
-            }
-            _ => {}
+                    x.rem_euclid(*y)
+                }
+                Min => (*x).min(*y),
+                Max => (*x).max(*y),
+            });
         }
         match (op, &a, &b) {
             (Add, e, Expr::Const(0)) | (Sub, e, Expr::Const(0)) => return e.clone(),

@@ -165,6 +165,7 @@ pub enum ScalarExpr {
     },
 }
 
+#[allow(clippy::should_implement_trait)] // combinator names mirror ScalarBinOp
 impl ScalarExpr {
     /// Loads input `input` at `indices`.
     pub fn load(input: usize, indices: Vec<Expr>) -> ScalarExpr {

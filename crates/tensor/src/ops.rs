@@ -579,6 +579,7 @@ pub fn avg_pool2d(g: &mut Graph, x: TensorId, k: i64, stride: i64) -> TensorId {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pool2d(
     g: &mut Graph,
     x: TensorId,
@@ -697,8 +698,8 @@ pub fn reshape(g: &mut Graph, x: TensorId, new_shape: Shape) -> TensorId {
     // Delinearize into the old shape.
     let strides = xs.strides();
     let mut old_idx = Vec::new();
-    for k in 0..xs.ndim() {
-        old_idx.push(lin.div_c(strides[k]).mod_c(xs.dim(k)));
+    for (k, &stride) in strides.iter().enumerate() {
+        old_idx.push(lin.div_c(stride).mod_c(xs.dim(k)));
     }
     let compute = Compute {
         name: "reshape".into(),

@@ -300,6 +300,57 @@ fn empty_graph_compiles_to_empty_program() {
 }
 
 #[test]
+fn jsonl_trace_round_trips_through_report() {
+    // Acceptance: compiling with a JSONL sink writes exactly one
+    // measurement record per budget unit (joint + loop), and the
+    // `altc report` renderer reconstructs the best-so-far latency curve
+    // and the cache-counter summary from the file alone.
+    use alt_telemetry::{read_jsonl, render_report, JsonlSink, Record};
+
+    let (g, _) = mini_convnet();
+    let dir = std::env::temp_dir().join(format!("alt-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let sink = std::sync::Arc::new(JsonlSink::create(&path).unwrap());
+    let compiler = Compiler::new(intel_cpu())
+        .with_options(CompileOptions {
+            joint_budget: 12,
+            loop_budget: 20,
+            free_input_layouts: true,
+            seed: 2,
+            ..CompileOptions::default()
+        })
+        .with_telemetry(sink);
+    let compiled = compiler.compile(&g);
+    assert_eq!(
+        compiled.run_summary().measurements,
+        32,
+        "tuning must consume exactly joint + loop budget"
+    );
+
+    let records = read_jsonl(&path).unwrap();
+    let measured = records
+        .iter()
+        .filter(|r| matches!(r, Record::Measurement(_)))
+        .count() as u64;
+    assert_eq!(measured, 32, "one trace record per budget unit");
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r, Record::RunSummary(s) if s.measurements == 32)),
+        "trace must end with the run summary"
+    );
+
+    let report = render_report(&records);
+    assert!(report.contains("budget: joint 12 + loop 20 = 32 units; consumed 32"));
+    assert!(report.contains("best-latency curve"), "{report}");
+    assert!(report.contains("cache / prefetch counters"), "{report}");
+    assert!(report.contains("l1 accesses"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn run_panics_on_missing_binding() {
     let (g, _) = mini_convnet();
     let compiler = Compiler::new(intel_cpu());

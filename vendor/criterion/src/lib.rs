@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the macro and builder surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, `Bencher::iter`,
+//! `iter_batched`) but replaces the statistical engine with a simple
+//! wall-clock mean over `sample_size` samples, printed as plain text.
+//! Good enough to spot order-of-magnitude regressions offline.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; collects per-function timings and prints them.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as one named benchmark and prints its mean sample time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample, then the measured ones.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if i > 0 && b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "{id:<40} mean {:>12}  median {:>12}  ({} samples)",
+            fmt_time(mean),
+            fmt_time(median),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Hint for how much setup output to batch; ignored by this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate so one sample is neither a single noisy call nor
+        // unbounded: aim for ~1ms of work, capped at 1000 iterations.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed += t1.elapsed();
+        self.iters += iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Opaque value barrier so the optimizer cannot delete benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut n = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("smoke/add", |b| {
+                b.iter(|| {
+                    n = n.wrapping_add(1);
+                    n
+                })
+            });
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_setup_output() {
+        let mut got = Vec::new();
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("smoke/batched", |b| {
+                b.iter_batched(|| 21u32, |x| got.push(x * 2), BatchSize::SmallInput)
+            });
+        assert!(got.iter().all(|&v| v == 42));
+    }
+}

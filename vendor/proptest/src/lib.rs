@@ -1,0 +1,383 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Same test-authoring surface (`proptest!`, `Strategy`, `any`,
+//! `prop::collection::vec`, `prop_assert*`, `prop_assume`), but the engine
+//! is plain deterministic random sampling: each test runs
+//! `ProptestConfig::cases` cases seeded from the test name and case index.
+//! There is no shrinking — a failing case reports its inputs via the
+//! assertion message and the case number, which is reproducible because
+//! sampling is deterministic.
+
+use std::marker::PhantomData;
+
+/// Per-case deterministic random source (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from the test name and case index so every case is
+    /// independent but reproducible across runs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// How a proptest case body resolved.
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms sampled values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                ((rng.next_u64() as u128 % span as u128) as i128 + self.start as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(span > 0, "empty range strategy");
+                ((rng.next_u64() as u128 % span as u128) as i128 + *self.start() as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.next_f64() as f32
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Inclusive bounds for a collection length.
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        VecStrategy {
+            element,
+            min: size.min,
+            max: size.max,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let outcome = (|| -> Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case} of {} failed: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespace mirror so `prop::collection::vec` works from the prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = prop::collection::vec(0i64..100, 3..=5);
+        let mut a = TestRng::for_case("t", 7);
+        let mut b = TestRng::for_case("t", 7);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..=9, y in 0usize..4, f in -1.5f32..2.5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 4, "y = {y}");
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u64>(), 2..=4)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

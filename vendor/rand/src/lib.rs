@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small API subset it actually uses: `StdRng` (a
+//! xoshiro256++ generator seeded via SplitMix64), `SeedableRng::
+//! seed_from_u64`, and the `Rng` sampling surface (`gen`, `gen_range`
+//! over integer and float ranges, `gen_bool`). Determinism is the only
+//! contract the workspace relies on (all tuning is seeded); the streams
+//! are not bit-compatible with upstream `rand 0.8`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step: used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Types samplable from the "standard" distribution (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly (`rng.gen_range(lo..hi)`).
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_impl!(f32, f64);
+
+/// High-level sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Samples from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

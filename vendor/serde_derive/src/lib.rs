@@ -1,0 +1,227 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two shapes this workspace serializes:
+//!
+//! * structs with named fields — rendered as a JSON-style object with one
+//!   entry per field, in declaration order;
+//! * C-like enums (unit variants only) — rendered as the variant name as
+//!   a string.
+//!
+//! Generics, tuple structs and data-carrying enums are intentionally
+//! unsupported; deriving on one is a compile-time panic with a clear
+//! message. Built on `proc_macro` alone (no syn/quote, which are not
+//! available offline), so parsing is a small hand-rolled token walk.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Shape {
+    /// Struct name + named fields in order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names in order.
+    Enum(String, Vec<String>),
+}
+
+/// Walks the item's tokens: skips attributes and visibility, finds
+/// `struct`/`enum`, the type name, and the brace-delimited body.
+fn parse(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind) {
+                    ("struct" | "enum", None) => kind = Some(s),
+                    (_, Some(_)) if name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                panic!("vendored serde_derive does not support generic types");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = name.expect("derive input must have a name");
+    let body = body.unwrap_or_else(|| {
+        panic!("vendored serde_derive requires a braced body on `{name}` (no tuple/unit structs)")
+    });
+    if kind == "struct" {
+        Shape::Struct(name, struct_fields(body))
+    } else {
+        Shape::Enum(name, enum_variants(body))
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // One field: attrs, visibility, name, ':', type tokens, ','.
+        let mut field_name: Option<String> = None;
+        let mut saw_any = false;
+        while let Some(tt) = iter.next() {
+            saw_any = true;
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let _ = iter.next(); // attribute body
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    // Optional `pub(...)` restriction group.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                TokenTree::Ident(id) if field_name.is_none() => {
+                    field_name = Some(id.to_string());
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' => {
+                    // Skip type tokens until a top-level comma. Generics in
+                    // the type (`Vec<f32>`) contain no top-level commas
+                    // because `<...>` nesting tracks depth.
+                    let mut angle_depth = 0i32;
+                    for tt in iter.by_ref() {
+                        match &tt {
+                            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match field_name {
+            Some(f) => fields.push(f),
+            None if !saw_any => break,
+            None => break,
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, panicking on payloads.
+fn enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                // Payload or discriminant means unsupported.
+                if let Some(next) = iter.peek() {
+                    match next {
+                        TokenTree::Group(_) => {
+                            panic!("vendored serde_derive supports only unit enum variants")
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '=' => {
+                            panic!("vendored serde_derive does not support discriminants")
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Shape::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::serde::Map::from(vec![{entries}]))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Shape::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\n\
+                             v.get(\"{f}\").ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?\n\
+                         )?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok(Self {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("generated impl parses")
+}

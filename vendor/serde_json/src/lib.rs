@@ -1,0 +1,301 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Text encoding/decoding for the vendored [`serde`] value tree: the
+//! [`json!`] macro, [`to_string`]/[`to_string_pretty`], [`from_str`], and
+//! a hand-rolled recursive-descent JSON parser. Floats print with Rust's
+//! shortest-roundtrip formatting, so `f32`/`f64` survive a round-trip
+//! exactly.
+
+pub use serde::{Error, Map, Value};
+
+/// Renders any serializable value into the [`Value`] data model.
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Reads a typed value back out of the [`Value`] data model.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_json(&v.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_json(&v.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax.
+///
+/// Keys are string literals; values are arbitrary Rust expressions
+/// (including nested `json!` calls), `null`, or bracketed arrays of
+/// expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($k:tt : $v:expr),* $(,)? }) => {
+        $crate::Value::Object($crate::Map::from(vec![
+            $( (($k).to_string(), $crate::to_value(&$v)) ),*
+        ]))
+    };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$v) ),* ])
+    };
+    ($v:expr) => { $crate::to_value(&$v) };
+}
+
+/// Parses a complete JSON document (surrounding whitespace allowed).
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error("unexpected end of input".into()));
+    };
+    match c {
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => Ok(Value::Str(parse_string(b, pos)?)),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields.into()));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_at(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields.into()));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error("unterminated string".into()));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err(Error("unterminated escape".into()));
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error("short \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error("bad \\u".into()))?,
+                            16,
+                        )
+                        .map_err(|_| Error("bad \\u".into()))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                }
+            }
+            _ => {
+                // Re-decode UTF-8 starting at the byte we consumed.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < b.len() && (b[end] & 0xc0) == 0x80 {
+                    end += 1;
+                }
+                let chunk =
+                    std::str::from_utf8(&b[start..end]).map_err(|_| Error("bad utf-8".into()))?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error("bad number".into()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::I64(v));
+        }
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = "conv";
+        let v = json!({
+            "op": name,
+            "latency_us": 12.5,
+            "n": 3u64,
+            "tags": json!([1i64, 2, 3]),
+        });
+        assert_eq!(v["op"].as_str(), Some("conv"));
+        assert_eq!(v["latency_us"].as_f64(), Some(12.5));
+        assert_eq!(v["tags"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let v = json!({
+            "a": 1i64,
+            "b": [1.5f64, -2.0],
+            "c": "x\"y",
+            "d": json!(null),
+            "e": true,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-9, 12345.678, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            let y: f64 = from_str(&s).unwrap();
+            assert_eq!(x, y, "text {s}");
+        }
+        for x in [0.1f32, 2.0f32 / 3.0, 3.4e38f32] {
+            let s = to_string(&x).unwrap();
+            let y: f32 = from_str(&s).unwrap();
+            assert_eq!(x, y, "text {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
