@@ -1,0 +1,174 @@
+//! Seeded fault injection for measurement robustness testing.
+//!
+//! Real tuning backends are flaky: candidate kernels fail to compile,
+//! on-device runs hang, and measured latencies are occasionally polluted
+//! by co-located load. The simulator is perfectly reliable, so the
+//! [`FaultInjector`] re-introduces those failure modes at configurable
+//! rates — deterministically, because it draws from the tuner's own
+//! [`SharedRng`] stream. A run is reproduced exactly by its seed and
+//! fault configuration.
+
+use alt_error::AltError;
+use rand::Rng;
+
+use crate::rng::SharedRng;
+
+/// Fault rates for the measurement path. All rates are probabilities per
+/// measurement; their sum must be `<= 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a candidate fails to "compile".
+    pub compile_failure_rate: f64,
+    /// Probability a measurement "times out".
+    pub timeout_rate: f64,
+    /// Probability a measurement is polluted by an outlier slowdown.
+    pub noise_rate: f64,
+    /// Outlier slowdown factor range (multiplies the true latency).
+    pub noise_min: f64,
+    /// Upper end of the slowdown factor range.
+    pub noise_max: f64,
+}
+
+impl FaultConfig {
+    /// Splits one overall fault `rate` across the three fault modes:
+    /// half compile failures, a quarter timeouts, a quarter noise —
+    /// e.g. `uniform(0.2)` gives rates `0.1 / 0.05 / 0.05`.
+    pub fn uniform(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultConfig {
+            compile_failure_rate: rate / 2.0,
+            timeout_rate: rate / 4.0,
+            noise_rate: rate / 4.0,
+            noise_min: 1.5,
+            noise_max: 4.0,
+        }
+    }
+
+    /// Total probability that a measurement is affected at all.
+    pub fn total_rate(&self) -> f64 {
+        self.compile_failure_rate + self.timeout_rate + self.noise_rate
+    }
+}
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The candidate failed to compile; no latency exists.
+    CompileFail,
+    /// The measurement timed out; no latency exists.
+    Timeout,
+    /// The measurement completed but the latency is multiplied by this
+    /// outlier factor (`> 1`).
+    Noise(f64),
+}
+
+/// Draws faults from the shared tuning stream at configured rates.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SharedRng,
+}
+
+impl FaultInjector {
+    /// An injector drawing from the tuner's shared stream.
+    pub fn new(cfg: FaultConfig, rng: SharedRng) -> Self {
+        FaultInjector { cfg, rng }
+    }
+
+    /// Decides the fate of one measurement. Consumes one draw from the
+    /// shared stream (two when the outcome is noise), regardless of
+    /// telemetry being on or off.
+    pub fn draw(&mut self) -> Option<Fault> {
+        let u: f64 = self.rng.gen();
+        let c = self.cfg.compile_failure_rate;
+        let t = c + self.cfg.timeout_rate;
+        let n = t + self.cfg.noise_rate;
+        if u < c {
+            Some(Fault::CompileFail)
+        } else if u < t {
+            Some(Fault::Timeout)
+        } else if u < n {
+            let factor = self.rng.gen_range(self.cfg.noise_min..self.cfg.noise_max);
+            Some(Fault::Noise(factor))
+        } else {
+            None
+        }
+    }
+
+    /// The error a candidate-less fault maps to.
+    pub fn error_for(fault: Fault, candidate: &str) -> Option<AltError> {
+        match fault {
+            Fault::CompileFail => Some(AltError::InjectedCompileFailure {
+                candidate: candidate.to_string(),
+            }),
+            Fault::Timeout => Some(AltError::MeasureTimeout {
+                candidate: candidate.to_string(),
+            }),
+            Fault::Noise(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_splits_the_rate() {
+        let cfg = FaultConfig::uniform(0.2);
+        assert_eq!(cfg.compile_failure_rate, 0.1);
+        assert_eq!(cfg.timeout_rate, 0.05);
+        assert_eq!(cfg.noise_rate, 0.05);
+        assert!((cfg.total_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draws_are_deterministic_given_seed() {
+        let a: Vec<Option<Fault>> = {
+            let mut inj =
+                FaultInjector::new(FaultConfig::uniform(0.5), SharedRng::seed_from_u64(7));
+            (0..64).map(|_| inj.draw()).collect()
+        };
+        let b: Vec<Option<Fault>> = {
+            let mut inj =
+                FaultInjector::new(FaultConfig::uniform(0.5), SharedRng::seed_from_u64(7));
+            (0..64).map(|_| inj.draw()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(0.4), SharedRng::seed_from_u64(1));
+        let n = 4000;
+        let faults = (0..n).filter(|_| inj.draw().is_some()).count();
+        let rate = faults as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.05, "observed fault rate {rate}");
+    }
+
+    #[test]
+    fn noise_factors_stay_in_range() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                compile_failure_rate: 0.0,
+                timeout_rate: 0.0,
+                noise_rate: 1.0,
+                noise_min: 1.5,
+                noise_max: 4.0,
+            },
+            SharedRng::seed_from_u64(2),
+        );
+        for _ in 0..100 {
+            match inj.draw() {
+                Some(Fault::Noise(f)) => assert!((1.5..4.0).contains(&f), "{f}"),
+                other => panic!("expected noise, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let mut inj = FaultInjector::new(FaultConfig::uniform(0.0), SharedRng::seed_from_u64(3));
+        assert!((0..256).all(|_| inj.draw().is_none()));
+    }
+}

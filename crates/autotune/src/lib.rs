@@ -10,20 +10,30 @@
 //!   model.
 //! * [`tuner`] — the two-stage joint tuner with the cross-exploration
 //!   architecture (Fig. 8).
+//! * [`fault`] / [`rng`] — seeded fault injection drawing from the
+//!   tuner's own random stream, for robustness testing.
+//! * [`checkpoint`] — serializable tuner state: a killed run resumes
+//!   from its last checkpoint at the exact budget point.
 
+pub mod checkpoint;
+pub mod fault;
 pub mod features;
 pub mod gbt;
 pub mod measure;
 pub mod nn;
 pub mod ppo;
 pub mod pretrain;
+pub mod rng;
 pub mod space;
 pub mod tuner;
 
+pub use checkpoint::TunerCheckpoint;
+pub use fault::{Fault, FaultConfig, FaultInjector};
 pub use gbt::{GbtModel, GbtParams};
 pub use measure::Measurer;
-pub use ppo::{PpoAgent, PpoWeights, SharedCritic};
+pub use ppo::{CriticState, PpoAgent, PpoWeights, SharedCritic};
 pub use pretrain::{pretrain_ppo, tune_with_pretraining};
+pub use rng::SharedRng;
 pub use space::{build_layout_template, build_loop_space, LayoutTemplate, Point, Space};
 pub use tuner::{
     apply_fixed_layout, base_schedule, tune_graph, FixedLayout, LayoutSearch, TuneConfig,

@@ -10,11 +10,17 @@
 
 use std::collections::{HashMap, HashSet};
 
+use alt_error::AltError;
 use alt_layout::LayoutPlan;
-use alt_loopir::{lower, lower_filtered, GraphSchedule, Program};
+use alt_loopir::{lower, try_lower_filtered, GraphSchedule, Program};
 use alt_sim::{MachineProfile, Simulator};
-use alt_telemetry::{CounterRegistry, MeasurementRecord, Record, SimCounters, Stage, Telemetry};
+use alt_telemetry::{
+    CounterRegistry, MeasurementFailureRecord, MeasurementRecord, Record, SimCounters, Stage,
+    Telemetry,
+};
 use alt_tensor::{Graph, OpId};
+
+use crate::fault::{Fault, FaultInjector};
 
 /// Labels attached to the next measurement (who is measuring and why).
 /// The tuner updates this as it moves between ops, stages and candidates.
@@ -30,6 +36,11 @@ pub struct MeasureCtx {
     pub candidate: String,
     /// Cost-model prediction for the candidate, when ranked.
     pub predicted_cost: Option<f64>,
+    /// Which attempt at this candidate this is (1 = first try).
+    pub attempt: u64,
+    /// Virtual backoff waited before this attempt, in microseconds
+    /// (recorded, never slept — the simulator has no wall clock).
+    pub backoff_us: u64,
 }
 
 impl Default for MeasureCtx {
@@ -40,6 +51,8 @@ impl Default for MeasureCtx {
             round: 0,
             candidate: String::new(),
             predicted_cost: None,
+            attempt: 1,
+            backoff_us: 0,
         }
     }
 }
@@ -66,6 +79,7 @@ pub struct Measurer<'g> {
     sim: Simulator,
     telemetry: Telemetry,
     registry: CounterRegistry,
+    injector: Option<FaultInjector>,
     best_by_op: HashMap<String, f64>,
     /// Budget units consumed so far.
     pub used: u64,
@@ -89,6 +103,7 @@ impl<'g> Measurer<'g> {
             sim: Simulator::new(profile),
             telemetry,
             registry: CounterRegistry::new("sim"),
+            injector: None,
             best_by_op: HashMap::new(),
             used: 0,
             history: Vec::new(),
@@ -101,6 +116,28 @@ impl<'g> Measurer<'g> {
         &self.telemetry
     }
 
+    /// Attaches (or removes) a fault injector. With `None` — the default
+    /// — the measurement path is byte-for-byte the reliable one.
+    pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// Per-op best-so-far latencies (for checkpointing).
+    pub fn best_snapshot(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .best_by_op
+            .iter()
+            .map(|(k, &l)| (k.clone(), l))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Restores per-op best-so-far latencies from a checkpoint.
+    pub fn restore_best(&mut self, entries: &[(String, f64)]) {
+        self.best_by_op = entries.iter().cloned().collect();
+    }
+
     /// The underlying simulator (for profiling runs that should not count
     /// against the budget).
     pub fn simulator(&self) -> &Simulator {
@@ -108,36 +145,86 @@ impl<'g> Measurer<'g> {
     }
 
     /// Lowers only `op`'s fusion group (plus its conversion groups).
-    pub fn lower_op(&self, plan: &LayoutPlan, sched: &GraphSchedule, op: OpId) -> Program {
+    /// Fallible variant: an invalid candidate reports instead of
+    /// panicking, and costs nothing (no budget is consumed).
+    pub fn try_lower_op(
+        &self,
+        plan: &LayoutPlan,
+        sched: &GraphSchedule,
+        op: OpId,
+    ) -> Result<Program, AltError> {
         let mut roots = HashSet::new();
         roots.insert(op);
-        lower_filtered(self.graph, plan, sched, Some(&roots))
+        try_lower_filtered(self.graph, plan, sched, Some(&roots))
+    }
+
+    /// Lowers only `op`'s fusion group (plus its conversion groups).
+    pub fn lower_op(&self, plan: &LayoutPlan, sched: &GraphSchedule, op: OpId) -> Program {
+        self.try_lower_op(plan, sched, op).expect("lowering failed")
     }
 
     /// Measures one operator's group; consumes one budget unit.
-    pub fn measure_op(&mut self, plan: &LayoutPlan, sched: &GraphSchedule, op: OpId) -> f64 {
-        let program = self.lower_op(plan, sched, op);
-        self.measure_program(&program)
+    pub fn measure_op(
+        &mut self,
+        plan: &LayoutPlan,
+        sched: &GraphSchedule,
+        op: OpId,
+    ) -> Result<f64, AltError> {
+        let mut roots = HashSet::new();
+        roots.insert(op);
+        self.measure_ops(plan, sched, &roots)
     }
 
     /// Measures the groups rooted at a set of operators; one budget unit.
+    /// A candidate that fails to lower still consumes its unit — on real
+    /// hardware the compile attempt was paid for — and is reported as a
+    /// failure record rather than a panic.
     pub fn measure_ops(
         &mut self,
         plan: &LayoutPlan,
         sched: &GraphSchedule,
         roots: &HashSet<OpId>,
-    ) -> f64 {
-        let program = lower_filtered(self.graph, plan, sched, Some(roots));
-        self.measure_program(&program)
+    ) -> Result<f64, AltError> {
+        match try_lower_filtered(self.graph, plan, sched, Some(roots)) {
+            Ok(program) => self.measure_program(&program),
+            Err(e) => {
+                self.used += 1;
+                self.record_failure(&e);
+                Err(e)
+            }
+        }
     }
 
     /// Measures an already-lowered program; consumes one budget unit and
-    /// (with an enabled sink) emits exactly one measurement record.
-    pub fn measure_program(&mut self, program: &Program) -> f64 {
+    /// (with an enabled sink) emits exactly one trace record — a
+    /// measurement record on success, a failure record when the fault
+    /// injector strikes or the simulator rejects the program. The fault
+    /// draw happens exactly once per call, identically with telemetry on
+    /// or off, so tracing never perturbs a run.
+    pub fn measure_program(&mut self, program: &Program) -> Result<f64, AltError> {
         self.used += 1;
+        let mut noise = 1.0;
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.draw() {
+                Some(fault @ (Fault::CompileFail | Fault::Timeout)) => {
+                    let err = FaultInjector::error_for(fault, &self.ctx.candidate)
+                        .expect("compile/timeout faults map to errors");
+                    self.record_failure(&err);
+                    return Err(err);
+                }
+                Some(Fault::Noise(factor)) => noise = factor,
+                None => {}
+            }
+        }
         let lat = if self.telemetry.is_enabled() {
-            let c = self.sim.profile_counters(program);
-            let lat = c.latency_s;
+            let c = match self.sim.try_profile_counters(program) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.record_failure(&e);
+                    return Err(e);
+                }
+            };
+            let lat = c.latency_s * noise;
             let best = self
                 .best_by_op
                 .entry(self.ctx.op.clone())
@@ -167,10 +254,36 @@ impl<'g> Measurer<'g> {
             }));
             lat
         } else {
-            self.sim.measure(program)
+            match self.sim.try_measure(program) {
+                Ok(l) => l * noise,
+                Err(e) => {
+                    self.record_failure(&e);
+                    return Err(e);
+                }
+            }
         };
         self.history.push((self.used, lat));
-        lat
+        Ok(lat)
+    }
+
+    /// Emits the failure record for the budget unit just consumed.
+    /// Failed measurements are absent from `history` (no latency exists)
+    /// but their `seq` keeps counting: one trace record per unit, always.
+    fn record_failure(&mut self, err: &AltError) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .emit(Record::MeasurementFailure(MeasurementFailureRecord {
+                    seq: self.used,
+                    op: self.ctx.op.clone(),
+                    stage: self.ctx.stage,
+                    round: self.ctx.round,
+                    candidate: self.ctx.candidate.clone(),
+                    kind: err.kind().to_string(),
+                    error: err.to_string(),
+                    attempt: self.ctx.attempt,
+                    backoff_us: self.ctx.backoff_us,
+                }));
+        }
     }
 
     /// Flushes the run-level simulator counter registry to the sink.
@@ -212,8 +325,8 @@ mod tests {
         let sched = GraphSchedule::naive();
         let op = g.complex_ops()[0];
         assert_eq!(m.used, 0);
-        let a = m.measure_op(&plan, &sched, op);
-        let b = m.measure_op(&plan, &sched, op);
+        let a = m.measure_op(&plan, &sched, op).unwrap();
+        let b = m.measure_op(&plan, &sched, op).unwrap();
         assert_eq!(m.used, 2);
         assert_eq!(a, b, "same program must measure identically");
         assert_eq!(m.history.len(), 2);
@@ -233,7 +346,7 @@ mod tests {
         let op = g.complex_ops()[0];
         m.ctx.op = "conv2d#0".to_string();
         for _ in 0..3 {
-            m.measure_op(&plan, &sched, op);
+            m.measure_op(&plan, &sched, op).unwrap();
         }
         m.flush_counters();
         let records = sink.records();
@@ -274,8 +387,8 @@ mod tests {
         let (t, _sink) = Telemetry::memory();
         let mut traced = Measurer::with_telemetry(&g, intel_cpu(), t);
         assert_eq!(
-            plain.measure_op(&plan, &sched, op),
-            traced.measure_op(&plan, &sched, op),
+            plain.measure_op(&plan, &sched, op).unwrap(),
+            traced.measure_op(&plan, &sched, op).unwrap(),
             "tracing must not perturb the measurement"
         );
     }
@@ -290,5 +403,88 @@ mod tests {
         let program = m.lower_op(&plan, &sched, op);
         assert_eq!(program.groups.len(), 1);
         assert_eq!(program.groups[0].root, op);
+    }
+
+    #[test]
+    fn injected_faults_consume_budget_and_emit_failure_records() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        use crate::rng::SharedRng;
+        let g = graph();
+        let (t, sink) = Telemetry::memory();
+        let mut m = Measurer::with_telemetry(&g, intel_cpu(), t);
+        // Every measurement fails to compile.
+        m.set_injector(Some(FaultInjector::new(
+            FaultConfig {
+                compile_failure_rate: 1.0,
+                timeout_rate: 0.0,
+                noise_rate: 0.0,
+                noise_min: 1.5,
+                noise_max: 4.0,
+            },
+            SharedRng::seed_from_u64(0),
+        )));
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        m.ctx.op = "conv2d#0".to_string();
+        m.ctx.candidate = "[1, 2]".to_string();
+        for _ in 0..3 {
+            let err = m.measure_op(&plan, &sched, op).unwrap_err();
+            assert_eq!(err.kind(), "injected_compile");
+            assert!(err.is_transient());
+        }
+        assert_eq!(m.used, 3, "failures still consume budget");
+        assert!(m.history.is_empty(), "failures have no latency");
+        let records = sink.records();
+        let failures: Vec<&MeasurementFailureRecord> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::MeasurementFailure(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failures.len(), 3, "one failure record per unit");
+        for (i, f) in failures.iter().enumerate() {
+            assert_eq!(f.seq, i as u64 + 1);
+            assert_eq!(f.kind, "injected_compile");
+            assert_eq!(f.candidate, "[1, 2]");
+        }
+    }
+
+    #[test]
+    fn noise_faults_inflate_latency_identically_with_and_without_tracing() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        use crate::rng::SharedRng;
+        let g = graph();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        let noisy_cfg = FaultConfig {
+            compile_failure_rate: 0.0,
+            timeout_rate: 0.0,
+            noise_rate: 1.0,
+            noise_min: 2.0,
+            noise_max: 3.0,
+        };
+        let mut clean = Measurer::new(&g, intel_cpu());
+        let true_lat = clean.measure_op(&plan, &sched, op).unwrap();
+        let mut plain = Measurer::new(&g, intel_cpu());
+        plain.set_injector(Some(FaultInjector::new(
+            noisy_cfg.clone(),
+            SharedRng::seed_from_u64(11),
+        )));
+        let (t, _sink) = Telemetry::memory();
+        let mut traced = Measurer::with_telemetry(&g, intel_cpu(), t);
+        traced.set_injector(Some(FaultInjector::new(
+            noisy_cfg,
+            SharedRng::seed_from_u64(11),
+        )));
+        let a = plain.measure_op(&plan, &sched, op).unwrap();
+        let b = traced.measure_op(&plan, &sched, op).unwrap();
+        assert_eq!(a, b, "same seed, same noise, tracing on or off");
+        assert!(
+            a > true_lat * 1.5,
+            "outlier must inflate: {a} vs {true_lat}"
+        );
     }
 }

@@ -157,8 +157,9 @@ impl Mlp {
     }
 }
 
-/// Adam optimizer state for one [`Mlp`].
-#[derive(Clone, Debug)]
+/// Adam optimizer state for one [`Mlp`]. Serializable so checkpoints
+/// can freeze and resume mid-run training (moment estimates included).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Adam {
     lr: f32,
     beta1: f32,

@@ -37,6 +37,18 @@ pub struct PpoWeights {
     pub critic: Mlp,
 }
 
+/// Full serializable critic state: network weights *and* optimizer
+/// moments, so a checkpointed tuning run resumes critic training exactly
+/// where it stopped (restarting Adam's moments would change every
+/// subsequent update).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CriticState {
+    /// Value network.
+    pub net: Mlp,
+    /// Optimizer state (step count and moment estimates).
+    pub opt: Adam,
+}
+
 /// The shared critic: one value network serving every actor of a tuning
 /// session (paper §5.2.2: "a global shared critic network for all
 /// actors").
@@ -60,6 +72,22 @@ impl SharedCritic {
         let net = w.critic.clone();
         let opt = Adam::new(&net, 3e-3);
         Rc::new(RefCell::new(SharedCritic { net, opt }))
+    }
+
+    /// Snapshot of the full training state (for checkpoints).
+    pub fn state(&self) -> CriticState {
+        CriticState {
+            net: self.net.clone(),
+            opt: self.opt.clone(),
+        }
+    }
+
+    /// Rebuilds a critic mid-training from a checkpointed state.
+    pub fn from_state(s: &CriticState) -> Rc<RefCell<SharedCritic>> {
+        Rc::new(RefCell::new(SharedCritic {
+            net: s.net.clone(),
+            opt: s.opt.clone(),
+        }))
     }
 
     fn value(&self, obs: &[f32]) -> f32 {

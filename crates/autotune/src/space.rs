@@ -10,7 +10,6 @@
 use alt_layout::{presets, Layout, LayoutPlan};
 use alt_loopir::{AxisTiling, OpSchedule};
 use alt_tensor::{ComplexKind, Graph, OpId, OpTag, Shape, TensorId};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Greatest common divisor.
@@ -85,7 +84,7 @@ impl Space {
     }
 
     /// Uniform random point.
-    pub fn random_point(&self, rng: &mut StdRng) -> Point {
+    pub fn random_point(&self, rng: &mut impl Rng) -> Point {
         self.knobs
             .iter()
             .map(|k| rng.gen_range(0..k.options.len()))
@@ -94,7 +93,7 @@ impl Space {
 
     /// A neighbour of `p`: one to two knobs stepped or re-rolled
     /// (random-walk move).
-    pub fn neighbor(&self, p: &Point, rng: &mut StdRng) -> Point {
+    pub fn neighbor(&self, p: &Point, rng: &mut impl Rng) -> Point {
         let mut q = p.clone();
         if self.knobs.is_empty() {
             return q;
@@ -541,6 +540,7 @@ mod tests {
     use super::*;
     use alt_layout::PropagationMode;
     use alt_tensor::ops::{self, ConvCfg};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

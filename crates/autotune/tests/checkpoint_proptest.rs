@@ -1,0 +1,88 @@
+//! Property-based test for checkpoint/resume: for any seed, halt point,
+//! and fault rate, a run killed at a checkpoint and resumed from the
+//! serialized file must reach exactly the same final best latency (and
+//! budget count) as the uninterrupted run.
+
+use proptest::prelude::*;
+
+use alt_autotune::{tune_graph, FaultConfig, TuneConfig, TunerCheckpoint};
+use alt_sim::intel_cpu;
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+fn conv_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 16, 34, 34]));
+    let w = g.add_param("w", Shape::new([32, 16, 3, 3]));
+    let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+    let b = g.add_param("b", Shape::new([32]));
+    let ba = ops::bias_add(&mut g, c, b, 1);
+    let _ = ops::relu(&mut g, ba);
+    g
+}
+
+fn base_cfg(seed: u64, fault_rate: f64) -> TuneConfig {
+    TuneConfig {
+        joint_budget: 12,
+        loop_budget: 12,
+        batch: 8,
+        topk: 2,
+        free_input_layouts: true,
+        seed,
+        faults: if fault_rate > 0.0 {
+            Some(FaultConfig::uniform(fault_rate))
+        } else {
+            None
+        },
+        ..TuneConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn resume_reaches_same_best_latency(
+        seed in 0u64..10_000,
+        halt in 1u64..24,
+        faulted in any::<bool>(),
+    ) {
+        let g = conv_graph();
+        let rate = if faulted { 0.2 } else { 0.0 };
+        let full = tune_graph(&g, intel_cpu(), base_cfg(seed, rate));
+
+        let dir = std::env::temp_dir().join("alt-ck-proptest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("ck-{}-{seed}-{halt}-{faulted}.json", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string();
+
+        let halted = tune_graph(&g, intel_cpu(), TuneConfig {
+            checkpoint_path: Some(path.clone()),
+            halt_after: Some(halt),
+            ..base_cfg(seed, rate)
+        });
+
+        // Halting can only ever be early or a no-op, never overspend.
+        prop_assert!(halted.measurements <= full.measurements);
+
+        if std::path::Path::new(&path).exists() {
+            let ck = TunerCheckpoint::load(&path).unwrap();
+            let resumed = tune_graph(&g, intel_cpu(), TuneConfig {
+                resume: Some(ck),
+                ..base_cfg(seed, rate)
+            });
+            std::fs::remove_file(&path).ok();
+            prop_assert_eq!(resumed.measurements, full.measurements);
+            prop_assert_eq!(resumed.latency, full.latency);
+            prop_assert_eq!(resumed.history, full.history);
+        } else {
+            // The halt point fell beyond the run's total budget, so no
+            // checkpoint was cut; the "halted" run is the full run.
+            prop_assert_eq!(halted.measurements, full.measurements);
+            prop_assert_eq!(halted.latency, full.latency);
+        }
+    }
+}

@@ -47,7 +47,10 @@ pub fn random_walk_loop_tune(
         let s = decode_loop_point(graph, plan, op, &space, &p);
         let saved = sched.get(op);
         sched.set(op, s);
-        let lat = measurer.measure_op(plan, sched, op);
+        let Ok(lat) = measurer.measure_op(plan, sched, op) else {
+            sched.set(op, saved);
+            continue;
+        };
         if lat < best {
             best = lat;
             best_p = Some(p);

@@ -8,6 +8,9 @@
 //! altc --model mv2 --platform gpu --budget 200 --json
 //! altc --model r18 --dot > r18.dot
 //! altc --model r18 --budget 64 --trace r18.trace.jsonl
+//! altc --model r18 --budget 64 --faults 0.2 --trace r18.trace.jsonl
+//! altc --model r18 --checkpoint ck.json --checkpoint-every 50
+//! altc --model r18 --resume ck.json
 //! altc report r18.trace.jsonl
 //! ```
 
@@ -25,6 +28,10 @@ struct Args {
     json: bool,
     dot: bool,
     trace: Option<String>,
+    faults: f64,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +44,10 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         dot: false,
         trace: None,
+        faults: 0.0,
+        checkpoint: None,
+        checkpoint_every: 0,
+        resume: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,6 +73,21 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--dot" => args.dot = true,
             "--trace" => args.trace = Some(value("--trace")?),
+            "--faults" => {
+                args.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+                if !(0.0..1.0).contains(&args.faults) {
+                    return Err("--faults must be in [0, 1)".into());
+                }
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                args.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--resume" => args.resume = Some(value("--resume")?),
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -89,6 +115,15 @@ OPTIONS:
         --json               machine-readable output
         --dot                print the model graph in DOT format and exit
         --trace <PATH>       write a JSONL tuning trace (inspect with `altc report`)
+        --faults <RATE>      inject faults (compile failures, timeouts, noisy
+                             latencies) into that fraction of measurements; the
+                             tuner retries, quarantines repeat offenders, and
+                             still completes within its exact budget [default: 0]
+        --checkpoint <PATH>  periodically write resumable tuner state here
+        --checkpoint-every <N>  checkpoint every N consumed budget units [default: 50
+                             when --checkpoint is set]
+        --resume <PATH>      resume tuning from a checkpoint written by a run
+                             with the same model, platform, seed, and budget
     -h, --help               this message
 
 SUBCOMMANDS:
@@ -171,10 +206,26 @@ fn main() {
     };
 
     let joint = (args.budget as f64 * 0.4) as u64;
+    // A checkpoint path without an explicit interval still wants periodic
+    // writes, not just halt-time ones.
+    let checkpoint_every = match (args.checkpoint_every, &args.checkpoint) {
+        (0, Some(_)) => 50,
+        (n, _) => n,
+    };
+    if let Some(path) = &args.resume {
+        if !std::path::Path::new(path).exists() {
+            eprintln!("error: --resume {path}: no such file");
+            std::process::exit(2);
+        }
+    }
     let mut compiler = Compiler::new(profile).with_options(CompileOptions {
         joint_budget: joint,
         loop_budget: args.budget - joint,
         seed: args.seed,
+        fault_rate: args.faults,
+        checkpoint: args.checkpoint.clone(),
+        checkpoint_every,
+        resume: args.resume.clone(),
         ..CompileOptions::default()
     });
     if let Some(path) = &args.trace {

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 
 use alt_autotune::tuner::{FixedLayout, LayoutSearch, TuneConfig};
-use alt_autotune::{tune_graph, PpoWeights};
+use alt_autotune::{tune_graph, FaultConfig, PpoWeights, TunerCheckpoint};
 use alt_layout::{Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{lower, run_program, GraphSchedule, Program};
 use alt_sim::{MachineProfile, Simulator};
@@ -63,6 +63,18 @@ pub struct CompileOptions {
     pub fixed_layout: Option<FixedLayout>,
     /// Layout candidate generator (PPO or random).
     pub layout_search: LayoutSearch,
+    /// Injected fault rate in `[0, 1)` for robustness testing: the rate
+    /// is split between compile failures, measurement timeouts, and
+    /// noisy latencies ([`FaultConfig::uniform`]). Zero disables
+    /// injection entirely (the run is bit-identical to one without it).
+    pub fault_rate: f64,
+    /// Write tuner checkpoints to this path during compilation.
+    pub checkpoint: Option<String>,
+    /// Checkpoint every N consumed budget units (0 = only on halt).
+    pub checkpoint_every: u64,
+    /// Resume tuning from a checkpoint file written by a previous run
+    /// with the same graph and seed.
+    pub resume: Option<String>,
 }
 
 impl Default for CompileOptions {
@@ -77,6 +89,10 @@ impl Default for CompileOptions {
             pretrained: None,
             fixed_layout: None,
             layout_search: LayoutSearch::Ppo,
+            fault_rate: 0.0,
+            checkpoint: None,
+            checkpoint_every: 0,
+            resume: None,
         }
     }
 }
@@ -121,9 +137,20 @@ impl Compiler {
 
     /// Compiles a graph: joint layout+loop auto-tuning followed by
     /// lowering to an executable program.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options.resume` names a checkpoint that cannot be
+    /// read or that does not match this graph and seed.
     pub fn compile(&self, graph: &Graph) -> CompiledGraph {
         let t0 = std::time::Instant::now();
         let o = &self.options;
+        let resume = o.resume.as_ref().map(|path| {
+            let ck = TunerCheckpoint::load(path).expect("loading checkpoint");
+            ck.validate(graph, o.seed)
+                .expect("checkpoint does not match this graph/seed");
+            ck
+        });
         let cfg = TuneConfig {
             joint_budget: o.joint_budget,
             loop_budget: o.loop_budget,
@@ -135,6 +162,10 @@ impl Compiler {
             fixed_layout: o.fixed_layout,
             layout_search: o.layout_search,
             telemetry: self.telemetry.clone(),
+            faults: (o.fault_rate > 0.0).then(|| FaultConfig::uniform(o.fault_rate)),
+            checkpoint_path: o.checkpoint.clone(),
+            checkpoint_every: o.checkpoint_every,
+            resume,
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);

@@ -1,0 +1,145 @@
+//! The workspace-wide typed error for the tuning path.
+//!
+//! An invalid layout/loop candidate must be a *recoverable event*, not a
+//! process abort: the tuner consumes one budget unit, records the
+//! failure, and moves on. Every fallible seam on the tuning path — layout
+//! primitive application and index inference (`alt-layout`), lowering
+//! (`alt-loopir`), simulation (`alt-sim`), and fault-injected measurement
+//! (`alt-autotune`) — reports through [`AltError`].
+//!
+//! This crate is dependency-free so every layer can use it without
+//! cycles; richer per-domain errors (e.g. `alt_layout::LayoutError`)
+//! convert into it via `From` impls defined next to the domain error.
+
+use std::fmt;
+
+/// A recoverable failure anywhere on the tuning path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AltError {
+    /// A layout primitive application or index-map inference failed
+    /// (split divisibility, pad bounds, reorder/fuse validity, rank
+    /// mismatches, non-constant index maps).
+    Layout {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// Lowering a scheduled, layout-annotated graph failed.
+    Lower {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// The simulator produced an unusable latency (non-finite or
+    /// non-positive).
+    Sim {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// The fault injector declared this candidate's compilation failed
+    /// (mirrors real-hardware build flakiness).
+    InjectedCompileFailure {
+        /// The candidate being measured.
+        candidate: String,
+    },
+    /// The measurement timed out (injected; mirrors on-device hangs).
+    MeasureTimeout {
+        /// The candidate being measured.
+        candidate: String,
+    },
+    /// Checkpoint serialization / deserialization / validation failed.
+    Checkpoint {
+        /// Human-readable failure description.
+        detail: String,
+    },
+}
+
+impl AltError {
+    /// A short stable tag naming the error class (used for telemetry
+    /// records and counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AltError::Layout { .. } => "layout",
+            AltError::Lower { .. } => "lower",
+            AltError::Sim { .. } => "sim",
+            AltError::InjectedCompileFailure { .. } => "injected_compile",
+            AltError::MeasureTimeout { .. } => "timeout",
+            AltError::Checkpoint { .. } => "checkpoint",
+        }
+    }
+
+    /// Whether retrying the same candidate could plausibly succeed.
+    ///
+    /// Injected flakiness (compile failures, timeouts) is transient —
+    /// real hardware sometimes succeeds on a second attempt — while
+    /// structural errors (invalid layout, lowering failure) are
+    /// deterministic and never worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            AltError::InjectedCompileFailure { .. } | AltError::MeasureTimeout { .. }
+        )
+    }
+}
+
+impl fmt::Display for AltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AltError::Layout { detail } => write!(f, "layout error: {detail}"),
+            AltError::Lower { detail } => write!(f, "lowering error: {detail}"),
+            AltError::Sim { detail } => write!(f, "simulation error: {detail}"),
+            AltError::InjectedCompileFailure { candidate } => {
+                write!(f, "injected compile failure for candidate {candidate}")
+            }
+            AltError::MeasureTimeout { candidate } => {
+                write!(f, "measurement timed out for candidate {candidate}")
+            }
+            AltError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AltError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_tags() {
+        let cases = [
+            (AltError::Layout { detail: "x".into() }, "layout"),
+            (AltError::Lower { detail: "x".into() }, "lower"),
+            (AltError::Sim { detail: "x".into() }, "sim"),
+            (
+                AltError::InjectedCompileFailure {
+                    candidate: "c".into(),
+                },
+                "injected_compile",
+            ),
+            (
+                AltError::MeasureTimeout {
+                    candidate: "c".into(),
+                },
+                "timeout",
+            ),
+            (AltError::Checkpoint { detail: "x".into() }, "checkpoint"),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_injected_faults_are_transient() {
+        assert!(AltError::InjectedCompileFailure {
+            candidate: "c".into()
+        }
+        .is_transient());
+        assert!(AltError::MeasureTimeout {
+            candidate: "c".into()
+        }
+        .is_transient());
+        assert!(!AltError::Layout { detail: "x".into() }.is_transient());
+        assert!(!AltError::Lower { detail: "x".into() }.is_transient());
+    }
+}

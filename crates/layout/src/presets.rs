@@ -186,7 +186,13 @@ pub fn gmm_tiled(shape: Shape, rt: i64, ct: i64) -> Result<Layout, LayoutError> 
 /// `N (S1/t1) .. (Sd/td) (O/ot) t1 .. td ot` for logical `[N, O, S1..Sd]`.
 pub fn conv_output_tiled_nd(shape: Shape, tiles: &[i64], ot: i64) -> Result<Layout, LayoutError> {
     let d = shape.ndim() - 2;
-    assert_eq!(tiles.len(), d, "one tile per spatial dim");
+    if tiles.len() != d {
+        return Err(LayoutError::RankMismatch {
+            what: "conv_output_tiled_nd: one tile per spatial dim",
+            expected: d,
+            got: tiles.len(),
+        });
+    }
     let o = shape.dim(1);
     let mut l = Layout::identity(shape.clone()).with(LayoutPrim::Split {
         dim: 1,
@@ -228,9 +234,27 @@ pub fn conv_input_tiled_nd(
     windows: &[i64],
 ) -> Result<Layout, LayoutError> {
     let d = shape.ndim() - 2;
-    assert_eq!(tiles.len(), d, "one tile per spatial dim");
-    assert_eq!(windows.len(), d, "one window per spatial dim");
-    assert_eq!(strides.len(), d, "one stride per spatial dim");
+    if tiles.len() != d {
+        return Err(LayoutError::RankMismatch {
+            what: "conv_input_tiled_nd: one tile per spatial dim",
+            expected: d,
+            got: tiles.len(),
+        });
+    }
+    if windows.len() != d {
+        return Err(LayoutError::RankMismatch {
+            what: "conv_input_tiled_nd: one window per spatial dim",
+            expected: d,
+            got: windows.len(),
+        });
+    }
+    if strides.len() != d {
+        return Err(LayoutError::RankMismatch {
+            what: "conv_input_tiled_nd: one stride per spatial dim",
+            expected: d,
+            got: strides.len(),
+        });
+    }
     let i = shape.dim(1);
     let mut l = Layout::identity(shape).with(LayoutPrim::Split {
         dim: 1,
@@ -343,8 +367,20 @@ pub fn conv_output_tiled2_nd(
     ot_in: i64,
 ) -> Result<Layout, LayoutError> {
     let d = shape.ndim() - 2;
-    assert_eq!(tiles_mid.len(), d);
-    assert_eq!(tiles_in.len(), d);
+    if tiles_mid.len() != d {
+        return Err(LayoutError::RankMismatch {
+            what: "conv_output_tiled2_nd: one mid tile per spatial dim",
+            expected: d,
+            got: tiles_mid.len(),
+        });
+    }
+    if tiles_in.len() != d {
+        return Err(LayoutError::RankMismatch {
+            what: "conv_output_tiled2_nd: one inner tile per spatial dim",
+            expected: d,
+            got: tiles_in.len(),
+        });
+    }
     let o = shape.dim(1);
     let mut l = Layout::identity(shape.clone()).with(LayoutPrim::Split {
         dim: 1,
@@ -389,7 +425,7 @@ mod tests {
         let l = nhwo(s.clone()).unwrap();
         assert_eq!(l.physical_shape().dims(), &[2, 4, 5, 3]);
         let buf = NdBuf::from_fn(s, |i| i as f32);
-        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+        assert_eq!(l.unpack(&l.pack(&buf).unwrap()).unwrap().data(), buf.data());
     }
 
     #[test]
@@ -408,7 +444,7 @@ mod tests {
         let l = c2d_output_tiled(Shape::new([1, 64, 16, 16]), 4, 16, 16).unwrap();
         assert_eq!(l.physical_shape().dims(), &[1, 4, 1, 4, 4, 16, 16]);
         let buf = NdBuf::from_fn(Shape::new([1, 64, 16, 16]), |i| (i % 97) as f32);
-        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+        assert_eq!(l.unpack(&l.pack(&buf).unwrap()).unwrap().data(), buf.data());
     }
 
     #[test]
@@ -433,7 +469,7 @@ mod tests {
         assert_eq!(dims.dims()[1], 2);
         assert_eq!(dims.dims()[4], (ht + kh - 1) as i64);
         let buf = NdBuf::from_fn(Shape::new([1, 8, in_h as i64, in_h as i64]), |i| i as f32);
-        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+        assert_eq!(l.unpack(&l.pack(&buf).unwrap()).unwrap().data(), buf.data());
     }
 
     #[test]
@@ -466,10 +502,10 @@ mod tests {
     fn conv1d_3d_templates_roundtrip() {
         let l = conv_output_tiled_nd(Shape::new([1, 8, 12]), &[4], 4).unwrap();
         let buf = NdBuf::from_fn(Shape::new([1, 8, 12]), |i| i as f32);
-        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+        assert_eq!(l.unpack(&l.pack(&buf).unwrap()).unwrap().data(), buf.data());
         let l3 = conv_output_tiled_nd(Shape::new([1, 8, 4, 6, 6]), &[2, 3, 3], 4).unwrap();
         let b3 = NdBuf::from_fn(Shape::new([1, 8, 4, 6, 6]), |i| (i % 31) as f32);
-        assert_eq!(l3.unpack(&l3.pack(&b3)).data(), b3.data());
+        assert_eq!(l3.unpack(&l3.pack(&b3).unwrap()).unwrap().data(), b3.data());
     }
 
     #[test]
@@ -489,6 +525,6 @@ mod tests {
         let l = conv_output_tiled2_nd(Shape::new([1, 32, 16, 16]), &[2, 2], &[4, 4], 2, 8).unwrap();
         assert_eq!(l.physical_shape().numel(), 32 * 16 * 16);
         let buf = NdBuf::from_fn(Shape::new([1, 32, 16, 16]), |i| (i % 251) as f32);
-        assert_eq!(l.unpack(&l.pack(&buf)).data(), buf.data());
+        assert_eq!(l.unpack(&l.pack(&buf).unwrap()).unwrap().data(), buf.data());
     }
 }

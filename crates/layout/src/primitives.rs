@@ -63,6 +63,34 @@ pub enum LayoutError {
     BadPad,
     /// The primitive sequence cannot be inverted at this point.
     NotInvertible(&'static str),
+    /// An index list's rank does not match the layout's rank.
+    RankMismatch {
+        /// What was being rewritten.
+        what: &'static str,
+        /// Expected number of indices.
+        expected: usize,
+        /// Provided number of indices.
+        got: usize,
+    },
+    /// A buffer or tensor shape does not match the layout's shape.
+    ShapeMismatch {
+        /// The operation that detected the mismatch.
+        what: &'static str,
+        /// Expected shape (dims).
+        expected: Vec<i64>,
+        /// Provided shape (dims).
+        got: Vec<i64>,
+    },
+    /// A concrete index map produced a symbolic (non-constant) result.
+    NonConstantIndex {
+        /// The direction of the failed map.
+        what: &'static str,
+        /// Rendering of the offending expression.
+        expr: String,
+    },
+    /// The internal shape chain is corrupt (empty); indicates a layout
+    /// constructed or mutated through unsafe means.
+    CorruptChain,
 }
 
 impl fmt::Display for LayoutError {
@@ -94,11 +122,36 @@ impl fmt::Display for LayoutError {
             ),
             LayoutError::BadPad => write!(f, "pad amounts must be non-negative"),
             LayoutError::NotInvertible(what) => write!(f, "cannot invert: {what}"),
+            LayoutError::RankMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: rank mismatch (expected {expected}, got {got})"),
+            LayoutError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what}: shape mismatch (expected {expected:?}, got {got:?})"
+            ),
+            LayoutError::NonConstantIndex { what, expr } => {
+                write!(f, "{what}: non-constant index {expr}")
+            }
+            LayoutError::CorruptChain => write!(f, "layout shape chain is empty"),
         }
     }
 }
 
 impl std::error::Error for LayoutError {}
+
+impl From<LayoutError> for alt_error::AltError {
+    fn from(e: LayoutError) -> Self {
+        alt_error::AltError::Layout {
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// One data-layout primitive (paper Table 1 and §4.1.2).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -354,7 +407,7 @@ impl Layout {
 
     /// Applies one primitive, validating it against the current shape.
     pub fn apply(&mut self, prim: LayoutPrim) -> Result<(), LayoutError> {
-        let cur = self.shapes.last().expect("shape chain non-empty");
+        let cur = self.shapes.last().ok_or(LayoutError::CorruptChain)?;
         prim.check(cur)?;
         let next = prim.apply_shape(cur);
         self.prims.push(prim);
@@ -373,9 +426,24 @@ impl Layout {
         &self.logical
     }
 
+    /// The physical buffer shape, or [`LayoutError::CorruptChain`] if the
+    /// internal shape chain is empty.
+    pub fn try_physical_shape(&self) -> Result<Shape, LayoutError> {
+        self.shapes
+            .last()
+            .map(|d| Shape::new(d.clone()))
+            .ok_or(LayoutError::CorruptChain)
+    }
+
     /// The physical buffer shape.
+    ///
+    /// The shape chain is non-empty by construction ([`Layout::identity`]
+    /// seeds one entry and [`Layout::pop_prim`] removes prim/shape pairs
+    /// together), so this cannot fail on layouts built through the public
+    /// API; fallible callers can use [`Layout::try_physical_shape`].
     pub fn physical_shape(&self) -> Shape {
-        Shape::new(self.shapes.last().expect("non-empty").clone())
+        self.try_physical_shape()
+            .expect("layout shape chain corrupt")
     }
 
     /// The primitive sequence.
@@ -439,17 +507,18 @@ impl Layout {
     /// Replicates this layout's primitive sequence onto another tensor of
     /// the same logical shape (the propagation mechanism of §4.2).
     ///
-    /// # Panics
-    ///
-    /// Panics if `logical` differs from this layout's logical shape —
-    /// propagation is only defined for shape-equal tensors (Algorithm 1,
-    /// third constraint), which callers must check.
-    pub fn replicate_for(&self, logical: Shape) -> Layout {
-        assert_eq!(
-            self.logical, logical,
-            "layout propagation requires identical logical shapes"
-        );
-        self.clone()
+    /// Returns [`LayoutError::ShapeMismatch`] if `logical` differs from
+    /// this layout's logical shape — propagation is only defined for
+    /// shape-equal tensors (Algorithm 1, third constraint).
+    pub fn replicate_for(&self, logical: Shape) -> Result<Layout, LayoutError> {
+        if self.logical != logical {
+            return Err(LayoutError::ShapeMismatch {
+                what: "replicate_for",
+                expected: self.logical.dims().to_vec(),
+                got: logical.dims().to_vec(),
+            });
+        }
+        Ok(self.clone())
     }
 
     /// Rewrites logical access expressions into physical access
@@ -458,107 +527,130 @@ impl Layout {
     /// `extents` provides variable extents so sliding-window accesses can
     /// use the paper's Eq. 1 placement for unfolded dimensions; pass an
     /// empty map to always use the generic (clamped) placement.
-    pub fn rewrite_access(&self, exprs: &[Expr], extents: &VarExtents) -> Vec<Expr> {
-        assert_eq!(
-            exprs.len(),
-            self.logical.ndim(),
-            "access rank mismatch for layout of {}",
-            self.logical
-        );
+    pub fn rewrite_access(
+        &self,
+        exprs: &[Expr],
+        extents: &VarExtents,
+    ) -> Result<Vec<Expr>, LayoutError> {
+        if exprs.len() != self.logical.ndim() {
+            return Err(LayoutError::RankMismatch {
+                what: "rewrite_access",
+                expected: self.logical.ndim(),
+                got: exprs.len(),
+            });
+        }
         let mut cur: Vec<Expr> = exprs.to_vec();
         for (prim, shape) in self.prims.iter().zip(self.shapes.iter()) {
             cur = rewrite_forward(prim, shape, &cur, extents);
         }
-        cur
+        Ok(cur)
     }
 
     /// Maps physical index expressions (producer loop variables) back to
     /// logical index expressions, together with the validity conditions
     /// under which the physical slot corresponds to a real element (false
     /// for pad slots and unfold overhang).
-    pub fn inverse_access(&self, phys: &[Expr]) -> (Vec<Expr>, Vec<Cond>) {
-        assert_eq!(
-            phys.len(),
-            self.physical_shape().ndim(),
-            "physical rank mismatch"
-        );
+    pub fn inverse_access(&self, phys: &[Expr]) -> Result<(Vec<Expr>, Vec<Cond>), LayoutError> {
+        let ndim = self.try_physical_shape()?.ndim();
+        if phys.len() != ndim {
+            return Err(LayoutError::RankMismatch {
+                what: "inverse_access",
+                expected: ndim,
+                got: phys.len(),
+            });
+        }
         let mut cur: Vec<Expr> = phys.to_vec();
         let mut conds = Vec::new();
         for (prim, shape) in self.prims.iter().zip(self.shapes.iter()).rev() {
             cur = rewrite_inverse(prim, shape, &cur, &mut conds);
         }
-        (cur, conds)
+        Ok((cur, conds))
     }
 
     /// Maps a concrete logical index to its canonical physical index.
-    pub fn logical_to_physical(&self, idx: &[i64]) -> Vec<i64> {
+    pub fn logical_to_physical(&self, idx: &[i64]) -> Result<Vec<i64>, LayoutError> {
         let exprs: Vec<Expr> = idx.iter().map(|&i| Expr::c(i)).collect();
-        let out = self.rewrite_access(&exprs, &HashMap::new());
+        let out = self.rewrite_access(&exprs, &HashMap::new())?;
         out.iter()
             .map(|e| match e {
-                Expr::Const(v) => *v,
-                other => panic!("non-constant physical index {other}"),
+                Expr::Const(v) => Ok(*v),
+                other => Err(LayoutError::NonConstantIndex {
+                    what: "logical_to_physical",
+                    expr: other.to_string(),
+                }),
             })
             .collect()
     }
 
     /// Maps a concrete physical index back to the logical index it holds,
     /// or `None` for slots that hold no logical element (padding/overhang).
-    pub fn physical_to_logical(&self, idx: &[i64]) -> Option<Vec<i64>> {
+    pub fn physical_to_logical(&self, idx: &[i64]) -> Result<Option<Vec<i64>>, LayoutError> {
         let exprs: Vec<Expr> = idx.iter().map(|&i| Expr::c(i)).collect();
-        let (out, conds) = self.inverse_access(&exprs);
+        let (out, conds) = self.inverse_access(&exprs)?;
         let env = alt_tensor::Env::new();
         if !conds.iter().all(|c| c.eval(&env)) {
-            return None;
+            return Ok(None);
         }
         let log: Vec<i64> = out
             .iter()
             .map(|e| match e {
-                Expr::Const(v) => *v,
-                other => panic!("non-constant logical index {other}"),
+                Expr::Const(v) => Ok(*v),
+                other => Err(LayoutError::NonConstantIndex {
+                    what: "physical_to_logical",
+                    expr: other.to_string(),
+                }),
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         // Guard against overhang beyond the logical extent.
         if log
             .iter()
             .zip(self.logical.dims())
             .any(|(&i, &d)| i < 0 || i >= d)
         {
-            return None;
+            return Ok(None);
         }
-        Some(log)
+        Ok(Some(log))
     }
 
     /// Packs a logically-laid-out buffer into this physical layout.
     ///
     /// Physical slots with no logical element (padding, overhang) are
     /// zero-filled; overlapped slots duplicate their logical element.
-    pub fn pack(&self, logical: &NdBuf) -> NdBuf {
-        assert_eq!(logical.shape(), &self.logical, "pack: shape mismatch");
-        let phys = self.physical_shape();
+    pub fn pack(&self, logical: &NdBuf) -> Result<NdBuf, LayoutError> {
+        if logical.shape() != &self.logical {
+            return Err(LayoutError::ShapeMismatch {
+                what: "pack",
+                expected: self.logical.dims().to_vec(),
+                got: logical.shape().dims().to_vec(),
+            });
+        }
+        let phys = self.try_physical_shape()?;
         let mut out = NdBuf::zeros(phys.clone());
         for pidx in phys.iter_indices() {
-            if let Some(lidx) = self.physical_to_logical(&pidx) {
+            if let Some(lidx) = self.physical_to_logical(&pidx)? {
                 out.set(&pidx, logical.get(&lidx));
             }
         }
-        out
+        Ok(out)
     }
 
     /// Unpacks a physical buffer back to logical order using canonical
     /// slots.
-    pub fn unpack(&self, physical: &NdBuf) -> NdBuf {
-        assert_eq!(
-            physical.shape(),
-            &self.physical_shape(),
-            "unpack: shape mismatch"
-        );
+    pub fn unpack(&self, physical: &NdBuf) -> Result<NdBuf, LayoutError> {
+        let phys = self.try_physical_shape()?;
+        if physical.shape() != &phys {
+            return Err(LayoutError::ShapeMismatch {
+                what: "unpack",
+                expected: phys.dims().to_vec(),
+                got: physical.shape().dims().to_vec(),
+            });
+        }
         let mut out = NdBuf::zeros(self.logical.clone());
         for lidx in self.logical.clone().iter_indices() {
-            let pidx = self.logical_to_physical(&lidx);
+            let pidx = self.logical_to_physical(&lidx)?;
             out.set(&lidx, physical.get(&pidx));
         }
-        out
+        Ok(out)
     }
 }
 
@@ -757,8 +849,14 @@ mod tests {
             })
             .unwrap();
         assert_eq!(l.physical_shape().dims(), &[1, 56, 56, 64]);
-        assert_eq!(l.logical_to_physical(&[0, 5, 6, 7]), vec![0, 6, 7, 5]);
-        assert_eq!(l.physical_to_logical(&[0, 6, 7, 5]), Some(vec![0, 5, 6, 7]));
+        assert_eq!(
+            l.logical_to_physical(&[0, 5, 6, 7]).unwrap(),
+            vec![0, 6, 7, 5]
+        );
+        assert_eq!(
+            l.physical_to_logical(&[0, 6, 7, 5]).unwrap(),
+            Some(vec![0, 5, 6, 7])
+        );
     }
 
     #[test]
@@ -776,7 +874,10 @@ mod tests {
             .unwrap();
         assert_eq!(l.physical_shape().dims(), &[1, 4, 8, 8, 16]);
         // o = 37 -> (2, 5): phys [n, 2, h, w, 5].
-        assert_eq!(l.logical_to_physical(&[0, 37, 3, 4]), vec![0, 2, 3, 4, 5]);
+        assert_eq!(
+            l.logical_to_physical(&[0, 37, 3, 4]).unwrap(),
+            vec![0, 2, 3, 4, 5]
+        );
     }
 
     #[test]
@@ -802,7 +903,7 @@ mod tests {
         for &(n, hh, ww, oo) in &[(0i64, 0i64, 0i64, 0i64), (1, 3, 2, 5), (1, 5, 4, 7)] {
             let e = hh * (w * o) + ww * o + oo;
             let expect = vec![n, e / (h * w) / 4, e % (h * w), (e / (h * w)) % 4];
-            assert_eq!(l.logical_to_physical(&[n, hh, ww, oo]), expect);
+            assert_eq!(l.logical_to_physical(&[n, hh, ww, oo]).unwrap(), expect);
         }
     }
 
@@ -818,9 +919,9 @@ mod tests {
             .unwrap();
         assert_eq!(l.physical_shape().dims(), &[2, 3]);
         let data = NdBuf::from_vec(Shape::new([5]), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
-        let packed = l.pack(&data);
+        let packed = l.pack(&data).unwrap();
         assert_eq!(packed.data(), &[1.0, 2.0, 3.0, 3.0, 4.0, 5.0]);
-        let unpacked = l.unpack(&packed);
+        let unpacked = l.unpack(&packed).unwrap();
         assert_eq!(unpacked.data(), data.data());
     }
 
@@ -837,9 +938,9 @@ mod tests {
             .unwrap();
         assert_eq!(l.physical_shape().dims(), &[2, 3]);
         let data = NdBuf::from_vec(Shape::new([5]), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
-        let packed = l.pack(&data);
+        let packed = l.pack(&data).unwrap();
         assert_eq!(packed.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 0.0]);
-        assert_eq!(l.physical_to_logical(&[1, 2]), None);
+        assert_eq!(l.physical_to_logical(&[1, 2]).unwrap(), None);
     }
 
     #[test]
@@ -852,10 +953,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(l.physical_shape().dims(), &[7]);
-        assert_eq!(l.logical_to_physical(&[0]), vec![1]);
-        assert_eq!(l.physical_to_logical(&[0]), None);
-        assert_eq!(l.physical_to_logical(&[5]), None);
-        assert_eq!(l.physical_to_logical(&[2]), Some(vec![1]));
+        assert_eq!(l.logical_to_physical(&[0]).unwrap(), vec![1]);
+        assert_eq!(l.physical_to_logical(&[0]).unwrap(), None);
+        assert_eq!(l.physical_to_logical(&[5]).unwrap(), None);
+        assert_eq!(l.physical_to_logical(&[2]).unwrap(), Some(vec![1]));
     }
 
     #[test]
@@ -877,8 +978,8 @@ mod tests {
             })
             .unwrap();
         let logical = NdBuf::from_fn(Shape::new([2, 8, 6, 6]), |i| i as f32);
-        let packed = l.pack(&logical);
-        let unpacked = l.unpack(&packed);
+        let packed = l.pack(&logical).unwrap();
+        let unpacked = l.unpack(&packed).unwrap();
         assert_eq!(unpacked.data(), logical.data());
     }
 
@@ -899,7 +1000,7 @@ mod tests {
             })
             .unwrap();
         let access = Expr::v(&h).add(&Expr::v(&rh));
-        let out = l.rewrite_access(&[access], &extents);
+        let out = l.rewrite_access(&[access], &extents).unwrap();
         assert_eq!(out.len(), 2);
         // Evaluate: for h in 0..8 (output positions), rh in 0..3, the
         // physical element must hold logical h + rh.
@@ -925,8 +1026,8 @@ mod tests {
             .with(LayoutPrim::StoreAtHost { dim: 0 })
             .unwrap();
         assert_eq!(l.physical_shape().dims(), &[4, 4]);
-        assert_eq!(l.physical_to_logical(&[3, 0]), None);
-        assert_eq!(l.logical_to_physical(&[2, 1]), vec![2, 1]);
+        assert_eq!(l.physical_to_logical(&[3, 0]).unwrap(), None);
+        assert_eq!(l.logical_to_physical(&[2, 1]).unwrap(), vec![2, 1]);
     }
 
     #[test]

@@ -236,9 +236,14 @@ impl LayoutPlan {
                 if self.layouts.contains_key(&t) {
                     continue;
                 }
-                let replicated = self
+                // Shape equality was checked above, so replication cannot
+                // fail here; skip the tensor defensively if it ever does.
+                let Ok(replicated) = self
                     .layout_of(g, s)
-                    .replicate_for(g.tensor(t).shape.clone());
+                    .replicate_for(g.tensor(t).shape.clone())
+                else {
+                    continue;
+                };
                 self.layouts.insert(t, replicated);
                 applied.push(t);
                 queue.push(t);

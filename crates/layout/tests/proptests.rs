@@ -102,8 +102,8 @@ proptest! {
     fn pack_unpack_roundtrip(shape in arb_shape(), seed in any::<u64>(), n in 0usize..4) {
         let layout = random_layout(shape.clone(), seed, n);
         let logical = NdBuf::from_fn(shape, |i| (i % 251) as f32 + 1.0);
-        let packed = layout.pack(&logical);
-        let unpacked = layout.unpack(&packed);
+        let packed = layout.pack(&logical).unwrap();
+        let unpacked = layout.unpack(&packed).unwrap();
         prop_assert_eq!(unpacked.data(), logical.data());
     }
 
@@ -114,11 +114,11 @@ proptest! {
         let layout = random_layout(shape.clone(), seed, n);
         let phys = layout.physical_shape();
         for idx in shape.iter_indices().step_by(7) {
-            let p = layout.logical_to_physical(&idx);
+            let p = layout.logical_to_physical(&idx).unwrap();
             for (pi, pd) in p.iter().zip(phys.dims()) {
                 prop_assert!(*pi >= 0 && pi < pd, "physical index out of bounds");
             }
-            let back = layout.physical_to_logical(&p);
+            let back = layout.physical_to_logical(&p).unwrap();
             prop_assert_eq!(back, Some(idx));
         }
     }
@@ -141,7 +141,7 @@ proptest! {
         prop_assume!(phys.numel() <= 4096);
         let mut covered = vec![false; shape.numel() as usize];
         for pidx in phys.iter_indices() {
-            if let Some(lidx) = layout.physical_to_logical(&pidx) {
+            if let Some(lidx) = layout.physical_to_logical(&pidx).unwrap() {
                 covered[shape.flatten(&lidx) as usize] = true;
             }
         }

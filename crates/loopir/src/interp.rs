@@ -119,7 +119,10 @@ pub fn run_program(
                 let logical = bindings
                     .get(&t)
                     .unwrap_or_else(|| panic!("missing binding for `{}`", info.name));
-                bufs[k] = plan.layout_of(graph, t).pack(logical);
+                bufs[k] = plan
+                    .layout_of(graph, t)
+                    .pack(logical)
+                    .expect("binding shape matches tensor");
             }
         }
     }
@@ -138,7 +141,9 @@ pub fn run_program(
         for gidx in gbuf.shape().clone().iter_indices() {
             let mut lidx = gidx.clone();
             lidx.insert(host_dim, host_size);
-            let pidx = host_layout.logical_to_physical(&lidx);
+            let pidx = host_layout
+                .logical_to_physical(&lidx)
+                .expect("host slot index is concrete");
             let v = gbuf.get(&gidx);
             bufs[host_buf_idx].set(&pidx, v);
         }
@@ -163,14 +168,16 @@ pub fn run_program(
                 for gidx in gshape.iter_indices() {
                     let mut lidx = gidx.clone();
                     lidx.insert(host_dim, host_size);
-                    let pidx = host_layout.logical_to_physical(&lidx);
+                    let pidx = host_layout
+                        .logical_to_physical(&lidx)
+                        .expect("host slot index is concrete");
                     g.set(&gidx, bufs[host_buf].get(&pidx));
                 }
                 out.insert(t, g);
                 continue;
             }
             let layout = plan.layout_of(graph, t);
-            out.insert(t, layout.unpack(&bufs[k]));
+            out.insert(t, layout.unpack(&bufs[k]).expect("lowered shapes agree"));
         }
     }
     out

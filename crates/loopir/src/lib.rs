@@ -15,7 +15,7 @@ pub mod schedule;
 pub mod tir;
 
 pub use interp::run_program;
-pub use lower::{lower, lower_filtered};
+pub use lower::{lower, lower_filtered, try_lower, try_lower_filtered};
 pub use schedule::{AxisTiling, GraphSchedule, OpSchedule};
 pub use tir::{
     BufId, BufKind, BufferDecl, LoopKind, LoweredGroup, Program, SExpr, Stmt, StoreMode, TirNode,

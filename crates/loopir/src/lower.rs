@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use alt_error::AltError;
 use alt_layout::{LayoutPlan, VarExtents};
 use alt_tensor::expr::{Expr, Var, VarGen};
 use alt_tensor::op::{Cond, ReduceKind, ScalarBinOp, ScalarExpr};
@@ -112,8 +113,8 @@ fn convert_body(
     converted: &HashMap<(TensorId, OpId), BufId>,
     subst: &HashMap<u32, Expr>,
     extents: &VarExtents,
-) -> SExpr {
-    match expr {
+) -> Result<SExpr, AltError> {
+    Ok(match expr {
         ScalarExpr::Imm(v) => SExpr::Imm(*v),
         ScalarExpr::Load { input, indices } => {
             let t = node.inputs[*input];
@@ -124,14 +125,14 @@ fn convert_body(
                 let host_size = graph.tensor(host).shape.dim(host_dim);
                 logical.insert(host_dim, Expr::c(host_size));
                 let layout = plan.layout_of(graph, host);
-                let phys = layout.rewrite_access(&logical, extents);
-                return SExpr::Load {
+                let phys = layout.rewrite_access(&logical, extents)?;
+                return Ok(SExpr::Load {
                     buf: bufs[&host],
                     indices: phys,
-                };
+                });
             }
             let layout = plan.layout_for_read(graph, t, node.id);
-            let phys = layout.rewrite_access(&logical, extents);
+            let phys = layout.rewrite_access(&logical, extents)?;
             let buf = converted
                 .get(&(t, node.id))
                 .copied()
@@ -142,27 +143,27 @@ fn convert_body(
             *op,
             Box::new(convert_body(
                 a, node, graph, plan, bufs, converted, subst, extents,
-            )),
+            )?),
             Box::new(convert_body(
                 b, node, graph, plan, bufs, converted, subst, extents,
-            )),
+            )?),
         ),
         ScalarExpr::Unary(op, a) => SExpr::Unary(
             *op,
             Box::new(convert_body(
                 a, node, graph, plan, bufs, converted, subst, extents,
-            )),
+            )?),
         ),
         ScalarExpr::Select { cond, then_, else_ } => SExpr::Select {
             cond: cond.subst(subst),
             then_: Box::new(convert_body(
                 then_, node, graph, plan, bufs, converted, subst, extents,
-            )),
+            )?),
             else_: Box::new(convert_body(
                 else_, node, graph, plan, bufs, converted, subst, extents,
-            )),
+            )?),
         },
-    }
+    })
 }
 
 /// The lowering context.
@@ -177,20 +178,49 @@ struct Lowerer<'g> {
 }
 
 /// Lowers a scheduled, layout-annotated graph into a program.
+///
+/// Panics on invalid layout/schedule combinations; tuning paths that must
+/// survive bad candidates use [`try_lower`] instead.
 pub fn lower(graph: &Graph, plan: &LayoutPlan, sched: &GraphSchedule) -> Program {
-    lower_filtered(graph, plan, sched, None)
+    try_lower(graph, plan, sched).expect("lowering failed")
+}
+
+/// Fallible [`lower`]: an invalid candidate yields an [`AltError`] instead
+/// of aborting the process.
+pub fn try_lower(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    sched: &GraphSchedule,
+) -> Result<Program, AltError> {
+    try_lower_filtered(graph, plan, sched, None)
 }
 
 /// Lowers only the fusion groups rooted at the given operators (all groups
 /// when `roots` is `None`). Tuners use this to measure a single operator's
 /// group — including its layout-conversion groups — without paying for the
 /// rest of the network.
+///
+/// Panics on invalid layout/schedule combinations; tuning paths use
+/// [`try_lower_filtered`].
 pub fn lower_filtered(
     graph: &Graph,
     plan: &LayoutPlan,
     sched: &GraphSchedule,
     roots: Option<&std::collections::HashSet<OpId>>,
 ) -> Program {
+    try_lower_filtered(graph, plan, sched, roots).expect("lowering failed")
+}
+
+/// Fallible [`lower_filtered`]: layout rewrite failures (rank mismatches,
+/// non-invertible access maps) surface as [`AltError::Layout`] and invalid
+/// loop structures as [`AltError::Lower`], so the tuner can treat a bad
+/// candidate as a recoverable measurement failure.
+pub fn try_lower_filtered(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    sched: &GraphSchedule,
+    roots: Option<&std::collections::HashSet<OpId>>,
+) -> Result<Program, AltError> {
     let mut l = Lowerer {
         graph,
         plan,
@@ -208,13 +238,13 @@ pub fn lower_filtered(
                 continue;
             }
         }
-        l.emit_conversions_for(root);
+        l.emit_conversions_for(root)?;
         for &f in &fused {
-            l.emit_conversions_for(f);
+            l.emit_conversions_for(f)?;
         }
-        l.lower_group(root, fused);
+        l.lower_group(root, fused)?;
     }
-    l.program
+    Ok(l.program)
 }
 
 impl<'g> Lowerer<'g> {
@@ -279,7 +309,7 @@ impl<'g> Lowerer<'g> {
     }
 
     /// Emits the runtime layout-conversion groups feeding `op`.
-    fn emit_conversions_for(&mut self, op: OpId) {
+    fn emit_conversions_for(&mut self, op: OpId) -> Result<(), AltError> {
         let node = self.graph.node(op);
         for &t in &node.inputs.clone() {
             let Some(conv) = self.plan.conversion_for(t, op) else {
@@ -304,8 +334,8 @@ impl<'g> Lowerer<'g> {
                 .map(|k| self.vargen.fresh(&format!("cv{k}")))
                 .collect();
             let var_exprs: Vec<Expr> = vars.iter().map(Expr::v).collect();
-            let (logical, conds) = new_layout.inverse_access(&var_exprs);
-            let src_phys = src_layout.rewrite_access(&logical, &VarExtents::new());
+            let (logical, conds) = new_layout.inverse_access(&var_exprs)?;
+            let src_phys = src_layout.rewrite_access(&logical, &VarExtents::new())?;
             let stmt = Stmt {
                 buf,
                 indices: var_exprs.clone(),
@@ -342,9 +372,10 @@ impl<'g> Lowerer<'g> {
                 label: format!("convert({})", self.graph.tensor(t).name),
             });
         }
+        Ok(())
     }
 
-    fn lower_group(&mut self, root: OpId, fused: Vec<OpId>) {
+    fn lower_group(&mut self, root: OpId, fused: Vec<OpId>) -> Result<(), AltError> {
         let node = self.graph.node(root).clone();
         let out_layout = self.plan.layout_of(self.graph, node.output);
         let phys = out_layout.physical_shape();
@@ -411,7 +442,7 @@ impl<'g> Lowerer<'g> {
 
         // Physical index expressions and the logical reconstruction.
         let phys_exprs: Vec<Expr> = spatial.iter().map(TiledAxis::index_expr).collect();
-        let (logical_exprs, conds) = out_layout.inverse_access(&phys_exprs);
+        let (logical_exprs, conds) = out_layout.inverse_access(&phys_exprs)?;
         let pred = conj(&conds);
 
         // Substitution: compute axis vars -> logical index exprs.
@@ -429,7 +460,7 @@ impl<'g> Lowerer<'g> {
             &self.converted,
             &subst,
             &extents,
-        );
+        )?;
 
         let mut tile_body: Vec<TirNode> = Vec::new();
         let is_reduce = node.compute.reduce != ReduceKind::None;
@@ -590,7 +621,7 @@ impl<'g> Lowerer<'g> {
                     &self.converted,
                     &fsubst,
                     &extents,
-                );
+                )?;
                 stmts.push(TirNode::Stmt(Stmt {
                     buf: fbuf,
                     indices: phys_exprs.clone(),
@@ -622,6 +653,7 @@ impl<'g> Lowerer<'g> {
             nodes,
             label,
         });
+        Ok(())
     }
 }
 

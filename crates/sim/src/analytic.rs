@@ -221,6 +221,29 @@ impl Simulator {
         self.profile_counters(program).latency_s
     }
 
+    /// Fallible [`Simulator::measure`]: rejects degenerate programs that
+    /// produce a non-finite or non-positive latency (e.g. an empty lowered
+    /// group set), so the tuner can treat them as recoverable failures.
+    pub fn try_measure(&self, program: &Program) -> Result<f64, alt_error::AltError> {
+        Ok(self.try_profile_counters(program)?.latency_s)
+    }
+
+    /// Fallible [`Simulator::profile_counters`] with the same latency
+    /// validity check as [`Simulator::try_measure`].
+    pub fn try_profile_counters(&self, program: &Program) -> Result<Counters, alt_error::AltError> {
+        let c = self.profile_counters(program);
+        if !c.latency_s.is_finite() || c.latency_s <= 0.0 {
+            return Err(alt_error::AltError::Sim {
+                detail: format!(
+                    "simulated latency {} is not a positive finite value ({} groups)",
+                    c.latency_s,
+                    program.groups.len()
+                ),
+            });
+        }
+        Ok(c)
+    }
+
     /// Per-group latency breakdown (used by the layout-propagation
     /// overhead study, Fig. 12).
     pub fn group_latencies(&self, program: &Program) -> Vec<(String, f64)> {

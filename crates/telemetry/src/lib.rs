@@ -30,8 +30,8 @@ pub mod stats;
 
 pub use counters::{CounterRegistry, HistogramSummary};
 pub use record::{
-    CostModelRecord, CounterRecord, EventRecord, MeasurementRecord, PpoUpdateRecord, Record,
-    RunSummaryRecord, SimCounters, SpanRecord, Stage,
+    CostModelRecord, CounterRecord, EventRecord, MeasurementFailureRecord, MeasurementRecord,
+    PpoUpdateRecord, Record, RunSummaryRecord, SimCounters, SpanRecord, Stage,
 };
 pub use report::{fmt_latency, read_jsonl, render_report};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, Telemetry};

@@ -146,6 +146,36 @@ pub struct CounterRecord {
     pub value: f64,
 }
 
+/// A failed measurement: one consumed budget unit that produced no
+/// usable latency (injected fault, invalid candidate, timeout).
+///
+/// Preserves the one-record-per-budget-unit invariant: every unit emits
+/// either a [`MeasurementRecord`] or a [`MeasurementFailureRecord`] with
+/// the same `seq` numbering.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementFailureRecord {
+    /// Budget unit index, 1-based, shared with [`MeasurementRecord::seq`].
+    pub seq: u64,
+    /// Operator tag being tuned when the failure occurred.
+    pub op: String,
+    /// Tuning stage that spent this unit.
+    pub stage: Stage,
+    /// Tuning round within the stage.
+    pub round: u64,
+    /// Compact candidate-point summary.
+    pub candidate: String,
+    /// Failure class (`AltError::kind`): `injected_compile`, `timeout`,
+    /// `layout`, `lower`, `sim`.
+    pub kind: String,
+    /// Human-readable error description.
+    pub error: String,
+    /// Retry attempt number for this candidate (1 = first attempt).
+    pub attempt: u64,
+    /// Virtual exponential backoff the tuner charged before the next
+    /// attempt (microseconds; 0 when the candidate was abandoned).
+    pub backoff_us: u64,
+}
+
 /// End-of-run summary written by the compiler.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunSummaryRecord {
@@ -165,6 +195,7 @@ pub struct RunSummaryRecord {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Record {
     Measurement(MeasurementRecord),
+    MeasurementFailure(MeasurementFailureRecord),
     PpoUpdate(PpoUpdateRecord),
     CostModel(CostModelRecord),
     Span(SpanRecord),
@@ -178,6 +209,7 @@ impl Record {
     pub fn type_tag(&self) -> &'static str {
         match self {
             Record::Measurement(_) => "measurement",
+            Record::MeasurementFailure(_) => "measurement_failure",
             Record::PpoUpdate(_) => "ppo_update",
             Record::CostModel(_) => "cost_model",
             Record::Span(_) => "span",
@@ -192,6 +224,7 @@ impl Serialize for Record {
     fn to_value(&self) -> serde::Value {
         let inner = match self {
             Record::Measurement(r) => r.to_value(),
+            Record::MeasurementFailure(r) => r.to_value(),
             Record::PpoUpdate(r) => r.to_value(),
             Record::CostModel(r) => r.to_value(),
             Record::Span(r) => r.to_value(),
@@ -218,6 +251,9 @@ impl Deserialize for Record {
             .ok_or_else(|| serde::Error("record has no `type` tag".to_string()))?;
         Ok(match tag {
             "measurement" => Record::Measurement(MeasurementRecord::from_value(v)?),
+            "measurement_failure" => {
+                Record::MeasurementFailure(MeasurementFailureRecord::from_value(v)?)
+            }
             "ppo_update" => Record::PpoUpdate(PpoUpdateRecord::from_value(v)?),
             "cost_model" => Record::CostModel(CostModelRecord::from_value(v)?),
             "span" => Record::Span(SpanRecord::from_value(v)?),
@@ -269,6 +305,17 @@ mod tests {
                 policy_loss: -0.05,
                 value_loss: 0.3,
                 entropy: 0.9,
+            }),
+            Record::MeasurementFailure(MeasurementFailureRecord {
+                seq: 8,
+                op: "conv2d#0".into(),
+                stage: Stage::Loop,
+                round: 3,
+                candidate: "[2,1]".into(),
+                kind: "injected_compile".into(),
+                error: "injected compile failure for candidate [2,1]".into(),
+                attempt: 2,
+                backoff_us: 2000,
             }),
             Record::CostModel(CostModelRecord {
                 op: "conv2d#0".into(),

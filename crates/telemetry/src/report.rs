@@ -2,8 +2,10 @@
 //!
 //! Reads a JSONL trace back into [`Record`]s and renders a plain-text
 //! report: the best-so-far latency curve per op (the data behind the
-//! paper's Fig. 11 curves), budget spent per stage, cost-model ranking
-//! accuracy per round, and the top simulator counters.
+//! paper's Fig. 11 curves), budget spent per stage, fault-tolerance
+//! activity (failed measurements by kind, retries, quarantined
+//! candidates), cost-model ranking accuracy per round, and the top
+//! simulator counters.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader};
@@ -56,6 +58,7 @@ pub fn render_report(records: &[Record]) -> String {
     render_summary(records, &mut out);
     render_latency_curves(records, &mut out);
     render_budget(records, &mut out);
+    render_faults(records, &mut out);
     render_cost_model(records, &mut out);
     render_counters(records, &mut out);
     out
@@ -146,6 +149,58 @@ fn render_budget(records: &[Record], out: &mut String) {
     }
     for ((op, stage), n) in &per_op_stage {
         out.push_str(&format!("    {op} [{stage}]: {n}\n"));
+    }
+    out.push('\n');
+}
+
+/// Fault-tolerance activity: failed measurements broken down by error
+/// kind, plus the tuner's retry/quarantine counters. Silent when the run
+/// was fault-free.
+fn render_faults(records: &[Record], out: &mut String) {
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut max_attempt = 0u64;
+    for r in records {
+        if let Record::MeasurementFailure(f) = r {
+            *by_kind.entry(&f.kind).or_insert(0) += 1;
+            max_attempt = max_attempt.max(f.attempt);
+        }
+    }
+    let tuner_counters: Vec<(&str, f64)> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Counter(c) if c.scope == "tuner" => Some((c.name.as_str(), c.value)),
+            _ => None,
+        })
+        .collect();
+    if by_kind.is_empty() && tuner_counters.is_empty() {
+        return;
+    }
+    let failed: u64 = by_kind.values().sum();
+    out.push_str(
+        "--- fault tolerance ---
+",
+    );
+    out.push_str(&format!(
+        "failed measurements: {failed} (each consumed one budget unit)
+"
+    ));
+    for (kind, n) in &by_kind {
+        out.push_str(&format!(
+            "    {kind}: {n}
+"
+        ));
+    }
+    if max_attempt > 1 {
+        out.push_str(&format!(
+            "deepest retry chain: {max_attempt} attempts
+"
+        ));
+    }
+    for (name, value) in &tuner_counters {
+        out.push_str(&format!(
+            "{name}: {value:.0}
+"
+        ));
     }
     out.push('\n');
 }
@@ -296,6 +351,22 @@ mod tests {
                 name: "l1.accesses".to_string(),
                 value: 1234.0,
             }),
+            Record::MeasurementFailure(MeasurementFailureRecord {
+                seq: 4,
+                op: "conv2d#0".to_string(),
+                stage: Stage::Loop,
+                round: 2,
+                candidate: "[1]".to_string(),
+                kind: "injected_compile".to_string(),
+                error: "injected compile failure".to_string(),
+                attempt: 2,
+                backoff_us: 100,
+            }),
+            Record::Counter(CounterRecord {
+                scope: "tuner".to_string(),
+                name: "retries".to_string(),
+                value: 1.0,
+            }),
             Record::RunSummary(RunSummaryRecord {
                 joint_budget: 2,
                 loop_budget: 1,
@@ -315,6 +386,20 @@ mod tests {
         assert!(report.contains("prefetch issued"), "{report}");
         assert!(report.contains("SIMD lane utilization 50.0%"), "{report}");
         assert!(report.contains("consumed 3"), "{report}");
+        assert!(report.contains("fault tolerance"), "{report}");
+        assert!(report.contains("injected_compile: 1"), "{report}");
+        assert!(
+            report.contains("deepest retry chain: 2 attempts"),
+            "{report}"
+        );
+        assert!(report.contains("retries: 1"), "{report}");
+    }
+
+    #[test]
+    fn fault_free_trace_has_no_fault_section() {
+        let records = vec![measurement(1, "conv2d#0", Stage::Joint, 1e-3, 1e-3)];
+        let report = render_report(&records);
+        assert!(!report.contains("fault tolerance"), "{report}");
     }
 
     #[test]
