@@ -1,0 +1,218 @@
+//! Bench regression gate.
+//!
+//! Compares the newest entry of every `BENCH_<name>.json` trajectory in a
+//! candidate directory against the newest entry in a baseline directory
+//! and fails (exit 1) when the gated metrics regress by more than the
+//! tolerance in geometric mean.
+//!
+//! Metric direction is by naming convention (see
+//! `alt_bench::BenchReport::note_metric`): names containing `latency`
+//! are lower-is-better, names containing `speedup` are higher-is-better,
+//! and anything else is reported but never gated. Entries recorded at a
+//! different `budget_scale` than the baseline are skipped with a warning
+//! — comparing runs with different budgets would gate noise, not code.
+//!
+//! ```text
+//! bench_check --baseline results/bench_baseline --candidate bench_traj
+//! bench_check --candidate bench_traj --tolerance 0.10 --report-only
+//! ```
+
+use alt_bench::geomean;
+use serde_json::Value;
+
+struct Args {
+    baseline: String,
+    candidate: String,
+    tolerance: f64,
+    report_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "results/bench_baseline".into(),
+        candidate: "bench_traj".into(),
+        tolerance: 0.05,
+        report_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--candidate" => args.candidate = value("--candidate")?,
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--report-only" => args.report_only = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_check [--baseline DIR] [--candidate DIR]\n\
+                     \x20                  [--tolerance FRAC] [--report-only]\n\
+                     \n\
+                     Compares the newest BENCH_<name>.json trajectory entries in\n\
+                     --candidate (default bench_traj) against --baseline (default\n\
+                     results/bench_baseline); exits 1 when lower-is-better metrics\n\
+                     regress by more than FRAC (default 0.05) in geometric mean.\n\
+                     --report-only prints the comparison but always exits 0."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// The newest trajectory entry of one `BENCH_<name>.json`, flattened to
+/// (budget_scale, metric name -> value).
+fn latest_entry(doc: &Value) -> Option<(f64, Vec<(String, f64)>)> {
+    let entry = doc.get("entries")?.as_array()?.last()?;
+    let scale = entry.get("budget_scale")?.as_f64()?;
+    let metrics = entry
+        .get("metrics")?
+        .as_object()?
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+        .collect();
+    Some((scale, metrics))
+}
+
+/// Regression ratio for one metric: > 1 means the candidate is worse.
+/// `None` for ungated (informational) metrics.
+fn regression_ratio(name: &str, baseline: f64, candidate: f64) -> Option<f64> {
+    if !(baseline > 0.0 && candidate > 0.0) {
+        return None;
+    }
+    if name.contains("latency") {
+        Some(candidate / baseline)
+    } else if name.contains("speedup") {
+        Some(baseline / candidate)
+    } else {
+        None
+    }
+}
+
+fn load(path: &std::path::Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e:?}", path.display()))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline_dir = std::path::Path::new(&args.baseline);
+    let candidate_dir = std::path::Path::new(&args.candidate);
+    let mut names: Vec<String> = match std::fs::read_dir(candidate_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: --candidate {}: {e}", candidate_dir.display());
+            std::process::exit(2);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "error: no BENCH_*.json trajectories in {}",
+            candidate_dir.display()
+        );
+        std::process::exit(2);
+    }
+
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut per_bench: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut compared = 0usize;
+    for name in &names {
+        let cand_path = candidate_dir.join(name);
+        let base_path = baseline_dir.join(name);
+        if !base_path.exists() {
+            println!("{name}: no baseline (new bench, skipped)");
+            continue;
+        }
+        let (cand, base) = match (load(&cand_path), load(&base_path)) {
+            (Ok(c), Ok(b)) => (c, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let (Some((cs, cm)), Some((bs, bm))) = (latest_entry(&cand), latest_entry(&base)) else {
+            eprintln!("error: {name}: trajectory has no complete entries");
+            std::process::exit(2);
+        };
+        if cs != bs {
+            println!(
+                "{name}: budget_scale differs (baseline {bs}, candidate {cs}); skipped — \
+                 re-run at the baseline's scale to gate"
+            );
+            continue;
+        }
+        println!("{name} (budget_scale {cs}):");
+        let mut bench_ratios: Vec<f64> = Vec::new();
+        for (metric, cv) in &cm {
+            let Some(bv) = bm.iter().find(|(k, _)| k == metric).map(|(_, v)| *v) else {
+                println!("    {metric}: {cv:.4e} (no baseline value)");
+                continue;
+            };
+            match regression_ratio(metric, bv, *cv) {
+                Some(r) => {
+                    ratios.push(r);
+                    bench_ratios.push(r);
+                    compared += 1;
+                    let verdict = if r > 1.0 + args.tolerance {
+                        "REGRESSED"
+                    } else if r < 1.0 - args.tolerance {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    println!("    {metric}: {bv:.4e} -> {cv:.4e}  (x{r:.3} {verdict})",);
+                }
+                None => println!("    {metric}: {bv:.4e} -> {cv:.4e}  (informational)"),
+            }
+        }
+        if !bench_ratios.is_empty() {
+            per_bench.push((name.clone(), bench_ratios));
+        }
+    }
+
+    if compared == 0 {
+        println!("no gated metrics compared; nothing to fail on");
+        return;
+    }
+    // Gate each bench's geomean as well as the overall one, so a real
+    // regression in one bench cannot hide behind many flat metrics
+    // elsewhere.
+    let mut regressed = false;
+    for (name, rs) in &per_bench {
+        let g = geomean(rs);
+        if g > 1.0 + args.tolerance {
+            println!("{name}: geomean regression x{g:.4} exceeds tolerance");
+            regressed = true;
+        }
+    }
+    let gm = geomean(&ratios);
+    regressed |= gm > 1.0 + args.tolerance;
+    println!(
+        "geomean regression ratio over {compared} metric(s): x{gm:.4} \
+         (tolerance {:.0}%) -> {}",
+        args.tolerance * 100.0,
+        if regressed { "FAIL" } else { "PASS" }
+    );
+    if regressed && !args.report_only {
+        std::process::exit(1);
+    }
+    if regressed {
+        println!("(--report-only: not failing)");
+    }
+}

@@ -71,6 +71,7 @@ fn main() {
         println!("\n## {} ", profile.name);
         // per op family -> list of per-case latencies by system.
         let mut by_op: HashMap<&str, Vec<HashMap<String, f64>>> = HashMap::new();
+        let mut alt_lats: Vec<f64> = Vec::new();
         for case in &cases {
             let g = &case.graph;
             let mut lats: HashMap<String, f64> = HashMap::new();
@@ -90,6 +91,7 @@ fn main() {
             lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
             let alt = alt_tune(g, profile, budget, 1);
             report.note_run(alt.measurements, alt.latency);
+            alt_lats.push(alt.latency);
             lats.insert("ALT".into(), alt.latency);
             if report_ot {
                 if let Some(ot) = observed_ot(g, &alt) {
@@ -123,10 +125,15 @@ fn main() {
                 alt_vs_ansor.push(norm["ALT"] / norm["Ansor"]);
             }
         }
+        let vs_ansor = alt_bench::geomean(&alt_vs_ansor);
         println!(
-            "ALT vs Ansor geomean speedup on {}: {:.2}x (paper: 1.4-1.6x)",
-            profile.name,
-            alt_bench::geomean(&alt_vs_ansor)
+            "ALT vs Ansor geomean speedup on {}: {vs_ansor:.2}x (paper: 1.4-1.6x)",
+            profile.name
+        );
+        report.note_metric(format!("{}/alt_vs_ansor_speedup", profile.name), vs_ansor);
+        report.note_metric(
+            format!("{}/alt_geomean_latency_s", profile.name),
+            alt_bench::geomean(&alt_lats),
         );
     }
 

@@ -25,7 +25,12 @@ use alt_tensor::Graph;
 
 const SYSTEMS: [&str; 6] = ["VendorC", "AutoTVM", "Ansor", "ALT", "ALT-OL", "ALT-WP"];
 
-fn alt_full_e2e(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) -> f64 {
+fn alt_full_e2e(
+    graph: &Graph,
+    profile: MachineProfile,
+    budget: u64,
+    seed: u64,
+) -> alt_autotune::tuner::TuneResult {
     // Paper split: 8000/12000 of 20000 => 40%/60%.
     let joint = (budget as f64 * 0.4) as u64;
     let cfg = TuneConfig {
@@ -36,7 +41,7 @@ fn alt_full_e2e(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) 
         seed,
         ..TuneConfig::default()
     };
-    tune_graph(graph, profile, cfg).latency
+    tune_graph(graph, profile, cfg)
 }
 
 fn workloads(profile: &MachineProfile) -> Vec<(String, Graph)> {
@@ -85,6 +90,9 @@ fn main() {
     let budget = scaled(600);
     println!("Fig. 10 reproduction: end-to-end inference (budget {budget}/network)");
     let mut report = BenchReport::new("fig10");
+    // Winning-schedule cost attribution of the first network per
+    // platform, embedded in the JSON envelope.
+    let mut profiles = serde_json::Map::default();
     for profile in alt_bench::platforms() {
         let vendor_name = match (profile.kind, profile.name) {
             (MachineKind::Cpu, "intel-cpu") => "OpenVINO-like",
@@ -109,7 +117,18 @@ fn main() {
                 autotvm_like(&g, profile, budget, 1).latency,
             );
             lats.insert("Ansor".into(), ansor_like(&g, profile, budget, 1).latency);
-            lats.insert("ALT".into(), alt_full_e2e(&g, profile, budget, 1));
+            let alt = alt_full_e2e(&g, profile, budget, 1);
+            report.note_run(alt.measurements, alt.latency);
+            if per_case.is_empty() {
+                let program = alt_loopir::lower(&g, &alt.plan, &alt.sched);
+                let breakdown = alt_sim::Simulator::new(profile).profile_program(&program);
+                let prof = alt_profiler::Profile::new(breakdown, &profile);
+                profiles.insert(
+                    format!("{}/{name}", profile.name),
+                    alt_profiler::summary_json(&prof),
+                );
+            }
+            lats.insert("ALT".into(), alt.latency);
             lats.insert("ALT-OL".into(), alt_ol(&g, profile, budget, 1).latency);
             let joint = (budget as f64 * 0.4) as u64;
             lats.insert(
@@ -153,6 +172,16 @@ fn main() {
             speedup("ALT", "ALT-OL"),
             speedup("ALT", "ALT-WP"),
         );
+        let alt_lats: Vec<f64> = per_case.iter().map(|c| c["ALT"]).collect();
+        report.note_metric(
+            format!("{}/alt_geomean_latency_s", profile.name),
+            alt_bench::geomean(&alt_lats),
+        );
+        report.note_metric(
+            format!("{}/alt_vs_ansor_speedup", profile.name),
+            speedup("ALT", "Ansor"),
+        );
     }
+    report.set_profile(serde_json::Value::Object(profiles));
     report.write();
 }

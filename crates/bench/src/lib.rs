@@ -125,6 +125,8 @@ pub struct BenchReport {
     name: String,
     started: std::time::Instant,
     rows: Vec<serde_json::Value>,
+    metrics: std::collections::BTreeMap<String, f64>,
+    profile: Option<serde_json::Value>,
     joint_budget: u64,
     loop_budget: u64,
     measurements: u64,
@@ -138,6 +140,8 @@ impl BenchReport {
             name: name.to_string(),
             started: std::time::Instant::now(),
             rows: Vec::new(),
+            metrics: std::collections::BTreeMap::new(),
+            profile: None,
             joint_budget: 0,
             loop_budget: 0,
             measurements: 0,
@@ -153,6 +157,23 @@ impl BenchReport {
     /// The rows collected so far.
     pub fn rows(&self) -> &[serde_json::Value] {
         &self.rows
+    }
+
+    /// Records a named headline metric (e.g.
+    /// `intel-cpu/alt_geomean_latency_s`). Metrics go into the JSON
+    /// envelope and the `BENCH_<name>.json` trajectory the regression
+    /// gate (`scripts/bench_check`) compares across runs. By convention
+    /// metric names containing `latency` are lower-is-better and names
+    /// containing `speedup` are higher-is-better; anything else is
+    /// informational only.
+    pub fn note_metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.insert(name.into(), value);
+    }
+
+    /// Attaches the winning schedule's cost-attribution summary (the
+    /// value of `alt_profiler::summary_json`) to the envelope.
+    pub fn set_profile(&mut self, profile: serde_json::Value) {
+        self.profile = Some(profile);
     }
 
     /// Accumulates the budgets configured for one tuning run.
@@ -186,23 +207,76 @@ impl BenchReport {
     }
 
     /// Writes the enveloped rows if `ALT_BENCH_JSON` points at a
-    /// directory (no-op otherwise, like the text-only default).
+    /// directory, and appends a trajectory entry if `ALT_BENCH_TRAJ`
+    /// points at one (no-op otherwise, like the text-only default).
     pub fn write(self) {
-        let Ok(dir) = std::env::var("ALT_BENCH_JSON") else {
-            return;
-        };
         let summary = serde_json::to_value(&self.run_summary());
-        let envelope = serde_json::json!({
-            "bench": self.name,
-            "budget_scale": budget_scale(),
-            "run_summary": summary,
-            "rows": serde_json::Value::Array(self.rows),
-        });
-        let path = std::path::Path::new(&dir).join(format!("{}.json", self.name));
-        if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&envelope).unwrap()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+        if let Ok(dir) = std::env::var("ALT_BENCH_JSON") {
+            let mut envelope = serde_json::json!({
+                "bench": self.name,
+                "budget_scale": budget_scale(),
+                "run_summary": summary.clone(),
+                "metrics": metrics_json(&self.metrics),
+                "rows": serde_json::Value::Array(self.rows.clone()),
+            });
+            if let (serde_json::Value::Object(o), Some(p)) = (&mut envelope, &self.profile) {
+                o.insert("profile".to_string(), p.clone());
+            }
+            let path = std::path::Path::new(&dir).join(format!("{}.json", self.name));
+            if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&envelope).unwrap())
+            {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        if let Ok(dir) = std::env::var("ALT_BENCH_TRAJ") {
+            if let Err(e) = self.append_trajectory(std::path::Path::new(&dir)) {
+                eprintln!("warning: could not update trajectory in {dir}: {e}");
+            }
         }
     }
+
+    /// Appends `{budget_scale, metrics, run_summary}` to
+    /// `<dir>/BENCH_<name>.json`, the per-bench metric trajectory that
+    /// `scripts/bench_check` gates regressions on.
+    fn append_trajectory(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut entries: Vec<serde_json::Value> = match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{}: {e:?}", path.display()),
+                    )
+                })?;
+                match v.get("entries").and_then(serde_json::Value::as_array) {
+                    Some(a) => a.clone(),
+                    None => Vec::new(),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        entries.push(serde_json::json!({
+            "budget_scale": budget_scale(),
+            "metrics": metrics_json(&self.metrics),
+            "run_summary": serde_json::to_value(&self.run_summary()),
+        }));
+        let doc = serde_json::json!({
+            "bench": self.name,
+            "entries": serde_json::Value::Array(entries),
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).unwrap())
+    }
+}
+
+fn metrics_json(metrics: &std::collections::BTreeMap<String, f64>) -> serde_json::Value {
+    serde_json::Value::Object(
+        metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::to_value(v)))
+            .collect(),
+    )
 }
 
 /// Geometric mean of positive values.
@@ -422,6 +496,27 @@ mod tests {
             a.iter().map(|c| c.config.clone()).collect::<Vec<_>>(),
             b.iter().map(|c| c.config.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn trajectory_appends_entries() {
+        let dir = std::env::temp_dir().join(format!("alt-bench-traj-{}", std::process::id()));
+        for latency in [1.5e-3, 1.2e-3] {
+            let mut r = BenchReport::new("figtest");
+            r.note_metric("intel-cpu/alt_geomean_latency_s", latency);
+            r.append_trajectory(&dir).unwrap();
+        }
+        let text = std::fs::read_to_string(dir.join("BENCH_figtest.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let entries = doc.get("entries").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(entries.len(), 2);
+        let last = entries[1]
+            .get("metrics")
+            .and_then(|m| m.get("intel-cpu/alt_geomean_latency_s"))
+            .and_then(serde_json::Value::as_f64)
+            .unwrap();
+        assert_eq!(last, 1.2e-3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

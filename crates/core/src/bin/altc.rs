@@ -12,6 +12,7 @@
 //! altc --model r18 --checkpoint ck.json --checkpoint-every 50
 //! altc --model r18 --resume ck.json
 //! altc report r18.trace.jsonl
+//! altc profile --model r18 --budget 64 --perfetto r18.perfetto.json
 //! ```
 
 use alt_core::{CompileOptions, Compiler, JsonlSink};
@@ -105,6 +106,7 @@ fn print_help() {
 USAGE:
     altc [OPTIONS]
     altc report <TRACE.jsonl>
+    altc profile [OPTIONS]
 
 OPTIONS:
     -m, --model <NAME>       r18 | mv2 | bert-base | bert-tiny | r3d  [default: r18]
@@ -129,8 +131,139 @@ OPTIONS:
 SUBCOMMANDS:
     report <TRACE.jsonl>     summarize a tuning trace: best-latency curve
                              per op, budget per stage, cost-model accuracy
-                             per round, and cache/prefetch counters"
+                             per round, and cache/prefetch counters
+    profile [OPTIONS]        tune a model, then print the winning schedule's
+                             per-loop cost breakdown and roofline summary;
+                             `altc profile --help` lists its options
+                             (--no-tune, --json, --perfetto OUT.json)"
     );
+}
+
+/// `altc profile`: tune (or just lower) a model, then print the per-loop
+/// cost attribution and roofline summary, optionally exporting a
+/// Chrome-trace (Perfetto) JSON of the tuning run and simulated execution.
+fn run_profile(rest: &[String]) -> i32 {
+    let mut model = "r18".to_string();
+    let mut platform = "intel".to_string();
+    let mut budget = 64u64;
+    let mut batch = 1i64;
+    let mut seed = 0u64;
+    let mut no_tune = false;
+    let mut json = false;
+    let mut perfetto: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let res: Result<(), String> = (|| {
+            match a.as_str() {
+                "--model" | "-m" => model = value("--model")?,
+                "--platform" | "-p" => platform = value("--platform")?,
+                "--budget" | "-b" => {
+                    budget = value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?
+                }
+                "--batch" => {
+                    batch = value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?
+                }
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--no-tune" => no_tune = true,
+                "--json" => json = true,
+                "--perfetto" => perfetto = Some(value("--perfetto")?),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: altc profile [--model NAME] [--platform NAME] [--budget N]\n\
+                         \x20                   [--batch N] [--seed N] [--no-tune] [--json]\n\
+                         \x20                   [--perfetto OUT.json]\n\
+                         \n\
+                         Prints the winning schedule's per-loop cost breakdown (flame-style\n\
+                         tree) and roofline summary. --no-tune profiles the unoptimized\n\
+                         baseline instead of tuning first. --perfetto also writes a\n\
+                         Chrome-trace JSON loadable in ui.perfetto.dev."
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = res {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
+
+    let graph = match build_model(&model, batch) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let machine = match build_platform(&platform) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    // Capture the tuning-run records in memory so the Perfetto export can
+    // interleave the tuning timeline with the simulated execution.
+    let sink = std::sync::Arc::new(alt_core::MemorySink::new());
+    let joint = (budget as f64 * 0.4) as u64;
+    let compiler = Compiler::new(machine)
+        .with_options(CompileOptions {
+            joint_budget: joint,
+            loop_budget: budget - joint,
+            seed,
+            ..CompileOptions::default()
+        })
+        .with_telemetry(sink.clone());
+    let compiled = if no_tune {
+        compiler.compile_unoptimized(&graph)
+    } else {
+        eprintln!(
+            "tuning {model} (batch {batch}) for {} with budget {budget}...",
+            machine.name
+        );
+        compiler.compile(&graph)
+    };
+
+    let breakdown = compiled.profile_breakdown(machine);
+    let profile = alt_profiler::Profile::new(breakdown, &machine);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&alt_profiler::summary_json(&profile)).unwrap()
+        );
+    } else {
+        print!("{}", alt_profiler::render_text(&profile));
+    }
+
+    if let Some(path) = &perfetto {
+        let mut records = sink.records();
+        records.extend(alt_profiler::to_records(&profile));
+        match alt_telemetry::write_chrome_trace(path, &records) {
+            Ok(()) => eprintln!("chrome trace written to {path}; open in ui.perfetto.dev"),
+            Err(e) => {
+                eprintln!("error: --perfetto {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    0
 }
 
 /// `altc report <trace.jsonl>`: render a recorded tuning trace.
@@ -178,6 +311,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("report") {
         std::process::exit(run_report(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("profile") {
+        std::process::exit(run_profile(&argv[1..]));
     }
     let args = match parse_args() {
         Ok(a) => a,

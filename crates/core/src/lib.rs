@@ -289,6 +289,13 @@ impl CompiledGraph {
         Simulator::new(profile).profile_counters(&self.program)
     }
 
+    /// Structured cost attribution on the target machine: per-loop-path
+    /// latency components rolled up per group, with the breakdown total
+    /// bit-identical to [`CompiledGraph::estimated_latency`]'s model.
+    pub fn profile_breakdown(&self, profile: MachineProfile) -> alt_sim::CostBreakdown {
+        Simulator::new(profile).profile_program(&self.program)
+    }
+
     /// A human-readable compilation report: per-tensor layouts and
     /// per-group fusion structure.
     pub fn report(&self) -> String {
@@ -394,6 +401,32 @@ mod tests {
         assert_eq!(summary.joint_budget + summary.loop_budget, 32);
         assert_eq!(summary.measurements, 32);
         assert!(summary.best_latency_s > 0.0);
+    }
+
+    #[test]
+    fn profiling_is_pure_observation() {
+        // Profiling must be zero-overhead on the tuning path: a compile
+        // followed by profiling is bit-identical to a compile without it,
+        // and the breakdown total is exactly the tuner's scalar.
+        let (g, _) = sample_graph();
+        let options = CompileOptions {
+            joint_budget: 12,
+            loop_budget: 12,
+            free_input_layouts: true,
+            seed: 7,
+            ..CompileOptions::default()
+        };
+        let plain = Compiler::new(intel_cpu())
+            .with_options(options.clone())
+            .compile(&g);
+        let profiled = Compiler::new(intel_cpu()).with_options(options).compile(&g);
+        let breakdown = profiled.profile_breakdown(intel_cpu());
+        assert_eq!(plain.estimated_latency(), profiled.estimated_latency());
+        assert_eq!(plain.history(), profiled.history());
+        assert_eq!(breakdown.total_s, profiled.estimated_latency());
+        // Profiling twice is idempotent, bit for bit.
+        let again = profiled.profile_breakdown(intel_cpu());
+        assert_eq!(breakdown.total_s, again.total_s);
     }
 
     #[test]

@@ -451,6 +451,56 @@ impl Layout {
         &self.prims
     }
 
+    /// Derives human-readable names for the physical dimensions by pushing
+    /// `logical` (one name per logical dimension) through the primitive
+    /// sequence, mirroring [`LayoutPrim::apply_shape`]:
+    ///
+    /// - `split` into two factors yields `x.o` / `x.i` (more factors yield
+    ///   `x.s0`, `x.s1`, ...),
+    /// - `reorder` permutes names,
+    /// - `fuse` joins names with `+`,
+    /// - `unfold` yields `x.t` (tiles) / `x.u` (in-tile),
+    /// - `pad` / `store_at` keep the name.
+    ///
+    /// The result depends only on the layout's primitive sequence, so it is
+    /// stable across runs — profiles keyed by these names diff cleanly.
+    /// A `logical` of the wrong rank falls back to positional `d{k}` names.
+    pub fn physical_dim_names(&self, logical: &[&str]) -> Vec<String> {
+        let mut names: Vec<String> = if logical.len() == self.logical.dims().len() {
+            logical.iter().map(|s| s.to_string()).collect()
+        } else {
+            (0..self.logical.dims().len())
+                .map(|k| format!("d{k}"))
+                .collect()
+        };
+        for prim in &self.prims {
+            match prim {
+                LayoutPrim::Split { dim, factors } => {
+                    let base = names[*dim].clone();
+                    let parts: Vec<String> = if factors.len() == 2 {
+                        vec![format!("{base}.o"), format!("{base}.i")]
+                    } else {
+                        (0..factors.len()).map(|j| format!("{base}.s{j}")).collect()
+                    };
+                    names.splice(*dim..=*dim, parts);
+                }
+                LayoutPrim::Reorder { perm } => {
+                    names = perm.iter().map(|&p| names[p].clone()).collect();
+                }
+                LayoutPrim::Fuse { start, count } => {
+                    let fused = names[*start..start + count].join("+");
+                    names.splice(*start..start + count, [fused]);
+                }
+                LayoutPrim::Unfold { dim, .. } => {
+                    let base = names[*dim].clone();
+                    names.splice(*dim..=*dim, [format!("{base}.t"), format!("{base}.u")]);
+                }
+                LayoutPrim::Pad { .. } | LayoutPrim::StoreAtHost { .. } => {}
+            }
+        }
+        names
+    }
+
     /// True when no primitives have been applied.
     pub fn is_identity(&self) -> bool {
         self.prims.is_empty()
@@ -877,6 +927,72 @@ mod tests {
         assert_eq!(
             l.logical_to_physical(&[0, 37, 3, 4]).unwrap(),
             vec![0, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn physical_dim_names_follow_lineage() {
+        // N O H W -split(O)-> -reorder-> N O.o H W O.i
+        let l = layout4([1, 64, 8, 8])
+            .with(LayoutPrim::Split {
+                dim: 1,
+                factors: vec![4, 16],
+            })
+            .unwrap()
+            .with(LayoutPrim::Reorder {
+                perm: vec![0, 1, 3, 4, 2],
+            })
+            .unwrap();
+        assert_eq!(
+            l.physical_dim_names(&["n", "o", "h", "w"]),
+            vec!["n", "o.o", "h", "w", "o.i"]
+        );
+    }
+
+    #[test]
+    fn physical_dim_names_fuse_unfold_pad() {
+        let l = Layout::identity(Shape::new([2, 6, 5, 8]))
+            .with(LayoutPrim::Fuse { start: 1, count: 3 })
+            .unwrap()
+            .with(LayoutPrim::Unfold {
+                dim: 1,
+                tile: 30,
+                stride: 30,
+            })
+            .unwrap()
+            .with(LayoutPrim::Pad {
+                dim: 2,
+                before: 0,
+                after: 2,
+            })
+            .unwrap();
+        assert_eq!(
+            l.physical_dim_names(&["n", "h", "w", "o"]),
+            vec!["n", "h+w+o.t", "h+w+o.u"]
+        );
+        // Wrong-rank logical names fall back to positional d{k}.
+        assert_eq!(
+            l.physical_dim_names(&["n", "h"]),
+            vec!["d0", "d1+d2+d3.t", "d1+d2+d3.u"]
+        );
+    }
+
+    #[test]
+    fn physical_dim_names_identity_and_many_way_split() {
+        let l = layout4([1, 64, 8, 8]);
+        assert_eq!(
+            l.physical_dim_names(&["n", "o", "h", "w"]),
+            vec!["n", "o", "h", "w"]
+        );
+        let l = layout4([1, 64, 8, 8])
+            .with(LayoutPrim::Split {
+                dim: 1,
+                factors: vec![2, 4, 8],
+            })
+            .unwrap();
+        assert_eq!(
+            l.physical_dim_names(&["n", "o", "h", "w"]),
+            vec!["n", "o.s0", "o.s1", "o.s2", "h", "w"]
         );
     }
 

@@ -43,12 +43,32 @@ impl TiledAxis {
         name: &str,
     ) -> Self {
         let levels = tiling.levels(extent);
+        // Loop names encode the axis lineage, not the level position:
+        // roles are assigned among the *non-trivial* (extent > 1) levels
+        // only, so an axis tiled with trivial factors gets the same names
+        // as an untiled one — profiles diff cleanly across equivalent
+        // schedules. A single live level keeps the plain axis name;
+        // otherwise the outermost is `.o`, the innermost `.i`, and any
+        // middle levels `.m0`, `.m1`, ...
+        let live: Vec<usize> = levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e > 1)
+            .map(|(l, _)| l)
+            .collect();
         let vars = levels
             .iter()
             .enumerate()
             .map(|(l, &e)| {
                 if e > 1 {
-                    Some(vargen.fresh(&format!("{name}.{l}")))
+                    let role = match live.iter().position(|&x| x == l) {
+                        _ if live.len() == 1 => name.to_string(),
+                        Some(0) => format!("{name}.o"),
+                        Some(p) if p + 1 == live.len() => format!("{name}.i"),
+                        Some(p) => format!("{name}.m{}", p - 1),
+                        None => unreachable!("live level missing from index"),
+                    };
+                    Some(vargen.fresh(&role))
                 } else {
                     None
                 }
@@ -329,9 +349,12 @@ impl<'g> Lowerer<'g> {
             self.converted.insert((t, op), buf);
 
             // Simple parallel/vectorized copy nest over the new physical
-            // dims.
+            // dims. Tensors carry no logical axis names, so the lineage
+            // helper's positional `d{k}` fallback names the loops (still
+            // deterministic: `d0.o`/`d0.i` for a split leading dim, etc.).
+            let dim_names = new_layout.physical_dim_names(&[]);
             let vars: Vec<Var> = (0..phys.ndim())
-                .map(|k| self.vargen.fresh(&format!("cv{k}")))
+                .map(|k| self.vargen.fresh(&dim_names[k]))
                 .collect();
             let var_exprs: Vec<Expr> = vars.iter().map(Expr::v).collect();
             let (logical, conds) = new_layout.inverse_access(&var_exprs)?;
@@ -396,14 +419,19 @@ impl<'g> Lowerer<'g> {
             extents.insert(ax.var.id(), ax.extent);
         }
 
-        // Tiled spatial axes over the *physical* output dims.
+        // Tiled spatial axes over the *physical* output dims, named by
+        // their logical-axis lineage through the layout's primitive
+        // sequence (e.g. a split output channel yields `oc.o` / `oc.i`)
+        // so loop-nest paths are stable across runs and schedules.
+        let logical_names: Vec<&str> = node.compute.axes.iter().map(|ax| ax.var.name()).collect();
+        let dim_names = out_layout.physical_dim_names(&logical_names);
         let spatial: Vec<TiledAxis> = (0..phys.ndim())
             .map(|k| {
                 TiledAxis::new(
                     phys.dim(k),
                     &sched.spatial_tiling(k),
                     &mut self.vargen,
-                    &format!("s{k}"),
+                    &dim_names[k],
                 )
             })
             .collect();
@@ -493,7 +521,7 @@ impl<'g> Lowerer<'g> {
                         ax.extent,
                         &sched.reduce_tiling(k),
                         &mut self.vargen,
-                        &format!("r{k}"),
+                        ax.var.name(),
                     )
                 })
                 .collect();

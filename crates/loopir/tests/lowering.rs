@@ -517,3 +517,94 @@ fn diamond_mixed_producer_layouts_match_reference() {
     plan.assign_output_layout(&g, op2, presets::nhwo(g.tensor(c2).shape.clone()).unwrap());
     check(&g, &plan, &GraphSchedule::naive(), 41);
 }
+
+/// Collects the sorted loop-variable names of every group.
+fn loop_names(program: &alt_loopir::Program) -> Vec<Vec<String>> {
+    fn walk(nodes: &[alt_loopir::TirNode], out: &mut Vec<String>) {
+        for n in nodes {
+            if let alt_loopir::TirNode::Loop { var, body, .. } = n {
+                out.push(var.name().to_string());
+                walk(body, out);
+            }
+        }
+    }
+    program
+        .groups
+        .iter()
+        .map(|g| {
+            let mut out = Vec::new();
+            walk(&g.nodes, &mut out);
+            out.sort();
+            // Init/main/epilogue passes of a reduce nest re-emit the same
+            // tile loops; the stable property is the *name set*.
+            out.dedup();
+            out
+        })
+        .collect()
+}
+
+#[test]
+fn loop_names_stable_across_equivalent_schedules() {
+    // A trivially-tiled schedule (tile factor = full extent, so the outer
+    // level has extent 1 and only one live loop remains per axis) must
+    // produce the same loop *names* as the untiled one: role suffixes are
+    // assigned among non-trivial levels only, so profiles keyed on loop
+    // paths diff cleanly instead of showing a positional rename.
+    let (g, _, conv, y) = conv_graph();
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    let naive = lower(&g, &plan, &GraphSchedule::naive());
+
+    let ndim = g.tensor(y).shape.ndim();
+    let mut sched = GraphSchedule::naive();
+    let mut spatial = vec![AxisTiling::none(); ndim];
+    // Physical dim 1 (output channels) has extent 8: "tile" it by 8.
+    spatial[1] = AxisTiling::one(8);
+    sched.set(
+        conv,
+        OpSchedule {
+            spatial,
+            ..sched.get(conv)
+        },
+    );
+    let tiled = lower(&g, &plan, &sched);
+    assert_eq!(loop_names(&naive), loop_names(&tiled));
+}
+
+#[test]
+fn loop_names_follow_axis_lineage() {
+    // Channel-tiled output layout: the split output-channel axis shows up
+    // as `o.o` / `o.i` in the loop nest, and a scheduled 2-level tiling of
+    // a physical dim appends `.o`/`.i` role suffixes to the lineage name.
+    let (g, _, conv, y) = conv_graph();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        conv,
+        presets::channel_tiled(g.tensor(y).shape.clone(), 4).unwrap(),
+    );
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    let conv_group = program
+        .groups
+        .iter()
+        .find(|gr| gr.root == conv && gr.label.starts_with("c2d"))
+        .expect("conv group present");
+    let mut names = Vec::new();
+    fn collect(nodes: &[alt_loopir::TirNode], out: &mut Vec<String>) {
+        for n in nodes {
+            if let alt_loopir::TirNode::Loop { var, body, .. } = n {
+                out.push(var.name().to_string());
+                collect(body, out);
+            }
+        }
+    }
+    collect(&conv_group.nodes, &mut names);
+    assert!(
+        names.iter().any(|n| n == "o.o") && names.iter().any(|n| n == "o.i"),
+        "split channel lineage missing from {names:?}"
+    );
+    // Reduce loops carry the compute's own reduce-axis names.
+    assert!(
+        names.iter().any(|n| n.starts_with("ri")),
+        "reduce lineage missing from {names:?}"
+    );
+}

@@ -1,0 +1,50 @@
+//! The `altc profile` walkthrough from DESIGN.md: one conv2d profiled
+//! twice — untouched NCHW with a naive schedule, then the layout+loop
+//! co-tuned winner — so the attribution shows *where* the tuned version
+//! gets its time back.
+//!
+//! ```text
+//! cargo run --release -p alt-profiler --example conv2d_walkthrough
+//! ```
+
+use alt_autotune::tune_graph;
+use alt_autotune::tuner::TuneConfig;
+use alt_layout::{LayoutPlan, PropagationMode};
+use alt_loopir::{lower, GraphSchedule};
+use alt_profiler::{render_text, Profile};
+use alt_sim::{intel_cpu, Simulator};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+fn main() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 32, 30, 30]));
+    let w = g.add_param("w", Shape::new([64, 32, 3, 3]));
+    ops::conv2d(&mut g, x, w, ConvCfg::default());
+    let machine = intel_cpu();
+
+    println!("--- NCHW, naive schedule ---");
+    let naive = lower(
+        &g,
+        &LayoutPlan::new(PropagationMode::Full),
+        &GraphSchedule::naive(),
+    );
+    let nb = Simulator::new(machine).profile_program(&naive);
+    print!("{}", render_text(&Profile::new(nb, &machine)));
+
+    println!("\n--- layout + loop co-tuned ---");
+    let result = tune_graph(
+        &g,
+        machine,
+        TuneConfig {
+            joint_budget: 60,
+            loop_budget: 90,
+            free_input_layouts: true,
+            seed: 1,
+            ..TuneConfig::default()
+        },
+    );
+    let tuned = lower(&g, &result.plan, &result.sched);
+    let tb = Simulator::new(machine).profile_program(&tuned);
+    print!("{}", render_text(&Profile::new(tb, &machine)));
+}

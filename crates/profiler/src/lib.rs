@@ -1,0 +1,406 @@
+//! Performance attribution for simulated ALT programs.
+//!
+//! Takes the structured cost breakdown the simulator produces
+//! ([`alt_sim::CostBreakdown`]) and presents it three ways:
+//!
+//! * [`render_text`] — the flamegraph-style text tree plus roofline
+//!   summary behind `altc profile`: one line per lowered group, one
+//!   indented line per loop-nest leaf, each with its latency, share of
+//!   the program total, a proportional bar, and the compute/memory
+//!   component split.
+//! * [`to_records`] — the same data as telemetry [`Record`]s
+//!   ([`ProfileNodeRecord`] per node, [`RooflineRecord`] at the end), the
+//!   stream the Chrome-trace exporter turns into nested Perfetto slices.
+//! * [`summary_json`] — a compact JSON value for embedding in bench
+//!   reports (`results/fig*.json`) and for `altc profile --json`.
+//!
+//! Everything here is presentation: the numbers come from the simulator's
+//! conservation-checked breakdown and are reproduced, never recomputed.
+
+use alt_sim::{roofline, CostBreakdown, CostComponents, Counters, MachineProfile, Roofline};
+use alt_telemetry::{fmt_latency, ProfileNodeRecord, Record, RooflineRecord};
+use serde_json::json;
+use serde_json::Value;
+
+/// A cost breakdown paired with its roofline position — everything the
+/// renderers need.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    pub breakdown: CostBreakdown,
+    pub roofline: Roofline,
+}
+
+impl Profile {
+    /// Builds a profile from a breakdown, deriving the roofline from the
+    /// breakdown's aggregate counters on the given machine.
+    pub fn new(breakdown: CostBreakdown, profile: &MachineProfile) -> Self {
+        let roofline = roofline(profile, &breakdown.counters);
+        Self {
+            breakdown,
+            roofline,
+        }
+    }
+}
+
+/// Width of the proportional bars in [`render_text`].
+const BAR_WIDTH: usize = 24;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { '.' });
+    }
+    s
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        100.0 * part / whole
+    } else {
+        0.0
+    }
+}
+
+/// One-line component split, e.g.
+/// `compute 61% | l2 22% | dram 9% | lat 8%`.
+fn split_line(c: &CostComponents) -> String {
+    let t = c.total();
+    format!(
+        "compute {:.0}% | l2 {:.0}% | dram {:.0}% | lat {:.0}%",
+        pct(c.compute_s, t),
+        pct(c.l2_transfer_s, t),
+        pct(c.dram_transfer_s, t),
+        pct(c.l2_latency_s + c.dram_latency_s, t)
+    )
+}
+
+/// The roofline summary line naming the binding ceiling, e.g.
+/// `roofline: bandwidth bound — attained 12.3 GFLOP/s of 80.0 GFLOP/s
+/// ceiling (AI 0.8 flop/B; peak 614.4 GFLOP/s, DRAM 96.0 GB/s)`.
+pub fn roofline_line(r: &Roofline) -> String {
+    let ai = if r.arithmetic_intensity.is_finite() {
+        format!("{:.2} flop/B", r.arithmetic_intensity)
+    } else {
+        "inf (L2-resident)".to_string()
+    };
+    format!(
+        "roofline: {} bound — attained {:.1} GFLOP/s of {:.1} GFLOP/s ceiling \
+         (AI {ai}; peak {:.1} GFLOP/s, DRAM {:.1} GB/s)",
+        r.binding(),
+        r.attained_gflops,
+        r.ceiling_gflops,
+        r.peak_gflops,
+        r.bandwidth_gbs
+    )
+}
+
+/// Renders the flamegraph-style text tree plus roofline summary.
+pub fn render_text(p: &Profile) -> String {
+    let b = &p.breakdown;
+    let mut out = String::new();
+    out.push_str(&format!("=== cost profile ({}) ===\n", b.machine));
+    out.push_str(&format!(
+        "total {}   {}\n",
+        fmt_latency(b.total_s),
+        split_line(&b.components())
+    ));
+    let overhead = b.overhead_s();
+    if overhead > 0.0 {
+        out.push_str(&format!(
+            "group overhead {} ({:.1}%)\n",
+            fmt_latency(overhead),
+            pct(overhead, b.total_s)
+        ));
+    }
+    for g in &b.groups {
+        out.push_str(&format!(
+            "{:<40} {:>12}  {:>5.1}%  {}\n",
+            g.label,
+            fmt_latency(g.total_s),
+            pct(g.total_s, b.total_s),
+            bar(g.total_s / b.total_s.max(1e-30), BAR_WIDTH)
+        ));
+        for leaf in &g.leaves {
+            out.push_str(&format!(
+                "  {:<38} {:>12}  {:>5.1}%  {}  {}\n",
+                leaf.path_string(),
+                fmt_latency(leaf.latency_s),
+                pct(leaf.latency_s, b.total_s),
+                bar(leaf.latency_s / b.total_s.max(1e-30), BAR_WIDTH),
+                split_line(&leaf.components)
+            ));
+            if leaf.bank_conflict_s > 0.0 {
+                out.push_str(&format!(
+                    "    bank conflicts: {} ({:.1}% of leaf)\n",
+                    fmt_latency(leaf.bank_conflict_s),
+                    pct(leaf.bank_conflict_s, leaf.latency_s)
+                ));
+            }
+        }
+        if g.overhead_s > 0.0 {
+            out.push_str(&format!(
+                "  {:<38} {:>12}  {:>5.1}%\n",
+                "(fork/join overhead)",
+                fmt_latency(g.overhead_s),
+                pct(g.overhead_s, b.total_s)
+            ));
+        }
+    }
+    out.push_str(&roofline_line(&p.roofline));
+    out.push('\n');
+    out
+}
+
+/// (latency, fork/join overhead, bank-conflict penalty), all seconds.
+struct NodeTiming {
+    latency_s: f64,
+    overhead_s: f64,
+    bank_conflict_s: f64,
+}
+
+fn node_record(
+    op: &str,
+    path: String,
+    store: String,
+    t: NodeTiming,
+    c: &CostComponents,
+    counters: &Counters,
+) -> Record {
+    Record::ProfileNode(ProfileNodeRecord {
+        op: op.to_string(),
+        path,
+        store,
+        latency_s: t.latency_s,
+        compute_s: c.compute_s,
+        l2_transfer_s: c.l2_transfer_s,
+        dram_transfer_s: c.dram_transfer_s,
+        l2_latency_s: c.l2_latency_s,
+        dram_latency_s: c.dram_latency_s,
+        overhead_s: t.overhead_s,
+        flops: counters.flops,
+        l1_misses: counters.l1_misses,
+        l2_misses: counters.l2_misses,
+        prefetch_hidden: counters.prefetch_useful,
+        simd_utilization: counters.simd_utilization(),
+        bank_conflict_s: t.bank_conflict_s,
+    })
+}
+
+/// Lowers the profile to telemetry records: one group node (empty path)
+/// followed by its leaves, per group in program order, then the roofline.
+/// This is the stream [`alt_telemetry::chrome_trace`] nests into Perfetto
+/// slices.
+pub fn to_records(p: &Profile) -> Vec<Record> {
+    let b = &p.breakdown;
+    let mut out = Vec::new();
+    for g in &b.groups {
+        // Group counters: rolled up over the group's leaves.
+        let mut gc = Counters::default();
+        for leaf in &g.leaves {
+            gc.flops += leaf.counters.flops;
+            gc.l1_misses += leaf.counters.l1_misses;
+            gc.l2_misses += leaf.counters.l2_misses;
+            gc.prefetch_useful += leaf.counters.prefetch_useful;
+            gc.instructions += leaf.counters.instructions;
+            gc.simd_weighted += leaf.counters.simd_weighted;
+        }
+        out.push(node_record(
+            &g.label,
+            String::new(),
+            String::new(),
+            NodeTiming {
+                latency_s: g.total_s,
+                overhead_s: g.overhead_s,
+                bank_conflict_s: 0.0,
+            },
+            &g.components(),
+            &gc,
+        ));
+        for leaf in &g.leaves {
+            out.push(node_record(
+                &g.label,
+                leaf.path_string(),
+                leaf.store.clone(),
+                NodeTiming {
+                    latency_s: leaf.latency_s,
+                    overhead_s: 0.0,
+                    bank_conflict_s: leaf.bank_conflict_s,
+                },
+                &leaf.components,
+                &leaf.counters,
+            ));
+        }
+    }
+    let r = &p.roofline;
+    out.push(Record::Roofline(RooflineRecord {
+        machine: b.machine.clone(),
+        arithmetic_intensity: r.arithmetic_intensity,
+        attained_gflops: r.attained_gflops,
+        peak_gflops: r.peak_gflops,
+        bandwidth_gbs: r.bandwidth_gbs,
+        ceiling_gflops: r.ceiling_gflops,
+        binding: r.binding().to_string(),
+    }));
+    out
+}
+
+fn components_json(c: &CostComponents) -> Value {
+    json!({
+        "compute_s": c.compute_s,
+        "l2_transfer_s": c.l2_transfer_s,
+        "dram_transfer_s": c.dram_transfer_s,
+        "l2_latency_s": c.l2_latency_s,
+        "dram_latency_s": c.dram_latency_s,
+    })
+}
+
+/// Compact JSON summary for bench reports and `altc profile --json`.
+pub fn summary_json(p: &Profile) -> Value {
+    let b = &p.breakdown;
+    let groups: Vec<Value> = b
+        .groups
+        .iter()
+        .map(|g| {
+            let leaves: Vec<Value> = g
+                .leaves
+                .iter()
+                .map(|l| {
+                    json!({
+                        "path": l.path_string(),
+                        "store": l.store.clone(),
+                        "latency_s": l.latency_s,
+                        "components": components_json(&l.components),
+                        "bank_conflict_s": l.bank_conflict_s,
+                        "simd_utilization": l.counters.simd_utilization(),
+                    })
+                })
+                .collect();
+            json!({
+                "label": g.label.clone(),
+                "latency_s": g.total_s,
+                "overhead_s": g.overhead_s,
+                "components": components_json(&g.components()),
+                "leaves": Value::Array(leaves),
+            })
+        })
+        .collect();
+    let r = &p.roofline;
+    json!({
+        "machine": b.machine.clone(),
+        "total_s": b.total_s,
+        "components": components_json(&b.components()),
+        "overhead_s": b.overhead_s(),
+        "groups": Value::Array(groups),
+        "roofline": json!({
+            "arithmetic_intensity": r.arithmetic_intensity,
+            "attained_gflops": r.attained_gflops,
+            "peak_gflops": r.peak_gflops,
+            "bandwidth_gbs": r.bandwidth_gbs,
+            "ceiling_gflops": r.ceiling_gflops,
+            "binding": r.binding(),
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alt_layout::{LayoutPlan, PropagationMode};
+    use alt_loopir::{lower, GraphSchedule};
+    use alt_sim::{intel_cpu, Simulator};
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::{Graph, Shape};
+
+    fn conv_profile() -> Profile {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 14, 14]));
+        let w = g.add_param("w", Shape::new([16, 8, 3, 3]));
+        ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let machine = intel_cpu();
+        let sim = Simulator::new(machine);
+        Profile::new(sim.profile_program(&program), &machine)
+    }
+
+    #[test]
+    fn text_render_shows_tree_and_roofline() {
+        let p = conv_profile();
+        let text = render_text(&p);
+        assert!(text.contains("=== cost profile (intel-cpu) ==="), "{text}");
+        assert!(text.contains("c2d"), "{text}");
+        // Leaf lines carry the component split and a bar.
+        assert!(text.contains("compute "), "{text}");
+        assert!(text.contains('#'), "{text}");
+        // The roofline line names the binding ceiling.
+        let roof = text.lines().find(|l| l.starts_with("roofline:")).unwrap();
+        assert!(
+            roof.contains("compute bound") || roof.contains("bandwidth bound"),
+            "{roof}"
+        );
+        assert!(roof.contains("GFLOP/s"), "{roof}");
+    }
+
+    #[test]
+    fn records_pair_groups_with_leaves_and_end_with_roofline() {
+        let p = conv_profile();
+        let records = to_records(&p);
+        match records.first() {
+            Some(Record::ProfileNode(n)) => {
+                assert!(n.path.is_empty(), "first record must be a group node");
+            }
+            other => panic!("unexpected first record {other:?}"),
+        }
+        let leaves = records
+            .iter()
+            .filter(|r| matches!(r, Record::ProfileNode(n) if !n.path.is_empty()))
+            .count();
+        let total_leaves: usize = p.breakdown.groups.iter().map(|g| g.leaves.len()).sum();
+        assert_eq!(leaves, total_leaves);
+        assert!(matches!(records.last(), Some(Record::Roofline(_))));
+    }
+
+    #[test]
+    fn records_conserve_leaf_latency_inside_groups() {
+        // The Perfetto exporter nests leaves inside their group slice;
+        // that only renders correctly if leaf durations fit the group.
+        let p = conv_profile();
+        let records = to_records(&p);
+        let mut group_latency = 0.0;
+        let mut leaf_sum = 0.0;
+        let mut overhead = 0.0;
+        for r in &records {
+            if let Record::ProfileNode(n) = r {
+                if n.path.is_empty() {
+                    group_latency += n.latency_s;
+                    overhead += n.overhead_s;
+                } else {
+                    leaf_sum += n.latency_s;
+                }
+            }
+        }
+        assert!(
+            (leaf_sum + overhead - group_latency).abs() <= 1e-9 * group_latency,
+            "leaves {leaf_sum} + overhead {overhead} != groups {group_latency}"
+        );
+    }
+
+    #[test]
+    fn summary_json_has_bench_report_shape() {
+        let p = conv_profile();
+        let v = summary_json(&p);
+        assert!(v.get("total_s").is_some());
+        assert!(v.get("roofline").and_then(|r| r.get("binding")).is_some());
+        let groups = v.get("groups").and_then(Value::as_array).unwrap();
+        assert!(!groups.is_empty());
+        assert!(groups[0].get("leaves").is_some());
+        // Round-trips through text.
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            back.get("machine").and_then(Value::as_str),
+            Some(p.breakdown.machine.as_str())
+        );
+    }
+}

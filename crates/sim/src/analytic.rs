@@ -22,6 +22,7 @@ use alt_tensor::expr::{Env, Expr, Var};
 
 use alt_loopir::tir::{LoopKind, Program, Stmt, StoreMode, TirNode};
 
+use crate::breakdown::{CostBreakdown, CostComponents, GroupBreakdown, LeafCost, LoopSeg};
 use crate::profiles::{MachineKind, MachineProfile};
 
 /// Aggregate performance counters (the paper's Table 3 columns).
@@ -81,6 +82,16 @@ struct LoopCtx {
     var: Var,
     extent: i64,
     kind: LoopKind,
+}
+
+/// Cost of one statement: the aggregate counters the tuner consumes plus
+/// the attribution extras the profiler consumes. Producing (or dropping)
+/// the extras never changes `counters` — profiling is zero-overhead in
+/// the modeled-latency sense.
+struct StmtCost {
+    counters: Counters,
+    components: CostComponents,
+    bank_conflict_s: f64,
 }
 
 /// Stride profile of one memory access with respect to the surrounding
@@ -275,12 +286,82 @@ impl Simulator {
         total
     }
 
+    /// Per-path cost attribution of a whole program.
+    ///
+    /// The walk and the statement pricing are shared with
+    /// [`Simulator::measure`]/[`Simulator::profile_counters`], and latency
+    /// is accumulated in the same order, so `CostBreakdown::total_s` is
+    /// bit-identical to the scalar the tuner measures.
+    pub fn profile_program(&self, program: &Program) -> CostBreakdown {
+        let mut groups = Vec::new();
+        let mut counters = Counters::default();
+        let mut total_s = 0.0;
+        for group in &program.groups {
+            let mut stack = Vec::new();
+            let mut gc = Counters::default();
+            let mut leaves = Vec::new();
+            self.walk_visit(
+                program,
+                &group.nodes,
+                &mut stack,
+                &mut |stack, stmt, cost| {
+                    gc.add(&cost.counters);
+                    leaves.push(LeafCost {
+                        path: stack
+                            .iter()
+                            .map(|l| LoopSeg {
+                                name: l.var.name().to_string(),
+                                extent: l.extent,
+                                kind: l.kind,
+                            })
+                            .collect(),
+                        store: program.buffer(stmt.buf).name.clone(),
+                        latency_s: cost.counters.latency_s,
+                        components: cost.components,
+                        counters: cost.counters,
+                        bank_conflict_s: cost.bank_conflict_s,
+                    });
+                },
+            );
+            let overhead_s = self.profile.group_overhead_us * 1e-6;
+            gc.latency_s += overhead_s;
+            counters.add(&gc);
+            total_s += gc.latency_s;
+            groups.push(GroupBreakdown {
+                label: group.label.clone(),
+                overhead_s,
+                leaves,
+                total_s: gc.latency_s,
+            });
+        }
+        CostBreakdown {
+            machine: self.profile.name.to_string(),
+            groups,
+            total_s,
+            counters,
+        }
+    }
+
     fn walk(
         &self,
         program: &Program,
         nodes: &[TirNode],
         stack: &mut Vec<LoopCtx>,
         out: &mut Counters,
+    ) {
+        self.walk_visit(program, nodes, stack, &mut |_, _, cost| {
+            out.add(&cost.counters);
+        });
+    }
+
+    /// Depth-first walk calling `visit(loop stack, stmt, cost)` at every
+    /// statement, in deterministic program order.
+    fn walk_visit(
+        &self,
+        program: &Program,
+        nodes: &[TirNode],
+        stack: &mut Vec<LoopCtx>,
+        visit: &mut impl FnMut(&[LoopCtx], &Stmt, &StmtCost),
     ) {
         for node in nodes {
             match node {
@@ -295,22 +376,26 @@ impl Simulator {
                         extent: *extent,
                         kind: *kind,
                     });
-                    self.walk(program, body, stack, out);
+                    self.walk_visit(program, body, stack, visit);
                     stack.pop();
                 }
                 TirNode::Stmt(stmt) => {
                     let c = self.cost_stmt(program, stmt, stack);
-                    out.add(&c);
+                    visit(stack, stmt, &c);
                 }
             }
         }
     }
 
-    fn cost_stmt(&self, program: &Program, stmt: &Stmt, loops: &[LoopCtx]) -> Counters {
+    fn cost_stmt(&self, program: &Program, stmt: &Stmt, loops: &[LoopCtx]) -> StmtCost {
         let p = &self.profile;
         let iterations: f64 = loops.iter().map(|l| l.extent as f64).product();
         if iterations == 0.0 {
-            return Counters::default();
+            return StmtCost {
+                counters: Counters::default(),
+                components: CostComponents::default(),
+                bank_conflict_s: 0.0,
+            };
         }
 
         // Collect all memory accesses with stride profiles.
@@ -450,6 +535,11 @@ impl Simulator {
         let mut prefetch_issued = 0.0;
         let mut prefetch_useful = 0.0;
         let mut miss_latency_cycles = 0.0;
+        // Attribution-only split of `miss_latency_cycles` into its L2 and
+        // DRAM contributions; the original accumulator stays authoritative
+        // for the latency so pricing is unchanged by profiling.
+        let mut l2_lat_cycles = 0.0;
+        let mut dram_lat_cycles = 0.0;
         // Memory-level parallelism: out-of-order cores overlap a few
         // outstanding misses (GPUs hide far more via warp switching); the
         // prefetcher hides most of the latency of long streams on top.
@@ -473,6 +563,8 @@ impl Simulator {
             let hide = if streaming { mlp * stream_hide } else { mlp };
             miss_latency_cycles += m1 * p.l2_latency_cycles / hide;
             miss_latency_cycles += m2 * p.dram_latency_cycles / (hide * 2.0);
+            l2_lat_cycles += m1 * p.l2_latency_cycles / hide;
+            dram_lat_cycles += m2 * p.dram_latency_cycles / (hide * 2.0);
         }
 
         // Parallel scaling.
@@ -503,17 +595,44 @@ impl Simulator {
         let mem_cycles = l2_traffic_cycles + dram_traffic_cycles + latency_cycles;
         let cycles = compute_cycles.max(mem_cycles) + 0.25 * compute_cycles.min(mem_cycles);
 
-        Counters {
-            instructions,
-            flops,
-            l1_loads,
-            l1_stores,
-            l1_misses,
-            l2_misses,
-            prefetch_issued,
-            prefetch_useful,
-            simd_weighted: instructions * vector_factor / (p.vector_lanes as f64).max(1.0),
-            latency_s: cycles / (p.freq_ghz * 1e9),
+        // Attribution: the binding side keeps full weight, the hidden side
+        // is scaled by the 0.25 overlap factor, so the components add back
+        // up to `cycles` (within ulps — the L2/DRAM latency split uses
+        // separate accumulators).
+        let (cscale, mscale) = if compute_cycles >= mem_cycles {
+            (1.0, 0.25)
+        } else {
+            (0.25, 1.0)
+        };
+        let to_s = 1.0 / (p.freq_ghz * 1e9);
+        let components = CostComponents {
+            compute_s: cscale * compute_cycles * to_s,
+            l2_transfer_s: mscale * l2_traffic_cycles * to_s,
+            dram_transfer_s: mscale * dram_traffic_cycles * to_s,
+            l2_latency_s: mscale * l2_lat_cycles / speedup * to_s,
+            dram_latency_s: mscale * dram_lat_cycles / speedup * to_s,
+        };
+        let bank_conflict_s = if bank_conflict {
+            cscale * compute_cycles * (1.0 - 1.0 / p.bank_conflict_penalty) * to_s
+        } else {
+            0.0
+        };
+
+        StmtCost {
+            counters: Counters {
+                instructions,
+                flops,
+                l1_loads,
+                l1_stores,
+                l1_misses,
+                l2_misses,
+                prefetch_issued,
+                prefetch_useful,
+                simd_weighted: instructions * vector_factor / (p.vector_lanes as f64).max(1.0),
+                latency_s: cycles / (p.freq_ghz * 1e9),
+            },
+            components,
+            bank_conflict_s,
         }
     }
 }

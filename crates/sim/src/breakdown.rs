@@ -1,0 +1,246 @@
+//! Cost attribution: structured breakdowns of simulated latency.
+//!
+//! The analytical model ([`crate::Simulator`]) and the trace-driven
+//! executor ([`crate::trace_program`]) both produce a single scalar
+//! latency; this module attaches *where the time went* — compute vs.
+//! L2/DRAM transfer vs. exposed miss latency — attributed to stable
+//! loop-nest paths (e.g. `c2d#0/o.o/h/w/ri/o.i@vec`), rolled up per
+//! lowered group and per program.
+//!
+//! Conservation is the module's contract: the component seconds of every
+//! leaf sum (within floating-point ulps) to that leaf's latency, and leaf
+//! latencies plus per-group overhead sum *exactly* to the scalar the
+//! tuner measures, because both are produced by the same walk in the same
+//! order. Profiling is pure observation; it never changes a latency.
+
+use alt_loopir::tir::LoopKind;
+
+use crate::analytic::Counters;
+use crate::profiles::MachineProfile;
+
+/// Additive decomposition of one leaf's modeled latency, in seconds.
+///
+/// The analytic model prices a statement as
+/// `max(compute, mem) + 0.25 * min(compute, mem)`; the breakdown keeps
+/// whichever side binds at full weight and scales the hidden side by the
+/// 0.25 overlap factor, so the fields always sum to the leaf latency.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostComponents {
+    /// Instruction-issue time (SIMD- and parallel-scaled).
+    pub compute_s: f64,
+    /// L1-miss line fills served from L2 (bandwidth term).
+    pub l2_transfer_s: f64,
+    /// L2-miss line fills served from DRAM (bandwidth term).
+    pub dram_transfer_s: f64,
+    /// Exposed (not MLP/prefetch-hidden) L2 hit latency.
+    pub l2_latency_s: f64,
+    /// Exposed DRAM access latency.
+    pub dram_latency_s: f64,
+}
+
+impl CostComponents {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.compute_s
+            + self.l2_transfer_s
+            + self.dram_transfer_s
+            + self.l2_latency_s
+            + self.dram_latency_s
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn add(&mut self, other: &CostComponents) {
+        self.compute_s += other.compute_s;
+        self.l2_transfer_s += other.l2_transfer_s;
+        self.dram_transfer_s += other.dram_transfer_s;
+        self.l2_latency_s += other.l2_latency_s;
+        self.dram_latency_s += other.dram_latency_s;
+    }
+
+    /// Total memory-side seconds (everything but compute).
+    pub fn memory_s(&self) -> f64 {
+        self.l2_transfer_s + self.dram_transfer_s + self.l2_latency_s + self.dram_latency_s
+    }
+}
+
+/// One loop on the path from a group root to a statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopSeg {
+    /// Lineage-derived loop name (stable across runs and equivalent
+    /// schedules; see `alt-loopir` lowering).
+    pub name: String,
+    /// Trip count.
+    pub extent: i64,
+    /// Loop annotation.
+    pub kind: LoopKind,
+}
+
+impl LoopSeg {
+    /// Renders the segment with its annotation marker (`@par`, `@vec`,
+    /// `@unroll`).
+    pub fn render(&self) -> String {
+        match self.kind {
+            LoopKind::Serial => self.name.clone(),
+            LoopKind::Parallel => format!("{}@par", self.name),
+            LoopKind::Vectorized => format!("{}@vec", self.name),
+            LoopKind::Unrolled => format!("{}@unroll", self.name),
+        }
+    }
+}
+
+/// Joins path segments into the canonical `a/b@vec/c` string.
+pub fn render_path(segs: &[LoopSeg]) -> String {
+    segs.iter()
+        .map(LoopSeg::render)
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Cost of one statement (leaf) under its loop-nest path.
+#[derive(Clone, Debug)]
+pub struct LeafCost {
+    /// Enclosing loops, outermost first.
+    pub path: Vec<LoopSeg>,
+    /// Name of the buffer the statement writes.
+    pub store: String,
+    /// Modeled latency of this leaf in seconds (bit-identical to the
+    /// value the tuner's scalar measurement accumulates).
+    pub latency_s: f64,
+    /// Additive decomposition of `latency_s`.
+    pub components: CostComponents,
+    /// Full performance counters for this leaf.
+    pub counters: Counters,
+    /// Seconds lost to GPU shared-memory bank conflicts (already included
+    /// in `components.compute_s`; diagnostic, not additive).
+    pub bank_conflict_s: f64,
+}
+
+impl LeafCost {
+    /// The canonical path string, e.g. `o.o@par/h/w/ri/o.i@vec`.
+    pub fn path_string(&self) -> String {
+        render_path(&self.path)
+    }
+}
+
+/// Breakdown of one lowered group (a fused operator nest or a layout
+/// conversion).
+#[derive(Clone, Debug)]
+pub struct GroupBreakdown {
+    /// Group label, e.g. `c2d#3` or `convert(x)`.
+    pub label: String,
+    /// Fork/join or kernel-launch overhead charged to the group.
+    pub overhead_s: f64,
+    /// Per-statement costs in walk order.
+    pub leaves: Vec<LeafCost>,
+    /// Group latency: leaf latencies plus overhead, accumulated in walk
+    /// order (exactly the scalar the tuner sees for this group).
+    pub total_s: f64,
+}
+
+impl GroupBreakdown {
+    /// Component rollup over all leaves (overhead excluded).
+    pub fn components(&self) -> CostComponents {
+        let mut c = CostComponents::default();
+        for leaf in &self.leaves {
+            c.add(&leaf.components);
+        }
+        c
+    }
+}
+
+/// Full cost attribution of a program on one machine profile.
+#[derive(Clone, Debug)]
+pub struct CostBreakdown {
+    /// Machine profile name.
+    pub machine: String,
+    /// Per-group breakdowns in program order.
+    pub groups: Vec<GroupBreakdown>,
+    /// End-to-end latency (bit-identical to [`crate::Simulator::measure`]).
+    pub total_s: f64,
+    /// Aggregate counters (bit-identical to
+    /// [`crate::Simulator::profile_counters`]).
+    pub counters: Counters,
+}
+
+impl CostBreakdown {
+    /// Component rollup over the whole program (group overheads excluded;
+    /// see [`CostBreakdown::overhead_s`]).
+    pub fn components(&self) -> CostComponents {
+        let mut c = CostComponents::default();
+        for g in &self.groups {
+            c.add(&g.components());
+        }
+        c
+    }
+
+    /// Total per-group overhead seconds.
+    pub fn overhead_s(&self) -> f64 {
+        self.groups.iter().map(|g| g.overhead_s).sum()
+    }
+}
+
+/// Roofline summary: where a measured kernel sits against the machine's
+/// compute and memory-bandwidth ceilings.
+#[derive(Clone, Copy, Debug)]
+pub struct Roofline {
+    /// Arithmetic intensity in FLOP per DRAM byte.
+    pub arithmetic_intensity: f64,
+    /// Attained GFLOP/s (`flops / latency`).
+    pub attained_gflops: f64,
+    /// Machine peak GFLOP/s (all cores, full vectors).
+    pub peak_gflops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// The roofline at this intensity: `min(peak, AI * bandwidth)`.
+    pub ceiling_gflops: f64,
+    /// True when the compute ceiling binds (the kernel sits on the flat
+    /// part of the roof), false when memory bandwidth binds.
+    pub compute_bound: bool,
+}
+
+impl Roofline {
+    /// `"compute"` or `"bandwidth"` — the binding ceiling.
+    pub fn binding(&self) -> &'static str {
+        if self.compute_bound {
+            "compute"
+        } else {
+            "bandwidth"
+        }
+    }
+}
+
+/// Computes the roofline position of a measured kernel from its counters.
+///
+/// DRAM traffic is modeled as one line fill per L2 miss; a kernel whose
+/// working set never leaves L2 gets an effectively infinite intensity and
+/// lands on the compute roof.
+pub fn roofline(profile: &MachineProfile, counters: &Counters) -> Roofline {
+    let hz = profile.freq_ghz * 1e9;
+    let peak = hz
+        * profile.flops_per_cycle
+        * profile.vector_lanes as f64
+        * profile.cores as f64
+        * profile.parallel_efficiency;
+    let bandwidth = hz * profile.dram_bytes_per_cycle;
+    let dram_bytes = counters.l2_misses * profile.l2.line_bytes as f64;
+    let ai = if dram_bytes > 0.0 {
+        counters.flops / dram_bytes
+    } else {
+        f64::INFINITY
+    };
+    let attained = if counters.latency_s > 0.0 {
+        counters.flops / counters.latency_s
+    } else {
+        0.0
+    };
+    let bw_roof = ai * bandwidth;
+    let ceiling = peak.min(bw_roof);
+    Roofline {
+        arithmetic_intensity: ai,
+        attained_gflops: attained / 1e9,
+        peak_gflops: peak / 1e9,
+        bandwidth_gbs: bandwidth / 1e9,
+        ceiling_gflops: ceiling / 1e9,
+        compute_bound: peak <= bw_roof,
+    }
+}

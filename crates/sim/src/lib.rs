@@ -11,13 +11,24 @@
 //!   next-N-lines prefetcher (Table 2).
 //! * [`analytic`] — the analytical latency model used as "target
 //!   hardware" by every auto-tuner in this repository.
+//! * [`breakdown`] — cost attribution: per-loop-path decomposition of
+//!   modeled latency (compute vs. cache/DRAM time) plus a roofline
+//!   summary; conservation (components sum to the measured scalar) is
+//!   the module contract.
 
 pub mod analytic;
+pub mod breakdown;
 pub mod cache;
 pub mod profiles;
 pub mod trace;
 
 pub use analytic::{Counters, Simulator};
+pub use breakdown::{
+    render_path, roofline, CostBreakdown, CostComponents, GroupBreakdown, LeafCost, LoopSeg,
+    Roofline,
+};
 pub use cache::{CacheSim, CacheStats};
-pub use profiles::{arm_cpu, intel_cpu, nvidia_gpu, CacheLevel, MachineKind, MachineProfile};
-pub use trace::{trace_program, TraceCounters};
+pub use profiles::{
+    all_profiles, arm_cpu, intel_cpu, nvidia_gpu, CacheLevel, MachineKind, MachineProfile,
+};
+pub use trace::{trace_profile, trace_program, TraceBreakdown, TraceCounters, TracePathCost};

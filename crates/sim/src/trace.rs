@@ -11,8 +11,9 @@ use alt_tensor::expr::Env;
 
 use alt_loopir::tir::{Program, SExpr, Stmt, TirNode};
 
+use crate::breakdown::LoopSeg;
 use crate::cache::{CacheSim, CacheStats};
-use crate::profiles::CacheLevel;
+use crate::profiles::{CacheLevel, MachineProfile};
 
 /// Byte-address trace statistics from a full program walk.
 #[derive(Clone, Copy, Debug, Default)]
@@ -140,6 +141,156 @@ fn walk(
                 }
             }
             TirNode::Stmt(s) => exec_stmt(program, s, env, bases, sim, counters),
+        }
+    }
+}
+
+/// Trace-level cost of one statement site, attributed to its loop path.
+#[derive(Clone, Debug)]
+pub struct TracePathCost {
+    /// Lowered-group label the site belongs to.
+    pub group: String,
+    /// Enclosing loops, outermost first (stable lineage names).
+    pub path: Vec<LoopSeg>,
+    /// Name of the buffer the statement writes.
+    pub store: String,
+    /// Demand loads issued by this site.
+    pub loads: u64,
+    /// Stores issued by this site.
+    pub stores: u64,
+    /// Cache misses (loads and stores) charged to this site.
+    pub misses: u64,
+    /// Attributed seconds under the linear trace-latency model.
+    pub latency_s: f64,
+}
+
+/// Per-path attribution of a trace-driven run.
+///
+/// Latency uses a deliberately simple linear model — one cycle per
+/// access plus the profile's L2 latency per miss — so that the per-site
+/// integer counters sum exactly to the program totals and the attributed
+/// seconds conserve to `total_s` within floating-point ulps.
+#[derive(Clone, Debug)]
+pub struct TraceBreakdown {
+    /// Per-site costs in first-execution order.
+    pub paths: Vec<TracePathCost>,
+    /// Whole-program trace counters (identical to [`trace_program`]).
+    pub counters: TraceCounters,
+    /// Linear-model latency of the whole trace, computed from the global
+    /// counters (not by summing `paths`).
+    pub total_s: f64,
+}
+
+/// Trace-driven [`trace_program`] with per-loop-path attribution against
+/// the profile's L1 cache.
+pub fn trace_profile(program: &Program, profile: &MachineProfile) -> TraceBreakdown {
+    let mut sim = CacheSim::new(&profile.l1);
+    let mut counters = TraceCounters::default();
+
+    let mut bases = Vec::with_capacity(program.buffers.len());
+    let mut cursor: u64 = 0;
+    for b in &program.buffers {
+        bases.push(cursor);
+        let bytes = b.shape.numel() as u64 * 4;
+        cursor += bytes.div_ceil(4096) * 4096;
+    }
+
+    let mut env = Env::new();
+    let mut sites: Vec<TracePathCost> = Vec::new();
+    // Statement nodes are unique positions in the immutable loop tree, so
+    // their addresses are stable site keys for the duration of the walk.
+    let mut site_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for group in &program.groups {
+        let mut stack: Vec<LoopSeg> = Vec::new();
+        walk_attr(
+            program,
+            &group.nodes,
+            &group.label,
+            &mut env,
+            &bases,
+            &mut sim,
+            &mut counters,
+            &mut stack,
+            &mut sites,
+            &mut site_of,
+        );
+    }
+    counters.cache = sim.stats();
+
+    let cycle = |accesses: u64, misses: u64| -> f64 {
+        accesses as f64 + misses as f64 * profile.l2_latency_cycles
+    };
+    let hz = profile.freq_ghz * 1e9;
+    for s in &mut sites {
+        s.latency_s = cycle(s.loads + s.stores, s.misses) / hz;
+    }
+    let total_s = cycle(counters.cache.accesses, counters.cache.misses) / hz;
+    TraceBreakdown {
+        paths: sites,
+        counters,
+        total_s,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_attr(
+    program: &Program,
+    nodes: &[TirNode],
+    group: &str,
+    env: &mut Env,
+    bases: &[u64],
+    sim: &mut CacheSim,
+    counters: &mut TraceCounters,
+    stack: &mut Vec<LoopSeg>,
+    sites: &mut Vec<TracePathCost>,
+    site_of: &mut std::collections::HashMap<usize, usize>,
+) {
+    for node in nodes {
+        match node {
+            TirNode::Loop {
+                var,
+                extent,
+                kind,
+                body,
+            } => {
+                stack.push(LoopSeg {
+                    name: var.name().to_string(),
+                    extent: *extent,
+                    kind: *kind,
+                });
+                for i in 0..*extent {
+                    env.bind(var, i);
+                    walk_attr(
+                        program, body, group, env, bases, sim, counters, stack, sites, site_of,
+                    );
+                }
+                stack.pop();
+            }
+            TirNode::Stmt(s) => {
+                let key = s as *const Stmt as usize;
+                let idx = *site_of.entry(key).or_insert_with(|| {
+                    sites.push(TracePathCost {
+                        group: group.to_string(),
+                        path: stack.clone(),
+                        store: program.buffer(s.buf).name.clone(),
+                        loads: 0,
+                        stores: 0,
+                        misses: 0,
+                        latency_s: 0.0,
+                    });
+                    sites.len() - 1
+                });
+                let before = sim.stats();
+                let mut local = TraceCounters::default();
+                exec_stmt(program, s, env, bases, sim, &mut local);
+                let after = sim.stats();
+                counters.loads += local.loads;
+                counters.stores += local.stores;
+                let site = &mut sites[idx];
+                site.loads += local.loads;
+                site.stores += local.stores;
+                site.misses += after.misses - before.misses;
+            }
         }
     }
 }

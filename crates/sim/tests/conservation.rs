@@ -1,0 +1,218 @@
+//! Conservation property tests for cost attribution.
+//!
+//! For random small kernels (random layouts and schedules), the per-loop
+//! breakdown must *conserve*: component seconds sum to each leaf's
+//! latency, leaf latencies plus group overhead sum to the group total,
+//! and the breakdown total equals the scalar the tuner measures — on
+//! both the analytic and trace-driven paths, across all three machine
+//! profiles.
+
+use alt_layout::{presets, LayoutPlan, PropagationMode};
+use alt_loopir::{lower, AxisTiling, GraphSchedule, OpSchedule};
+use alt_sim::{all_profiles, trace_profile, Simulator};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+
+/// Deterministic LCG so kernels are reproducible per seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random small kernel: conv2d or GMM with a random layout preset and a
+/// random (possibly trivial) tiling schedule. Small enough for the exact
+/// trace-driven path.
+fn random_kernel(seed: u64) -> alt_loopir::Program {
+    let mut rng = Lcg(seed.wrapping_mul(2654435761).wrapping_add(99991));
+    let mut g = Graph::new();
+    let (op, out) = if rng.pick(2) == 0 {
+        let x = g.add_input("x", Shape::new([1, 8, 14, 14]));
+        let w = g.add_param("w", Shape::new([16, 8, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        (g.tensor(y).producer.unwrap(), y)
+    } else {
+        let a = g.add_input("a", Shape::new([24, 32]));
+        let b = g.add_param("b", Shape::new([32, 16]));
+        let y = ops::gmm(&mut g, a, b);
+        (g.tensor(y).producer.unwrap(), y)
+    };
+    let shape = g.tensor(out).shape.clone();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    let layout = match rng.pick(4) {
+        0 => None,
+        1 if shape.ndim() == 4 => presets::nhwo(shape.clone()).ok(),
+        2 if shape.ndim() == 4 => presets::c2d_output_tiled(shape.clone(), 4, 4, 8).ok(),
+        _ if shape.ndim() == 2 => presets::gmm_tiled(shape.clone(), 4, 8).ok(),
+        _ => presets::channel_tiled(shape.clone(), 4).ok(),
+    };
+    if let Some(l) = layout {
+        plan.assign_output_layout(&g, op, l);
+    }
+    let phys = plan.layout_of(&g, out).physical_shape();
+    let mut sched = GraphSchedule::naive();
+    if rng.pick(2) == 0 {
+        let mut spatial = vec![AxisTiling::none(); phys.ndim()];
+        for t in spatial.iter_mut() {
+            if rng.pick(2) == 0 {
+                *t = AxisTiling::one(match rng.pick(3) {
+                    0 => 1,
+                    1 => 2,
+                    _ => 4,
+                });
+            }
+        }
+        // Only keep tilings that divide the physical dims.
+        let reduce_ext: Vec<i64> = g
+            .node(op)
+            .compute
+            .reduce_axes
+            .iter()
+            .map(|a| a.extent)
+            .collect();
+        let cand = OpSchedule {
+            spatial,
+            reduce: Vec::new(),
+            vectorize: rng.pick(2) == 0,
+            unroll: rng.pick(2) == 0,
+            parallel: rng.pick(2) == 0,
+            fuse_into_producer: false,
+        };
+        if cand.validate(phys.dims(), &reduce_ext) {
+            sched.set(op, cand);
+        }
+    }
+    lower(&g, &plan, &sched)
+}
+
+/// |a - b| within `tol` relative to scale (1-ulp-scale tolerance on the
+/// accumulated sums).
+fn close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= 1e-9 * scale.max(1e-30)
+}
+
+#[test]
+fn analytic_breakdown_conserves_latency() {
+    for profile in all_profiles() {
+        let sim = Simulator::new(profile);
+        for seed in 0..12u64 {
+            let program = random_kernel(seed);
+            let measured = sim.measure(&program);
+            let b = sim.profile_program(&program);
+
+            // The breakdown total is the tuner's scalar, bit for bit.
+            assert_eq!(
+                b.total_s, measured,
+                "seed {seed} on {}: breakdown total diverges",
+                b.machine
+            );
+
+            let mut program_sum = 0.0;
+            for group in &b.groups {
+                let mut leaf_sum = 0.0;
+                for leaf in &group.leaves {
+                    // Component decomposition conserves per leaf.
+                    assert!(
+                        close(leaf.components.total(), leaf.latency_s, leaf.latency_s),
+                        "seed {seed} on {}: leaf `{}` components {} != latency {}",
+                        b.machine,
+                        leaf.path_string(),
+                        leaf.components.total(),
+                        leaf.latency_s
+                    );
+                    leaf_sum += leaf.latency_s;
+                }
+                assert!(
+                    close(leaf_sum + group.overhead_s, group.total_s, group.total_s),
+                    "seed {seed} on {}: group `{}` leaves {} + overhead {} != {}",
+                    b.machine,
+                    group.label,
+                    leaf_sum,
+                    group.overhead_s,
+                    group.total_s
+                );
+                program_sum += group.total_s;
+            }
+            assert!(
+                close(program_sum, b.total_s, b.total_s),
+                "seed {seed} on {}: groups {} != total {}",
+                b.machine,
+                program_sum,
+                b.total_s
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_breakdown_conserves_counts_and_latency() {
+    for profile in all_profiles() {
+        for seed in 0..6u64 {
+            let program = random_kernel(seed);
+            let tb = trace_profile(&program, &profile);
+
+            let loads: u64 = tb.paths.iter().map(|p| p.loads).sum();
+            let stores: u64 = tb.paths.iter().map(|p| p.stores).sum();
+            let misses: u64 = tb.paths.iter().map(|p| p.misses).sum();
+            assert_eq!(loads, tb.counters.loads, "seed {seed}: loads leak");
+            assert_eq!(stores, tb.counters.stores, "seed {seed}: stores leak");
+            assert_eq!(misses, tb.counters.cache.misses, "seed {seed}: misses leak");
+
+            let lat_sum: f64 = tb.paths.iter().map(|p| p.latency_s).sum();
+            assert!(
+                close(lat_sum, tb.total_s, tb.total_s),
+                "seed {seed} on {}: path latencies {} != total {}",
+                profile.name,
+                lat_sum,
+                tb.total_s
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_matches_untracked_run() {
+    // Attribution must not perturb the simulated cache: the attributed
+    // walk and the plain walk see identical access streams.
+    let program = random_kernel(3);
+    for profile in all_profiles() {
+        let plain = alt_sim::trace_program(&program, &profile.l1);
+        let attr = trace_profile(&program, &profile);
+        assert_eq!(plain.loads, attr.counters.loads);
+        assert_eq!(plain.stores, attr.counters.stores);
+        assert_eq!(plain.cache.misses, attr.counters.cache.misses);
+        assert_eq!(plain.cache.accesses, attr.counters.cache.accesses);
+    }
+}
+
+#[test]
+fn breakdown_paths_are_stable_and_named() {
+    // Loop paths use lineage names, not positional counters: profiling
+    // the same program twice yields identical path strings.
+    let program = random_kernel(1);
+    let sim = Simulator::new(alt_sim::intel_cpu());
+    let a = sim.profile_program(&program);
+    let b = sim.profile_program(&program);
+    let paths = |bd: &alt_sim::CostBreakdown| -> Vec<String> {
+        bd.groups
+            .iter()
+            .flat_map(|g| {
+                g.leaves
+                    .iter()
+                    .map(|l| format!("{}/{}", g.label, l.path_string()))
+            })
+            .collect()
+    };
+    assert_eq!(paths(&a), paths(&b));
+    assert!(!paths(&a).is_empty());
+}

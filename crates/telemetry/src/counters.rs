@@ -13,12 +13,18 @@ use crate::record::{CounterRecord, Record};
 use crate::sink::Telemetry;
 
 /// Summary statistics of an observed distribution.
+///
+/// Percentiles use the nearest-rank method over retained samples; see
+/// [`CounterRegistry::observe`] for the retention cap.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HistogramSummary {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
 }
 
 impl HistogramSummary {
@@ -29,7 +35,23 @@ impl HistogramSummary {
             self.sum / self.count as f64
         }
     }
+}
 
+/// Retained-sample cap per histogram: percentiles are exact up to this
+/// many observations and computed over the first `SAMPLE_CAP` afterwards
+/// (bounded memory beats reservoir noise for deterministic tuning runs).
+const SAMPLE_CAP: usize = 65536;
+
+#[derive(Default)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+}
+
+impl Hist {
     fn observe(&mut self, v: f64) {
         if self.count == 0 {
             self.min = v;
@@ -40,13 +62,39 @@ impl HistogramSummary {
         }
         self.count += 1;
         self.sum += v;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(v);
+        }
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            // Nearest-rank: the smallest value with at least q of the
+            // mass at or below it.
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
     }
 }
 
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, HistogramSummary>,
+    histograms: BTreeMap<String, Hist>,
 }
 
 /// Thread-safe registry of named counters and histograms under one scope.
@@ -102,18 +150,20 @@ impl CounterRegistry {
             .collect()
     }
 
-    /// Snapshot of a histogram's summary, if it has observations.
+    /// Snapshot of a histogram's summary (including p50/p95/p99
+    /// percentiles), if it has observations.
     pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
         self.inner
             .lock()
             .expect("registry poisoned")
             .histograms
             .get(name)
-            .copied()
+            .map(Hist::summary)
     }
 
-    /// Emits every counter (and histogram count/sum/min/max/mean) as
-    /// [`CounterRecord`]s, then clears the registry.
+    /// Emits every counter (and histogram
+    /// count/sum/min/max/mean/p50/p95/p99) as [`CounterRecord`]s, then
+    /// clears the registry.
     pub fn flush_to(&self, telemetry: &Telemetry) {
         let mut inner = self.inner.lock().expect("registry poisoned");
         for (name, value) in &inner.counters {
@@ -124,12 +174,16 @@ impl CounterRegistry {
             }));
         }
         for (name, h) in &inner.histograms {
+            let s = h.summary();
             for (suffix, value) in [
-                ("count", h.count as f64),
-                ("sum", h.sum),
-                ("min", h.min),
-                ("max", h.max),
-                ("mean", h.mean()),
+                ("count", s.count as f64),
+                ("sum", s.sum),
+                ("min", s.min),
+                ("max", s.max),
+                ("mean", s.mean()),
+                ("p50", s.p50),
+                ("p95", s.p95),
+                ("p99", s.p99),
             ] {
                 telemetry.emit(Record::Counter(CounterRecord {
                     scope: self.scope.clone(),
@@ -174,6 +228,25 @@ mod tests {
         assert_eq!(h.min, 2.0);
         assert_eq!(h.max, 6.0);
         assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.p50, 4.0);
+        assert_eq!(h.p99, 6.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let reg = CounterRegistry::new("sim");
+        for v in 1..=100 {
+            reg.observe("lat", v as f64);
+        }
+        let h = reg.histogram("lat").unwrap();
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
+        // A single observation is every percentile.
+        let reg1 = CounterRegistry::new("sim");
+        reg1.observe("one", 42.0);
+        let h1 = reg1.histogram("one").unwrap();
+        assert_eq!((h1.p50, h1.p95, h1.p99), (42.0, 42.0, 42.0));
     }
 
     #[test]
@@ -183,8 +256,8 @@ mod tests {
         reg.observe("util", 0.5);
         let (t, sink) = Telemetry::memory();
         reg.flush_to(&t);
-        // 1 counter + 5 histogram stats.
-        assert_eq!(sink.len(), 6);
+        // 1 counter + 8 histogram stats.
+        assert_eq!(sink.len(), 9);
         assert_eq!(reg.get("hits"), 0.0);
         let records = sink.records();
         match &records[0] {

@@ -22,6 +22,7 @@
 //!   report behind `altc report`.
 
 pub mod counters;
+pub mod perfetto;
 pub mod record;
 pub mod report;
 pub mod sink;
@@ -29,9 +30,11 @@ pub mod span;
 pub mod stats;
 
 pub use counters::{CounterRegistry, HistogramSummary};
+pub use perfetto::{chrome_trace, write_chrome_trace};
 pub use record::{
     CostModelRecord, CounterRecord, EventRecord, MeasurementFailureRecord, MeasurementRecord,
-    PpoUpdateRecord, Record, RunSummaryRecord, SimCounters, SpanRecord, Stage,
+    PpoUpdateRecord, ProfileNodeRecord, Record, RooflineRecord, RunSummaryRecord, SimCounters,
+    SpanRecord, Stage,
 };
 pub use report::{fmt_latency, read_jsonl, render_report};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, Telemetry};

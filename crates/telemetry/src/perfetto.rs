@@ -1,0 +1,461 @@
+//! Chrome-trace (Perfetto) export of tuning traces.
+//!
+//! Converts a recorded [`Record`] stream into the Trace Event Format
+//! consumed by `ui.perfetto.dev` and `chrome://tracing`: a JSON object
+//! with a `traceEvents` array of `"X"` (complete) slices and `"i"`
+//! (instant) marks.
+//!
+//! Two processes are emitted:
+//!
+//! * **pid 1 — tuning run**: real wall-clock spans and events on thread 1,
+//!   plus one thread per tuned operator carrying its measurements laid out
+//!   along *simulated* time (each trial's slice duration is its simulated
+//!   latency; failures and PPO updates appear as instants at the op's
+//!   simulated-time cursor).
+//! * **pid 2 — simulated execution**: the per-op cost profile
+//!   ([`crate::ProfileNodeRecord`]) as nested slices — one slice per
+//!   lowered group, containing one slice per loop-nest leaf — with the
+//!   roofline summary as an instant. Conservation of the breakdown makes
+//!   the nesting exact: children never overflow their parent slice.
+//!
+//! Every event carries `name`, `ph` and `ts`; every `"X"` slice carries
+//! `dur`. Timestamps are microseconds, as the format requires.
+
+use serde::Value;
+use serde_json::json;
+
+use crate::record::Record;
+
+const PID_TUNING: u64 = 1;
+const PID_SIM: u64 = 2;
+/// Tuning-run wall-clock thread.
+const TID_WALL: u64 = 1;
+/// First per-operator measurement thread.
+const TID_OPS: u64 = 10;
+
+/// Builds the Chrome-trace JSON value for a record stream.
+pub fn chrome_trace(records: &[Record]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+
+    events.push(meta_process(PID_TUNING, "tuning run"));
+    events.push(meta_process(PID_SIM, "simulated execution"));
+    events.push(meta_thread(PID_TUNING, TID_WALL, "wall clock"));
+
+    // Per-op measurement threads: tids in first-seen order, slice start
+    // cursors in simulated microseconds.
+    let mut op_tid: Vec<(String, u64)> = Vec::new();
+    let mut op_cursor: Vec<f64> = Vec::new();
+
+    // Simulated-execution timeline (pid 2): `sim_cursor` is where the
+    // next leaf slice starts; `group_end` is where the next *group*
+    // slice starts. They differ when a group carries overhead beyond the
+    // sum of its leaves — the next group must not overlap that slack.
+    let mut sim_cursor = 0.0f64;
+    let mut group_end = 0.0f64;
+
+    for r in records {
+        match r {
+            Record::Span(s) => events.push(json!({
+                "name": s.name.clone(),
+                "cat": "tuning",
+                "ph": "X",
+                "ts": s.start_us as f64,
+                "dur": s.dur_us as f64,
+                "pid": PID_TUNING,
+                "tid": TID_WALL,
+                "args": json!({"depth": s.depth}),
+            })),
+            Record::Event(e) => {
+                let mut args: Vec<(String, Value)> = Vec::new();
+                for (k, v) in &e.fields {
+                    args.push((k.clone(), Value::Str(v.clone())));
+                }
+                events.push(json!({
+                    "name": e.name.clone(),
+                    "cat": "tuning",
+                    "ph": "i",
+                    "ts": e.t_us as f64,
+                    "s": "t",
+                    "pid": PID_TUNING,
+                    "tid": TID_WALL,
+                    "args": Value::Object(args.into()),
+                }));
+            }
+            Record::Measurement(m) => {
+                let i = op_index(&m.op, &mut op_tid, &mut op_cursor, &mut events);
+                let dur = m.latency_s * 1e6;
+                events.push(json!({
+                    "name": format!("trial {}", m.seq),
+                    "cat": "measurement",
+                    "ph": "X",
+                    "ts": op_cursor[i],
+                    "dur": dur,
+                    "pid": PID_TUNING,
+                    "tid": op_tid[i].1,
+                    "args": json!({
+                        "stage": format!("{:?}", m.stage),
+                        "round": m.round,
+                        "candidate": m.candidate.clone(),
+                        "latency_s": m.latency_s,
+                        "best_so_far_s": m.best_so_far_s,
+                        "simd_utilization": m.counters.simd_utilization,
+                    }),
+                }));
+                op_cursor[i] += dur;
+            }
+            Record::MeasurementFailure(f) => {
+                let i = op_index(&f.op, &mut op_tid, &mut op_cursor, &mut events);
+                events.push(json!({
+                    "name": format!("fail {} ({})", f.seq, f.kind.clone()),
+                    "cat": "failure",
+                    "ph": "i",
+                    "ts": op_cursor[i],
+                    "s": "t",
+                    "pid": PID_TUNING,
+                    "tid": op_tid[i].1,
+                    "args": json!({
+                        "kind": f.kind.clone(),
+                        "error": f.error.clone(),
+                        "attempt": f.attempt,
+                        "backoff_us": f.backoff_us,
+                    }),
+                }));
+            }
+            Record::PpoUpdate(u) => {
+                let i = op_index(&u.op, &mut op_tid, &mut op_cursor, &mut events);
+                events.push(json!({
+                    "name": format!("ppo update {}", u.episode),
+                    "cat": "ppo",
+                    "ph": "i",
+                    "ts": op_cursor[i],
+                    "s": "t",
+                    "pid": PID_TUNING,
+                    "tid": op_tid[i].1,
+                    "args": json!({
+                        "reward_mean": u.reward_mean,
+                        "policy_loss": u.policy_loss,
+                        "entropy": u.entropy,
+                    }),
+                }));
+            }
+            Record::CostModel(c) => {
+                let i = op_index(&c.op, &mut op_tid, &mut op_cursor, &mut events);
+                events.push(json!({
+                    "name": format!("cost model r{}", c.round),
+                    "cat": "cost_model",
+                    "ph": "i",
+                    "ts": op_cursor[i],
+                    "s": "t",
+                    "pid": PID_TUNING,
+                    "tid": op_tid[i].1,
+                    "args": json!({"spearman": c.spearman, "train_size": c.train_size}),
+                }));
+            }
+            Record::ProfileNode(n) => {
+                let dur = n.latency_s * 1e6;
+                if n.path.is_empty() {
+                    // Group node: a new enclosing slice on the simulated
+                    // timeline; leaves that follow nest inside it.
+                    sim_cursor = group_end;
+                    group_end += dur;
+                    events.push(json!({
+                        "name": n.op.clone(),
+                        "cat": "profile",
+                        "ph": "X",
+                        "ts": sim_cursor,
+                        "dur": dur,
+                        "pid": PID_SIM,
+                        "tid": TID_WALL,
+                        "args": json!({
+                            "latency_s": n.latency_s,
+                            "overhead_s": n.overhead_s,
+                            "compute_s": n.compute_s,
+                            "l2_transfer_s": n.l2_transfer_s,
+                            "dram_transfer_s": n.dram_transfer_s,
+                            "l2_latency_s": n.l2_latency_s,
+                            "dram_latency_s": n.dram_latency_s,
+                        }),
+                    }));
+                } else {
+                    // Leaf: nested inside the current group slice.
+                    events.push(json!({
+                        "name": n.path.clone(),
+                        "cat": "profile",
+                        "ph": "X",
+                        "ts": sim_cursor,
+                        "dur": dur,
+                        "pid": PID_SIM,
+                        "tid": TID_WALL,
+                        "args": json!({
+                            "op": n.op.clone(),
+                            "store": n.store.clone(),
+                            "latency_s": n.latency_s,
+                            "compute_s": n.compute_s,
+                            "l2_transfer_s": n.l2_transfer_s,
+                            "dram_transfer_s": n.dram_transfer_s,
+                            "l2_latency_s": n.l2_latency_s,
+                            "dram_latency_s": n.dram_latency_s,
+                            "flops": n.flops,
+                            "l1_misses": n.l1_misses,
+                            "l2_misses": n.l2_misses,
+                            "prefetch_hidden": n.prefetch_hidden,
+                            "simd_utilization": n.simd_utilization,
+                            "bank_conflict_s": n.bank_conflict_s,
+                        }),
+                    }));
+                    sim_cursor += dur;
+                }
+            }
+            Record::Roofline(rl) => events.push(json!({
+                "name": format!("roofline: {} bound", rl.binding.clone()),
+                "cat": "profile",
+                "ph": "i",
+                "ts": sim_cursor,
+                "s": "p",
+                "pid": PID_SIM,
+                "tid": TID_WALL,
+                "args": json!({
+                    "machine": rl.machine.clone(),
+                    "arithmetic_intensity": rl.arithmetic_intensity,
+                    "attained_gflops": rl.attained_gflops,
+                    "peak_gflops": rl.peak_gflops,
+                    "bandwidth_gbs": rl.bandwidth_gbs,
+                    "ceiling_gflops": rl.ceiling_gflops,
+                }),
+            })),
+            Record::Counter(c) => events.push(json!({
+                "name": format!("{}/{}", c.scope.clone(), c.name.clone()),
+                "cat": "counter",
+                "ph": "C",
+                "ts": 0.0,
+                "pid": PID_TUNING,
+                "tid": TID_WALL,
+                "args": json!({"value": c.value}),
+            })),
+            Record::RunSummary(s) => events.push(json!({
+                "name": "run summary",
+                "cat": "tuning",
+                "ph": "i",
+                "ts": s.wall_s * 1e6,
+                "s": "g",
+                "pid": PID_TUNING,
+                "tid": TID_WALL,
+                "args": json!({
+                    "joint_budget": s.joint_budget,
+                    "loop_budget": s.loop_budget,
+                    "measurements": s.measurements,
+                    "best_latency_s": s.best_latency_s,
+                }),
+            })),
+        }
+    }
+
+    json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms",
+    })
+}
+
+/// Renders [`chrome_trace`] to a file (pretty-printed JSON).
+pub fn write_chrome_trace(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let v = chrome_trace(records);
+    let text = serde_json::to_string_pretty(&v)
+        .map_err(|e| std::io::Error::other(format!("serialize chrome trace: {e:?}")))?;
+    std::fs::write(path, text)
+}
+
+/// Index of `op`'s measurement thread, registering a new tid (and its
+/// thread-name metadata event) on first sight.
+fn op_index(
+    op: &str,
+    op_tid: &mut Vec<(String, u64)>,
+    op_cursor: &mut Vec<f64>,
+    events: &mut Vec<Value>,
+) -> usize {
+    if let Some(i) = op_tid.iter().position(|(o, _)| o == op) {
+        return i;
+    }
+    let tid = TID_OPS + op_tid.len() as u64;
+    events.push(meta_thread(PID_TUNING, tid, &format!("measure {op}")));
+    op_tid.push((op.to_string(), tid));
+    op_cursor.push(0.0);
+    op_tid.len() - 1
+}
+
+fn meta_process(pid: u64, name: &str) -> Value {
+    json!({
+        "name": "process_name",
+        "ph": "M",
+        "ts": 0.0,
+        "pid": pid,
+        "tid": 0,
+        "args": json!({"name": name}),
+    })
+}
+
+fn meta_thread(pid: u64, tid: u64, name: &str) -> Value {
+    json!({
+        "name": "thread_name",
+        "ph": "M",
+        "ts": 0.0,
+        "pid": pid,
+        "tid": tid,
+        "args": json!({"name": name}),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::*;
+
+    fn measurement(seq: u64, op: &str, latency_s: f64) -> Record {
+        Record::Measurement(MeasurementRecord {
+            seq,
+            op: op.into(),
+            stage: Stage::Joint,
+            round: 1,
+            candidate: "[0]".into(),
+            predicted_cost: None,
+            latency_s,
+            best_so_far_s: latency_s,
+            counters: SimCounters::default(),
+        })
+    }
+
+    fn profile_group(op: &str, latency_s: f64) -> Record {
+        Record::ProfileNode(ProfileNodeRecord {
+            op: op.into(),
+            path: String::new(),
+            store: String::new(),
+            latency_s,
+            compute_s: latency_s,
+            l2_transfer_s: 0.0,
+            dram_transfer_s: 0.0,
+            l2_latency_s: 0.0,
+            dram_latency_s: 0.0,
+            overhead_s: 0.0,
+            flops: 0.0,
+            l1_misses: 0.0,
+            l2_misses: 0.0,
+            prefetch_hidden: 0.0,
+            simd_utilization: 0.0,
+            bank_conflict_s: 0.0,
+        })
+    }
+
+    fn events(v: &Value) -> &[Value] {
+        match v.get("traceEvents") {
+            Some(Value::Array(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_event_has_required_fields() {
+        let records = vec![
+            Record::Span(SpanRecord {
+                name: "compile".into(),
+                depth: 0,
+                start_us: 0,
+                dur_us: 100,
+            }),
+            measurement(1, "c2d#0", 1e-4),
+            Record::MeasurementFailure(MeasurementFailureRecord {
+                seq: 2,
+                op: "c2d#0".into(),
+                stage: Stage::Joint,
+                round: 1,
+                candidate: "[1]".into(),
+                kind: "timeout".into(),
+                error: "injected".into(),
+                attempt: 1,
+                backoff_us: 100,
+            }),
+            profile_group("c2d#0", 2e-4),
+            Record::Roofline(RooflineRecord {
+                machine: "intel".into(),
+                arithmetic_intensity: 10.0,
+                attained_gflops: 100.0,
+                peak_gflops: 1000.0,
+                bandwidth_gbs: 100.0,
+                ceiling_gflops: 1000.0,
+                binding: "compute".into(),
+            }),
+        ];
+        let trace = chrome_trace(&records);
+        let evs = events(&trace);
+        assert!(evs.len() >= records.len());
+        for e in evs {
+            assert!(e.get("name").is_some(), "missing name: {e:?}");
+            assert!(e.get("ph").is_some(), "missing ph: {e:?}");
+            assert!(e.get("ts").is_some(), "missing ts: {e:?}");
+            assert!(e.get("pid").is_some(), "missing pid: {e:?}");
+            assert!(e.get("tid").is_some(), "missing tid: {e:?}");
+            if e.get("ph").and_then(Value::as_str) == Some("X") {
+                assert!(e.get("dur").is_some(), "X without dur: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn measurements_lay_out_along_simulated_time_per_op() {
+        let records = vec![
+            measurement(1, "a", 1e-6),
+            measurement(2, "b", 5e-6),
+            measurement(3, "a", 2e-6),
+        ];
+        let trace = chrome_trace(&records);
+        let slices: Vec<(&str, f64, f64)> = events(&trace)
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("measurement"))
+            .map(|e| {
+                (
+                    e.get("name").and_then(Value::as_str).unwrap(),
+                    e.get("ts").and_then(Value::as_f64).unwrap(),
+                    e.get("dur").and_then(Value::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(slices.len(), 3);
+        // Op `a`: trial 1 at 0, trial 3 starts where trial 1 ended.
+        assert_eq!(slices[0].1, 0.0);
+        assert_eq!(slices[2].1, slices[0].2);
+        // Op `b` has its own timeline starting at 0.
+        assert_eq!(slices[1].1, 0.0);
+    }
+
+    #[test]
+    fn profile_leaves_nest_inside_group_slices() {
+        let mut leaf = match profile_group("c2d#0", 1e-4) {
+            Record::ProfileNode(n) => n,
+            _ => unreachable!(),
+        };
+        leaf.path = "o@par/h/w".into();
+        leaf.latency_s = 4e-5;
+        let records = vec![profile_group("c2d#0", 1e-4), Record::ProfileNode(leaf)];
+        let trace = chrome_trace(&records);
+        let prof: Vec<&Value> = events(&trace)
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("profile"))
+            .collect();
+        assert_eq!(prof.len(), 2);
+        let (gts, gdur) = (
+            prof[0].get("ts").and_then(Value::as_f64).unwrap(),
+            prof[0].get("dur").and_then(Value::as_f64).unwrap(),
+        );
+        let (lts, ldur) = (
+            prof[1].get("ts").and_then(Value::as_f64).unwrap(),
+            prof[1].get("dur").and_then(Value::as_f64).unwrap(),
+        );
+        assert!(lts >= gts && lts + ldur <= gts + gdur, "leaf escapes group");
+    }
+
+    #[test]
+    fn trace_json_roundtrips() {
+        let records = vec![measurement(1, "a", 1e-5), profile_group("a", 1e-5)];
+        let text = serde_json::to_string(&chrome_trace(&records)).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert!(back.get("traceEvents").is_some());
+    }
+}

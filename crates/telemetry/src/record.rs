@@ -176,6 +176,68 @@ pub struct MeasurementFailureRecord {
     pub backoff_us: u64,
 }
 
+/// One node of a simulated-execution cost profile: a lowered group
+/// (`path == ""`) or one statement leaf attributed to its loop-nest path.
+///
+/// Component seconds are an additive decomposition of `latency_s`; group
+/// nodes additionally carry the fork/join or kernel-launch `overhead_s`
+/// so a trace consumer can reconstruct exact totals.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNodeRecord {
+    /// Lowered-group label, e.g. `c2d#0` or `convert(x)`.
+    pub op: String,
+    /// Loop-nest path (`o.o@par/h/w/o.i@vec`), empty on group nodes.
+    pub path: String,
+    /// Buffer the leaf statement writes, empty on group nodes.
+    pub store: String,
+    /// Modeled latency of this node in seconds.
+    pub latency_s: f64,
+    /// Instruction-issue seconds.
+    pub compute_s: f64,
+    /// L1-miss line fills served from L2.
+    pub l2_transfer_s: f64,
+    /// L2-miss line fills served from DRAM.
+    pub dram_transfer_s: f64,
+    /// Exposed L2 hit latency.
+    pub l2_latency_s: f64,
+    /// Exposed DRAM latency.
+    pub dram_latency_s: f64,
+    /// Group fork/join or kernel-launch overhead (group nodes only).
+    pub overhead_s: f64,
+    /// Scalar floating-point operations.
+    pub flops: f64,
+    /// L1 miss line-fill events (after prefetching).
+    pub l1_misses: f64,
+    /// L2 miss line-fill events.
+    pub l2_misses: f64,
+    /// Would-be demand misses absorbed by the modeled prefetcher.
+    pub prefetch_hidden: f64,
+    /// Instruction-weighted SIMD lane utilization in `[0, 1]`.
+    pub simd_utilization: f64,
+    /// Seconds lost to GPU shared-memory bank conflicts (diagnostic,
+    /// already inside `compute_s`).
+    pub bank_conflict_s: f64,
+}
+
+/// Roofline position of a profiled program on its machine profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RooflineRecord {
+    /// Machine profile name.
+    pub machine: String,
+    /// Arithmetic intensity in FLOP per DRAM byte.
+    pub arithmetic_intensity: f64,
+    /// Attained GFLOP/s.
+    pub attained_gflops: f64,
+    /// Machine peak GFLOP/s.
+    pub peak_gflops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Roofline at this intensity: `min(peak, AI x bandwidth)`.
+    pub ceiling_gflops: f64,
+    /// Binding ceiling: `compute` or `bandwidth`.
+    pub binding: String,
+}
+
 /// End-of-run summary written by the compiler.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunSummaryRecord {
@@ -201,6 +263,8 @@ pub enum Record {
     Span(SpanRecord),
     Event(EventRecord),
     Counter(CounterRecord),
+    ProfileNode(ProfileNodeRecord),
+    Roofline(RooflineRecord),
     RunSummary(RunSummaryRecord),
 }
 
@@ -215,6 +279,8 @@ impl Record {
             Record::Span(_) => "span",
             Record::Event(_) => "event",
             Record::Counter(_) => "counter",
+            Record::ProfileNode(_) => "profile_node",
+            Record::Roofline(_) => "roofline",
             Record::RunSummary(_) => "run_summary",
         }
     }
@@ -230,6 +296,8 @@ impl Serialize for Record {
             Record::Span(r) => r.to_value(),
             Record::Event(r) => r.to_value(),
             Record::Counter(r) => r.to_value(),
+            Record::ProfileNode(r) => r.to_value(),
+            Record::Roofline(r) => r.to_value(),
             Record::RunSummary(r) => r.to_value(),
         };
         let mut fields = vec![(
@@ -259,6 +327,8 @@ impl Deserialize for Record {
             "span" => Record::Span(SpanRecord::from_value(v)?),
             "event" => Record::Event(EventRecord::from_value(v)?),
             "counter" => Record::Counter(CounterRecord::from_value(v)?),
+            "profile_node" => Record::ProfileNode(ProfileNodeRecord::from_value(v)?),
+            "roofline" => Record::Roofline(RooflineRecord::from_value(v)?),
             "run_summary" => Record::RunSummary(RunSummaryRecord::from_value(v)?),
             other => return Err(serde::Error(format!("unknown record type `{other}`"))),
         })
@@ -341,6 +411,33 @@ mod tests {
                 scope: "sim".into(),
                 name: "l1_misses".into(),
                 value: 12345.0,
+            }),
+            Record::ProfileNode(ProfileNodeRecord {
+                op: "c2d#0".into(),
+                path: "o.o@par/h/w/ri/o.i@vec".into(),
+                store: "y".into(),
+                latency_s: 1.5e-4,
+                compute_s: 1.0e-4,
+                l2_transfer_s: 2.0e-5,
+                dram_transfer_s: 2.0e-5,
+                l2_latency_s: 5.0e-6,
+                dram_latency_s: 5.0e-6,
+                overhead_s: 0.0,
+                flops: 2e8,
+                l1_misses: 1e4,
+                l2_misses: 2e3,
+                prefetch_hidden: 9e3,
+                simd_utilization: 0.8,
+                bank_conflict_s: 0.0,
+            }),
+            Record::Roofline(RooflineRecord {
+                machine: "intel-xeon-avx512".into(),
+                arithmetic_intensity: 14.2,
+                attained_gflops: 812.0,
+                peak_gflops: 4608.0,
+                bandwidth_gbs: 120.0,
+                ceiling_gflops: 1704.0,
+                binding: "bandwidth".into(),
             }),
             Record::RunSummary(RunSummaryRecord {
                 joint_budget: 300,

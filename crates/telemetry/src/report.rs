@@ -248,7 +248,7 @@ fn render_counters(records: &[Record], out: &mut String) {
             measured += 1;
         }
     }
-    let mut flushed: Vec<(String, f64)> = records
+    let flushed: Vec<(String, f64)> = records
         .iter()
         .filter_map(|r| match r {
             Record::Counter(c) => Some((format!("{}/{}", c.scope, c.name), c.value)),
@@ -293,10 +293,56 @@ fn render_counters(records: &[Record], out: &mut String) {
             simd * 100.0
         ));
     }
-    if !flushed.is_empty() {
-        flushed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    // Histogram families flushed by `CounterRegistry` arrive as eight
+    // suffixed counters per histogram; fold each family back into one
+    // line with its percentiles instead of eight noisy entries.
+    let mut families: BTreeMap<String, BTreeMap<&'static str, f64>> = BTreeMap::new();
+    let mut plain: Vec<(String, f64)> = Vec::new();
+    const SUFFIXES: [&str; 8] = ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"];
+    for (name, value) in flushed {
+        match name.rsplit_once('.').and_then(|(base, suffix)| {
+            SUFFIXES
+                .iter()
+                .find(|s| **s == suffix)
+                .map(|s| (base.to_string(), *s))
+        }) {
+            Some((base, suffix)) => {
+                families.entry(base).or_default().insert(suffix, value);
+            }
+            None => plain.push((name, value)),
+        }
+    }
+    // A family that lacks the histogram shape (e.g. a plain counter
+    // someone named `x.max`) falls back to the flat list.
+    families.retain(|base, stats| {
+        if stats.contains_key("count") && stats.contains_key("p50") {
+            true
+        } else {
+            for (suffix, value) in stats.iter() {
+                plain.push((format!("{base}.{suffix}"), *value));
+            }
+            false
+        }
+    });
+    if !families.is_empty() {
+        out.push_str("histograms (p50/p95/p99 nearest-rank):\n");
+        for (base, stats) in &families {
+            let g = |k: &str| stats.get(k).copied().unwrap_or(0.0);
+            out.push_str(&format!(
+                "    {base}: n={:.0} mean={:.3e} p50={:.3e} p95={:.3e} p99={:.3e} max={:.3e}\n",
+                g("count"),
+                g("mean"),
+                g("p50"),
+                g("p95"),
+                g("p99"),
+                g("max"),
+            ));
+        }
+    }
+    if !plain.is_empty() {
+        plain.sort_by(|a, b| b.1.total_cmp(&a.1));
         out.push_str("top flushed counters:\n");
-        for (name, value) in flushed.iter().take(10) {
+        for (name, value) in plain.iter().take(10) {
             out.push_str(&format!("    {name} = {value:.3e}\n"));
         }
     }
@@ -415,6 +461,34 @@ mod tests {
         assert_eq!(curve_line.matches('@').count(), 8, "{curve_line}");
         assert!(curve_line.contains("@1 "), "{curve_line}");
         assert!(curve_line.contains("@100 "), "{curve_line}");
+    }
+
+    #[test]
+    fn histogram_families_fold_into_one_line() {
+        let mut records = vec![measurement(1, "op", Stage::Joint, 1e-3, 1e-3)];
+        let reg = crate::CounterRegistry::new("sim");
+        for v in 1..=100 {
+            reg.observe("trial_latency_us", v as f64);
+        }
+        let (t, sink) = crate::Telemetry::memory();
+        reg.flush_to(&t);
+        records.extend(sink.records());
+        let report = render_report(&records);
+        assert!(report.contains("sim/trial_latency_us: n=100"), "{report}");
+        assert!(report.contains("p95=9.500e1"), "{report}");
+        // The eight suffixed counters do not leak into the flat list.
+        assert!(!report.contains("trial_latency_us.p95"), "{report}");
+        // A lone `.max`-named counter is not mistaken for a histogram.
+        let records2 = vec![
+            measurement(1, "op", Stage::Joint, 1e-3, 1e-3),
+            Record::Counter(CounterRecord {
+                scope: "sim".into(),
+                name: "queue.max".into(),
+                value: 7.0,
+            }),
+        ];
+        let report2 = render_report(&records2);
+        assert!(report2.contains("sim/queue.max = 7.000e0"), "{report2}");
     }
 
     #[test]
