@@ -107,6 +107,18 @@ impl FaultInjector {
             Fault::Noise(_) => None,
         }
     }
+
+    /// Total variant of [`FaultInjector::error_for`]: every fault maps to
+    /// a typed error. A fault with no dedicated mapping (today only
+    /// [`Fault::Noise`], which the measurement path is supposed to
+    /// intercept before reaching the error path) degrades into
+    /// [`AltError::Injector`] so an internal inconsistency fails one
+    /// measurement instead of panicking away a long tuning run.
+    pub fn error_for_total(fault: Fault, candidate: &str) -> AltError {
+        Self::error_for(fault, candidate).unwrap_or_else(|| AltError::Injector {
+            detail: format!("unmapped injector outcome {fault:?} for candidate {candidate}"),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +176,24 @@ mod tests {
                 other => panic!("expected noise, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn every_fault_maps_to_a_typed_error() {
+        // The latency-bearing faults keep their dedicated errors...
+        let e = FaultInjector::error_for_total(Fault::CompileFail, "[1]");
+        assert_eq!(e.kind(), "injected_compile");
+        assert!(e.is_transient());
+        let e = FaultInjector::error_for_total(Fault::Timeout, "[1]");
+        assert_eq!(e.kind(), "timeout");
+        assert!(e.is_transient());
+        // ...while an outcome with no mapping (`Noise` reaching the
+        // error path) degrades into a typed, non-transient error rather
+        // than the panic this used to be.
+        let e = FaultInjector::error_for_total(Fault::Noise(2.0), "[1, 2]");
+        assert_eq!(e.kind(), "injector");
+        assert!(!e.is_transient());
+        assert!(e.to_string().contains("[1, 2]"), "{e}");
     }
 
     #[test]

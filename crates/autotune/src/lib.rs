@@ -21,6 +21,7 @@ pub mod features;
 pub mod gbt;
 pub mod measure;
 pub mod nn;
+pub mod parallel;
 pub mod ppo;
 pub mod pretrain;
 pub mod rng;
@@ -31,6 +32,7 @@ pub use checkpoint::TunerCheckpoint;
 pub use fault::{Fault, FaultConfig, FaultInjector};
 pub use gbt::{GbtModel, GbtParams};
 pub use measure::Measurer;
+pub use parallel::ordered_map;
 pub use ppo::{CriticState, PpoAgent, PpoWeights, SharedCritic};
 pub use pretrain::{pretrain_ppo, tune_with_pretraining};
 pub use rng::SharedRng;

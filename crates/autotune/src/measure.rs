@@ -9,11 +9,12 @@
 //! across the whole run.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use alt_error::AltError;
 use alt_layout::LayoutPlan;
 use alt_loopir::{lower, try_lower_filtered, GraphSchedule, Program};
-use alt_sim::{MachineProfile, Simulator};
+use alt_sim::{MachineProfile, SimCache, Simulator};
 use alt_telemetry::{
     CounterRegistry, MeasurementFailureRecord, MeasurementRecord, Record, SimCounters, Stage,
     Telemetry,
@@ -77,6 +78,10 @@ fn convert_counters(c: &alt_sim::Counters) -> SimCounters {
 pub struct Measurer<'g> {
     graph: &'g Graph,
     sim: Simulator,
+    /// Memoized simulations keyed by canonical program fingerprint.
+    /// Worker threads prewarm it; only `measure_program` reads it with
+    /// statistics, so the hit/miss transcript is jobs-invariant.
+    cache: Arc<SimCache>,
     telemetry: Telemetry,
     registry: CounterRegistry,
     injector: Option<FaultInjector>,
@@ -101,6 +106,7 @@ impl<'g> Measurer<'g> {
         Self {
             graph,
             sim: Simulator::new(profile),
+            cache: Arc::new(SimCache::new(&profile)),
             telemetry,
             registry: CounterRegistry::new("sim"),
             injector: None,
@@ -142,6 +148,16 @@ impl<'g> Measurer<'g> {
     /// against the budget).
     pub fn simulator(&self) -> &Simulator {
         &self.sim
+    }
+
+    /// The shared measurement memo cache (for worker-thread prewarming).
+    pub fn sim_cache(&self) -> &SimCache {
+        &self.cache
+    }
+
+    /// `(hits, misses)` of the measurement cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
     }
 
     /// Lowers only `op`'s fusion group (plus its conversion groups).
@@ -206,25 +222,34 @@ impl<'g> Measurer<'g> {
         let mut noise = 1.0;
         if let Some(inj) = self.injector.as_mut() {
             match inj.draw() {
-                Some(fault @ (Fault::CompileFail | Fault::Timeout)) => {
-                    let err = FaultInjector::error_for(fault, &self.ctx.candidate)
-                        .expect("compile/timeout faults map to errors");
+                Some(Fault::Noise(factor)) => noise = factor,
+                Some(fault) => {
+                    // Total mapping: an injector outcome that has no
+                    // dedicated error (a bug, not a tuning event) degrades
+                    // into a typed `AltError` instead of aborting the run.
+                    let err = FaultInjector::error_for_total(fault, &self.ctx.candidate);
                     self.record_failure(&err);
                     return Err(err);
                 }
-                Some(Fault::Noise(factor)) => noise = factor,
                 None => {}
             }
         }
-        let lat = if self.telemetry.is_enabled() {
-            let c = match self.sim.try_profile_counters(program) {
-                Ok(c) => c,
-                Err(e) => {
-                    self.record_failure(&e);
-                    return Err(e);
-                }
-            };
-            let lat = c.latency_s * noise;
+        // One memoized simulation serves traced and plain runs alike:
+        // `try_measure` is exactly `try_profile_counters(..).latency_s`,
+        // so a cached `Counters` entry reproduces either bit-for-bit. A
+        // hit still consumed this call's budget unit above and still
+        // emits its one trace record below.
+        let (c, hit) = match self.cache.try_profile(&self.sim, program) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_failure(&e);
+                return Err(e);
+            }
+        };
+        self.registry
+            .add(if hit { "cache.hits" } else { "cache.misses" }, 1.0);
+        let lat = c.latency_s * noise;
+        if self.telemetry.is_enabled() {
             let best = self
                 .best_by_op
                 .entry(self.ctx.op.clone())
@@ -252,16 +277,7 @@ impl<'g> Measurer<'g> {
                 best_so_far_s: best,
                 counters: convert_counters(&c),
             }));
-            lat
-        } else {
-            match self.sim.try_measure(program) {
-                Ok(l) => l * noise,
-                Err(e) => {
-                    self.record_failure(&e);
-                    return Err(e);
-                }
-            }
-        };
+        }
         self.history.push((self.used, lat));
         Ok(lat)
     }
@@ -375,6 +391,59 @@ mod tests {
         assert!(counters.contains(&"l1.accesses"), "{counters:?}");
         assert!(counters.contains(&"prefetch.useful"), "{counters:?}");
         assert!(counters.contains(&"simd.utilization.mean"), "{counters:?}");
+    }
+
+    #[test]
+    fn repeat_measurements_are_cache_hits_with_identical_accounting() {
+        let g = graph();
+        let (t, sink) = Telemetry::memory();
+        let mut m = Measurer::with_telemetry(&g, intel_cpu(), t);
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        let a = m.measure_op(&plan, &sched, op).unwrap();
+        let b = m.measure_op(&plan, &sched, op).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "cache must be bit-faithful");
+        assert_eq!(m.cache_stats(), (1, 1), "second measurement is a hit");
+        assert_eq!(m.used, 2, "a hit still consumes its budget unit");
+        m.flush_counters();
+        let records = sink.records();
+        let measurements = records
+            .iter()
+            .filter(|r| matches!(r, Record::Measurement(_)))
+            .count();
+        assert_eq!(measurements, 2, "a hit still emits its trace record");
+        let counter = |name: &str| {
+            records
+                .iter()
+                .find_map(|r| match r {
+                    Record::Counter(c) if c.name == name => Some(c.value),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(counter("cache.hits"), 1.0);
+        assert_eq!(counter("cache.misses"), 1.0);
+    }
+
+    #[test]
+    fn prewarming_changes_no_measurement_and_no_statistic() {
+        let g = graph();
+        let mut m = Measurer::new(&g, intel_cpu());
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let sched = GraphSchedule::naive();
+        let op = g.complex_ops()[0];
+        let program = m.lower_op(&plan, &sched, op);
+        m.sim_cache().prewarm(m.simulator(), &program);
+        assert_eq!(m.cache_stats(), (0, 0), "prewarm is stat-silent");
+        // First budgeted measurement of a prewarmed program records the
+        // same (miss) transcript an unwarmed run would.
+        let lat = m.measure_op(&plan, &sched, op).unwrap();
+        assert_eq!(m.cache_stats(), (0, 1));
+        assert_eq!(lat.to_bits(), m.simulator().measure(&program).to_bits());
+        let again = m.measure_op(&plan, &sched, op).unwrap();
+        assert_eq!(m.cache_stats(), (1, 1));
+        assert_eq!(lat.to_bits(), again.to_bits());
     }
 
     #[test]

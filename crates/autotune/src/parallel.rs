@@ -1,0 +1,117 @@
+//! Deterministic fan-out: an order-preserving parallel map over scoped
+//! worker threads (PR 4).
+//!
+//! The tuner's hot path — lowering candidate schedules and simulating
+//! them — is pure, so it can run on worker threads while everything
+//! stateful (RNG draws, fault injection, budget accounting, telemetry)
+//! stays on the measurement thread. [`ordered_map`] is the only
+//! parallel primitive the tuner uses: items are claimed by an atomic
+//! work-stealing counter, but results are merged back **in submission
+//! order**, so the caller observes exactly the sequence a sequential
+//! loop would produce. With `jobs <= 1` the closure runs inline on the
+//! caller's thread, guaranteeing `--jobs 1` and `--jobs N` execute the
+//! same closure on the same items in the same logical order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Clamps a requested worker count to the machine's available
+/// parallelism.
+///
+/// Oversubscribing a small machine can only add scheduling overhead:
+/// the parallel workers do pure, CPU-bound work, so extra threads never
+/// help. On a single-core machine every `--jobs N` degrades to the
+/// inline sequential path — which is safe precisely because the jobs
+/// knob is transcript-invisible: results, traces, and accounting are
+/// bit-identical at any worker count, so the clamp can vary freely
+/// across machines.
+pub fn effective_jobs(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.min(cores).max(1)
+}
+
+/// Applies `f` to every item and returns the results in input order.
+///
+/// `f` must be pure with respect to observable tuner state: it may not
+/// draw from the tuner RNG, touch the budget, or emit telemetry. The
+/// function is called exactly once per item (no retries), and a worker
+/// panic propagates to the caller.
+pub fn ordered_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for w in workers {
+            for (i, r) in w.join().expect("measurement worker panicked") {
+                debug_assert!(slots[i].is_none(), "item {i} produced twice");
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every item is claimed exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 8, 64] {
+            let out = ordered_map(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_result() {
+        let items: Vec<u64> = (0..37).map(|i| i * 7 + 1).collect();
+        let slow_square = |_: usize, &x: &u64| {
+            // Jitter completion order so the merge actually reorders.
+            std::thread::sleep(std::time::Duration::from_micros(x % 5));
+            x * x
+        };
+        let seq = ordered_map(&items, 1, slow_square);
+        for jobs in [2, 3, 8] {
+            assert_eq!(ordered_map(&items, jobs, slow_square), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        let none: Vec<u32> = vec![];
+        assert!(ordered_map(&none, 8, |_, x| *x).is_empty());
+        assert_eq!(ordered_map(&[41u32], 8, |_, x| x + 1), vec![42]);
+    }
+}

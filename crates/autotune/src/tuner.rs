@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
-use alt_loopir::{GraphSchedule, OpSchedule};
+use alt_loopir::{try_lower_filtered, GraphSchedule, OpSchedule};
 use alt_sim::MachineProfile;
 use alt_telemetry::{
     CostModelRecord, CounterRegistry, PpoUpdateRecord, Record, Span, Stage, Telemetry,
@@ -37,6 +37,7 @@ use crate::fault::{FaultConfig, FaultInjector};
 use crate::features::extract_features;
 use crate::gbt::{GbtModel, GbtParams};
 use crate::measure::Measurer;
+use crate::parallel::ordered_map;
 use crate::ppo::{pad_obs, CriticState, PpoAgent, PpoWeights, SharedCritic};
 use crate::rng::SharedRng;
 use crate::space::{
@@ -126,6 +127,15 @@ pub struct TuneConfig {
     /// Stop at the first cut point at/after this many consumed units,
     /// writing a checkpoint first (simulates a killed run; tests).
     pub halt_after: Option<u64>,
+    /// Worker threads for candidate lowering/simulation (`--jobs` on
+    /// `altc`). Workers only do pure work — lowering, feature
+    /// extraction, and prewarming the measurement cache — while all RNG
+    /// draws, fault injection, accounting and telemetry stay on the
+    /// tuning thread, so any `jobs` value produces a bit-identical run;
+    /// `1` (the default) keeps everything inline. Clamped to the
+    /// machine's available parallelism at run time (the clamp cannot
+    /// change results, only wall-clock).
+    pub jobs: usize,
 }
 
 impl Default for TuneConfig {
@@ -153,6 +163,7 @@ impl Default for TuneConfig {
             checkpoint_every: 0,
             resume: None,
             halt_after: None,
+            jobs: 1,
         }
     }
 }
@@ -170,6 +181,12 @@ pub struct TuneResult {
     pub history: Vec<(u64, f64)>,
     /// Total measurements consumed.
     pub measurements: u64,
+    /// Measurement-cache hits (budgeted measurements served from the
+    /// memoized simulation table).
+    pub cache_hits: u64,
+    /// Measurement-cache misses (budgeted measurements that ran the
+    /// full performance model).
+    pub cache_misses: u64,
 }
 
 impl TuneResult {
@@ -464,12 +481,15 @@ impl<'g> Tuner<'g> {
         let latency = self.measurer.measure_graph_free(&plan, &sched);
         self.registry.flush_to(&telemetry);
         self.measurer.flush_counters();
+        let (cache_hits, cache_misses) = self.measurer.cache_stats();
         TuneResult {
             plan,
             sched,
             latency,
             history: self.measurer.history.clone(),
             measurements: self.measurer.used,
+            cache_hits,
+            cache_misses,
         }
     }
 
@@ -966,31 +986,50 @@ impl<'g> Tuner<'g> {
             // so skip lowering the whole batch and take a random subset.
             let state = self.loop_state.entry(op).or_insert_with(LoopTuneState::new);
             let model_trained = state.model.is_trained();
+            // When the model is untrained the ranking would be random
+            // anyway, so only a random subset is lowered at all.
+            if !model_trained {
+                candidates.truncate(self.cfg.topk.max(1));
+            }
+            // Lower every candidate and extract its features across the
+            // worker pool. This is the generation's pure, embarrassingly
+            // parallel work: lowering and featurization depend only on
+            // the (frozen) graph/plan/schedule, never on tuner state, so
+            // results are bit-identical for any `jobs` and are merged
+            // back in submission order.
+            // Requested workers, clamped to the machine (oversubscribing
+            // pure CPU-bound work only adds overhead; the clamp is
+            // invisible to the run transcript).
+            let jobs = crate::parallel::effective_jobs(self.cfg.jobs);
+            let lowered: Vec<Option<(OpSchedule, Vec<f32>)>> = {
+                let graph = self.graph;
+                let sched_ref: &GraphSchedule = sched;
+                let single: HashSet<OpId> = [op].into_iter().collect();
+                ordered_map(&candidates, jobs, |_, p| {
+                    let s = decode_loop_point(graph, plan, op, &space, p);
+                    let mut trial_sched = sched_ref.clone();
+                    trial_sched.set(op, s.clone());
+                    let program =
+                        try_lower_filtered(graph, plan, &trial_sched, Some(&single)).ok()?;
+                    Some((s, extract_features(&program)))
+                })
+            };
+            // Rank by the cost model (higher prediction = faster); the
+            // GBT prediction itself stays on the tuning thread.
             let mut scored: Vec<(f64, Point, OpSchedule, Vec<f32>)> = Vec::new();
+            for (p, lf) in candidates.into_iter().zip(lowered) {
+                let Some((s, feats)) = lf else {
+                    continue;
+                };
+                let score = if model_trained {
+                    self.loop_state[&op].model.predict(&feats) as f64
+                } else {
+                    0.0
+                };
+                scored.push((score, p, s, feats));
+            }
             if model_trained {
-                for p in candidates {
-                    let s = decode_loop_point(self.graph, plan, op, &space, &p);
-                    let mut trial_sched = sched.clone();
-                    trial_sched.set(op, s.clone());
-                    let Ok(program) = self.measurer.try_lower_op(plan, &trial_sched, op) else {
-                        continue;
-                    };
-                    let feats = extract_features(&program);
-                    let score = self.loop_state[&op].model.predict(&feats) as f64;
-                    scored.push((score, p, s, feats));
-                }
                 scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-            } else {
-                for p in candidates.into_iter().take(self.cfg.topk.max(1)) {
-                    let s = decode_loop_point(self.graph, plan, op, &space, &p);
-                    let mut trial_sched = sched.clone();
-                    trial_sched.set(op, s.clone());
-                    let Ok(program) = self.measurer.try_lower_op(plan, &trial_sched, op) else {
-                        continue;
-                    };
-                    let feats = extract_features(&program);
-                    scored.push((0.0, p, s, feats));
-                }
             }
             // Measure the predicted top-k. `k` respects the remaining
             // budget cap strictly: when nothing is left, the round stops.
@@ -1001,6 +1040,30 @@ impl<'g> Tuner<'g> {
                 .min(budget_cap.saturating_sub(self.measurer.used - start) as usize);
             if k == 0 {
                 break;
+            }
+            // Prewarm the measurement cache for the k candidates about
+            // to be measured: workers lower each candidate *with its
+            // measurement neighborhood* (the exact program the loop
+            // below measures) and simulate it into the shared memo
+            // table. The sequential loop then consumes warm entries, so
+            // its transcript — RNG draws, faults, budget, telemetry,
+            // hit/miss counters — is byte-identical to an unwarmed run.
+            // Skipped at effective `jobs <= 1` (sequential request or a
+            // single-core machine), where inline prewarming would only
+            // duplicate the lowering work.
+            if jobs > 1 {
+                let graph = self.graph;
+                let sim = self.measurer.simulator();
+                let cache = self.measurer.sim_cache();
+                let sched_ref: &GraphSchedule = sched;
+                ordered_map(&scored[..k], jobs, |_, (_, _, s, _)| {
+                    let mut trial_sched = sched_ref.clone();
+                    trial_sched.set(op, s.clone());
+                    if let Ok(program) = try_lower_filtered(graph, plan, &trial_sched, Some(&roots))
+                    {
+                        cache.prewarm(sim, &program);
+                    }
+                });
             }
             let mut measured: Vec<(f64, f64)> = Vec::with_capacity(k);
             for (score, p, s, feats) in scored.into_iter().take(k) {

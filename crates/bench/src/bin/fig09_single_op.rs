@@ -35,6 +35,7 @@ fn alt_tune(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) -> T
         loop_budget: budget - joint,
         free_input_layouts: true,
         seed,
+        jobs: alt_bench::jobs(),
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -72,6 +73,8 @@ fn main() {
         // per op family -> list of per-case latencies by system.
         let mut by_op: HashMap<&str, Vec<HashMap<String, f64>>> = HashMap::new();
         let mut alt_lats: Vec<f64> = Vec::new();
+        let mut alt_wall = 0.0f64;
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
         for case in &cases {
             let g = &case.graph;
             let mut lats: HashMap<String, f64> = HashMap::new();
@@ -89,7 +92,11 @@ fn main() {
                 flextensor_like(g, profile, budget, 1).latency,
             );
             lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
+            let t0 = std::time::Instant::now();
             let alt = alt_tune(g, profile, budget, 1);
+            alt_wall += t0.elapsed().as_secs_f64();
+            cache_hits += alt.cache_hits;
+            cache_misses += alt.cache_misses;
             report.note_run(alt.measurements, alt.latency);
             alt_lats.push(alt.latency);
             lats.insert("ALT".into(), alt.latency);
@@ -135,6 +142,23 @@ fn main() {
             format!("{}/alt_geomean_latency_s", profile.name),
             alt_bench::geomean(&alt_lats),
         );
+        // Informational (not regression-gated): tuning wall-clock at
+        // ALT_JOBS workers and the memoized-simulation hit rate.
+        let lookups = cache_hits + cache_misses;
+        let hit_rate = if lookups > 0 {
+            cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        println!(
+            "ALT tuning wall-clock on {}: {alt_wall:.2} s at {} job(s); \
+             sim-cache hit rate {:.1}% ({cache_hits}/{lookups})",
+            profile.name,
+            alt_bench::jobs(),
+            hit_rate * 100.0
+        );
+        report.note_metric(format!("{}/tune_wall_s", profile.name), alt_wall);
+        report.note_metric(format!("{}/cache_hit_rate", profile.name), hit_rate);
     }
 
     if report_ot && !ot_observations.is_empty() {

@@ -39,6 +39,7 @@ fn alt_full_e2e(
         mode: PropagationMode::Full,
         free_input_layouts: false,
         seed,
+        jobs: alt_bench::jobs(),
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -105,6 +106,8 @@ fn main() {
         let printer = TablePrinter::new(&headers, &[10, 12, 12, 12, 12, 12, 12]);
         let mut per_case: Vec<HashMap<String, f64>> = Vec::new();
         let mut names = Vec::new();
+        let mut alt_wall = 0.0f64;
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
         for (name, g) in workloads(&profile) {
             let mut lats: HashMap<String, f64> = HashMap::new();
             // Vendor graph compiler: ARM Torch runs eager (no fusion).
@@ -117,7 +120,11 @@ fn main() {
                 autotvm_like(&g, profile, budget, 1).latency,
             );
             lats.insert("Ansor".into(), ansor_like(&g, profile, budget, 1).latency);
+            let t0 = std::time::Instant::now();
             let alt = alt_full_e2e(&g, profile, budget, 1);
+            alt_wall += t0.elapsed().as_secs_f64();
+            cache_hits += alt.cache_hits;
+            cache_misses += alt.cache_misses;
             report.note_run(alt.measurements, alt.latency);
             if per_case.is_empty() {
                 let program = alt_loopir::lower(&g, &alt.plan, &alt.sched);
@@ -181,6 +188,23 @@ fn main() {
             format!("{}/alt_vs_ansor_speedup", profile.name),
             speedup("ALT", "Ansor"),
         );
+        // Informational (not regression-gated): tuning wall-clock at
+        // ALT_JOBS workers and the memoized-simulation hit rate.
+        let lookups = cache_hits + cache_misses;
+        let hit_rate = if lookups > 0 {
+            cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        println!(
+            "ALT tuning wall-clock on {}: {alt_wall:.2} s at {} job(s); \
+             sim-cache hit rate {:.1}% ({cache_hits}/{lookups})",
+            profile.name,
+            alt_bench::jobs(),
+            hit_rate * 100.0
+        );
+        report.note_metric(format!("{}/tune_wall_s", profile.name), alt_wall);
+        report.note_metric(format!("{}/cache_hit_rate", profile.name), hit_rate);
     }
     report.set_profile(serde_json::Value::Object(profiles));
     report.write();

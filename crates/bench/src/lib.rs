@@ -74,6 +74,17 @@ pub fn scaled(budget: u64) -> u64 {
     ((budget as f64) * budget_scale()).round().max(1.0) as u64
 }
 
+/// Reads the measurement worker-thread count from `ALT_JOBS` (default 1).
+/// Any value yields bit-identical tuning results — workers only prewarm
+/// the memoized simulation cache — so this trades wall-clock only.
+pub fn jobs() -> usize {
+    std::env::var("ALT_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or(1)
+}
+
 /// Formats a latency in adaptive units.
 pub fn fmt_latency(seconds: f64) -> String {
     if seconds >= 1e-3 {

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! altc --model r18 --platform intel --budget 400
+//! altc --model r18 --budget 400 --jobs 8
 //! altc --model mv2 --platform gpu --budget 200 --json
 //! altc --model r18 --dot > r18.dot
 //! altc --model r18 --budget 64 --trace r18.trace.jsonl
@@ -33,6 +34,7 @@ struct Args {
     checkpoint: Option<String>,
     checkpoint_every: u64,
     resume: Option<String>,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint: None,
         checkpoint_every: 0,
         resume: None,
+        jobs: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -89,6 +92,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--checkpoint-every: {e}"))?
             }
             "--resume" => args.resume = Some(value("--resume")?),
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -126,6 +137,10 @@ OPTIONS:
                              when --checkpoint is set]
         --resume <PATH>      resume tuning from a checkpoint written by a run
                              with the same model, platform, seed, and budget
+    -j, --jobs <N>           worker threads for candidate measurement; any N
+                             produces bit-identical results, traces, and
+                             accounting (workers only prewarm the memoized
+                             simulation cache)                        [default: 1]
     -h, --help               this message
 
 SUBCOMMANDS:
@@ -362,6 +377,7 @@ fn main() {
         checkpoint: args.checkpoint.clone(),
         checkpoint_every,
         resume: args.resume.clone(),
+        jobs: args.jobs,
         ..CompileOptions::default()
     });
     if let Some(path) = &args.trace {

@@ -75,6 +75,11 @@ pub struct CompileOptions {
     /// Resume tuning from a checkpoint file written by a previous run
     /// with the same graph and seed.
     pub resume: Option<String>,
+    /// Worker threads for candidate measurement (0 or 1 = sequential).
+    /// Any value produces a bit-identical compilation result, trace, and
+    /// budget accounting: workers only prewarm the memoized simulation
+    /// cache, while all accounting stays on one thread.
+    pub jobs: usize,
 }
 
 impl Default for CompileOptions {
@@ -93,6 +98,7 @@ impl Default for CompileOptions {
             checkpoint: None,
             checkpoint_every: 0,
             resume: None,
+            jobs: 1,
         }
     }
 }
@@ -166,6 +172,7 @@ impl Compiler {
             checkpoint_path: o.checkpoint.clone(),
             checkpoint_every: o.checkpoint_every,
             resume,
+            jobs: o.jobs,
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);
@@ -427,6 +434,30 @@ mod tests {
         // Profiling twice is idempotent, bit for bit.
         let again = profiled.profile_breakdown(intel_cpu());
         assert_eq!(breakdown.total_s, again.total_s);
+    }
+
+    #[test]
+    fn parallel_jobs_compile_bit_identically() {
+        let (g, _) = sample_graph();
+        let base = CompileOptions {
+            joint_budget: 12,
+            loop_budget: 12,
+            free_input_layouts: true,
+            seed: 9,
+            ..CompileOptions::default()
+        };
+        let seq = Compiler::new(intel_cpu())
+            .with_options(base.clone())
+            .compile(&g);
+        let par = Compiler::new(intel_cpu())
+            .with_options(CompileOptions { jobs: 4, ..base })
+            .compile(&g);
+        assert_eq!(
+            seq.estimated_latency().to_bits(),
+            par.estimated_latency().to_bits()
+        );
+        assert_eq!(seq.history(), par.history());
+        assert_eq!(seq.report(), par.report());
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub enum AltError {
         /// Human-readable failure description.
         detail: String,
     },
+    /// The fault injector produced an outcome the measurement path has
+    /// no mapping for — an internal inconsistency that degrades into a
+    /// failed measurement instead of aborting a long tuning run.
+    Injector {
+        /// Human-readable failure description.
+        detail: String,
+    },
 }
 
 impl AltError {
@@ -63,6 +70,7 @@ impl AltError {
             AltError::InjectedCompileFailure { .. } => "injected_compile",
             AltError::MeasureTimeout { .. } => "timeout",
             AltError::Checkpoint { .. } => "checkpoint",
+            AltError::Injector { .. } => "injector",
         }
     }
 
@@ -93,6 +101,7 @@ impl fmt::Display for AltError {
                 write!(f, "measurement timed out for candidate {candidate}")
             }
             AltError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
+            AltError::Injector { detail } => write!(f, "fault injector error: {detail}"),
         }
     }
 }
@@ -122,6 +131,7 @@ mod tests {
                 "timeout",
             ),
             (AltError::Checkpoint { detail: "x".into() }, "checkpoint"),
+            (AltError::Injector { detail: "x".into() }, "injector"),
         ];
         for (e, kind) in cases {
             assert_eq!(e.kind(), kind);
@@ -141,5 +151,9 @@ mod tests {
         .is_transient());
         assert!(!AltError::Layout { detail: "x".into() }.is_transient());
         assert!(!AltError::Lower { detail: "x".into() }.is_transient());
+        // An unexpected injector outcome is an internal inconsistency,
+        // not hardware flakiness: retrying would draw fresh RNG state and
+        // desynchronize the deterministic transcript.
+        assert!(!AltError::Injector { detail: "x".into() }.is_transient());
     }
 }

@@ -1,0 +1,364 @@
+//! Canonical structural fingerprint of a lowered [`Program`].
+//!
+//! The measurement cache (PR 4) keys simulated measurements by program
+//! identity: two schedule points that lower to the same loop nest over
+//! the same buffers must produce the same key, and any structural
+//! difference — a buffer shape, a loop extent or annotation, an index
+//! expression, a store mode, a predicate — must change it. `derive(Hash)`
+//! is deliberately avoided: the encoding below is explicit and versioned
+//! by construction, so the key is stable across refactors that only
+//! rearrange type definitions.
+//!
+//! The fingerprint is a 64-bit FNV-1a hash over a tagged pre-order
+//! walk of the program. Every node writes a distinct tag byte before its
+//! payload so that adjacent fields cannot alias (e.g. an empty `fused`
+//! list followed by a label is distinguishable from a label alone).
+//! A 64-bit digest has a ~2^-32 birthday collision probability around
+//! 65k distinct programs — far beyond any tuning run's working set —
+//! which DESIGN.md documents as an accepted trade-off for a
+//! dependency-free hasher.
+
+use alt_tensor::expr::Expr;
+use alt_tensor::op::{Cond, ScalarBinOp, UnaryOp};
+
+use crate::tir::{BufKind, Program, SExpr, Stmt, TirNode};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 over tagged byte streams.
+#[derive(Clone, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a tag byte marking the node kind about to be encoded.
+    pub fn tag(&mut self, t: u8) {
+        self.write(&[t]);
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` in little-endian byte order.
+    pub fn i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern (NaN payloads included, so the
+    /// encoding never equates distinct bit patterns).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Absorbs an `f32` by bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+/// Computes the canonical fingerprint of a lowered program.
+///
+/// Stable across identical lowerings (same layouts + same schedules ⇒
+/// same key) and sensitive to every structural field of the TIR. The
+/// machine profile is *not* part of this digest; the simulation cache
+/// mixes in its own profile fingerprint (see `alt-sim`).
+pub fn program_fingerprint(p: &Program) -> u64 {
+    let mut h = Fnv1a::new();
+    h.tag(0x50); // 'P'
+    h.u64(p.buffers.len() as u64);
+    for b in &p.buffers {
+        h.tag(0x42); // 'B'
+        h.str(&b.name);
+        h.u64(b.shape.dims().len() as u64);
+        for &d in b.shape.dims() {
+            h.i64(d);
+        }
+        match &b.kind {
+            BufKind::Tensor(t) => {
+                h.tag(0x01);
+                h.u64(t.0 as u64);
+            }
+            BufKind::Converted(t) => {
+                h.tag(0x02);
+                h.u64(t.0 as u64);
+            }
+        }
+    }
+    h.u64(p.groups.len() as u64);
+    for g in &p.groups {
+        h.tag(0x47); // 'G'
+        h.u64(g.root.0 as u64);
+        h.u64(g.fused.len() as u64);
+        for f in &g.fused {
+            h.u64(f.0 as u64);
+        }
+        h.str(&g.label);
+        h.u64(g.nodes.len() as u64);
+        for n in &g.nodes {
+            hash_node(&mut h, n);
+        }
+    }
+    h.finish()
+}
+
+fn hash_node(h: &mut Fnv1a, n: &TirNode) {
+    match n {
+        TirNode::Loop {
+            var,
+            extent,
+            kind,
+            body,
+        } => {
+            h.tag(0x4c); // 'L'
+            h.u64(var.id() as u64);
+            h.str(var.name());
+            h.i64(*extent);
+            h.tag(*kind as u8);
+            h.u64(body.len() as u64);
+            for c in body {
+                hash_node(h, c);
+            }
+        }
+        TirNode::Stmt(s) => {
+            h.tag(0x53); // 'S'
+            hash_stmt(h, s);
+        }
+    }
+}
+
+fn hash_stmt(h: &mut Fnv1a, s: &Stmt) {
+    h.u64(s.buf.0 as u64);
+    h.u64(s.indices.len() as u64);
+    for e in &s.indices {
+        hash_expr(h, e);
+    }
+    hash_sexpr(h, &s.value);
+    h.tag(s.mode as u8);
+    match &s.pred {
+        None => h.tag(0x00),
+        Some(c) => {
+            h.tag(0x01);
+            hash_cond(h, c);
+        }
+    }
+}
+
+fn hash_expr(h: &mut Fnv1a, e: &Expr) {
+    match e {
+        Expr::Const(v) => {
+            h.tag(0x10);
+            h.i64(*v);
+        }
+        Expr::Var(v) => {
+            h.tag(0x11);
+            h.u64(v.id() as u64);
+        }
+        Expr::Bin(op, a, b) => {
+            h.tag(0x12);
+            h.tag(*op as u8);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+    }
+}
+
+fn hash_sexpr(h: &mut Fnv1a, e: &SExpr) {
+    match e {
+        SExpr::Imm(v) => {
+            h.tag(0x20);
+            h.f32(*v);
+        }
+        SExpr::Load { buf, indices } => {
+            h.tag(0x21);
+            h.u64(buf.0 as u64);
+            h.u64(indices.len() as u64);
+            for i in indices {
+                hash_expr(h, i);
+            }
+        }
+        SExpr::Bin(op, a, b) => {
+            h.tag(0x22);
+            h.tag(scalar_bin_tag(*op));
+            hash_sexpr(h, a);
+            hash_sexpr(h, b);
+        }
+        SExpr::Unary(op, a) => {
+            h.tag(0x23);
+            h.tag(unary_tag(*op));
+            hash_sexpr(h, a);
+        }
+        SExpr::Select { cond, then_, else_ } => {
+            h.tag(0x24);
+            hash_cond(h, cond);
+            hash_sexpr(h, then_);
+            hash_sexpr(h, else_);
+        }
+    }
+}
+
+fn hash_cond(h: &mut Fnv1a, c: &Cond) {
+    match c {
+        Cond::Ge(a, b) => {
+            h.tag(0x30);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Cond::Lt(a, b) => {
+            h.tag(0x31);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Cond::Eq(a, b) => {
+            h.tag(0x32);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        Cond::And(a, b) => {
+            h.tag(0x33);
+            hash_cond(h, a);
+            hash_cond(h, b);
+        }
+    }
+}
+
+fn scalar_bin_tag(op: ScalarBinOp) -> u8 {
+    match op {
+        ScalarBinOp::Add => 0,
+        ScalarBinOp::Sub => 1,
+        ScalarBinOp::Mul => 2,
+        ScalarBinOp::Div => 3,
+        ScalarBinOp::Max => 4,
+        ScalarBinOp::Min => 5,
+    }
+}
+
+fn unary_tag(op: UnaryOp) -> u8 {
+    match op {
+        UnaryOp::Neg => 0,
+        UnaryOp::Exp => 1,
+        UnaryOp::Sqrt => 2,
+        UnaryOp::Rsqrt => 3,
+        UnaryOp::Relu => 4,
+        UnaryOp::Sigmoid => 5,
+        UnaryOp::Tanh => 6,
+        UnaryOp::Gelu => 7,
+        UnaryOp::Abs => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::GraphSchedule;
+    use crate::{lower, try_lower_filtered};
+    use alt_layout::{LayoutPlan, PropagationMode};
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::{Graph, OpId, Shape};
+
+    fn conv_graph() -> (Graph, LayoutPlan) {
+        // Two conv groups (relu fuses into the first) so that filtered
+        // lowering genuinely drops a group.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 8, 18, 18]));
+        let w = g.add_param("w", Shape::new([16, 8, 3, 3]));
+        let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let r = ops::relu(&mut g, c);
+        let w2 = g.add_param("w2", Shape::new([8, 16, 3, 3]));
+        let _ = ops::conv2d(&mut g, r, w2, ConvCfg::default());
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        (g, plan)
+    }
+
+    #[test]
+    fn identical_lowerings_share_a_fingerprint() {
+        let (g, plan) = conv_graph();
+        let sched = GraphSchedule::naive();
+        let a = lower(&g, &plan, &sched);
+        let b = lower(&g, &plan, &sched);
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn schedule_changes_change_the_fingerprint() {
+        let (g, plan) = conv_graph();
+        let base = GraphSchedule::naive();
+        let baseline = program_fingerprint(&lower(&g, &plan, &base));
+        // Any schedule that lowers differently must re-key the cache.
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(baseline);
+        // Only complex ops own loop nests; a fused elementwise consumer
+        // inherits its root's loops, so toggle schedules on roots only.
+        for op in g.complex_ops() {
+            let mut sched = base.clone();
+            let mut s = sched.get(op);
+            s.parallel = !s.parallel;
+            sched.set(op, s);
+            let fp = program_fingerprint(&lower(&g, &plan, &sched));
+            assert!(
+                seen.insert(fp),
+                "toggling parallel on {op:?} did not change the fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_lowering_is_deterministic() {
+        let (g, plan) = conv_graph();
+        let sched = GraphSchedule::naive();
+        let roots: std::collections::HashSet<OpId> = [OpId(0)].into_iter().collect();
+        let a = try_lower_filtered(&g, &plan, &sched, Some(&roots)).unwrap();
+        let b = try_lower_filtered(&g, &plan, &sched, Some(&roots)).unwrap();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+        assert_ne!(
+            program_fingerprint(&a),
+            program_fingerprint(&lower(&g, &plan, &sched)),
+            "restricting lowering to one root must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Reference vectors for 64-bit FNV-1a.
+        let mut h = Fnv1a::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf29ce484222325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+}

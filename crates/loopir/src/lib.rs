@@ -9,11 +9,13 @@
 //!   rewritten through `S_X(S_Y^{-1}(L'))`.
 //! * [`interp`] — functional execution for correctness validation.
 
+pub mod hash;
 pub mod interp;
 pub mod lower;
 pub mod schedule;
 pub mod tir;
 
+pub use hash::program_fingerprint;
 pub use interp::run_program;
 pub use lower::{lower, lower_filtered, try_lower, try_lower_filtered};
 pub use schedule::{AxisTiling, GraphSchedule, OpSchedule};

@@ -42,10 +42,16 @@ pub struct CacheSim {
 
 impl CacheSim {
     /// Builds a simulator from a cache-level description.
+    ///
+    /// The geometry is rounded *down*, never up: associativity is
+    /// clamped to the actual line count, and `sets * assoc <= lines`
+    /// always holds. The old truncating `sets = lines / assoc` silently
+    /// *inflated* modeled capacity whenever `lines` was not a multiple
+    /// of `assoc` (e.g. 2 lines at 4-way modeled 4 resident lines).
     pub fn new(level: &CacheLevel) -> Self {
-        let lines = (level.size_bytes / level.line_bytes) as usize;
-        let assoc = level.assoc as usize;
-        let sets = (lines / assoc).max(1);
+        let lines = ((level.size_bytes / level.line_bytes) as usize).max(1);
+        let assoc = (level.assoc as usize).clamp(1, lines);
+        let sets = lines / assoc;
         Self {
             line_bytes: level.line_bytes,
             sets,
@@ -82,12 +88,20 @@ impl CacheSim {
         // Hit?
         for w in 0..self.assoc {
             if self.tags[base + w] == line {
-                self.lru[base + w] = self.clock;
-                if demand && self.prefetched[base + w] {
-                    // First demand touch of a prefetched line: the
-                    // prefetch was useful.
-                    self.prefetched[base + w] = false;
-                    self.stats.prefetch_useful += 1;
+                // Only demand touches refresh recency. A prefetch probe
+                // that finds the line already resident must not promote
+                // it to MRU: real next-N-lines prefetchers do not update
+                // replacement state on such probes, and letting them do
+                // so refreshed demand recency for free and under-counted
+                // conflict evictions in strided workloads.
+                if demand {
+                    self.lru[base + w] = self.clock;
+                    if self.prefetched[base + w] {
+                        // First demand touch of a prefetched line: the
+                        // prefetch was useful.
+                        self.prefetched[base + w] = false;
+                        self.stats.prefetch_useful += 1;
+                    }
                 }
                 return true;
             }
@@ -238,6 +252,56 @@ mod tests {
         c.reset_stats();
         assert!(c.access(0));
         assert!(!c.access(64));
+    }
+
+    #[test]
+    fn prefetch_probe_of_resident_line_does_not_refresh_lru() {
+        // Conflict-heavy single-set workload. With the old behaviour, a
+        // prefetch probe that found its target already resident promoted
+        // it to MRU, deflecting the next eviction onto a line that
+        // demand accesses had used more recently.
+        let mut c = CacheSim::with_geometry(4 * 64, 64, 4, 2); // one 4-way set
+        let line = |l: u64| l * 64;
+        c.access(line(0)); // miss; prefetches line 1
+        c.access(line(10)); // miss; prefetches line 11
+        c.access(line(11)); // demand hit on the prefetched line
+        c.access(line(1)); // demand hit on the prefetched line
+        assert_eq!(c.stats().prefetch_useful, 2);
+        // Demand recency is now 0 < 10 < 11 < 1.
+        c.access(line(9)); // miss; evicts 0; prefetch *probes* resident line 10
+        c.access(line(20)); // miss; must evict line 10 — still the true LRU
+        c.reset_stats();
+        assert!(
+            c.access(line(1)),
+            "line 1 was recently demanded and must survive; the buggy \
+             MRU-promotion of line 10 deflected an eviction onto it"
+        );
+        assert!(!c.access(line(10)), "line 10 was the correct LRU victim");
+    }
+
+    #[test]
+    fn geometry_rounds_down_instead_of_inflating_capacity() {
+        // 128 B at 64 B lines = 2 lines; requesting 4-way associativity
+        // used to allocate 1 set x 4 ways = 4 resident lines, doubling
+        // the modeled capacity. The clamped geometry holds 2 lines.
+        let mut c = CacheSim::with_geometry(128, 64, 4, 1);
+        c.access(0);
+        c.access(64);
+        assert!(c.access(0) && c.access(64), "both real lines resident");
+        c.access(128); // third distinct line must evict
+        assert!(!c.access(0), "capacity is 2 lines, not assoc=4 lines");
+    }
+
+    #[test]
+    fn geometry_never_exceeds_the_physical_line_count() {
+        // 6 lines at 4-way floors to 1 set x 4 ways = 4 resident lines:
+        // under-modeling is acceptable, over-modeling is not.
+        let mut c = CacheSim::with_geometry(6 * 64, 64, 4, 1);
+        for l in 0..5u64 {
+            c.access(l * 64);
+        }
+        // Line 0 was evicted by the fifth distinct line.
+        assert!(!c.access(0));
     }
 
     #[test]

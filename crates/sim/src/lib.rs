@@ -19,6 +19,7 @@
 pub mod analytic;
 pub mod breakdown;
 pub mod cache;
+pub mod memo;
 pub mod profiles;
 pub mod trace;
 
@@ -28,6 +29,7 @@ pub use breakdown::{
     Roofline,
 };
 pub use cache::{CacheSim, CacheStats};
+pub use memo::{profile_fingerprint, SimCache};
 pub use profiles::{
     all_profiles, arm_cpu, intel_cpu, nvidia_gpu, CacheLevel, MachineKind, MachineProfile,
 };

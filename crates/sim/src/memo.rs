@@ -1,0 +1,279 @@
+//! Memoized simulation: a thread-safe measurement cache keyed by the
+//! canonical program fingerprint (PR 4 tentpole).
+//!
+//! The analytic [`Simulator`] is pure — the same lowered [`Program`] on
+//! the same [`MachineProfile`] always produces bit-identical
+//! [`Counters`]. The tuner re-simulates the same program many times:
+//! incumbents are re-measured every round, PPO seeds repeat across
+//! reps, finalists are re-assessed, and neighborhoods revisit points.
+//! [`SimCache`] memoizes those simulations so repeats cost one hash
+//! instead of a full model walk, and lets scoped worker threads prewarm
+//! entries that the (strictly sequential, deterministic) accounting
+//! path then consumes.
+//!
+//! Determinism contract:
+//! * [`SimCache::try_profile`] is the *only* method that touches the
+//!   hit/miss statistics; the tuner calls it exclusively from its
+//!   measurement thread, so the counters are identical for `--jobs 1`
+//!   and `--jobs N`.
+//! * [`SimCache::prewarm`] is stat-silent and idempotent: duplicate
+//!   computations of the same pure program insert the same bits, so
+//!   racing workers are harmless.
+//!
+//! A cached entry is invalidated by *nothing* — the key covers every
+//! input of the pure simulation (program structure + machine profile),
+//! so an entry can never go stale. A new layout, schedule, fusion
+//! decision, or machine profile produces a new key instead.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use alt_error::AltError;
+use alt_loopir::hash::Fnv1a;
+use alt_loopir::{program_fingerprint, Program};
+
+use crate::analytic::{Counters, Simulator};
+use crate::profiles::{CacheLevel, MachineProfile};
+
+/// Fingerprint of a machine profile: every field that the analytic
+/// model reads, floats by bit pattern.
+pub fn profile_fingerprint(p: &MachineProfile) -> u64 {
+    let mut h = Fnv1a::new();
+    h.tag(0x4d); // 'M'
+    h.str(p.name);
+    h.tag(match p.kind {
+        crate::profiles::MachineKind::Cpu => 0,
+        crate::profiles::MachineKind::Gpu => 1,
+    });
+    h.u64(p.cores as u64);
+    h.f64(p.freq_ghz);
+    h.u64(p.vector_lanes as u64);
+    h.f64(p.flops_per_cycle);
+    hash_level(&mut h, &p.l1);
+    hash_level(&mut h, &p.l2);
+    h.f64(p.dram_bytes_per_cycle);
+    h.f64(p.l2_latency_cycles);
+    h.f64(p.mlp);
+    h.f64(p.dram_latency_cycles);
+    h.f64(p.parallel_efficiency);
+    h.f64(p.group_overhead_us);
+    h.f64(p.bank_conflict_penalty);
+    h.finish()
+}
+
+fn hash_level(h: &mut Fnv1a, l: &CacheLevel) {
+    h.tag(0x43); // 'C'
+    h.u64(l.size_bytes);
+    h.u64(l.line_bytes);
+    h.u64(l.assoc as u64);
+    h.u64(l.prefetch_lines as u64);
+    h.f64(l.bytes_per_cycle);
+}
+
+/// A shared, thread-safe memo table of simulated measurements.
+///
+/// Each entry tracks whether a *budgeted* lookup has seen it yet: a
+/// prewarmed entry's first [`SimCache::try_profile`] counts as a miss
+/// (it is a first-time measurement that merely ran off-thread), so the
+/// hit/miss statistics mean "this measurement repeated an earlier one"
+/// and are bit-identical whether or not workers prewarmed anything.
+pub struct SimCache {
+    profile_fp: u64,
+    map: Mutex<HashMap<u64, (Counters, bool)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache bound to one machine profile.
+    pub fn new(profile: &MachineProfile) -> Self {
+        SimCache {
+            profile_fp: profile_fingerprint(profile),
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key of a program under this cache's profile.
+    pub fn key(&self, program: &Program) -> u64 {
+        let mut h = Fnv1a::new();
+        h.u64(self.profile_fp);
+        h.u64(program_fingerprint(program));
+        h.finish()
+    }
+
+    /// Simulates `program`, consulting the memo table first.
+    ///
+    /// Counts exactly one hit or one miss per call. A hit is a lookup of
+    /// an entry that an earlier `try_profile` call already accounted; a
+    /// prewarmed-but-never-accounted entry counts as a miss (its
+    /// simulation simply ran off-thread) so the statistics do not depend
+    /// on whether — or how aggressively — workers prewarmed. Errors
+    /// (non-finite model output) are never cached and count as misses.
+    /// Call this only from the accounting thread — the hit/miss sequence
+    /// is part of the deterministic run transcript.
+    pub fn try_profile(
+        &self,
+        sim: &Simulator,
+        program: &Program,
+    ) -> Result<(Counters, bool), AltError> {
+        let key = self.key(program);
+        if let Some((c, accounted)) = self.map.lock().unwrap().get_mut(&key) {
+            let c = *c;
+            if *accounted {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((c, true));
+            }
+            *accounted = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((c, false));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let c = sim.try_profile_counters(program)?;
+        self.map.lock().unwrap().insert(key, (c, true));
+        Ok((c, false))
+    }
+
+    /// Simulates `program` into the table without touching statistics.
+    ///
+    /// Safe to call from any number of worker threads: the simulation is
+    /// pure, so concurrent duplicate inserts write identical bits, and a
+    /// failing simulation simply leaves no entry (the accounting path
+    /// re-derives the error deterministically). Never downgrades an
+    /// already-accounted entry.
+    pub fn prewarm(&self, sim: &Simulator, program: &Program) {
+        let key = self.key(program);
+        if self.map.lock().unwrap().contains_key(&key) {
+            return;
+        }
+        if let Ok(c) = sim.try_profile_counters(program) {
+            self.map.lock().unwrap().entry(key).or_insert((c, false));
+        }
+    }
+
+    /// Hits observed by [`SimCache::try_profile`].
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses observed by [`SimCache::try_profile`].
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized programs.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SimCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{all_profiles, intel_cpu};
+    use alt_layout::{LayoutPlan, PropagationMode};
+    use alt_loopir::lower;
+    use alt_loopir::schedule::GraphSchedule;
+    use alt_tensor::ops::{self, ConvCfg};
+    use alt_tensor::{Graph, Shape};
+
+    fn lowered() -> Program {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+        let c = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let _ = ops::relu(&mut g, c);
+        lower(
+            &g,
+            &LayoutPlan::new(PropagationMode::Full),
+            &GraphSchedule::naive(),
+        )
+    }
+
+    // Worker threads hand programs and the shared cache across the
+    // scope boundary, so the whole measurement closure must be Sync.
+    #[test]
+    fn shared_measurement_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+        assert_send_sync::<Simulator>();
+        assert_send_sync::<SimCache>();
+        assert_send_sync::<Graph>();
+        assert_send_sync::<LayoutPlan>();
+        assert_send_sync::<GraphSchedule>();
+    }
+
+    #[test]
+    fn repeat_measurements_hit_and_return_identical_bits() {
+        let sim = Simulator::new(intel_cpu());
+        let cache = SimCache::new(sim.profile());
+        let p = lowered();
+        let (a, hit_a) = cache.try_profile(&sim, &p).unwrap();
+        let (b, hit_b) = cache.try_profile(&sim, &p).unwrap();
+        assert!(!hit_a && hit_b);
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        assert_eq!(a.latency_s.to_bits(), sim.measure(&p).to_bits());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn prewarm_is_stat_silent_and_invisible_to_the_hit_miss_transcript() {
+        let sim = Simulator::new(intel_cpu());
+        let cache = SimCache::new(sim.profile());
+        let p = lowered();
+        cache.prewarm(&sim, &p);
+        cache.prewarm(&sim, &p);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.len(), 1);
+        // The first budgeted lookup of a prewarmed entry still reads as
+        // a miss — exactly what an unwarmed run would record — so the
+        // transcript is independent of prewarming.
+        let (a, hit) = cache.try_profile(&sim, &p).unwrap();
+        assert!(!hit);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Only a genuine repeat is a hit.
+        let (b, hit) = cache.try_profile(&sim, &p).unwrap();
+        assert!(hit);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+    }
+
+    #[test]
+    fn concurrent_prewarm_converges_to_one_entry() {
+        let sim = Simulator::new(intel_cpu());
+        let cache = SimCache::new(sim.profile());
+        let p = lowered();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| cache.prewarm(&sim, &p));
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn distinct_profiles_produce_distinct_fingerprints() {
+        let fps: std::collections::HashSet<u64> =
+            all_profiles().iter().map(profile_fingerprint).collect();
+        assert_eq!(fps.len(), all_profiles().len());
+    }
+}

@@ -25,6 +25,11 @@ pub struct HistogramSummary {
     pub p50: f64,
     pub p95: f64,
     pub p99: f64,
+    /// `true` when the histogram overflowed the retention cap: `count`,
+    /// `sum`, `min`, `max`, and `mean` remain exact, but the percentiles
+    /// were computed over only the first `SAMPLE_CAP` observations and
+    /// are approximations.
+    pub sampled: bool,
 }
 
 impl HistogramSummary {
@@ -87,6 +92,7 @@ impl Hist {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            sampled: self.count as usize > self.samples.len(),
         }
     }
 }
@@ -163,7 +169,9 @@ impl CounterRegistry {
 
     /// Emits every counter (and histogram
     /// count/sum/min/max/mean/p50/p95/p99) as [`CounterRecord`]s, then
-    /// clears the registry.
+    /// clears the registry. A histogram that overflowed the retention
+    /// cap additionally emits a `{name}.sampled = 1` marker so readers
+    /// know its percentiles are approximate.
     pub fn flush_to(&self, telemetry: &Telemetry) {
         let mut inner = self.inner.lock().expect("registry poisoned");
         for (name, value) in &inner.counters {
@@ -189,6 +197,13 @@ impl CounterRegistry {
                     scope: self.scope.clone(),
                     name: format!("{name}.{suffix}"),
                     value,
+                }));
+            }
+            if s.sampled {
+                telemetry.emit(Record::Counter(CounterRecord {
+                    scope: self.scope.clone(),
+                    name: format!("{name}.sampled"),
+                    value: 1.0,
                 }));
             }
         }
@@ -247,6 +262,45 @@ mod tests {
         reg1.observe("one", 42.0);
         let h1 = reg1.histogram("one").unwrap();
         assert_eq!((h1.p50, h1.p95, h1.p99), (42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn overflowing_the_sample_cap_sets_the_sampled_flag() {
+        let reg = CounterRegistry::new("sim");
+        for v in 0..(SAMPLE_CAP + 10) {
+            reg.observe("lat", v as f64);
+        }
+        let h = reg.histogram("lat").unwrap();
+        assert!(h.sampled, "percentiles cover only the first SAMPLE_CAP");
+        // Exact moments stay exact past the cap...
+        assert_eq!(h.count, (SAMPLE_CAP + 10) as u64);
+        assert_eq!(h.max, (SAMPLE_CAP + 9) as f64);
+        // ...while percentiles reflect only retained samples.
+        assert_eq!(h.p99, (0.99 * SAMPLE_CAP as f64).ceil() - 1.0);
+        // A truncated histogram flushes an extra `.sampled` marker.
+        let (t, sink) = Telemetry::memory();
+        reg.flush_to(&t);
+        assert_eq!(sink.len(), 9);
+        let names: Vec<String> = sink
+            .records()
+            .iter()
+            .map(|r| match r {
+                Record::Counter(c) => c.name.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(names.contains(&"lat.sampled".to_string()));
+    }
+
+    #[test]
+    fn small_histograms_are_exact_and_unflagged() {
+        let reg = CounterRegistry::new("sim");
+        reg.observe("lat", 1.0);
+        assert!(!reg.histogram("lat").unwrap().sampled);
+        let (t, sink) = Telemetry::memory();
+        reg.flush_to(&t);
+        // No `.sampled` marker when percentiles are exact.
+        assert_eq!(sink.len(), 8);
     }
 
     #[test]

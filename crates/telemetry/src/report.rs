@@ -58,6 +58,7 @@ pub fn render_report(records: &[Record]) -> String {
     render_summary(records, &mut out);
     render_latency_curves(records, &mut out);
     render_budget(records, &mut out);
+    render_cache(records, &mut out);
     render_faults(records, &mut out);
     render_cost_model(records, &mut out);
     render_counters(records, &mut out);
@@ -150,6 +151,44 @@ fn render_budget(records: &[Record], out: &mut String) {
     for ((op, stage), n) in &per_op_stage {
         out.push_str(&format!("    {op} [{stage}]: {n}\n"));
     }
+    out.push('\n');
+}
+
+/// Measurement-cache effectiveness: the memoized-simulation hit/miss
+/// counters flushed by the measurer. A hit means a budgeted measurement
+/// repeated an earlier one and skipped re-simulation (it still consumed
+/// a budget unit and emitted a measurement record). Silent for traces
+/// that predate the cache.
+fn render_cache(records: &[Record], out: &mut String) {
+    let mut hits = None;
+    let mut misses = None;
+    for r in records {
+        if let Record::Counter(c) = r {
+            if c.scope == "sim" {
+                match c.name.as_str() {
+                    "cache.hits" => hits = Some(c.value),
+                    "cache.misses" => misses = Some(c.value),
+                    _ => {}
+                }
+            }
+        }
+    }
+    if hits.is_none() && misses.is_none() {
+        return;
+    }
+    // A run with zero hits (or zero misses) never creates that counter.
+    let hits = hits.unwrap_or(0.0);
+    let misses = misses.unwrap_or(0.0);
+    let total = hits + misses;
+    let rate = if total > 0.0 {
+        hits / total * 100.0
+    } else {
+        0.0
+    };
+    out.push_str("--- measurement cache ---\n");
+    out.push_str(&format!(
+        "{total:.0} simulation lookups: {hits:.0} hits, {misses:.0} misses (hit rate {rate:.1}%)\n"
+    ));
     out.push('\n');
 }
 
@@ -294,11 +333,14 @@ fn render_counters(records: &[Record], out: &mut String) {
         ));
     }
     // Histogram families flushed by `CounterRegistry` arrive as eight
-    // suffixed counters per histogram; fold each family back into one
+    // suffixed counters per histogram (nine when the retention cap
+    // truncated percentile samples); fold each family back into one
     // line with its percentiles instead of eight noisy entries.
     let mut families: BTreeMap<String, BTreeMap<&'static str, f64>> = BTreeMap::new();
     let mut plain: Vec<(String, f64)> = Vec::new();
-    const SUFFIXES: [&str; 8] = ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"];
+    const SUFFIXES: [&str; 9] = [
+        "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "sampled",
+    ];
     for (name, value) in flushed {
         match name.rsplit_once('.').and_then(|(base, suffix)| {
             SUFFIXES
@@ -328,8 +370,18 @@ fn render_counters(records: &[Record], out: &mut String) {
         out.push_str("histograms (p50/p95/p99 nearest-rank):\n");
         for (base, stats) in &families {
             let g = |k: &str| stats.get(k).copied().unwrap_or(0.0);
+            // A `.sampled` marker means the histogram overflowed its
+            // retention cap: percentiles cover only the first samples
+            // and are rendered as approximate.
+            let t = if g("sampled") != 0.0 { "~" } else { "" };
+            let note = if g("sampled") != 0.0 {
+                " (percentiles sampled)"
+            } else {
+                ""
+            };
             out.push_str(&format!(
-                "    {base}: n={:.0} mean={:.3e} p50={:.3e} p95={:.3e} p99={:.3e} max={:.3e}\n",
+                "    {base}: n={:.0} mean={:.3e} {t}p50={:.3e} {t}p95={:.3e} {t}p99={:.3e} \
+                 max={:.3e}{note}\n",
                 g("count"),
                 g("mean"),
                 g("p50"),
@@ -489,6 +541,65 @@ mod tests {
         ];
         let report2 = render_report(&records2);
         assert!(report2.contains("sim/queue.max = 7.000e0"), "{report2}");
+    }
+
+    #[test]
+    fn cache_counters_render_a_hit_rate_section() {
+        let counter = |name: &str, value: f64| {
+            Record::Counter(CounterRecord {
+                scope: "sim".into(),
+                name: name.into(),
+                value,
+            })
+        };
+        let records = vec![
+            measurement(1, "op", Stage::Joint, 1e-3, 1e-3),
+            counter("cache.hits", 3.0),
+            counter("cache.misses", 7.0),
+        ];
+        let report = render_report(&records);
+        assert!(report.contains("--- measurement cache ---"), "{report}");
+        assert!(
+            report.contains("10 simulation lookups: 3 hits, 7 misses (hit rate 30.0%)"),
+            "{report}"
+        );
+        // Hit-free runs never create `cache.hits`; the section still renders.
+        let report2 = render_report(&[counter("cache.misses", 5.0)]);
+        assert!(
+            report2.contains("5 simulation lookups: 0 hits, 5 misses (hit rate 0.0%)"),
+            "{report2}"
+        );
+        // Pre-cache traces have no section.
+        let report3 = render_report(&[measurement(1, "op", Stage::Joint, 1e-3, 1e-3)]);
+        assert!(!report3.contains("measurement cache"), "{report3}");
+    }
+
+    #[test]
+    fn truncated_histograms_render_approximate_percentiles() {
+        let mut records = vec![measurement(1, "op", Stage::Joint, 1e-3, 1e-3)];
+        let stats: &[(&str, f64)] = &[
+            ("count", 70000.0),
+            ("sum", 70000.0),
+            ("min", 1.0),
+            ("max", 1.0),
+            ("mean", 1.0),
+            ("p50", 1.0),
+            ("p95", 1.0),
+            ("p99", 1.0),
+            ("sampled", 1.0),
+        ];
+        for (suffix, value) in stats {
+            records.push(Record::Counter(CounterRecord {
+                scope: "sim".into(),
+                name: format!("lat.{suffix}"),
+                value: *value,
+            }));
+        }
+        let report = render_report(&records);
+        assert!(report.contains("~p50="), "{report}");
+        assert!(report.contains("(percentiles sampled)"), "{report}");
+        // The marker folds into the family line rather than leaking.
+        assert!(!report.contains("lat.sampled"), "{report}");
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! expression language those rewrites operate on, together with a
 //! constant-folding simplifier and an evaluator.
 //!
-//! Expressions are immutable trees behind [`Rc`] so that sharing subterms
-//! (which layout rewriting produces a lot of) is cheap.
+//! Expressions are immutable trees behind [`Arc`] so that sharing subterms
+//! (which layout rewriting produces a lot of) is cheap and the resulting
+//! trees can be simulated from worker threads.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A symbolic integer variable (usually a loop variable).
 ///
@@ -19,7 +20,7 @@ use std::rc::Rc;
 #[derive(Clone, Debug, Eq)]
 pub struct Var {
     id: u32,
-    name: Rc<str>,
+    name: Arc<str>,
 }
 
 impl Var {
@@ -27,7 +28,7 @@ impl Var {
     ///
     /// Callers are responsible for id uniqueness; [`VarGen`] is the usual
     /// way to allocate fresh ids.
-    pub fn new(id: u32, name: impl Into<Rc<str>>) -> Self {
+    pub fn new(id: u32, name: impl Into<Arc<str>>) -> Self {
         Self {
             id,
             name: name.into(),
@@ -110,7 +111,7 @@ pub enum Expr {
     /// Variable reference.
     Var(Var),
     /// Binary operation.
-    Bin(BinOp, Rc<Expr>, Rc<Expr>),
+    Bin(BinOp, Arc<Expr>, Arc<Expr>),
 }
 
 impl Expr {
@@ -160,7 +161,7 @@ impl Expr {
             (Mod, _, Expr::Const(1)) => return Expr::Const(0),
             _ => {}
         }
-        Expr::Bin(op, Rc::new(a), Rc::new(b))
+        Expr::Bin(op, Arc::new(a), Arc::new(b))
     }
 
     /// Returns `self + rhs` with simplification.
