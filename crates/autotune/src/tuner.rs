@@ -26,6 +26,7 @@ use alt_loopir::{try_lower_filtered, GraphSchedule, OpSchedule};
 use alt_sim::MachineProfile;
 use alt_telemetry::{
     CostModelRecord, CounterRegistry, PpoUpdateRecord, Record, Span, Stage, Telemetry,
+    VerifyRejectionRecord,
 };
 use alt_tensor::{Graph, OpId, OpTag};
 
@@ -136,6 +137,13 @@ pub struct TuneConfig {
     /// machine's available parallelism at run time (the clamp cannot
     /// change results, only wall-clock).
     pub jobs: usize,
+    /// Run the static verifier (`alt-verify`) on every lowered candidate
+    /// before it can be scored or measured. Statically-rejected
+    /// candidates consume *no* budget — they are dropped exactly like
+    /// candidates that fail to lower — and are reported through the
+    /// `verify.rejected` counter plus one `verify_rejection` trace
+    /// record each. On by default.
+    pub verify: bool,
 }
 
 impl Default for TuneConfig {
@@ -164,6 +172,7 @@ impl Default for TuneConfig {
             resume: None,
             halt_after: None,
             jobs: 1,
+            verify: true,
         }
     }
 }
@@ -1001,25 +1010,60 @@ impl<'g> Tuner<'g> {
             // pure CPU-bound work only adds overhead; the clamp is
             // invisible to the run transcript).
             let jobs = crate::parallel::effective_jobs(self.cfg.jobs);
-            let lowered: Vec<Option<(OpSchedule, Vec<f32>)>> = {
+            // `Err(None)` = failed to lower, `Err(Some(d))` = statically
+            // rejected by the verifier. Both are dropped before scoring
+            // and consume zero budget; only the verifier rejections are
+            // counted and traced (in the sequential merge below, so the
+            // transcript stays jobs-invariant).
+            type LoweredCandidate = Result<(OpSchedule, Vec<f32>), Option<alt_verify::Diagnostic>>;
+            let lowered: Vec<LoweredCandidate> = {
                 let graph = self.graph;
                 let sched_ref: &GraphSchedule = sched;
                 let single: HashSet<OpId> = [op].into_iter().collect();
+                let verify = self.cfg.verify;
                 ordered_map(&candidates, jobs, |_, p| {
                     let s = decode_loop_point(graph, plan, op, &space, p);
                     let mut trial_sched = sched_ref.clone();
                     trial_sched.set(op, s.clone());
-                    let program =
-                        try_lower_filtered(graph, plan, &trial_sched, Some(&single)).ok()?;
-                    Some((s, extract_features(&program)))
+                    let program = try_lower_filtered(graph, plan, &trial_sched, Some(&single))
+                        .map_err(|_| None)?;
+                    if verify {
+                        // The verifier is pure and deterministic, so it can
+                        // run on workers; only the first (smallest-code)
+                        // finding is reported per candidate.
+                        if let Some(d) = alt_verify::verify_program(graph, plan, &program)
+                            .into_iter()
+                            .next()
+                        {
+                            return Err(Some(d));
+                        }
+                    }
+                    Ok((s, extract_features(&program)))
                 })
             };
             // Rank by the cost model (higher prediction = faster); the
             // GBT prediction itself stays on the tuning thread.
             let mut scored: Vec<(f64, Point, OpSchedule, Vec<f32>)> = Vec::new();
             for (p, lf) in candidates.into_iter().zip(lowered) {
-                let Some((s, feats)) = lf else {
-                    continue;
+                let (s, feats) = match lf {
+                    Ok(v) => v,
+                    Err(None) => continue,
+                    Err(Some(d)) => {
+                        self.registry.add("verify.rejected", 1.0);
+                        if self.cfg.telemetry.is_enabled() {
+                            self.cfg.telemetry.emit(Record::VerifyRejection(
+                                VerifyRejectionRecord {
+                                    op: self.measurer.ctx.op.clone(),
+                                    stage: self.measurer.ctx.stage,
+                                    round: self.measurer.ctx.round,
+                                    candidate: format!("{p:?}"),
+                                    code: d.code.to_string(),
+                                    detail: format!("{}: {}", d.group, d.detail),
+                                },
+                            ));
+                        }
+                        continue;
+                    }
                 };
                 let score = if model_trained {
                     self.loop_state[&op].model.predict(&feats) as f64

@@ -123,6 +123,12 @@ fn main() {
             let t0 = std::time::Instant::now();
             let alt = alt_full_e2e(&g, profile, budget, 1);
             alt_wall += t0.elapsed().as_secs_f64();
+            alt_bench::verify_winner(
+                &format!("{name} on {}", profile.name),
+                &g,
+                &alt.plan,
+                &alt.sched,
+            );
             cache_hits += alt.cache_hits;
             cache_misses += alt.cache_misses;
             report.note_run(alt.measurements, alt.latency);

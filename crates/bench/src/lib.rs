@@ -17,6 +17,33 @@ use alt_tensor::{Graph, Shape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Lowers a tuning winner and runs the full static verifier over it,
+/// aborting the benchmark on any diagnostic. The figure harnesses call
+/// this on every winning (plan, schedule) pair so a regression in
+/// transformation legality or lowering can never ship a number.
+///
+/// # Panics
+///
+/// Panics with the full diagnostic list when verification fails.
+pub fn verify_winner(
+    what: &str,
+    graph: &Graph,
+    plan: &alt_layout::LayoutPlan,
+    sched: &alt_loopir::GraphSchedule,
+) {
+    let program = alt_loopir::lower(graph, plan, sched);
+    let diags = alt_verify::verify_program(graph, plan, &program);
+    assert!(
+        diags.is_empty(),
+        "static verification failed for {what}:\n{}",
+        diags
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 /// Random-walk loop tuning of a single operator under a fixed layout
 /// plan: alternates neighbourhood walks around the incumbent with random
 /// restarts, measuring every candidate. Leaves `sched` holding the best

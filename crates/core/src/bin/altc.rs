@@ -14,6 +14,9 @@
 //! altc --model r18 --resume ck.json
 //! altc report r18.trace.jsonl
 //! altc profile --model r18 --budget 64 --perfetto r18.perfetto.json
+//! altc verify --model r18 --json
+//! altc verify --model mv2 --budget 32
+//! altc verify --presets
 //! ```
 
 use alt_core::{CompileOptions, Compiler, JsonlSink};
@@ -35,6 +38,7 @@ struct Args {
     checkpoint_every: u64,
     resume: Option<String>,
     jobs: usize,
+    no_verify: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: 0,
         resume: None,
         jobs: 1,
+        no_verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -100,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--no-verify" => args.no_verify = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -141,6 +147,9 @@ OPTIONS:
                              produces bit-identical results, traces, and
                              accounting (workers only prewarm the memoized
                              simulation cache)                        [default: 1]
+        --no-verify          skip the static pre-simulation verifier (layout
+                             legality, IR well-formedness, race detection)
+                             when filtering tuning candidates
     -h, --help               this message
 
 SUBCOMMANDS:
@@ -150,7 +159,11 @@ SUBCOMMANDS:
     profile [OPTIONS]        tune a model, then print the winning schedule's
                              per-loop cost breakdown and roofline summary;
                              `altc profile --help` lists its options
-                             (--no-tune, --json, --perfetto OUT.json)"
+                             (--no-tune, --json, --perfetto OUT.json)
+    verify [OPTIONS]         statically verify a compiled model (or the
+                             layout preset library with --presets) and
+                             report every diagnostic; exits non-zero if
+                             any is found; `altc verify --help` for options"
     );
 }
 
@@ -302,6 +315,210 @@ fn run_report(rest: &[String]) -> i32 {
     }
 }
 
+/// Checks every constructor in the layout preset library over
+/// representative tensor shapes: construction must succeed and the
+/// resulting primitive chain must replay cleanly under `revalidate`.
+fn verify_presets() -> Vec<alt_verify::Diagnostic> {
+    use alt_layout::presets;
+    use alt_tensor::Shape;
+
+    let s4 = || Shape::new([2, 16, 12, 12]);
+    let s5 = || Shape::new([2, 16, 6, 12, 12]);
+    let s3 = || Shape::new([2, 16, 12]);
+    let s2 = || Shape::new([24, 36]);
+    let built: Vec<(&str, Result<alt_layout::Layout, alt_layout::LayoutError>)> = vec![
+        ("nohw", Ok(presets::nohw(s4()))),
+        ("nhwo", presets::nhwo(s4())),
+        ("hwon", presets::hwon(s4())),
+        ("ndhwo", presets::ndhwo(s5())),
+        ("nwo", presets::nwo(s3())),
+        ("channels_last", presets::channels_last(s4())),
+        ("channel_tiled", presets::channel_tiled(s4(), 4)),
+        ("c2d_output_tiled", presets::c2d_output_tiled(s4(), 4, 4, 4)),
+        (
+            "c2d_input_tiled",
+            presets::c2d_input_tiled(s4(), 4, 5, 5, 1, 3, 3),
+        ),
+        (
+            "c2d_weight_tiled",
+            presets::c2d_weight_tiled(Shape::new([16, 16, 3, 3]), 4, 4),
+        ),
+        ("transposed2d", presets::transposed2d(s2())),
+        ("gmm_tiled", presets::gmm_tiled(s2(), 4, 4)),
+        (
+            "conv_output_tiled_nd",
+            presets::conv_output_tiled_nd(s4(), &[4, 4], 4),
+        ),
+        (
+            "conv_input_tiled_nd",
+            presets::conv_input_tiled_nd(s4(), 4, &[4, 4], &[1, 1], &[3, 3]),
+        ),
+        (
+            "conv_weight_tiled_nd",
+            presets::conv_weight_tiled_nd(Shape::new([16, 16, 3, 3]), 4, 4),
+        ),
+        (
+            "tconv_weight_tiled_nd",
+            presets::tconv_weight_tiled_nd(Shape::new([16, 16, 3, 3]), 4, 4),
+        ),
+        (
+            "batch_gmm_tiled",
+            presets::batch_gmm_tiled(Shape::new([2, 24, 36]), 4, 4),
+        ),
+        (
+            "conv_output_tiled2_nd",
+            presets::conv_output_tiled2_nd(Shape::new([2, 16, 16, 16]), &[4, 4], &[2, 2], 4, 2),
+        ),
+    ];
+
+    let mut diags = Vec::new();
+    for (name, layout) in built {
+        let group = format!("preset `{name}`");
+        match layout {
+            Err(e) => diags.push(alt_verify::Diagnostic {
+                code: alt_verify::code_for(&e),
+                group,
+                detail: format!("construction failed: {e}"),
+            }),
+            Ok(l) => {
+                if let Err(e) = l.revalidate() {
+                    diags.push(alt_verify::Diagnostic {
+                        code: alt_verify::code_for(&e),
+                        group,
+                        detail: format!("illegal primitive chain: {e}"),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// `altc verify`: statically verify a model's compiled artifact (layout
+/// legality, IR well-formedness, race detection) or, with `--presets`,
+/// the built-in layout preset library. Exits 1 if any diagnostic fires.
+fn run_verify(rest: &[String]) -> i32 {
+    let mut model = "r18".to_string();
+    let mut platform = "intel".to_string();
+    let mut budget = 0u64;
+    let mut batch = 1i64;
+    let mut seed = 0u64;
+    let mut json = false;
+    let mut presets = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let res: Result<(), String> = (|| {
+            match a.as_str() {
+                "--model" | "-m" => model = value("--model")?,
+                "--platform" | "-p" => platform = value("--platform")?,
+                "--budget" | "-b" => {
+                    budget = value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?
+                }
+                "--batch" => {
+                    batch = value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?
+                }
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--json" => json = true,
+                "--presets" => presets = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: altc verify [--model NAME] [--platform NAME] [--budget N]\n\
+                         \x20                  [--batch N] [--seed N] [--json] [--presets]\n\
+                         \n\
+                         Runs the static verifier (layout legality, IR well-formedness,\n\
+                         dependence-based race detection) over the model's compiled\n\
+                         artifact. --budget 0 (the default) verifies the unoptimized\n\
+                         lowering; a positive budget tunes first and verifies the winning\n\
+                         layouts and schedules. --presets instead checks every layout\n\
+                         preset constructor. Exit code 1 means diagnostics were found."
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = res {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
+
+    let (subject, diags) = if presets {
+        ("presets".to_string(), verify_presets())
+    } else {
+        let graph = match build_model(&model, batch) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let machine = match build_platform(&platform) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let compiler = Compiler::new(machine).with_options(CompileOptions {
+            joint_budget: (budget as f64 * 0.4) as u64,
+            loop_budget: budget - (budget as f64 * 0.4) as u64,
+            seed,
+            ..CompileOptions::default()
+        });
+        let compiled = if budget == 0 {
+            compiler.compile_unoptimized(&graph)
+        } else {
+            eprintln!(
+                "tuning {model} (batch {batch}) for {} with budget {budget}...",
+                machine.name
+            );
+            compiler.compile(&graph)
+        };
+        (format!("{model} on {}", machine.name), compiled.verify())
+    };
+
+    if json {
+        let record = serde_json::json!({
+            "subject": subject,
+            "ok": diags.is_empty(),
+            "diagnostics": diags
+                .iter()
+                .map(|d| {
+                    serde_json::json!({
+                        "code": d.code,
+                        "group": d.group,
+                        "detail": d.detail,
+                    })
+                })
+                .collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&record).unwrap());
+    } else if diags.is_empty() {
+        println!("{subject}: ok (no diagnostics)");
+    } else {
+        println!("{subject}: {} diagnostic(s)", diags.len());
+        for d in &diags {
+            println!("  {d}");
+        }
+    }
+    i32::from(!diags.is_empty())
+}
+
 fn build_model(name: &str, batch: i64) -> Result<Graph, String> {
     Ok(match name {
         "r18" | "resnet18" => resnet18(batch),
@@ -329,6 +546,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("profile") {
         std::process::exit(run_profile(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("verify") {
+        std::process::exit(run_verify(&argv[1..]));
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -378,6 +598,7 @@ fn main() {
         checkpoint_every,
         resume: args.resume.clone(),
         jobs: args.jobs,
+        verify: !args.no_verify,
         ..CompileOptions::default()
     });
     if let Some(path) = &args.trace {

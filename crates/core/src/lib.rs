@@ -80,6 +80,10 @@ pub struct CompileOptions {
     /// budget accounting: workers only prewarm the memoized simulation
     /// cache, while all accounting stays on one thread.
     pub jobs: usize,
+    /// Statically verify every lowered candidate before simulation.
+    /// Rejected candidates are dropped without consuming any measurement
+    /// budget (counted under `verify.rejected`). On by default.
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -99,6 +103,7 @@ impl Default for CompileOptions {
             checkpoint_every: 0,
             resume: None,
             jobs: 1,
+            verify: true,
         }
     }
 }
@@ -173,6 +178,7 @@ impl Compiler {
             checkpoint_every: o.checkpoint_every,
             resume,
             jobs: o.jobs,
+            verify: o.verify,
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);
@@ -289,6 +295,14 @@ impl CompiledGraph {
     /// The lowered program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Runs the full static verifier (layout legality, IR
+    /// well-formedness, race detection) over the compiled artifact.
+    /// Returns every diagnostic found; an empty list means the program
+    /// passed all three passes.
+    pub fn verify(&self) -> Vec<alt_verify::Diagnostic> {
+        alt_verify::verify_program(&self.graph, &self.plan, &self.program)
     }
 
     /// Full performance-counter profile on the target machine.
@@ -458,6 +472,49 @@ mod tests {
         );
         assert_eq!(seq.history(), par.history());
         assert_eq!(seq.report(), par.report());
+    }
+
+    #[test]
+    fn verify_filter_is_budget_neutral() {
+        // The template families the tuner explores never trip the static
+        // verifier (no false positives), so a compile with the filter on
+        // must be bit-identical — same budget accounting, same history,
+        // same winner — to one with it off, and must emit zero
+        // verify-rejection records.
+        let (g, _) = sample_graph();
+        let base = CompileOptions {
+            joint_budget: 12,
+            loop_budget: 12,
+            free_input_layouts: true,
+            seed: 9,
+            ..CompileOptions::default()
+        };
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let on = Compiler::new(intel_cpu())
+            .with_options(base.clone())
+            .with_telemetry(sink.clone())
+            .compile(&g);
+        let off = Compiler::new(intel_cpu())
+            .with_options(CompileOptions {
+                verify: false,
+                ..base
+            })
+            .compile(&g);
+        assert_eq!(
+            on.estimated_latency().to_bits(),
+            off.estimated_latency().to_bits()
+        );
+        assert_eq!(on.history(), off.history());
+        assert_eq!(on.measurements(), off.measurements());
+        assert_eq!(on.report(), off.report());
+        let rejections = sink
+            .records()
+            .iter()
+            .filter(|r| matches!(r, Record::VerifyRejection(_)))
+            .count();
+        assert_eq!(rejections, 0, "legal candidates must never be rejected");
+        // The final artifact passes its own verifier.
+        assert!(on.verify().is_empty());
     }
 
     #[test]

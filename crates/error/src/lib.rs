@@ -57,6 +57,62 @@ pub enum AltError {
         /// Human-readable failure description.
         detail: String,
     },
+    /// A static-verification pass rejected the program, layout plan or
+    /// schedule. `code` is one of the stable diagnostic codes in
+    /// [`codes`], so telemetry, tests and CI can match on it without
+    /// parsing the free-form detail.
+    Verify {
+        /// Stable diagnostic code, e.g. `V007_PAD_UNDERCOVERS`.
+        code: &'static str,
+        /// Human-readable failure description.
+        detail: String,
+    },
+}
+
+/// Stable diagnostic codes emitted by the static-verification passes
+/// (`alt-verify`) and by the fallible schedule/layout legality APIs.
+///
+/// The numbering is append-only: codes are part of the telemetry and CI
+/// contract and must never be renumbered or reused.
+pub mod codes {
+    /// A loop rebinds a variable that is already live in an enclosing
+    /// loop of the same nest.
+    pub const V001_REBOUND_AXIS: &str = "V001_REBOUND_AXIS";
+    /// An index expression uses a loop variable outside any live binding.
+    pub const V002_UNBOUND_AXIS: &str = "V002_UNBOUND_AXIS";
+    /// A loop has a non-positive trip count.
+    pub const V003_NONPOSITIVE_EXTENT: &str = "V003_NONPOSITIVE_EXTENT";
+    /// A buffer load can fall outside the buffer's physical extents.
+    pub const V004_OOB_READ: &str = "V004_OOB_READ";
+    /// A buffer store can fall outside the buffer's physical extents.
+    pub const V005_OOB_WRITE: &str = "V005_OOB_WRITE";
+    /// A store can clobber the reserved `store_at` staging slot of a
+    /// host buffer (guest data and producer data must stay disjoint).
+    pub const V006_STORE_AT_CLOBBERED: &str = "V006_STORE_AT_CLOBBERED";
+    /// A load of a padded buffer can escape the padded extents: the pad
+    /// does not cover every out-of-range read.
+    pub const V007_PAD_UNDERCOVERS: &str = "V007_PAD_UNDERCOVERS";
+    /// Split/tiling factors do not divide the axis extent.
+    pub const V008_SPLIT_NONDIVISIBLE: &str = "V008_SPLIT_NONDIVISIBLE";
+    /// A `@par`/`@vec` axis carries a loop-carried dependence.
+    pub const V009_PAR_RACE: &str = "V009_PAR_RACE";
+    /// A `@par`/`@vec` annotation sits on a reduction axis: every
+    /// iteration accumulates into the same location.
+    pub const V010_PAR_REDUCTION: &str = "V010_PAR_REDUCTION";
+    /// A `fuse` primitive references an invalid dimension range.
+    pub const V011_FUSE_BAD_RANGE: &str = "V011_FUSE_BAD_RANGE";
+    /// An `unfold` primitive has an invalid tile/stride combination.
+    pub const V012_UNFOLD_BAD_FACTORS: &str = "V012_UNFOLD_BAD_FACTORS";
+    /// A `reorder` permutation is not a permutation of the dimensions.
+    pub const V013_PERM_INVALID: &str = "V013_PERM_INVALID";
+    /// Layout propagation is inconsistent across a graph edge (logical
+    /// shape mismatch, dangling conversion, malformed embedding).
+    pub const V014_PROPAGATION_MISMATCH: &str = "V014_PROPAGATION_MISMATCH";
+    /// A `pad` primitive has negative head or tail padding.
+    pub const V015_NEGATIVE_PAD: &str = "V015_NEGATIVE_PAD";
+    /// A layout or schedule primitive references a nonexistent (or
+    /// already-consumed) axis.
+    pub const V016_UNKNOWN_AXIS: &str = "V016_UNKNOWN_AXIS";
 }
 
 impl AltError {
@@ -71,6 +127,16 @@ impl AltError {
             AltError::MeasureTimeout { .. } => "timeout",
             AltError::Checkpoint { .. } => "checkpoint",
             AltError::Injector { .. } => "injector",
+            AltError::Verify { .. } => "verify",
+        }
+    }
+
+    /// The stable diagnostic code of a verification error, if this is
+    /// one.
+    pub fn verify_code(&self) -> Option<&'static str> {
+        match self {
+            AltError::Verify { code, .. } => Some(code),
+            _ => None,
         }
     }
 
@@ -102,6 +168,7 @@ impl fmt::Display for AltError {
             }
             AltError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             AltError::Injector { detail } => write!(f, "fault injector error: {detail}"),
+            AltError::Verify { code, detail } => write!(f, "verify error [{code}]: {detail}"),
         }
     }
 }
@@ -132,6 +199,13 @@ mod tests {
             ),
             (AltError::Checkpoint { detail: "x".into() }, "checkpoint"),
             (AltError::Injector { detail: "x".into() }, "injector"),
+            (
+                AltError::Verify {
+                    code: codes::V007_PAD_UNDERCOVERS,
+                    detail: "x".into(),
+                },
+                "verify",
+            ),
         ];
         for (e, kind) in cases {
             assert_eq!(e.kind(), kind);
@@ -155,5 +229,22 @@ mod tests {
         // not hardware flakiness: retrying would draw fresh RNG state and
         // desynchronize the deterministic transcript.
         assert!(!AltError::Injector { detail: "x".into() }.is_transient());
+        // A statically-rejected program stays rejected.
+        assert!(!AltError::Verify {
+            code: codes::V009_PAR_RACE,
+            detail: "x".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn verify_errors_carry_their_code() {
+        let e = AltError::Verify {
+            code: codes::V004_OOB_READ,
+            detail: "load escapes".into(),
+        };
+        assert_eq!(e.verify_code(), Some("V004_OOB_READ"));
+        assert!(e.to_string().contains("[V004_OOB_READ]"));
+        assert_eq!(AltError::Layout { detail: "x".into() }.verify_code(), None);
     }
 }

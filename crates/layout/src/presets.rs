@@ -416,6 +416,8 @@ pub fn conv_output_tiled2_nd(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use alt_tensor::NdBuf;
 

@@ -211,7 +211,12 @@ pub enum LayoutPrim {
 }
 
 impl LayoutPrim {
-    fn check(&self, shape: &[i64]) -> Result<(), LayoutError> {
+    /// Validates this primitive against the shape it would be applied to.
+    ///
+    /// Exposed so the static legality checker (`alt-verify`) can replay a
+    /// layout's primitive chain and attribute each failure to the exact
+    /// primitive.
+    pub fn check(&self, shape: &[i64]) -> Result<(), LayoutError> {
         let ndim = shape.len();
         match self {
             LayoutPrim::Split { dim, factors } => {
@@ -449,6 +454,37 @@ impl Layout {
     /// The primitive sequence.
     pub fn prims(&self) -> &[LayoutPrim] {
         &self.prims
+    }
+
+    /// Replays the primitive chain from the logical shape, re-checking
+    /// every primitive and the cached shape chain.
+    ///
+    /// Layouts built through [`Layout::apply`] always pass; this exists
+    /// so the static legality checker can re-establish the invariant for
+    /// layouts that crossed a serialization or plan-mutation boundary,
+    /// and returns the first offending primitive on failure.
+    pub fn revalidate(&self) -> Result<(), LayoutError> {
+        let mut cur = self.logical.dims().to_vec();
+        if self.shapes.first() != Some(&cur) {
+            return Err(LayoutError::ShapeMismatch {
+                what: "revalidate",
+                expected: cur,
+                got: self.shapes.first().cloned().unwrap_or_default(),
+            });
+        }
+        for (k, prim) in self.prims.iter().enumerate() {
+            prim.check(&cur)?;
+            cur = prim.apply_shape(&cur);
+            let cached = self.shapes.get(k + 1).ok_or(LayoutError::CorruptChain)?;
+            if cached != &cur {
+                return Err(LayoutError::ShapeMismatch {
+                    what: "revalidate",
+                    expected: cur,
+                    got: cached.clone(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Derives human-readable names for the physical dimensions by pushing
@@ -712,18 +748,21 @@ impl fmt::Display for Layout {
                 LayoutPrim::Split { dim, factors } => write!(f, " split({dim}, {factors:?})")?,
                 LayoutPrim::Reorder { perm } => write!(f, " reorder({perm:?})")?,
                 LayoutPrim::Fuse { start, count } => {
-                    write!(f, " fuse({start}..{})", start + count)?
+                    write!(f, " fuse({start}..{})", start + count)?;
                 }
                 LayoutPrim::Unfold { dim, tile, stride } => {
-                    write!(f, " unfold({dim}, B={tile}, S={stride})")?
+                    write!(f, " unfold({dim}, B={tile}, S={stride})")?;
                 }
                 LayoutPrim::Pad { dim, before, after } => {
-                    write!(f, " pad({dim}, {before}, {after})")?
+                    write!(f, " pad({dim}, {before}, {after})")?;
                 }
                 LayoutPrim::StoreAtHost { dim } => write!(f, " store_at_host({dim})")?,
             }
         }
-        write!(f, " => {}", self.physical_shape())
+        match self.try_physical_shape() {
+            Ok(s) => write!(f, " => {s}"),
+            Err(_) => write!(f, " => <corrupt shape chain>"),
+        }
     }
 }
 
@@ -883,6 +922,8 @@ fn rewrite_inverse(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use alt_tensor::{Env, VarGen};
 

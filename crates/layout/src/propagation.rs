@@ -327,6 +327,8 @@ impl LayoutPlan {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::presets;
     use alt_tensor::ops::{self, ConvCfg};

@@ -1,6 +1,8 @@
 //! Property-based tests: every randomly generated primitive sequence must
 //! preserve the fundamental layout invariants.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use alt_layout::{Layout, LayoutPrim};

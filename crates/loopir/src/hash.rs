@@ -280,6 +280,8 @@ fn unary_tag(op: UnaryOp) -> u8 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::schedule::GraphSchedule;
     use crate::{lower, try_lower_filtered};

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use alt_error::{codes, AltError};
 use alt_tensor::OpId;
 
 /// Tiling of one axis: inner factors, outermost-of-the-inner first.
@@ -61,6 +62,22 @@ impl AxisTiling {
         out
     }
 
+    /// Fallible [`AxisTiling::levels`]: returns
+    /// `V008_SPLIT_NONDIVISIBLE` instead of panicking when the factors do
+    /// not divide `e`.
+    pub fn try_levels(&self, e: i64) -> Result<Vec<i64>, AltError> {
+        let prod: i64 = self.factors.iter().product();
+        if prod <= 0 || e % prod != 0 {
+            return Err(AltError::Verify {
+                code: codes::V008_SPLIT_NONDIVISIBLE,
+                detail: format!("tiling {:?} does not divide extent {e}", self.factors),
+            });
+        }
+        let mut out = vec![e / prod];
+        out.extend(self.factors.iter().copied());
+        Ok(out)
+    }
+
     /// Whether the factors divide `e`.
     pub fn divides(&self, e: i64) -> bool {
         let prod: i64 = self.factors.iter().product();
@@ -92,20 +109,48 @@ impl OpSchedule {
         Self::default()
     }
 
-    /// Checks the tilings against concrete extents.
+    /// Checks the tilings against concrete extents (see
+    /// [`OpSchedule::check`] for the diagnostic-carrying form).
     pub fn validate(&self, spatial_extents: &[i64], reduce_extents: &[i64]) -> bool {
-        if self.spatial.len() > spatial_extents.len() || self.reduce.len() > reduce_extents.len() {
-            return false;
+        self.check(spatial_extents, reduce_extents).is_ok()
+    }
+
+    /// Fallible [`OpSchedule::validate`]: explains *which* axis reference
+    /// or tiling is illegal instead of collapsing to `false`.
+    ///
+    /// A schedule that tiles more axes than the operator has is a
+    /// reference to a nonexistent (or already-consumed, after a layout
+    /// change collapsed dimensions) axis — `V016_UNKNOWN_AXIS`; a tiling
+    /// whose factors do not divide the extent is
+    /// `V008_SPLIT_NONDIVISIBLE`.
+    pub fn check(&self, spatial_extents: &[i64], reduce_extents: &[i64]) -> Result<(), AltError> {
+        for (what, tilings, extents) in [
+            ("spatial", &self.spatial, spatial_extents),
+            ("reduce", &self.reduce, reduce_extents),
+        ] {
+            if tilings.len() > extents.len() {
+                return Err(AltError::Verify {
+                    code: codes::V016_UNKNOWN_AXIS,
+                    detail: format!(
+                        "schedule tiles {} {what} axes but the operator has {}",
+                        tilings.len(),
+                        extents.len()
+                    ),
+                });
+            }
+            for (k, (t, &e)) in tilings.iter().zip(extents).enumerate() {
+                if !t.divides(e) {
+                    return Err(AltError::Verify {
+                        code: codes::V008_SPLIT_NONDIVISIBLE,
+                        detail: format!(
+                            "{what} axis {k}: tiling {:?} does not divide extent {e}",
+                            t.factors
+                        ),
+                    });
+                }
+            }
         }
-        self.spatial
-            .iter()
-            .zip(spatial_extents)
-            .all(|(t, &e)| t.divides(e))
-            && self
-                .reduce
-                .iter()
-                .zip(reduce_extents)
-                .all(|(t, &e)| t.divides(e))
+        Ok(())
     }
 
     /// Tiling for spatial axis `k` (untiled when unspecified).
@@ -149,6 +194,8 @@ impl GraphSchedule {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
@@ -173,5 +220,38 @@ mod tests {
         };
         assert!(s.validate(&[8, 5], &[6]));
         assert!(!s.validate(&[9, 5], &[6]));
+    }
+
+    #[test]
+    fn try_levels_reports_nondivisible_split() {
+        assert_eq!(AxisTiling::one(4).try_levels(12).unwrap(), vec![3, 4]);
+        let err = AxisTiling::one(5).try_levels(12).unwrap_err();
+        assert_eq!(err.verify_code(), Some(codes::V008_SPLIT_NONDIVISIBLE));
+        let err = AxisTiling { factors: vec![0] }.try_levels(12).unwrap_err();
+        assert_eq!(err.verify_code(), Some(codes::V008_SPLIT_NONDIVISIBLE));
+    }
+
+    #[test]
+    fn check_reports_nonexistent_axis() {
+        // Tiling three spatial axes of a two-axis operator references an
+        // axis that does not exist (e.g. consumed by a layout fuse).
+        let s = OpSchedule {
+            spatial: vec![AxisTiling::one(2); 3],
+            ..OpSchedule::default()
+        };
+        let err = s.check(&[8, 6], &[]).unwrap_err();
+        assert_eq!(err.verify_code(), Some(codes::V016_UNKNOWN_AXIS));
+        assert!(err.to_string().contains("3 spatial axes"), "{err}");
+    }
+
+    #[test]
+    fn check_reports_nondivisible_axis_with_position() {
+        let s = OpSchedule {
+            reduce: vec![AxisTiling::none(), AxisTiling::one(5)],
+            ..OpSchedule::default()
+        };
+        let err = s.check(&[], &[4, 12]).unwrap_err();
+        assert_eq!(err.verify_code(), Some(codes::V008_SPLIT_NONDIVISIBLE));
+        assert!(err.to_string().contains("reduce axis 1"), "{err}");
     }
 }

@@ -2,6 +2,8 @@
 //! schedule must produce bit-compatible results with the naive reference
 //! executor (up to floating-point reassociation from tiled reductions).
 
+#![allow(clippy::unwrap_used)]
+
 use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{lower, run_program, AxisTiling, GraphSchedule, OpSchedule};
 use alt_tensor::exec::{random_bindings, run_graph};

@@ -1,6 +1,8 @@
 //! Property-based lowering tests: random template layouts combined with
 //! random loop schedules must always match the reference executor.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use alt_layout::{presets, LayoutPlan, PropagationMode};

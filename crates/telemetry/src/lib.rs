@@ -34,7 +34,7 @@ pub use perfetto::{chrome_trace, write_chrome_trace};
 pub use record::{
     CostModelRecord, CounterRecord, EventRecord, MeasurementFailureRecord, MeasurementRecord,
     PpoUpdateRecord, ProfileNodeRecord, Record, RooflineRecord, RunSummaryRecord, SimCounters,
-    SpanRecord, Stage,
+    SpanRecord, Stage, VerifyRejectionRecord,
 };
 pub use report::{fmt_latency, read_jsonl, render_report};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, Telemetry};

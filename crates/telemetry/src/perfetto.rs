@@ -121,6 +121,23 @@ pub fn chrome_trace(records: &[Record]) -> Value {
                     }),
                 }));
             }
+            Record::VerifyRejection(v) => {
+                let i = op_index(&v.op, &mut op_tid, &mut op_cursor, &mut events);
+                events.push(json!({
+                    "name": format!("verify reject ({})", v.code.clone()),
+                    "cat": "verify",
+                    "ph": "i",
+                    "ts": op_cursor[i],
+                    "s": "t",
+                    "pid": PID_TUNING,
+                    "tid": op_tid[i].1,
+                    "args": json!({
+                        "code": v.code.clone(),
+                        "candidate": v.candidate.clone(),
+                        "detail": v.detail.clone(),
+                    }),
+                }));
+            }
             Record::PpoUpdate(u) => {
                 let i = op_index(&u.op, &mut op_tid, &mut op_cursor, &mut events);
                 events.push(json!({

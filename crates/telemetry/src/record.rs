@@ -176,6 +176,28 @@ pub struct MeasurementFailureRecord {
     pub backoff_us: u64,
 }
 
+/// A candidate rejected by the static verifier before measurement.
+///
+/// Unlike a [`MeasurementFailureRecord`], a verify rejection consumes
+/// *no* budget unit (it has no `seq`): the candidate never reached the
+/// simulator. The `code` is a stable diagnostic code from
+/// `alt_error::codes`, so traces can be aggregated per violation class.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VerifyRejectionRecord {
+    /// Operator tag being tuned when the candidate was rejected.
+    pub op: String,
+    /// Tuning stage that generated the candidate.
+    pub stage: Stage,
+    /// Tuning round within the stage.
+    pub round: u64,
+    /// Compact candidate-point summary.
+    pub candidate: String,
+    /// Stable diagnostic code, e.g. `V007_PAD_UNDERCOVERS`.
+    pub code: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
 /// One node of a simulated-execution cost profile: a lowered group
 /// (`path == ""`) or one statement leaf attributed to its loop-nest path.
 ///
@@ -258,6 +280,7 @@ pub struct RunSummaryRecord {
 pub enum Record {
     Measurement(MeasurementRecord),
     MeasurementFailure(MeasurementFailureRecord),
+    VerifyRejection(VerifyRejectionRecord),
     PpoUpdate(PpoUpdateRecord),
     CostModel(CostModelRecord),
     Span(SpanRecord),
@@ -274,6 +297,7 @@ impl Record {
         match self {
             Record::Measurement(_) => "measurement",
             Record::MeasurementFailure(_) => "measurement_failure",
+            Record::VerifyRejection(_) => "verify_rejection",
             Record::PpoUpdate(_) => "ppo_update",
             Record::CostModel(_) => "cost_model",
             Record::Span(_) => "span",
@@ -291,6 +315,7 @@ impl Serialize for Record {
         let inner = match self {
             Record::Measurement(r) => r.to_value(),
             Record::MeasurementFailure(r) => r.to_value(),
+            Record::VerifyRejection(r) => r.to_value(),
             Record::PpoUpdate(r) => r.to_value(),
             Record::CostModel(r) => r.to_value(),
             Record::Span(r) => r.to_value(),
@@ -322,6 +347,7 @@ impl Deserialize for Record {
             "measurement_failure" => {
                 Record::MeasurementFailure(MeasurementFailureRecord::from_value(v)?)
             }
+            "verify_rejection" => Record::VerifyRejection(VerifyRejectionRecord::from_value(v)?),
             "ppo_update" => Record::PpoUpdate(PpoUpdateRecord::from_value(v)?),
             "cost_model" => Record::CostModel(CostModelRecord::from_value(v)?),
             "span" => Record::Span(SpanRecord::from_value(v)?),
@@ -386,6 +412,14 @@ mod tests {
                 error: "injected compile failure for candidate [2,1]".into(),
                 attempt: 2,
                 backoff_us: 2000,
+            }),
+            Record::VerifyRejection(VerifyRejectionRecord {
+                op: "conv2d#0".into(),
+                stage: Stage::Joint,
+                round: 2,
+                candidate: "[4,1]".into(),
+                code: "V007_PAD_UNDERCOVERS".into(),
+                detail: "load of `x` dim 2: index range [0, 9] escapes extent 8".into(),
             }),
             Record::CostModel(CostModelRecord {
                 op: "conv2d#0".into(),

@@ -1,0 +1,268 @@
+//! Affine bound inference over index expressions.
+//!
+//! Evaluates an [`Expr`] to a conservative integer interval given the
+//! extents of the loop variables in scope, refined by the validity
+//! predicates that lowering attaches to statements (pad bounds, unfold
+//! overhang, `store_at` slots) and by `Select` conditions inside value
+//! expressions.
+//!
+//! Refinements are keyed by *structural* expression equality: lowering
+//! substitutes conditions and bodies through the same rewrites, so the
+//! guarded subexpression reappears verbatim inside the guarded access.
+
+use std::collections::HashMap;
+
+use alt_tensor::expr::{BinOp, Expr};
+use alt_tensor::Cond;
+
+/// A closed integer interval `[lo, hi]`; `lo > hi` encodes the empty
+/// interval (a statically unreachable evaluation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+/// Map from guarded subexpressions to the interval their guard implies.
+pub type Refinements = HashMap<Expr, Interval>;
+
+impl Interval {
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// A canonical empty interval.
+    pub fn empty() -> Self {
+        Self { lo: 1, hi: 0 }
+    }
+
+    /// Whether no integer lies in the interval.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Intersection (empty when disjoint).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Whether the interval lies fully inside `[0, extent)`.
+    pub fn within(&self, extent: i64) -> bool {
+        self.is_empty() || (self.lo >= 0 && self.hi < extent)
+    }
+
+    fn add(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo.saturating_add(o.lo), self.hi.saturating_add(o.hi))
+    }
+
+    fn sub(&self, o: &Interval) -> Interval {
+        Interval::new(self.lo.saturating_sub(o.hi), self.hi.saturating_sub(o.lo))
+    }
+
+    fn mul(&self, o: &Interval) -> Interval {
+        let corners = [
+            self.lo.saturating_mul(o.lo),
+            self.lo.saturating_mul(o.hi),
+            self.hi.saturating_mul(o.lo),
+            self.hi.saturating_mul(o.hi),
+        ];
+        Interval::new(
+            corners.iter().copied().min().unwrap_or(0),
+            corners.iter().copied().max().unwrap_or(0),
+        )
+    }
+}
+
+/// Evaluates `e` to an interval under loop-variable extents `env`
+/// (`var id -> extent`, each ranging over `[0, extent)`) and guard
+/// `refine`ments. Returns `None` when the expression cannot be bounded
+/// (unbound variable, non-constant divisor) — callers must treat `None`
+/// as "unknown", never as "in bounds is proven".
+pub fn eval(e: &Expr, env: &HashMap<u32, i64>, refine: &Refinements) -> Option<Interval> {
+    let raw = match e {
+        Expr::Const(v) => Interval::point(*v),
+        Expr::Var(v) => {
+            let extent = *env.get(&v.id())?;
+            Interval::new(0, extent - 1)
+        }
+        Expr::Bin(op, a, b) => {
+            let ia = eval(a, env, refine)?;
+            let ib = eval(b, env, refine)?;
+            if ia.is_empty() || ib.is_empty() {
+                Interval::empty()
+            } else {
+                match op {
+                    BinOp::Add => ia.add(&ib),
+                    BinOp::Sub => ia.sub(&ib),
+                    BinOp::Mul => ia.mul(&ib),
+                    BinOp::FloorDiv => {
+                        // Precise only for a constant positive divisor
+                        // (the only divisor layout rewriting produces).
+                        if ib.lo == ib.hi && ib.lo > 0 {
+                            let c = ib.lo;
+                            Interval::new(ia.lo.div_euclid(c), ia.hi.div_euclid(c))
+                        } else {
+                            return None;
+                        }
+                    }
+                    BinOp::Mod => {
+                        if ib.lo == ib.hi && ib.lo > 0 {
+                            let c = ib.lo;
+                            if ia.lo.div_euclid(c) == ia.hi.div_euclid(c) {
+                                // The whole range shares one quotient, so
+                                // the remainder is monotone across it.
+                                Interval::new(ia.lo.rem_euclid(c), ia.hi.rem_euclid(c))
+                            } else {
+                                Interval::new(0, c - 1)
+                            }
+                        } else {
+                            return None;
+                        }
+                    }
+                    BinOp::Min => Interval::new(ia.lo.min(ib.lo), ia.hi.min(ib.hi)),
+                    BinOp::Max => Interval::new(ia.lo.max(ib.lo), ia.hi.max(ib.hi)),
+                }
+            }
+        }
+    };
+    Some(match refine.get(e) {
+        Some(r) => raw.intersect(r),
+        None => raw,
+    })
+}
+
+fn tighten(map: &mut Refinements, key: &Expr, iv: Interval) {
+    let entry = map
+        .entry(key.clone())
+        .or_insert(Interval::new(i64::MIN, i64::MAX));
+    *entry = entry.intersect(&iv);
+}
+
+/// Folds the constraints of a (true) condition into `map`: on the path
+/// where `c` holds, every guarded subexpression is confined to the
+/// derived interval.
+pub fn refine_from_cond(c: &Cond, env: &HashMap<u32, i64>, map: &mut Refinements) {
+    let none = Refinements::new();
+    match c {
+        Cond::Ge(a, b) => {
+            if let Some(ib) = eval(b, env, &none) {
+                tighten(map, a, Interval::new(ib.lo, i64::MAX));
+            }
+        }
+        Cond::Lt(a, b) => {
+            if let Some(ib) = eval(b, env, &none) {
+                tighten(map, a, Interval::new(i64::MIN, ib.hi.saturating_sub(1)));
+            }
+        }
+        Cond::Eq(a, b) => {
+            if let Some(ib) = eval(b, env, &none) {
+                tighten(map, a, ib);
+            }
+            if let Some(ia) = eval(a, env, &none) {
+                tighten(map, b, ia);
+            }
+        }
+        Cond::And(x, y) => {
+            refine_from_cond(x, env, map);
+            refine_from_cond(y, env, map);
+        }
+    }
+}
+
+/// Folds the constraints of a *false* condition into `map` (the `else`
+/// branch of a `Select`). `¬(a >= b)` is `a < b`; `¬(a < b)` is
+/// `a >= b`; negated equalities and conjunctions carry no single-interval
+/// information and are skipped.
+pub fn refine_from_negation(c: &Cond, env: &HashMap<u32, i64>, map: &mut Refinements) {
+    let none = Refinements::new();
+    match c {
+        Cond::Ge(a, b) => {
+            if let Some(ib) = eval(b, env, &none) {
+                tighten(map, a, Interval::new(i64::MIN, ib.hi.saturating_sub(1)));
+            }
+        }
+        Cond::Lt(a, b) => {
+            if let Some(ib) = eval(b, env, &none) {
+                tighten(map, a, Interval::new(ib.lo, i64::MAX));
+            }
+        }
+        Cond::Eq(_, _) | Cond::And(_, _) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use alt_tensor::VarGen;
+
+    #[test]
+    fn var_and_arith_bounds() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let env: HashMap<u32, i64> = [(i.id(), 8)].into();
+        let none = Refinements::new();
+        let e = Expr::v(&i).mul_c(3).add(&Expr::c(-2));
+        assert_eq!(eval(&e, &env, &none), Some(Interval::new(-2, 19)));
+    }
+
+    #[test]
+    fn div_mod_bounds() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let env: HashMap<u32, i64> = [(i.id(), 12)].into();
+        let none = Refinements::new();
+        let div = Expr::Bin(BinOp::FloorDiv, Expr::v(&i).into(), Expr::c(4).into());
+        assert_eq!(eval(&div, &env, &none), Some(Interval::new(0, 2)));
+        let md = Expr::Bin(BinOp::Mod, Expr::v(&i).into(), Expr::c(4).into());
+        assert_eq!(eval(&md, &env, &none), Some(Interval::new(0, 3)));
+    }
+
+    #[test]
+    fn refinement_narrows_guarded_subexpression() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let env: HashMap<u32, i64> = [(i.id(), 10)].into();
+        // e = i - 2, guarded by `e >= 0 && e < 6`.
+        let e = Expr::v(&i).add(&Expr::c(-2));
+        let cond = Cond::Ge(e.clone(), Expr::c(0)).and(Cond::Lt(e.clone(), Expr::c(6)));
+        let mut map = Refinements::new();
+        refine_from_cond(&cond, &env, &mut map);
+        assert_eq!(eval(&e, &env, &map), Some(Interval::new(0, 5)));
+        // The refinement applies inside an enclosing expression too.
+        let shifted = e.add(&Expr::c(2));
+        assert_eq!(eval(&shifted, &env, &map), Some(Interval::new(2, 7)));
+    }
+
+    #[test]
+    fn negation_flips_the_constraint() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let env: HashMap<u32, i64> = [(i.id(), 10)].into();
+        let e = Expr::v(&i);
+        let cond = Cond::Lt(e.clone(), Expr::c(4));
+        let mut map = Refinements::new();
+        refine_from_negation(&cond, &env, &mut map);
+        assert_eq!(eval(&e, &env, &map), Some(Interval::new(4, 9)));
+    }
+
+    #[test]
+    fn contradictory_guards_yield_empty() {
+        let env = HashMap::new();
+        let mut map = Refinements::new();
+        let e = Expr::c(3);
+        refine_from_cond(&Cond::Ge(e.clone(), Expr::c(10)), &env, &mut map);
+        let iv = eval(&e, &env, &map).unwrap();
+        assert!(iv.is_empty());
+        assert!(iv.within(1), "empty intervals pass every bound vacuously");
+    }
+}

@@ -1,0 +1,136 @@
+//! Pass 2: transformation legality for layout plans.
+//!
+//! Replays the primitive chain of every assigned layout, conversion and
+//! embedding against the logical shape of its tensor, mapping each
+//! [`LayoutError`] onto a stable diagnostic code, and checks propagation
+//! consistency across graph edges:
+//!
+//! * every layout's logical shape must match its tensor's shape,
+//! * every conversion must target a consumer that actually reads the
+//!   converted tensor,
+//! * `store_at` embeddings must pair parameter tensors whose shapes
+//!   agree (guest = host minus the host dimension), with an identity
+//!   guest layout and a host layout that is exactly
+//!   `identity + store_at(dim)`.
+
+use alt_error::codes;
+use alt_layout::{LayoutError, LayoutPlan, LayoutPrim};
+use alt_tensor::{Graph, TensorKind};
+
+use crate::Diagnostic;
+
+/// Maps a layout-primitive failure onto its stable diagnostic code.
+pub fn code_for(e: &LayoutError) -> &'static str {
+    match e {
+        LayoutError::BadDim { .. } => codes::V016_UNKNOWN_AXIS,
+        LayoutError::BadFactors { .. } => codes::V008_SPLIT_NONDIVISIBLE,
+        LayoutError::BadPermutation(_) => codes::V013_PERM_INVALID,
+        LayoutError::BadFuseRange { .. } => codes::V011_FUSE_BAD_RANGE,
+        LayoutError::BadUnfold { .. } => codes::V012_UNFOLD_BAD_FACTORS,
+        LayoutError::BadPad => codes::V015_NEGATIVE_PAD,
+        _ => codes::V014_PROPAGATION_MISMATCH,
+    }
+}
+
+fn check_layout(
+    what: &str,
+    layout: &alt_layout::Layout,
+    tensor_shape: &alt_tensor::Shape,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if layout.logical_shape() != tensor_shape {
+        diags.push(Diagnostic {
+            code: codes::V014_PROPAGATION_MISMATCH,
+            group: what.to_string(),
+            detail: format!(
+                "layout logical shape {} does not match tensor shape {}",
+                layout.logical_shape(),
+                tensor_shape
+            ),
+        });
+        return;
+    }
+    if let Err(e) = layout.revalidate() {
+        diags.push(Diagnostic {
+            code: code_for(&e),
+            group: what.to_string(),
+            detail: format!("illegal primitive chain: {e}"),
+        });
+    }
+}
+
+/// Runs the legality pass over a layout plan.
+pub fn check_plan(graph: &Graph, plan: &LayoutPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    for (&tensor, layout) in plan.assigned() {
+        let info = graph.tensor(tensor);
+        check_layout(
+            &format!("layout of `{}`", info.name),
+            layout,
+            &info.shape,
+            &mut diags,
+        );
+    }
+
+    for conv in plan.conversions() {
+        let info = graph.tensor(conv.tensor);
+        let what = format!("conversion of `{}`", info.name);
+        if !info.consumers.contains(&conv.consumer) {
+            diags.push(Diagnostic {
+                code: codes::V014_PROPAGATION_MISMATCH,
+                group: what.clone(),
+                detail: format!(
+                    "conversion targets op {:?}, which does not read `{}`",
+                    conv.consumer, info.name
+                ),
+            });
+        }
+        check_layout(&what, &conv.layout, &info.shape, &mut diags);
+    }
+
+    for (&guest, &(host, host_dim)) in plan.embeddings() {
+        let gi = graph.tensor(guest);
+        let hi = graph.tensor(host);
+        let what = format!("store_at `{}` in `{}`", gi.name, hi.name);
+        let mut bad = |detail: String| {
+            diags.push(Diagnostic {
+                code: codes::V014_PROPAGATION_MISMATCH,
+                group: what.clone(),
+                detail,
+            });
+        };
+        if gi.kind != TensorKind::Param || hi.kind != TensorKind::Param {
+            bad("store_at requires parameter tensors on both sides".into());
+            continue;
+        }
+        if host_dim >= hi.shape.ndim() {
+            bad(format!(
+                "host dim {host_dim} out of range for {}-d host",
+                hi.shape.ndim()
+            ));
+            continue;
+        }
+        // Guest shape must equal the host shape with the host dim removed
+        // (the guest occupies the reserved slice along that dim).
+        let mut expect: Vec<i64> = hi.shape.dims().to_vec();
+        expect.remove(host_dim);
+        if gi.shape.dims() != expect.as_slice() {
+            bad(format!(
+                "guest shape {} does not fill the host slice {:?}",
+                gi.shape, expect
+            ));
+        }
+        if !plan.layout_of(graph, guest).is_identity() {
+            bad("guest of a store_at embedding must keep the identity layout".into());
+        }
+        let host_layout = plan.layout_of(graph, host);
+        if host_layout.prims() != [LayoutPrim::StoreAtHost { dim: host_dim }] {
+            bad(format!(
+                "host layout must be exactly `store_at_host({host_dim})`, found {host_layout}"
+            ));
+        }
+    }
+
+    diags
+}

@@ -1,0 +1,105 @@
+//! Static verification for ALT programs (IR well-formedness,
+//! transformation legality, race detection).
+//!
+//! ALT's central claim is that joint layout+loop transformation is
+//! semantics-preserving. The interpreter establishes that *dynamically*
+//! on sampled inputs; this crate establishes the static side: a
+//! three-pass analysis over layout plans and lowered programs that
+//! rejects illegal candidates in microseconds, before any simulation
+//! spends budget on them.
+//!
+//! * [`verify_plan`] — transformation legality ([`legality`]): replays
+//!   every layout's primitive chain (split divisibility, fuse ranges,
+//!   unfold factors, non-negative pads), and checks propagation
+//!   consistency across graph edges (shape agreement, dangling
+//!   conversions, well-formed `store_at` embeddings).
+//! * [`verify_program`] — adds IR well-formedness ([`wellformed`]: loop
+//!   vars bound exactly once, positive extents, no axis used outside its
+//!   nest, every access within the padded physical extents via affine
+//!   bound inference, `store_at` staging slots never clobbered) and
+//!   dependence-based race detection ([`race`]: `@par`/`@vec` axes must
+//!   not carry loop-carried dependences; parallelized reductions are
+//!   flagged).
+//!
+//! Every finding is a [`Diagnostic`] with a stable code from
+//! [`alt_error::codes`]; [`Diagnostic::to_error`] converts one into a
+//! typed [`AltError::Verify`] for callers that want `Result` seams. The
+//! verifier is deliberately conservative in *both* directions it can
+//! afford: bounds it cannot prove are accepted (the accept ⇒ bit-exact
+//! property is enforced against the reference interpreter by tests), and
+//! rejection paths are pinned down by seeded-illegal mutation tests.
+
+pub mod interval;
+pub mod legality;
+pub mod race;
+pub mod wellformed;
+
+use alt_error::AltError;
+use alt_layout::LayoutPlan;
+use alt_loopir::Program;
+use alt_tensor::Graph;
+
+pub use legality::code_for;
+
+/// One static-verification finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code from [`alt_error::codes`].
+    pub code: &'static str,
+    /// Where the finding is anchored (lowered-group label or plan
+    /// entity).
+    pub group: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.code, self.group, self.detail)
+    }
+}
+
+impl Diagnostic {
+    /// Converts the finding into a typed error.
+    pub fn to_error(&self) -> AltError {
+        AltError::Verify {
+            code: self.code,
+            detail: format!("{}: {}", self.group, self.detail),
+        }
+    }
+}
+
+/// Deterministic order regardless of pass-internal map iteration.
+fn sorted(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| (a.code, &a.group, &a.detail).cmp(&(b.code, &b.group, &b.detail)));
+    diags
+}
+
+/// Verifies a layout plan (transformation legality + propagation
+/// consistency). Returns all findings, deterministically ordered.
+pub fn verify_plan(graph: &Graph, plan: &LayoutPlan) -> Vec<Diagnostic> {
+    sorted(legality::check_plan(graph, plan))
+}
+
+/// Verifies a lowered program together with the plan it was lowered
+/// under: plan legality, IR well-formedness and race freedom. Returns
+/// all findings, deterministically ordered.
+pub fn verify_program(graph: &Graph, plan: &LayoutPlan, program: &Program) -> Vec<Diagnostic> {
+    let mut diags = legality::check_plan(graph, plan);
+    diags.extend(wellformed::check_program(graph, plan, program));
+    diags.extend(race::check_program(program));
+    sorted(diags)
+}
+
+/// [`verify_program`] as a `Result`: `Err` carries the first (smallest
+/// code) finding as a typed [`AltError::Verify`].
+pub fn verify_program_strict(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    program: &Program,
+) -> Result<(), AltError> {
+    match verify_program(graph, plan, program).first() {
+        Some(d) => Err(d.to_error()),
+        None => Ok(()),
+    }
+}

@@ -1,0 +1,270 @@
+//! Pass 3: dependence-based race detection for `@par`/`@vec` loops.
+//!
+//! For every `Parallel` or `Vectorized` loop the pass flattens each
+//! write's store index to a linear form over loop variables (row-major
+//! strides of the destination buffer) and inspects the coefficient of
+//! the parallel variable:
+//!
+//! * coefficient zero on an accumulating store (`+=` / `max=`) means the
+//!   annotation parallelizes a reduction axis — every iteration folds
+//!   into the same location (`V010_PAR_REDUCTION`);
+//! * coefficient zero on a plain assignment means all iterations write
+//!   the same location — a loop-carried output dependence
+//!   (`V009_PAR_RACE`);
+//! * a nonzero coefficient moves the write footprint with every
+//!   iteration. Lowering produces Horner-form indices over a row-major
+//!   flattening, for which distinct iterations provably touch disjoint
+//!   slots, so these are accepted.
+//!
+//! Index expressions that do not flatten to a linear form (floor
+//! division or modulo whose residual range spans a quotient boundary,
+//! min/max, variable divisors) are skipped — a Banerjee-style give-up.
+//! Giving up *accepts*, which is the right polarity here: the
+//! accept-implies-bit-exact property is checked against a sequential
+//! interpreter, while the seeded-illegal suite pins down the cases this
+//! pass must reject.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use alt_error::codes;
+use alt_loopir::{LoopKind, Program, StoreMode, TirNode};
+use alt_tensor::expr::{BinOp, Expr};
+
+use crate::Diagnostic;
+
+/// A linear form `c0 + Σ coeff_v · v` over loop variables.
+#[derive(Clone, Debug, Default)]
+struct LinForm {
+    c0: i64,
+    terms: BTreeMap<u32, i64>,
+}
+
+impl LinForm {
+    fn constant(v: i64) -> Self {
+        LinForm {
+            c0: v,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    fn var(id: u32) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(id, 1);
+        LinForm { c0: 0, terms }
+    }
+
+    fn add(mut self, o: &LinForm) -> Self {
+        self.c0 = self.c0.saturating_add(o.c0);
+        for (&v, &c) in &o.terms {
+            let e = self.terms.entry(v).or_insert(0);
+            *e = e.saturating_add(c);
+        }
+        self.terms.retain(|_, c| *c != 0);
+        self
+    }
+
+    fn neg(mut self) -> Self {
+        self.c0 = self.c0.saturating_neg();
+        for c in self.terms.values_mut() {
+            *c = c.saturating_neg();
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Self {
+        self.c0 = self.c0.saturating_mul(k);
+        for c in self.terms.values_mut() {
+            *c = c.saturating_mul(k);
+        }
+        self.terms.retain(|_, c| *c != 0);
+        self
+    }
+
+    /// Value range over `[0, extent)` per variable; `None` if a variable
+    /// has no known extent.
+    fn range(&self, env: &HashMap<u32, i64>) -> Option<(i64, i64)> {
+        let mut lo = self.c0;
+        let mut hi = self.c0;
+        for (v, &c) in &self.terms {
+            let span = env.get(v)?.max(&1) - 1;
+            if c >= 0 {
+                hi = hi.saturating_add(c.saturating_mul(span));
+            } else {
+                lo = lo.saturating_add(c.saturating_mul(span));
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+/// Flattens `e` to a linear form, splitting constant-divisor `div`/`mod`
+/// when the non-divisible residual keeps a stable quotient over its
+/// range. Returns `None` (give up) otherwise.
+fn linearize(e: &Expr, env: &HashMap<u32, i64>) -> Option<LinForm> {
+    match e {
+        Expr::Const(v) => Some(LinForm::constant(*v)),
+        Expr::Var(v) => Some(LinForm::var(v.id())),
+        Expr::Bin(op, a, b) => match op {
+            BinOp::Add => Some(linearize(a, env)?.add(&linearize(b, env)?)),
+            BinOp::Sub => Some(linearize(a, env)?.add(&linearize(b, env)?.neg())),
+            BinOp::Mul => {
+                let la = linearize(a, env)?;
+                let lb = linearize(b, env)?;
+                if lb.terms.is_empty() {
+                    Some(la.scale(lb.c0))
+                } else if la.terms.is_empty() {
+                    Some(lb.scale(la.c0))
+                } else {
+                    None
+                }
+            }
+            BinOp::FloorDiv | BinOp::Mod => {
+                let la = linearize(a, env)?;
+                let lb = linearize(b, env)?;
+                if !lb.terms.is_empty() || lb.c0 <= 0 {
+                    return None;
+                }
+                let c = lb.c0;
+                // Divisible part D and residual R = rest + c0.
+                let mut div = LinForm::default();
+                let mut rest = LinForm::constant(la.c0);
+                for (&v, &coeff) in &la.terms {
+                    if coeff % c == 0 {
+                        div.terms.insert(v, coeff / c);
+                    } else {
+                        rest.terms.insert(v, coeff);
+                    }
+                }
+                let (rlo, rhi) = rest.range(env)?;
+                let (qlo, qhi) = (rlo.div_euclid(c), rhi.div_euclid(c));
+                if qlo != qhi {
+                    return None;
+                }
+                match op {
+                    BinOp::FloorDiv => {
+                        div.c0 = div.c0.saturating_add(qlo);
+                        Some(div)
+                    }
+                    _ => Some(rest.add(&LinForm::constant(-qlo.saturating_mul(c)))),
+                }
+            }
+            BinOp::Min | BinOp::Max => None,
+        },
+    }
+}
+
+struct RaceWalker<'a> {
+    program: &'a Program,
+    group: String,
+    /// All live bindings, id -> extent (needed for residual ranges).
+    env: HashMap<u32, i64>,
+    diags: Vec<Diagnostic>,
+}
+
+impl RaceWalker<'_> {
+    fn walk(&mut self, nodes: &[TirNode]) {
+        for node in nodes {
+            if let TirNode::Loop {
+                var,
+                extent,
+                kind,
+                body,
+            } = node
+            {
+                let fresh = !self.env.contains_key(&var.id());
+                if fresh {
+                    self.env.insert(var.id(), (*extent).max(1));
+                }
+                if matches!(kind, LoopKind::Parallel | LoopKind::Vectorized) && *extent > 1 {
+                    let tag = if *kind == LoopKind::Parallel {
+                        "@par"
+                    } else {
+                        "@vec"
+                    };
+                    self.check_par_loop(var.id(), tag, body);
+                }
+                self.walk(body);
+                if fresh {
+                    self.env.remove(&var.id());
+                }
+            }
+        }
+    }
+
+    /// Checks every write under one parallel loop against its variable.
+    fn check_par_loop(&mut self, par: u32, tag: &str, body: &[TirNode]) {
+        let mut stmts = Vec::new();
+        collect_stmts(body, &mut stmts);
+        for s in stmts {
+            // Flattened store offset under the destination's row-major
+            // strides.
+            let decl = self.program.buffer(s.buf);
+            if s.indices.len() != decl.shape.ndim() {
+                continue; // rank mismatch is pass 1's problem
+            }
+            let mut offset = LinForm::default();
+            let mut stride = 1i64;
+            let mut ok = true;
+            for (k, idx) in s.indices.iter().enumerate().rev() {
+                match linearize(idx, &self.env) {
+                    Some(l) => offset = offset.add(&l.scale(stride)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+                stride = stride.saturating_mul(decl.shape.dim(k).max(1));
+            }
+            if !ok {
+                continue; // give up: accept
+            }
+            let coeff = offset.terms.get(&par).copied().unwrap_or(0);
+            if coeff != 0 {
+                continue; // footprint moves with every iteration
+            }
+            let (code, why) = match s.mode {
+                StoreMode::AddAcc | StoreMode::MaxAcc => (
+                    codes::V010_PAR_REDUCTION,
+                    "accumulates into the same location on every iteration \
+                     (reduction axis parallelized)",
+                ),
+                StoreMode::Assign => (
+                    codes::V009_PAR_RACE,
+                    "writes the same location on every iteration \
+                     (loop-carried output dependence)",
+                ),
+            };
+            self.diags.push(Diagnostic {
+                code,
+                group: self.group.clone(),
+                detail: format!("{tag} loop: store to `{}` {why}", decl.name),
+            });
+        }
+    }
+}
+
+fn collect_stmts<'a>(nodes: &'a [TirNode], out: &mut Vec<&'a alt_loopir::Stmt>) {
+    for n in nodes {
+        match n {
+            TirNode::Loop { body, .. } => collect_stmts(body, out),
+            TirNode::Stmt(s) => out.push(s),
+        }
+    }
+}
+
+/// Runs the race-detection pass over every lowered group.
+pub fn check_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for group in &program.groups {
+        let mut w = RaceWalker {
+            program,
+            group: group.label.clone(),
+            env: HashMap::new(),
+            diags: Vec::new(),
+        };
+        w.walk(&group.nodes);
+        diags.extend(w.diags);
+    }
+    diags
+}

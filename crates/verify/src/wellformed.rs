@@ -1,0 +1,365 @@
+//! Pass 1: IR well-formedness over lowered programs.
+//!
+//! Checks, per lowered group:
+//!
+//! * every loop variable is bound exactly once along any path (a loop
+//!   never rebinds a live variable; sibling nests may reuse variables),
+//! * loop extents are positive,
+//! * no index expression uses a variable outside its binding nest,
+//! * every buffer access stays inside the buffer's physical (padded)
+//!   extents, proven by affine bound inference refined with the
+//!   statement's validity predicate and enclosing `Select` guards,
+//! * stores never clobber the reserved `store_at` staging slot of a host
+//!   buffer.
+//!
+//! Out-of-bounds loads on buffers whose layout contains a `pad`
+//! primitive are reported as `V007_PAD_UNDERCOVERS` (the pad fails to
+//! cover the access); all other escapes are `V004_OOB_READ` /
+//! `V005_OOB_WRITE`.
+//!
+//! Bounds polarity: an index range entirely outside the extent is always
+//! flagged; a range that merely *straddles* the boundary is flagged only
+//! when interval arithmetic is exact for the expression (affine over
+//! distinct variables), since otherwise the overshoot may be an artifact
+//! of lost correlation and the verifier must not reject legal candidates.
+
+use std::collections::{HashMap, HashSet};
+
+use alt_error::codes;
+use alt_layout::{LayoutPlan, LayoutPrim};
+use alt_loopir::{BufKind, Program, SExpr, Stmt, StoreMode, TirNode};
+use alt_tensor::expr::{Expr, Var};
+use alt_tensor::{Cond, Graph};
+
+use crate::interval::{self, Interval, Refinements};
+use crate::Diagnostic;
+
+/// Per-buffer facts precomputed from the plan.
+struct BufFacts {
+    /// Buffers whose layout chain contains a `Pad` primitive.
+    padded: HashSet<usize>,
+    /// `store_at` hosts: buffer index -> (physical dim, reserved slot).
+    hosts: HashMap<usize, (usize, i64)>,
+}
+
+fn layout_has_pad(prims: &[LayoutPrim]) -> bool {
+    prims.iter().any(|p| matches!(p, LayoutPrim::Pad { .. }))
+}
+
+fn buf_facts(graph: &Graph, plan: &LayoutPlan, program: &Program) -> BufFacts {
+    let mut padded = HashSet::new();
+    for (k, decl) in program.buffers.iter().enumerate() {
+        let has_pad = match decl.kind {
+            BufKind::Tensor(t) => layout_has_pad(plan.layout_of(graph, t).prims()),
+            // A converted copy may serve several consumers with different
+            // layouts; "any conversion of this tensor pads" is enough for
+            // diagnostic classification.
+            BufKind::Converted(t) => plan
+                .conversions()
+                .iter()
+                .any(|c| c.tensor == t && layout_has_pad(c.layout.prims())),
+        };
+        if has_pad {
+            padded.insert(k);
+        }
+    }
+    let mut hosts = HashMap::new();
+    for (_, &(host, host_dim)) in plan.embeddings() {
+        let Some(buf) = program.buffer_for_tensor(host) else {
+            continue;
+        };
+        // `store_at` only applies to identity layouts, so the reserved
+        // slot sits at physical position `host_dim` with index equal to
+        // the original extent. Anything more exotic is skipped here (and
+        // flagged by the plan legality pass).
+        let layout = plan.layout_of(graph, host);
+        if layout.prims() == [LayoutPrim::StoreAtHost { dim: host_dim }] {
+            let reserved = graph.tensor(host).shape.dim(host_dim);
+            hosts.insert(buf.0, (host_dim, reserved));
+        }
+    }
+    BufFacts { padded, hosts }
+}
+
+struct Walker<'a> {
+    program: &'a Program,
+    facts: BufFacts,
+    group: String,
+    /// Live bindings: variable id -> loop extent.
+    env: HashMap<u32, i64>,
+    diags: Vec<Diagnostic>,
+}
+
+/// True when interval arithmetic is exact for `e`: every variable occurs
+/// at most once and no flooring/extremum operator can lose correlation.
+/// For such expressions a straddling index range proves some iteration
+/// really escapes; for anything else a straddle may be an artifact of
+/// lost correlation and the verifier accepts.
+fn interval_exact(e: &Expr) -> bool {
+    fn ops_ok(e: &Expr) -> bool {
+        match e {
+            Expr::Const(_) | Expr::Var(_) => true,
+            Expr::Bin(op, a, b) => {
+                use alt_tensor::expr::BinOp;
+                !matches!(op, BinOp::FloorDiv | BinOp::Mod | BinOp::Min | BinOp::Max)
+                    && ops_ok(a)
+                    && ops_ok(b)
+            }
+        }
+    }
+    let mut vars = Vec::new();
+    e.collect_vars(&mut vars);
+    let mut ids: Vec<u32> = vars.iter().map(Var::id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len() == vars.len() && ops_ok(e)
+}
+
+/// Collects every variable referenced by a condition.
+fn cond_vars(c: &Cond, out: &mut Vec<Var>) {
+    match c {
+        Cond::Ge(a, b) | Cond::Lt(a, b) | Cond::Eq(a, b) => {
+            a.collect_vars(out);
+            b.collect_vars(out);
+        }
+        Cond::And(a, b) => {
+            cond_vars(a, out);
+            cond_vars(b, out);
+        }
+    }
+}
+
+/// Collects every variable referenced by a value expression.
+fn sexpr_vars(e: &SExpr, out: &mut Vec<Var>) {
+    match e {
+        SExpr::Imm(_) => {}
+        SExpr::Load { indices, .. } => {
+            for i in indices {
+                i.collect_vars(out);
+            }
+        }
+        SExpr::Bin(_, a, b) => {
+            sexpr_vars(a, out);
+            sexpr_vars(b, out);
+        }
+        SExpr::Unary(_, a) => sexpr_vars(a, out),
+        SExpr::Select { cond, then_, else_ } => {
+            cond_vars(cond, out);
+            sexpr_vars(then_, out);
+            sexpr_vars(else_, out);
+        }
+    }
+}
+
+impl Walker<'_> {
+    fn diag(&mut self, code: &'static str, detail: String) {
+        self.diags.push(Diagnostic {
+            code,
+            group: self.group.clone(),
+            detail,
+        });
+    }
+
+    fn walk(&mut self, nodes: &[TirNode]) {
+        for node in nodes {
+            match node {
+                TirNode::Loop {
+                    var, extent, body, ..
+                } => {
+                    if *extent <= 0 {
+                        self.diag(
+                            codes::V003_NONPOSITIVE_EXTENT,
+                            format!("loop `{var}` has extent {extent}"),
+                        );
+                    }
+                    if self.env.contains_key(&var.id()) {
+                        self.diag(
+                            codes::V001_REBOUND_AXIS,
+                            format!("loop rebinds `{var}` while it is already bound"),
+                        );
+                        // Keep the outer binding: walking the body with a
+                        // corrupted scope would cascade spurious reports.
+                        self.walk(body);
+                        continue;
+                    }
+                    self.env.insert(var.id(), (*extent).max(1));
+                    self.walk(body);
+                    self.env.remove(&var.id());
+                }
+                TirNode::Stmt(s) => self.check_stmt(s),
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        // Unbound-variable scan first: bound inference needs every
+        // variable in scope.
+        let mut vars = Vec::new();
+        for i in &s.indices {
+            i.collect_vars(&mut vars);
+        }
+        if let Some(p) = &s.pred {
+            cond_vars(p, &mut vars);
+        }
+        sexpr_vars(&s.value, &mut vars);
+        let mut reported = HashSet::new();
+        let mut unbound = false;
+        for v in &vars {
+            if !self.env.contains_key(&v.id()) {
+                unbound = true;
+                if reported.insert(v.id()) {
+                    self.diag(
+                        codes::V002_UNBOUND_AXIS,
+                        format!("statement uses `{v}` outside any enclosing loop"),
+                    );
+                }
+            }
+        }
+        if unbound {
+            return;
+        }
+
+        let base = Refinements::new();
+        let mut pred_map = Refinements::new();
+        if let Some(p) = &s.pred {
+            interval::refine_from_cond(p, &self.env, &mut pred_map);
+        }
+
+        // Store indices. A predicated `Assign` still writes 0.0 to the
+        // invalid slot, so its destination must be in bounds without
+        // assuming the predicate; accumulating stores are skipped when
+        // the predicate is false and may assume it.
+        let store_map = if s.mode == StoreMode::Assign {
+            &base
+        } else {
+            &pred_map
+        };
+        self.check_access(s.buf.0, &s.indices, store_map, false);
+        self.check_host_slot(s, store_map);
+
+        // The value expression is only evaluated when the predicate
+        // holds.
+        self.walk_value(&s.value, &pred_map);
+    }
+
+    /// Flags stores that can touch a `store_at` host's reserved slot.
+    fn check_host_slot(&mut self, s: &Stmt, map: &Refinements) {
+        let Some(&(dim, reserved)) = self.facts.hosts.get(&s.buf.0) else {
+            return;
+        };
+        let Some(idx) = s.indices.get(dim) else {
+            return;
+        };
+        if let Some(iv) = interval::eval(idx, &self.env, map) {
+            if !iv.is_empty() && iv.hi >= reserved {
+                self.diag(
+                    codes::V006_STORE_AT_CLOBBERED,
+                    format!(
+                        "store to `{}` can reach reserved slot {reserved} of dim {dim} \
+                         (index range [{}, {}])",
+                        self.program.buffer(s.buf).name,
+                        iv.lo,
+                        iv.hi
+                    ),
+                );
+            }
+        }
+    }
+
+    fn walk_value(&mut self, e: &SExpr, map: &Refinements) {
+        match e {
+            SExpr::Imm(_) => {}
+            SExpr::Load { buf, indices } => self.check_access(buf.0, indices, map, true),
+            SExpr::Bin(_, a, b) => {
+                self.walk_value(a, map);
+                self.walk_value(b, map);
+            }
+            SExpr::Unary(_, a) => self.walk_value(a, map),
+            SExpr::Select { cond, then_, else_ } => {
+                // Only the taken branch evaluates, so each branch may
+                // assume its side of the condition.
+                let mut tm = map.clone();
+                interval::refine_from_cond(cond, &self.env, &mut tm);
+                self.walk_value(then_, &tm);
+                let mut em = map.clone();
+                interval::refine_from_negation(cond, &self.env, &mut em);
+                self.walk_value(else_, &em);
+            }
+        }
+    }
+
+    fn check_access(&mut self, buf: usize, indices: &[Expr], map: &Refinements, read: bool) {
+        let decl = &self.program.buffers[buf];
+        let (oob_code, what) = if read {
+            if self.facts.padded.contains(&buf) {
+                (codes::V007_PAD_UNDERCOVERS, "load")
+            } else {
+                (codes::V004_OOB_READ, "load")
+            }
+        } else {
+            (codes::V005_OOB_WRITE, "store")
+        };
+        if indices.len() != decl.shape.ndim() {
+            self.diag(
+                oob_code,
+                format!(
+                    "{what} of `{}` has rank {} but the buffer has rank {}",
+                    decl.name,
+                    indices.len(),
+                    decl.shape.ndim()
+                ),
+            );
+            return;
+        }
+        for (k, idx) in indices.iter().enumerate() {
+            let extent = decl.shape.dim(k);
+            // `None` means the bound could not be inferred; the verifier
+            // stays conservative and accepts (the interpreter-backed
+            // property tests keep this honest).
+            let Some(iv) = interval::eval(idx, &self.env, map) else {
+                continue;
+            };
+            if iv.within(extent) {
+                continue;
+            }
+            // A range entirely outside `[0, extent)` is out of bounds no
+            // matter how imprecise the analysis; a *straddling* range
+            // only proves an escape when interval arithmetic is exact
+            // for this expression (otherwise the overshoot may be an
+            // artifact of lost correlation, and the verifier accepts).
+            let definite = iv.hi < 0 || iv.lo >= extent;
+            if definite || interval_exact(idx) {
+                self.diag(
+                    oob_code,
+                    format!(
+                        "{what} of `{}` dim {k}: index range [{}, {}] escapes extent {extent}",
+                        decl.name, iv.lo, iv.hi
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the well-formedness pass over every lowered group.
+pub fn check_program(graph: &Graph, plan: &LayoutPlan, program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for group in &program.groups {
+        let mut w = Walker {
+            program,
+            facts: buf_facts(graph, plan, program),
+            group: group.label.clone(),
+            env: HashMap::new(),
+            diags: Vec::new(),
+        };
+        w.walk(&group.nodes);
+        diags.extend(w.diags);
+    }
+    diags
+}
+
+/// Convenience for tests: the interval of one expression under explicit
+/// extents.
+pub fn bound_expr(e: &Expr, extents: &HashMap<u32, i64>) -> Option<Interval> {
+    interval::eval(e, extents, &Refinements::new())
+}

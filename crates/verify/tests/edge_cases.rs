@@ -1,0 +1,140 @@
+//! Edge-case coverage for primitive interactions the paper's templates
+//! combine: pad-then-fuse, unfold of a padded axis, and `store_at`
+//! staging read inside a parallel loop. Each case must verify clean and
+//! execute bit-exactly; the `store_at` case also pins down the
+//! reserved-slot clobber diagnostic.
+
+#![allow(clippy::unwrap_used)]
+
+use alt_error::codes;
+use alt_layout::{Layout, LayoutPlan, LayoutPrim, PropagationMode};
+use alt_loopir::{lower, run_program, GraphSchedule, OpSchedule, SExpr, Stmt, StoreMode, TirNode};
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::expr::Expr;
+use alt_tensor::{ops, Graph, Shape, TensorId};
+use alt_verify::verify_program;
+
+fn gmm_graph() -> (Graph, TensorId, TensorId) {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([6, 8]));
+    let b = g.add_param("b", Shape::new([8, 10]));
+    let c = ops::gmm(&mut g, a, b);
+    (g, b, c)
+}
+
+fn check_clean_and_bit_exact(g: &Graph, plan: &LayoutPlan, sched: &GraphSchedule, out: TensorId) {
+    let program = lower(g, plan, sched);
+    let diags = verify_program(g, plan, &program);
+    assert!(diags.is_empty(), "falsely rejected: {diags:?}");
+    let bindings = random_bindings(g, 17);
+    let reference = run_graph(g, &bindings);
+    let got = run_program(&program, g, plan, &bindings);
+    let diff = reference[out.0].max_abs_diff(&got[&out]);
+    assert!(diff < 1e-3, "diff {diff}");
+}
+
+#[test]
+fn pad_then_fuse_verifies_and_matches() {
+    let (g, b, c) = gmm_graph();
+    let layout = Layout::identity(g.tensor(b).shape.clone())
+        .with(LayoutPrim::Pad {
+            dim: 0,
+            before: 0,
+            after: 2,
+        })
+        .unwrap()
+        .with(LayoutPrim::Fuse { start: 0, count: 2 })
+        .unwrap();
+    let op = g.tensor(b).consumers[0];
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_input_layout(&g, op, b, layout);
+    check_clean_and_bit_exact(&g, &plan, &GraphSchedule::naive(), c);
+}
+
+#[test]
+fn unfold_of_padded_axis_verifies_and_matches() {
+    // Pad K from 8 to 10, then unfold the padded axis into overlapping
+    // windows (tile 4, stride 3): duplicated + zero-filled slots, the
+    // worst case for both the bounds and the footprint analysis.
+    let (g, b, c) = gmm_graph();
+    let layout = Layout::identity(g.tensor(b).shape.clone())
+        .with(LayoutPrim::Pad {
+            dim: 0,
+            before: 0,
+            after: 2,
+        })
+        .unwrap()
+        .with(LayoutPrim::Unfold {
+            dim: 0,
+            tile: 4,
+            stride: 3,
+        })
+        .unwrap();
+    let op = g.tensor(b).consumers[0];
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_input_layout(&g, op, b, layout);
+    check_clean_and_bit_exact(&g, &plan, &GraphSchedule::naive(), c);
+}
+
+/// The paper's bias-in-weight `store_at` example with the consumer nest
+/// parallelized: staging reads land inside an `@par` loop.
+fn store_at_setup() -> (Graph, TensorId, TensorId, LayoutPlan, GraphSchedule) {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([6, 10]));
+    let w = g.add_param("w", Shape::new([10, 8]));
+    let c = ops::gmm(&mut g, a, w);
+    let b = g.add_param("b", Shape::new([8]));
+    let out = ops::bias_add(&mut g, c, b, 1);
+    let gmm_op = g.tensor(c).producer.unwrap();
+    let bias_op = g.tensor(out).producer.unwrap();
+
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.store_at(&g, w, b, 0).expect("store_at valid");
+    let mut sched = GraphSchedule::naive();
+    sched.set(
+        gmm_op,
+        OpSchedule {
+            parallel: true,
+            ..OpSchedule::default()
+        },
+    );
+    sched.set(
+        bias_op,
+        OpSchedule {
+            fuse_into_producer: true,
+            parallel: true,
+            ..OpSchedule::default()
+        },
+    );
+    (g, w, out, plan, sched)
+}
+
+#[test]
+fn store_at_inside_parallel_loop_verifies_and_matches() {
+    let (g, _, out, plan, sched) = store_at_setup();
+    check_clean_and_bit_exact(&g, &plan, &sched, out);
+}
+
+#[test]
+fn store_to_reserved_host_slot_rejected() {
+    let (g, w, _, plan, sched) = store_at_setup();
+    let mut program = lower(&g, &plan, &sched);
+    let host = program.buffer_for_tensor(w).unwrap();
+    // The host physically reserves row 10 for the embedded bias; a store
+    // that reaches it clobbers the staged guest.
+    assert_eq!(program.buffer(host).shape.dim(0), 11);
+    program.groups[0].nodes.push(TirNode::Stmt(Stmt {
+        buf: host,
+        indices: vec![Expr::c(10), Expr::c(0)],
+        value: SExpr::Imm(0.0),
+        mode: StoreMode::Assign,
+        pred: None,
+    }));
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == codes::V006_STORE_AT_CLOBBERED),
+        "{diags:?}"
+    );
+}

@@ -1,0 +1,300 @@
+//! Seeded-illegal mutation tests: every rejection path of the verifier
+//! is pinned down by taking a known-legal lowered program, corrupting it
+//! in one specific way, and asserting the expected diagnostic code.
+
+#![allow(clippy::unwrap_used)]
+
+use alt_error::codes;
+use alt_layout::{Layout, LayoutPlan, LayoutPrim, PropagationMode};
+use alt_loopir::{
+    lower, GraphSchedule, LoopKind, OpSchedule, Program, SExpr, Stmt, StoreMode, TirNode,
+};
+use alt_tensor::expr::Expr;
+use alt_tensor::{ops, Graph, Shape, TensorId};
+use alt_verify::{verify_program, verify_program_strict, Diagnostic};
+
+/// Small GMM with identity layouts and the naive schedule.
+fn legal_gmm(parallel: bool) -> (Graph, TensorId, TensorId, LayoutPlan, GraphSchedule) {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([6, 8]));
+    let b = g.add_param("b", Shape::new([8, 10]));
+    let c = ops::gmm(&mut g, a, b);
+    let op = g.tensor(c).producer.unwrap();
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    let mut sched = GraphSchedule::naive();
+    sched.set(
+        op,
+        OpSchedule {
+            parallel,
+            ..OpSchedule::default()
+        },
+    );
+    (g, b, c, plan, sched)
+}
+
+fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Depth-first search for the first statement matching `pred`.
+fn find_stmt_mut<'a>(
+    nodes: &'a mut [TirNode],
+    pred: &impl Fn(&Stmt) -> bool,
+) -> Option<&'a mut Stmt> {
+    for node in nodes {
+        match node {
+            TirNode::Stmt(s) => {
+                if pred(s) {
+                    return Some(s);
+                }
+            }
+            TirNode::Loop { body, .. } => {
+                if let Some(s) = find_stmt_mut(body, pred) {
+                    return Some(s);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Clones the first statement matching `pred`.
+fn find_stmt(nodes: &[TirNode], pred: &impl Fn(&Stmt) -> bool) -> Option<Stmt> {
+    for node in nodes {
+        match node {
+            TirNode::Stmt(s) => {
+                if pred(s) {
+                    return Some(s.clone());
+                }
+            }
+            TirNode::Loop { body, .. } => {
+                if let Some(s) = find_stmt(body, pred) {
+                    return Some(s);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Adds `delta` to the first index of the first load in `e`.
+fn bump_first_load(e: &mut SExpr, delta: i64) -> bool {
+    match e {
+        SExpr::Imm(_) => false,
+        SExpr::Load { indices, .. } => {
+            if let Some(i0) = indices.first_mut() {
+                *i0 = i0.add_c(delta);
+                true
+            } else {
+                false
+            }
+        }
+        SExpr::Bin(_, a, b) => bump_first_load(a, delta) || bump_first_load(b, delta),
+        SExpr::Unary(_, a) => bump_first_load(a, delta),
+        SExpr::Select { then_, else_, .. } => {
+            bump_first_load(then_, delta) || bump_first_load(else_, delta)
+        }
+    }
+}
+
+fn has_load(s: &Stmt) -> bool {
+    let mut found = false;
+    s.value.visit_loads(&mut |_, _| found = true);
+    found
+}
+
+#[test]
+fn baseline_gmm_verifies_clean() {
+    let (g, _, _, plan, sched) = legal_gmm(true);
+    let program = lower(&g, &plan, &sched);
+    let diags = verify_program(&g, &plan, &program);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert!(verify_program_strict(&g, &plan, &program).is_ok());
+}
+
+#[test]
+fn definitely_oob_read_rejected() {
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+    let nodes = &mut program.groups[0].nodes;
+    let s = find_stmt_mut(nodes, &has_load).expect("a loading stmt");
+    assert!(bump_first_load(&mut s.value, 1000));
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V004_OOB_READ),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn straddling_oob_read_rejected_when_exact() {
+    // `+1` keeps most iterations legal but pushes the last one out; the
+    // index is affine over distinct loop vars, so the straddle is proof.
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+    let nodes = &mut program.groups[0].nodes;
+    let s = find_stmt_mut(nodes, &has_load).expect("a loading stmt");
+    assert!(bump_first_load(&mut s.value, 1));
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V004_OOB_READ),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn undercovered_pad_rejected() {
+    // Pad the GMM weight along K, verify clean, then shrink the padded
+    // buffer so the pad no longer covers the highest access: the straddle
+    // must come back as V007 (pad undercovers), not a generic OOB.
+    let (g, b, _, mut plan, sched) = legal_gmm(false);
+    let padded = Layout::identity(g.tensor(b).shape.clone())
+        .with(LayoutPrim::Pad {
+            dim: 0,
+            before: 0,
+            after: 2,
+        })
+        .unwrap();
+    let op = g.tensor(b).consumers[0];
+    plan.assign_input_layout(&g, op, b, padded);
+    let mut program = lower(&g, &plan, &sched);
+    assert!(verify_program(&g, &plan, &program).is_empty());
+
+    let buf = program.buffer_for_tensor(b).unwrap();
+    let decl = &mut program.buffers[buf.0];
+    assert_eq!(decl.shape.dim(0), 10, "padded K extent");
+    let mut dims = decl.shape.dims().to_vec();
+    dims[0] = 7; // below the 8 logical rows the kernel reads
+    decl.shape = Shape::new(dims);
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V007_PAD_UNDERCOVERS),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn parallelized_reduction_rejected() {
+    // Flip the K reduction loop (its body accumulates without using the
+    // loop var in the store offset) to Parallel: a classic reduction race.
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+
+    fn flip_reduce(nodes: &mut [TirNode]) -> bool {
+        for node in nodes {
+            if let TirNode::Loop {
+                var, kind, body, ..
+            } = node
+            {
+                let acc = find_stmt(body, &|s| s.mode == StoreMode::AddAcc);
+                if let Some(s) = acc {
+                    let mut vars = Vec::new();
+                    for i in &s.indices {
+                        i.collect_vars(&mut vars);
+                    }
+                    if !vars.iter().any(|v| v.id() == var.id()) {
+                        *kind = LoopKind::Parallel;
+                        return true;
+                    }
+                }
+                if flip_reduce(body) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    assert!(
+        flip_reduce(&mut program.groups[0].nodes),
+        "no reduce loop found"
+    );
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V010_PAR_REDUCTION),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn parallel_assign_race_rejected() {
+    // Make a store under the parallel S0 loop invariant in the parallel
+    // var: every thread writes the same cell, a loop-carried output
+    // dependence.
+    let (g, _, _, plan, sched) = legal_gmm(true);
+    let mut program = lower(&g, &plan, &sched);
+    let nodes = &mut program.groups[0].nodes;
+    let s = find_stmt_mut(nodes, &|s| s.mode == StoreMode::Assign).expect("an assign stmt");
+    let rank = s.indices.len();
+    s.indices = vec![Expr::c(0); rank];
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V009_PAR_RACE),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn nonpositive_extent_rejected() {
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+    if let Some(TirNode::Loop { extent, .. }) = program.groups[0].nodes.first_mut() {
+        *extent = 0;
+    } else {
+        panic!("expected a loop at the group root");
+    }
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V003_NONPOSITIVE_EXTENT),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn rebound_axis_rejected() {
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+    let first = program.groups[0].nodes[0].clone();
+    if let TirNode::Loop { var, extent, .. } = &first {
+        program.groups[0].nodes[0] =
+            TirNode::loop_(var.clone(), *extent, LoopKind::Serial, vec![first.clone()]);
+    } else {
+        panic!("expected a loop at the group root");
+    }
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V001_REBOUND_AXIS),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unbound_axis_rejected() {
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+    let stray = find_stmt(&program.groups[0].nodes, &has_load).expect("a stmt");
+    program.groups[0].nodes.push(TirNode::Stmt(stray));
+    let diags = verify_program(&g, &plan, &program);
+    assert!(
+        codes_of(&diags).contains(&codes::V002_UNBOUND_AXIS),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn strict_entry_point_reports_first_code() {
+    let (g, _, _, plan, sched) = legal_gmm(false);
+    let mut program = lower(&g, &plan, &sched);
+    if let Some(TirNode::Loop { extent, .. }) = program.groups[0].nodes.first_mut() {
+        *extent = -1;
+    }
+    let err = verify_program_strict(&g, &plan, &program).unwrap_err();
+    assert_eq!(err.verify_code(), Some(codes::V003_NONPOSITIVE_EXTENT));
+    assert_eq!(err.kind(), "verify");
+}
+
+/// Helper used by the mutation tests; kept here so the tests double as
+/// documentation of the program surface they corrupt.
+#[allow(dead_code)]
+fn debug_dump(program: &Program) -> String {
+    format!("{program:?}")
+}

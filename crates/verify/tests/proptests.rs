@@ -1,0 +1,324 @@
+//! Property tests for the accept side of the verifier.
+//!
+//! The verifier is allowed to reject conservatively, but an *accepted*
+//! program must execute bit-exactly (up to float tolerance) against the
+//! reference graph executor — over random layout-primitive sequences,
+//! random loop schedules, and tuned winners on every machine profile.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+
+use alt_layout::{presets, Layout, LayoutPlan, LayoutPrim, PropagationMode};
+use alt_loopir::{lower, run_program, AxisTiling, GraphSchedule, OpSchedule};
+use alt_tensor::exec::{random_bindings, run_graph};
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, Shape};
+use alt_verify::verify_program;
+
+fn divisors(n: i64) -> Vec<i64> {
+    (1..=n).filter(|d| n % d == 0).collect()
+}
+
+fn pick(divs: &[i64], sel: u64) -> i64 {
+    divs[(sel % divs.len() as u64) as usize]
+}
+
+/// Random factorization of `n` into >= 2 factors (seeded LCG).
+fn factorize(n: i64, rng_val: u64) -> Vec<i64> {
+    let mut factors = Vec::new();
+    let mut rest = n;
+    let mut x = rng_val;
+    while rest > 1 && factors.len() < 2 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let divs: Vec<i64> = (1..=rest).filter(|d| rest % d == 0).collect();
+        let f = divs[(x >> 33) as usize % divs.len()];
+        factors.push(f);
+        rest /= f;
+    }
+    factors.push(rest);
+    factors
+}
+
+/// Applies up to `n_prims` random primitives (split, reorder, fuse,
+/// unfold, pad) to an identity layout — the same generator family as the
+/// layout crate's pack/unpack property tests.
+fn random_layout(shape: Shape, seed: u64, n_prims: usize) -> Layout {
+    let mut layout = Layout::identity(shape);
+    let mut x = seed;
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for _ in 0..n_prims {
+        let dims = layout.physical_shape();
+        let nd = dims.ndim();
+        match next() % 5 {
+            0 => {
+                let candidates: Vec<usize> = (0..nd).filter(|&k| dims.dim(k) > 1).collect();
+                if let Some(&k) = candidates.get(next() % candidates.len().max(1)) {
+                    let factors = factorize(dims.dim(k), next() as u64);
+                    if factors.len() >= 2 {
+                        let _ = layout.apply(LayoutPrim::Split { dim: k, factors });
+                    }
+                }
+            }
+            1 => {
+                let mut perm: Vec<usize> = (0..nd).collect();
+                for i in (1..nd).rev() {
+                    perm.swap(i, next() % (i + 1));
+                }
+                let _ = layout.apply(LayoutPrim::Reorder { perm });
+            }
+            2 => {
+                if nd >= 2 {
+                    let start = next() % (nd - 1);
+                    let count = 2 + next() % (nd - start - 1).max(1);
+                    let count = count.min(nd - start);
+                    let _ = layout.apply(LayoutPrim::Fuse { start, count });
+                }
+            }
+            3 => {
+                let k = next() % nd;
+                let d = dims.dim(k);
+                if d >= 2 {
+                    let tile = 2 + (next() as i64) % (d - 1);
+                    let stride = 1 + (next() as i64) % tile;
+                    let _ = layout.apply(LayoutPrim::Unfold {
+                        dim: k,
+                        tile,
+                        stride,
+                    });
+                }
+            }
+            _ => {
+                let k = next() % nd;
+                let _ = layout.apply(LayoutPrim::Pad {
+                    dim: k,
+                    before: (next() % 3) as i64,
+                    after: (next() % 3) as i64,
+                });
+            }
+        }
+    }
+    layout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random primitive sequences on every GMM tensor plus random loop
+    /// annotations: whenever the verifier accepts, execution must match
+    /// the reference.
+    #[test]
+    fn accepted_random_gmm_layouts_are_bit_exact(
+        seeds in prop::collection::vec(any::<u64>(), 3),
+        n_prims in prop::collection::vec(0usize..4, 3),
+        vectorize in any::<bool>(),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = (6i64, 8i64, 10i64);
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([m, k]));
+        let b = g.add_param("b", Shape::new([k, n]));
+        let c = ops::gmm(&mut g, a, b);
+        let op = g.tensor(c).producer.unwrap();
+
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        plan.assign_output_layout(
+            &g,
+            op,
+            random_layout(g.tensor(c).shape.clone(), seeds[0], n_prims[0]),
+        );
+        plan.assign_input_layout(
+            &g,
+            op,
+            a,
+            random_layout(g.tensor(a).shape.clone(), seeds[1], n_prims[1]),
+        );
+        plan.assign_input_layout(
+            &g,
+            op,
+            b,
+            random_layout(g.tensor(b).shape.clone(), seeds[2], n_prims[2]),
+        );
+
+        let mut sched = GraphSchedule::naive();
+        sched.set(op, OpSchedule {
+            vectorize,
+            parallel,
+            ..OpSchedule::default()
+        });
+        let program = lower(&g, &plan, &sched);
+        let diags = verify_program(&g, &plan, &program);
+        if diags.is_empty() {
+            let bindings = random_bindings(&g, seed);
+            let reference = run_graph(&g, &bindings);
+            let got = run_program(&program, &g, &plan, &bindings);
+            let diff = reference[c.0].max_abs_diff(&got[&c]);
+            prop_assert!(diff < 1e-3, "accepted but diverges: diff {diff}");
+        }
+    }
+
+    /// The §5.1 template family the tuner actually explores must never be
+    /// rejected (no false positives) and must stay bit-exact.
+    #[test]
+    fn random_c2d_templates_verify_clean_and_bit_exact(
+        sel in prop::collection::vec(any::<u64>(), 6),
+        vectorize in any::<bool>(),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (i_ch, o_ch, hw, kk) = (4i64, 8i64, 10i64, 3i64);
+        let out_sp = hw - kk + 1;
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, i_ch, hw, hw]));
+        let w = g.add_param("w", Shape::new([o_ch, i_ch, kk, kk]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+
+        let ht = pick(&divisors(out_sp), sel[0]);
+        let wt = pick(&divisors(out_sp), sel[1]);
+        let ot = pick(&divisors(o_ch), sel[2]);
+        let it = pick(&divisors(i_ch), sel[3]);
+        let wit = pick(&divisors(i_ch), sel[4]);
+        let wot = pick(&divisors(o_ch), sel[5]);
+
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        plan.assign_output_layout(
+            &g,
+            conv,
+            presets::conv_output_tiled_nd(g.tensor(y).shape.clone(), &[ht, wt], ot).unwrap(),
+        );
+        plan.assign_input_layout(
+            &g,
+            conv,
+            x,
+            presets::conv_input_tiled_nd(
+                g.tensor(x).shape.clone(),
+                it,
+                &[ht, wt],
+                &[1, 1],
+                &[kk, kk],
+            )
+            .unwrap(),
+        );
+        plan.assign_input_layout(
+            &g,
+            conv,
+            w,
+            presets::conv_weight_tiled_nd(g.tensor(w).shape.clone(), wit, wot).unwrap(),
+        );
+
+        let mut sched = GraphSchedule::naive();
+        sched.set(conv, OpSchedule {
+            vectorize,
+            parallel,
+            ..OpSchedule::default()
+        });
+        let program = lower(&g, &plan, &sched);
+        let diags = verify_program(&g, &plan, &program);
+        prop_assert!(
+            diags.is_empty(),
+            "template candidate falsely rejected: {:?} (ht={ht} wt={wt} ot={ot} it={it})",
+            diags
+        );
+        let bindings = random_bindings(&g, seed);
+        let reference = run_graph(&g, &bindings);
+        let got = run_program(&program, &g, &plan, &bindings);
+        let diff = reference[y.0].max_abs_diff(&got[&y]);
+        prop_assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    /// Random loop schedules (tilings + annotations) on the identity
+    /// layout verify clean and stay bit-exact.
+    #[test]
+    fn random_loop_schedules_verify_clean(
+        sel in prop::collection::vec(any::<u64>(), 7),
+        vectorize in any::<bool>(),
+        unroll in any::<bool>(),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let phys = plan.layout_of(&g, y).physical_shape();
+
+        let spatial: Vec<AxisTiling> = (0..phys.ndim())
+            .map(|d| {
+                let t = pick(&divisors(phys.dim(d)), sel[d]);
+                if t > 1 { AxisTiling::one(t) } else { AxisTiling::none() }
+            })
+            .collect();
+        let reduce_ext = [4i64, 3, 3];
+        let reduce: Vec<AxisTiling> = (0..3)
+            .map(|d| {
+                let t = pick(&divisors(reduce_ext[d]), sel[4 + d]);
+                if t > 1 { AxisTiling::one(t) } else { AxisTiling::none() }
+            })
+            .collect();
+        let mut sched = GraphSchedule::naive();
+        sched.set(
+            conv,
+            OpSchedule {
+                spatial,
+                reduce,
+                vectorize,
+                unroll,
+                parallel,
+                fuse_into_producer: false,
+            },
+        );
+
+        let program = lower(&g, &plan, &sched);
+        let diags = verify_program(&g, &plan, &program);
+        prop_assert!(diags.is_empty(), "schedule falsely rejected: {diags:?}");
+        let bindings = random_bindings(&g, seed);
+        let reference = run_graph(&g, &bindings);
+        let got = run_program(&program, &g, &plan, &bindings);
+        let diff = reference[y.0].max_abs_diff(&got[&y]);
+        prop_assert!(diff < 1e-3, "diff {diff}");
+    }
+}
+
+/// Tuned winners on every machine profile verify clean and execute
+/// bit-exactly — the acceptance property across >= 3 profiles.
+#[test]
+fn tuned_winners_verify_clean_on_all_profiles() {
+    use alt_autotune::tune_graph;
+    use alt_autotune::tuner::TuneConfig;
+
+    for profile in alt_sim::all_profiles() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let cfg = TuneConfig {
+            joint_budget: 8,
+            loop_budget: 8,
+            free_input_layouts: true,
+            seed: 11,
+            ..TuneConfig::default()
+        };
+        let r = tune_graph(&g, profile, cfg);
+        let program = lower(&g, &r.plan, &r.sched);
+        let diags = verify_program(&g, &r.plan, &program);
+        assert!(
+            diags.is_empty(),
+            "winner on {} rejected: {diags:?}",
+            profile.name
+        );
+        let bindings = random_bindings(&g, 5);
+        let reference = run_graph(&g, &bindings);
+        let got = run_program(&program, &g, &r.plan, &bindings);
+        let diff = reference[y.0].max_abs_diff(&got[&y]);
+        assert!(diff < 1e-3, "diff {diff} on {}", profile.name);
+    }
+}
