@@ -24,7 +24,8 @@ use serde::{Deserialize, Serialize};
 use crate::ppo::CriticState;
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// v2 added `accounted_keys` (memo-cache continuity across resume).
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// A flat snapshot of one operator's schedule
 /// ([`alt_loopir::OpSchedule`] without the nested types).
@@ -158,6 +159,11 @@ pub struct TunerCheckpoint {
     pub fail_counts: HashMap<String, u64>,
     /// Tuner-scoped counter values (retries, quarantined, failures.*).
     pub counters: Vec<(String, f64)>,
+    /// Memo-cache keys the run has budget-accounted so far, sorted. The
+    /// resumed leg re-simulates them (the table itself is not persisted;
+    /// simulation is pure) but records their lookups as the cache hits
+    /// the uninterrupted run would have seen.
+    pub accounted_keys: Vec<u64>,
 }
 
 impl TunerCheckpoint {
@@ -309,6 +315,7 @@ mod tests {
                 .into_iter()
                 .collect(),
             counters: vec![("retries".to_string(), 3.0)],
+            accounted_keys: vec![3, 17],
         }
     }
 

@@ -58,6 +58,18 @@ impl Default for MeasureCtx {
     }
 }
 
+/// What the memo cache saw for the most recent successful measurement:
+/// the journal's fingerprint key material.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeInfo {
+    /// Canonical fingerprint of the measured lowered program.
+    pub program_fp: u64,
+    /// Memo-cache key (profile fingerprint + program fingerprint).
+    pub cache_key: u64,
+    /// Whether the measurement repeated an earlier budgeted one.
+    pub hit: bool,
+}
+
 /// Converts simulator counters into the telemetry schema.
 fn convert_counters(c: &alt_sim::Counters) -> SimCounters {
     SimCounters {
@@ -93,6 +105,10 @@ pub struct Measurer<'g> {
     pub history: Vec<(u64, f64)>,
     /// Labels for the next measurement's trace record.
     pub ctx: MeasureCtx,
+    /// Cache-probe details of the last *successful* `measure_program`
+    /// call (`None` after a failure): journal emission reads this to
+    /// attach fingerprints and the hit/miss verdict to candidates.
+    pub last_probe: Option<ProbeInfo>,
 }
 
 impl<'g> Measurer<'g> {
@@ -114,6 +130,7 @@ impl<'g> Measurer<'g> {
             used: 0,
             history: Vec::new(),
             ctx: MeasureCtx::default(),
+            last_probe: None,
         }
     }
 
@@ -205,6 +222,7 @@ impl<'g> Measurer<'g> {
             Ok(program) => self.measure_program(&program),
             Err(e) => {
                 self.used += 1;
+                self.last_probe = None;
                 self.record_failure(&e);
                 Err(e)
             }
@@ -219,6 +237,7 @@ impl<'g> Measurer<'g> {
     /// or off, so tracing never perturbs a run.
     pub fn measure_program(&mut self, program: &Program) -> Result<f64, AltError> {
         self.used += 1;
+        self.last_probe = None;
         let mut noise = 1.0;
         if let Some(inj) = self.injector.as_mut() {
             match inj.draw() {
@@ -248,6 +267,12 @@ impl<'g> Measurer<'g> {
         };
         self.registry
             .add(if hit { "cache.hits" } else { "cache.misses" }, 1.0);
+        let program_fp = alt_loopir::program_fingerprint(program);
+        self.last_probe = Some(ProbeInfo {
+            program_fp,
+            cache_key: alt_sim::compose_cache_key(self.cache.profile_fp(), program_fp),
+            hit,
+        });
         let lat = c.latency_s * noise;
         if self.telemetry.is_enabled() {
             let best = self

@@ -21,6 +21,10 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use alt_journal::{
+    finite, outcome, provenance, CandidateRecord, JournalHeader, JournalRecord, JournalSummary,
+    LayoutCommitRecord, LayoutVisitRecord, JOURNAL_VERSION,
+};
 use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{try_lower_filtered, GraphSchedule, OpSchedule};
 use alt_sim::MachineProfile;
@@ -144,6 +148,13 @@ pub struct TuneConfig {
     /// `verify.rejected` counter plus one `verify_rejection` trace
     /// record each. On by default.
     pub verify: bool,
+    /// Search-journal sink: one record per generated candidate with its
+    /// terminal outcome, plus layout visits, layout commits, a run
+    /// header and a final summary. Disabled (`Journal::noop()`) by
+    /// default. Emission happens only on the sequential accounting path
+    /// and never draws from the RNG or consumes budget, so attaching a
+    /// journal cannot change a run.
+    pub journal: alt_journal::Journal,
 }
 
 impl Default for TuneConfig {
@@ -173,6 +184,7 @@ impl Default for TuneConfig {
             halt_after: None,
             jobs: 1,
             verify: true,
+            journal: alt_journal::Journal::noop(),
         }
     }
 }
@@ -297,6 +309,9 @@ pub struct Tuner<'g> {
     committed: Vec<CommitSnap>,
     /// Budget counter value at the last checkpoint write.
     last_checkpoint: u64,
+    /// Failure kind of the last `measure_with_retry` give-up, for the
+    /// journal's `failed` records. `None` after a success.
+    last_failure: Option<String>,
 }
 
 impl<'g> Tuner<'g> {
@@ -325,6 +340,7 @@ impl<'g> Tuner<'g> {
             registry: CounterRegistry::new("tuner"),
             committed: Vec::new(),
             last_checkpoint: 0,
+            last_failure: None,
         }
     }
 
@@ -374,6 +390,7 @@ impl<'g> Tuner<'g> {
         let mut joint_start = 0u64;
         let mut skip_joint = false;
         let mut critic_state: Option<CriticState> = None;
+        let resumed = self.cfg.resume.is_some();
         if let Some(ck) = self.cfg.resume.take() {
             ck.validate(self.graph, self.cfg.seed)
                 .expect("checkpoint does not match this run");
@@ -386,6 +403,19 @@ impl<'g> Tuner<'g> {
                 skip_joint = true;
                 start_loop_iter = ck.loop_iter;
             }
+        }
+
+        // The header is written once per journal: a resumed run appends
+        // to the journal its interrupted predecessor started, which
+        // already begins with this exact header.
+        if !resumed {
+            self.cfg.journal.emit(JournalRecord::Header(JournalHeader {
+                version: JOURNAL_VERSION,
+                seed: self.cfg.seed,
+                profile_fp: self.measurer.sim_cache().profile_fp(),
+                joint_budget: self.cfg.joint_budget,
+                loop_budget: self.cfg.loop_budget,
+            }));
         }
 
         // ---- Joint stage (Fig. 8) ----
@@ -469,6 +499,7 @@ impl<'g> Tuner<'g> {
             let mut i = start_loop_iter;
             while self.measurer.used < target {
                 if self.checkpoint_cut("loop", 0, i, joint_start, &sched, None) {
+                    halted = true;
                     break;
                 }
                 let op = reps[i as usize % reps.len()];
@@ -488,6 +519,18 @@ impl<'g> Tuner<'g> {
         // the run always completes with the best healthy plan/schedule
         // found so far (worst case: the base schedule).
         let latency = self.measurer.measure_graph_free(&plan, &sched);
+        // A halted run writes no summary — its resumed successor will,
+        // so the halted and resumed journals concatenate into exactly
+        // the journal an uninterrupted run would have written.
+        if !halted {
+            self.cfg
+                .journal
+                .emit(JournalRecord::Summary(JournalSummary {
+                    measurements: self.measurer.used,
+                    best_latency_s: finite(latency),
+                }));
+        }
+        self.cfg.journal.flush();
         self.registry.flush_to(&telemetry);
         self.measurer.flush_counters();
         let (cache_hits, cache_misses) = self.measurer.cache_stats();
@@ -571,6 +614,12 @@ impl<'g> Tuner<'g> {
         for (name, value) in &ck.counters {
             self.registry.add(name, *value);
         }
+        // The memo table is not persisted (simulation is pure), but the
+        // interrupted leg's accounted keys are: their re-simulations
+        // must read as the cache hits the uninterrupted run recorded.
+        self.measurer
+            .sim_cache()
+            .restore_accounted(&ck.accounted_keys);
         self.last_checkpoint = ck.used;
     }
 
@@ -632,6 +681,7 @@ impl<'g> Tuner<'g> {
             quarantine,
             fail_counts: self.fail_counts.clone(),
             counters: self.registry.snapshot(),
+            accounted_keys: self.measurer.sim_cache().accounted_keys(),
         }
     }
 
@@ -697,6 +747,7 @@ impl<'g> Tuner<'g> {
                 Ok(lat) => {
                     self.measurer.ctx.attempt = 1;
                     self.measurer.ctx.backoff_us = 0;
+                    self.last_failure = None;
                     return Some(lat);
                 }
                 Err(e) => {
@@ -706,6 +757,7 @@ impl<'g> Tuner<'g> {
                         attempt += 1;
                         continue;
                     }
+                    self.last_failure = Some(e.kind().to_string());
                     let key = format!("{}:{}", self.measurer.ctx.op, self.measurer.ctx.candidate);
                     let count = self.fail_counts.entry(key.clone()).or_insert(0);
                     *count += 1;
@@ -718,6 +770,97 @@ impl<'g> Tuner<'g> {
                 }
             }
         }
+    }
+
+    /// Base candidate record capturing the measurement context (op,
+    /// stage, round, budget counter); call sites fill outcome-specific
+    /// fields before emitting.
+    fn candidate_base(&self, origin: &str, point: &[usize], outcome: &str) -> CandidateRecord {
+        CandidateRecord {
+            op: self.measurer.ctx.op.clone(),
+            stage: match self.measurer.ctx.stage {
+                Stage::Joint => "joint",
+                Stage::Loop => "loop",
+            }
+            .to_string(),
+            round: self.measurer.ctx.round,
+            provenance: origin.to_string(),
+            point: point.iter().map(|&x| x as u64).collect(),
+            outcome: outcome.to_string(),
+            predicted: None,
+            latency_s: None,
+            vcode: None,
+            error: None,
+            attempts: 0,
+            budget_end: self.measurer.used,
+            program_fp: None,
+            cache_key: None,
+        }
+    }
+
+    /// Journals a zero-budget terminal outcome (`skipped`,
+    /// `quarantined`, `lower_failed`, `verify_rejected`).
+    fn journal_dropped(&self, origin: &str, point: &[usize], outcome: &str, vcode: Option<String>) {
+        if !self.cfg.journal.is_enabled() {
+            return;
+        }
+        let mut rec = self.candidate_base(origin, point, outcome);
+        rec.vcode = vcode;
+        self.cfg.journal.emit(JournalRecord::Candidate(rec));
+    }
+
+    /// Journals the terminal outcome of a budgeted measurement:
+    /// `measured` / `cache_hit` on success (with the cache-probe
+    /// fingerprints), `failed` after retries gave up. `attempts` is the
+    /// exact number of budget units the candidate consumed, including
+    /// retries — the journal-side half of the budget conservation law.
+    fn journal_attempted(
+        &self,
+        origin: &str,
+        point: &[usize],
+        predicted: Option<f64>,
+        result: Option<f64>,
+        used_before: u64,
+    ) {
+        if !self.cfg.journal.is_enabled() {
+            return;
+        }
+        let mut rec = self.candidate_base(origin, point, outcome::FAILED);
+        rec.predicted = predicted;
+        rec.attempts = self.measurer.used - used_before;
+        match result {
+            Some(lat) => {
+                rec.latency_s = finite(lat);
+                let probe = self.measurer.last_probe;
+                rec.outcome = if probe.is_some_and(|p| p.hit) {
+                    outcome::CACHE_HIT
+                } else {
+                    outcome::MEASURED
+                }
+                .to_string();
+                if let Some(p) = probe {
+                    rec.program_fp = Some(p.program_fp);
+                    rec.cache_key = Some(p.cache_key);
+                }
+            }
+            None => rec.error = self.last_failure.clone(),
+        }
+        self.cfg.journal.emit(JournalRecord::Candidate(rec));
+    }
+
+    /// Journals one assessed layout candidate of the joint stage.
+    fn journal_layout_visit(&self, op: OpId, origin: &str, point: &[usize], lat: f64) {
+        if !self.cfg.journal.is_enabled() {
+            return;
+        }
+        self.cfg
+            .journal
+            .emit(JournalRecord::LayoutVisit(LayoutVisitRecord {
+                op: op_label(self.graph, op),
+                provenance: origin.to_string(),
+                point: point.iter().map(|&x| x as u64).collect(),
+                latency_s: finite(lat),
+            }));
     }
 
     /// Joint tuning of one complex operator: the cross-exploration loop.
@@ -769,17 +912,22 @@ impl<'g> Tuner<'g> {
                 break;
             }
             let obs = pad_obs(tmpl.space.encode(&cur_point));
-            let (point, acts, logp) = if let Some(p) = seeds.pop() {
-                (p, vec![], f32::NAN)
+            let (point, acts, logp, origin) = if let Some(p) = seeds.pop() {
+                (p, vec![], f32::NAN, provenance::SEED)
             } else {
                 match self.cfg.layout_search {
                     LayoutSearch::Ppo => {
                         let (acts, logp) = agent.act(&obs);
-                        (tmpl.space.decode_actions(&acts[..n_knobs]), acts, logp)
+                        (
+                            tmpl.space.decode_actions(&acts[..n_knobs]),
+                            acts,
+                            logp,
+                            provenance::PPO,
+                        )
                     }
                     LayoutSearch::Random => {
                         let p = tmpl.space.random_point(&mut self.rng);
-                        (p, vec![], f32::NAN)
+                        (p, vec![], f32::NAN, provenance::RANDOM)
                     }
                 }
             };
@@ -803,6 +951,7 @@ impl<'g> Tuner<'g> {
                 .max(1);
             let lat =
                 self.loop_tune_rounds(op, &trial, sched, self.cfg.rounds_per_layout, remaining);
+            self.journal_layout_visit(op, origin, &point, lat);
             // A fully-faulted assessment yields no latency; skip reward
             // bookkeeping (inf/inf would poison the PPO baseline) and
             // move on from this layout.
@@ -866,17 +1015,27 @@ impl<'g> Tuner<'g> {
                 .saturating_sub(self.measurer.used - finalist_start)
                 .max(1);
             let lat = self.loop_tune_rounds(op, &trial, sched, 3, rem);
+            self.journal_layout_visit(op, provenance::FINALIST, point, lat);
             if lat.is_finite() && best.as_ref().map(|b| lat < b.0).unwrap_or(true) {
                 best = Some((lat, point.clone(), sched.get(op)));
             }
         }
 
         // Commit the winning layout (and its schedule) for real.
-        if let Some((_, point, lsched)) = best {
+        if let Some((lat, point, lsched)) = best {
             if let Ok(decision) = decode_layout_point(self.graph, &tmpl, &point) {
                 apply_layout_decision(self.graph, plan, op, &decision, self.cfg.free_input_layouts);
                 sched.set(op, lsched.clone());
                 self.best_points.remove(&op);
+                if self.cfg.journal.is_enabled() {
+                    self.cfg
+                        .journal
+                        .emit(JournalRecord::LayoutCommit(LayoutCommitRecord {
+                            op: op_label(self.graph, op),
+                            point: point.iter().map(|&x| x as u64).collect(),
+                            latency_s: finite(lat),
+                        }));
+                }
                 return Some((point, lsched));
             }
         }
@@ -937,6 +1096,11 @@ impl<'g> Tuner<'g> {
             crate::space::build_loop_space_ex(self.graph, plan, op, self.cfg.loop_levels >= 2);
         let start = self.measurer.used;
         self.measurer.ctx.op = op_label(self.graph, op);
+        // Attribute the incumbent baseline (measured before the round
+        // counter advances below) to this op's own round count — not to
+        // whatever round another op left behind, and, on a resumed run,
+        // not to zero: `state.rounds` is checkpointed, `ctx.round` is not.
+        self.measurer.ctx.round = self.loop_state.get(&op).map_or(0, |st| st.rounds);
         let mut best = self
             .best_points
             .get(&op)
@@ -960,7 +1124,10 @@ impl<'g> Tuner<'g> {
             let roots = self.neighborhood(op);
             // On total failure the incumbent stays at infinity; any healthy
             // candidate below will replace it.
-            if let Some(lat) = self.measure_with_retry(plan, sched, &roots, budget_cap) {
+            let used_before = self.measurer.used;
+            let lat = self.measure_with_retry(plan, sched, &roots, budget_cap);
+            self.journal_attempted(provenance::INCUMBENT, &[], None, lat, used_before);
+            if let Some(lat) = lat {
                 best.0 = lat;
             }
         }
@@ -977,19 +1144,26 @@ impl<'g> Tuner<'g> {
             }
             // Candidate batch: random exploration plus walks around the
             // incumbent.
-            let mut candidates: Vec<Point> = Vec::with_capacity(self.cfg.batch);
+            let mut candidates: Vec<(Point, &'static str)> = Vec::with_capacity(self.cfg.batch);
             for b in 0..self.cfg.batch {
                 if best.1.is_empty() || b % 3 == 0 {
-                    candidates.push(space.random_point(&mut self.rng));
+                    candidates.push((space.random_point(&mut self.rng), provenance::RANDOM));
                 } else {
-                    candidates.push(space.neighbor(&best.1, &mut self.rng));
+                    candidates.push((space.neighbor(&best.1, &mut self.rng), provenance::NEIGHBOR));
                 }
             }
             // Drop quarantined candidates *after* generation so the RNG
             // draw count — and thus every later draw — is unchanged by
             // the filter (zero-fault runs stay bit-identical).
             let op_tag = self.measurer.ctx.op.clone();
-            candidates.retain(|p| !self.quarantine.contains(&format!("{op_tag}:{p:?}")));
+            candidates.retain(|(p, origin)| {
+                if self.quarantine.contains(&format!("{op_tag}:{p:?}")) {
+                    self.journal_dropped(origin, p, outcome::QUARANTINED, None);
+                    false
+                } else {
+                    true
+                }
+            });
             // Rank by the cost model (higher prediction = faster). When
             // the model is untrained the ranking would be random anyway,
             // so skip lowering the whole batch and take a random subset.
@@ -998,7 +1172,10 @@ impl<'g> Tuner<'g> {
             // When the model is untrained the ranking would be random
             // anyway, so only a random subset is lowered at all.
             if !model_trained {
-                candidates.truncate(self.cfg.topk.max(1));
+                let keep = self.cfg.topk.max(1).min(candidates.len());
+                for (p, origin) in candidates.split_off(keep) {
+                    self.journal_dropped(origin, &p, outcome::SKIPPED, None);
+                }
             }
             // Lower every candidate and extract its features across the
             // worker pool. This is the generation's pure, embarrassingly
@@ -1021,7 +1198,7 @@ impl<'g> Tuner<'g> {
                 let sched_ref: &GraphSchedule = sched;
                 let single: HashSet<OpId> = [op].into_iter().collect();
                 let verify = self.cfg.verify;
-                ordered_map(&candidates, jobs, |_, p| {
+                ordered_map(&candidates, jobs, |_, (p, _)| {
                     let s = decode_loop_point(graph, plan, op, &space, p);
                     let mut trial_sched = sched_ref.clone();
                     trial_sched.set(op, s.clone());
@@ -1043,11 +1220,14 @@ impl<'g> Tuner<'g> {
             };
             // Rank by the cost model (higher prediction = faster); the
             // GBT prediction itself stays on the tuning thread.
-            let mut scored: Vec<(f64, Point, OpSchedule, Vec<f32>)> = Vec::new();
-            for (p, lf) in candidates.into_iter().zip(lowered) {
+            let mut scored: Vec<(f64, Point, &'static str, OpSchedule, Vec<f32>)> = Vec::new();
+            for ((p, origin), lf) in candidates.into_iter().zip(lowered) {
                 let (s, feats) = match lf {
                     Ok(v) => v,
-                    Err(None) => continue,
+                    Err(None) => {
+                        self.journal_dropped(origin, &p, outcome::LOWER_FAILED, None);
+                        continue;
+                    }
                     Err(Some(d)) => {
                         self.registry.add("verify.rejected", 1.0);
                         if self.cfg.telemetry.is_enabled() {
@@ -1062,6 +1242,12 @@ impl<'g> Tuner<'g> {
                                 },
                             ));
                         }
+                        self.journal_dropped(
+                            origin,
+                            &p,
+                            outcome::VERIFY_REJECTED,
+                            Some(d.code.to_string()),
+                        );
                         continue;
                     }
                 };
@@ -1070,7 +1256,7 @@ impl<'g> Tuner<'g> {
                 } else {
                     0.0
                 };
-                scored.push((score, p, s, feats));
+                scored.push((score, p, origin, s, feats));
             }
             if model_trained {
                 scored.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -1083,6 +1269,9 @@ impl<'g> Tuner<'g> {
                 .min(scored.len())
                 .min(budget_cap.saturating_sub(self.measurer.used - start) as usize);
             if k == 0 {
+                for (_, p, origin, _, _) in &scored {
+                    self.journal_dropped(origin, p, outcome::SKIPPED, None);
+                }
                 break;
             }
             // Prewarm the measurement cache for the k candidates about
@@ -1100,7 +1289,7 @@ impl<'g> Tuner<'g> {
                 let sim = self.measurer.simulator();
                 let cache = self.measurer.sim_cache();
                 let sched_ref: &GraphSchedule = sched;
-                ordered_map(&scored[..k], jobs, |_, (_, _, s, _)| {
+                ordered_map(&scored[..k], jobs, |_, (_, _, _, s, _)| {
                     let mut trial_sched = sched_ref.clone();
                     trial_sched.set(op, s.clone());
                     if let Ok(program) = try_lower_filtered(graph, plan, &trial_sched, Some(&roots))
@@ -1110,16 +1299,30 @@ impl<'g> Tuner<'g> {
                 });
             }
             let mut measured: Vec<(f64, f64)> = Vec::with_capacity(k);
-            for (score, p, s, feats) in scored.into_iter().take(k) {
+            // Candidates ranked beyond the top-k are never measured;
+            // journal them so every generated candidate has exactly one
+            // terminal record.
+            for (_, p, origin, _, _) in scored.split_off(k) {
+                self.journal_dropped(origin, &p, outcome::SKIPPED, None);
+            }
+            for (score, p, origin, s, feats) in scored {
                 let cap = budget_cap.saturating_sub(self.measurer.used - start);
                 if cap == 0 {
-                    break;
+                    // The cap cannot recover within a round, so every
+                    // remaining selected candidate is journaled as
+                    // skipped (`continue`, not `break`).
+                    self.journal_dropped(origin, &p, outcome::SKIPPED, None);
+                    continue;
                 }
                 let mut trial_sched = sched.clone();
                 trial_sched.set(op, s.clone());
                 self.measurer.ctx.candidate = format!("{p:?}");
                 self.measurer.ctx.predicted_cost = if model_trained { Some(score) } else { None };
-                let Some(lat) = self.measure_with_retry(plan, &trial_sched, &roots, cap) else {
+                let predicted = if model_trained { Some(score) } else { None };
+                let used_before = self.measurer.used;
+                let outcome_lat = self.measure_with_retry(plan, &trial_sched, &roots, cap);
+                self.journal_attempted(origin, &p, predicted, outcome_lat, used_before);
+                let Some(lat) = outcome_lat else {
                     continue;
                 };
                 if model_trained {

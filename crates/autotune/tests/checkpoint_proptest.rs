@@ -49,7 +49,11 @@ proptest! {
     ) {
         let g = conv_graph();
         let rate = if faulted { 0.2 } else { 0.0 };
-        let full = tune_graph(&g, intel_cpu(), base_cfg(seed, rate));
+        let (full_journal, full_sink) = alt_journal::Journal::memory();
+        let full = tune_graph(&g, intel_cpu(), TuneConfig {
+            journal: full_journal,
+            ..base_cfg(seed, rate)
+        });
 
         let dir = std::env::temp_dir().join("alt-ck-proptest");
         std::fs::create_dir_all(&dir).unwrap();
@@ -59,9 +63,11 @@ proptest! {
             .unwrap()
             .to_string();
 
+        let (halted_journal, halted_sink) = alt_journal::Journal::memory();
         let halted = tune_graph(&g, intel_cpu(), TuneConfig {
             checkpoint_path: Some(path.clone()),
             halt_after: Some(halt),
+            journal: halted_journal,
             ..base_cfg(seed, rate)
         });
 
@@ -70,19 +76,30 @@ proptest! {
 
         if std::path::Path::new(&path).exists() {
             let ck = TunerCheckpoint::load(&path).unwrap();
+            let (resumed_journal, resumed_sink) = alt_journal::Journal::memory();
             let resumed = tune_graph(&g, intel_cpu(), TuneConfig {
                 resume: Some(ck),
+                journal: resumed_journal,
                 ..base_cfg(seed, rate)
             });
             std::fs::remove_file(&path).ok();
             prop_assert_eq!(resumed.measurements, full.measurements);
             prop_assert_eq!(resumed.latency, full.latency);
             prop_assert_eq!(resumed.history, full.history);
+            // The halted run's journal plus the resumed run's journal is
+            // the uninterrupted run's journal, byte for byte: the header
+            // is written only by the first leg, the summary only by the
+            // last, and the checkpoint cuts before the iteration whose
+            // records the resumed leg re-emits.
+            let mut stitched = halted_sink.lines();
+            stitched.extend(resumed_sink.lines());
+            prop_assert_eq!(stitched, full_sink.lines());
         } else {
             // The halt point fell beyond the run's total budget, so no
             // checkpoint was cut; the "halted" run is the full run.
             prop_assert_eq!(halted.measurements, full.measurements);
             prop_assert_eq!(halted.latency, full.latency);
+            prop_assert_eq!(halted_sink.lines(), full_sink.lines());
         }
     }
 }

@@ -27,10 +27,12 @@ fn conv_graph() -> Graph {
     g
 }
 
-/// Tunes with a full trace attached and periodic checkpoints, returning
-/// the result and every record that is not a wall-clock span/event.
-fn traced(seed: u64, rate: f64, jobs: usize, ck: &str) -> (TuneResult, Vec<Record>) {
+/// Tunes with a full trace and a search journal attached plus periodic
+/// checkpoints, returning the result, every telemetry record that is
+/// not a wall-clock span/event, and the journal as JSONL lines.
+fn traced(seed: u64, rate: f64, jobs: usize, ck: &str) -> (TuneResult, Vec<Record>, Vec<String>) {
     let sink = Arc::new(MemorySink::new());
+    let (journal, jsink) = alt_journal::Journal::memory();
     let cfg = TuneConfig {
         joint_budget: 12,
         loop_budget: 12,
@@ -40,6 +42,7 @@ fn traced(seed: u64, rate: f64, jobs: usize, ck: &str) -> (TuneResult, Vec<Recor
         seed,
         jobs,
         telemetry: Telemetry::new(sink.clone()),
+        journal,
         faults: (rate > 0.0).then(|| FaultConfig::uniform(rate)),
         checkpoint_path: Some(ck.to_string()),
         checkpoint_every: 8,
@@ -51,7 +54,7 @@ fn traced(seed: u64, rate: f64, jobs: usize, ck: &str) -> (TuneResult, Vec<Recor
         .into_iter()
         .filter(|r| !matches!(r, Record::Span(_) | Record::Event(_)))
         .collect();
-    (result, records)
+    (result, records, jsink.lines())
 }
 
 proptest! {
@@ -77,8 +80,8 @@ proptest! {
             .to_string()
         };
         let (ck_seq, ck_par) = (ck("seq"), ck("par"));
-        let (seq, seq_records) = traced(seed, rate, 1, &ck_seq);
-        let (par, par_records) = traced(seed, rate, jobs, &ck_par);
+        let (seq, seq_records, seq_journal) = traced(seed, rate, 1, &ck_seq);
+        let (par, par_records, par_journal) = traced(seed, rate, jobs, &ck_par);
 
         // The tuning outcome is identical down to the float bits.
         prop_assert_eq!(seq.latency.to_bits(), par.latency.to_bits());
@@ -98,6 +101,11 @@ proptest! {
         // measurements, failures, retries, PPO/cost-model updates, and
         // flushed counters. Only wall-clock spans may differ.
         prop_assert_eq!(seq_records, par_records);
+        // The search journal is bit-identical line for line: every
+        // candidate, provenance tag, outcome, and budget index agrees,
+        // and the header deliberately omits the worker count.
+        prop_assert!(!seq_journal.is_empty(), "journal captured the run");
+        prop_assert_eq!(seq_journal, par_journal);
         // Periodic checkpoints are byte-identical too: a parallel run
         // can be resumed by a sequential one and vice versa.
         let a = std::fs::read(&ck_seq).ok();

@@ -27,7 +27,13 @@ const OPS: [&str; 9] = [
     "C2D", "GRP", "DIL", "DEP", "C3D", "C1D", "GMM", "T2D", "T3D",
 ];
 
-fn alt_tune(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) -> TuneResult {
+fn alt_tune(
+    graph: &Graph,
+    profile: MachineProfile,
+    budget: u64,
+    seed: u64,
+    journal: alt_journal::Journal,
+) -> TuneResult {
     // Paper split: 300/700 of 1000 => 30%/70%.
     let joint = (budget as f64 * 0.3) as u64;
     let cfg = TuneConfig {
@@ -36,6 +42,7 @@ fn alt_tune(graph: &Graph, profile: MachineProfile, budget: u64, seed: u64) -> T
         free_input_layouts: true,
         seed,
         jobs: alt_bench::jobs(),
+        journal,
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -75,6 +82,7 @@ fn main() {
         let mut alt_lats: Vec<f64> = Vec::new();
         let mut alt_wall = 0.0f64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let mut jstats = alt_bench::JournalStats::new();
         for case in &cases {
             let g = &case.graph;
             let mut lats: HashMap<String, f64> = HashMap::new();
@@ -92,9 +100,11 @@ fn main() {
                 flextensor_like(g, profile, budget, 1).latency,
             );
             lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
+            let (journal, jsink) = alt_journal::Journal::memory();
             let t0 = std::time::Instant::now();
-            let alt = alt_tune(g, profile, budget, 1);
+            let alt = alt_tune(g, profile, budget, 1, journal);
             alt_wall += t0.elapsed().as_secs_f64();
+            jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
                 &format!("{} {} on {}", case.op, case.config, profile.name),
                 g,
@@ -165,6 +175,7 @@ fn main() {
         );
         report.note_metric(format!("{}/tune_wall_s", profile.name), alt_wall);
         report.note_metric(format!("{}/cache_hit_rate", profile.name), hit_rate);
+        jstats.finish(&mut report, "fig09", profile.name);
     }
 
     if report_ot && !ot_observations.is_empty() {

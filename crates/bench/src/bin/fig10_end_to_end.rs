@@ -30,6 +30,7 @@ fn alt_full_e2e(
     profile: MachineProfile,
     budget: u64,
     seed: u64,
+    journal: alt_journal::Journal,
 ) -> alt_autotune::tuner::TuneResult {
     // Paper split: 8000/12000 of 20000 => 40%/60%.
     let joint = (budget as f64 * 0.4) as u64;
@@ -40,6 +41,7 @@ fn alt_full_e2e(
         free_input_layouts: false,
         seed,
         jobs: alt_bench::jobs(),
+        journal,
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -108,6 +110,7 @@ fn main() {
         let mut names = Vec::new();
         let mut alt_wall = 0.0f64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let mut jstats = alt_bench::JournalStats::new();
         for (name, g) in workloads(&profile) {
             let mut lats: HashMap<String, f64> = HashMap::new();
             // Vendor graph compiler: ARM Torch runs eager (no fusion).
@@ -120,9 +123,11 @@ fn main() {
                 autotvm_like(&g, profile, budget, 1).latency,
             );
             lats.insert("Ansor".into(), ansor_like(&g, profile, budget, 1).latency);
+            let (journal, jsink) = alt_journal::Journal::memory();
             let t0 = std::time::Instant::now();
-            let alt = alt_full_e2e(&g, profile, budget, 1);
+            let alt = alt_full_e2e(&g, profile, budget, 1, journal);
             alt_wall += t0.elapsed().as_secs_f64();
+            jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
                 &format!("{name} on {}", profile.name),
                 &g,
@@ -211,6 +216,7 @@ fn main() {
         );
         report.note_metric(format!("{}/tune_wall_s", profile.name), alt_wall);
         report.note_metric(format!("{}/cache_hit_rate", profile.name), hit_rate);
+        jstats.finish(&mut report, "fig10", profile.name);
     }
     report.set_profile(serde_json::Value::Object(profiles));
     report.write();

@@ -308,6 +308,76 @@ impl BenchReport {
     }
 }
 
+/// Per-platform aggregation of per-run search-journal diagnostics
+/// (ISSUE 6): each ALT tuning run gets its own in-memory journal, its
+/// convergence/calibration summary is folded in here, and the averages
+/// land in the [`BenchReport`] metrics (and thus the bench trajectory).
+/// With `ALT_BENCH_JSON` set, the raw journals are also written as one
+/// JSONL file per platform for `altc inspect`.
+#[derive(Default)]
+pub struct JournalStats {
+    spearman: Vec<f64>,
+    p95_frac: Vec<f64>,
+    lines: Vec<String>,
+}
+
+impl JournalStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished tuning run's journal in. `budget` is the
+    /// run's configured measurement budget, used to normalize
+    /// budget-to-p95-of-final into a fraction comparable across runs.
+    pub fn note_run(&mut self, sink: &alt_journal::MemoryJournal, budget: u64) {
+        let records = sink.records();
+        let insp = alt_journal::inspect(&records);
+        // Rank correlation needs at least two (predicted, measured)
+        // pairs to mean anything; small-budget runs may have none.
+        if insp.calibration.pairs >= 2 {
+            self.spearman.push(insp.calibration.final_spearman);
+        }
+        if budget > 0 {
+            if let Some(b) = insp.convergence.budget_to_p95_of_final {
+                self.p95_frac.push(b as f64 / budget as f64);
+            }
+        }
+        self.lines.extend(sink.lines());
+    }
+
+    /// Records the platform's aggregate journal metrics on the report —
+    /// mean final Spearman rank correlation of the cost model and mean
+    /// fraction of the budget needed to reach 95% of final quality —
+    /// and writes the collected journals to
+    /// `$ALT_BENCH_JSON/<bench>_<platform>.journal.jsonl` when set.
+    pub fn finish(self, report: &mut BenchReport, bench: &str, platform: &str) {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        if !self.spearman.is_empty() {
+            report.note_metric(
+                format!("{platform}/journal_final_spearman"),
+                mean(&self.spearman),
+            );
+        }
+        if !self.p95_frac.is_empty() {
+            report.note_metric(
+                format!("{platform}/journal_budget_to_p95_frac"),
+                mean(&self.p95_frac),
+            );
+        }
+        if self.lines.is_empty() {
+            return;
+        }
+        if let Ok(dir) = std::env::var("ALT_BENCH_JSON") {
+            let path = std::path::Path::new(&dir).join(format!("{bench}_{platform}.journal.jsonl"));
+            let mut text = self.lines.join("\n");
+            text.push('\n');
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
 fn metrics_json(metrics: &std::collections::BTreeMap<String, f64>) -> serde_json::Value {
     serde_json::Value::Object(
         metrics
@@ -554,6 +624,53 @@ mod tests {
             .and_then(serde_json::Value::as_f64)
             .unwrap();
         assert_eq!(last, 1.2e-3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_stats_aggregate_into_report_metrics() {
+        use alt_journal::{outcome, provenance, CandidateRecord, JournalRecord};
+        let (journal, sink) = alt_journal::Journal::memory();
+        // Four budgeted candidates with a perfectly-ranked model; the
+        // best appears at budget 2 of 4, so p95-frac is 0.5.
+        for (i, (pred, lat)) in [(-4.0, 4.0), (-1.0, 1.0), (-2.0, 2.0), (-3.0, 3.0)]
+            .into_iter()
+            .enumerate()
+        {
+            journal.emit(JournalRecord::Candidate(CandidateRecord {
+                op: "c2d#0".into(),
+                stage: "loop".into(),
+                round: 1,
+                provenance: provenance::RANDOM.into(),
+                point: vec![i as u64],
+                outcome: outcome::MEASURED.into(),
+                predicted: Some(pred),
+                latency_s: Some(lat),
+                vcode: None,
+                error: None,
+                attempts: 1,
+                budget_end: i as u64 + 1,
+                program_fp: None,
+                cache_key: None,
+            }));
+        }
+        let mut stats = JournalStats::new();
+        stats.note_run(&sink, 4);
+        let mut report = BenchReport::new("journal-stats-test");
+        stats.finish(&mut report, "figtest", "intel-cpu");
+        let dir = std::env::temp_dir().join(format!("alt-bench-jstats-{}", std::process::id()));
+        report.append_trajectory(&dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("BENCH_journal-stats-test.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let metrics = &doc["entries"][0]["metrics"];
+        let spearman = metrics["intel-cpu/journal_final_spearman"]
+            .as_f64()
+            .unwrap();
+        assert!((spearman - 1.0).abs() < 1e-12, "{spearman}");
+        let frac = metrics["intel-cpu/journal_budget_to_p95_frac"]
+            .as_f64()
+            .unwrap();
+        assert!((frac - 0.5).abs() < 1e-12, "{frac}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,6 +10,10 @@
 //! altc --model r18 --dot > r18.dot
 //! altc --model r18 --budget 64 --trace r18.trace.jsonl
 //! altc --model r18 --budget 64 --faults 0.2 --trace r18.trace.jsonl
+//! altc --model r18 --budget 64 --journal r18.journal.jsonl
+//! altc inspect r18.journal.jsonl
+//! altc inspect r18.journal.jsonl --json
+//! altc inspect r18.journal.jsonl --html r18.report.html
 //! altc --model r18 --checkpoint ck.json --checkpoint-every 50
 //! altc --model r18 --resume ck.json
 //! altc report r18.trace.jsonl
@@ -33,6 +37,7 @@ struct Args {
     json: bool,
     dot: bool,
     trace: Option<String>,
+    journal: Option<String>,
     faults: f64,
     checkpoint: Option<String>,
     checkpoint_every: u64,
@@ -51,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         dot: false,
         trace: None,
+        journal: None,
         faults: 0.0,
         checkpoint: None,
         checkpoint_every: 0,
@@ -82,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--dot" => args.dot = true,
             "--trace" => args.trace = Some(value("--trace")?),
+            "--journal" => args.journal = Some(value("--journal")?),
             "--faults" => {
                 args.faults = value("--faults")?
                     .parse()
@@ -134,6 +141,12 @@ OPTIONS:
         --json               machine-readable output
         --dot                print the model graph in DOT format and exit
         --trace <PATH>       write a JSONL tuning trace (inspect with `altc report`)
+        --journal <PATH>     write a JSONL search journal: one record per
+                             generated candidate with its terminal outcome
+                             (measured / cache_hit / verify_rejected / failed /
+                             skipped), plus layout visits and commits; a
+                             resumed run appends to its predecessor's journal
+                             (inspect with `altc inspect`)
         --faults <RATE>      inject faults (compile failures, timeouts, noisy
                              latencies) into that fraction of measurements; the
                              tuner retries, quarantines repeat offenders, and
@@ -156,6 +169,13 @@ SUBCOMMANDS:
     report <TRACE.jsonl>     summarize a tuning trace: best-latency curve
                              per op, budget per stage, cost-model accuracy
                              per round, and cache/prefetch counters
+    inspect <JOURNAL.jsonl>  tuning-run introspection from a search journal:
+                             budget accounting, convergence (plateau, budget
+                             to within 5% of final), cost-model calibration
+                             (rolling Spearman, calibration table, worst
+                             mispredictions) and joint-space coverage;
+                             --json for machine-readable output, --html OUT
+                             for a self-contained HTML report
     profile [OPTIONS]        tune a model, then print the winning schedule's
                              per-loop cost breakdown and roofline summary;
                              `altc profile --help` lists its options
@@ -290,6 +310,73 @@ fn run_profile(rest: &[String]) -> i32 {
                 return 2;
             }
         }
+    }
+    0
+}
+
+/// `altc inspect <journal.jsonl>`: full tuning-run introspection from a
+/// search journal — budget accounting, convergence, cost-model
+/// calibration and joint-space coverage.
+fn run_inspect(rest: &[String]) -> i32 {
+    const USAGE: &str = "usage: altc inspect <JOURNAL.jsonl> [--json] [--html OUT.html]";
+    let mut path: Option<String> = None;
+    let mut json = false;
+    let mut html: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--html" => match it.next() {
+                Some(out) => html = Some(out.clone()),
+                None => {
+                    eprintln!("error: --html requires a value");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "{USAGE}\n\n\
+                     Reads a search journal written by `altc --journal PATH` and prints\n\
+                     convergence diagnostics (best-so-far curve, plateau detection,\n\
+                     budget-to-within-5%-of-final), cost-model calibration (rolling\n\
+                     Spearman rank correlation, predicted-vs-measured calibration\n\
+                     table, worst mispredictions) and joint-space coverage (per-op,\n\
+                     per-provenance, per-axis exploration). --json emits the full\n\
+                     diagnostics object; --html writes a self-contained single-file\n\
+                     HTML report (inline CSS/JS, no network access needed)."
+                );
+                std::process::exit(0);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let records = match alt_journal::read_journal(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let insp = alt_journal::inspect(&records);
+    if let Some(out) = &html {
+        if let Err(e) = std::fs::write(out, alt_journal::render_html(&insp)) {
+            eprintln!("error: --html {out}: {e}");
+            return 2;
+        }
+        eprintln!("html report written to {out}");
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&insp).unwrap());
+    } else if html.is_none() {
+        print!("{}", alt_journal::render_text(&insp));
     }
     0
 }
@@ -544,6 +631,9 @@ fn main() {
     if argv.first().map(String::as_str) == Some("report") {
         std::process::exit(run_report(&argv[1..]));
     }
+    if argv.first().map(String::as_str) == Some("inspect") {
+        std::process::exit(run_inspect(&argv[1..]));
+    }
     if argv.first().map(String::as_str) == Some("profile") {
         std::process::exit(run_profile(&argv[1..]));
     }
@@ -599,6 +689,7 @@ fn main() {
         resume: args.resume.clone(),
         jobs: args.jobs,
         verify: !args.no_verify,
+        journal: args.journal.clone(),
         ..CompileOptions::default()
     });
     if let Some(path) = &args.trace {
@@ -645,5 +736,8 @@ fn main() {
     }
     if let Some(path) = &args.trace {
         eprintln!("trace written to {path}; inspect with `altc report {path}`");
+    }
+    if let Some(path) = &args.journal {
+        eprintln!("journal written to {path}; inspect with `altc inspect {path}`");
     }
 }

@@ -84,6 +84,12 @@ pub struct CompileOptions {
     /// Rejected candidates are dropped without consuming any measurement
     /// budget (counted under `verify.rejected`). On by default.
     pub verify: bool,
+    /// Write the search journal (one JSONL record per candidate, layout
+    /// visit/commit, plus a run header and summary) to this path. A
+    /// resumed run appends to the journal its predecessor started, so
+    /// the finished file reads as one uninterrupted run. Inspect with
+    /// `altc inspect <path>`.
+    pub journal: Option<String>,
 }
 
 impl Default for CompileOptions {
@@ -104,6 +110,7 @@ impl Default for CompileOptions {
             resume: None,
             jobs: 1,
             verify: true,
+            journal: None,
         }
     }
 }
@@ -162,6 +169,13 @@ impl Compiler {
                 .expect("checkpoint does not match this graph/seed");
             ck
         });
+        let journal = match &o.journal {
+            Some(path) if resume.is_some() => {
+                alt_journal::Journal::jsonl_append(path).expect("opening journal for append")
+            }
+            Some(path) => alt_journal::Journal::jsonl(path).expect("creating journal"),
+            None => alt_journal::Journal::noop(),
+        };
         let cfg = TuneConfig {
             joint_budget: o.joint_budget,
             loop_budget: o.loop_budget,
@@ -179,6 +193,7 @@ impl Compiler {
             resume,
             jobs: o.jobs,
             verify: o.verify,
+            journal,
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);

@@ -1,0 +1,365 @@
+//! Self-contained single-file HTML report for `altc inspect --html`.
+//!
+//! Everything is inline — CSS in a `<style>` block, charts as inline
+//! SVG generated here — so the file opens offline and never loads a
+//! remote resource. CI asserts the absence of external URLs.
+
+use crate::diagnostics::Inspection;
+use crate::render::fmt_latency;
+
+const STYLE: &str = "\
+body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:2rem auto;max-width:60rem;\
+color:#1b1f24;background:#fcfcfc;font-size:14px}\
+h1{font-size:1.3rem}h2{font-size:1.05rem;border-bottom:1px solid #d0d7de;padding-bottom:.25rem;\
+margin-top:2rem}\
+table{border-collapse:collapse;margin:.5rem 0}\
+th,td{border:1px solid #d0d7de;padding:.25rem .6rem;text-align:right}\
+th{background:#f0f2f5}td:first-child,th:first-child{text-align:left}\
+svg{background:#fff;border:1px solid #d0d7de;margin:.5rem 0}\
+.kv{margin:.15rem 0}.kv b{display:inline-block;min-width:18rem;font-weight:600}\
+.muted{color:#57606a}";
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn kv(out: &mut String, key: &str, value: &str) {
+    out.push_str(&format!(
+        "<div class=\"kv\"><b>{}</b>{}</div>\n",
+        esc(key),
+        esc(value)
+    ));
+}
+
+/// Inline SVG step plot of the best-so-far curve (x = budget units,
+/// y = best latency, lower is better).
+fn convergence_svg(insp: &Inspection) -> String {
+    let curve = &insp.convergence.curve;
+    if curve.is_empty() {
+        return "<p class=\"muted\">no measured candidates</p>".to_string();
+    }
+    let (w, h, pad) = (640.0_f64, 160.0_f64, 10.0_f64);
+    let x_max = insp
+        .totals
+        .budget_consumed
+        .max(curve.last().map_or(1, |p| p.budget)) as f64;
+    let y_lo = curve.iter().map(|p| p.best_s).fold(f64::INFINITY, f64::min);
+    let y_hi = curve.iter().map(|p| p.best_s).fold(0.0_f64, f64::max);
+    let sx = |b: f64| pad + (w - 2.0 * pad) * b / x_max.max(1.0);
+    // Top of the plot = lowest (best) latency, bottom = worst.
+    let sy = |v: f64| {
+        let t = if y_hi > y_lo {
+            (v - y_lo) / (y_hi - y_lo)
+        } else {
+            0.5
+        };
+        pad + (h - 2.0 * pad) * t
+    };
+    // Step polyline: hold each best until the next improvement.
+    let mut pts = Vec::new();
+    let mut prev_y = sy(curve[0].best_s);
+    for p in curve {
+        let x = sx(p.budget as f64);
+        pts.push(format!("{x:.1},{prev_y:.1}"));
+        prev_y = sy(p.best_s);
+        pts.push(format!("{x:.1},{prev_y:.1}"));
+    }
+    pts.push(format!("{:.1},{prev_y:.1}", sx(x_max)));
+    format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" role=\"img\" \
+         aria-label=\"best-so-far latency over budget\">\
+         <polyline points=\"{}\" fill=\"none\" stroke=\"#0969da\" stroke-width=\"1.5\"/></svg>\
+         <p class=\"muted\">x: 0..{} budget units; y: {} (top) .. {} (bottom)</p>",
+        pts.join(" "),
+        x_max as u64,
+        esc(&fmt_latency(y_lo)),
+        esc(&fmt_latency(y_hi)),
+    )
+}
+
+/// Inline SVG scatter of predicted score vs measured latency.
+fn calibration_svg(insp: &Inspection) -> String {
+    let pts = &insp.calibration.scatter;
+    if pts.len() < 2 {
+        return "<p class=\"muted\">not enough (predicted, measured) pairs</p>".to_string();
+    }
+    let (w, h, pad) = (320.0_f64, 320.0_f64, 12.0_f64);
+    let px: Vec<f64> = pts.iter().map(|p| p.predicted).collect();
+    let py: Vec<f64> = pts.iter().map(|p| p.latency_s).collect();
+    let (x_lo, x_hi) = (
+        px.iter().copied().fold(f64::INFINITY, f64::min),
+        px.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (y_lo, y_hi) = (
+        py.iter().copied().fold(f64::INFINITY, f64::min),
+        py.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let mut circles = String::new();
+    for p in pts {
+        let tx = if x_hi > x_lo {
+            (p.predicted - x_lo) / (x_hi - x_lo)
+        } else {
+            0.5
+        };
+        let ty = if y_hi > y_lo {
+            (p.latency_s - y_lo) / (y_hi - y_lo)
+        } else {
+            0.5
+        };
+        let cx = pad + (w - 2.0 * pad) * tx;
+        let cy = pad + (h - 2.0 * pad) * ty;
+        circles.push_str(&format!(
+            "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"2.5\" fill=\"#0969da\" fill-opacity=\"0.55\"/>"
+        ));
+    }
+    format!(
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" role=\"img\" \
+         aria-label=\"predicted score vs measured latency\">{circles}</svg>\
+         <p class=\"muted\">x: predicted score (right = model says better); \
+         y: measured latency (top = faster). A calibrated model slopes down-right.</p>"
+    )
+}
+
+/// Renders the complete self-contained HTML report.
+pub fn render_html(insp: &Inspection) -> String {
+    let mut out = String::new();
+    out.push_str("<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
+    out.push_str("<title>ALT search journal</title>\n");
+    out.push_str(&format!("<style>{STYLE}</style>\n</head><body>\n"));
+    out.push_str("<h1>ALT search journal</h1>\n");
+
+    if let Some(h) = &insp.header {
+        kv(&mut out, "seed", &h.seed.to_string());
+        kv(
+            &mut out,
+            "profile fingerprint",
+            &format!("{:016x}", h.profile_fp),
+        );
+        kv(
+            &mut out,
+            "budget (joint + loop)",
+            &format!("{} + {}", h.joint_budget, h.loop_budget),
+        );
+    }
+    let t = &insp.totals;
+    kv(&mut out, "records", &t.records.to_string());
+    kv(&mut out, "candidates", &t.candidates.to_string());
+    kv(
+        &mut out,
+        "layout visits / commits",
+        &format!("{} / {}", t.layout_visits, t.layout_commits),
+    );
+    kv(&mut out, "budget consumed", &t.budget_consumed.to_string());
+
+    out.push_str("<h2>Convergence</h2>\n");
+    out.push_str(&convergence_svg(insp));
+    let c = &insp.convergence;
+    kv(
+        &mut out,
+        "final best",
+        &c.final_best_s
+            .map_or_else(|| "n/a".to_string(), fmt_latency),
+    );
+    kv(
+        &mut out,
+        "budget to within 5% of final",
+        &c.budget_to_within_5pct
+            .map_or_else(|| "n/a".to_string(), |b| format!("{b} units")),
+    );
+    kv(
+        &mut out,
+        "budget to 95% of final quality",
+        &c.budget_to_p95_of_final
+            .map_or_else(|| "n/a".to_string(), |b| format!("{b} units")),
+    );
+    if let Some(pb) = c.plateau_budget {
+        kv(
+            &mut out,
+            "plateau",
+            &format!(
+                "last >1% improvement at unit {pb}; {:.0}% of budget after it",
+                c.plateau_frac * 100.0
+            ),
+        );
+    }
+    if !c.per_op.is_empty() {
+        out.push_str(
+            "<table><tr><th>op</th><th>samples</th><th>best</th><th>budget@best</th></tr>\n",
+        );
+        for o in &c.per_op {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                esc(&o.op),
+                o.samples,
+                esc(&o.best_s.map_or_else(|| "n/a".to_string(), fmt_latency)),
+                o.budget_to_best
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("<h2>Cost-model calibration</h2>\n");
+    let cal = &insp.calibration;
+    kv(&mut out, "pairs", &cal.pairs.to_string());
+    kv(
+        &mut out,
+        "final Spearman",
+        &format!("{:.3}", cal.final_spearman),
+    );
+    out.push_str(&calibration_svg(insp));
+    if !cal.table.is_empty() {
+        out.push_str(
+            "<table><tr><th>predicted quintile</th><th>pairs</th>\
+             <th>mean predicted rank</th><th>mean measured rank</th></tr>\n",
+        );
+        for b in &cal.table {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{:.1}</td><td>{:.1}</td></tr>\n",
+                b.bin, b.pairs, b.mean_predicted_rank, b.mean_measured_rank
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+    if !cal.worst.is_empty() {
+        out.push_str(
+            "<table><tr><th>op</th><th>point</th><th>predicted</th><th>measured</th>\
+             <th>rank error</th></tr>\n",
+        );
+        for w in &cal.worst {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{:?}</td><td>{:.4}</td><td>{}</td><td>{:.0}%</td></tr>\n",
+                esc(&w.op),
+                w.point,
+                w.predicted,
+                esc(&fmt_latency(w.latency_s)),
+                w.rank_error * 100.0
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("<h2>Joint-space coverage</h2>\n");
+    let cov = &insp.coverage;
+    let f = cov.fractions;
+    kv(
+        &mut out,
+        "outcome fractions",
+        &format!(
+            "{:.0}% measured, {:.0}% cache-hit, {:.0}% verify-rejected, {:.0}% failed, {:.0}% other",
+            f.measured * 100.0,
+            f.cache_hit * 100.0,
+            f.verify_rejected * 100.0,
+            f.failed * 100.0,
+            f.other * 100.0
+        ),
+    );
+    if !cov.per_provenance.is_empty() {
+        let parts: Vec<String> = cov
+            .per_provenance
+            .iter()
+            .map(|(p, n)| format!("{p} {n}"))
+            .collect();
+        kv(&mut out, "provenance", &parts.join(", "));
+    }
+    if !cov.per_op.is_empty() {
+        out.push_str(
+            "<table><tr><th>op</th><th>generated</th><th>measured</th><th>cache</th>\
+             <th>verify-rejected</th><th>failed</th><th>other</th></tr>\n",
+        );
+        for o in &cov.per_op {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                esc(&o.op),
+                o.generated,
+                o.measured,
+                o.cache_hits,
+                o.verify_rejected,
+                o.failed,
+                o.other
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+    if !cov.axes.is_empty() {
+        out.push_str(
+            "<table><tr><th>op</th><th>stage</th><th>axis</th><th>distinct</th>\
+             <th>min</th><th>max</th><th>samples</th></tr>\n",
+        );
+        for a in &cov.axes {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                esc(&a.op),
+                esc(&a.stage),
+                a.axis,
+                a.distinct,
+                a.min,
+                a.max,
+                a.samples
+            ));
+        }
+        out.push_str("</table>\n");
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::inspect;
+    use crate::record::{outcome, provenance, CandidateRecord, JournalRecord};
+
+    fn sample() -> Vec<JournalRecord> {
+        (0..8)
+            .map(|i| {
+                JournalRecord::Candidate(CandidateRecord {
+                    op: "conv<&>#0".into(),
+                    stage: "loop".into(),
+                    round: 1,
+                    provenance: provenance::RANDOM.into(),
+                    point: vec![i, 1],
+                    outcome: outcome::MEASURED.into(),
+                    predicted: Some(-(i as f64)),
+                    latency_s: Some(1.0 + i as f64),
+                    vcode: None,
+                    error: None,
+                    attempts: 1,
+                    budget_end: i + 1,
+                    program_fp: Some(i),
+                    cache_key: Some(i),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn html_is_self_contained() {
+        let html = render_html(&inspect(&sample()));
+        assert!(html.starts_with("<!doctype html>"));
+        for needle in ["http://", "https://", "<script src", "<link"] {
+            assert!(!html.contains(needle), "external reference `{needle}`");
+        }
+        assert!(html.contains("<svg"), "charts must be inline SVG");
+        assert!(html.contains("<style>"), "styles must be inline");
+    }
+
+    #[test]
+    fn html_escapes_op_names() {
+        let html = render_html(&inspect(&sample()));
+        assert!(
+            html.contains("conv&lt;&amp;&gt;#0"),
+            "op name must be escaped"
+        );
+        assert!(!html.contains("conv<&>#0"));
+    }
+
+    #[test]
+    fn empty_inspection_renders() {
+        let html = render_html(&inspect(&[]));
+        assert!(html.contains("no measured candidates"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Plain-text rendering of an [`Inspection`] for `altc inspect`.
+
+use crate::diagnostics::Inspection;
+
+/// Formats a latency with a unit that keeps 3–4 significant digits.
+pub(crate) fn fmt_latency(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "n/a".to_string();
+    }
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn fmt_opt_latency(seconds: Option<f64>) -> String {
+    seconds.map_or_else(|| "n/a".to_string(), fmt_latency)
+}
+
+/// Unicode sparkline of a descending best-so-far curve (best at the
+/// right), resampled to at most `width` cells.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let n = values.len();
+    let cells = n.min(width.max(1));
+    (0..cells)
+        .map(|c| {
+            let i = c * n / cells;
+            let t = if hi > lo {
+                (values[i] - lo) / (hi - lo)
+            } else {
+                0.0
+            };
+            BARS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Renders the full text report.
+pub fn render_text(insp: &Inspection) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    push(&mut out, "== search journal ==".to_string());
+    if let Some(h) = &insp.header {
+        push(
+            &mut out,
+            format!(
+                "run: seed={} profile_fp={:016x} budget joint={} loop={}",
+                h.seed, h.profile_fp, h.joint_budget, h.loop_budget
+            ),
+        );
+    } else {
+        push(&mut out, "run: (no header — partial journal)".to_string());
+    }
+    let t = &insp.totals;
+    push(
+        &mut out,
+        format!(
+            "records: {}  candidates: {}  layout visits: {}  commits: {}",
+            t.records, t.candidates, t.layout_visits, t.layout_commits
+        ),
+    );
+    push(&mut out, format!("budget consumed: {}", t.budget_consumed));
+    for (name, count) in &t.outcomes {
+        push(&mut out, format!("  {name:<16} {count}"));
+    }
+
+    push(&mut out, String::new());
+    push(&mut out, "== convergence ==".to_string());
+    let c = &insp.convergence;
+    push(
+        &mut out,
+        format!("final best: {}", fmt_opt_latency(c.final_best_s)),
+    );
+    if !c.curve.is_empty() {
+        let curve: Vec<f64> = c.curve.iter().map(|p| p.best_s).collect();
+        push(
+            &mut out,
+            format!(
+                "best-so-far: {}  ({} improvements)",
+                sparkline(&curve, 48),
+                c.curve.len()
+            ),
+        );
+    }
+    push(
+        &mut out,
+        format!(
+            "budget to within 5% of final: {}",
+            c.budget_to_within_5pct
+                .map_or_else(|| "n/a".to_string(), |b| format!("{b} units")),
+        ),
+    );
+    push(
+        &mut out,
+        format!(
+            "budget to 95% of final quality: {}",
+            c.budget_to_p95_of_final
+                .map_or_else(|| "n/a".to_string(), |b| format!("{b} units")),
+        ),
+    );
+    if let Some(pb) = c.plateau_budget {
+        push(
+            &mut out,
+            format!(
+                "plateau: last >1% improvement at unit {pb} ({:.0}% of budget spent after it)",
+                c.plateau_frac * 100.0
+            ),
+        );
+    }
+    if !c.per_op.is_empty() {
+        push(&mut out, "per-op sample efficiency:".to_string());
+        push(
+            &mut out,
+            format!(
+                "  {:<16} {:>8} {:>12} {:>12}",
+                "op", "samples", "best", "budget@best"
+            ),
+        );
+        for o in &c.per_op {
+            push(
+                &mut out,
+                format!(
+                    "  {:<16} {:>8} {:>12} {:>12}",
+                    o.op,
+                    o.samples,
+                    fmt_opt_latency(o.best_s),
+                    o.budget_to_best
+                ),
+            );
+        }
+    }
+
+    push(&mut out, String::new());
+    push(&mut out, "== cost-model calibration ==".to_string());
+    let cal = &insp.calibration;
+    push(
+        &mut out,
+        format!(
+            "pairs: {}  final spearman: {:.3}",
+            cal.pairs, cal.final_spearman
+        ),
+    );
+    if !cal.rolling.is_empty() {
+        let roll: Vec<f64> = cal.rolling.iter().map(|r| r.spearman).collect();
+        let last = cal.rolling.last().map_or(0.0, |r| r.spearman);
+        push(
+            &mut out,
+            format!(
+                "rolling spearman (window 32): {}  latest {:.3}",
+                sparkline(&roll, 48),
+                last
+            ),
+        );
+    }
+    if !cal.table.is_empty() {
+        push(
+            &mut out,
+            "calibration table (predicted quintile -> measured rank):".to_string(),
+        );
+        push(
+            &mut out,
+            format!(
+                "  {:<10} {:>6} {:>12} {:>12}",
+                "quintile", "pairs", "pred rank", "meas rank"
+            ),
+        );
+        for b in &cal.table {
+            push(
+                &mut out,
+                format!(
+                    "  {:<10} {:>6} {:>12.1} {:>12.1}",
+                    b.bin, b.pairs, b.mean_predicted_rank, b.mean_measured_rank
+                ),
+            );
+        }
+    }
+    if !cal.worst.is_empty() {
+        push(&mut out, "worst mispredictions:".to_string());
+        for w in &cal.worst {
+            push(
+                &mut out,
+                format!(
+                    "  {} {:?}: predicted {:.4}, measured {} (rank error {:.0}%)",
+                    w.op,
+                    w.point,
+                    w.predicted,
+                    fmt_latency(w.latency_s),
+                    w.rank_error * 100.0
+                ),
+            );
+        }
+    }
+
+    push(&mut out, String::new());
+    push(&mut out, "== joint-space coverage ==".to_string());
+    let cov = &insp.coverage;
+    let f = cov.fractions;
+    push(
+        &mut out,
+        format!(
+            "outcomes: {:.0}% measured, {:.0}% cache-hit, {:.0}% verify-rejected, {:.0}% failed, {:.0}% other",
+            f.measured * 100.0,
+            f.cache_hit * 100.0,
+            f.verify_rejected * 100.0,
+            f.failed * 100.0,
+            f.other * 100.0
+        ),
+    );
+    if !cov.per_provenance.is_empty() {
+        let parts: Vec<String> = cov
+            .per_provenance
+            .iter()
+            .map(|(p, n)| format!("{p} {n}"))
+            .collect();
+        push(&mut out, format!("provenance: {}", parts.join(", ")));
+    }
+    if !cov.per_op.is_empty() {
+        push(
+            &mut out,
+            format!(
+                "  {:<16} {:>9} {:>9} {:>6} {:>8} {:>7} {:>6}",
+                "op", "generated", "measured", "cache", "rejected", "failed", "other"
+            ),
+        );
+        for o in &cov.per_op {
+            push(
+                &mut out,
+                format!(
+                    "  {:<16} {:>9} {:>9} {:>6} {:>8} {:>7} {:>6}",
+                    o.op,
+                    o.generated,
+                    o.measured,
+                    o.cache_hits,
+                    o.verify_rejected,
+                    o.failed,
+                    o.other
+                ),
+            );
+        }
+    }
+    if !cov.axes.is_empty() {
+        push(
+            &mut out,
+            "axis exploration (distinct values visited per knob):".to_string(),
+        );
+        push(
+            &mut out,
+            format!(
+                "  {:<16} {:<6} {:>4} {:>8} {:>6} {:>6} {:>8}",
+                "op", "stage", "axis", "distinct", "min", "max", "samples"
+            ),
+        );
+        for a in &cov.axes {
+            push(
+                &mut out,
+                format!(
+                    "  {:<16} {:<6} {:>4} {:>8} {:>6} {:>6} {:>8}",
+                    a.op, a.stage, a.axis, a.distinct, a.min, a.max, a.samples
+                ),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_resamples_and_scales() {
+        let s = sparkline(&[4.0, 3.0, 2.0, 1.0], 4);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('█') && s.ends_with('▁'), "{s}");
+        assert_eq!(sparkline(&[], 10), "");
+        // constant input pins to the bottom cell rather than dividing
+        // by zero.
+        assert_eq!(sparkline(&[1.0, 1.0], 2), "▁▁");
+    }
+
+    #[test]
+    fn fmt_latency_picks_units() {
+        assert_eq!(fmt_latency(2.5), "2.500 s");
+        assert_eq!(fmt_latency(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_latency(2.5e-6), "2.500 us");
+        assert_eq!(fmt_latency(2.5e-8), "25.0 ns");
+        assert_eq!(fmt_latency(f64::INFINITY), "n/a");
+    }
+
+    #[test]
+    fn text_report_has_all_sections() {
+        let insp = crate::diagnostics::inspect(&[]);
+        let text = render_text(&insp);
+        for section in [
+            "== search journal ==",
+            "== convergence ==",
+            "== cost-model calibration ==",
+            "== joint-space coverage ==",
+        ] {
+            assert!(text.contains(section), "missing {section}");
+        }
+    }
+}

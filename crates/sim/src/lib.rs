@@ -29,7 +29,7 @@ pub use breakdown::{
     Roofline,
 };
 pub use cache::{CacheSim, CacheStats};
-pub use memo::{profile_fingerprint, SimCache};
+pub use memo::{compose_cache_key, profile_fingerprint, SimCache};
 pub use profiles::{
     all_profiles, arm_cpu, intel_cpu, nvidia_gpu, CacheLevel, MachineKind, MachineProfile,
 };

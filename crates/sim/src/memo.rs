@@ -25,7 +25,7 @@
 //! so an entry can never go stale. A new layout, schedule, fusion
 //! decision, or machine profile produces a new key instead.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -62,6 +62,18 @@ pub fn profile_fingerprint(p: &MachineProfile) -> u64 {
     h.finish()
 }
 
+/// Composes a memo-cache key from a profile fingerprint and a program
+/// fingerprint. Pure: `SimCache::key` is exactly
+/// `compose_cache_key(cache.profile_fp(), program_fingerprint(p))`, so
+/// journal consumers can round-trip recorded fingerprints back into
+/// cache keys without a cache instance.
+pub fn compose_cache_key(profile_fp: u64, program_fp: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.u64(profile_fp);
+    h.u64(program_fp);
+    h.finish()
+}
+
 fn hash_level(h: &mut Fnv1a, l: &CacheLevel) {
     h.tag(0x43); // 'C'
     h.u64(l.size_bytes);
@@ -81,6 +93,11 @@ fn hash_level(h: &mut Fnv1a, l: &CacheLevel) {
 pub struct SimCache {
     profile_fp: u64,
     map: Mutex<HashMap<u64, (Counters, bool)>>,
+    /// Keys a previous (checkpointed) leg of this run already accounted.
+    /// A resumed run starts with an empty memo table, but its hit/miss
+    /// transcript must continue the interrupted run's: re-simulating a
+    /// key the predecessor paid for is a hit, not a miss.
+    resumed: Mutex<HashSet<u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -91,17 +108,20 @@ impl SimCache {
         SimCache {
             profile_fp: profile_fingerprint(profile),
             map: Mutex::new(HashMap::new()),
+            resumed: Mutex::new(HashSet::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
+    /// Fingerprint of the machine profile this cache is bound to.
+    pub fn profile_fp(&self) -> u64 {
+        self.profile_fp
+    }
+
     /// The cache key of a program under this cache's profile.
     pub fn key(&self, program: &Program) -> u64 {
-        let mut h = Fnv1a::new();
-        h.u64(self.profile_fp);
-        h.u64(program_fingerprint(program));
-        h.finish()
+        compose_cache_key(self.profile_fp, program_fingerprint(program))
     }
 
     /// Simulates `program`, consulting the memo table first.
@@ -120,9 +140,14 @@ impl SimCache {
         program: &Program,
     ) -> Result<(Counters, bool), AltError> {
         let key = self.key(program);
+        // A key restored via `restore_accounted` was paid for by the
+        // interrupted predecessor leg, so this lookup continues its
+        // transcript as a hit even though the table itself is cold.
+        let prior = self.resumed.lock().unwrap().contains(&key);
         if let Some((c, accounted)) = self.map.lock().unwrap().get_mut(&key) {
             let c = *c;
-            if *accounted {
+            if *accounted || prior {
+                *accounted = true;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((c, true));
             }
@@ -130,10 +155,14 @@ impl SimCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok((c, false));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        if prior {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         let c = sim.try_profile_counters(program)?;
         self.map.lock().unwrap().insert(key, (c, true));
-        Ok((c, false))
+        Ok((c, prior))
     }
 
     /// Simulates `program` into the table without touching statistics.
@@ -151,6 +180,33 @@ impl SimCache {
         if let Ok(c) = sim.try_profile_counters(program) {
             self.map.lock().unwrap().entry(key).or_insert((c, false));
         }
+    }
+
+    /// The keys whose measurements a budgeted lookup has accounted so
+    /// far, sorted — checkpoint state, so a resumed run can continue
+    /// this run's hit/miss transcript (see [`SimCache::restore_accounted`]).
+    /// Includes restored keys the current leg has not re-touched yet, so
+    /// checkpoints cut from a resumed leg stay complete.
+    pub fn accounted_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .map
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, (_, accounted))| *accounted)
+            .map(|(&k, _)| k)
+            .collect();
+        keys.extend(self.resumed.lock().unwrap().iter().copied());
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Marks keys an earlier leg of the run already accounted: their
+    /// next budgeted lookup reads as a hit (the repeat it genuinely is)
+    /// even though this leg must re-simulate them.
+    pub fn restore_accounted(&self, keys: &[u64]) {
+        self.resumed.lock().unwrap().extend(keys.iter().copied());
     }
 
     /// Hits observed by [`SimCache::try_profile`].
@@ -271,9 +327,47 @@ mod tests {
     }
 
     #[test]
+    fn restored_keys_continue_the_predecessor_transcript_as_hits() {
+        let sim = Simulator::new(intel_cpu());
+        let first_leg = SimCache::new(sim.profile());
+        let p = lowered();
+        let (a, hit) = first_leg.try_profile(&sim, &p).unwrap();
+        assert!(!hit);
+        let keys = first_leg.accounted_keys();
+        assert_eq!(keys, vec![first_leg.key(&p)]);
+
+        // A resumed leg starts cold but inherits the accounted keys: its
+        // first lookup of the restored key is a hit with identical bits,
+        // exactly what the uninterrupted run would have recorded.
+        let second_leg = SimCache::new(sim.profile());
+        second_leg.restore_accounted(&keys);
+        let (b, hit) = second_leg.try_profile(&sim, &p).unwrap();
+        assert!(hit, "restored key reads as a repeat");
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        assert_eq!((second_leg.hits(), second_leg.misses()), (1, 0));
+        // The restored key stays in the accounted set for further cuts.
+        assert_eq!(second_leg.accounted_keys(), keys);
+        // And later repeats hit through the warm table as usual.
+        let (_, hit) = second_leg.try_profile(&sim, &p).unwrap();
+        assert!(hit);
+    }
+
+    #[test]
     fn distinct_profiles_produce_distinct_fingerprints() {
         let fps: std::collections::HashSet<u64> =
             all_profiles().iter().map(profile_fingerprint).collect();
         assert_eq!(fps.len(), all_profiles().len());
+    }
+
+    #[test]
+    fn compose_cache_key_matches_cache_key() {
+        let profile = intel_cpu();
+        let cache = SimCache::new(&profile);
+        let p = lowered();
+        assert_eq!(cache.profile_fp(), profile_fingerprint(&profile));
+        assert_eq!(
+            cache.key(&p),
+            compose_cache_key(cache.profile_fp(), program_fingerprint(&p))
+        );
     }
 }

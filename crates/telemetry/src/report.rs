@@ -58,6 +58,7 @@ pub fn render_report(records: &[Record]) -> String {
     render_summary(records, &mut out);
     render_latency_curves(records, &mut out);
     render_budget(records, &mut out);
+    render_attempts(records, &mut out);
     render_cache(records, &mut out);
     render_faults(records, &mut out);
     render_cost_model(records, &mut out);
@@ -150,6 +151,40 @@ fn render_budget(records: &[Record], out: &mut String) {
     }
     for ((op, stage), n) in &per_op_stage {
         out.push_str(&format!("    {op} [{stage}]: {n}\n"));
+    }
+    out.push('\n');
+}
+
+/// Attempts vs successes per op: every budgeted attempt (successful
+/// measurements plus failed ones) and the zero-budget static-verifier
+/// rejections, so an op whose candidates keep failing or getting
+/// rejected is visible at a glance.
+fn render_attempts(records: &[Record], out: &mut String) {
+    // op -> (successes, failures, verify rejections)
+    let mut per_op: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for r in records {
+        match r {
+            Record::Measurement(m) => per_op.entry(&m.op).or_default().0 += 1,
+            Record::MeasurementFailure(f) => per_op.entry(&f.op).or_default().1 += 1,
+            Record::VerifyRejection(v) => per_op.entry(&v.op).or_default().2 += 1,
+            _ => {}
+        }
+    }
+    if per_op.is_empty() {
+        return;
+    }
+    out.push_str("--- attempts vs successes per op ---\n");
+    for (op, (ok, failed, rejected)) in &per_op {
+        let attempts = ok + failed;
+        let rate = if attempts > 0 {
+            *ok as f64 / attempts as f64 * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{op}: {attempts} attempts -> {ok} successes ({rate:.1}%), \
+             {failed} failed, {rejected} verify-rejected\n"
+        ));
     }
     out.push('\n');
 }
@@ -491,6 +526,50 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("retries: 1"), "{report}");
+    }
+
+    #[test]
+    fn attempts_vs_successes_counts_failures_and_rejections() {
+        let records = vec![
+            measurement(1, "conv2d#0", Stage::Joint, 2e-3, 2e-3),
+            measurement(2, "conv2d#0", Stage::Loop, 1e-3, 1e-3),
+            Record::MeasurementFailure(MeasurementFailureRecord {
+                seq: 3,
+                op: "conv2d#0".to_string(),
+                stage: Stage::Loop,
+                round: 2,
+                candidate: "[1]".to_string(),
+                kind: "injected_timeout".to_string(),
+                error: "injected timeout".to_string(),
+                attempt: 1,
+                backoff_us: 0,
+            }),
+            Record::VerifyRejection(VerifyRejectionRecord {
+                op: "conv2d#0".to_string(),
+                stage: Stage::Loop,
+                round: 2,
+                candidate: "[2]".to_string(),
+                code: "V201".to_string(),
+                detail: "illegal layout".to_string(),
+            }),
+            measurement(4, "gmm#1", Stage::Loop, 5e-4, 5e-4),
+        ];
+        let report = render_report(&records);
+        assert!(
+            report.contains("--- attempts vs successes per op ---"),
+            "{report}"
+        );
+        assert!(
+            report.contains(
+                "conv2d#0: 3 attempts -> 2 successes (66.7%), 1 failed, 1 verify-rejected"
+            ),
+            "{report}"
+        );
+        assert!(
+            report
+                .contains("gmm#1: 1 attempts -> 1 successes (100.0%), 0 failed, 0 verify-rejected"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -75,6 +75,24 @@ mod tests {
     }
 
     #[test]
+    fn tied_values_use_average_ranks() {
+        // With a = [1, 2, 2, 3] the tied pair takes rank 2.5 on both
+        // slots, giving rho = 4.5 / sqrt(4.5 * 5) = sqrt(0.9) against a
+        // strictly increasing partner — not 1.0, which a naive
+        // first-occurrence ranking would report.
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let want = 0.9f64.sqrt();
+        assert!((spearman(&a, &b) - want).abs() < 1e-12);
+        // Symmetric in its arguments.
+        assert!((spearman(&b, &a) - want).abs() < 1e-12);
+        // Ties on both sides at matching positions still correlate
+        // perfectly.
+        let c = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&a, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn degenerate_inputs_read_as_zero() {
         assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
         assert_eq!(spearman(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), 0.0);
