@@ -211,13 +211,18 @@ impl TunerCheckpoint {
         Ok(())
     }
 
-    /// Serializes to a JSON file.
+    /// Serializes to a JSON file. The write is atomic (temp file, fsync,
+    /// rename — see `alt_store::atomic`): a crash mid-save leaves the
+    /// previous checkpoint intact instead of a torn half-JSON file that
+    /// would strand the whole run at resume time.
     pub fn save(&self, path: &str) -> Result<(), AltError> {
         let json = serde_json::to_string(self).map_err(|e| AltError::Checkpoint {
             detail: format!("serializing checkpoint: {}", e.0),
         })?;
-        std::fs::write(path, json).map_err(|e| AltError::Checkpoint {
-            detail: format!("writing {path}: {e}"),
+        alt_store::atomic::write(std::path::Path::new(path), json.as_bytes()).map_err(|e| {
+            AltError::Checkpoint {
+                detail: format!("writing {path}: {e}"),
+            }
         })
     }
 
@@ -372,6 +377,34 @@ mod tests {
         std::fs::write(&path, "not json").unwrap();
         let err = TunerCheckpoint::load(path_s).unwrap_err();
         assert_eq!(err.kind(), "checkpoint");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_typed_error_not_a_panic() {
+        // A checkpoint torn mid-write (the failure `save`'s atomic
+        // temp+rename now prevents, but which pre-existing files on disk
+        // may still exhibit) must surface as `AltError::Checkpoint`.
+        let g = graph();
+        let ck = sample(&g);
+        let dir = std::env::temp_dir().join("alt-checkpoint-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("ck-{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        ck.save(path_s).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = TunerCheckpoint::load(path_s).unwrap_err();
+            assert_eq!(err.kind(), "checkpoint", "cut at {cut}");
+        }
+        // And no temp-file droppings from the atomic save.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leftovers, 0);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -7,6 +7,17 @@
 //! rates — deterministically, because it draws from the tuner's own
 //! [`SharedRng`] stream. A run is reproduced exactly by its seed and
 //! fault configuration.
+//!
+//! The durable tuning store gets its own injector, [`IoFaultInjector`]:
+//! rate-based torn writes, ENOSPC and partial reads against the store's
+//! filesystem path (PR 7). It deliberately does *not* share the tuner's
+//! [`SharedRng`] — that stream is single-threaded (`Rc<RefCell<..>>`)
+//! and, more importantly, store I/O must never consume a search draw:
+//! attaching a store, healthy or failing, cannot change which candidates
+//! a run explores. The injector carries its own seeded SplitMix64 stream
+//! behind a mutex instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use alt_error::AltError;
 use rand::Rng;
@@ -121,9 +132,100 @@ impl FaultInjector {
     }
 }
 
+/// Fault rates for the durable store's filesystem I/O. All rates are
+/// probabilities per operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IoFaultConfig {
+    /// Probability an append is torn mid-frame (a random prefix of the
+    /// frame reaches the file).
+    pub torn_write_rate: f64,
+    /// Probability an append fails with no bytes written (disk full).
+    pub enospc_rate: f64,
+    /// Probability the open-time segment read observes a truncated view
+    /// of the file.
+    pub partial_read_rate: f64,
+    /// Seed of the injector's private stream.
+    pub seed: u64,
+}
+
+impl IoFaultConfig {
+    /// Splits one overall I/O fault `rate` evenly across the three
+    /// modes.
+    pub fn uniform(rate: f64, seed: u64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        IoFaultConfig {
+            torn_write_rate: rate / 3.0,
+            enospc_rate: rate / 3.0,
+            partial_read_rate: rate / 3.0,
+            seed,
+        }
+    }
+
+    /// Total probability that an append is affected at all.
+    pub fn total_rate(&self) -> f64 {
+        self.torn_write_rate + self.enospc_rate + self.partial_read_rate
+    }
+}
+
+/// Rate-based store I/O fault injector (see the module docs for why it
+/// does not draw from [`SharedRng`]). Thread-safe: the store may be
+/// appended to from any thread holding its handle.
+#[derive(Debug)]
+pub struct IoFaultInjector {
+    cfg: IoFaultConfig,
+    state: AtomicU64,
+}
+
+impl IoFaultInjector {
+    /// An injector with its own private SplitMix64 stream.
+    pub fn new(cfg: IoFaultConfig) -> Self {
+        let state = AtomicU64::new(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15) | 1);
+        IoFaultInjector { cfg, state }
+    }
+
+    /// One SplitMix64 step (uniform u64).
+    fn next_u64(&self) -> u64 {
+        let mut z = self
+            .state
+            .fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl alt_store::faults::IoFaultHook for IoFaultInjector {
+    fn on_append(&self, _seq: u64, len: usize) -> Option<alt_store::faults::IoFault> {
+        let u = self.next_f64();
+        if u < self.cfg.torn_write_rate {
+            let keep = (self.next_u64() as usize) % len.max(1);
+            Some(alt_store::faults::IoFault::Torn { keep })
+        } else if u < self.cfg.torn_write_rate + self.cfg.enospc_rate {
+            Some(alt_store::faults::IoFault::Enospc)
+        } else {
+            None
+        }
+    }
+
+    fn on_read(&self, len: usize) -> Option<usize> {
+        if self.next_f64() < self.cfg.partial_read_rate {
+            Some((self.next_u64() as usize) % len.max(1))
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use alt_store::faults::{IoFault, IoFaultHook};
 
     #[test]
     fn uniform_splits_the_rate() {
@@ -200,5 +302,35 @@ mod tests {
     fn zero_rate_never_faults() {
         let mut inj = FaultInjector::new(FaultConfig::uniform(0.0), SharedRng::seed_from_u64(3));
         assert!((0..256).all(|_| inj.draw().is_none()));
+    }
+
+    #[test]
+    fn io_injector_respects_rates_and_bounds() {
+        let inj = IoFaultInjector::new(IoFaultConfig::uniform(0.3, 42));
+        let n = 4000;
+        let mut torn = 0;
+        let mut enospc = 0;
+        for seq in 0..n {
+            match inj.on_append(seq, 64) {
+                Some(IoFault::Torn { keep }) => {
+                    assert!(keep < 64, "torn prefix within the frame: {keep}");
+                    torn += 1;
+                }
+                Some(IoFault::Enospc) => enospc += 1,
+                None => {}
+            }
+        }
+        let rate = (torn + enospc) as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.05, "append fault rate {rate}");
+        let reads = (0..n).filter(|_| inj.on_read(1024).is_some()).count();
+        let rate = reads as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.05, "partial read rate {rate}");
+    }
+
+    #[test]
+    fn io_injector_with_zero_rate_is_a_noop() {
+        let inj = IoFaultInjector::new(IoFaultConfig::uniform(0.0, 9));
+        assert!((0..256).all(|seq| inj.on_append(seq, 64).is_none()));
+        assert!((0..256).all(|_| inj.on_read(64).is_none()));
     }
 }

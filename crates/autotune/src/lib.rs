@@ -27,6 +27,7 @@ pub mod pretrain;
 pub mod rng;
 pub mod space;
 pub mod tuner;
+pub mod winner;
 
 pub use checkpoint::TunerCheckpoint;
 pub use fault::{Fault, FaultConfig, FaultInjector};
@@ -41,3 +42,4 @@ pub use tuner::{
     apply_fixed_layout, base_schedule, tune_graph, FixedLayout, LayoutSearch, TuneConfig,
     TuneResult, Tuner,
 };
+pub use winner::{decode_winner, encode_winner, task_fingerprint, WinnerRecord, WINNER_VERSION};

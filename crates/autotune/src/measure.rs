@@ -172,9 +172,23 @@ impl<'g> Measurer<'g> {
         &self.cache
     }
 
+    /// Attaches the durable result store as the memo cache's warm tier:
+    /// stored measurements skip the simulation, fresh ones are published
+    /// back. Call before the first measurement (the tuner does this at
+    /// construction time) so the store statistics cover the whole run.
+    pub fn attach_store(&self, store: Arc<alt_store::Store>) {
+        self.cache.attach_store(store);
+    }
+
     /// `(hits, misses)` of the measurement cache so far.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache.hits(), self.cache.misses())
+    }
+
+    /// `(hits, misses)` of the durable store so far (zeros when no store
+    /// is attached).
+    pub fn store_stats(&self) -> (u64, u64) {
+        (self.cache.store_hits(), self.cache.store_misses())
     }
 
     /// Lowers only `op`'s fusion group (plus its conversion groups).
@@ -330,6 +344,12 @@ impl<'g> Measurer<'g> {
     /// Flushes the run-level simulator counter registry to the sink.
     /// Call once at the end of a tuning run.
     pub fn flush_counters(&self) {
+        if self.cache.has_store() {
+            self.registry
+                .add("store.hits", self.cache.store_hits() as f64);
+            self.registry
+                .add("store.misses", self.cache.store_misses() as f64);
+        }
         self.registry.flush_to(&self.telemetry);
     }
 

@@ -155,6 +155,15 @@ pub struct TuneConfig {
     /// and never draws from the RNG or consumes budget, so attaching a
     /// journal cannot change a run.
     pub journal: alt_journal::Journal,
+    /// Durable cross-run result store (`altc --store`). When attached,
+    /// measurements are served from / published into the store through
+    /// the memo cache, and a completed run's winner is stored under its
+    /// task fingerprint; a later identical task short-circuits the whole
+    /// search by replaying the stored winner. Attaching a store never
+    /// changes *what* a run computes — winners, transcripts and budgets
+    /// stay bit-identical to store-less runs — only how much simulation
+    /// work it takes to get there.
+    pub store: Option<std::sync::Arc<alt_store::Store>>,
 }
 
 impl Default for TuneConfig {
@@ -185,6 +194,7 @@ impl Default for TuneConfig {
             jobs: 1,
             verify: true,
             journal: alt_journal::Journal::noop(),
+            store: None,
         }
     }
 }
@@ -208,6 +218,15 @@ pub struct TuneResult {
     /// Measurement-cache misses (budgeted measurements that ran the
     /// full performance model).
     pub cache_misses: u64,
+    /// Accounted measurements served from the durable store (0 without a
+    /// store).
+    pub store_hits: u64,
+    /// Accounted measurements the durable store lacked; each was
+    /// simulated and published back (0 without a store).
+    pub store_misses: u64,
+    /// Whether the whole search was short-circuited by a stored winner
+    /// (in which case `measurements == 0` and `history` is empty).
+    pub warm_start: bool,
 }
 
 impl TuneResult {
@@ -328,6 +347,11 @@ impl<'g> Tuner<'g> {
                 measurer.set_injector(Some(FaultInjector::new(fc.clone(), rng.clone())));
             }
         }
+        // The durable store becomes the memo cache's warm tier before
+        // any measurement runs, so the store statistics cover the run.
+        if let Some(store) = &cfg.store {
+            measurer.attach_store(store.clone());
+        }
         Self {
             graph,
             cfg,
@@ -378,6 +402,29 @@ impl<'g> Tuner<'g> {
 
         let telemetry = self.cfg.telemetry.clone();
         let joint_ran = self.cfg.fixed_layout.is_none() && self.cfg.joint_budget > 0;
+
+        // ---- Warm start ----
+        // With a store attached, a completed identical task (same graph,
+        // machine and result-relevant configuration) short-circuits the
+        // whole search: the stored winner's decisions are replayed —
+        // template rebuild, point decode, plan application — exactly
+        // like a checkpoint restore, consuming zero budget. Resumed runs
+        // never warm-start: they continue their own transcript.
+        let task_fp = crate::winner::task_fingerprint(
+            self.graph,
+            self.measurer.sim_cache().profile_fp(),
+            &self.cfg,
+        );
+        if let (Some(store), Some(fp)) = (self.cfg.store.clone(), task_fp) {
+            if self.cfg.resume.is_none() && self.cfg.halt_after.is_none() {
+                let winner = store.get(alt_store::kind::WINNER, fp).and_then(|payload| {
+                    crate::winner::decode_winner(&payload, fp, &graph_signature(self.graph))
+                });
+                if let Some(w) = winner {
+                    return self.replay_winner(&w, plan, sched, &clones_of);
+                }
+            }
+        }
 
         // ---- Resume ----
         // A checkpoint cuts at a joint-stage op boundary or a loop-stage
@@ -523,17 +570,43 @@ impl<'g> Tuner<'g> {
         // so the halted and resumed journals concatenate into exactly
         // the journal an uninterrupted run would have written.
         if !halted {
+            let has_store = self.cfg.store.is_some();
+            let (sh, sm) = self.measurer.store_stats();
             self.cfg
                 .journal
                 .emit(JournalRecord::Summary(JournalSummary {
                     measurements: self.measurer.used,
                     best_latency_s: finite(latency),
+                    store_hits: has_store.then_some(sh),
+                    store_misses: has_store.then_some(sm),
+                    warm_start: has_store.then_some(false),
                 }));
+            // A completed run publishes its winner for future identical
+            // tasks; a halted run does not (its resumed successor will).
+            // A failed publish degrades the store, never the run.
+            if let (Some(store), Some(fp)) = (&self.cfg.store, task_fp) {
+                let record = crate::winner::WinnerRecord {
+                    version: crate::winner::WINNER_VERSION,
+                    graph_sig: graph_signature(self.graph),
+                    task_fp: fp,
+                    seed: self.cfg.seed,
+                    measurements: self.measurer.used,
+                    committed: self.committed.clone(),
+                    sched: (0..self.graph.nodes().len())
+                        .map(|k| SchedSnap::of(&sched.get(OpId(k))))
+                        .collect(),
+                    latency_s: latency,
+                };
+                if let Ok(payload) = crate::winner::encode_winner(&record) {
+                    let _ = store.put(alt_store::kind::WINNER, fp, &payload);
+                }
+            }
         }
         self.cfg.journal.flush();
         self.registry.flush_to(&telemetry);
         self.measurer.flush_counters();
         let (cache_hits, cache_misses) = self.measurer.cache_stats();
+        let (store_hits, store_misses) = self.measurer.store_stats();
         TuneResult {
             plan,
             sched,
@@ -542,6 +615,85 @@ impl<'g> Tuner<'g> {
             measurements: self.measurer.used,
             cache_hits,
             cache_misses,
+            store_hits,
+            store_misses,
+            warm_start: false,
+        }
+    }
+
+    /// Replays a stored winner: rebuilds the layout plan from its
+    /// committed decisions (representatives *and* clones, exactly like a
+    /// checkpoint restore), installs the schedule snapshots, and returns
+    /// a zero-budget result. The replayed configuration re-measures
+    /// (free) and cross-checks the stored latency — a mismatch is
+    /// counted, not fatal: the replayed decisions are still this build's
+    /// ground truth.
+    fn replay_winner(
+        self,
+        w: &crate::winner::WinnerRecord,
+        mut plan: LayoutPlan,
+        mut sched: GraphSchedule,
+        clones_of: &HashMap<OpId, Vec<OpId>>,
+    ) -> TuneResult {
+        for c in &w.committed {
+            let op = OpId(c.op);
+            let mut targets = vec![op];
+            if let Some(clones) = clones_of.get(&op) {
+                targets.extend(clones.iter().copied());
+            }
+            for t in targets {
+                if let Some(tmpl) = build_layout_template(self.graph, t, self.cfg.levels) {
+                    if let Ok(dec) = decode_layout_point(self.graph, &tmpl, &c.point) {
+                        apply_layout_decision(
+                            self.graph,
+                            &mut plan,
+                            t,
+                            &dec,
+                            self.cfg.free_input_layouts,
+                        );
+                    }
+                }
+            }
+        }
+        for (k, snap) in w.sched.iter().enumerate() {
+            sched.set(OpId(k), snap.to_sched());
+        }
+        let latency = self.measurer.measure_graph_free(&plan, &sched);
+        if latency.to_bits() != w.latency_s.to_bits() {
+            self.registry.add("store.winner_mismatch", 1.0);
+        }
+        // The journal still records the (trivial) run, so downstream
+        // consumers always find a header and a summary.
+        self.cfg.journal.emit(JournalRecord::Header(JournalHeader {
+            version: JOURNAL_VERSION,
+            seed: self.cfg.seed,
+            profile_fp: self.measurer.sim_cache().profile_fp(),
+            joint_budget: self.cfg.joint_budget,
+            loop_budget: self.cfg.loop_budget,
+        }));
+        self.cfg
+            .journal
+            .emit(JournalRecord::Summary(JournalSummary {
+                measurements: 0,
+                best_latency_s: finite(latency),
+                store_hits: Some(0),
+                store_misses: Some(0),
+                warm_start: Some(true),
+            }));
+        self.cfg.journal.flush();
+        self.registry.flush_to(&self.cfg.telemetry);
+        self.measurer.flush_counters();
+        TuneResult {
+            plan,
+            sched,
+            latency,
+            history: Vec::new(),
+            measurements: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            store_hits: 0,
+            store_misses: 0,
+            warm_start: true,
         }
     }
 

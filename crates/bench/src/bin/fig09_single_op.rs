@@ -33,6 +33,7 @@ fn alt_tune(
     budget: u64,
     seed: u64,
     journal: alt_journal::Journal,
+    store: Option<std::sync::Arc<alt_store::Store>>,
 ) -> TuneResult {
     // Paper split: 300/700 of 1000 => 30%/70%.
     let joint = (budget as f64 * 0.3) as u64;
@@ -43,6 +44,7 @@ fn alt_tune(
         seed,
         jobs: alt_bench::jobs(),
         journal,
+        store,
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -73,6 +75,7 @@ fn main() {
     );
     let cases = single_op_cases(n_cfg, 2023);
     let mut report = BenchReport::new("fig09");
+    let store = alt_bench::store_from_env();
     let mut ot_observations: Vec<(String, i64, u32)> = Vec::new();
 
     for profile in alt_bench::platforms() {
@@ -82,6 +85,8 @@ fn main() {
         let mut alt_lats: Vec<f64> = Vec::new();
         let mut alt_wall = 0.0f64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let (mut store_hits, mut store_misses) = (0u64, 0u64);
+        let mut warm_starts = 0u64;
         let mut jstats = alt_bench::JournalStats::new();
         for case in &cases {
             let g = &case.graph;
@@ -102,7 +107,7 @@ fn main() {
             lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
             let (journal, jsink) = alt_journal::Journal::memory();
             let t0 = std::time::Instant::now();
-            let alt = alt_tune(g, profile, budget, 1, journal);
+            let alt = alt_tune(g, profile, budget, 1, journal, store.clone());
             alt_wall += t0.elapsed().as_secs_f64();
             jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
@@ -113,6 +118,9 @@ fn main() {
             );
             cache_hits += alt.cache_hits;
             cache_misses += alt.cache_misses;
+            store_hits += alt.store_hits;
+            store_misses += alt.store_misses;
+            warm_starts += u64::from(alt.warm_start);
             report.note_run(alt.measurements, alt.latency);
             alt_lats.push(alt.latency);
             lats.insert("ALT".into(), alt.latency);
@@ -175,6 +183,29 @@ fn main() {
         );
         report.note_metric(format!("{}/tune_wall_s", profile.name), alt_wall);
         report.note_metric(format!("{}/cache_hit_rate", profile.name), hit_rate);
+        // Durable-store effectiveness (only with ALT_STORE set): rerun
+        // with the same store to warm-start every case and compare the
+        // cold-vs-warm tune_wall_s pair.
+        if store.is_some() {
+            let store_lookups = store_hits + store_misses;
+            let store_rate = if store_lookups > 0 {
+                store_hits as f64 / store_lookups as f64
+            } else {
+                0.0
+            };
+            println!(
+                "ALT durable store on {}: {warm_starts}/{} warm starts; \
+                 measurement hit rate {:.1}% ({store_hits}/{store_lookups})",
+                profile.name,
+                cases.len(),
+                store_rate * 100.0
+            );
+            report.note_metric(format!("{}/store_hit_rate", profile.name), store_rate);
+            report.note_metric(
+                format!("{}/store_warm_starts", profile.name),
+                warm_starts as f64,
+            );
+        }
         jstats.finish(&mut report, "fig09", profile.name);
     }
 

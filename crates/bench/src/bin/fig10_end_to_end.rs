@@ -31,6 +31,7 @@ fn alt_full_e2e(
     budget: u64,
     seed: u64,
     journal: alt_journal::Journal,
+    store: Option<std::sync::Arc<alt_store::Store>>,
 ) -> alt_autotune::tuner::TuneResult {
     // Paper split: 8000/12000 of 20000 => 40%/60%.
     let joint = (budget as f64 * 0.4) as u64;
@@ -42,6 +43,7 @@ fn alt_full_e2e(
         seed,
         jobs: alt_bench::jobs(),
         journal,
+        store,
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -93,6 +95,7 @@ fn main() {
     let budget = scaled(600);
     println!("Fig. 10 reproduction: end-to-end inference (budget {budget}/network)");
     let mut report = BenchReport::new("fig10");
+    let store = alt_bench::store_from_env();
     // Winning-schedule cost attribution of the first network per
     // platform, embedded in the JSON envelope.
     let mut profiles = serde_json::Map::default();
@@ -110,6 +113,8 @@ fn main() {
         let mut names = Vec::new();
         let mut alt_wall = 0.0f64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        let (mut store_hits, mut store_misses) = (0u64, 0u64);
+        let mut warm_starts = 0u64;
         let mut jstats = alt_bench::JournalStats::new();
         for (name, g) in workloads(&profile) {
             let mut lats: HashMap<String, f64> = HashMap::new();
@@ -125,7 +130,7 @@ fn main() {
             lats.insert("Ansor".into(), ansor_like(&g, profile, budget, 1).latency);
             let (journal, jsink) = alt_journal::Journal::memory();
             let t0 = std::time::Instant::now();
-            let alt = alt_full_e2e(&g, profile, budget, 1, journal);
+            let alt = alt_full_e2e(&g, profile, budget, 1, journal, store.clone());
             alt_wall += t0.elapsed().as_secs_f64();
             jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
@@ -136,6 +141,9 @@ fn main() {
             );
             cache_hits += alt.cache_hits;
             cache_misses += alt.cache_misses;
+            store_hits += alt.store_hits;
+            store_misses += alt.store_misses;
+            warm_starts += u64::from(alt.warm_start);
             report.note_run(alt.measurements, alt.latency);
             if per_case.is_empty() {
                 let program = alt_loopir::lower(&g, &alt.plan, &alt.sched);
@@ -216,6 +224,30 @@ fn main() {
         );
         report.note_metric(format!("{}/tune_wall_s", profile.name), alt_wall);
         report.note_metric(format!("{}/cache_hit_rate", profile.name), hit_rate);
+        // Durable-store effectiveness (only with ALT_STORE set): a cold
+        // pass records ~0% hit rate; rerunning with the same store
+        // warm-starts every network, and the cold-vs-warm tune_wall_s
+        // pair is the store's headline saving.
+        if store.is_some() {
+            let n = workloads(&profile).len() as u64;
+            let store_lookups = store_hits + store_misses;
+            let store_rate = if store_lookups > 0 {
+                store_hits as f64 / store_lookups as f64
+            } else {
+                0.0
+            };
+            println!(
+                "ALT durable store on {}: {warm_starts}/{n} warm starts; \
+                 measurement hit rate {:.1}% ({store_hits}/{store_lookups})",
+                profile.name,
+                store_rate * 100.0
+            );
+            report.note_metric(format!("{}/store_hit_rate", profile.name), store_rate);
+            report.note_metric(
+                format!("{}/store_warm_starts", profile.name),
+                warm_starts as f64,
+            );
+        }
         jstats.finish(&mut report, "fig10", profile.name);
     }
     report.set_profile(serde_json::Value::Object(profiles));

@@ -112,6 +112,23 @@ pub fn jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Opens the durable tuning store named by `ALT_STORE`, if any.
+/// An unopenable store (foreign file, held writer lock, incompatible
+/// version) degrades to a warning: benchmarks never fail over their
+/// warm tier. Rerunning a figure with the same `ALT_STORE` warm-starts
+/// every already-tuned task, which is how the cold-vs-warm wall-clock
+/// comparison in the store-smoke CI job is produced.
+pub fn store_from_env() -> Option<std::sync::Arc<alt_store::Store>> {
+    let path = std::env::var("ALT_STORE").ok().filter(|s| !s.is_empty())?;
+    match alt_store::Store::open(std::path::Path::new(&path)) {
+        Ok(s) => Some(std::sync::Arc::new(s)),
+        Err(e) => {
+            eprintln!("warning: {e}; continuing without a tuning store");
+            None
+        }
+    }
+}
+
 /// Formats a latency in adaptive units.
 pub fn fmt_latency(seconds: f64) -> String {
     if seconds >= 1e-3 {

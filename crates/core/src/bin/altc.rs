@@ -21,6 +21,11 @@
 //! altc verify --model r18 --json
 //! altc verify --model mv2 --budget 32
 //! altc verify --presets
+//! altc --model r18 --budget 64 --store tune.altstore
+//! altc store stats tune.altstore
+//! altc store verify tune.altstore --json
+//! altc store gc tune.altstore
+//! altc store export tune.altstore
 //! ```
 
 use alt_core::{CompileOptions, Compiler, JsonlSink};
@@ -44,6 +49,7 @@ struct Args {
     resume: Option<String>,
     jobs: usize,
     no_verify: bool,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         resume: None,
         jobs: 1,
         no_verify: false,
+        store: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -113,12 +120,17 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-verify" => args.no_verify = true,
+            "--store" => args.store = Some(value("--store")?),
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    // `--store` beats the environment; an empty ALT_STORE means "off".
+    if args.store.is_none() {
+        args.store = std::env::var("ALT_STORE").ok().filter(|s| !s.is_empty());
     }
     Ok(args)
 }
@@ -163,6 +175,12 @@ OPTIONS:
         --no-verify          skip the static pre-simulation verifier (layout
                              legality, IR well-formedness, race detection)
                              when filtering tuning candidates
+        --store <PATH>       durable tuning store: measurements are served
+                             from (and published to) this crash-safe segment
+                             file, and a finished run stores its winner so an
+                             identical later run warm-starts without spending
+                             any budget; also read from the ALT_STORE
+                             environment variable (flag wins)
     -h, --help               this message
 
 SUBCOMMANDS:
@@ -183,7 +201,13 @@ SUBCOMMANDS:
     verify [OPTIONS]         statically verify a compiled model (or the
                              layout preset library with --presets) and
                              report every diagnostic; exits non-zero if
-                             any is found; `altc verify --help` for options"
+                             any is found; `altc verify --help` for options
+    store <CMD> <PATH>       inspect and maintain a durable tuning store:
+                             `stats` (record/byte counts and recovery
+                             summary), `verify` (deep frame-by-frame check,
+                             exits 1 on corruption), `gc` (compact and drop
+                             the quarantine file), `export` (JSONL record
+                             dump); all accept --json"
     );
 }
 
@@ -606,6 +630,227 @@ fn run_verify(rest: &[String]) -> i32 {
     i32::from(!diags.is_empty())
 }
 
+/// `altc store <stats|verify|gc|export> <PATH> [--json]`: inspect and
+/// maintain a durable tuning store without running a compile.
+fn run_store(rest: &[String]) -> i32 {
+    const USAGE: &str = "usage: altc store <stats|verify|gc|export> <STORE> [--json]";
+    let mut cmd: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for a in rest {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "{USAGE}\n\n\
+                     stats    record counts per kind, payload/file/quarantine bytes,\n\
+                     \x20        and what recovery found when the store was opened\n\
+                     verify   deep frame-by-frame integrity check (header, lengths,\n\
+                     \x20        checksums); exits 1 when any corruption is found\n\
+                     gc       rewrite the segment to drop superseded bytes and\n\
+                     \x20        remove the quarantine file\n\
+                     export   dump every record as one JSON object per line\n\
+                     \n\
+                     The store path can also come from the ALT_STORE environment\n\
+                     variable when the positional argument is omitted."
+                );
+                return 0;
+            }
+            other if !other.starts_with('-') && cmd.is_none() => cmd = Some(other.to_string()),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return 2;
+            }
+        }
+    }
+    let Some(cmd) = cmd else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let path = path.or_else(|| std::env::var("ALT_STORE").ok().filter(|s| !s.is_empty()));
+    let Some(path) = path else {
+        eprintln!("error: no store path (pass one or set ALT_STORE)");
+        return 2;
+    };
+    let p = std::path::Path::new(&path);
+
+    match cmd.as_str() {
+        "stats" => {
+            let store = match alt_store::Store::open_readonly(p) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let s = store.stats();
+            if json {
+                let record = serde_json::json!({
+                    "path": path,
+                    "records": s.records,
+                    "measurements": s.measurements,
+                    "winners": s.winners,
+                    "unknown": s.unknown,
+                    "payload_bytes": s.payload_bytes,
+                    "file_bytes": s.file_bytes,
+                    "quarantine_bytes": s.quarantine_bytes,
+                    "recovery": serde_json::json!({
+                        "valid_records": s.recovery.valid_records,
+                        "corrupt_events": s.recovery.corrupt_events,
+                        "quarantined_bytes": s.recovery.quarantined_bytes,
+                        "pending_tail_bytes": s.recovery.pending_tail_bytes,
+                        "corruption": s.recovery.corruption.map(|c| c.to_string()),
+                    }),
+                });
+                println!("{}", serde_json::to_string_pretty(&record).unwrap());
+            } else {
+                println!("{path}:");
+                println!(
+                    "  {} records ({} measurements, {} winners{})",
+                    s.records,
+                    s.measurements,
+                    s.winners,
+                    if s.unknown > 0 {
+                        format!(", {} unknown", s.unknown)
+                    } else {
+                        String::new()
+                    }
+                );
+                println!(
+                    "  {} payload bytes in a {}-byte segment",
+                    s.payload_bytes, s.file_bytes
+                );
+                match s.recovery.corruption {
+                    Some(c) => println!(
+                        "  recovery: {} valid records kept, {} tail bytes pending ({c})",
+                        s.recovery.valid_records, s.recovery.pending_tail_bytes
+                    ),
+                    None => println!("  recovery: clean"),
+                }
+                if s.quarantine_bytes > 0 {
+                    println!(
+                        "  quarantine: {} bytes (drop with `altc store gc`)",
+                        s.quarantine_bytes
+                    );
+                }
+            }
+            0
+        }
+        "verify" => {
+            let r = match alt_store::verify_path(p) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let clean = r.clean();
+            if json {
+                let record = serde_json::json!({
+                    "path": path,
+                    "ok": clean,
+                    "header": format!("{:?}", r.header),
+                    "valid_records": r.valid_records,
+                    "valid_bytes": r.valid_bytes,
+                    "tail_bytes": r.tail_bytes,
+                    "corruption": r.corruption.map(|c| c.to_string()),
+                    "quarantine_bytes": r.quarantine_bytes,
+                });
+                println!("{}", serde_json::to_string_pretty(&record).unwrap());
+            } else if clean {
+                println!(
+                    "{path}: ok ({} records, {} bytes)",
+                    r.valid_records, r.valid_bytes
+                );
+            } else {
+                println!(
+                    "{path}: {} valid records ({} bytes), then {} corrupt tail bytes{}",
+                    r.valid_records,
+                    r.valid_bytes,
+                    r.tail_bytes,
+                    r.corruption.map(|c| format!(" ({c})")).unwrap_or_default()
+                );
+                println!("  a writer open will quarantine the tail and continue");
+            }
+            i32::from(!clean)
+        }
+        "gc" => {
+            let store = match alt_store::Store::open(p) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            match store.gc() {
+                Ok(g) => {
+                    if json {
+                        let record = serde_json::json!({
+                            "path": path,
+                            "records": g.records,
+                            "bytes_before": g.bytes_before,
+                            "bytes_after": g.bytes_after,
+                            "quarantine_removed": g.quarantine_removed,
+                        });
+                        println!("{}", serde_json::to_string_pretty(&record).unwrap());
+                    } else {
+                        println!(
+                            "{path}: {} records, {} -> {} bytes, {} quarantine bytes removed",
+                            g.records, g.bytes_before, g.bytes_after, g.quarantine_removed
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    2
+                }
+            }
+        }
+        "export" => {
+            let store = match alt_store::Store::open_readonly(p) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            for r in store.records() {
+                let decoded = match r.kind {
+                    alt_store::kind::MEASUREMENT => alt_sim::decode_measurement(&r.payload).map(
+                        |(profile_fp, program_fp, c)| {
+                            serde_json::json!({
+                                "profile_fp": format!("{profile_fp:016x}"),
+                                "program_fp": format!("{program_fp:016x}"),
+                                "latency_s": c.latency_s,
+                                "instructions": c.instructions,
+                                "flops": c.flops,
+                            })
+                        },
+                    ),
+                    alt_store::kind::WINNER => std::str::from_utf8(&r.payload)
+                        .ok()
+                        .and_then(|t| serde_json::from_str::<serde_json::Value>(t).ok()),
+                    _ => None,
+                };
+                let record = serde_json::json!({
+                    "kind": alt_store::kind::name(r.kind),
+                    "key": format!("{:016x}", r.key),
+                    "payload_bytes": r.payload.len(),
+                    "decoded": decoded,
+                });
+                println!("{}", serde_json::to_string(&record).unwrap());
+            }
+            0
+        }
+        other => {
+            eprintln!("error: unknown store command `{other}` (try --help)");
+            2
+        }
+    }
+}
+
 fn build_model(name: &str, batch: i64) -> Result<Graph, String> {
     Ok(match name {
         "r18" | "resnet18" => resnet18(batch),
@@ -639,6 +884,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("verify") {
         std::process::exit(run_verify(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("store") {
+        std::process::exit(run_store(&argv[1..]));
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -690,6 +938,7 @@ fn main() {
         jobs: args.jobs,
         verify: !args.no_verify,
         journal: args.journal.clone(),
+        store: args.store.clone(),
         ..CompileOptions::default()
     });
     if let Some(path) = &args.trace {
@@ -722,6 +971,9 @@ fn main() {
             "unoptimized_latency_ms": unopt.estimated_latency() * 1e3,
             "speedup": unopt.estimated_latency() / compiled.estimated_latency(),
             "compile_wall_s": wall.as_secs_f64(),
+            "warm_start": compiled.warm_start(),
+            "store_hits": compiled.store_stats().0,
+            "store_misses": compiled.store_stats().1,
         });
         println!("{}", serde_json::to_string_pretty(&record).unwrap());
     } else {
@@ -733,6 +985,14 @@ fn main() {
             unopt.estimated_latency() / compiled.estimated_latency(),
             wall
         );
+    }
+    if let Some(path) = &args.store {
+        if compiled.warm_start() {
+            eprintln!("warm start: winner replayed from store {path} (0 measurements)");
+        } else {
+            let (hits, misses) = compiled.store_stats();
+            eprintln!("store {path}: {hits} hits, {misses} misses; inspect with `altc store stats {path}`");
+        }
     }
     if let Some(path) = &args.trace {
         eprintln!("trace written to {path}; inspect with `altc report {path}`");

@@ -90,6 +90,13 @@ pub struct CompileOptions {
     /// the finished file reads as one uninterrupted run. Inspect with
     /// `altc inspect <path>`.
     pub journal: Option<String>,
+    /// Path to a durable tuning store. Measurements hit the store before
+    /// the simulator, and a completed run publishes its winner; a later
+    /// compile of the same task short-circuits to the stored winner
+    /// without spending any budget. A store that cannot be opened (bad
+    /// magic, incompatible version, held writer lock) degrades to a
+    /// warning — compilation proceeds store-less rather than failing.
+    pub store: Option<String>,
 }
 
 impl Default for CompileOptions {
@@ -111,6 +118,7 @@ impl Default for CompileOptions {
             jobs: 1,
             verify: true,
             journal: None,
+            store: None,
         }
     }
 }
@@ -169,13 +177,37 @@ impl Compiler {
                 .expect("checkpoint does not match this graph/seed");
             ck
         });
+        // Observability plumbing must never kill a compile: a journal
+        // that cannot be opened degrades to a warning and a no-op sink.
         let journal = match &o.journal {
-            Some(path) if resume.is_some() => {
-                alt_journal::Journal::jsonl_append(path).expect("opening journal for append")
+            Some(path) => {
+                let opened = if resume.is_some() {
+                    alt_journal::Journal::jsonl_append(path)
+                } else {
+                    alt_journal::Journal::jsonl(path)
+                };
+                opened.unwrap_or_else(|e| {
+                    let err = alt_error::AltError::Journal {
+                        detail: format!("cannot open {path}: {e}"),
+                    };
+                    eprintln!("warning: {err}; continuing without a journal");
+                    alt_journal::Journal::noop()
+                })
             }
-            Some(path) => alt_journal::Journal::jsonl(path).expect("creating journal"),
             None => alt_journal::Journal::noop(),
         };
+        // Same contract for the durable store: open failures (foreign
+        // file, incompatible version, held writer lock) cost the warm
+        // tier, not the compilation.
+        let store = o.store.as_ref().and_then(|path| {
+            match alt_store::Store::open(std::path::Path::new(path)) {
+                Ok(s) => Some(std::sync::Arc::new(s)),
+                Err(e) => {
+                    eprintln!("warning: {e}; continuing without a tuning store");
+                    None
+                }
+            }
+        });
         let cfg = TuneConfig {
             joint_budget: o.joint_budget,
             loop_budget: o.loop_budget,
@@ -194,6 +226,7 @@ impl Compiler {
             jobs: o.jobs,
             verify: o.verify,
             journal,
+            store,
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);
@@ -218,6 +251,9 @@ impl Compiler {
             measurements: result.measurements,
             history: result.history.clone(),
             run_summary,
+            warm_start: result.warm_start,
+            store_hits: result.store_hits,
+            store_misses: result.store_misses,
         }
     }
 
@@ -243,6 +279,9 @@ impl Compiler {
                 best_latency_s: estimated_latency,
                 wall_s: 0.0,
             },
+            warm_start: false,
+            store_hits: 0,
+            store_misses: 0,
         }
     }
 }
@@ -258,6 +297,9 @@ pub struct CompiledGraph {
     measurements: u64,
     history: Vec<(u64, f64)>,
     run_summary: RunSummaryRecord,
+    warm_start: bool,
+    store_hits: u64,
+    store_misses: u64,
 }
 
 impl CompiledGraph {
@@ -284,6 +326,18 @@ impl CompiledGraph {
     /// Tuning history: (budget used, measured latency).
     pub fn history(&self) -> &[(u64, f64)] {
         &self.history
+    }
+
+    /// Whether this compile short-circuited to a stored winner instead
+    /// of searching (always `false` without a tuning store).
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// Durable-store measurement traffic during tuning: `(hits, misses)`.
+    /// Zero on both counts when no store was attached.
+    pub fn store_stats(&self) -> (u64, u64) {
+        (self.store_hits, self.store_misses)
     }
 
     /// The telemetry run summary for the compilation that produced this
@@ -530,6 +584,74 @@ mod tests {
         assert_eq!(rejections, 0, "legal candidates must never be rejected");
         // The final artifact passes its own verifier.
         assert!(on.verify().is_empty());
+    }
+
+    #[test]
+    fn unopenable_journal_degrades_to_journal_less_compile() {
+        // Satellite of the durable-store PR: a journal path in a
+        // directory that does not exist must not kill the compile — it
+        // warns and continues with a no-op sink.
+        let (g, _) = sample_graph();
+        let bad = std::env::temp_dir()
+            .join("alt-core-no-such-dir")
+            .join("nested")
+            .join("run.jsonl");
+        let compiler = Compiler::new(intel_cpu()).with_options(CompileOptions {
+            joint_budget: 8,
+            loop_budget: 8,
+            free_input_layouts: true,
+            journal: Some(bad.to_string_lossy().into_owned()),
+            ..CompileOptions::default()
+        });
+        let compiled = compiler.compile(&g);
+        assert!(compiled.estimated_latency() > 0.0);
+        assert!(!bad.exists());
+    }
+
+    #[test]
+    fn store_warm_start_reproduces_cold_compile_bit_for_bit() {
+        let (g, _) = sample_graph();
+        let dir = std::env::temp_dir().join(format!("alt-core-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("tune.altstore");
+        let options = CompileOptions {
+            joint_budget: 12,
+            loop_budget: 12,
+            free_input_layouts: true,
+            seed: 11,
+            store: Some(path.to_string_lossy().into_owned()),
+            ..CompileOptions::default()
+        };
+        let cold = Compiler::new(intel_cpu())
+            .with_options(options.clone())
+            .compile(&g);
+        assert!(!cold.warm_start());
+        let (hits, misses) = cold.store_stats();
+        assert_eq!(hits, 0, "first run over an empty store cannot hit");
+        assert!(misses > 0, "every simulated measurement is a store miss");
+        let warm = Compiler::new(intel_cpu()).with_options(options).compile(&g);
+        assert!(warm.warm_start(), "identical task must replay the winner");
+        assert_eq!(warm.measurements(), 0, "a warm start spends no budget");
+        assert_eq!(
+            cold.estimated_latency().to_bits(),
+            warm.estimated_latency().to_bits()
+        );
+        // Reports match except the header line (the warm run spends no
+        // measurements, and the report says so).
+        let body = |r: &CompiledGraph| {
+            let full = r.report();
+            full.split_once('\n').map(|(_, rest)| rest.to_owned())
+        };
+        assert_eq!(body(&cold), body(&warm));
+        // The replayed artifact executes correctly.
+        let bindings = random_bindings(&g, 0);
+        let got = warm.run(&bindings);
+        let want = run_graph(&g, &bindings);
+        for (k, buf) in want.iter().enumerate() {
+            let id = alt_tensor::TensorId(k);
+            assert!(buf.max_abs_diff(&got[&id]) < 1e-3);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

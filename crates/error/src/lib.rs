@@ -57,6 +57,22 @@ pub enum AltError {
         /// Human-readable failure description.
         detail: String,
     },
+    /// The search journal could not be opened or written. Journal
+    /// errors are always survivable — the run degrades to journal-less
+    /// operation (a warning plus a no-op sink) rather than aborting.
+    Journal {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// The durable tuning store failed: lock contention, an
+    /// incompatible or unreadable segment file, or a (possibly
+    /// injected) I/O failure while appending a record. Store errors are
+    /// always survivable — the tuner degrades to store-less operation
+    /// rather than aborting a run.
+    Store {
+        /// Human-readable failure description.
+        detail: String,
+    },
     /// A static-verification pass rejected the program, layout plan or
     /// schedule. `code` is one of the stable diagnostic codes in
     /// [`codes`], so telemetry, tests and CI can match on it without
@@ -127,6 +143,8 @@ impl AltError {
             AltError::MeasureTimeout { .. } => "timeout",
             AltError::Checkpoint { .. } => "checkpoint",
             AltError::Injector { .. } => "injector",
+            AltError::Journal { .. } => "journal",
+            AltError::Store { .. } => "store",
             AltError::Verify { .. } => "verify",
         }
     }
@@ -168,6 +186,8 @@ impl fmt::Display for AltError {
             }
             AltError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             AltError::Injector { detail } => write!(f, "fault injector error: {detail}"),
+            AltError::Journal { detail } => write!(f, "journal error: {detail}"),
+            AltError::Store { detail } => write!(f, "store error: {detail}"),
             AltError::Verify { code, detail } => write!(f, "verify error [{code}]: {detail}"),
         }
     }
@@ -199,6 +219,8 @@ mod tests {
             ),
             (AltError::Checkpoint { detail: "x".into() }, "checkpoint"),
             (AltError::Injector { detail: "x".into() }, "injector"),
+            (AltError::Journal { detail: "x".into() }, "journal"),
+            (AltError::Store { detail: "x".into() }, "store"),
             (
                 AltError::Verify {
                     code: codes::V007_PAD_UNDERCOVERS,
@@ -229,6 +251,13 @@ mod tests {
         // not hardware flakiness: retrying would draw fresh RNG state and
         // desynchronize the deterministic transcript.
         assert!(!AltError::Injector { detail: "x".into() }.is_transient());
+        // A store failure makes the run degrade to store-less operation;
+        // retrying the same append against a full or torn disk would
+        // just fail again.
+        assert!(!AltError::Store { detail: "x".into() }.is_transient());
+        // A journal that refuses to open will keep refusing; the run
+        // continues journal-less instead of retrying.
+        assert!(!AltError::Journal { detail: "x".into() }.is_transient());
         // A statically-rejected program stays rejected.
         assert!(!AltError::Verify {
             code: codes::V009_PAR_RACE,

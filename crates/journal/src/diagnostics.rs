@@ -657,6 +657,9 @@ mod tests {
             JournalRecord::Summary(JournalSummary {
                 measurements: 6,
                 best_latency_s: Some(1.0),
+                store_hits: None,
+                store_misses: None,
+                warm_start: None,
             }),
         ]
     }

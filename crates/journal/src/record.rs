@@ -141,12 +141,59 @@ pub struct LayoutCommitRecord {
 
 /// Final record of a run that finished (halted runs end without one, so
 /// `halted journal + resumed journal == uninterrupted journal`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// The store fields are optional *on the wire*, not just in the struct:
+/// a store-less run serializes without them (bit-identical to journals
+/// predating the durable store), and missing fields parse as `None` —
+/// no version bump needed. Hence the hand-written impls below.
+#[derive(Clone, Debug, PartialEq)]
 pub struct JournalSummary {
     /// Budget units actually consumed.
     pub measurements: u64,
     /// Final best end-to-end latency in seconds, when finite.
     pub best_latency_s: Option<f64>,
+    /// Durable-store lookups served without simulating (absent for
+    /// store-less runs and for journals predating the store).
+    pub store_hits: Option<u64>,
+    /// Durable-store lookups that simulated and published.
+    pub store_misses: Option<u64>,
+    /// `true` when the run replayed a stored winner instead of
+    /// searching (a warm start consumes zero budget).
+    pub warm_start: Option<bool>,
+}
+
+impl Serialize for JournalSummary {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("measurements".to_string(), self.measurements.to_value()),
+            ("best_latency_s".to_string(), self.best_latency_s.to_value()),
+        ];
+        if let Some(h) = self.store_hits {
+            fields.push(("store_hits".to_string(), h.to_value()));
+        }
+        if let Some(m) = self.store_misses {
+            fields.push(("store_misses".to_string(), m.to_value()));
+        }
+        if let Some(w) = self.warm_start {
+            fields.push(("warm_start".to_string(), serde::Value::Bool(w)));
+        }
+        serde::Value::Object(fields.into())
+    }
+}
+
+impl Deserialize for JournalSummary {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            measurements: v
+                .get("measurements")
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| serde::Error::missing_field("measurements"))?,
+            best_latency_s: v.get("best_latency_s").and_then(|x| x.as_f64()),
+            store_hits: v.get("store_hits").and_then(|x| x.as_u64()),
+            store_misses: v.get("store_misses").and_then(|x| x.as_u64()),
+            warm_start: v.get("warm_start").and_then(|x| x.as_bool()),
+        })
+    }
 }
 
 /// Any journal record. Serialized as the payload plus a `type` tag.
@@ -279,6 +326,9 @@ mod tests {
             JournalRecord::Summary(JournalSummary {
                 measurements: 32,
                 best_latency_s: Some(9.5e-4),
+                store_hits: Some(12),
+                store_misses: Some(20),
+                warm_start: Some(false),
             }),
         ];
         for r in &records {
@@ -309,6 +359,39 @@ mod tests {
             JournalRecord::Header(h) => assert_eq!(h.profile_fp, u64::MAX),
             other => panic!("wrong variant {other:?}"),
         }
+    }
+
+    #[test]
+    fn summary_store_fields_are_optional_on_the_wire() {
+        // A journal written before the durable store parses with the
+        // store fields absent...
+        let old = r#"{"type":"summary","measurements":8,"best_latency_s":null}"#;
+        let back: JournalRecord = serde_json::from_str(old).expect("old summary parses");
+        match &back {
+            JournalRecord::Summary(s) => {
+                assert_eq!(s.measurements, 8);
+                assert_eq!(s.store_hits, None);
+                assert_eq!(s.store_misses, None);
+                assert_eq!(s.warm_start, None);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        // ...and a store-less run serializes bit-identically to one:
+        // no store keys on the wire at all.
+        let line = serde_json::to_string(&back).expect("serializes");
+        assert!(!line.contains("store_hits"), "{line}");
+        assert!(!line.contains("warm_start"), "{line}");
+        // A store-attached run's summary round-trips its counters.
+        let with_store = JournalRecord::Summary(JournalSummary {
+            measurements: 8,
+            best_latency_s: Some(2e-3),
+            store_hits: Some(5),
+            store_misses: Some(3),
+            warm_start: Some(true),
+        });
+        let line = serde_json::to_string(&with_store).expect("serializes");
+        let again: JournalRecord = serde_json::from_str(&line).expect("parses");
+        assert_eq!(with_store, again);
     }
 
     #[test]

@@ -233,6 +233,9 @@ mod tests {
         j.emit(JournalRecord::Summary(JournalSummary {
             measurements: 9,
             best_latency_s: None,
+            store_hits: None,
+            store_misses: None,
+            warm_start: None,
         }));
         let records = sink.records();
         assert_eq!(records.len(), 2);
@@ -253,6 +256,9 @@ mod tests {
             j.emit(JournalRecord::Summary(JournalSummary {
                 measurements: 5,
                 best_latency_s: Some(0.25),
+                store_hits: None,
+                store_misses: None,
+                warm_start: None,
             }));
             j.flush();
         }

@@ -29,7 +29,10 @@ pub use breakdown::{
     Roofline,
 };
 pub use cache::{CacheSim, CacheStats};
-pub use memo::{compose_cache_key, profile_fingerprint, SimCache};
+pub use memo::{
+    compose_cache_key, decode_measurement, encode_measurement, profile_fingerprint, SimCache,
+    MEASUREMENT_PAYLOAD_LEN,
+};
 pub use profiles::{
     all_profiles, arm_cpu, intel_cpu, nvidia_gpu, CacheLevel, MachineKind, MachineProfile,
 };

@@ -24,10 +24,25 @@
 //! input of the pure simulation (program structure + machine profile),
 //! so an entry can never go stale. A new layout, schedule, fusion
 //! decision, or machine profile produces a new key instead.
+//!
+//! With a durable [`Store`] attached (PR 7), the cache additionally
+//! consults the store before simulating and publishes fresh results into
+//! it — turning the in-memory memo table into the warm tier of a
+//! cross-run cache. The store changes *what work happens* (a stored
+//! result skips the simulation) but never *what the run records*: the
+//! hit/miss transcript, every returned `Counters`, and the store's own
+//! hit/miss statistics are all accounted exclusively inside
+//! [`SimCache::try_profile`], so they are bit-identical for `--jobs 1`
+//! and `--jobs N`, with or without prewarming, cold store or warm.
+//! Store *appends* likewise happen only on the sequential accounting
+//! path (the first budgeted lookup of each entry), so two identical runs
+//! write byte-identical segments.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use alt_store::{kind, Store};
 
 use alt_error::AltError;
 use alt_loopir::hash::Fnv1a;
@@ -83,6 +98,77 @@ fn hash_level(h: &mut Fnv1a, l: &CacheLevel) {
     h.f64(l.bytes_per_cycle);
 }
 
+/// Bytes of an encoded measurement payload: profile fingerprint +
+/// program fingerprint + the ten `Counters` fields, all little-endian
+/// 64-bit (floats by bit pattern, so the round-trip is bit-exact).
+pub const MEASUREMENT_PAYLOAD_LEN: usize = 12 * 8;
+
+/// Encodes a measurement for the durable store: the fingerprint pair the
+/// composed key was built from (stored so lookups can reject hash
+/// collisions and `altc store export` can attribute records) followed by
+/// the simulator counters.
+pub fn encode_measurement(profile_fp: u64, program_fp: u64, c: &Counters) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MEASUREMENT_PAYLOAD_LEN);
+    out.extend_from_slice(&profile_fp.to_le_bytes());
+    out.extend_from_slice(&program_fp.to_le_bytes());
+    for v in [
+        c.instructions,
+        c.flops,
+        c.l1_loads,
+        c.l1_stores,
+        c.l1_misses,
+        c.l2_misses,
+        c.prefetch_issued,
+        c.prefetch_useful,
+        c.simd_weighted,
+        c.latency_s,
+    ] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a stored measurement payload back into
+/// `(profile_fp, program_fp, counters)`. Returns `None` on any size
+/// mismatch — a foreign or truncated payload is treated as a store miss,
+/// never an error.
+pub fn decode_measurement(bytes: &[u8]) -> Option<(u64, u64, Counters)> {
+    if bytes.len() != MEASUREMENT_PAYLOAD_LEN {
+        return None;
+    }
+    let word = |i: usize| -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+        u64::from_le_bytes(b)
+    };
+    let f = |i: usize| f64::from_bits(word(i));
+    let c = Counters {
+        instructions: f(2),
+        flops: f(3),
+        l1_loads: f(4),
+        l1_stores: f(5),
+        l1_misses: f(6),
+        l2_misses: f(7),
+        prefetch_issued: f(8),
+        prefetch_useful: f(9),
+        simd_weighted: f(10),
+        latency_s: f(11),
+    };
+    Some((word(0), word(1), c))
+}
+
+/// One memo-table entry.
+#[derive(Clone, Copy)]
+struct Entry {
+    c: Counters,
+    /// Whether a budgeted lookup has seen this entry yet.
+    accounted: bool,
+    /// Whether the counters came out of the durable store (true) or a
+    /// fresh simulation (false). Decides, at the accounted transition,
+    /// which store statistic the entry bumps and whether it publishes.
+    from_store: bool,
+}
+
 /// A shared, thread-safe memo table of simulated measurements.
 ///
 /// Each entry tracks whether a *budgeted* lookup has seen it yet: a
@@ -92,7 +178,7 @@ fn hash_level(h: &mut Fnv1a, l: &CacheLevel) {
 /// and are bit-identical whether or not workers prewarmed anything.
 pub struct SimCache {
     profile_fp: u64,
-    map: Mutex<HashMap<u64, (Counters, bool)>>,
+    map: Mutex<HashMap<u64, Entry>>,
     /// Keys a previous (checkpointed) leg of this run already accounted.
     /// A resumed run starts with an empty memo table, but its hit/miss
     /// transcript must continue the interrupted run's: re-simulating a
@@ -100,6 +186,10 @@ pub struct SimCache {
     resumed: Mutex<HashSet<u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// The durable cross-run tier, when attached.
+    store: Mutex<Option<Arc<Store>>>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
 }
 
 impl SimCache {
@@ -111,12 +201,65 @@ impl SimCache {
             resumed: Mutex::new(HashSet::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            store: Mutex::new(None),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
         }
     }
 
     /// Fingerprint of the machine profile this cache is bound to.
     pub fn profile_fp(&self) -> u64 {
         self.profile_fp
+    }
+
+    /// Attaches the durable store tier. Call once, before tuning starts:
+    /// attaching mid-run would make the store statistics depend on when.
+    pub fn attach_store(&self, store: Arc<Store>) {
+        *self.store.lock().unwrap() = Some(store);
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.lock().unwrap().is_some()
+    }
+
+    fn store_handle(&self) -> Option<Arc<Store>> {
+        self.store.lock().unwrap().clone()
+    }
+
+    /// Looks `key` up in the durable store, validating the stored
+    /// fingerprint pair against the lookup's (a composed-key collision
+    /// or foreign payload reads as a miss, not as wrong counters).
+    fn store_lookup(&self, key: u64, program_fp: u64) -> Option<Counters> {
+        let store = self.store_handle()?;
+        let payload = store.get(kind::MEASUREMENT, key)?;
+        let (stored_profile, stored_program, c) = decode_measurement(&payload)?;
+        if stored_profile == self.profile_fp && stored_program == program_fp {
+            Some(c)
+        } else {
+            None
+        }
+    }
+
+    /// Runs the store-side bookkeeping of an entry's accounted
+    /// transition: an entry born from the store is a store hit; a
+    /// freshly simulated one is a store miss and is published. Called
+    /// only from `try_profile` (the sequential accounting path), so both
+    /// the statistics and the segment's append order are deterministic
+    /// and jobs-invariant. A failed publish (disk full, torn append) is
+    /// survivable by design: the run degrades to store-less operation
+    /// for that record and keeps tuning.
+    fn account_store(&self, key: u64, program_fp: u64, c: &Counters, from_store: bool) {
+        let Some(store) = self.store_handle() else {
+            return;
+        };
+        if from_store {
+            self.store_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.store_misses.fetch_add(1, Ordering::Relaxed);
+            let payload = encode_measurement(self.profile_fp, program_fp, c);
+            let _ = store.put(kind::MEASUREMENT, key, &payload);
+        }
     }
 
     /// The cache key of a program under this cache's profile.
@@ -139,29 +282,56 @@ impl SimCache {
         sim: &Simulator,
         program: &Program,
     ) -> Result<(Counters, bool), AltError> {
-        let key = self.key(program);
+        let program_fp = program_fingerprint(program);
+        let key = compose_cache_key(self.profile_fp, program_fp);
         // A key restored via `restore_accounted` was paid for by the
         // interrupted predecessor leg, so this lookup continues its
         // transcript as a hit even though the table itself is cold.
         let prior = self.resumed.lock().unwrap().contains(&key);
-        if let Some((c, accounted)) = self.map.lock().unwrap().get_mut(&key) {
-            let c = *c;
-            if *accounted || prior {
-                *accounted = true;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((c, true));
+        if let Some(e) = self.map.lock().unwrap().get_mut(&key) {
+            let snap = *e;
+            if !snap.accounted {
+                // First budgeted sight of a prewarmed entry: run the
+                // store bookkeeping its off-thread insertion deferred.
+                e.accounted = true;
+                self.account_store(key, program_fp, &snap.c, snap.from_store);
             }
-            *accounted = true;
+            if snap.accounted || prior {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((snap.c, true));
+            }
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok((c, false));
+            return Ok((snap.c, false));
         }
         if prior {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
+        // Warm tier: a stored result makes the simulation unnecessary —
+        // but accounts exactly the hit/miss a cold run would.
+        if let Some(c) = self.store_lookup(key, program_fp) {
+            self.account_store(key, program_fp, &c, true);
+            self.map.lock().unwrap().insert(
+                key,
+                Entry {
+                    c,
+                    accounted: true,
+                    from_store: true,
+                },
+            );
+            return Ok((c, prior));
+        }
         let c = sim.try_profile_counters(program)?;
-        self.map.lock().unwrap().insert(key, (c, true));
+        self.account_store(key, program_fp, &c, false);
+        self.map.lock().unwrap().insert(
+            key,
+            Entry {
+                c,
+                accounted: true,
+                from_store: false,
+            },
+        );
         Ok((c, prior))
     }
 
@@ -173,12 +343,28 @@ impl SimCache {
     /// re-derives the error deterministically). Never downgrades an
     /// already-accounted entry.
     pub fn prewarm(&self, sim: &Simulator, program: &Program) {
-        let key = self.key(program);
+        let program_fp = program_fingerprint(program);
+        let key = compose_cache_key(self.profile_fp, program_fp);
         if self.map.lock().unwrap().contains_key(&key) {
             return;
         }
+        // Peek the durable store first — stat-silent, like the rest of
+        // prewarming; the accounted transition in `try_profile` settles
+        // the store statistics (and any publish) deterministically.
+        if let Some(c) = self.store_lookup(key, program_fp) {
+            self.map.lock().unwrap().entry(key).or_insert(Entry {
+                c,
+                accounted: false,
+                from_store: true,
+            });
+            return;
+        }
         if let Ok(c) = sim.try_profile_counters(program) {
-            self.map.lock().unwrap().entry(key).or_insert((c, false));
+            self.map.lock().unwrap().entry(key).or_insert(Entry {
+                c,
+                accounted: false,
+                from_store: false,
+            });
         }
     }
 
@@ -193,7 +379,7 @@ impl SimCache {
             .lock()
             .unwrap()
             .iter()
-            .filter(|(_, (_, accounted))| *accounted)
+            .filter(|(_, e)| e.accounted)
             .map(|(&k, _)| k)
             .collect();
         keys.extend(self.resumed.lock().unwrap().iter().copied());
@@ -219,6 +405,20 @@ impl SimCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Accounted measurements served from the durable store (0 when no
+    /// store is attached). Like the memo statistics, store statistics
+    /// move only at `try_profile` accounted transitions, so they are
+    /// jobs- and prewarm-invariant.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Accounted measurements the durable store did not have — each one
+    /// was simulated and published back (0 when no store is attached).
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
+    }
+
     /// Number of memoized programs.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap().len()
@@ -236,6 +436,9 @@ impl std::fmt::Debug for SimCache {
             .field("entries", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("store", &self.has_store())
+            .field("store_hits", &self.store_hits())
+            .field("store_misses", &self.store_misses())
             .finish()
     }
 }
@@ -350,6 +553,92 @@ mod tests {
         // And later repeats hit through the warm table as usual.
         let (_, hit) = second_leg.try_profile(&sim, &p).unwrap();
         assert!(hit);
+    }
+
+    fn tmp_store(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("alt-sim-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d.join("store.alts")
+    }
+
+    #[test]
+    fn measurement_codec_roundtrips_bit_exactly() {
+        let sim = Simulator::new(intel_cpu());
+        let c = sim.try_profile_counters(&lowered()).unwrap();
+        let bytes = encode_measurement(1, 2, &c);
+        assert_eq!(bytes.len(), MEASUREMENT_PAYLOAD_LEN);
+        let (profile_fp, program_fp, back) = decode_measurement(&bytes).unwrap();
+        assert_eq!((profile_fp, program_fp), (1, 2));
+        assert_eq!(back.latency_s.to_bits(), c.latency_s.to_bits());
+        assert_eq!(back.instructions.to_bits(), c.instructions.to_bits());
+        assert_eq!(back.simd_weighted.to_bits(), c.simd_weighted.to_bits());
+        assert!(decode_measurement(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn cold_run_publishes_and_warm_run_serves_identical_bits() {
+        let path = tmp_store("warm");
+        let sim = Simulator::new(intel_cpu());
+        let p = lowered();
+        // Cold run: every accounted measurement is a store miss and gets
+        // published exactly once (repeats publish nothing). Scoped so
+        // its writer lock releases before the warm run opens.
+        let a = {
+            let cold = SimCache::new(sim.profile());
+            cold.attach_store(Arc::new(Store::open(&path).expect("open")));
+            let (a, _) = cold.try_profile(&sim, &p).unwrap();
+            let _ = cold.try_profile(&sim, &p).unwrap();
+            assert_eq!((cold.store_hits(), cold.store_misses()), (0, 1));
+            a
+        };
+        // Warm run: a fresh cache over the same store serves the stored
+        // bits without simulating, with an unchanged memo transcript.
+        let warm = SimCache::new(sim.profile());
+        warm.attach_store(Arc::new(Store::open(&path).expect("reopen")));
+        let (b, hit) = warm.try_profile(&sim, &p).unwrap();
+        assert!(!hit, "memo transcript is store-independent");
+        assert_eq!((warm.hits(), warm.misses()), (0, 1));
+        assert_eq!((warm.store_hits(), warm.store_misses()), (1, 0));
+        assert_eq!(a.latency_s.to_bits(), b.latency_s.to_bits());
+        assert_eq!(a.l1_misses.to_bits(), b.l1_misses.to_bits());
+        // The warm run added no records (read-only peek: the warm
+        // cache's writer lock is still held).
+        let store = Store::open_readonly(&path).expect("ro");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn store_prewarm_stays_stat_silent_until_accounted() {
+        let path = tmp_store("prewarm");
+        let sim = Simulator::new(intel_cpu());
+        let p = lowered();
+        {
+            let seed = SimCache::new(sim.profile());
+            seed.attach_store(Arc::new(Store::open(&path).expect("open")));
+            seed.try_profile(&sim, &p).unwrap();
+        }
+        let cache = SimCache::new(sim.profile());
+        cache.attach_store(Arc::new(Store::open(&path).expect("reopen")));
+        cache.prewarm(&sim, &p);
+        assert_eq!((cache.store_hits(), cache.store_misses()), (0, 0));
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        // The accounted transition settles the store hit — the same
+        // statistic the unwarmed lookup records.
+        let _ = cache.try_profile(&sim, &p).unwrap();
+        assert_eq!((cache.store_hits(), cache.store_misses()), (1, 0));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+
+    #[test]
+    fn storeless_cache_reports_zero_store_statistics() {
+        let sim = Simulator::new(intel_cpu());
+        let cache = SimCache::new(sim.profile());
+        assert!(!cache.has_store());
+        let p = lowered();
+        let _ = cache.try_profile(&sim, &p).unwrap();
+        let _ = cache.try_profile(&sim, &p).unwrap();
+        assert_eq!((cache.store_hits(), cache.store_misses()), (0, 0));
     }
 
     #[test]

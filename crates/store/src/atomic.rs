@@ -1,0 +1,82 @@
+//! Crash-safe whole-file replacement: temp file + fsync + atomic rename.
+//!
+//! `write(path, bytes)` guarantees that a reader — including a reader
+//! racing a crash — observes either the old contents or the new
+//! contents, never a torn mixture: the bytes are written to a temporary
+//! file in the *same directory* (rename is only atomic within a
+//! filesystem), fsynced, renamed over the target, and the directory is
+//! fsynced so the rename itself survives a power cut.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+pub fn write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let tmp = dir.join(format!(".{}.tmp.{}", name, std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename: fsync the containing directory. Directory
+        // handles cannot be synced on every platform; failure to sync is
+        // not failure to write, so it is deliberately ignored.
+        if let Ok(d) = std::fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("alt-store-atomic-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("target.bin");
+        write(&path, b"first").expect("first write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"first");
+        write(&path, b"second, longer").expect("second write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"second, longer");
+        // No temp droppings left behind.
+        let leftovers = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leftovers, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_leaves_target_untouched() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("target.bin");
+        write(&path, b"stable").expect("seed write");
+        // A target whose parent is missing fails without clobbering.
+        let bad = dir.join("no-such-subdir").join("x.bin");
+        assert!(write(&bad, b"data").is_err());
+        assert_eq!(std::fs::read(&path).expect("read"), b"stable");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

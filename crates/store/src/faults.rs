@@ -1,0 +1,158 @@
+//! Injectable filesystem faults for the store's write and read paths.
+//!
+//! The recovery scan is only trustworthy if it is exercised against the
+//! failures it claims to survive. A [`IoFaultHook`] attached to a
+//! [`crate::Store`] can fail any append (torn write: only a prefix of
+//! the frame reaches the file; ENOSPC: nothing does) and any open-time
+//! read (partial read: the scan sees a truncated view of the file),
+//! which is exactly the crash/corruption model of the format. Hooks are
+//! consulted *before* the real I/O, so an injected fault leaves the file
+//! in the same state a real one would.
+//!
+//! Determinism: hooks must not draw from the tuner's search RNG —
+//! attaching a store (faulty or not) must never change which candidates
+//! a run explores. Rate-based hooks therefore carry their own seeded
+//! stream (see `alt_autotune::fault::IoFaultInjector`); the hooks here
+//! are fully deterministic schedules for property tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One injected filesystem fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// The append is interrupted mid-frame: only the first `keep` bytes
+    /// of the encoded frame reach the file (a crash between `write` and
+    /// completion, or a kernel writing a partial page).
+    Torn {
+        /// Bytes of the frame that survive. May exceed the frame length,
+        /// in which case the whole frame survives (the "crash" landed
+        /// after the write).
+        keep: usize,
+    },
+    /// The filesystem is out of space: no bytes reach the file.
+    Enospc,
+}
+
+/// Decides the fate of store I/O operations. Implementations must be
+/// thread-safe: the store is shared across tuning threads.
+pub trait IoFaultHook: Send + Sync + std::fmt::Debug {
+    /// Called before appending record number `seq` (0-based, counted
+    /// over the store's lifetime) whose encoded frame is `len` bytes.
+    fn on_append(&self, seq: u64, len: usize) -> Option<IoFault> {
+        let _ = (seq, len);
+        None
+    }
+
+    /// Called when the store reads the segment on open; returning
+    /// `Some(keep)` truncates the observed bytes to `keep` (a partial
+    /// read). `keep` beyond the file length reads the whole file.
+    fn on_read(&self, len: usize) -> Option<usize> {
+        let _ = len;
+        None
+    }
+}
+
+/// A hook that injects exactly one fault at one append, then stays
+/// quiet — the deterministic "crash at point k" schedule the recovery
+/// property tests sweep.
+#[derive(Debug)]
+pub struct FailAppend {
+    /// Which append (0-based `seq`) to fail.
+    pub at_seq: u64,
+    /// The fault to inject there.
+    pub fault: IoFault,
+    fired: AtomicU64,
+}
+
+impl FailAppend {
+    /// Fails append number `at_seq` with `fault`.
+    pub fn new(at_seq: u64, fault: IoFault) -> Self {
+        FailAppend {
+            at_seq,
+            fault,
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// How many times the fault fired (0 or 1).
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl IoFaultHook for FailAppend {
+    fn on_append(&self, seq: u64, _len: usize) -> Option<IoFault> {
+        if seq == self.at_seq {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            Some(self.fault)
+        } else {
+            None
+        }
+    }
+}
+
+/// A hook that truncates the open-time read to a fixed byte count — a
+/// deterministic partial read.
+#[derive(Debug)]
+pub struct PartialRead {
+    /// Bytes the reader observes.
+    pub keep: usize,
+}
+
+impl IoFaultHook for PartialRead {
+    fn on_read(&self, _len: usize) -> Option<usize> {
+        Some(self.keep)
+    }
+}
+
+/// A scripted hook: a queue of per-append decisions consumed in order
+/// (`None` entries let the append through). Appends beyond the script
+/// succeed.
+#[derive(Debug, Default)]
+pub struct Script {
+    steps: Mutex<std::collections::VecDeque<Option<IoFault>>>,
+}
+
+impl Script {
+    /// A hook that replays `steps` against successive appends.
+    pub fn new(steps: Vec<Option<IoFault>>) -> Self {
+        Script {
+            steps: Mutex::new(steps.into()),
+        }
+    }
+}
+
+impl IoFaultHook for Script {
+    fn on_append(&self, _seq: u64, _len: usize) -> Option<IoFault> {
+        self.steps
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_append_fires_exactly_once_at_its_seq() {
+        let hook = FailAppend::new(2, IoFault::Enospc);
+        assert_eq!(hook.on_append(0, 10), None);
+        assert_eq!(hook.on_append(1, 10), None);
+        assert_eq!(hook.on_append(2, 10), Some(IoFault::Enospc));
+        assert_eq!(hook.on_append(3, 10), None);
+        assert_eq!(hook.fired(), 1);
+    }
+
+    #[test]
+    fn script_consumes_steps_in_order() {
+        let hook = Script::new(vec![None, Some(IoFault::Torn { keep: 3 }), None]);
+        assert_eq!(hook.on_append(0, 10), None);
+        assert_eq!(hook.on_append(1, 10), Some(IoFault::Torn { keep: 3 }));
+        assert_eq!(hook.on_append(2, 10), None);
+        assert_eq!(hook.on_append(3, 10), None, "past the script: clean");
+    }
+}

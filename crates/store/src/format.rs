@@ -1,0 +1,311 @@
+//! On-disk segment format: versioned header + checksummed records.
+//!
+//! The segment is an append-only byte stream:
+//!
+//! ```text
+//! +----------------------------- header (16 bytes) ----------------------------+
+//! | magic "ALTSTORE" (8) | version u32 LE | reserved u32 LE (0)                |
+//! +------------------------------- record frame --------------------------------+
+//! | payload_len u32 LE | kind u8 | key u64 LE | checksum u64 LE | payload ...  |
+//! +-----------------------------------------------------------------------------+
+//! ```
+//!
+//! The checksum is FNV-1a over `kind`, the little-endian `key` bytes and
+//! the payload, so a frame whose length prefix survived a crash but whose
+//! body did not is still detected. Decoding never panics: any byte
+//! sequence either parses into records plus a (possibly empty) invalid
+//! tail, or is rejected at the header. The crash model is append-only —
+//! a torn write can only damage the *last* frame — so the scan treats
+//! the first invalid frame and everything after it as the corrupt tail.
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 8] = *b"ALTSTORE";
+
+/// Current schema version. Bump when the frame or payload layout of a
+/// record kind changes incompatibly; old files are rejected, not
+/// reinterpreted.
+pub const STORE_VERSION: u32 = 1;
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Fixed frame overhead before the payload: len(4) + kind(1) + key(8) +
+/// checksum(8).
+pub const FRAME_OVERHEAD: usize = 21;
+
+/// Upper bound on a single record's payload; anything larger is treated
+/// as corruption (a real payload is a few hundred bytes).
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+/// FNV-1a over a byte slice, seeded by `seed` so the key/kind prefix can
+/// be folded in incrementally.
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// The checksum of one record: FNV-1a over kind, key and payload.
+pub fn record_checksum(kind: u8, key: u64, payload: &[u8]) -> u64 {
+    let h = fnv1a(FNV_OFFSET, &[kind]);
+    let h = fnv1a(h, &key.to_le_bytes());
+    fnv1a(h, payload)
+}
+
+/// Renders the 16-byte segment header.
+pub fn encode_header() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&STORE_VERSION.to_le_bytes());
+    h
+}
+
+/// Header check outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeaderCheck {
+    /// Valid header of the current version.
+    Ok,
+    /// The file does not start with the magic bytes.
+    BadMagic,
+    /// Right magic, unsupported version (the value is the file's).
+    BadVersion(u32),
+    /// Shorter than a header.
+    Truncated,
+}
+
+/// Validates the segment header prefix of `bytes`.
+pub fn check_header(bytes: &[u8]) -> HeaderCheck {
+    if bytes.len() < HEADER_LEN {
+        return HeaderCheck::Truncated;
+    }
+    if bytes[..8] != MAGIC {
+        return HeaderCheck::BadMagic;
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(v);
+    if version != STORE_VERSION {
+        return HeaderCheck::BadVersion(version);
+    }
+    HeaderCheck::Ok
+}
+
+/// One decoded record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawRecord {
+    /// Record kind tag (see [`crate::kind`]).
+    pub kind: u8,
+    /// Content-address key (for measurements: the composed cache key).
+    pub key: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one record frame (length prefix, kind, key, checksum,
+/// payload).
+pub fn encode_record(kind: u8, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&record_checksum(kind, key, payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Result of scanning a segment body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scan {
+    /// Records decoded from the valid prefix, in file order.
+    pub records: Vec<RawRecord>,
+    /// Byte length of the valid prefix (header included): the offset a
+    /// recovery pass truncates to.
+    pub valid_len: usize,
+    /// Why the scan stopped short of the file end, when it did.
+    pub corrupt: Option<Corruption>,
+}
+
+/// Why a frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Fewer bytes than one frame header or than the declared payload —
+    /// the torn tail of an interrupted append.
+    TornFrame,
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    LengthOverflow,
+    /// The stored checksum does not match the frame body.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for Corruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Corruption::TornFrame => write!(f, "torn frame (truncated mid-record)"),
+            Corruption::LengthOverflow => write!(f, "length prefix exceeds the payload bound"),
+            Corruption::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+/// Scans the record stream after a validated header. Returns every
+/// record in the longest valid prefix; bytes from the first invalid
+/// frame onward are the corrupt tail (`valid_len..bytes.len()`).
+pub fn scan_records(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN;
+    while off < bytes.len() {
+        let rest = &bytes[off..];
+        if rest.len() < FRAME_OVERHEAD {
+            return Scan {
+                records,
+                valid_len: off,
+                corrupt: Some(Corruption::TornFrame),
+            };
+        }
+        let mut w4 = [0u8; 4];
+        w4.copy_from_slice(&rest[..4]);
+        let len = u32::from_le_bytes(w4) as usize;
+        if len > MAX_PAYLOAD {
+            return Scan {
+                records,
+                valid_len: off,
+                corrupt: Some(Corruption::LengthOverflow),
+            };
+        }
+        if rest.len() < FRAME_OVERHEAD + len {
+            return Scan {
+                records,
+                valid_len: off,
+                corrupt: Some(Corruption::TornFrame),
+            };
+        }
+        let kind = rest[4];
+        let mut w8 = [0u8; 8];
+        w8.copy_from_slice(&rest[5..13]);
+        let key = u64::from_le_bytes(w8);
+        w8.copy_from_slice(&rest[13..21]);
+        let stored = u64::from_le_bytes(w8);
+        let payload = &rest[FRAME_OVERHEAD..FRAME_OVERHEAD + len];
+        if record_checksum(kind, key, payload) != stored {
+            return Scan {
+                records,
+                valid_len: off,
+                corrupt: Some(Corruption::ChecksumMismatch),
+            };
+        }
+        records.push(RawRecord {
+            kind,
+            key,
+            payload: payload.to_vec(),
+        });
+        off += FRAME_OVERHEAD + len;
+    }
+    Scan {
+        records,
+        valid_len: off,
+        corrupt: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment(records: &[(u8, u64, Vec<u8>)]) -> Vec<u8> {
+        let mut bytes = encode_header().to_vec();
+        for (kind, key, payload) in records {
+            bytes.extend_from_slice(&encode_record(*kind, *key, payload));
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrips_records() {
+        let recs = vec![
+            (1u8, 7u64, vec![1, 2, 3]),
+            (2u8, 9u64, Vec::new()),
+            (1u8, u64::MAX, vec![0xff; 100]),
+        ];
+        let bytes = segment(&recs);
+        assert_eq!(check_header(&bytes), HeaderCheck::Ok);
+        let scan = scan_records(&bytes);
+        assert!(scan.corrupt.is_none());
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.records.len(), 3);
+        for (r, (kind, key, payload)) in scan.records.iter().zip(&recs) {
+            assert_eq!((r.kind, r.key, &r.payload), (*kind, *key, payload));
+        }
+    }
+
+    #[test]
+    fn header_rejections() {
+        assert_eq!(check_header(b"short"), HeaderCheck::Truncated);
+        let mut h = encode_header();
+        h[0] = b'X';
+        assert_eq!(check_header(&h), HeaderCheck::BadMagic);
+        let mut h = encode_header();
+        h[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(check_header(&h), HeaderCheck::BadVersion(99));
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_the_longest_valid_prefix() {
+        let recs = vec![
+            (1u8, 1u64, vec![9; 10]),
+            (1u8, 2u64, vec![8; 20]),
+            (2u8, 3u64, vec![7; 5]),
+        ];
+        let bytes = segment(&recs);
+        let mut boundaries = vec![HEADER_LEN];
+        let mut off = HEADER_LEN;
+        for (_, _, p) in &recs {
+            off += FRAME_OVERHEAD + p.len();
+            boundaries.push(off);
+        }
+        for cut in HEADER_LEN..bytes.len() {
+            let scan = scan_records(&bytes[..cut]);
+            // The valid prefix is the last record boundary at or below
+            // the cut; everything after it is the torn tail.
+            let want_len = boundaries
+                .iter()
+                .rev()
+                .find(|&&b| b <= cut)
+                .copied()
+                .expect("header boundary");
+            assert_eq!(scan.valid_len, want_len, "cut at {cut}");
+            let want_records = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.records.len(), want_records, "cut at {cut}");
+            assert_eq!(scan.corrupt.is_some(), cut != want_len, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bitflips_are_caught_by_the_checksum() {
+        let bytes = segment(&[(1u8, 42u64, vec![5; 32])]);
+        // Flip one payload byte: the record must be rejected.
+        for flip in [HEADER_LEN + FRAME_OVERHEAD, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x01;
+            let scan = scan_records(&bad);
+            assert_eq!(scan.records.len(), 0);
+            assert_eq!(scan.valid_len, HEADER_LEN);
+            assert_eq!(scan.corrupt, Some(Corruption::ChecksumMismatch));
+        }
+    }
+
+    #[test]
+    fn length_overflow_is_corruption_not_allocation() {
+        let mut bytes = encode_header().to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records.len(), 0);
+        assert_eq!(scan.corrupt, Some(Corruption::LengthOverflow));
+    }
+}

@@ -1,0 +1,836 @@
+//! `alt-store`: a durable, crash-safe, content-addressed store of tuning
+//! results (ROADMAP item 1, first half).
+//!
+//! The store maps the PR 4 fingerprints — `compose_cache_key(profile_fp,
+//! program_fp)` for measurements, a task fingerprint for winning
+//! schedules — to byte payloads, persisted in an append-only segment
+//! file. Nothing here knows what the payloads mean: the codecs live next
+//! to the types they serialize (`alt_sim` for measurement counters,
+//! `alt_autotune` for winner records), keeping this crate dependent on
+//! `alt-error` alone.
+//!
+//! Crash-safety model (see `format` for the byte layout):
+//!
+//! * every record is length-prefixed and FNV-1a-checksummed, so a torn
+//!   append is detectable, and appends are the only mutation — a crash
+//!   can only damage the file's tail;
+//! * opening a writer runs a recovery scan that truncates the segment to
+//!   its longest valid prefix, moving the corrupt tail to a sibling
+//!   `.quarantine` file instead of panicking (or silently dropping
+//!   evidence);
+//! * whole-file rewrites (creation, [`Store::gc`]) go through
+//!   [`atomic::write`] (temp file + fsync + rename);
+//! * concurrent writer *processes* serialize on an advisory `.lock`
+//!   file; readers never lock — a concurrently-appended half-frame is
+//!   simply not part of the store yet;
+//! * an incompatible schema version is rejected with a typed error, not
+//!   reinterpreted.
+//!
+//! The write and open-read paths accept an injectable fault hook
+//! ([`faults::IoFaultHook`]) so recovery is property-tested against torn
+//! writes, ENOSPC and partial reads rather than hoped-for.
+
+pub mod atomic;
+pub mod faults;
+pub mod format;
+mod lock;
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use alt_error::AltError;
+
+use faults::{IoFault, IoFaultHook};
+pub use format::{Corruption, HeaderCheck, RawRecord, STORE_VERSION};
+use lock::WriterLock;
+
+/// Record kind tags. Append-only: tags are part of the on-disk contract.
+pub mod kind {
+    /// A memoized simulation result: key = composed cache key
+    /// (profile fingerprint × program fingerprint), payload = the
+    /// fingerprint pair plus the simulator counters
+    /// (`alt_sim::encode_measurement`).
+    pub const MEASUREMENT: u8 = 1;
+    /// A finished tuning run's winner: key = task fingerprint, payload =
+    /// the replayable layout/schedule decisions plus provenance
+    /// (`alt_autotune::winner`).
+    pub const WINNER: u8 = 2;
+
+    /// Human-readable name of a kind tag.
+    pub fn name(kind: u8) -> &'static str {
+        match kind {
+            MEASUREMENT => "measurement",
+            WINNER => "winner",
+            _ => "unknown",
+        }
+    }
+}
+
+/// What the open-time recovery scan found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records in the valid prefix.
+    pub valid_records: usize,
+    /// Corruption events handled (0 or 1 per open: the crash model makes
+    /// corruption a single contiguous tail).
+    pub corrupt_events: u64,
+    /// Bytes moved to the `.quarantine` sibling by this open (writer
+    /// opens only; read-only opens never mutate).
+    pub quarantined_bytes: u64,
+    /// Corrupt tail bytes observed but left in place (read-only opens).
+    pub pending_tail_bytes: u64,
+    /// What broke the first invalid frame, when one was found.
+    pub corruption: Option<Corruption>,
+}
+
+/// Aggregate statistics for `altc store stats`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Total records.
+    pub records: usize,
+    /// Measurement records.
+    pub measurements: usize,
+    /// Winner records.
+    pub winners: usize,
+    /// Records of kinds this build does not know (forward compatibility:
+    /// they are preserved, reported, and otherwise ignored).
+    pub unknown: usize,
+    /// Payload bytes across all records.
+    pub payload_bytes: u64,
+    /// Segment file size in bytes (header + frames).
+    pub file_bytes: u64,
+    /// Size of the sibling `.quarantine` file, if any.
+    pub quarantine_bytes: u64,
+    /// Recovery outcome of this handle's open.
+    pub recovery: RecoveryReport,
+}
+
+/// Outcome of [`verify_path`]: a read-only deep check of a segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Header validation outcome.
+    pub header: HeaderCheck,
+    /// Records in the valid prefix.
+    pub valid_records: usize,
+    /// Bytes of the valid prefix (header included).
+    pub valid_bytes: u64,
+    /// Corrupt tail bytes still in the segment (0 for a clean or
+    /// recovered file).
+    pub tail_bytes: u64,
+    /// What broke the first invalid frame, when the tail is non-empty.
+    pub corruption: Option<Corruption>,
+    /// Size of the sibling `.quarantine` file (evidence of a past
+    /// recovery; informational, not corruption).
+    pub quarantine_bytes: u64,
+}
+
+impl VerifyReport {
+    /// Whether the segment itself is fully valid (a quarantine sibling
+    /// from a past recovery does not make it dirty).
+    pub fn clean(&self) -> bool {
+        self.header == HeaderCheck::Ok && self.tail_bytes == 0
+    }
+}
+
+/// Outcome of [`Store::gc`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcReport {
+    /// Records in the compacted segment.
+    pub records: usize,
+    /// Segment bytes before compaction.
+    pub bytes_before: u64,
+    /// Segment bytes after compaction.
+    pub bytes_after: u64,
+    /// Quarantine bytes deleted.
+    pub quarantine_removed: u64,
+}
+
+struct Inner {
+    /// Latest payload per (kind, key).
+    map: HashMap<(u8, u64), Arc<[u8]>>,
+    /// Insertion order of the map's keys (= file order; puts dedupe).
+    order: Vec<(u8, u64)>,
+    /// Append handle (writers only).
+    file: Option<std::fs::File>,
+    /// Advisory lock, held for the writer's lifetime.
+    _lock: Option<WriterLock>,
+    /// Appends attempted over this handle's lifetime (fault-hook seq).
+    seq: u64,
+    /// Current segment length in bytes.
+    file_bytes: u64,
+}
+
+/// A handle to one on-disk store. Thread-safe: share it via [`Arc`]
+/// between the simulation cache, the tuner, and worker threads.
+pub struct Store {
+    path: PathBuf,
+    read_only: bool,
+    inner: Mutex<Inner>,
+    recovery: RecoveryReport,
+    faults: Option<Arc<dyn IoFaultHook>>,
+    /// Set after a torn append: the file now ends in a half-frame, so
+    /// further appends would be unreachable past the corruption. The
+    /// store refuses them until the next open recovers the tail —
+    /// exactly what a crashed process cannot do either.
+    wedged: AtomicBool,
+}
+
+fn locked(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn quarantine_path(segment: &Path) -> PathBuf {
+    let mut os = segment.as_os_str().to_owned();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> AltError {
+    AltError::Store {
+        detail: format!("{what} {}: {e}", path.display()),
+    }
+}
+
+impl Store {
+    /// Opens (creating if absent) a store for reading and writing:
+    /// acquires the advisory writer lock, runs the recovery scan, and
+    /// truncates away any corrupt tail (quarantining its bytes).
+    pub fn open(path: impl AsRef<Path>) -> Result<Store, AltError> {
+        Self::open_impl(path.as_ref(), false, None)
+    }
+
+    /// [`Store::open`] with an injectable I/O fault hook (tests; the
+    /// `altc --faults` path wires a seeded rate-based hook through
+    /// here).
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        hook: Arc<dyn IoFaultHook>,
+    ) -> Result<Store, AltError> {
+        Self::open_impl(path.as_ref(), false, Some(hook))
+    }
+
+    /// Opens a store read-only: no lock, no mutation. A corrupt tail is
+    /// reported (see [`Store::recovery`]) but left in place for the next
+    /// writer to recover.
+    pub fn open_readonly(path: impl AsRef<Path>) -> Result<Store, AltError> {
+        Self::open_impl(path.as_ref(), true, None)
+    }
+
+    fn open_impl(
+        path: &Path,
+        read_only: bool,
+        faults: Option<Arc<dyn IoFaultHook>>,
+    ) -> Result<Store, AltError> {
+        let lock = if read_only {
+            None
+        } else {
+            Some(WriterLock::acquire(path, lock::LOCK_WAIT)?)
+        };
+        let mut bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("reading store segment", path, e)),
+        };
+        if let Some(hook) = &faults {
+            if let Some(keep) = hook.on_read(bytes.len()) {
+                bytes.truncate(keep);
+            }
+        }
+        let mut recovery = RecoveryReport::default();
+        let scan = if bytes.is_empty() {
+            if read_only {
+                return Err(AltError::Store {
+                    detail: format!("no store segment at {}", path.display()),
+                });
+            }
+            atomic::write(path, &format::encode_header())
+                .map_err(|e| io_err("creating store segment", path, e))?;
+            format::Scan {
+                records: Vec::new(),
+                valid_len: format::HEADER_LEN,
+                corrupt: None,
+            }
+        } else {
+            match format::check_header(&bytes) {
+                HeaderCheck::Ok => {}
+                HeaderCheck::BadMagic => {
+                    return Err(AltError::Store {
+                        detail: format!("{} is not a store segment (bad magic)", path.display()),
+                    })
+                }
+                HeaderCheck::BadVersion(v) => {
+                    return Err(AltError::Store {
+                        detail: format!(
+                            "{} has incompatible schema v{v} (this build supports \
+                             v{STORE_VERSION}); re-tune into a fresh store",
+                            path.display()
+                        ),
+                    })
+                }
+                HeaderCheck::Truncated => {
+                    // Shorter than a header: the whole file is a torn
+                    // tail. Quarantine it and start fresh (writers), or
+                    // report it (read-only).
+                    if read_only {
+                        return Ok(Store {
+                            path: path.to_path_buf(),
+                            read_only,
+                            inner: Mutex::new(Inner {
+                                map: HashMap::new(),
+                                order: Vec::new(),
+                                file: None,
+                                _lock: None,
+                                seq: 0,
+                                file_bytes: bytes.len() as u64,
+                            }),
+                            recovery: RecoveryReport {
+                                corrupt_events: 1,
+                                pending_tail_bytes: bytes.len() as u64,
+                                corruption: Some(Corruption::TornFrame),
+                                ..RecoveryReport::default()
+                            },
+                            faults,
+                            wedged: AtomicBool::new(false),
+                        });
+                    }
+                    Self::quarantine(path, &bytes)?;
+                    recovery.corrupt_events = 1;
+                    recovery.quarantined_bytes = bytes.len() as u64;
+                    recovery.corruption = Some(Corruption::TornFrame);
+                    atomic::write(path, &format::encode_header())
+                        .map_err(|e| io_err("re-creating store segment", path, e))?;
+                    bytes.clear();
+                }
+            }
+            if bytes.is_empty() {
+                format::Scan {
+                    records: Vec::new(),
+                    valid_len: format::HEADER_LEN,
+                    corrupt: None,
+                }
+            } else {
+                format::scan_records(&bytes)
+            }
+        };
+        let tail = bytes.len().saturating_sub(scan.valid_len) as u64;
+        if tail > 0 {
+            recovery.corrupt_events += 1;
+            recovery.corruption = scan.corrupt;
+            if read_only {
+                recovery.pending_tail_bytes = tail;
+            } else {
+                Self::quarantine(path, &bytes[scan.valid_len..])?;
+                recovery.quarantined_bytes += tail;
+            }
+        }
+        recovery.valid_records = scan.records.len();
+        let mut map = HashMap::with_capacity(scan.records.len());
+        let mut order = Vec::with_capacity(scan.records.len());
+        for r in &scan.records {
+            let id = (r.kind, r.key);
+            if map
+                .insert(id, Arc::<[u8]>::from(r.payload.as_slice()))
+                .is_none()
+            {
+                order.push(id);
+            }
+        }
+        let (file, file_bytes) = if read_only {
+            (None, bytes.len() as u64)
+        } else {
+            let f = OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| io_err("opening store segment for append", path, e))?;
+            if tail > 0 {
+                // Drop the quarantined tail from the segment itself.
+                f.set_len(scan.valid_len as u64)
+                    .map_err(|e| io_err("truncating corrupt tail of", path, e))?;
+                f.sync_all()
+                    .map_err(|e| io_err("syncing recovered segment", path, e))?;
+            }
+            (Some(f), scan.valid_len as u64)
+        };
+        Ok(Store {
+            path: path.to_path_buf(),
+            read_only,
+            inner: Mutex::new(Inner {
+                map,
+                order,
+                file,
+                _lock: lock,
+                seq: 0,
+                file_bytes,
+            }),
+            recovery,
+            faults,
+            wedged: AtomicBool::new(false),
+        })
+    }
+
+    /// Appends `bytes` to the sibling quarantine file.
+    fn quarantine(segment: &Path, bytes: &[u8]) -> Result<(), AltError> {
+        let qpath = quarantine_path(segment);
+        let mut f = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&qpath)
+            .map_err(|e| io_err("opening quarantine file", &qpath, e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_data())
+            .map_err(|e| io_err("writing quarantine file", &qpath, e))
+    }
+
+    /// The segment path this handle is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether this handle was opened read-only.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// What the open-time recovery scan found and did.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Whether a torn append has wedged this handle (see [`Store::put`]).
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Relaxed)
+    }
+
+    /// Looks up a record. Stat-silent and lock-file-free: any number of
+    /// threads and processes may read concurrently with one writer.
+    pub fn get(&self, kind: u8, key: u64) -> Option<Arc<[u8]>> {
+        locked(&self.inner).map.get(&(kind, key)).cloned()
+    }
+
+    /// Whether a record exists.
+    pub fn contains(&self, kind: u8, key: u64) -> bool {
+        locked(&self.inner).map.contains_key(&(kind, key))
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        locked(&self.inner).map.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes a record: appends a checksummed frame and syncs it.
+    /// Returns `Ok(false)` if the key is already present (the store is
+    /// content-addressed; payloads for one key are immutable). A failed
+    /// append leaves the in-memory table unchanged; a *torn* append also
+    /// wedges the handle, because the file now ends mid-frame and
+    /// anything appended after it would be lost to the recovery scan.
+    pub fn put(&self, kind: u8, key: u64, payload: &[u8]) -> Result<bool, AltError> {
+        if self.read_only {
+            return Err(AltError::Store {
+                detail: "store is read-only".to_string(),
+            });
+        }
+        if self.is_wedged() {
+            return Err(AltError::Store {
+                detail: "store is wedged by an earlier torn append; reopen to recover".to_string(),
+            });
+        }
+        let mut inner = locked(&self.inner);
+        if inner.map.contains_key(&(kind, key)) {
+            return Ok(false);
+        }
+        let frame = format::encode_record(kind, key, payload);
+        let seq = inner.seq;
+        inner.seq += 1;
+        if let Some(hook) = &self.faults {
+            match hook.on_append(seq, frame.len()) {
+                Some(IoFault::Torn { keep }) => {
+                    let keep = keep.min(frame.len());
+                    if let Some(f) = inner.file.as_mut() {
+                        let _ = f.write_all(&frame[..keep]);
+                        let _ = f.sync_data();
+                    }
+                    inner.file_bytes += keep as u64;
+                    if keep < frame.len() {
+                        self.wedged.store(true, Ordering::Relaxed);
+                        return Err(AltError::Store {
+                            detail: format!(
+                                "injected torn write: {keep}/{} bytes of record {seq} reached {}",
+                                frame.len(),
+                                self.path.display()
+                            ),
+                        });
+                    }
+                    // The "crash" landed after the full frame: the
+                    // record survived; fall through to bookkeeping.
+                }
+                Some(IoFault::Enospc) => {
+                    return Err(AltError::Store {
+                        detail: format!(
+                            "injected ENOSPC: no space appending record {seq} to {}",
+                            self.path.display()
+                        ),
+                    })
+                }
+                None => {
+                    let f = inner.file.as_mut().ok_or_else(|| AltError::Store {
+                        detail: "store has no write handle".to_string(),
+                    })?;
+                    f.write_all(&frame)
+                        .and_then(|()| f.sync_data())
+                        .map_err(|e| io_err("appending record to", &self.path, e))?;
+                    inner.file_bytes += frame.len() as u64;
+                }
+            }
+        } else {
+            let f = inner.file.as_mut().ok_or_else(|| AltError::Store {
+                detail: "store has no write handle".to_string(),
+            })?;
+            f.write_all(&frame)
+                .and_then(|()| f.sync_data())
+                .map_err(|e| io_err("appending record to", &self.path, e))?;
+            inner.file_bytes += frame.len() as u64;
+        }
+        inner.map.insert((kind, key), Arc::<[u8]>::from(payload));
+        inner.order.push((kind, key));
+        Ok(true)
+    }
+
+    /// Every record in file order (for `altc store export`).
+    pub fn records(&self) -> Vec<RawRecord> {
+        let inner = locked(&self.inner);
+        inner
+            .order
+            .iter()
+            .filter_map(|id| {
+                inner.map.get(id).map(|p| RawRecord {
+                    kind: id.0,
+                    key: id.1,
+                    payload: p.to_vec(),
+                })
+            })
+            .collect()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        let inner = locked(&self.inner);
+        let mut s = StoreStats {
+            records: inner.map.len(),
+            file_bytes: inner.file_bytes,
+            recovery: self.recovery.clone(),
+            ..StoreStats::default()
+        };
+        for ((k, _), p) in inner.map.iter() {
+            s.payload_bytes += p.len() as u64;
+            match *k {
+                kind::MEASUREMENT => s.measurements += 1,
+                kind::WINNER => s.winners += 1,
+                _ => s.unknown += 1,
+            }
+        }
+        s.quarantine_bytes = std::fs::metadata(quarantine_path(&self.path))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        s
+    }
+
+    /// Compacts the segment: rewrites all live records atomically (temp
+    /// file + fsync + rename) and deletes the quarantine sibling. The
+    /// store stays open and writable afterwards.
+    pub fn gc(&self) -> Result<GcReport, AltError> {
+        if self.read_only {
+            return Err(AltError::Store {
+                detail: "cannot gc a read-only store".to_string(),
+            });
+        }
+        let mut inner = locked(&self.inner);
+        let bytes_before = inner.file_bytes;
+        let mut bytes = format::encode_header().to_vec();
+        for id in &inner.order {
+            if let Some(p) = inner.map.get(id) {
+                bytes.extend_from_slice(&format::encode_record(id.0, id.1, p));
+            }
+        }
+        atomic::write(&self.path, &bytes).map_err(|e| io_err("rewriting", &self.path, e))?;
+        // The rename replaced the inode; reopen the append handle.
+        inner.file = Some(
+            OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| io_err("reopening compacted segment", &self.path, e))?,
+        );
+        inner.file_bytes = bytes.len() as u64;
+        let qpath = quarantine_path(&self.path);
+        let quarantine_removed = std::fs::metadata(&qpath).map(|m| m.len()).unwrap_or(0);
+        if quarantine_removed > 0 {
+            std::fs::remove_file(&qpath).map_err(|e| io_err("removing", &qpath, e))?;
+        }
+        self.wedged.store(false, Ordering::Relaxed);
+        Ok(GcReport {
+            records: inner.order.len(),
+            bytes_before,
+            bytes_after: inner.file_bytes,
+            quarantine_removed,
+        })
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("path", &self.path)
+            .field("read_only", &self.read_only)
+            .field("records", &self.len())
+            .field("recovery", &self.recovery)
+            .finish()
+    }
+}
+
+/// Read-only deep check of a segment file: header, every checksum, tail
+/// and quarantine accounting. Never mutates anything.
+pub fn verify_path(path: impl AsRef<Path>) -> Result<VerifyReport, AltError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| io_err("reading store segment", path, e))?;
+    let header = format::check_header(&bytes);
+    let quarantine_bytes = std::fs::metadata(quarantine_path(path))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    if header != HeaderCheck::Ok {
+        return Ok(VerifyReport {
+            header,
+            valid_records: 0,
+            valid_bytes: 0,
+            tail_bytes: bytes.len() as u64,
+            corruption: Some(Corruption::TornFrame),
+            quarantine_bytes,
+        });
+    }
+    let scan = format::scan_records(&bytes);
+    Ok(VerifyReport {
+        header,
+        valid_records: scan.records.len(),
+        valid_bytes: scan.valid_len as u64,
+        tail_bytes: (bytes.len() - scan.valid_len) as u64,
+        corruption: scan.corrupt,
+        quarantine_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faults::{FailAppend, PartialRead};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("alt-store-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d.join("store.alts")
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_reopen() {
+        let path = tmp("roundtrip");
+        {
+            let store = Store::open(&path).expect("open");
+            assert!(store.put(kind::MEASUREMENT, 7, b"abc").expect("put"));
+            assert!(!store.put(kind::MEASUREMENT, 7, b"abc").expect("dup"));
+            assert!(store.put(kind::WINNER, 7, b"xyz").expect("other kind"));
+            assert_eq!(
+                store.get(kind::MEASUREMENT, 7).as_deref(),
+                Some(&b"abc"[..])
+            );
+        }
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(kind::WINNER, 7).as_deref(), Some(&b"xyz"[..]));
+        assert_eq!(store.recovery().corrupt_events, 0);
+        let stats = store.stats();
+        assert_eq!((stats.measurements, stats.winners), (1, 1));
+        assert!(verify_path(&path).expect("verify").clean());
+    }
+
+    #[test]
+    fn torn_append_wedges_and_recovery_truncates() {
+        let path = tmp("torn");
+        {
+            let store = Store::open(&path).expect("open");
+            store.put(kind::MEASUREMENT, 1, b"first").expect("put");
+        }
+        {
+            let hook = Arc::new(FailAppend::new(0, IoFault::Torn { keep: 9 }));
+            let store = Store::open_with_faults(&path, hook.clone()).expect("open");
+            let err = store
+                .put(kind::MEASUREMENT, 2, b"second record payload")
+                .expect_err("torn");
+            assert_eq!(err.kind(), "store");
+            assert!(store.is_wedged());
+            // Wedged: further appends refuse rather than writing bytes
+            // that recovery would discard.
+            assert!(store.put(kind::MEASUREMENT, 3, b"third").is_err());
+            assert_eq!(hook.fired(), 1);
+        }
+        // The segment now ends in a half-frame; verify sees it...
+        let before = verify_path(&path).expect("verify");
+        assert!(!before.clean());
+        assert_eq!(before.valid_records, 1);
+        assert_eq!(before.tail_bytes, 9);
+        // ...and a writer open recovers: record 1 survives, the tail is
+        // quarantined, the segment is clean again.
+        let store = Store::open(&path).expect("recovering open");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.recovery().corrupt_events, 1);
+        assert_eq!(store.recovery().quarantined_bytes, 9);
+        assert_eq!(
+            store.get(kind::MEASUREMENT, 1).as_deref(),
+            Some(&b"first"[..])
+        );
+        store
+            .put(kind::MEASUREMENT, 2, b"retry")
+            .expect("append after recovery");
+        let after = verify_path(&path).expect("verify");
+        assert!(after.clean());
+        assert_eq!(after.valid_records, 2);
+        assert_eq!(after.quarantine_bytes, 9);
+    }
+
+    #[test]
+    fn enospc_fails_without_corrupting() {
+        let path = tmp("enospc");
+        let hook = Arc::new(FailAppend::new(1, IoFault::Enospc));
+        let store = Store::open_with_faults(&path, hook).expect("open");
+        store.put(kind::MEASUREMENT, 1, b"ok").expect("put");
+        let err = store
+            .put(kind::MEASUREMENT, 2, b"fails")
+            .expect_err("enospc");
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert!(!store.is_wedged(), "nothing reached the file");
+        // The store keeps working once space is back.
+        store
+            .put(kind::MEASUREMENT, 3, b"later")
+            .expect("put after enospc");
+        assert_eq!(store.len(), 2);
+        assert!(verify_path(&path).expect("verify").clean());
+    }
+
+    #[test]
+    fn partial_read_recovers_observed_prefix() {
+        let path = tmp("partial");
+        let full_len;
+        {
+            let store = Store::open(&path).expect("open");
+            store.put(kind::MEASUREMENT, 1, b"aaaa").expect("put");
+            store.put(kind::MEASUREMENT, 2, b"bbbb").expect("put");
+            full_len = store.stats().file_bytes as usize;
+        }
+        // A partial read that cuts into the second record: recovery
+        // keeps the first and quarantines what it saw of the second.
+        let keep = full_len - 2;
+        let store = Store::open_with_faults(&path, Arc::new(PartialRead { keep })).expect("open");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.recovery().corrupt_events, 1);
+        assert!(store.get(kind::MEASUREMENT, 1).is_some());
+        assert!(store.get(kind::MEASUREMENT, 2).is_none());
+    }
+
+    #[test]
+    fn incompatible_version_and_foreign_files_are_rejected() {
+        let path = tmp("version");
+        {
+            Store::open(&path).expect("create");
+        }
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[8..12].copy_from_slice(&999u32.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        let err = Store::open(&path).expect_err("version");
+        assert!(err.to_string().contains("v999"), "{err}");
+        std::fs::write(&path, b"this is not a store segment at all").expect("write");
+        let err = Store::open(&path).expect_err("magic");
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn short_torn_header_is_quarantined_not_fatal() {
+        let path = tmp("shorthdr");
+        std::fs::write(&path, b"ALT").expect("write");
+        let store = Store::open(&path).expect("open recovers");
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.recovery().quarantined_bytes, 3);
+        store.put(kind::MEASUREMENT, 1, b"x").expect("usable");
+    }
+
+    #[test]
+    fn readonly_reports_but_does_not_mutate() {
+        let path = tmp("readonly");
+        {
+            let store = Store::open(&path).expect("open");
+            store.put(kind::MEASUREMENT, 1, b"keep").expect("put");
+        }
+        // Corrupt the tail by hand.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let dirty_len = bytes.len() + 5;
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]);
+        std::fs::write(&path, &bytes).expect("write");
+        let ro = Store::open_readonly(&path).expect("ro open");
+        assert!(ro.read_only());
+        assert_eq!(ro.len(), 1);
+        assert_eq!(ro.recovery().pending_tail_bytes, 5);
+        assert_eq!(ro.recovery().quarantined_bytes, 0);
+        assert!(ro.put(kind::MEASUREMENT, 9, b"no").is_err());
+        assert_eq!(std::fs::read(&path).expect("read").len(), dirty_len);
+        // Missing file: read-only open is an error, not a create.
+        let missing = path.with_extension("missing");
+        assert!(Store::open_readonly(&missing).is_err());
+    }
+
+    #[test]
+    fn gc_compacts_and_clears_quarantine() {
+        let path = tmp("gc");
+        {
+            let store = Store::open(&path).expect("open");
+            store.put(kind::MEASUREMENT, 1, b"one").expect("put");
+            store.put(kind::WINNER, 2, b"two").expect("put");
+        }
+        // Manufacture a corrupt tail, recover it (creating quarantine),
+        // then gc.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(&[0xde, 0xad]);
+        std::fs::write(&path, &bytes).expect("write");
+        let store = Store::open(&path).expect("open");
+        assert_eq!(store.stats().quarantine_bytes, 2);
+        let report = store.gc().expect("gc");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.quarantine_removed, 2);
+        assert_eq!(store.stats().quarantine_bytes, 0);
+        // Still writable after the inode swap, and reopenable.
+        store
+            .put(kind::MEASUREMENT, 3, b"three")
+            .expect("post-gc put");
+        drop(store);
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.len(), 3);
+        assert!(verify_path(&path).expect("verify").clean());
+    }
+
+    #[test]
+    fn records_preserve_file_order() {
+        let path = tmp("order");
+        let store = Store::open(&path).expect("open");
+        for k in [5u64, 1, 9, 3] {
+            store
+                .put(kind::MEASUREMENT, k, &k.to_le_bytes())
+                .expect("put");
+        }
+        let keys: Vec<u64> = store.records().iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![5, 1, 9, 3]);
+    }
+}

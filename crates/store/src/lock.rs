@@ -1,0 +1,112 @@
+//! Advisory writer lock for the segment file.
+//!
+//! Writers serialize through an OS advisory lock on a sibling
+//! `<segment>.lock` file; readers never touch it, so reads stay
+//! lock-free (the checksummed format makes a concurrently-appended tail
+//! safe to read — an incomplete frame is simply not yet part of the
+//! store). The lock is held for the lifetime of the writer handle and
+//! released by the OS even if the process is SIGKILLed, which is exactly
+//! the crash model the recovery scan covers.
+
+use std::fs::{File, OpenOptions, TryLockError};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use alt_error::AltError;
+
+/// How long a writer waits for a competing writer before giving up.
+pub(crate) const LOCK_WAIT: Duration = Duration::from_secs(5);
+
+/// An exclusive advisory lock, held until dropped.
+#[derive(Debug)]
+pub(crate) struct WriterLock {
+    file: File,
+}
+
+impl WriterLock {
+    /// The lock-file path guarding `segment`.
+    pub(crate) fn path_for(segment: &Path) -> PathBuf {
+        let mut os = segment.as_os_str().to_owned();
+        os.push(".lock");
+        PathBuf::from(os)
+    }
+
+    /// Acquires the lock, waiting up to `wait` for another writer.
+    pub(crate) fn acquire(segment: &Path, wait: Duration) -> Result<WriterLock, AltError> {
+        let path = Self::path_for(segment);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)
+            .map_err(|e| AltError::Store {
+                detail: format!("opening lock file {}: {e}", path.display()),
+            })?;
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            match file.try_lock() {
+                Ok(()) => break,
+                Err(TryLockError::WouldBlock) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(AltError::Store {
+                            detail: format!(
+                                "store is locked by another writer ({}); \
+                                 waited {:.1}s",
+                                path.display(),
+                                wait.as_secs_f64()
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(TryLockError::Error(e)) => {
+                    return Err(AltError::Store {
+                        detail: format!("locking {}: {e}", path.display()),
+                    })
+                }
+            }
+        }
+        // Best-effort breadcrumb for humans inspecting a stuck lock; the
+        // lock itself is the flock, not the contents.
+        let mut f = &file;
+        let _ = writeln!(f, "pid {}", std::process::id());
+        Ok(WriterLock { file })
+    }
+}
+
+impl Drop for WriterLock {
+    fn drop(&mut self) {
+        // Unlock before the handle closes so a waiting writer wakes
+        // promptly. The lock file itself is left in place: removing it
+        // would race a writer that just opened (but not yet locked) it.
+        let _ = self.file.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_segment(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("alt-store-lock-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d.join("seg.alts")
+    }
+
+    #[test]
+    fn second_writer_times_out_while_first_holds() {
+        let seg = tmp_segment("contend");
+        let held = WriterLock::acquire(&seg, Duration::from_millis(50)).expect("first lock");
+        let err =
+            WriterLock::acquire(&seg, Duration::from_millis(120)).expect_err("second must wait");
+        assert_eq!(err.kind(), "store");
+        assert!(err.to_string().contains("another writer"), "{err}");
+        drop(held);
+        // Released: a new writer acquires immediately.
+        let _again = WriterLock::acquire(&seg, Duration::from_millis(50)).expect("relock");
+        assert!(WriterLock::path_for(&seg)
+            .to_string_lossy()
+            .ends_with(".lock"));
+    }
+}

@@ -60,6 +60,7 @@ pub fn render_report(records: &[Record]) -> String {
     render_budget(records, &mut out);
     render_attempts(records, &mut out);
     render_cache(records, &mut out);
+    render_store(records, &mut out);
     render_faults(records, &mut out);
     render_cost_model(records, &mut out);
     render_counters(records, &mut out);
@@ -223,6 +224,43 @@ fn render_cache(records: &[Record], out: &mut String) {
     out.push_str("--- measurement cache ---\n");
     out.push_str(&format!(
         "{total:.0} simulation lookups: {hits:.0} hits, {misses:.0} misses (hit rate {rate:.1}%)\n"
+    ));
+    out.push('\n');
+}
+
+/// Durable-store effectiveness: hits served from the on-disk tuning
+/// store without simulating, and misses that simulated then published.
+/// Silent for runs without a store attached (the counters only exist
+/// when one is).
+fn render_store(records: &[Record], out: &mut String) {
+    let mut hits = None;
+    let mut misses = None;
+    for r in records {
+        if let Record::Counter(c) = r {
+            if c.scope == "sim" {
+                match c.name.as_str() {
+                    "store.hits" => hits = Some(c.value),
+                    "store.misses" => misses = Some(c.value),
+                    _ => {}
+                }
+            }
+        }
+    }
+    if hits.is_none() && misses.is_none() {
+        return;
+    }
+    let hits = hits.unwrap_or(0.0);
+    let misses = misses.unwrap_or(0.0);
+    let total = hits + misses;
+    let rate = if total > 0.0 {
+        hits / total * 100.0
+    } else {
+        0.0
+    };
+    out.push_str("--- durable tuning store ---\n");
+    out.push_str(&format!(
+        "{total:.0} store lookups: {hits:.0} served from store, {misses:.0} simulated \
+         and published (hit rate {rate:.1}%)\n"
     ));
     out.push('\n');
 }
@@ -651,6 +689,34 @@ mod tests {
         // Pre-cache traces have no section.
         let report3 = render_report(&[measurement(1, "op", Stage::Joint, 1e-3, 1e-3)]);
         assert!(!report3.contains("measurement cache"), "{report3}");
+    }
+
+    #[test]
+    fn store_counters_render_their_own_section() {
+        let counter = |name: &str, value: f64| {
+            Record::Counter(CounterRecord {
+                scope: "sim".into(),
+                name: name.into(),
+                value,
+            })
+        };
+        let records = vec![
+            measurement(1, "op", Stage::Joint, 1e-3, 1e-3),
+            counter("store.hits", 6.0),
+            counter("store.misses", 2.0),
+        ];
+        let report = render_report(&records);
+        assert!(report.contains("--- durable tuning store ---"), "{report}");
+        assert!(
+            report.contains(
+                "8 store lookups: 6 served from store, 2 simulated \
+                 and published (hit rate 75.0%)"
+            ),
+            "{report}"
+        );
+        // Store-less runs have no section.
+        let report2 = render_report(&[measurement(1, "op", Stage::Joint, 1e-3, 1e-3)]);
+        assert!(!report2.contains("durable tuning store"), "{report2}");
     }
 
     #[test]
