@@ -24,6 +24,7 @@ pub mod nn;
 pub mod parallel;
 pub mod ppo;
 pub mod pretrain;
+pub mod progress;
 pub mod rng;
 pub mod space;
 pub mod tuner;
@@ -36,6 +37,7 @@ pub use measure::Measurer;
 pub use parallel::ordered_map;
 pub use ppo::{CriticState, PpoAgent, PpoWeights, SharedCritic};
 pub use pretrain::{pretrain_ppo, tune_with_pretraining};
+pub use progress::Progress;
 pub use rng::SharedRng;
 pub use space::{build_layout_template, build_loop_space, LayoutTemplate, Point, Space};
 pub use tuner::{

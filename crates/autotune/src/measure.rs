@@ -17,11 +17,12 @@ use alt_loopir::{lower, try_lower_filtered, GraphSchedule, Program};
 use alt_sim::{MachineProfile, SimCache, Simulator};
 use alt_telemetry::{
     CounterRegistry, MeasurementFailureRecord, MeasurementRecord, Record, SimCounters, Stage,
-    Telemetry,
+    Telemetry, Timing,
 };
 use alt_tensor::{Graph, OpId};
 
 use crate::fault::{Fault, FaultInjector};
+use crate::progress::Progress;
 
 /// Labels attached to the next measurement (who is measuring and why).
 /// The tuner updates this as it moves between ops, stages and candidates.
@@ -96,6 +97,13 @@ pub struct Measurer<'g> {
     cache: Arc<SimCache>,
     telemetry: Telemetry,
     registry: CounterRegistry,
+    /// Wall-clock self-profile (disabled by default). Observation-only:
+    /// it has its own sink and registry, so enabling it cannot change
+    /// the measurement transcript.
+    timing: Timing,
+    /// Live stderr heartbeat (disabled by default), ticked once per
+    /// consumed budget unit.
+    progress: Progress,
     injector: Option<FaultInjector>,
     best_by_op: HashMap<String, f64>,
     /// Budget units consumed so far.
@@ -125,6 +133,8 @@ impl<'g> Measurer<'g> {
             cache: Arc::new(SimCache::new(&profile)),
             telemetry,
             registry: CounterRegistry::new("sim"),
+            timing: Timing::disabled(),
+            progress: Progress::disabled(),
             injector: None,
             best_by_op: HashMap::new(),
             used: 0,
@@ -143,6 +153,19 @@ impl<'g> Measurer<'g> {
     /// — the measurement path is byte-for-byte the reliable one.
     pub fn set_injector(&mut self, injector: Option<FaultInjector>) {
         self.injector = injector;
+    }
+
+    /// Attaches the wall-clock self-profile: `measure_program` opens a
+    /// `simulate` phase around each cache probe. Timing writes to its
+    /// own sink, so attaching it cannot change the run.
+    pub fn set_timing(&mut self, timing: Timing) {
+        self.timing = timing;
+    }
+
+    /// Attaches the live progress heartbeat, ticked once per consumed
+    /// budget unit.
+    pub fn set_progress(&mut self, progress: Progress) {
+        self.progress = progress;
     }
 
     /// Per-op best-so-far latencies (for checkpointing).
@@ -236,6 +259,7 @@ impl<'g> Measurer<'g> {
             Ok(program) => self.measure_program(&program),
             Err(e) => {
                 self.used += 1;
+                self.tick_progress();
                 self.last_probe = None;
                 self.record_failure(&e);
                 Err(e)
@@ -251,6 +275,7 @@ impl<'g> Measurer<'g> {
     /// or off, so tracing never perturbs a run.
     pub fn measure_program(&mut self, program: &Program) -> Result<f64, AltError> {
         self.used += 1;
+        self.tick_progress();
         self.last_probe = None;
         let mut noise = 1.0;
         if let Some(inj) = self.injector.as_mut() {
@@ -272,7 +297,14 @@ impl<'g> Measurer<'g> {
         // so a cached `Counters` entry reproduces either bit-for-bit. A
         // hit still consumed this call's budget unit above and still
         // emits its one trace record below.
-        let (c, hit) = match self.cache.try_profile(&self.sim, program) {
+        // The cache probe (memo hit, store serve, or cold simulation) is
+        // the unit of `simulate` wall-clock attribution; the memo cache's
+        // attached registry breaks the same interval down by path.
+        let probe = {
+            let _simulate = self.timing.phase("simulate");
+            self.cache.try_profile(&self.sim, program)
+        };
+        let (c, hit) = match probe {
             Ok(v) => v,
             Err(e) => {
                 self.record_failure(&e);
@@ -319,6 +351,13 @@ impl<'g> Measurer<'g> {
         }
         self.history.push((self.used, lat));
         Ok(lat)
+    }
+
+    /// One progress heartbeat per consumed budget unit (no-op unless
+    /// `--progress` attached a reporter).
+    fn tick_progress(&self) {
+        self.progress
+            .tick(self.used, self.cache_stats(), self.store_stats());
     }
 
     /// Emits the failure record for the budget unit just consumed.

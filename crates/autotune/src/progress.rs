@@ -1,0 +1,170 @@
+//! Live tuning progress: a throttled stderr heartbeat.
+//!
+//! The heartbeat is strictly observational — it reads the budget counter
+//! and cache/store statistics that the tuner maintains anyway, draws
+//! nothing from the RNG, and writes only to stderr (never to the trace,
+//! journal or timing sinks), so `--progress` cannot change a run.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Minimum wall-clock seconds between heartbeat lines.
+const DEFAULT_INTERVAL_S: f64 = 1.0;
+
+/// A throttled stderr progress reporter. Disabled by default
+/// ([`Progress::disabled`]): every tick is a no-op and costs no clock
+/// read.
+pub struct Progress {
+    inner: Option<ProgressInner>,
+}
+
+struct ProgressInner {
+    /// Total budget (joint + loop), for the fraction and the ETA.
+    total: u64,
+    t0: Instant,
+    min_interval_s: f64,
+    /// Elapsed seconds at the last printed line (`None` before the
+    /// first). Mutex, not atomic: ticks are rare and the lock also
+    /// serializes the stderr writes of concurrent measurers.
+    last_print_s: Mutex<Option<f64>>,
+}
+
+impl Progress {
+    /// The disabled reporter: no clock, no output.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled reporter for a run of `total` budget units, printing
+    /// at most once a second.
+    pub fn enabled(total: u64) -> Self {
+        Self::with_interval(total, DEFAULT_INTERVAL_S)
+    }
+
+    /// An enabled reporter with a custom throttle interval (tests use
+    /// `0.0` to capture every tick).
+    pub fn with_interval(total: u64, min_interval_s: f64) -> Self {
+        Self {
+            inner: Some(ProgressInner {
+                total,
+                t0: Instant::now(),
+                min_interval_s,
+                last_print_s: Mutex::new(None),
+            }),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reports one consumed budget unit. Prints a heartbeat line to
+    /// stderr when at least the throttle interval has passed since the
+    /// last one (the first tick always prints).
+    pub fn tick(&self, used: u64, cache: (u64, u64), store: (u64, u64)) {
+        let Some(inner) = &self.inner else { return };
+        let elapsed = inner.t0.elapsed().as_secs_f64();
+        let mut last = inner.last_print_s.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(prev) = *last {
+            if elapsed - prev < inner.min_interval_s {
+                return;
+            }
+        }
+        *last = Some(elapsed);
+        eprintln!("{}", line(used, inner.total, elapsed, cache, store));
+    }
+}
+
+/// Formats one heartbeat line (pure; the testable core of [`Progress`]).
+///
+/// `progress: 37/1000 (3.7%) | 123.4 cand/s | cache 45.0% | store 10.0% | eta 7.8s`
+///
+/// The store segment reads `store -` when no store has served anything,
+/// and the ETA reads `eta -` until a rate exists to extrapolate from.
+pub fn line(used: u64, total: u64, elapsed_s: f64, cache: (u64, u64), store: (u64, u64)) -> String {
+    let pct = if total > 0 {
+        used as f64 / total as f64 * 100.0
+    } else {
+        100.0
+    };
+    let rate = if elapsed_s > 0.0 {
+        used as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let cache_part = match cache.0 + cache.1 {
+        0 => "cache -".to_string(),
+        n => format!("cache {:.1}%", cache.0 as f64 / n as f64 * 100.0),
+    };
+    let store_part = match store.0 + store.1 {
+        0 => "store -".to_string(),
+        n => format!("store {:.1}%", store.0 as f64 / n as f64 * 100.0),
+    };
+    let eta_part = if rate > 0.0 && total > used {
+        format!("eta {:.1}s", (total - used) as f64 / rate)
+    } else if total <= used {
+        "eta 0.0s".to_string()
+    } else {
+        "eta -".to_string()
+    };
+    format!(
+        "progress: {used}/{total} ({pct:.1}%) | {rate:.1} cand/s | {cache_part} | {store_part} | {eta_part}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_formats_every_segment() {
+        let s = line(37, 1000, 2.0, (45, 55), (10, 90));
+        assert_eq!(
+            s,
+            "progress: 37/1000 (3.7%) | 18.5 cand/s | cache 45.0% | store 10.0% | eta 52.1s"
+        );
+    }
+
+    #[test]
+    fn empty_statistics_render_as_dashes() {
+        let s = line(0, 100, 0.0, (0, 0), (0, 0));
+        assert!(s.contains("cache -"), "{s}");
+        assert!(s.contains("store -"), "{s}");
+        assert!(s.contains("eta -"), "{s}");
+    }
+
+    #[test]
+    fn finished_run_reports_zero_eta() {
+        let s = line(100, 100, 5.0, (50, 50), (0, 0));
+        assert!(s.contains("(100.0%)"), "{s}");
+        assert!(s.contains("eta 0.0s"), "{s}");
+    }
+
+    #[test]
+    fn disabled_progress_ticks_silently() {
+        let p = Progress::disabled();
+        assert!(!p.is_enabled());
+        p.tick(1, (0, 0), (0, 0));
+    }
+
+    #[test]
+    fn throttle_suppresses_rapid_ticks() {
+        // With a huge interval only the first tick prints; the test
+        // observes the throttle state rather than capturing stderr.
+        let p = Progress::with_interval(10, 1e9);
+        p.tick(1, (0, 0), (0, 0));
+        let inner = p.inner.as_ref().expect("enabled");
+        let first = inner
+            .last_print_s
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("first tick prints");
+        p.tick(2, (0, 0), (0, 0));
+        let second = inner
+            .last_print_s
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("state survives");
+        assert_eq!(first.to_bits(), second.to_bits(), "second tick throttled");
+    }
+}

@@ -29,7 +29,7 @@ use alt_layout::{presets, Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{try_lower_filtered, GraphSchedule, OpSchedule};
 use alt_sim::MachineProfile;
 use alt_telemetry::{
-    CostModelRecord, CounterRegistry, PpoUpdateRecord, Record, Span, Stage, Telemetry,
+    CostModelRecord, CounterRegistry, PpoUpdateRecord, Record, Span, Stage, Telemetry, Timing,
     VerifyRejectionRecord,
 };
 use alt_tensor::{Graph, OpId, OpTag};
@@ -164,6 +164,20 @@ pub struct TuneConfig {
     /// stay bit-identical to store-less runs — only how much simulation
     /// work it takes to get there.
     pub store: Option<std::sync::Arc<alt_store::Store>>,
+    /// Wall-clock self-profile (`altc --timing`). Disabled
+    /// (`Timing::disabled()`) by default. When enabled, the tuner opens
+    /// phases (`joint_stage`, `loop_stage`, `candidate_gen`, `lower`,
+    /// `gbt_score`, `prewarm`, `measure`, `simulate`, `retry`,
+    /// `checkpoint`) on the accounting thread and attaches the timing
+    /// registry to the memo cache and store for I/O latency histograms.
+    /// Timing is observation-only: it has its own sink and never writes
+    /// to the deterministic trace/journal streams, so enabling it
+    /// cannot change a run.
+    pub timing: Timing,
+    /// Print a throttled progress heartbeat to stderr (`altc
+    /// --progress`): budget fraction, candidates/s, cache and store hit
+    /// rates, ETA. Reads existing statistics only; cannot change a run.
+    pub progress: bool,
 }
 
 impl Default for TuneConfig {
@@ -195,6 +209,8 @@ impl Default for TuneConfig {
             verify: true,
             journal: alt_journal::Journal::noop(),
             store: None,
+            timing: Timing::disabled(),
+            progress: false,
         }
     }
 }
@@ -352,6 +368,22 @@ impl<'g> Tuner<'g> {
         if let Some(store) = &cfg.store {
             measurer.attach_store(store.clone());
         }
+        // Wall-clock timing: the handle's registry becomes the latency
+        // sink of the memo cache (`memo.*_us`) and the store
+        // (`store.*_us`), and the measurer opens a `simulate` phase per
+        // cache probe. All of it is observation-only.
+        if let Some(reg) = cfg.timing.registry() {
+            measurer.sim_cache().attach_registry(reg.clone());
+            if let Some(store) = &cfg.store {
+                store.attach_registry(reg);
+            }
+            measurer.set_timing(cfg.timing.clone());
+        }
+        if cfg.progress {
+            measurer.set_progress(crate::progress::Progress::enabled(
+                cfg.joint_budget + cfg.loop_budget,
+            ));
+        }
         Self {
             graph,
             cfg,
@@ -474,6 +506,7 @@ impl<'g> Tuner<'g> {
         let mut halted = false;
         if joint_ran && !reps.is_empty() && !skip_joint {
             let span = Span::enter(&telemetry, "joint_stage");
+            let _timing = self.cfg.timing.phase("joint_stage");
             self.measurer.ctx.stage = Stage::Joint;
             if start_rep == 0 {
                 joint_start = self.measurer.used;
@@ -542,6 +575,7 @@ impl<'g> Tuner<'g> {
         let target = if joint_ran { self.cfg.joint_budget } else { 0 } + self.cfg.loop_budget;
         if !halted && !reps.is_empty() && self.measurer.used < target {
             let _span = Span::enter(&telemetry, "loop_stage");
+            let _timing = self.cfg.timing.phase("loop_stage");
             self.measurer.ctx.stage = Stage::Loop;
             let mut i = start_loop_iter;
             while self.measurer.used < target {
@@ -855,6 +889,7 @@ impl<'g> Tuner<'g> {
             return false;
         }
         if let Some(path) = self.cfg.checkpoint_path.clone() {
+            let _timing = self.cfg.timing.phase("checkpoint");
             let ck = self.snapshot(
                 phase,
                 next_rep,
@@ -895,7 +930,15 @@ impl<'g> Tuner<'g> {
             } else {
                 100u64 << (attempt - 2).min(20)
             };
-            match self.measurer.measure_ops(plan, sched, roots) {
+            // Re-attempts get their own wall-clock phase so fault/retry
+            // cost shows up separately from first-try measurement.
+            let attempt_result = if attempt > 1 {
+                let _timing = self.cfg.timing.phase("retry");
+                self.measurer.measure_ops(plan, sched, roots)
+            } else {
+                self.measurer.measure_ops(plan, sched, roots)
+            };
+            match attempt_result {
                 Ok(lat) => {
                     self.measurer.ctx.attempt = 1;
                     self.measurer.ctx.backoff_us = 0;
@@ -1277,7 +1320,10 @@ impl<'g> Tuner<'g> {
             // On total failure the incumbent stays at infinity; any healthy
             // candidate below will replace it.
             let used_before = self.measurer.used;
-            let lat = self.measure_with_retry(plan, sched, &roots, budget_cap);
+            let lat = {
+                let _timing = self.cfg.timing.phase("measure");
+                self.measure_with_retry(plan, sched, &roots, budget_cap)
+            };
             self.journal_attempted(provenance::INCUMBENT, &[], None, lat, used_before);
             if let Some(lat) = lat {
                 best.0 = lat;
@@ -1296,6 +1342,7 @@ impl<'g> Tuner<'g> {
             }
             // Candidate batch: random exploration plus walks around the
             // incumbent.
+            let timing_gen = self.cfg.timing.phase("candidate_gen");
             let mut candidates: Vec<(Point, &'static str)> = Vec::with_capacity(self.cfg.batch);
             for b in 0..self.cfg.batch {
                 if best.1.is_empty() || b % 3 == 0 {
@@ -1329,6 +1376,7 @@ impl<'g> Tuner<'g> {
                     self.journal_dropped(origin, &p, outcome::SKIPPED, None);
                 }
             }
+            drop(timing_gen);
             // Lower every candidate and extract its features across the
             // worker pool. This is the generation's pure, embarrassingly
             // parallel work: lowering and featurization depend only on
@@ -1345,17 +1393,24 @@ impl<'g> Tuner<'g> {
             // counted and traced (in the sequential merge below, so the
             // transcript stays jobs-invariant).
             type LoweredCandidate = Result<(OpSchedule, Vec<f32>), Option<alt_verify::Diagnostic>>;
+            let timing_lower = self.cfg.timing.phase("lower");
             let lowered: Vec<LoweredCandidate> = {
                 let graph = self.graph;
                 let sched_ref: &GraphSchedule = sched;
                 let single: HashSet<OpId> = [op].into_iter().collect();
                 let verify = self.cfg.verify;
+                // Workers report per-candidate lowering latency into the
+                // timing registry (thread-safe histograms), never the
+                // phase tree — the tree stays on the accounting thread.
+                let timing = self.cfg.timing.clone();
                 ordered_map(&candidates, jobs, |_, (p, _)| {
                     let s = decode_loop_point(graph, plan, op, &space, p);
                     let mut trial_sched = sched_ref.clone();
                     trial_sched.set(op, s.clone());
-                    let program = try_lower_filtered(graph, plan, &trial_sched, Some(&single))
-                        .map_err(|_| None)?;
+                    let t0 = std::time::Instant::now();
+                    let program = try_lower_filtered(graph, plan, &trial_sched, Some(&single));
+                    timing.observe_us("candidate.lower_us", t0.elapsed().as_micros() as u64);
+                    let program = program.map_err(|_| None)?;
                     if verify {
                         // The verifier is pure and deterministic, so it can
                         // run on workers; only the first (smallest-code)
@@ -1370,8 +1425,10 @@ impl<'g> Tuner<'g> {
                     Ok((s, extract_features(&program)))
                 })
             };
+            drop(timing_lower);
             // Rank by the cost model (higher prediction = faster); the
             // GBT prediction itself stays on the tuning thread.
+            let timing_score = self.cfg.timing.phase("gbt_score");
             let mut scored: Vec<(f64, Point, &'static str, OpSchedule, Vec<f32>)> = Vec::new();
             for ((p, origin), lf) in candidates.into_iter().zip(lowered) {
                 let (s, feats) = match lf {
@@ -1413,6 +1470,7 @@ impl<'g> Tuner<'g> {
             if model_trained {
                 scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             }
+            drop(timing_score);
             // Measure the predicted top-k. `k` respects the remaining
             // budget cap strictly: when nothing is left, the round stops.
             let k = self
@@ -1437,6 +1495,7 @@ impl<'g> Tuner<'g> {
             // single-core machine), where inline prewarming would only
             // duplicate the lowering work.
             if jobs > 1 {
+                let _timing = self.cfg.timing.phase("prewarm");
                 let graph = self.graph;
                 let sim = self.measurer.simulator();
                 let cache = self.measurer.sim_cache();
@@ -1457,6 +1516,7 @@ impl<'g> Tuner<'g> {
             for (_, p, origin, _, _) in scored.split_off(k) {
                 self.journal_dropped(origin, &p, outcome::SKIPPED, None);
             }
+            let timing_measure = self.cfg.timing.phase("measure");
             for (score, p, origin, s, feats) in scored {
                 let cap = budget_cap.saturating_sub(self.measurer.used - start);
                 if cap == 0 {
@@ -1489,6 +1549,7 @@ impl<'g> Tuner<'g> {
                     sched.set(op, s);
                 }
             }
+            drop(timing_measure);
             self.measurer.ctx.predicted_cost = None;
             let state = self.loop_state.get_mut(&op).expect("state exists");
             if self.cfg.telemetry.is_enabled() && measured.len() >= 2 {
@@ -2223,5 +2284,99 @@ mod tests {
             "wrong graph must be rejected"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn timing_and_progress_do_not_change_the_run() {
+        let g = small_conv_graph();
+        let cfg = |timing: Timing, progress: bool, telemetry: Telemetry| TuneConfig {
+            joint_budget: 12,
+            loop_budget: 18,
+            batch: 8,
+            topk: 2,
+            free_input_layouts: true,
+            seed: 9,
+            telemetry,
+            timing,
+            progress,
+            ..TuneConfig::default()
+        };
+        let (t_plain, sink_plain) = Telemetry::memory();
+        let plain = tune_graph(&g, intel_cpu(), cfg(Timing::disabled(), false, t_plain));
+        let (t_timed, sink_timed) = Telemetry::memory();
+        let timing = Timing::enabled();
+        let timed = tune_graph(&g, intel_cpu(), cfg(timing.clone(), true, t_timed));
+        // Timing and progress are observation-only: winner, budget,
+        // history and the full deterministic trace are bit-identical.
+        assert_eq!(plain.latency.to_bits(), timed.latency.to_bits());
+        assert_eq!(plain.measurements, timed.measurements);
+        assert_eq!(plain.history, timed.history);
+        for k in 0..g.nodes().len() {
+            assert_eq!(
+                format!("{:?}", plain.sched.get(OpId(k))),
+                format!("{:?}", timed.sched.get(OpId(k))),
+                "winner schedule of op {k} must be bit-identical"
+            );
+        }
+        assert_eq!(
+            sink_plain.records().len(),
+            sink_timed.records().len(),
+            "timing must not add records to the deterministic trace"
+        );
+        // ... while the timing handle itself accumulated a phase tree.
+        let root = timing.snapshot().expect("timing enabled");
+        assert!(root.find("loop_stage").is_some(), "{root:?}");
+        assert!(root.is_conserved(), "{root:?}");
+    }
+
+    #[test]
+    fn timing_phase_tree_names_the_pipeline_stages() {
+        let g = small_conv_graph();
+        let timing = Timing::enabled();
+        let cfg = TuneConfig {
+            joint_budget: 12,
+            loop_budget: 18,
+            batch: 8,
+            topk: 2,
+            free_input_layouts: true,
+            seed: 9,
+            timing: timing.clone(),
+            ..TuneConfig::default()
+        };
+        let result = tune_graph(&g, intel_cpu(), cfg);
+        let root = timing.snapshot().expect("timing enabled");
+        assert!(root.is_conserved(), "{root:?}");
+        let joint = root.find("joint_stage").expect("joint stage ran");
+        let lp = root.find("loop_stage").expect("loop stage ran");
+        // Every stage decomposes into the round phases; measure wraps
+        // one `simulate` probe per consumed budget unit.
+        for stage in [joint, lp] {
+            assert!(stage.find("candidate_gen").is_some(), "{stage:?}");
+            assert!(stage.find("lower").is_some(), "{stage:?}");
+            assert!(stage.find("measure").is_some(), "{stage:?}");
+        }
+        let simulate_count: u64 = [joint, lp]
+            .iter()
+            .flat_map(|s| s.find("measure"))
+            .filter_map(|m| m.find("simulate"))
+            .map(|s| s.count)
+            .sum();
+        assert!(
+            simulate_count <= result.measurements,
+            "simulate probes ({simulate_count}) cannot exceed budget ({})",
+            result.measurements
+        );
+        assert!(simulate_count > 0, "{root:?}");
+        // The worker-side channel recorded per-candidate lowering times
+        // into the wall registry.
+        let hists = timing.registry().expect("enabled").histograms();
+        assert!(
+            hists.iter().any(|(n, _)| n == "candidate.lower_us"),
+            "{hists:?}"
+        );
+        assert!(
+            hists.iter().any(|(n, _)| n == "memo.lookup_us"),
+            "{hists:?}"
+        );
     }
 }

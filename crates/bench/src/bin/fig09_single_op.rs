@@ -34,6 +34,7 @@ fn alt_tune(
     seed: u64,
     journal: alt_journal::Journal,
     store: Option<std::sync::Arc<alt_store::Store>>,
+    timing: alt_telemetry::Timing,
 ) -> TuneResult {
     // Paper split: 300/700 of 1000 => 30%/70%.
     let joint = (budget as f64 * 0.3) as u64;
@@ -45,6 +46,8 @@ fn alt_tune(
         jobs: alt_bench::jobs(),
         journal,
         store,
+        timing,
+        progress: alt_bench::progress_from_env(),
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -88,6 +91,9 @@ fn main() {
         let (mut store_hits, mut store_misses) = (0u64, 0u64);
         let mut warm_starts = 0u64;
         let mut jstats = alt_bench::JournalStats::new();
+        // Per-platform wall-clock self-profile (ALT_TIMING): every ALT
+        // tuning run on this platform folds into one phase tree.
+        let timing = alt_bench::timing_from_env();
         for case in &cases {
             let g = &case.graph;
             let mut lats: HashMap<String, f64> = HashMap::new();
@@ -107,7 +113,15 @@ fn main() {
             lats.insert("Ansor".into(), ansor_like(g, profile, budget, 1).latency);
             let (journal, jsink) = alt_journal::Journal::memory();
             let t0 = std::time::Instant::now();
-            let alt = alt_tune(g, profile, budget, 1, journal, store.clone());
+            let alt = alt_tune(
+                g,
+                profile,
+                budget,
+                1,
+                journal,
+                store.clone(),
+                timing.clone(),
+            );
             alt_wall += t0.elapsed().as_secs_f64();
             jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
@@ -206,6 +220,17 @@ fn main() {
                 warm_starts as f64,
             );
         }
+        alt_bench::finish_timing(
+            &mut report,
+            "fig09",
+            profile.name,
+            &timing,
+            &[
+                ("budget", serde_json::json!(budget)),
+                ("cases", serde_json::json!(cases.len() as u64)),
+                ("tune_wall_s", serde_json::json!(alt_wall)),
+            ],
+        );
         jstats.finish(&mut report, "fig09", profile.name);
     }
 

@@ -32,6 +32,7 @@ fn alt_full_e2e(
     seed: u64,
     journal: alt_journal::Journal,
     store: Option<std::sync::Arc<alt_store::Store>>,
+    timing: alt_telemetry::Timing,
 ) -> alt_autotune::tuner::TuneResult {
     // Paper split: 8000/12000 of 20000 => 40%/60%.
     let joint = (budget as f64 * 0.4) as u64;
@@ -44,6 +45,8 @@ fn alt_full_e2e(
         jobs: alt_bench::jobs(),
         journal,
         store,
+        timing,
+        progress: alt_bench::progress_from_env(),
         ..TuneConfig::default()
     };
     tune_graph(graph, profile, cfg)
@@ -116,6 +119,9 @@ fn main() {
         let (mut store_hits, mut store_misses) = (0u64, 0u64);
         let mut warm_starts = 0u64;
         let mut jstats = alt_bench::JournalStats::new();
+        // Per-platform wall-clock self-profile (ALT_TIMING): every ALT
+        // tuning run on this platform folds into one phase tree.
+        let timing = alt_bench::timing_from_env();
         for (name, g) in workloads(&profile) {
             let mut lats: HashMap<String, f64> = HashMap::new();
             // Vendor graph compiler: ARM Torch runs eager (no fusion).
@@ -130,7 +136,15 @@ fn main() {
             lats.insert("Ansor".into(), ansor_like(&g, profile, budget, 1).latency);
             let (journal, jsink) = alt_journal::Journal::memory();
             let t0 = std::time::Instant::now();
-            let alt = alt_full_e2e(&g, profile, budget, 1, journal, store.clone());
+            let alt = alt_full_e2e(
+                &g,
+                profile,
+                budget,
+                1,
+                journal,
+                store.clone(),
+                timing.clone(),
+            );
             alt_wall += t0.elapsed().as_secs_f64();
             jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
@@ -248,6 +262,17 @@ fn main() {
                 warm_starts as f64,
             );
         }
+        alt_bench::finish_timing(
+            &mut report,
+            "fig10",
+            profile.name,
+            &timing,
+            &[
+                ("budget", serde_json::json!(budget)),
+                ("networks", serde_json::json!(names.len() as u64)),
+                ("tune_wall_s", serde_json::json!(alt_wall)),
+            ],
+        );
         jstats.finish(&mut report, "fig10", profile.name);
     }
     report.set_profile(serde_json::Value::Object(profiles));

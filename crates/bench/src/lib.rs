@@ -129,6 +129,98 @@ pub fn store_from_env() -> Option<std::sync::Arc<alt_store::Store>> {
     }
 }
 
+/// Reads the wall-clock self-profiling switch from `ALT_TIMING`
+/// (default off). Each call returns a *fresh* handle, so the figure
+/// harnesses take one per platform and get per-platform phase
+/// attribution. Timing is observation-only: any setting yields
+/// bit-identical tuning results.
+pub fn timing_from_env() -> alt_telemetry::Timing {
+    match std::env::var("ALT_TIMING") {
+        Ok(v) if !v.is_empty() && v != "0" => alt_telemetry::Timing::enabled(),
+        _ => alt_telemetry::Timing::disabled(),
+    }
+}
+
+/// Reads the live stderr progress-heartbeat switch from `ALT_PROGRESS`
+/// (default off). Like timing, the heartbeat never changes a run.
+pub fn progress_from_env() -> bool {
+    std::env::var("ALT_PROGRESS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// FNV-1a over a canonical description string — the same fingerprint
+/// construction `alt-core` uses for compile options, applied here to a
+/// benchmark configuration so manifests from different runs of the same
+/// figure/platform/scale can be matched up.
+fn fnv1a(canonical: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds one platform's wall-clock self-profile into the report: builds
+/// the machine-readable timing manifest (phase totals + environment
+/// facts + configuration fingerprint), embeds it in the JSON envelope
+/// under `timing.<platform>`, prints the top-level phase split, and —
+/// with `ALT_BENCH_JSON` set — writes the raw manifest to
+/// `$ALT_BENCH_JSON/<bench>_<platform>.timing.json`. A disabled handle
+/// (no `ALT_TIMING`) is a no-op.
+pub fn finish_timing(
+    report: &mut BenchReport,
+    bench: &str,
+    platform: &str,
+    timing: &alt_telemetry::Timing,
+    env: &[(&str, serde_json::Value)],
+) {
+    let mut facts: Vec<(&str, serde_json::Value)> = vec![
+        ("bench", serde_json::json!(bench)),
+        ("platform", serde_json::json!(platform)),
+        ("os", serde_json::json!(std::env::consts::OS)),
+        ("arch", serde_json::json!(std::env::consts::ARCH)),
+        ("jobs", serde_json::json!(jobs() as u64)),
+        ("budget_scale", serde_json::json!(budget_scale())),
+    ];
+    facts.extend(env.iter().map(|(k, v)| (*k, v.clone())));
+    // The fingerprint names the *configuration*, not the environment:
+    // jobs is excluded because every jobs value is result-identical.
+    let fp = fnv1a(&format!(
+        "bench={bench} platform={platform} scale={}",
+        budget_scale()
+    ));
+    let Some(manifest) = timing.manifest(&facts, fp) else {
+        return;
+    };
+    if let Some(root) = timing.snapshot() {
+        let parts: Vec<String> = root
+            .children
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {:.2} s x{}",
+                    c.name,
+                    c.inclusive_us as f64 / 1e6,
+                    c.count
+                )
+            })
+            .collect();
+        if !parts.is_empty() {
+            println!("ALT pipeline timing on {platform}: {}", parts.join(", "));
+        }
+    }
+    if let Ok(dir) = std::env::var("ALT_BENCH_JSON") {
+        let path = std::path::Path::new(&dir).join(format!("{bench}_{platform}.timing.json"));
+        let body = serde_json::to_string_pretty(&manifest).unwrap_or_default();
+        if let Err(e) = std::fs::write(&path, format!("{body}\n")) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    report.note_timing(platform, manifest);
+}
+
 /// Formats a latency in adaptive units.
 pub fn fmt_latency(seconds: f64) -> String {
     if seconds >= 1e-3 {
@@ -182,6 +274,7 @@ pub struct BenchReport {
     rows: Vec<serde_json::Value>,
     metrics: std::collections::BTreeMap<String, f64>,
     profile: Option<serde_json::Value>,
+    timing: serde_json::Map,
     joint_budget: u64,
     loop_budget: u64,
     measurements: u64,
@@ -197,6 +290,7 @@ impl BenchReport {
             rows: Vec::new(),
             metrics: std::collections::BTreeMap::new(),
             profile: None,
+            timing: serde_json::Map::default(),
             joint_budget: 0,
             loop_budget: 0,
             measurements: 0,
@@ -229,6 +323,13 @@ impl BenchReport {
     /// value of `alt_profiler::summary_json`) to the envelope.
     pub fn set_profile(&mut self, profile: serde_json::Value) {
         self.profile = Some(profile);
+    }
+
+    /// Embeds one platform's pipeline-timing manifest (the value of
+    /// `alt_telemetry::Timing::manifest`) in the envelope under
+    /// `timing.<platform>`. See [`finish_timing`] for the usual path.
+    pub fn note_timing(&mut self, platform: &str, manifest: serde_json::Value) {
+        self.timing.insert(platform.to_string(), manifest);
     }
 
     /// Accumulates the budgets configured for one tuning run.
@@ -276,6 +377,12 @@ impl BenchReport {
             });
             if let (serde_json::Value::Object(o), Some(p)) = (&mut envelope, &self.profile) {
                 o.insert("profile".to_string(), p.clone());
+            }
+            if let (serde_json::Value::Object(o), false) = (&mut envelope, self.timing.is_empty()) {
+                o.insert(
+                    "timing".to_string(),
+                    serde_json::Value::Object(self.timing.clone()),
+                );
             }
             let path = std::path::Path::new(&dir).join(format!("{}.json", self.name));
             if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(&envelope).unwrap())

@@ -50,6 +50,9 @@ struct Args {
     jobs: usize,
     no_verify: bool,
     store: Option<String>,
+    timing: Option<String>,
+    manifest: Option<String>,
+    progress: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +73,9 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         no_verify: false,
         store: None,
+        timing: None,
+        manifest: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -121,6 +127,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-verify" => args.no_verify = true,
             "--store" => args.store = Some(value("--store")?),
+            "--timing" => args.timing = Some(value("--timing")?),
+            "--manifest" => args.manifest = Some(value("--manifest")?),
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -181,6 +190,16 @@ OPTIONS:
                              identical later run warm-starts without spending
                              any budget; also read from the ALT_STORE
                              environment variable (flag wins)
+        --timing <PATH>      write the wall-clock self-profile (phase tree +
+                             store/simulation latency histograms) as JSONL;
+                             observation-only — winners, traces and journals
+                             are bit-identical with or without it
+        --manifest <PATH>    write the machine-readable per-run timing
+                             manifest (phase totals, wall histograms, env,
+                             config fingerprint) as JSON; implies timing
+        --progress           print a throttled live heartbeat to stderr:
+                             budget fraction, candidates/s, cache and store
+                             hit rates, ETA
     -h, --help               this message
 
 SUBCOMMANDS:
@@ -927,7 +946,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let mut compiler = Compiler::new(profile).with_options(CompileOptions {
+    let compiler = Compiler::new(profile).with_options(CompileOptions {
         joint_budget: joint,
         loop_budget: args.budget - joint,
         seed: args.seed,
@@ -939,17 +958,14 @@ fn main() {
         verify: !args.no_verify,
         journal: args.journal.clone(),
         store: args.store.clone(),
+        // An unopenable trace path degrades to a warning inside
+        // `compile` (the run continues trace-less), matching the
+        // journal and store contracts.
+        trace: args.trace.clone(),
+        timing: args.timing.is_some() || args.manifest.is_some(),
+        progress: args.progress,
         ..CompileOptions::default()
     });
-    if let Some(path) = &args.trace {
-        match JsonlSink::create(path) {
-            Ok(sink) => compiler = compiler.with_telemetry(std::sync::Arc::new(sink)),
-            Err(e) => {
-                eprintln!("error: --trace {path}: {e}");
-                std::process::exit(2);
-            }
-        }
-    }
 
     eprintln!(
         "compiling {} (batch {}) for {} with budget {}...",
@@ -999,5 +1015,30 @@ fn main() {
     }
     if let Some(path) = &args.journal {
         eprintln!("journal written to {path}; inspect with `altc inspect {path}`");
+    }
+    // The timing stream has its own sink: wall-clock records never mix
+    // into the deterministic trace. Failures here cost the artifact, not
+    // the compile (which already finished).
+    if let Some(path) = &args.timing {
+        match JsonlSink::create(path) {
+            Ok(sink) => {
+                let t = alt_telemetry::Telemetry::new(std::sync::Arc::new(sink));
+                for r in compiled.timing_records() {
+                    t.emit(r.clone());
+                }
+                t.flush();
+                eprintln!("timing written to {path}; inspect with `altc report {path}`");
+            }
+            Err(e) => eprintln!("warning: --timing {path}: {e}; timing not written"),
+        }
+    }
+    if let Some(path) = &args.manifest {
+        if let Some(m) = compiled.timing_manifest() {
+            let body = serde_json::to_string_pretty(m).unwrap_or_default();
+            match std::fs::write(path, format!("{body}\n")) {
+                Ok(()) => eprintln!("timing manifest written to {path}"),
+                Err(e) => eprintln!("warning: --manifest {path}: {e}; manifest not written"),
+            }
+        }
     }
 }

@@ -35,7 +35,7 @@ use alt_autotune::{tune_graph, FaultConfig, PpoWeights, TunerCheckpoint};
 use alt_layout::{Layout, LayoutPlan, PropagationMode};
 use alt_loopir::{lower, run_program, GraphSchedule, Program};
 use alt_sim::{MachineProfile, Simulator};
-use alt_telemetry::{Record, Telemetry};
+use alt_telemetry::{Record, Telemetry, Timing};
 use alt_tensor::{Graph, NdBuf, TensorId};
 
 pub use alt_autotune::tuner::TuneResult;
@@ -97,6 +97,22 @@ pub struct CompileOptions {
     /// magic, incompatible version, held writer lock) degrades to a
     /// warning — compilation proceeds store-less rather than failing.
     pub store: Option<String>,
+    /// Write the deterministic telemetry trace (JSONL) to this path. A
+    /// trace that cannot be opened degrades to a warning — compilation
+    /// proceeds trace-less (falling back to any sink attached via
+    /// [`Compiler::with_telemetry`]) rather than failing.
+    pub trace: Option<String>,
+    /// Wall-clock self-profiling: phase attribution across the whole
+    /// pipeline (candidate generation, lowering, GBT scoring,
+    /// simulation, retries, checkpoints) plus store/memo-cache latency
+    /// histograms. Observation-only — the timing stream has its own
+    /// records and manifest on [`CompiledGraph`], never the trace or
+    /// journal, so the compiled result is bit-identical either way.
+    pub timing: bool,
+    /// Print a throttled live progress heartbeat to stderr during
+    /// tuning (budget fraction, candidates/s, cache and store hit
+    /// rates, ETA). Reads statistics only; cannot change a run.
+    pub progress: bool,
 }
 
 impl Default for CompileOptions {
@@ -119,8 +135,42 @@ impl Default for CompileOptions {
             verify: true,
             journal: None,
             store: None,
+            trace: None,
+            timing: false,
+            progress: false,
         }
     }
+}
+
+/// FNV-1a over a canonical rendering of the result-relevant options:
+/// the run manifest's configuration fingerprint. Two compiles with the
+/// same fingerprint (and graph and machine) produce bit-identical
+/// results; observability knobs (trace/timing/progress paths) are
+/// excluded so attaching them never changes the fingerprint, and so is
+/// `jobs` (any worker count is bit-identical; it is an environment
+/// fact, recorded in the manifest's `env` block instead).
+fn config_fingerprint(o: &CompileOptions) -> u64 {
+    let canonical = format!(
+        "joint={} loop={} levels={} prop={:?} free={} seed={} pretrained={} fixed={:?} \
+         search={:?} faults={} verify={}",
+        o.joint_budget,
+        o.loop_budget,
+        o.levels,
+        o.propagation,
+        o.free_input_layouts,
+        o.seed,
+        o.pretrained.is_some(),
+        o.fixed_layout,
+        o.layout_search,
+        o.fault_rate,
+        o.verify,
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in canonical.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The ALT compiler for one target machine.
@@ -196,6 +246,22 @@ impl Compiler {
             }
             None => alt_journal::Journal::noop(),
         };
+        // Same contract for the trace sink: an unopenable `--trace` path
+        // is a typed, survivable error — warn and continue trace-less
+        // (falling back to any sink attached via `with_telemetry`).
+        let telemetry = match &o.trace {
+            Some(path) => match JsonlSink::create(path) {
+                Ok(sink) => Telemetry::new(std::sync::Arc::new(sink)),
+                Err(e) => {
+                    let err = alt_error::AltError::Trace {
+                        detail: format!("cannot open {path}: {e}"),
+                    };
+                    eprintln!("warning: {err}; continuing without a trace");
+                    self.telemetry.clone()
+                }
+            },
+            None => self.telemetry.clone(),
+        };
         // Same contract for the durable store: open failures (foreign
         // file, incompatible version, held writer lock) cost the warm
         // tier, not the compilation.
@@ -208,6 +274,11 @@ impl Compiler {
                 }
             }
         });
+        let timing = if o.timing {
+            Timing::enabled()
+        } else {
+            Timing::disabled()
+        };
         let cfg = TuneConfig {
             joint_budget: o.joint_budget,
             loop_budget: o.loop_budget,
@@ -218,7 +289,7 @@ impl Compiler {
             pretrained: o.pretrained.clone(),
             fixed_layout: o.fixed_layout,
             layout_search: o.layout_search,
-            telemetry: self.telemetry.clone(),
+            telemetry: telemetry.clone(),
             faults: (o.fault_rate > 0.0).then(|| FaultConfig::uniform(o.fault_rate)),
             checkpoint_path: o.checkpoint.clone(),
             checkpoint_every: o.checkpoint_every,
@@ -227,6 +298,8 @@ impl Compiler {
             verify: o.verify,
             journal,
             store,
+            timing: timing.clone(),
+            progress: o.progress,
             ..TuneConfig::default()
         };
         let result = tune_graph(graph, self.profile, cfg);
@@ -238,10 +311,36 @@ impl Compiler {
             best_latency_s: result.latency,
             wall_s: t0.elapsed().as_secs_f64(),
         };
-        if self.telemetry.is_enabled() {
-            self.telemetry.emit(Record::RunSummary(run_summary.clone()));
-            self.telemetry.flush();
+        if telemetry.is_enabled() {
+            telemetry.emit(Record::RunSummary(run_summary.clone()));
+            telemetry.flush();
         }
+        // Materialize the timing stream (empty when `o.timing` is off).
+        // The manifest must be read *before* `emit_to`: emission flushes
+        // — and clears — the wall-clock registry.
+        let timing_manifest = timing.manifest(
+            &[
+                ("os", serde_json::json!(std::env::consts::OS)),
+                ("arch", serde_json::json!(std::env::consts::ARCH)),
+                ("seed", serde_json::json!(o.seed)),
+                ("jobs", serde_json::json!(o.jobs as u64)),
+                ("joint_budget", serde_json::json!(o.joint_budget)),
+                ("loop_budget", serde_json::json!(o.loop_budget)),
+                ("measurements", serde_json::json!(result.measurements)),
+                ("warm_start", serde_json::json!(result.warm_start)),
+                ("store", serde_json::json!(o.store.is_some())),
+                ("journal", serde_json::json!(o.journal.is_some())),
+                ("wall_s", serde_json::json!(t0.elapsed().as_secs_f64())),
+            ],
+            config_fingerprint(o),
+        );
+        let timing_records = if timing.is_enabled() {
+            let (t, sink) = Telemetry::memory();
+            timing.emit_to(&t);
+            sink.records()
+        } else {
+            Vec::new()
+        };
         CompiledGraph {
             graph: graph.clone(),
             plan: result.plan.clone(),
@@ -254,6 +353,8 @@ impl Compiler {
             warm_start: result.warm_start,
             store_hits: result.store_hits,
             store_misses: result.store_misses,
+            timing_records,
+            timing_manifest,
         }
     }
 
@@ -282,6 +383,8 @@ impl Compiler {
             warm_start: false,
             store_hits: 0,
             store_misses: 0,
+            timing_records: Vec::new(),
+            timing_manifest: None,
         }
     }
 }
@@ -300,6 +403,8 @@ pub struct CompiledGraph {
     warm_start: bool,
     store_hits: u64,
     store_misses: u64,
+    timing_records: Vec<Record>,
+    timing_manifest: Option<serde_json::Value>,
 }
 
 impl CompiledGraph {
@@ -344,6 +449,23 @@ impl CompiledGraph {
     /// graph (budgets, measurements consumed, best latency, wall time).
     pub fn run_summary(&self) -> &RunSummaryRecord {
         &self.run_summary
+    }
+
+    /// The wall-clock timing stream of the compilation: one
+    /// [`Record::Timing`] phase tree plus the flushed wall histograms
+    /// and counters. Empty unless [`CompileOptions::timing`] was set.
+    /// These records belong to the timing sink, never the deterministic
+    /// trace — write them wherever wall-clock data should go (`altc
+    /// --timing`, `altc report`, Perfetto).
+    pub fn timing_records(&self) -> &[Record] {
+        &self.timing_records
+    }
+
+    /// The machine-readable per-run timing manifest: phase totals, wall
+    /// histograms, environment facts, and the configuration
+    /// fingerprint. `None` unless [`CompileOptions::timing`] was set.
+    pub fn timing_manifest(&self) -> Option<&serde_json::Value> {
+        self.timing_manifest.as_ref()
     }
 
     /// The layout chosen for a tensor.
@@ -606,6 +728,148 @@ mod tests {
         let compiled = compiler.compile(&g);
         assert!(compiled.estimated_latency() > 0.0);
         assert!(!bad.exists());
+    }
+
+    #[test]
+    fn unopenable_trace_degrades_to_trace_less_compile() {
+        // Parity with the journal contract: a `--trace` path in a
+        // directory that does not exist is a typed, survivable
+        // `AltError::Trace` — the compile warns and continues with
+        // whatever sink `with_telemetry` attached (here: none).
+        let (g, _) = sample_graph();
+        let bad = std::env::temp_dir()
+            .join("alt-core-no-such-dir")
+            .join("nested")
+            .join("trace.jsonl");
+        let options = CompileOptions {
+            joint_budget: 8,
+            loop_budget: 8,
+            free_input_layouts: true,
+            seed: 3,
+            ..CompileOptions::default()
+        };
+        let plain = Compiler::new(intel_cpu())
+            .with_options(options.clone())
+            .compile(&g);
+        let degraded = Compiler::new(intel_cpu())
+            .with_options(CompileOptions {
+                trace: Some(bad.to_string_lossy().into_owned()),
+                ..options
+            })
+            .compile(&g);
+        assert!(!bad.exists());
+        // Degrading to trace-less must not change the compilation.
+        assert_eq!(
+            plain.estimated_latency().to_bits(),
+            degraded.estimated_latency().to_bits()
+        );
+        assert_eq!(plain.history(), degraded.history());
+        assert_eq!(plain.report(), degraded.report());
+    }
+
+    #[test]
+    fn openable_trace_writes_the_deterministic_stream() {
+        let (g, _) = sample_graph();
+        let dir = std::env::temp_dir().join(format!("alt-core-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.jsonl");
+        let compiled = Compiler::new(intel_cpu())
+            .with_options(CompileOptions {
+                joint_budget: 8,
+                loop_budget: 8,
+                free_input_layouts: true,
+                seed: 3,
+                trace: Some(path.to_string_lossy().into_owned()),
+                ..CompileOptions::default()
+            })
+            .compile(&g);
+        let records = alt_telemetry::read_jsonl(path.to_str().unwrap()).expect("readable trace");
+        let measured = records
+            .iter()
+            .filter(|r| matches!(r, Record::Measurement(_)))
+            .count() as u64;
+        assert_eq!(measured, compiled.measurements());
+        assert!(
+            !records.iter().any(|r| matches!(r, Record::Timing(_))),
+            "timing records never enter the deterministic trace"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timing_manifest_and_records_do_not_change_the_compile() {
+        let (g, _) = sample_graph();
+        let options = CompileOptions {
+            joint_budget: 12,
+            loop_budget: 12,
+            free_input_layouts: true,
+            seed: 13,
+            ..CompileOptions::default()
+        };
+        let plain = Compiler::new(intel_cpu())
+            .with_options(options.clone())
+            .compile(&g);
+        let timed = Compiler::new(intel_cpu())
+            .with_options(CompileOptions {
+                timing: true,
+                ..options
+            })
+            .compile(&g);
+        // Observation-only: the winner is bit-identical.
+        assert_eq!(
+            plain.estimated_latency().to_bits(),
+            timed.estimated_latency().to_bits()
+        );
+        assert_eq!(plain.history(), timed.history());
+        assert_eq!(plain.report(), timed.report());
+        // ... and timing-off compiles carry no timing data at all.
+        assert!(plain.timing_records().is_empty());
+        assert!(plain.timing_manifest().is_none());
+        // The timing stream exists and is internally consistent.
+        let phases = timed
+            .timing_records()
+            .iter()
+            .find_map(|r| match r {
+                Record::Timing(t) => Some(&t.phases),
+                _ => None,
+            })
+            .expect("one timing record");
+        assert!(phases.is_conserved(), "{phases:?}");
+        assert!(phases.find("loop_stage").is_some());
+        let manifest = timed.timing_manifest().expect("manifest present");
+        assert_eq!(
+            manifest["alt_timing_manifest"].as_u64(),
+            Some(1),
+            "{manifest}"
+        );
+        assert_eq!(manifest["env"]["seed"].as_u64(), Some(13));
+        assert_eq!(
+            manifest["env"]["measurements"].as_u64(),
+            Some(timed.measurements())
+        );
+        assert_eq!(
+            manifest["config_fp"].as_str().map(str::len),
+            Some(16),
+            "fingerprint is 16 hex chars"
+        );
+        // Conservation in the serialized tree: children inclusive sums
+        // never exceed the parent, and exclusive = inclusive - children.
+        fn check(node: &serde_json::Value) {
+            let inclusive = node["inclusive_us"].as_u64().expect("inclusive");
+            let children = node["children"].as_array().expect("children");
+            let child_sum: u64 = children
+                .iter()
+                .map(|c| c["inclusive_us"].as_u64().expect("child inclusive"))
+                .sum();
+            assert!(child_sum <= inclusive, "{node}");
+            assert_eq!(
+                node["exclusive_us"].as_u64().expect("exclusive"),
+                inclusive - child_sum,
+                "{node}"
+            );
+            children.iter().for_each(check);
+        }
+        check(&manifest["phases"]);
     }
 
     #[test]

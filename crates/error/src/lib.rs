@@ -64,6 +64,13 @@ pub enum AltError {
         /// Human-readable failure description.
         detail: String,
     },
+    /// The telemetry trace sink could not be opened or written. Trace
+    /// errors are always survivable — the run degrades to trace-less
+    /// operation (a warning plus a no-op sink) rather than aborting.
+    Trace {
+        /// Human-readable failure description.
+        detail: String,
+    },
     /// The durable tuning store failed: lock contention, an
     /// incompatible or unreadable segment file, or a (possibly
     /// injected) I/O failure while appending a record. Store errors are
@@ -144,6 +151,7 @@ impl AltError {
             AltError::Checkpoint { .. } => "checkpoint",
             AltError::Injector { .. } => "injector",
             AltError::Journal { .. } => "journal",
+            AltError::Trace { .. } => "trace",
             AltError::Store { .. } => "store",
             AltError::Verify { .. } => "verify",
         }
@@ -187,6 +195,7 @@ impl fmt::Display for AltError {
             AltError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             AltError::Injector { detail } => write!(f, "fault injector error: {detail}"),
             AltError::Journal { detail } => write!(f, "journal error: {detail}"),
+            AltError::Trace { detail } => write!(f, "trace error: {detail}"),
             AltError::Store { detail } => write!(f, "store error: {detail}"),
             AltError::Verify { code, detail } => write!(f, "verify error [{code}]: {detail}"),
         }
@@ -220,6 +229,7 @@ mod tests {
             (AltError::Checkpoint { detail: "x".into() }, "checkpoint"),
             (AltError::Injector { detail: "x".into() }, "injector"),
             (AltError::Journal { detail: "x".into() }, "journal"),
+            (AltError::Trace { detail: "x".into() }, "trace"),
             (AltError::Store { detail: "x".into() }, "store"),
             (
                 AltError::Verify {
@@ -258,6 +268,8 @@ mod tests {
         // A journal that refuses to open will keep refusing; the run
         // continues journal-less instead of retrying.
         assert!(!AltError::Journal { detail: "x".into() }.is_transient());
+        // Same contract for the trace sink: the run continues trace-less.
+        assert!(!AltError::Trace { detail: "x".into() }.is_transient());
         // A statically-rejected program stays rejected.
         assert!(!AltError::Verify {
             code: codes::V009_PAR_RACE,

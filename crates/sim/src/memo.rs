@@ -41,8 +41,10 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use alt_store::{kind, Store};
+use alt_telemetry::CounterRegistry;
 
 use alt_error::AltError;
 use alt_loopir::hash::Fnv1a;
@@ -190,6 +192,10 @@ pub struct SimCache {
     store: Mutex<Option<Arc<Store>>>,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
+    /// Wall-clock latency histograms (memo lookup vs cold simulate vs
+    /// store serve), when the timing layer attached a registry.
+    /// Observation-only: never consulted by the lookup path.
+    registry: Mutex<Option<Arc<CounterRegistry>>>,
 }
 
 impl SimCache {
@@ -204,6 +210,7 @@ impl SimCache {
             store: Mutex::new(None),
             store_hits: AtomicU64::new(0),
             store_misses: AtomicU64::new(0),
+            registry: Mutex::new(None),
         }
     }
 
@@ -221,6 +228,23 @@ impl SimCache {
     /// Whether a durable store is attached.
     pub fn has_store(&self) -> bool {
         self.store.lock().unwrap().is_some()
+    }
+
+    /// Attaches a wall-clock latency registry: every budgeted lookup
+    /// records how long it took under `memo.lookup_us` (warm table),
+    /// `memo.store_serve_us` (served from the durable store), or
+    /// `memo.cold_simulate_us` (full model walk). Pure observation — it
+    /// never changes what the lookup returns or accounts.
+    pub fn attach_registry(&self, registry: Arc<CounterRegistry>) {
+        *self.registry.lock().unwrap() = Some(registry);
+    }
+
+    /// Records elapsed micros since `t0` under `name`, if a registry is
+    /// attached.
+    fn observe_since(&self, name: &str, t0: Instant) {
+        if let Some(reg) = self.registry.lock().unwrap().as_ref() {
+            reg.observe(name, t0.elapsed().as_micros() as f64);
+        }
     }
 
     fn store_handle(&self) -> Option<Arc<Store>> {
@@ -282,6 +306,7 @@ impl SimCache {
         sim: &Simulator,
         program: &Program,
     ) -> Result<(Counters, bool), AltError> {
+        let t0 = Instant::now();
         let program_fp = program_fingerprint(program);
         let key = compose_cache_key(self.profile_fp, program_fp);
         // A key restored via `restore_accounted` was paid for by the
@@ -298,9 +323,11 @@ impl SimCache {
             }
             if snap.accounted || prior {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.observe_since("memo.lookup_us", t0);
                 return Ok((snap.c, true));
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.observe_since("memo.lookup_us", t0);
             return Ok((snap.c, false));
         }
         if prior {
@@ -320,6 +347,7 @@ impl SimCache {
                     from_store: true,
                 },
             );
+            self.observe_since("memo.store_serve_us", t0);
             return Ok((c, prior));
         }
         let c = sim.try_profile_counters(program)?;
@@ -332,6 +360,7 @@ impl SimCache {
                 from_store: false,
             },
         );
+        self.observe_since("memo.cold_simulate_us", t0);
         Ok((c, prior))
     }
 
@@ -639,6 +668,37 @@ mod tests {
         let _ = cache.try_profile(&sim, &p).unwrap();
         let _ = cache.try_profile(&sim, &p).unwrap();
         assert_eq!((cache.store_hits(), cache.store_misses()), (0, 0));
+    }
+
+    #[test]
+    fn attached_registry_classifies_lookup_latencies() {
+        let path = tmp_store("timing");
+        let sim = Simulator::new(intel_cpu());
+        let p = lowered();
+        {
+            let seed = SimCache::new(sim.profile());
+            seed.attach_store(Arc::new(Store::open(&path).expect("open")));
+            seed.try_profile(&sim, &p).unwrap();
+        }
+        let cache = SimCache::new(sim.profile());
+        cache.attach_store(Arc::new(Store::open(&path).expect("reopen")));
+        let reg = Arc::new(CounterRegistry::new("wall"));
+        cache.attach_registry(reg.clone());
+        // First lookup is served from the store, the repeat from the
+        // warm memo table; each lands in its own histogram.
+        let _ = cache.try_profile(&sim, &p).unwrap();
+        let _ = cache.try_profile(&sim, &p).unwrap();
+        let serve = reg.histogram("memo.store_serve_us").expect("store serve");
+        assert_eq!(serve.count, 1);
+        let warm = reg.histogram("memo.lookup_us").expect("warm lookup");
+        assert_eq!(warm.count, 1);
+        assert!(reg.histogram("memo.cold_simulate_us").is_none());
+        // A cold cache without a store simulates.
+        let cold = SimCache::new(sim.profile());
+        cold.attach_registry(reg.clone());
+        let _ = cold.try_profile(&sim, &p).unwrap();
+        let sim_h = reg.histogram("memo.cold_simulate_us").expect("cold");
+        assert_eq!(sim_h.count, 1);
     }
 
     #[test]

@@ -41,8 +41,10 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use alt_error::AltError;
+use alt_telemetry::CounterRegistry;
 
 use faults::{IoFault, IoFaultHook};
 pub use format::{Corruption, HeaderCheck, RawRecord, STORE_VERSION};
@@ -177,6 +179,10 @@ pub struct Store {
     /// store refuses them until the next open recovers the tail —
     /// exactly what a crashed process cannot do either.
     wedged: AtomicBool,
+    /// Wall-clock I/O latency histograms (append/fsync/get/gc), when the
+    /// timing layer attached a registry. Observation-only: never read by
+    /// the store itself, never persisted.
+    registry: Mutex<Option<Arc<CounterRegistry>>>,
 }
 
 fn locked(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
@@ -295,6 +301,7 @@ impl Store {
                             },
                             faults,
                             wedged: AtomicBool::new(false),
+                            registry: Mutex::new(None),
                         });
                     }
                     Self::quarantine(path, &bytes)?;
@@ -369,6 +376,7 @@ impl Store {
             recovery,
             faults,
             wedged: AtomicBool::new(false),
+            registry: Mutex::new(None),
         })
     }
 
@@ -405,10 +413,31 @@ impl Store {
         self.wedged.load(Ordering::Relaxed)
     }
 
+    /// Attaches a wall-clock latency registry: reads land in
+    /// `store.get_us`, appends in `store.append_us` (with the fsync
+    /// portion broken out as `store.fsync_us`), and compactions in
+    /// `store.gc_us`. Pure observation — it never changes what the store
+    /// returns, appends, or errors.
+    pub fn attach_registry(&self, registry: Arc<CounterRegistry>) {
+        *self.registry.lock().unwrap_or_else(|e| e.into_inner()) = Some(registry);
+    }
+
+    /// Records elapsed micros since `t0` under `name`, if a registry is
+    /// attached.
+    fn observe_since(&self, name: &str, t0: Instant) {
+        let guard = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(reg) = guard.as_ref() {
+            reg.observe(name, t0.elapsed().as_micros() as f64);
+        }
+    }
+
     /// Looks up a record. Stat-silent and lock-file-free: any number of
     /// threads and processes may read concurrently with one writer.
     pub fn get(&self, kind: u8, key: u64) -> Option<Arc<[u8]>> {
-        locked(&self.inner).map.get(&(kind, key)).cloned()
+        let t0 = Instant::now();
+        let got = locked(&self.inner).map.get(&(kind, key)).cloned();
+        self.observe_since("store.get_us", t0);
+        got
     }
 
     /// Whether a record exists.
@@ -443,6 +472,7 @@ impl Store {
                 detail: "store is wedged by an earlier torn append; reopen to recover".to_string(),
             });
         }
+        let t0 = Instant::now();
         let mut inner = locked(&self.inner);
         if inner.map.contains_key(&(kind, key)) {
             return Ok(false);
@@ -485,8 +515,11 @@ impl Store {
                         detail: "store has no write handle".to_string(),
                     })?;
                     f.write_all(&frame)
-                        .and_then(|()| f.sync_data())
                         .map_err(|e| io_err("appending record to", &self.path, e))?;
+                    let t_sync = Instant::now();
+                    f.sync_data()
+                        .map_err(|e| io_err("appending record to", &self.path, e))?;
+                    self.observe_since("store.fsync_us", t_sync);
                     inner.file_bytes += frame.len() as u64;
                 }
             }
@@ -495,12 +528,16 @@ impl Store {
                 detail: "store has no write handle".to_string(),
             })?;
             f.write_all(&frame)
-                .and_then(|()| f.sync_data())
                 .map_err(|e| io_err("appending record to", &self.path, e))?;
+            let t_sync = Instant::now();
+            f.sync_data()
+                .map_err(|e| io_err("appending record to", &self.path, e))?;
+            self.observe_since("store.fsync_us", t_sync);
             inner.file_bytes += frame.len() as u64;
         }
         inner.map.insert((kind, key), Arc::<[u8]>::from(payload));
         inner.order.push((kind, key));
+        self.observe_since("store.append_us", t0);
         Ok(true)
     }
 
@@ -552,6 +589,7 @@ impl Store {
                 detail: "cannot gc a read-only store".to_string(),
             });
         }
+        let t0 = Instant::now();
         let mut inner = locked(&self.inner);
         let bytes_before = inner.file_bytes;
         let mut bytes = format::encode_header().to_vec();
@@ -575,6 +613,7 @@ impl Store {
             std::fs::remove_file(&qpath).map_err(|e| io_err("removing", &qpath, e))?;
         }
         self.wedged.store(false, Ordering::Relaxed);
+        self.observe_since("store.gc_us", t0);
         Ok(GcReport {
             records: inner.order.len(),
             bytes_before,
@@ -819,6 +858,30 @@ mod tests {
         let store = Store::open(&path).expect("reopen");
         assert_eq!(store.len(), 3);
         assert!(verify_path(&path).expect("verify").clean());
+    }
+
+    #[test]
+    fn attached_registry_times_append_fsync_get_and_gc() {
+        let path = tmp("timing");
+        let store = Store::open(&path).expect("open");
+        let reg = Arc::new(CounterRegistry::new("wall"));
+        store.attach_registry(reg.clone());
+        store.put(kind::MEASUREMENT, 1, b"one").expect("put");
+        store.put(kind::MEASUREMENT, 2, b"two").expect("put");
+        // A duplicate put does no I/O and records nothing.
+        store.put(kind::MEASUREMENT, 1, b"one").expect("dup");
+        let _ = store.get(kind::MEASUREMENT, 1);
+        store.gc().expect("gc");
+        let h = |name: &str| reg.histogram(name).unwrap_or_else(|| panic!("{name}"));
+        assert_eq!(h("store.append_us").count, 2);
+        assert_eq!(h("store.fsync_us").count, 2);
+        assert_eq!(h("store.get_us").count, 1);
+        assert_eq!(h("store.gc_us").count, 1);
+        // Timing is observation-only: the stored bytes are unchanged.
+        assert_eq!(
+            store.get(kind::MEASUREMENT, 2).as_deref(),
+            Some(&b"two"[..])
+        );
     }
 
     #[test]

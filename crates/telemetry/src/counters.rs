@@ -27,8 +27,8 @@ pub struct HistogramSummary {
     pub p99: f64,
     /// `true` when the histogram overflowed the retention cap: `count`,
     /// `sum`, `min`, `max`, and `mean` remain exact, but the percentiles
-    /// were computed over only the first `SAMPLE_CAP` observations and
-    /// are approximations.
+    /// were computed over a uniform `SAMPLE_CAP`-sized reservoir of the
+    /// observations and are approximations.
     pub sampled: bool,
 }
 
@@ -43,20 +43,57 @@ impl HistogramSummary {
 }
 
 /// Retained-sample cap per histogram: percentiles are exact up to this
-/// many observations and computed over the first `SAMPLE_CAP` afterwards
-/// (bounded memory beats reservoir noise for deterministic tuning runs).
+/// many observations. Past the cap, retention switches to reservoir
+/// sampling (Algorithm R) so every observation — early or late — has the
+/// same `SAMPLE_CAP / count` chance of being retained; first-N retention
+/// would skew a long run's percentiles toward its warm-up.
 const SAMPLE_CAP: usize = 65536;
 
-#[derive(Default)]
+/// FNV-1a of the histogram name: the reservoir's deterministic seed, so
+/// identically-fed registries summarize identically.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 struct Hist {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
     samples: Vec<f64>,
+    /// xorshift64* state driving reservoir replacement; seeded from the
+    /// histogram name, so summaries are a pure function of the
+    /// observation sequence.
+    rng: u64,
 }
 
 impl Hist {
+    fn new(name: &str) -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            samples: Vec::new(),
+            // xorshift64* requires a nonzero state.
+            rng: fnv1a(name).max(1),
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
     fn observe(&mut self, v: f64) {
         if self.count == 0 {
             self.min = v;
@@ -69,6 +106,13 @@ impl Hist {
         self.sum += v;
         if self.samples.len() < SAMPLE_CAP {
             self.samples.push(v);
+        } else {
+            // Algorithm R: keep the new observation with probability
+            // SAMPLE_CAP / count, evicting a uniformly random slot.
+            let j = (self.next_rand() % self.count) as usize;
+            if j < SAMPLE_CAP {
+                self.samples[j] = v;
+            }
         }
     }
 
@@ -130,7 +174,7 @@ impl CounterRegistry {
         inner
             .histograms
             .entry(name.to_string())
-            .or_default()
+            .or_insert_with(|| Hist::new(name))
             .observe(value);
     }
 
@@ -153,6 +197,17 @@ impl CounterRegistry {
             .counters
             .iter()
             .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Summaries of every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
             .collect()
     }
 
@@ -267,16 +322,28 @@ mod tests {
     #[test]
     fn overflowing_the_sample_cap_sets_the_sampled_flag() {
         let reg = CounterRegistry::new("sim");
-        for v in 0..(SAMPLE_CAP + 10) {
+        let n = 2 * SAMPLE_CAP;
+        for v in 0..n {
             reg.observe("lat", v as f64);
         }
         let h = reg.histogram("lat").unwrap();
-        assert!(h.sampled, "percentiles cover only the first SAMPLE_CAP");
+        assert!(h.sampled, "percentiles are over a reservoir, not exact");
         // Exact moments stay exact past the cap...
-        assert_eq!(h.count, (SAMPLE_CAP + 10) as u64);
-        assert_eq!(h.max, (SAMPLE_CAP + 9) as f64);
-        // ...while percentiles reflect only retained samples.
-        assert_eq!(h.p99, (0.99 * SAMPLE_CAP as f64).ceil() - 1.0);
+        assert_eq!(h.count, n as u64);
+        assert_eq!(h.max, (n - 1) as f64);
+        // ...and the reservoir retains late observations too: first-N
+        // retention would pin p99 below SAMPLE_CAP, uniform sampling of
+        // a 0..2*CAP ramp puts it near the top.
+        assert!(
+            h.p99 > SAMPLE_CAP as f64,
+            "p99 {} stuck in the first-N prefix",
+            h.p99
+        );
+        assert!(
+            h.p50 > 0.35 * n as f64 && h.p50 < 0.65 * n as f64,
+            "{}",
+            h.p50
+        );
         // A truncated histogram flushes an extra `.sampled` marker.
         let (t, sink) = Telemetry::memory();
         reg.flush_to(&t);
@@ -290,6 +357,19 @@ mod tests {
             })
             .collect();
         assert!(names.contains(&"lat.sampled".to_string()));
+    }
+
+    #[test]
+    fn reservoir_sampling_is_deterministic_given_the_sequence() {
+        let mk = || {
+            let reg = CounterRegistry::new("sim");
+            for v in 0..(SAMPLE_CAP + 5000) {
+                reg.observe("lat", ((v * 31) % 1013) as f64);
+            }
+            reg.histogram("lat").unwrap()
+        };
+        // Same name, same observation order => identical summary bits.
+        assert_eq!(mk(), mk());
     }
 
     #[test]

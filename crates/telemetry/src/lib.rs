@@ -20,6 +20,9 @@
 //!   to a sink as [`CounterRecord`]s.
 //! * [`report`] — reads a JSONL trace back and renders the plain-text
 //!   report behind `altc report`.
+//! * [`Timing`] — the pipeline's wall-clock self-profile (PR 8): an
+//!   injectable-clock phase tree plus latency histograms, written to its
+//!   own sink so the deterministic trace/journal streams never change.
 
 pub mod counters;
 pub mod perfetto;
@@ -28,15 +31,17 @@ pub mod report;
 pub mod sink;
 pub mod span;
 pub mod stats;
+pub mod timing;
 
 pub use counters::{CounterRegistry, HistogramSummary};
 pub use perfetto::{chrome_trace, write_chrome_trace};
 pub use record::{
     CostModelRecord, CounterRecord, EventRecord, MeasurementFailureRecord, MeasurementRecord,
     PpoUpdateRecord, ProfileNodeRecord, Record, RooflineRecord, RunSummaryRecord, SimCounters,
-    SpanRecord, Stage, VerifyRejectionRecord,
+    SpanRecord, Stage, TimingRecord, VerifyRejectionRecord,
 };
 pub use report::{fmt_latency, read_jsonl, render_report};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink, Telemetry};
 pub use span::{current_depth, now_us, Span};
 pub use stats::spearman;
+pub use timing::{Clock, ManualClock, MonotonicClock, PhaseGuard, PhaseNode, Timing};

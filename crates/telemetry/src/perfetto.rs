@@ -30,6 +30,8 @@ const PID_TUNING: u64 = 1;
 const PID_SIM: u64 = 2;
 /// Tuning-run wall-clock thread.
 const TID_WALL: u64 = 1;
+/// Aggregated pipeline-timing phase tree (PR 8), flame-style.
+const TID_TIMING: u64 = 2;
 /// First per-operator measurement thread.
 const TID_OPS: u64 = 10;
 
@@ -249,6 +251,18 @@ pub fn chrome_trace(records: &[Record]) -> Value {
                 "tid": TID_WALL,
                 "args": json!({"value": c.value}),
             })),
+            Record::Timing(t) => {
+                // Aggregated wall-clock phase tree, rendered flame-style:
+                // children laid out sequentially from their parent's
+                // start. Conservation (children sum <= parent) keeps the
+                // nesting exact, like the simulated-execution profile.
+                events.push(meta_thread(
+                    PID_TUNING,
+                    TID_TIMING,
+                    "pipeline timing (wall)",
+                ));
+                push_phase_slices(&t.phases, 0.0, &mut events);
+            }
             Record::RunSummary(s) => events.push(json!({
                 "name": "run summary",
                 "cat": "tuning",
@@ -279,6 +293,29 @@ pub fn write_chrome_trace(path: &str, records: &[Record]) -> std::io::Result<()>
     let text = serde_json::to_string_pretty(&v)
         .map_err(|e| std::io::Error::other(format!("serialize chrome trace: {e:?}")))?;
     std::fs::write(path, text)
+}
+
+/// Emits one `"X"` slice per phase-tree node on the pipeline-timing
+/// thread, recursing with children packed from the parent's start.
+fn push_phase_slices(node: &crate::timing::PhaseNode, ts: f64, events: &mut Vec<Value>) {
+    events.push(json!({
+        "name": node.name.clone(),
+        "cat": "timing",
+        "ph": "X",
+        "ts": ts,
+        "dur": node.inclusive_us as f64,
+        "pid": PID_TUNING,
+        "tid": TID_TIMING,
+        "args": json!({
+            "count": node.count,
+            "exclusive_us": node.exclusive_us(),
+        }),
+    }));
+    let mut cursor = ts;
+    for c in &node.children {
+        push_phase_slices(c, cursor, events);
+        cursor += c.inclusive_us as f64;
+    }
 }
 
 /// Index of `op`'s measurement thread, registering a new tid (and its
@@ -399,6 +436,19 @@ mod tests {
                 ceiling_gflops: 1000.0,
                 binding: "compute".into(),
             }),
+            Record::Timing(TimingRecord {
+                phases: crate::timing::PhaseNode {
+                    name: "run".into(),
+                    count: 1,
+                    inclusive_us: 100,
+                    children: vec![crate::timing::PhaseNode {
+                        name: "loop_stage".into(),
+                        count: 2,
+                        inclusive_us: 60,
+                        children: vec![],
+                    }],
+                },
+            }),
         ];
         let trace = chrome_trace(&records);
         let evs = events(&trace);
@@ -466,6 +516,60 @@ mod tests {
             prof[1].get("dur").and_then(Value::as_f64).unwrap(),
         );
         assert!(lts >= gts && lts + ldur <= gts + gdur, "leaf escapes group");
+    }
+
+    #[test]
+    fn timing_tree_renders_nested_wall_slices() {
+        let rec = Record::Timing(TimingRecord {
+            phases: crate::timing::PhaseNode {
+                name: "run".into(),
+                count: 1,
+                inclusive_us: 100,
+                children: vec![
+                    crate::timing::PhaseNode {
+                        name: "joint_stage".into(),
+                        count: 1,
+                        inclusive_us: 30,
+                        children: vec![],
+                    },
+                    crate::timing::PhaseNode {
+                        name: "loop_stage".into(),
+                        count: 4,
+                        inclusive_us: 50,
+                        children: vec![crate::timing::PhaseNode {
+                            name: "measure".into(),
+                            count: 8,
+                            inclusive_us: 20,
+                            children: vec![],
+                        }],
+                    },
+                ],
+            },
+        });
+        let trace = chrome_trace(&[rec]);
+        let slices: Vec<(&str, f64, f64)> = events(&trace)
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("timing"))
+            .map(|e| {
+                (
+                    e.get("name").and_then(Value::as_str).unwrap(),
+                    e.get("ts").and_then(Value::as_f64).unwrap(),
+                    e.get("dur").and_then(Value::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(slices.len(), 4);
+        let run = slices.iter().find(|s| s.0 == "run").unwrap();
+        // Siblings pack sequentially; every child stays inside its
+        // parent slice.
+        let joint = slices.iter().find(|s| s.0 == "joint_stage").unwrap();
+        let lp = slices.iter().find(|s| s.0 == "loop_stage").unwrap();
+        let measure = slices.iter().find(|s| s.0 == "measure").unwrap();
+        assert_eq!(joint.1, run.1);
+        assert_eq!(lp.1, joint.1 + joint.2);
+        assert_eq!(measure.1, lp.1);
+        assert!(lp.1 + lp.2 <= run.1 + run.2);
+        assert!(measure.1 + measure.2 <= lp.1 + lp.2);
     }
 
     #[test]

@@ -275,6 +275,16 @@ pub struct RunSummaryRecord {
     pub wall_s: f64,
 }
 
+/// The wall-clock phase tree of one run (PR 8).
+///
+/// Written only to the timing stream's own sink ([`crate::Timing`]), never
+/// the deterministic trace — timing is observation-only.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimingRecord {
+    /// Root of the aggregated phase tree (named `run`).
+    pub phases: crate::timing::PhaseNode,
+}
+
 /// Any trace record. Serialized as the payload object plus a `type` tag.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Record {
@@ -289,6 +299,7 @@ pub enum Record {
     ProfileNode(ProfileNodeRecord),
     Roofline(RooflineRecord),
     RunSummary(RunSummaryRecord),
+    Timing(TimingRecord),
 }
 
 impl Record {
@@ -306,6 +317,7 @@ impl Record {
             Record::ProfileNode(_) => "profile_node",
             Record::Roofline(_) => "roofline",
             Record::RunSummary(_) => "run_summary",
+            Record::Timing(_) => "timing",
         }
     }
 }
@@ -324,6 +336,7 @@ impl Serialize for Record {
             Record::ProfileNode(r) => r.to_value(),
             Record::Roofline(r) => r.to_value(),
             Record::RunSummary(r) => r.to_value(),
+            Record::Timing(r) => r.to_value(),
         };
         let mut fields = vec![(
             "type".to_string(),
@@ -356,6 +369,7 @@ impl Deserialize for Record {
             "profile_node" => Record::ProfileNode(ProfileNodeRecord::from_value(v)?),
             "roofline" => Record::Roofline(RooflineRecord::from_value(v)?),
             "run_summary" => Record::RunSummary(RunSummaryRecord::from_value(v)?),
+            "timing" => Record::Timing(TimingRecord::from_value(v)?),
             other => return Err(serde::Error(format!("unknown record type `{other}`"))),
         })
     }
@@ -479,6 +493,19 @@ mod tests {
                 measurements: 1000,
                 best_latency_s: 1e-3,
                 wall_s: 42.0,
+            }),
+            Record::Timing(TimingRecord {
+                phases: crate::timing::PhaseNode {
+                    name: "run".into(),
+                    count: 1,
+                    inclusive_us: 120,
+                    children: vec![crate::timing::PhaseNode {
+                        name: "loop_stage".into(),
+                        count: 3,
+                        inclusive_us: 90,
+                        children: vec![],
+                    }],
+                },
             }),
         ];
         for r in &records {

@@ -63,8 +63,87 @@ pub fn render_report(records: &[Record]) -> String {
     render_store(records, &mut out);
     render_faults(records, &mut out);
     render_cost_model(records, &mut out);
+    render_timing(records, &mut out);
     render_counters(records, &mut out);
     out
+}
+
+/// Wall-clock self-profiling: the phase tree recorded by the timing
+/// layer (inclusive/exclusive micros and call counts per phase) plus
+/// the `wall` scope latency histograms (store append/fsync, memoized
+/// vs cold simulation, per-candidate lower/verify). Silent for traces
+/// recorded without timing enabled.
+fn render_timing(records: &[Record], out: &mut String) {
+    let tree = records.iter().find_map(|r| match r {
+        Record::Timing(t) => Some(&t.phases),
+        _ => None,
+    });
+    let wall: Vec<(String, f64)> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Counter(c) if c.scope == "wall" => Some((c.name.clone(), c.value)),
+            _ => None,
+        })
+        .collect();
+    if tree.is_none() && wall.is_empty() {
+        return;
+    }
+    out.push_str("--- pipeline timing (wall clock) ---\n");
+    if let Some(root) = tree {
+        push_phase_lines(root, 0, root.inclusive_us, out);
+    }
+    let (families, plain) = fold_histogram_families(wall);
+    if !families.is_empty() {
+        out.push_str("latency histograms (p50/p95/p99 nearest-rank):\n");
+        for (base, stats) in &families {
+            let g = |k: &str| stats.get(k).copied().unwrap_or(0.0);
+            let us = |k: &str| fmt_latency(g(k) * 1e-6);
+            let note = if g("sampled") != 0.0 {
+                " (percentiles sampled)"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {base}: n={:.0} p50={} p95={} p99={} max={}{note}\n",
+                g("count"),
+                us("p50"),
+                us("p95"),
+                us("p99"),
+                us("max"),
+            ));
+        }
+    }
+    for (name, value) in &plain {
+        out.push_str(&format!("    {name} = {value:.3e}\n"));
+    }
+    out.push('\n');
+}
+
+/// One indented line per phase: inclusive time, call count, share of
+/// the run, and exclusive (self) time not attributed to any child.
+fn push_phase_lines(
+    node: &crate::timing::PhaseNode,
+    indent: usize,
+    total_us: u64,
+    out: &mut String,
+) {
+    let pct = if total_us > 0 {
+        node.inclusive_us as f64 / total_us as f64 * 100.0
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "{:indent$}{}: {} x{} ({pct:.1}%), self {}\n",
+        "",
+        node.name,
+        fmt_latency(node.inclusive_us as f64 * 1e-6),
+        node.count,
+        fmt_latency(node.exclusive_us() as f64 * 1e-6),
+        indent = indent * 4
+    ));
+    for child in &node.children {
+        push_phase_lines(child, indent + 1, total_us, out);
+    }
 }
 
 fn render_summary(records: &[Record], out: &mut String) {
@@ -340,6 +419,50 @@ fn render_cost_model(records: &[Record], out: &mut String) {
     out.push('\n');
 }
 
+/// Histogram families flushed by `CounterRegistry` arrive as eight
+/// suffixed counters per histogram (nine when the retention cap
+/// truncated percentile samples); fold each family back into one
+/// entry with its percentiles instead of eight noisy counters. Names
+/// that lack the histogram shape (e.g. a plain counter someone named
+/// `x.max`) fall back to the plain list.
+#[allow(clippy::type_complexity)]
+fn fold_histogram_families(
+    flushed: Vec<(String, f64)>,
+) -> (
+    BTreeMap<String, BTreeMap<&'static str, f64>>,
+    Vec<(String, f64)>,
+) {
+    let mut families: BTreeMap<String, BTreeMap<&'static str, f64>> = BTreeMap::new();
+    let mut plain: Vec<(String, f64)> = Vec::new();
+    const SUFFIXES: [&str; 9] = [
+        "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "sampled",
+    ];
+    for (name, value) in flushed {
+        match name.rsplit_once('.').and_then(|(base, suffix)| {
+            SUFFIXES
+                .iter()
+                .find(|s| **s == suffix)
+                .map(|s| (base.to_string(), *s))
+        }) {
+            Some((base, suffix)) => {
+                families.entry(base).or_default().insert(suffix, value);
+            }
+            None => plain.push((name, value)),
+        }
+    }
+    families.retain(|base, stats| {
+        if stats.contains_key("count") && stats.contains_key("p50") {
+            true
+        } else {
+            for (suffix, value) in stats.iter() {
+                plain.push((format!("{base}.{suffix}"), *value));
+            }
+            false
+        }
+    });
+    (families, plain)
+}
+
 fn render_counters(records: &[Record], out: &mut String) {
     // Aggregate simulator counters over every measured program.
     let mut total = crate::record::SimCounters::default();
@@ -360,10 +483,13 @@ fn render_counters(records: &[Record], out: &mut String) {
             measured += 1;
         }
     }
+    // `wall` scope counters belong to the pipeline-timing section.
     let flushed: Vec<(String, f64)> = records
         .iter()
         .filter_map(|r| match r {
-            Record::Counter(c) => Some((format!("{}/{}", c.scope, c.name), c.value)),
+            Record::Counter(c) if c.scope != "wall" => {
+                Some((format!("{}/{}", c.scope, c.name), c.value))
+            }
             _ => None,
         })
         .collect();
@@ -405,40 +531,7 @@ fn render_counters(records: &[Record], out: &mut String) {
             simd * 100.0
         ));
     }
-    // Histogram families flushed by `CounterRegistry` arrive as eight
-    // suffixed counters per histogram (nine when the retention cap
-    // truncated percentile samples); fold each family back into one
-    // line with its percentiles instead of eight noisy entries.
-    let mut families: BTreeMap<String, BTreeMap<&'static str, f64>> = BTreeMap::new();
-    let mut plain: Vec<(String, f64)> = Vec::new();
-    const SUFFIXES: [&str; 9] = [
-        "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "sampled",
-    ];
-    for (name, value) in flushed {
-        match name.rsplit_once('.').and_then(|(base, suffix)| {
-            SUFFIXES
-                .iter()
-                .find(|s| **s == suffix)
-                .map(|s| (base.to_string(), *s))
-        }) {
-            Some((base, suffix)) => {
-                families.entry(base).or_default().insert(suffix, value);
-            }
-            None => plain.push((name, value)),
-        }
-    }
-    // A family that lacks the histogram shape (e.g. a plain counter
-    // someone named `x.max`) falls back to the flat list.
-    families.retain(|base, stats| {
-        if stats.contains_key("count") && stats.contains_key("p50") {
-            true
-        } else {
-            for (suffix, value) in stats.iter() {
-                plain.push((format!("{base}.{suffix}"), *value));
-            }
-            false
-        }
-    });
+    let (families, mut plain) = fold_histogram_families(flushed);
     if !families.is_empty() {
         out.push_str("histograms (p50/p95/p99 nearest-rank):\n");
         for (base, stats) in &families {
@@ -745,6 +838,61 @@ mod tests {
         assert!(report.contains("(percentiles sampled)"), "{report}");
         // The marker folds into the family line rather than leaking.
         assert!(!report.contains("lat.sampled"), "{report}");
+    }
+
+    #[test]
+    fn timing_records_render_a_pipeline_timing_section() {
+        use crate::timing::PhaseNode;
+        let mut root = PhaseNode {
+            name: "run".to_string(),
+            count: 1,
+            inclusive_us: 1_000_000,
+            children: Vec::new(),
+        };
+        root.children.push(PhaseNode {
+            name: "loop_stage".to_string(),
+            count: 1,
+            inclusive_us: 800_000,
+            children: vec![PhaseNode {
+                name: "measure".to_string(),
+                count: 40,
+                inclusive_us: 600_000,
+                children: Vec::new(),
+            }],
+        });
+        let mut records = vec![Record::Timing(TimingRecord { phases: root })];
+        let reg = crate::CounterRegistry::new("wall");
+        for v in 1..=100 {
+            reg.observe("store.append_us", v as f64);
+        }
+        let (t, sink) = crate::Telemetry::memory();
+        reg.flush_to(&t);
+        records.extend(sink.records());
+        let report = render_report(&records);
+        assert!(
+            report.contains("--- pipeline timing (wall clock) ---"),
+            "{report}"
+        );
+        assert!(report.contains("run: 1.000 s x1 (100.0%)"), "{report}");
+        // The loop stage is indented under the run and shows its share.
+        assert!(
+            report.contains("    loop_stage: 800.000 ms x1 (80.0%), self 200.000 ms"),
+            "{report}"
+        );
+        assert!(
+            report.contains("        measure: 600.000 ms x40 (60.0%)"),
+            "{report}"
+        );
+        // Wall histograms render in the timing section with time units,
+        // not in the generic counters section.
+        assert!(
+            report.contains("store.append_us: n=100 p50=50.000 us p95=95.000 us"),
+            "{report}"
+        );
+        assert!(!report.contains("wall/store.append_us"), "{report}");
+        // A trace without timing has no section.
+        let plain = render_report(&[measurement(1, "op", Stage::Joint, 1e-3, 1e-3)]);
+        assert!(!plain.contains("pipeline timing"), "{plain}");
     }
 
     #[test]

@@ -144,6 +144,73 @@ mod tests {
     }
 
     #[test]
+    fn spawned_threads_start_at_depth_zero() {
+        let (t, sink) = Telemetry::memory();
+        let _outer = Span::enter(&t, "outer");
+        assert_eq!(current_depth(), 1);
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            // Depth is per-thread: the parent's open span is invisible.
+            assert_eq!(current_depth(), 0);
+            let _child = Span::enter(&t2, "child");
+            assert_eq!(current_depth(), 1);
+        })
+        .join()
+        .expect("spawned thread");
+        assert_eq!(current_depth(), 1);
+        match &sink.records()[0] {
+            Record::Span(s) => {
+                assert_eq!(s.name, "child");
+                assert_eq!(s.depth, 0, "spawned thread starts at depth 0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_spans_on_two_threads_record_independent_depths() {
+        use std::sync::mpsc;
+        let (t, sink) = Telemetry::memory();
+        // Lockstep interleaving: A opens a0, then B opens b0+b1 and
+        // closes both, then A opens and closes a1, then a0 closes.
+        let (to_b, b_rx) = mpsc::channel::<()>();
+        let (to_a, a_rx) = mpsc::channel::<()>();
+        let tb = t.clone();
+        let b = std::thread::spawn(move || {
+            b_rx.recv().expect("a0 open");
+            let b0 = Span::enter(&tb, "b0");
+            {
+                let _b1 = Span::enter(&tb, "b1");
+                assert_eq!(current_depth(), 2);
+            }
+            drop(b0);
+            to_a.send(()).expect("signal a");
+        });
+        {
+            let _a0 = Span::enter(&t, "a0");
+            to_b.send(()).expect("signal b");
+            a_rx.recv().expect("b done");
+            let _a1 = Span::enter(&t, "a1");
+            assert_eq!(current_depth(), 2);
+        }
+        b.join().expect("thread b");
+        let depth_of = |name: &str| {
+            sink.records()
+                .iter()
+                .find_map(|r| match r {
+                    Record::Span(s) if s.name == name => Some(s.depth),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("span {name} missing"))
+        };
+        // B's depths never see A's open a0; A's never see B's spans.
+        assert_eq!(depth_of("b0"), 0);
+        assert_eq!(depth_of("b1"), 1);
+        assert_eq!(depth_of("a0"), 0);
+        assert_eq!(depth_of("a1"), 1);
+    }
+
+    #[test]
     fn disabled_spans_leave_no_records_but_track_depth() {
         let t = Telemetry::noop();
         assert_eq!(current_depth(), 0);
