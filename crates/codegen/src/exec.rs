@@ -1,0 +1,357 @@
+//! Kernel execution over raw `f32` buffers.
+//!
+//! The executor interprets the compiled instruction streams directly —
+//! integer prologues into a flat register file, statement bodies on a
+//! reusable value stack — touching buffers only through precomputed flat
+//! offsets. Three loop strategies exist:
+//!
+//! * **Scalar**: bind the loop register, run the prologue, run the body.
+//! * **Vector chunk** (`@vec` fast path): run the prologue once per
+//!   SIMD-width chunk and step the offset registers by their affine
+//!   strides per lane, evaluating lanes *in order* so reduction bits
+//!   match the interpreter.
+//! * **Parallel** (`@par`): split the iteration space into contiguous
+//!   ranges on scoped threads. Lowering marks only spatial loops
+//!   parallel, so ranges write disjoint slots and per-slot accumulation
+//!   order is preserved; nested parallel loops run serially inside a
+//!   worker.
+//!
+//! Buffer accesses are bounds-checked in debug builds and unchecked in
+//! release; offsets come from the same index expressions the interpreter
+//! evaluates, so any out-of-range offset is a lowering bug that the
+//! differential tests catch in debug mode first.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use alt_layout::LayoutPlan;
+use alt_loopir::tir::Program;
+use alt_loopir::{pack_buffers, unpack_buffers, StoreMode};
+use alt_tensor::expr::BinOp;
+use alt_tensor::op::ScalarBinOp;
+use alt_tensor::{Graph, NdBuf, TensorId};
+
+use crate::ir::{CGroup, CLoop, CNode, CStmt, FOp, IOp, NativeKernel, VecBody};
+
+/// Wall-clock accounting of one native run.
+#[derive(Clone, Debug)]
+pub struct NativeRunStats {
+    /// `(group label, microseconds)` per lowered group, execution order.
+    pub group_us: Vec<(String, f64)>,
+    /// End-to-end kernel time in microseconds (excludes pack/unpack).
+    pub total_us: f64,
+    /// Worker thread cap the run used.
+    pub threads: usize,
+}
+
+/// Default worker-thread cap: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+struct BufPtr {
+    ptr: *mut f32,
+    len: usize,
+}
+
+/// Shared view of the buffer table for worker threads. Safety rests on
+/// the lowering invariant that parallel iterations write disjoint slots;
+/// reads may alias freely (no `&mut` references exist during execution).
+struct Bufs {
+    slots: Vec<BufPtr>,
+}
+
+unsafe impl Send for Bufs {}
+unsafe impl Sync for Bufs {}
+
+impl Bufs {
+    #[inline]
+    fn read(&self, buf: u32, off: i64) -> f32 {
+        let s = &self.slots[buf as usize];
+        debug_assert!(
+            off >= 0 && (off as usize) < s.len,
+            "load offset {off} out of bounds for buffer {buf} (len {})",
+            s.len
+        );
+        unsafe { *s.ptr.add(off as usize) }
+    }
+
+    #[inline]
+    fn write(&self, buf: u32, off: i64, v: f32) {
+        let s = &self.slots[buf as usize];
+        debug_assert!(
+            off >= 0 && (off as usize) < s.len,
+            "store offset {off} out of bounds for buffer {buf} (len {})",
+            s.len
+        );
+        unsafe { *s.ptr.add(off as usize) = v };
+    }
+}
+
+/// Per-thread mutable execution state.
+struct ThreadState {
+    regs: Vec<i64>,
+    stack: Vec<f32>,
+}
+
+#[inline]
+fn apply_ibin(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::FloorDiv => x.div_euclid(y),
+        BinOp::Mod => x.rem_euclid(y),
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+    }
+}
+
+#[inline]
+fn apply_fbin(op: ScalarBinOp, x: f32, y: f32) -> f32 {
+    match op {
+        ScalarBinOp::Add => x + y,
+        ScalarBinOp::Sub => x - y,
+        ScalarBinOp::Mul => x * y,
+        ScalarBinOp::Div => x / y,
+        ScalarBinOp::Max => x.max(y),
+        ScalarBinOp::Min => x.min(y),
+    }
+}
+
+#[inline]
+fn run_iops(ops: &[IOp], regs: &mut [i64]) {
+    for op in ops {
+        match *op {
+            IOp::Bin { op, dst, a, b } => {
+                regs[dst as usize] = apply_ibin(op, regs[a as usize], regs[b as usize]);
+            }
+            IOp::Ge { dst, a, b } => {
+                regs[dst as usize] = i64::from(regs[a as usize] >= regs[b as usize]);
+            }
+            IOp::Lt { dst, a, b } => {
+                regs[dst as usize] = i64::from(regs[a as usize] < regs[b as usize]);
+            }
+            IOp::Eq { dst, a, b } => {
+                regs[dst as usize] = i64::from(regs[a as usize] == regs[b as usize]);
+            }
+            IOp::And { dst, a, b } => {
+                regs[dst as usize] = i64::from(regs[a as usize] != 0 && regs[b as usize] != 0);
+            }
+        }
+    }
+}
+
+#[inline]
+fn pop(stack: &mut Vec<f32>) -> f32 {
+    stack.pop().expect("compiled stack program underflow")
+}
+
+struct Runner<'k> {
+    kernel: &'k NativeKernel,
+    bufs: Bufs,
+    threads: usize,
+}
+
+impl Runner<'_> {
+    fn run_group(&self, g: &CGroup, st: &mut ThreadState) {
+        run_iops(&g.prologue, &mut st.regs);
+        self.run_nodes(&g.nodes, st, true);
+    }
+
+    fn run_nodes(&self, nodes: &[CNode], st: &mut ThreadState, par_ok: bool) {
+        for n in nodes {
+            match n {
+                CNode::Stmt(s) => self.run_stmt(s, st, None),
+                CNode::Loop(l) => self.run_loop(l, st, par_ok),
+            }
+        }
+    }
+
+    fn run_loop(&self, l: &CLoop, st: &mut ThreadState, par_ok: bool) {
+        if l.parallel && par_ok && self.threads > 1 && l.extent > 1 {
+            return self.run_parallel(l, st);
+        }
+        if let Some(v) = &l.vec {
+            return self.run_vec(l, v, st);
+        }
+        for i in 0..l.extent {
+            st.regs[l.var_reg as usize] = i;
+            run_iops(&l.prologue, &mut st.regs);
+            self.run_nodes(&l.body, st, par_ok);
+        }
+    }
+
+    /// Contiguous range partitioning over scoped threads. Each worker
+    /// clones the register file (inheriting every outer-loop-invariant
+    /// value) and owns its range exclusively.
+    fn run_parallel(&self, l: &CLoop, st: &ThreadState) {
+        let jobs = self.threads.min(l.extent as usize);
+        let chunk = (l.extent as usize).div_ceil(jobs);
+        std::thread::scope(|scope| {
+            for k in 0..jobs {
+                let lo = k * chunk;
+                let hi = ((k + 1) * chunk).min(l.extent as usize);
+                if lo >= hi {
+                    break;
+                }
+                let mut ts = ThreadState {
+                    regs: st.regs.clone(),
+                    stack: Vec::new(),
+                };
+                scope.spawn(move || {
+                    for i in lo..hi {
+                        ts.regs[l.var_reg as usize] = i as i64;
+                        run_iops(&l.prologue, &mut ts.regs);
+                        self.run_nodes(&l.body, &mut ts, false);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The `@vec` fast path: one prologue per SIMD-width chunk, lanes
+    /// derived by stepping offsets — and evaluated strictly in lane
+    /// order, preserving the interpreter's accumulation sequence.
+    fn run_vec(&self, l: &CLoop, v: &VecBody, st: &mut ThreadState) {
+        let Some(CNode::Stmt(s)) = l.body.first() else {
+            unreachable!("vec fast path requires a single-statement body");
+        };
+        let w = i64::from(l.lanes);
+        let mut base = 0;
+        while base < l.extent {
+            st.regs[l.var_reg as usize] = base;
+            run_iops(&l.prologue, &mut st.regs);
+            let lanes = w.min(l.extent - base);
+            for lane in 0..lanes {
+                self.run_stmt(s, st, Some((lane, v)));
+            }
+            base += w;
+        }
+    }
+
+    fn run_stmt(&self, s: &CStmt, st: &mut ThreadState, lane: Option<(i64, &VecBody)>) {
+        let mut off = st.regs[s.off as usize];
+        if let Some((lane, v)) = lane {
+            off += lane * v.store_stride;
+        }
+        if let Some(p) = s.pred {
+            if st.regs[p as usize] == 0 {
+                // Interpreter pad/overhang semantics: invalid slots are
+                // zeroed by `Assign` and skipped by accumulations.
+                if s.mode == StoreMode::Assign {
+                    self.bufs.write(s.buf, off, 0.0);
+                }
+                return;
+            }
+        }
+        let v = self.eval_fops(s, st, lane);
+        match s.mode {
+            StoreMode::Assign => self.bufs.write(s.buf, off, v),
+            StoreMode::AddAcc => {
+                let old = self.bufs.read(s.buf, off);
+                self.bufs.write(s.buf, off, old + v);
+            }
+            StoreMode::MaxAcc => {
+                let old = self.bufs.read(s.buf, off);
+                self.bufs.write(s.buf, off, old.max(v));
+            }
+        }
+    }
+
+    fn eval_fops(&self, s: &CStmt, st: &mut ThreadState, lane: Option<(i64, &VecBody)>) -> f32 {
+        st.stack.clear();
+        let mut pc = 0usize;
+        while pc < s.fops.len() {
+            match s.fops[pc] {
+                FOp::Imm(v) => st.stack.push(v),
+                FOp::Load { buf, off } => {
+                    let mut o = st.regs[off as usize];
+                    if let Some((lane, v)) = lane {
+                        o += lane * v.load_strides[pc];
+                    }
+                    st.stack.push(self.bufs.read(buf, o));
+                }
+                FOp::Bin(op) => {
+                    let b = pop(&mut st.stack);
+                    let a = pop(&mut st.stack);
+                    st.stack.push(apply_fbin(op, a, b));
+                }
+                FOp::Un(op) => {
+                    let a = pop(&mut st.stack);
+                    st.stack.push(op.apply(a));
+                }
+                FOp::JumpIfZero { cond, to } => {
+                    if st.regs[cond as usize] == 0 {
+                        pc = to as usize;
+                        continue;
+                    }
+                }
+                FOp::Jump { to } => {
+                    pc = to as usize;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        pop(&mut st.stack)
+    }
+}
+
+impl NativeKernel {
+    /// Executes the kernel in place over a packed physical buffer table
+    /// (as produced by [`pack_buffers`]), with at most `threads` workers
+    /// for `@par` loops. Returns per-group wall-clock stats.
+    pub fn execute(&self, bufs: &mut [NdBuf], threads: usize) -> NativeRunStats {
+        let slots = bufs
+            .iter_mut()
+            .map(|b| {
+                let d = b.data_mut();
+                BufPtr {
+                    ptr: d.as_mut_ptr(),
+                    len: d.len(),
+                }
+            })
+            .collect();
+        let runner = Runner {
+            kernel: self,
+            bufs: Bufs { slots },
+            threads: threads.max(1),
+        };
+        let mut st = ThreadState {
+            regs: vec![0i64; self.n_regs],
+            stack: Vec::new(),
+        };
+        for &(r, v) in &self.consts {
+            st.regs[r as usize] = v;
+        }
+        let t_all = Instant::now();
+        let mut group_us = Vec::with_capacity(runner.kernel.groups.len());
+        for g in &runner.kernel.groups {
+            let t = Instant::now();
+            runner.run_group(g, &mut st);
+            group_us.push((g.label.clone(), t.elapsed().as_secs_f64() * 1e6));
+        }
+        NativeRunStats {
+            group_us,
+            total_us: t_all.elapsed().as_secs_f64() * 1e6,
+            threads: runner.threads,
+        }
+    }
+
+    /// Packs logical bindings, executes natively and unpacks logical
+    /// results — the drop-in counterpart of
+    /// [`run_program`](alt_loopir::run_program), plus wall-clock stats.
+    pub fn run(
+        &self,
+        program: &Program,
+        graph: &Graph,
+        plan: &LayoutPlan,
+        bindings: &HashMap<TensorId, NdBuf>,
+        threads: usize,
+    ) -> (HashMap<TensorId, NdBuf>, NativeRunStats) {
+        let mut bufs = pack_buffers(program, graph, plan, bindings);
+        let stats = self.execute(&mut bufs, threads);
+        (unpack_buffers(program, graph, plan, &bufs), stats)
+    }
+}

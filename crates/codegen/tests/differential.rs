@@ -1,0 +1,394 @@
+//! Differential harness: the native executor must be **bit-identical**
+//! to the TIR interpreter — same stores, same accumulation order, same
+//! predicated-slot semantics — on every machine profile, across random
+//! layout/schedule chains and real model graphs.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use alt_codegen::compile;
+use alt_layout::{presets, Layout, LayoutPlan, LayoutPrim, PropagationMode};
+use alt_loopir::{lower, run_program, AxisTiling, GraphSchedule, OpSchedule, Program};
+use alt_models::all_models;
+use alt_sim::{all_profiles, MachineProfile};
+use alt_tensor::exec::random_bindings;
+use alt_tensor::ops::{self, ConvCfg};
+use alt_tensor::{Graph, NdBuf, OpId, Shape, TensorId};
+
+/// Runs interpreter and native executor on the same program and asserts
+/// every unpacked tensor matches bit for bit.
+fn assert_bit_identical(
+    program: &Program,
+    g: &Graph,
+    plan: &LayoutPlan,
+    bindings: &HashMap<TensorId, NdBuf>,
+    profile: &MachineProfile,
+    threads: usize,
+    what: &str,
+) {
+    let want = run_program(program, g, plan, bindings);
+    let kernel = compile(program, profile);
+    let (got, _) = kernel.run(program, g, plan, bindings, threads);
+    assert_eq!(want.len(), got.len(), "{what}: tensor set differs");
+    for (t, w) in &want {
+        let n = &got[t];
+        assert_eq!(w.shape().dims(), n.shape().dims(), "{what}: shape");
+        for (i, (a, b)) in w.data().iter().zip(n.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what}: tensor `{}` flat index {i} on {}: interp {a} vs native {b}",
+                g.tensor(*t).name,
+                profile.name
+            );
+        }
+    }
+}
+
+fn gmm_graph(m: i64, k: i64, n: i64) -> (Graph, TensorId, OpId, TensorId) {
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([m, k]));
+    let b = g.add_param("b", Shape::new([k, n]));
+    let y = ops::gmm(&mut g, a, b);
+    let op = g.tensor(y).producer.unwrap();
+    (g, a, op, y)
+}
+
+/// A schedule that turns on `@par` and `@vec` for every operator so the
+/// parallel and vector-chunk paths are exercised.
+fn par_vec_schedule(g: &Graph) -> GraphSchedule {
+    let mut sched = GraphSchedule::naive();
+    for k in 0..g.num_ops() {
+        sched.set(
+            OpId(k),
+            OpSchedule {
+                vectorize: true,
+                parallel: true,
+                ..OpSchedule::default()
+            },
+        );
+    }
+    sched
+}
+
+#[test]
+fn naive_gmm_is_bit_identical_on_every_profile() {
+    let (g, _, _, _) = gmm_graph(6, 8, 10);
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    let bindings = random_bindings(&g, 1);
+    for p in all_profiles() {
+        assert_bit_identical(&program, &g, &plan, &bindings, &p, 4, "naive gmm");
+    }
+}
+
+#[test]
+fn tiled_conv_with_par_vec_is_bit_identical() {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+    let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+    let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+    let conv = g.tensor(y).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(&g, conv, presets::nhwo(g.tensor(y).shape.clone()).unwrap());
+    let mut sched = par_vec_schedule(&g);
+    sched.set(
+        conv,
+        OpSchedule {
+            spatial: vec![
+                AxisTiling::none(),
+                AxisTiling::one(4),
+                AxisTiling::one(2),
+                AxisTiling::none(),
+            ],
+            vectorize: true,
+            parallel: true,
+            ..OpSchedule::default()
+        },
+    );
+    let program = lower(&g, &plan, &sched);
+    let bindings = random_bindings(&g, 2);
+    for p in all_profiles() {
+        assert_bit_identical(&program, &g, &plan, &bindings, &p, 4, "tiled conv");
+    }
+}
+
+#[test]
+fn padded_and_unfolded_layouts_are_bit_identical() {
+    // Pad on the output exercises the pred-false Assign (zeroing) path;
+    // Unfold-with-overhang on the input exercises conversion nests with
+    // invalid slots.
+    let (g, a, op, y) = gmm_graph(9, 4, 5);
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    plan.assign_output_layout(
+        &g,
+        op,
+        Layout::identity(g.tensor(y).shape.clone())
+            .with(LayoutPrim::Pad {
+                dim: 1,
+                before: 1,
+                after: 2,
+            })
+            .unwrap(),
+    );
+    plan.assign_input_layout(
+        &g,
+        op,
+        a,
+        Layout::identity(g.tensor(a).shape.clone())
+            .with(LayoutPrim::Unfold {
+                dim: 0,
+                tile: 4,
+                stride: 3,
+            })
+            .unwrap(),
+    );
+    let program = lower(&g, &plan, &par_vec_schedule(&g));
+    let bindings = random_bindings(&g, 3);
+    for p in all_profiles() {
+        assert_bit_identical(&program, &g, &plan, &bindings, &p, 4, "pad+unfold gmm");
+    }
+}
+
+#[test]
+fn vec_fast_path_and_parallel_loops_are_present() {
+    // Guard against the fast paths silently compiling away: the conv
+    // kernel above must actually contain vector-chunked and parallel
+    // loops, otherwise the differential tests stop covering them.
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+    let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+    let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+    let conv = g.tensor(y).producer.unwrap();
+    let plan = LayoutPlan::new(PropagationMode::Full);
+    // Untiled axes have no inner spatial loops for `@vec` to land on, so
+    // tile the spatial dims the same way the tiled-conv test does.
+    let mut sched = par_vec_schedule(&g);
+    sched.set(
+        conv,
+        OpSchedule {
+            spatial: vec![
+                AxisTiling::none(),
+                AxisTiling::one(4),
+                AxisTiling::one(2),
+                AxisTiling::none(),
+            ],
+            vectorize: true,
+            parallel: true,
+            ..OpSchedule::default()
+        },
+    );
+    let program = lower(&g, &plan, &sched);
+    let kernel = compile(&program, &alt_sim::intel_cpu());
+    let stats = kernel.stats();
+    assert!(stats.vec_loops > 0, "no vector fast-path loops: {stats:?}");
+    assert!(stats.par_loops > 0, "no parallel loops: {stats:?}");
+    assert!(stats.iops > 0 && stats.fops > 0);
+}
+
+/// Model graphs end to end (prefix-truncated so the interpreter side
+/// stays affordable): every profile, `@par`/`@vec` everywhere.
+#[test]
+fn model_prefixes_are_bit_identical_on_every_profile() {
+    let cap: u64 = std::env::var("ALT_NATIVE_DIFF_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    for model in all_models(1) {
+        let g = &model.graph;
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let program = lower(g, &plan, &par_vec_schedule(g)).truncated(cap);
+        assert!(!program.groups.is_empty());
+        let bindings = random_bindings(g, 5);
+        for p in all_profiles() {
+            assert_bit_identical(
+                &program,
+                g,
+                &plan,
+                &bindings,
+                &p,
+                4,
+                &format!("model {}", model.name),
+            );
+        }
+    }
+}
+
+fn divisors(n: i64) -> Vec<i64> {
+    (1..=n).filter(|d| n % d == 0).collect()
+}
+
+fn pick(divs: &[i64], sel: u64) -> i64 {
+    divs[(sel % divs.len() as u64) as usize]
+}
+
+/// Random factorization of `n` into >= 2 factors (seeded LCG), same
+/// generator family as the verifier's property tests.
+fn factorize(n: i64, rng_val: u64) -> Vec<i64> {
+    let mut factors = Vec::new();
+    let mut rest = n;
+    let mut x = rng_val;
+    while rest > 1 && factors.len() < 2 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let divs: Vec<i64> = (1..=rest).filter(|d| rest % d == 0).collect();
+        let f = divs[(x >> 33) as usize % divs.len()];
+        factors.push(f);
+        rest /= f;
+    }
+    factors.push(rest);
+    factors
+}
+
+/// Applies up to `n_prims` random primitives to an identity layout.
+fn random_layout(shape: Shape, seed: u64, n_prims: usize) -> Layout {
+    let mut layout = Layout::identity(shape);
+    let mut x = seed;
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for _ in 0..n_prims {
+        let dims = layout.physical_shape();
+        let nd = dims.ndim();
+        match next() % 5 {
+            0 => {
+                let candidates: Vec<usize> = (0..nd).filter(|&k| dims.dim(k) > 1).collect();
+                if let Some(&k) = candidates.get(next() % candidates.len().max(1)) {
+                    let factors = factorize(dims.dim(k), next() as u64);
+                    if factors.len() >= 2 {
+                        let _ = layout.apply(LayoutPrim::Split { dim: k, factors });
+                    }
+                }
+            }
+            1 => {
+                let mut perm: Vec<usize> = (0..nd).collect();
+                for i in (1..nd).rev() {
+                    perm.swap(i, next() % (i + 1));
+                }
+                let _ = layout.apply(LayoutPrim::Reorder { perm });
+            }
+            2 => {
+                if nd >= 2 {
+                    let start = next() % (nd - 1);
+                    let count = 2 + next() % (nd - start - 1).max(1);
+                    let count = count.min(nd - start);
+                    let _ = layout.apply(LayoutPrim::Fuse { start, count });
+                }
+            }
+            3 => {
+                let k = next() % nd;
+                let d = dims.dim(k);
+                if d >= 2 {
+                    let tile = 2 + (next() as i64) % (d - 1);
+                    let stride = 1 + (next() as i64) % tile;
+                    let _ = layout.apply(LayoutPrim::Unfold {
+                        dim: k,
+                        tile,
+                        stride,
+                    });
+                }
+            }
+            _ => {
+                let k = next() % nd;
+                let _ = layout.apply(LayoutPrim::Pad {
+                    dim: k,
+                    before: (next() % 3) as i64,
+                    after: (next() % 3) as i64,
+                });
+            }
+        }
+    }
+    layout
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random layout chains on every GMM tensor plus random loop
+    /// annotations: whatever lowering produces, native must equal the
+    /// interpreter bit for bit on every machine profile.
+    #[test]
+    fn random_gmm_chains_are_bit_identical(
+        seeds in prop::collection::vec(any::<u64>(), 3),
+        n_prims in prop::collection::vec(0usize..4, 3),
+        vectorize in any::<bool>(),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (g, a, op, y) = gmm_graph(6, 8, 10);
+        let b = g.tensor(y).producer.map(|p| g.node(p).inputs[1]).unwrap();
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        plan.assign_output_layout(
+            &g,
+            op,
+            random_layout(g.tensor(y).shape.clone(), seeds[0], n_prims[0]),
+        );
+        plan.assign_input_layout(
+            &g,
+            op,
+            a,
+            random_layout(g.tensor(a).shape.clone(), seeds[1], n_prims[1]),
+        );
+        plan.assign_input_layout(
+            &g,
+            op,
+            b,
+            random_layout(g.tensor(b).shape.clone(), seeds[2], n_prims[2]),
+        );
+        let mut sched = GraphSchedule::naive();
+        sched.set(op, OpSchedule {
+            vectorize,
+            parallel,
+            ..OpSchedule::default()
+        });
+        let program = lower(&g, &plan, &sched);
+        let bindings = random_bindings(&g, seed);
+        for p in all_profiles() {
+            assert_bit_identical(&program, &g, &plan, &bindings, &p, 4, "random gmm chain");
+        }
+    }
+
+    /// Random conv tilings: tiled reductions reassociate differently from
+    /// the reference executor, but native and interpreter must still
+    /// agree exactly.
+    #[test]
+    fn random_conv_tilings_are_bit_identical(
+        sel in prop::collection::vec(any::<u64>(), 4),
+        vectorize in any::<bool>(),
+        unroll in any::<bool>(),
+        parallel in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new([1, 4, 10, 10]));
+        let w = g.add_param("w", Shape::new([8, 4, 3, 3]));
+        let y = ops::conv2d(&mut g, x, w, ConvCfg::default());
+        let conv = g.tensor(y).producer.unwrap();
+        let plan = LayoutPlan::new(PropagationMode::Full);
+        let phys = plan.layout_of(&g, y).physical_shape();
+        let spatial: Vec<AxisTiling> = (0..phys.ndim())
+            .map(|d| {
+                let t = pick(&divisors(phys.dim(d)), sel[d]);
+                if t > 1 { AxisTiling::one(t) } else { AxisTiling::none() }
+            })
+            .collect();
+        let mut sched = GraphSchedule::naive();
+        sched.set(conv, OpSchedule {
+            spatial,
+            vectorize,
+            unroll,
+            parallel,
+            ..OpSchedule::default()
+        });
+        let program = lower(&g, &plan, &sched);
+        let bindings = random_bindings(&g, seed);
+        for p in all_profiles() {
+            assert_bit_identical(&program, &g, &plan, &bindings, &p, 4, "random conv tiling");
+        }
+    }
+}

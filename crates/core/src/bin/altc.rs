@@ -18,6 +18,9 @@
 //! altc --model r18 --resume ck.json
 //! altc report r18.trace.jsonl
 //! altc profile --model r18 --budget 64 --perfetto r18.perfetto.json
+//! altc run --model bt --native --check
+//! altc run --model r18 --budget 64 --native --json
+//! altc run --model r18 --native --check --check-cap 200000
 //! altc verify --model r18 --json
 //! altc verify --model mv2 --budget 32
 //! altc verify --presets
@@ -228,6 +231,249 @@ SUBCOMMANDS:
                              the quarantine file), `export` (JSONL record
                              dump); all accept --json"
     );
+}
+
+/// `altc run`: compile a model and execute it on real data — through the
+/// native kernel executor (`--native`), the reference interpreter, or
+/// both with a bit-exact differential check (`--check`). With `--native`
+/// also prints the per-op calibration table (native wall clock vs the
+/// analytic model's prediction).
+#[allow(clippy::too_many_lines)]
+fn run_run(rest: &[String]) -> i32 {
+    let mut model = "r18".to_string();
+    let mut platform = "intel".to_string();
+    let mut budget = 0u64;
+    let mut batch = 1i64;
+    let mut seed = 0u64;
+    let mut native = false;
+    let mut check = false;
+    let mut check_cap: Option<u64> = None;
+    let mut threads = 0usize;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let res: Result<(), String> = (|| {
+            match a.as_str() {
+                "--model" | "-m" => model = value("--model")?,
+                "--platform" | "-p" => platform = value("--platform")?,
+                "--budget" | "-b" => {
+                    budget = value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?
+                }
+                "--batch" => {
+                    batch = value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?
+                }
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--native" => native = true,
+                "--check" => check = true,
+                "--check-cap" => {
+                    check_cap = Some(
+                        value("--check-cap")?
+                            .parse()
+                            .map_err(|e| format!("--check-cap: {e}"))?,
+                    )
+                }
+                "--threads" => {
+                    threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--json" => json = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: altc run [--model NAME] [--platform NAME] [--budget N]\n\
+                         \x20               [--batch N] [--seed N] [--native] [--check]\n\
+                         \x20               [--check-cap ITERS] [--threads N] [--json]\n\
+                         \n\
+                         Compiles the model (tuning when --budget > 0, unoptimized\n\
+                         otherwise) and executes it on random bindings. --native runs\n\
+                         the compiled register-based kernel (stride-resolved loops,\n\
+                         SIMD-width chunking, scoped-thread @par) and prints per-op\n\
+                         calibration against the analytic cost model; the default runs\n\
+                         the reference interpreter. --check runs both and fails unless\n\
+                         outputs are bit-identical; --check-cap truncates the program\n\
+                         to a statement-iteration budget first so large models stay\n\
+                         affordable for the interpreter side."
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument `{other}` (try --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = res {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
+
+    let graph = match build_model(&model, batch) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let machine = match build_platform(&platform) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    let joint = (budget as f64 * 0.4) as u64;
+    let compiler = Compiler::new(machine).with_options(CompileOptions {
+        joint_budget: joint,
+        loop_budget: budget - joint,
+        seed,
+        ..CompileOptions::default()
+    });
+    let compiled = if budget == 0 {
+        compiler.compile_unoptimized(&graph)
+    } else {
+        eprintln!(
+            "tuning {model} (batch {batch}) for {} with budget {budget}...",
+            machine.name
+        );
+        compiler.compile(&graph)
+    };
+
+    let program = match check_cap {
+        Some(cap) => compiled.program().truncated(cap),
+        None => compiled.program().clone(),
+    };
+    let bindings = alt_tensor::exec::random_bindings(&graph, seed);
+    let threads = if threads == 0 {
+        alt_codegen::default_threads()
+    } else {
+        threads
+    };
+
+    let mut interp_us: Option<f64> = None;
+    let interp_out = if check || !native {
+        let t = std::time::Instant::now();
+        let r = alt_loopir::run_program(&program, &graph, compiled.plan(), &bindings);
+        interp_us = Some(t.elapsed().as_secs_f64() * 1e6);
+        Some(r)
+    } else {
+        None
+    };
+
+    let native_res = if native || check {
+        let kernel = alt_codegen::compile(&program, compiled.target_profile());
+        let (r, stats) = kernel.run(&program, &graph, compiled.plan(), &bindings, threads);
+        let breakdown = alt_sim::Simulator::new(machine).profile_program(&program);
+        let table = alt_sim::calibrate(&breakdown, &stats.group_us);
+        Some((r, stats, table))
+    } else {
+        None
+    };
+
+    let mut check_passed = None;
+    if check {
+        let (want, got) = match (&interp_out, &native_res) {
+            (Some(w), Some((g, _, _))) => (w, g),
+            _ => unreachable!("--check runs both executors"),
+        };
+        let mut mismatches = 0usize;
+        for (t, w) in want {
+            let n = &got[t];
+            for (a, b) in w.data().iter().zip(n.data()) {
+                if a.to_bits() != b.to_bits() {
+                    mismatches += 1;
+                    break;
+                }
+            }
+        }
+        check_passed = Some(mismatches == 0);
+        if mismatches > 0 {
+            eprintln!("check FAILED: {mismatches} tensor(s) differ between interpreter and native");
+        }
+    }
+
+    if json {
+        let j = serde_json::json!({
+            "model": model,
+            "platform": machine.name,
+            "batch": batch,
+            "budget": budget,
+            "seed": seed,
+            "threads": threads,
+            "stmt_iterations": program.total_stmt_iterations(),
+            "estimated_latency_s": compiled.estimated_latency(),
+        });
+        let mut j = j;
+        let serde_json::Value::Object(obj) = &mut j else {
+            unreachable!("run report is a JSON object");
+        };
+        if let Some(us) = interp_us {
+            obj.insert("interp_us".into(), serde_json::json!(us));
+        }
+        if let Some((_, stats, table)) = &native_res {
+            obj.insert("native_us".into(), serde_json::json!(stats.total_us));
+            obj.insert("native_calibration".into(), table.to_json());
+            if let Some(us) = interp_us {
+                obj.insert(
+                    "native_vs_interp_x".into(),
+                    serde_json::json!(us / stats.total_us.max(1e-9)),
+                );
+            }
+        }
+        if let Some(ok) = check_passed {
+            obj.insert(
+                "check".into(),
+                serde_json::json!(if ok { "pass" } else { "fail" }),
+            );
+        }
+        let rendered = serde_json::to_string_pretty(&j).expect("run report serializes");
+        println!("{rendered}");
+    } else {
+        println!(
+            "{model} (batch {batch}) on {}: {} groups, {} stmt iterations",
+            machine.name,
+            program.groups.len(),
+            program.total_stmt_iterations()
+        );
+        if let Some(us) = interp_us {
+            println!("interp: {us:.1} us");
+        }
+        if let Some((_, stats, table)) = &native_res {
+            println!(
+                "native: {:.1} us ({} threads)",
+                stats.total_us, stats.threads
+            );
+            if let Some(us) = interp_us {
+                println!(
+                    "native speedup vs interp: {:.1}x",
+                    us / stats.total_us.max(1e-9)
+                );
+            }
+            println!(
+                "calibration vs {}: predicted {:.1} us, measured {:.1} us, ratio {:.2}",
+                table.machine, table.predicted_total_us, table.measured_total_us, table.ratio
+            );
+        }
+        if let Some(ok) = check_passed {
+            println!(
+                "check: {}",
+                if ok { "PASS (bit-identical)" } else { "FAIL" }
+            );
+        }
+    }
+    i32::from(check_passed == Some(false))
 }
 
 /// `altc profile`: tune (or just lower) a model, then print the per-loop
@@ -900,6 +1146,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("profile") {
         std::process::exit(run_profile(&argv[1..]));
+    }
+    if argv.first().map(String::as_str) == Some("run") {
+        std::process::exit(run_run(&argv[1..]));
     }
     if argv.first().map(String::as_str) == Some("verify") {
         std::process::exit(run_verify(&argv[1..]));

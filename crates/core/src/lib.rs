@@ -346,6 +346,7 @@ impl Compiler {
             plan: result.plan.clone(),
             sched: result.sched.clone(),
             program,
+            profile: self.profile,
             estimated_latency: result.latency,
             measurements: result.measurements,
             history: result.history.clone(),
@@ -370,6 +371,7 @@ impl Compiler {
             plan,
             sched,
             program,
+            profile: self.profile,
             estimated_latency,
             measurements: 0,
             history: Vec::new(),
@@ -396,6 +398,7 @@ pub struct CompiledGraph {
     plan: LayoutPlan,
     sched: GraphSchedule,
     program: Program,
+    profile: MachineProfile,
     estimated_latency: f64,
     measurements: u64,
     history: Vec<(u64, f64)>,
@@ -416,6 +419,75 @@ impl CompiledGraph {
     /// Panics if a binding is missing or has the wrong shape.
     pub fn run(&self, bindings: &HashMap<TensorId, NdBuf>) -> HashMap<TensorId, NdBuf> {
         run_program(&self.program, &self.graph, &self.plan, bindings)
+    }
+
+    /// Compiles the program into the native register-based kernel for
+    /// the target machine profile. Cheap (one walk over the loop tree);
+    /// callers that execute repeatedly should reuse the kernel.
+    pub fn native_kernel(&self) -> alt_codegen::NativeKernel {
+        alt_codegen::compile(&self.program, &self.profile)
+    }
+
+    /// Executes the compiled program through the native executor.
+    /// Bit-identical to [`CompiledGraph::run`] by the `alt-codegen`
+    /// contract, but orders of magnitude faster — the interpreter is the
+    /// reference oracle, this is the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binding is missing or has the wrong shape.
+    pub fn run_native(&self, bindings: &HashMap<TensorId, NdBuf>) -> HashMap<TensorId, NdBuf> {
+        self.run_native_timed(bindings, &Timing::disabled()).0
+    }
+
+    /// [`CompiledGraph::run_native`] with wall-clock accounting: returns
+    /// per-group and end-to-end native times, and — when `timing` is
+    /// enabled — records a `native_exec` phase plus `native.group_us` /
+    /// `native.run_us` wall histograms on the PR 8 timing layer (its own
+    /// stream; never the deterministic trace).
+    pub fn run_native_timed(
+        &self,
+        bindings: &HashMap<TensorId, NdBuf>,
+        timing: &Timing,
+    ) -> (HashMap<TensorId, NdBuf>, alt_codegen::NativeRunStats) {
+        let kernel = self.native_kernel();
+        let _phase = timing.phase("native_exec");
+        let (out, stats) = kernel.run(
+            &self.program,
+            &self.graph,
+            &self.plan,
+            bindings,
+            alt_codegen::default_threads(),
+        );
+        for (_, us) in &stats.group_us {
+            timing.observe_us("native.group_us", *us as u64);
+        }
+        timing.observe_us("native.run_us", stats.total_us as u64);
+        (out, stats)
+    }
+
+    /// Per-op calibration of the analytic cost model against a native
+    /// run: simulator-predicted vs measured microseconds per lowered
+    /// group on the target profile.
+    pub fn native_calibration(
+        &self,
+        stats: &alt_codegen::NativeRunStats,
+    ) -> alt_sim::CalibrationTable {
+        alt_sim::calibrate(&self.profile_breakdown(self.profile), &stats.group_us)
+    }
+
+    /// Embeds a calibration table into the run's timing manifest under
+    /// `native_calibration`. No-op when the graph was compiled without
+    /// [`CompileOptions::timing`] (there is no manifest to extend).
+    pub fn attach_native_calibration(&mut self, table: &alt_sim::CalibrationTable) {
+        if let Some(serde_json::Value::Object(m)) = self.timing_manifest.as_mut() {
+            m.insert("native_calibration".into(), table.to_json());
+        }
+    }
+
+    /// The machine profile this graph was compiled (and tuned) for.
+    pub fn target_profile(&self) -> &MachineProfile {
+        &self.profile
     }
 
     /// The model-estimated latency on the target machine (seconds).

@@ -451,6 +451,12 @@ impl Layout {
             .expect("layout shape chain corrupt")
     }
 
+    /// Row-major strides of the physical buffer — the linearization the
+    /// native code generator resolves index expressions against.
+    pub fn physical_strides(&self) -> Vec<i64> {
+        self.physical_shape().strides()
+    }
+
     /// The primitive sequence.
     pub fn prims(&self) -> &[LayoutPrim] {
         &self.prims

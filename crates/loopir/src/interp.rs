@@ -11,7 +11,7 @@ use alt_tensor::expr::Env;
 use alt_tensor::op::ScalarBinOp;
 use alt_tensor::{Graph, NdBuf, TensorId, TensorKind};
 
-use crate::tir::{BufKind, Program, SExpr, Stmt, StoreMode, TirNode};
+use crate::tir::{BufId, BufKind, Program, SExpr, Stmt, StoreMode, TirNode};
 
 /// Evaluates an [`SExpr`] against the buffer table.
 fn eval_sexpr(e: &SExpr, env: &Env, bufs: &[NdBuf]) -> f32 {
@@ -89,22 +89,21 @@ fn exec_nodes(nodes: &[TirNode], env: &mut Env, bufs: &mut [NdBuf]) {
     }
 }
 
-/// Runs a lowered program.
-///
-/// `bindings` supplies *logical* buffers for every input and parameter;
-/// they are packed into their physical layouts before execution. Returns
-/// the *logical* contents of every graph tensor (unpacked through its
-/// layout), indexable by [`TensorId`].
+/// Allocates the physical buffer table of a program and packs every
+/// non-intermediate tensor binding (and every `store_at` guest) into its
+/// physical layout. This is the shared entry protocol of the interpreter
+/// and the native executor: both engines start from bit-identical
+/// physical memory.
 ///
 /// # Panics
 ///
 /// Panics on missing bindings or shape mismatches (caller bugs).
-pub fn run_program(
+pub fn pack_buffers(
     program: &Program,
     graph: &Graph,
     plan: &LayoutPlan,
     bindings: &HashMap<TensorId, NdBuf>,
-) -> HashMap<TensorId, NdBuf> {
+) -> Vec<NdBuf> {
     let mut bufs: Vec<NdBuf> = program
         .buffers
         .iter()
@@ -134,10 +133,11 @@ pub fn run_program(
             .unwrap_or_else(|| panic!("missing binding for store_at guest"));
         let host_layout = plan.layout_of(graph, host);
         let host_size = graph.tensor(host).shape.dim(host_dim);
-        let host_buf_idx = program
-            .buffer_for_tensor(host)
-            .expect("host buffer exists")
-            .0;
+        // A truncated program may have pruned the host's buffer along
+        // with every group touching it; nothing reads the slot then.
+        let Some(BufId(host_buf_idx)) = program.buffer_for_tensor(host) else {
+            continue;
+        };
         for gidx in gbuf.shape().clone().iter_indices() {
             let mut lidx = gidx.clone();
             lidx.insert(host_dim, host_size);
@@ -148,14 +148,19 @@ pub fn run_program(
             bufs[host_buf_idx].set(&pidx, v);
         }
     }
+    bufs
+}
 
-    let mut env = Env::new();
-    for group in &program.groups {
-        exec_nodes(&group.nodes, &mut env, &mut bufs);
-    }
-
-    // Unpack every graph tensor back to logical order. Embedded guests
-    // are read back out of their host's reserved slot.
+/// Unpacks the executed physical buffer table back to logical tensors:
+/// every graph tensor through its layout's inverse, embedded `store_at`
+/// guests out of their host's reserved slot. The exit counterpart of
+/// [`pack_buffers`], shared by both execution engines.
+pub fn unpack_buffers(
+    program: &Program,
+    graph: &Graph,
+    plan: &LayoutPlan,
+    bufs: &[NdBuf],
+) -> HashMap<TensorId, NdBuf> {
     let mut out = HashMap::new();
     for (k, decl) in program.buffers.iter().enumerate() {
         if let BufKind::Tensor(t) = decl.kind {
@@ -181,4 +186,219 @@ pub fn run_program(
         }
     }
     out
+}
+
+/// Runs a lowered program.
+///
+/// `bindings` supplies *logical* buffers for every input and parameter;
+/// they are packed into their physical layouts before execution. Returns
+/// the *logical* contents of every graph tensor (unpacked through its
+/// layout), indexable by [`TensorId`].
+///
+/// # Panics
+///
+/// Panics on missing bindings or shape mismatches (caller bugs).
+pub fn run_program(
+    program: &Program,
+    graph: &Graph,
+    plan: &LayoutPlan,
+    bindings: &HashMap<TensorId, NdBuf>,
+) -> HashMap<TensorId, NdBuf> {
+    let mut bufs = pack_buffers(program, graph, plan, bindings);
+    let mut env = Env::new();
+    for group in &program.groups {
+        exec_nodes(&group.nodes, &mut env, &mut bufs);
+    }
+    unpack_buffers(program, graph, plan, &bufs)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use crate::lower;
+    use crate::schedule::GraphSchedule;
+    use crate::tir::BufId;
+    use alt_layout::{AssignOutcome, Layout, LayoutPrim, PropagationMode};
+    use alt_tensor::exec::{random_bindings, run_graph};
+    use alt_tensor::expr::Expr;
+    use alt_tensor::op::Cond;
+    use alt_tensor::{ops, OpId, Shape};
+
+    /// A predicate that is always false (`1 < 0`).
+    fn never() -> Cond {
+        Cond::Lt(Expr::c(1), Expr::c(0))
+    }
+
+    /// An `SExpr` whose evaluation would panic (out-of-bounds load); used
+    /// to prove a path does *not* evaluate the value expression.
+    fn poison_value() -> SExpr {
+        SExpr::Load {
+            buf: BufId(0),
+            indices: vec![Expr::c(100)],
+        }
+    }
+
+    fn sentinel_bufs() -> Vec<NdBuf> {
+        vec![NdBuf::from_fn(Shape::new([4]), |_| 7.0)]
+    }
+
+    #[test]
+    fn pred_false_assign_zeroes_slot_without_evaluating_value() {
+        let mut bufs = sentinel_bufs();
+        let stmt = Stmt {
+            buf: BufId(0),
+            indices: vec![Expr::c(2)],
+            value: poison_value(),
+            mode: StoreMode::Assign,
+            pred: Some(never()),
+        };
+        exec_stmt(&stmt, &Env::new(), &mut bufs);
+        assert_eq!(bufs[0].get(&[2]).to_bits(), 0.0f32.to_bits());
+        // Neighbouring slots untouched.
+        assert_eq!(bufs[0].get(&[1]), 7.0);
+        assert_eq!(bufs[0].get(&[3]), 7.0);
+    }
+
+    #[test]
+    fn pred_false_accumulate_skips_store_and_index_evaluation() {
+        for mode in [StoreMode::AddAcc, StoreMode::MaxAcc] {
+            let mut bufs = sentinel_bufs();
+            let stmt = Stmt {
+                buf: BufId(0),
+                // Out of bounds: a skipped accumulation must not even
+                // evaluate its destination indices.
+                indices: vec![Expr::c(100)],
+                value: poison_value(),
+                mode,
+                pred: Some(never()),
+            };
+            exec_stmt(&stmt, &Env::new(), &mut bufs);
+            for i in 0..4 {
+                assert_eq!(bufs[0].get(&[i]), 7.0, "{mode:?} mutated the buffer");
+            }
+        }
+    }
+
+    #[test]
+    fn pred_true_applies_every_store_mode() {
+        let always = Cond::Lt(Expr::c(0), Expr::c(1));
+        let cases = [
+            (StoreMode::Assign, 3.0f32),
+            (StoreMode::AddAcc, 10.0),
+            (StoreMode::MaxAcc, 7.0),
+        ];
+        for (mode, want) in cases {
+            let mut bufs = sentinel_bufs();
+            let stmt = Stmt {
+                buf: BufId(0),
+                indices: vec![Expr::c(2)],
+                value: SExpr::Imm(3.0),
+                mode,
+                pred: Some(always.clone()),
+            };
+            exec_stmt(&stmt, &Env::new(), &mut bufs);
+            assert_eq!(bufs[0].get(&[2]), want, "{mode:?}");
+        }
+    }
+
+    fn gmm_graph(m: i64, k: i64, n: i64) -> (Graph, TensorId, OpId, TensorId) {
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new([m, k]));
+        let b = g.add_param("b", Shape::new([k, n]));
+        let y = ops::gmm(&mut g, a, b);
+        let op = g.tensor(y).producer.unwrap();
+        (g, a, op, y)
+    }
+
+    fn exec_all(program: &Program, bufs: &mut [NdBuf]) {
+        let mut env = Env::new();
+        for group in &program.groups {
+            exec_nodes(&group.nodes, &mut env, bufs);
+        }
+    }
+
+    #[test]
+    fn padded_output_slots_hold_zero_and_logical_result_matches() {
+        let (g, _, op, y) = gmm_graph(5, 3, 6);
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout = Layout::identity(Shape::new([5, 6]))
+            .with(LayoutPrim::Pad {
+                dim: 1,
+                before: 1,
+                after: 2,
+            })
+            .unwrap();
+        plan.assign_output_layout(&g, op, layout);
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let bindings = random_bindings(&g, 7);
+        let mut bufs = pack_buffers(&program, &g, &plan, &bindings);
+        exec_all(&program, &mut bufs);
+        // Physical shape [5, 9]: column 0 and columns 7..9 are pad slots;
+        // the pred-false Assign path must leave exactly 0.0 there while
+        // the pred-false accumulations never touch them.
+        let yb = program.buffer_for_tensor(y).unwrap().0;
+        assert_eq!(bufs[yb].shape().dims(), &[5, 9]);
+        for i in 0..5 {
+            for j in [0, 7, 8] {
+                assert_eq!(
+                    bufs[yb].get(&[i, j]).to_bits(),
+                    0.0f32.to_bits(),
+                    "pad slot [{i}, {j}]"
+                );
+            }
+        }
+        let out = unpack_buffers(&program, &g, &plan, &bufs);
+        let reference = run_graph(&g, &bindings);
+        assert!(reference[y.0].max_abs_diff(&out[&y]) <= 1e-4);
+    }
+
+    #[test]
+    fn unfold_overhang_slots_hold_zero_after_conversion() {
+        // a is [9, 4]; Unfold{tile: 4, stride: 3} on dim 0 gives 3 tiles
+        // covering rows 0..4, 3..7 and 6..10 — the last tile overhangs by
+        // one row, so physical slots [2, 3, *] have no logical source.
+        let (g, a, op, y) = gmm_graph(9, 4, 5);
+        let mut plan = LayoutPlan::new(PropagationMode::Full);
+        let layout = Layout::identity(Shape::new([9, 4]))
+            .with(LayoutPrim::Unfold {
+                dim: 0,
+                tile: 4,
+                stride: 3,
+            })
+            .unwrap();
+        let outcome = plan.assign_input_layout(&g, op, a, layout);
+        assert_eq!(outcome, AssignOutcome::Conversion);
+        let program = lower(&g, &plan, &GraphSchedule::naive());
+        let bindings = random_bindings(&g, 11);
+        let mut bufs = pack_buffers(&program, &g, &plan, &bindings);
+        exec_all(&program, &mut bufs);
+        let cb = program
+            .buffers
+            .iter()
+            .position(|b| b.kind == BufKind::Converted(a))
+            .expect("conversion buffer exists");
+        assert_eq!(bufs[cb].shape().dims(), &[3, 4, 4]);
+        let abuf = &bindings[&a];
+        for t in 0..3i64 {
+            for r in 0..4i64 {
+                let row = t * 3 + r;
+                for c in 0..4i64 {
+                    let got = bufs[cb].get(&[t, r, c]);
+                    if row < 9 {
+                        // Duplicated rows from overlapping tiles carry the
+                        // exact logical value.
+                        assert_eq!(got.to_bits(), abuf.get(&[row, c]).to_bits());
+                    } else {
+                        // Overhang: pred-false Assign wrote exactly 0.0.
+                        assert_eq!(got.to_bits(), 0.0f32.to_bits(), "slot [{t}, {r}, {c}]");
+                    }
+                }
+            }
+        }
+        let out = unpack_buffers(&program, &g, &plan, &bufs);
+        let reference = run_graph(&g, &bindings);
+        assert!(reference[y.0].max_abs_diff(&out[&y]) <= 1e-4);
+    }
 }

@@ -16,7 +16,7 @@ pub mod schedule;
 pub mod tir;
 
 pub use hash::program_fingerprint;
-pub use interp::run_program;
+pub use interp::{pack_buffers, run_program, unpack_buffers};
 pub use lower::{lower, lower_filtered, try_lower, try_lower_filtered};
 pub use schedule::{AxisTiling, GraphSchedule, OpSchedule};
 pub use tir::{

@@ -28,6 +28,12 @@ use crate::tir::{
     BufId, BufKind, BufferDecl, LoopKind, LoweredGroup, Program, SExpr, Stmt, StoreMode, TirNode,
 };
 
+/// Cap on the collapsed parallel extent of a layout-conversion copy nest:
+/// outer loops keep collapsing into the parallel band only while the
+/// combined trip count stays below this (enough to feed every core many
+/// times over without flattening the whole nest).
+pub(crate) const PAR_COLLAPSE_CAP: i64 = 512;
+
 /// One tiled axis: per-level loop extents plus the variables bound at each
 /// level (extent-1 levels carry no variable).
 struct TiledAxis {
@@ -371,13 +377,19 @@ impl<'g> Lowerer<'g> {
             };
             // Parallelize outer loops until there is enough parallelism
             // to feed every core, and vectorize the innermost copy loop.
+            // The cap is checked on the *post*-multiplication product:
+            // the first outer loop always parallelizes, but a further dim
+            // collapses into the parallel band only if doing so keeps the
+            // combined extent under the cap (checking before multiplying
+            // let e.g. 511 x 512 collapse to a 261,632-way band).
             let mut par_extent = 1i64;
             let loops: Vec<(Var, i64, LoopKind)> = vars
                 .iter()
                 .enumerate()
                 .map(|(k, v)| {
-                    let kind = if k + 1 < phys.ndim() && par_extent < 512 {
-                        par_extent *= phys.dim(k);
+                    let grown = par_extent.saturating_mul(phys.dim(k));
+                    let kind = if k + 1 < phys.ndim() && (k == 0 || grown < PAR_COLLAPSE_CAP) {
+                        par_extent = grown;
                         LoopKind::Parallel
                     } else if k == phys.ndim() - 1 {
                         LoopKind::Vectorized

@@ -225,6 +225,118 @@ impl Program {
             .map(|n| n.stmt_iterations())
             .sum()
     }
+
+    /// A bounded slice of the program for differential testing: keeps
+    /// groups in order while the cumulative statement-iteration count
+    /// stays within `cap`, skipping groups that would blow the budget
+    /// (falling back to the single cheapest group if nothing fits).
+    /// The buffer table is pruned (and `BufId`s remapped) to buffers
+    /// the surviving groups actually touch, so packing and memory cost
+    /// scale with the slice, not the full model. Inputs produced by
+    /// dropped groups stay zero-filled in every engine — both executors
+    /// see identical data — so bit-exact comparison over the surviving
+    /// groups remains meaningful.
+    pub fn truncated(&self, cap: u64) -> Program {
+        let group_iters =
+            |g: &LoweredGroup| -> u64 { g.nodes.iter().map(TirNode::stmt_iterations).sum() };
+        let mut total = 0u64;
+        let mut groups = Vec::new();
+        for g in &self.groups {
+            let iters = group_iters(g);
+            if total.saturating_add(iters) <= cap {
+                total = total.saturating_add(iters);
+                groups.push(g.clone());
+            }
+        }
+        if groups.is_empty() {
+            if let Some(g) = self.groups.iter().min_by_key(|g| group_iters(g)) {
+                groups.push(g.clone());
+            }
+        }
+        let mut used = vec![false; self.buffers.len()];
+        for g in &groups {
+            for n in &g.nodes {
+                mark_buffers(n, &mut used);
+            }
+        }
+        let mut remap = vec![usize::MAX; self.buffers.len()];
+        let mut buffers = Vec::new();
+        for (k, b) in self.buffers.iter().enumerate() {
+            if used[k] {
+                remap[k] = buffers.len();
+                buffers.push(b.clone());
+            }
+        }
+        for g in &mut groups {
+            for n in &mut g.nodes {
+                remap_buffers(n, &remap);
+            }
+        }
+        Program { buffers, groups }
+    }
+}
+
+/// Marks every buffer a node reads or writes (stores plus loads on both
+/// `Select` branches).
+fn mark_buffers(node: &TirNode, used: &mut [bool]) {
+    match node {
+        TirNode::Loop { body, .. } => {
+            for child in body {
+                mark_buffers(child, used);
+            }
+        }
+        TirNode::Stmt(s) => {
+            used[s.buf.0] = true;
+            mark_sexpr_buffers(&s.value, used);
+        }
+    }
+}
+
+fn mark_sexpr_buffers(e: &SExpr, used: &mut [bool]) {
+    match e {
+        SExpr::Imm(_) => {}
+        SExpr::Load { buf, .. } => used[buf.0] = true,
+        SExpr::Bin(_, a, b) => {
+            mark_sexpr_buffers(a, used);
+            mark_sexpr_buffers(b, used);
+        }
+        SExpr::Unary(_, a) => mark_sexpr_buffers(a, used),
+        SExpr::Select { then_, else_, .. } => {
+            mark_sexpr_buffers(then_, used);
+            mark_sexpr_buffers(else_, used);
+        }
+    }
+}
+
+/// Rewrites every `BufId` through `remap` (old index -> new index).
+fn remap_buffers(node: &mut TirNode, remap: &[usize]) {
+    match node {
+        TirNode::Loop { body, .. } => {
+            for child in body {
+                remap_buffers(child, remap);
+            }
+        }
+        TirNode::Stmt(s) => {
+            s.buf = BufId(remap[s.buf.0]);
+            remap_sexpr_buffers(&mut s.value, remap);
+        }
+    }
+}
+
+fn remap_sexpr_buffers(e: &mut SExpr, remap: &[usize]) {
+    match e {
+        SExpr::Imm(_) => {}
+        SExpr::Load { buf, .. } => *buf = BufId(remap[buf.0]),
+        SExpr::Bin(_, a, b) => {
+            remap_sexpr_buffers(a, remap);
+            remap_sexpr_buffers(b, remap);
+        }
+        SExpr::Unary(_, a) => remap_sexpr_buffers(a, remap),
+        SExpr::Select { then_, else_, .. } => {
+            remap_sexpr_buffers(then_, remap);
+            remap_sexpr_buffers(else_, remap);
+        }
+    }
 }
 
 #[cfg(test)]

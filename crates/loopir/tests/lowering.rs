@@ -610,3 +610,104 @@ fn loop_names_follow_axis_lineage() {
         "reduce lineage missing from {names:?}"
     );
 }
+
+#[test]
+fn conversion_parallel_collapse_respects_cap_post_multiplication() {
+    // A conversion copy nest over physical dims [511, 512, 8]: the old
+    // pre-multiplication guard saw par_extent = 511 < 512 and collapsed
+    // the second dim too, yielding a 511 x 512 = 261,632-way parallel
+    // band. The clamp must be applied *after* multiplying, so only the
+    // first dim parallelizes here.
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([511, 4096]));
+    let b = g.add_param("b", Shape::new([4096, 4]));
+    let c = ops::gmm(&mut g, a, b);
+    let op = g.tensor(c).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::None);
+    let layout = Layout::identity(Shape::new([511, 4096]))
+        .with(alt_layout::LayoutPrim::Split {
+            dim: 1,
+            factors: vec![512, 8],
+        })
+        .unwrap();
+    let outcome = plan.assign_input_layout(&g, op, a, layout);
+    assert_eq!(outcome, alt_layout::AssignOutcome::Conversion);
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    let conv = program
+        .groups
+        .iter()
+        .find(|gr| gr.label.starts_with("convert"))
+        .expect("conversion group");
+
+    fn kinds(nodes: &[alt_loopir::TirNode], out: &mut Vec<(i64, alt_loopir::LoopKind)>) {
+        for n in nodes {
+            if let alt_loopir::TirNode::Loop {
+                extent, kind, body, ..
+            } = n
+            {
+                out.push((*extent, *kind));
+                kinds(body, out);
+            }
+        }
+    }
+    let mut ks = Vec::new();
+    kinds(&conv.nodes, &mut ks);
+    assert_eq!(ks.len(), 3, "{ks:?}");
+    assert_eq!(ks[0], (511, alt_loopir::LoopKind::Parallel), "{ks:?}");
+    // The collapsed parallel extent must stay under the cap: the second
+    // dim may not join the parallel band.
+    assert_eq!(ks[1], (512, alt_loopir::LoopKind::Serial), "{ks:?}");
+    assert_eq!(ks[2], (8, alt_loopir::LoopKind::Vectorized), "{ks:?}");
+    let par: i64 = ks
+        .iter()
+        .filter(|(_, k)| *k == alt_loopir::LoopKind::Parallel)
+        .map(|(e, _)| e)
+        .product();
+    assert!(par < 512, "collapsed parallel extent {par} blew the cap");
+}
+
+#[test]
+fn conversion_parallel_collapse_still_collapses_small_dims() {
+    // Under the cap, consecutive outer dims still collapse into the
+    // parallel band (4 x 16 = 64 < 512).
+    let mut g = Graph::new();
+    let a = g.add_input("a", Shape::new([4, 128]));
+    let b = g.add_param("b", Shape::new([128, 4]));
+    let c = ops::gmm(&mut g, a, b);
+    let op = g.tensor(c).producer.unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::None);
+    let layout = Layout::identity(Shape::new([4, 128]))
+        .with(alt_layout::LayoutPrim::Split {
+            dim: 1,
+            factors: vec![16, 8],
+        })
+        .unwrap();
+    assert_eq!(
+        plan.assign_input_layout(&g, op, a, layout),
+        alt_layout::AssignOutcome::Conversion
+    );
+    let program = lower(&g, &plan, &GraphSchedule::naive());
+    let conv = program
+        .groups
+        .iter()
+        .find(|gr| gr.label.starts_with("convert"))
+        .expect("conversion group");
+    let mut ks = Vec::new();
+    fn kinds(nodes: &[alt_loopir::TirNode], out: &mut Vec<alt_loopir::LoopKind>) {
+        for n in nodes {
+            if let alt_loopir::TirNode::Loop { kind, body, .. } = n {
+                out.push(*kind);
+                kinds(body, out);
+            }
+        }
+    }
+    kinds(&conv.nodes, &mut ks);
+    assert_eq!(
+        ks,
+        vec![
+            alt_loopir::LoopKind::Parallel,
+            alt_loopir::LoopKind::Parallel,
+            alt_loopir::LoopKind::Vectorized,
+        ]
+    );
+}

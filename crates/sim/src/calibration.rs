@@ -1,0 +1,157 @@
+//! Measured-vs-predicted calibration of the analytic cost model.
+//!
+//! The native executor (`alt-codegen`) reports real wall-clock per
+//! lowered group; the simulator predicts latency for the same groups.
+//! Joining the two gives a per-op calibration table: where the model is
+//! systematically off (and by how much), which is exactly the signal a
+//! transfer-learned cost model needs. The table is embedded in run
+//! manifests and benchmark JSON so calibration drift is visible across
+//! runs.
+
+use crate::breakdown::CostBreakdown;
+
+/// One group's predicted-vs-measured pair.
+#[derive(Clone, Debug)]
+pub struct CalibrationRow {
+    /// Group label (e.g. `c2d#3`, `convert(x)`).
+    pub label: String,
+    /// Simulator-predicted latency in microseconds.
+    pub predicted_us: f64,
+    /// Native-executor wall clock in microseconds.
+    pub measured_us: f64,
+    /// `measured / predicted`; `1.0` means the model is exact, values
+    /// far from 1 locate where it needs recalibration. Infinite when the
+    /// prediction is zero but time was measured.
+    pub ratio: f64,
+}
+
+/// A per-op calibration table for one program on one machine profile.
+#[derive(Clone, Debug)]
+pub struct CalibrationTable {
+    /// Machine profile name the prediction used.
+    pub machine: String,
+    /// Per-group rows in program order.
+    pub rows: Vec<CalibrationRow>,
+    /// Predicted end-to-end latency in microseconds.
+    pub predicted_total_us: f64,
+    /// Measured end-to-end wall clock in microseconds.
+    pub measured_total_us: f64,
+    /// `measured_total / predicted_total`.
+    pub ratio: f64,
+}
+
+fn safe_ratio(measured: f64, predicted: f64) -> f64 {
+    if predicted > 0.0 {
+        measured / predicted
+    } else if measured > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    }
+}
+
+/// Joins a simulator cost breakdown with measured per-group wall times
+/// (microseconds, program order — e.g. `NativeRunStats::group_us` from
+/// `alt-codegen`). Rows are matched by position; the measured label is
+/// ignored in favor of the breakdown's.
+pub fn calibrate(breakdown: &CostBreakdown, measured_us: &[(String, f64)]) -> CalibrationTable {
+    let rows: Vec<CalibrationRow> = breakdown
+        .groups
+        .iter()
+        .zip(measured_us)
+        .map(|(g, (_, us))| CalibrationRow {
+            label: g.label.clone(),
+            predicted_us: g.total_s * 1e6,
+            measured_us: *us,
+            ratio: safe_ratio(*us, g.total_s * 1e6),
+        })
+        .collect();
+    let measured_total_us: f64 = rows.iter().map(|r| r.measured_us).sum();
+    let predicted_total_us = breakdown.total_s * 1e6;
+    CalibrationTable {
+        machine: breakdown.machine.clone(),
+        rows,
+        predicted_total_us,
+        measured_total_us,
+        ratio: safe_ratio(measured_total_us, predicted_total_us),
+    }
+}
+
+impl CalibrationTable {
+    /// JSON form for manifests and benchmark reports.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "machine": self.machine,
+            "predicted_total_us": self.predicted_total_us,
+            "measured_total_us": self.measured_total_us,
+            "ratio": self.ratio,
+            "groups": self.rows.iter().map(|r| serde_json::json!({
+                "label": r.label,
+                "predicted_us": r.predicted_us,
+                "measured_us": r.measured_us,
+                "ratio": r.ratio,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::GroupBreakdown;
+    use crate::Counters;
+
+    fn breakdown() -> CostBreakdown {
+        CostBreakdown {
+            machine: "test".into(),
+            groups: vec![
+                GroupBreakdown {
+                    label: "c2d#0".into(),
+                    overhead_s: 0.0,
+                    leaves: Vec::new(),
+                    total_s: 10e-6,
+                },
+                GroupBreakdown {
+                    label: "gmm#1".into(),
+                    overhead_s: 0.0,
+                    leaves: Vec::new(),
+                    total_s: 5e-6,
+                },
+            ],
+            total_s: 15e-6,
+            counters: Counters::default(),
+        }
+    }
+
+    #[test]
+    fn rows_join_by_position_and_carry_ratios() {
+        let t = calibrate(
+            &breakdown(),
+            &[("c2d#0".into(), 20.0), ("gmm#1".into(), 2.5)],
+        );
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].label, "c2d#0");
+        assert!((t.rows[0].ratio - 2.0).abs() < 1e-12);
+        assert!((t.rows[1].ratio - 0.5).abs() < 1e-12);
+        assert!((t.measured_total_us - 22.5).abs() < 1e-12);
+        assert!((t.ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_prediction_does_not_divide_by_zero() {
+        let mut b = breakdown();
+        b.groups[0].total_s = 0.0;
+        let t = calibrate(&b, &[("a".into(), 1.0), ("b".into(), 0.0)]);
+        assert!(t.rows[0].ratio.is_infinite());
+        assert!((t.rows[1].ratio - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_form_is_parseable_and_complete() {
+        let t = calibrate(&breakdown(), &[("x".into(), 1.0)]);
+        let j = t.to_json();
+        assert_eq!(j["machine"], "test");
+        assert_eq!(j["groups"].as_array().map(Vec::len), Some(1));
+        assert!(j["groups"][0]["predicted_us"].as_f64().is_some());
+    }
+}

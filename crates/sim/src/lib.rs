@@ -19,6 +19,7 @@
 pub mod analytic;
 pub mod breakdown;
 pub mod cache;
+pub mod calibration;
 pub mod memo;
 pub mod profiles;
 pub mod trace;
@@ -29,6 +30,7 @@ pub use breakdown::{
     Roofline,
 };
 pub use cache::{CacheSim, CacheStats};
+pub use calibration::{calibrate, CalibrationRow, CalibrationTable};
 pub use memo::{
     compose_cache_key, decode_measurement, encode_measurement, profile_fingerprint, SimCache,
     MEASUREMENT_PAYLOAD_LEN,

@@ -60,6 +60,14 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// Lemire's multiply-shift reduction of a uniform `u64` draw onto
+/// `[0, n)`: the high 64 bits of `x * n`. Unlike `x % n` it weights every
+/// index within one part in `2^64 / n` of uniform instead of favoring
+/// indices below `2^64 mod n`.
+fn lemire(x: u64, n: u64) -> u64 {
+    ((u128::from(x) * u128::from(n)) >> 64) as u64
+}
+
 struct Hist {
     count: u64,
     sum: f64,
@@ -108,8 +116,13 @@ impl Hist {
             self.samples.push(v);
         } else {
             // Algorithm R: keep the new observation with probability
-            // SAMPLE_CAP / count, evicting a uniformly random slot.
-            let j = (self.next_rand() % self.count) as usize;
+            // SAMPLE_CAP / count, evicting a uniformly random slot. The
+            // draw uses Lemire's multiply-shift reduction — `x % count`
+            // would favor small indices whenever `count` does not divide
+            // 2^64, biasing eviction toward early slots. One RNG draw
+            // per observation either way, so summaries stay a pure
+            // function of the observation sequence.
+            let j = lemire(self.next_rand(), self.count) as usize;
             if j < SAMPLE_CAP {
                 self.samples[j] = v;
             }
@@ -357,6 +370,37 @@ mod tests {
             })
             .collect();
         assert!(names.contains(&"lat.sampled".to_string()));
+    }
+
+    #[test]
+    fn lemire_reduction_is_in_range_and_unbiased_across_buckets() {
+        // Boundary behavior: the reduction never reaches n and maps the
+        // extremes of the u64 range to the extremes of [0, n).
+        for n in [1u64, 2, 3, 65536, 65537, (1 << 33) - 1] {
+            assert_eq!(lemire(0, n), 0);
+            assert_eq!(lemire(u64::MAX, n), n - 1);
+            assert!(lemire(0x9E3779B97F4A7C15, n) < n);
+        }
+        // Evenly spaced draws land evenly in every bucket — `x % n`
+        // instead would map this entire sweep onto a sliver of small
+        // indices for n close to (but not dividing) a power of two.
+        let n = (1u64 << 33) - 11;
+        let mut counts = [0u32; 8];
+        let draws = 1u64 << 14;
+        for k in 0..draws {
+            // Stride the full u64 range.
+            let x = k.wrapping_mul(u64::MAX / draws);
+            let j = lemire(x, n);
+            assert!(j < n);
+            counts[(j * 8 / n) as usize] += 1;
+        }
+        let per_bucket = (draws / 8) as u32;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c.abs_diff(per_bucket) <= per_bucket / 8,
+                "bucket {b}: {c} of {draws} draws (expected ~{per_bucket})"
+            );
+        }
     }
 
     #[test]
