@@ -39,7 +39,9 @@ pub use ppo::{CriticState, PpoAgent, PpoWeights, SharedCritic};
 pub use pretrain::{pretrain_ppo, tune_with_pretraining};
 pub use progress::Progress;
 pub use rng::SharedRng;
-pub use space::{build_layout_template, build_loop_space, LayoutTemplate, Point, Space};
+pub use space::{
+    build_layout_template, build_layout_template_ex, build_loop_space, LayoutTemplate, Point, Space,
+};
 pub use tuner::{
     apply_fixed_layout, base_schedule, tune_graph, FixedLayout, LayoutSearch, TuneConfig,
     TuneResult, Tuner,

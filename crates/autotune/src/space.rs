@@ -7,7 +7,7 @@
 //! expose one tile factor per physical output dimension, one per
 //! reduction axis, and the vectorize/unroll/parallel annotations.
 
-use alt_layout::{presets, Layout, LayoutPlan};
+use alt_layout::{presets, Layout, LayoutPlan, LayoutPrim};
 use alt_loopir::{AxisTiling, OpSchedule};
 use alt_tensor::{ComplexKind, Graph, OpId, OpTag, Shape, TensorId};
 use rand::Rng;
@@ -200,11 +200,45 @@ pub struct LayoutTemplate {
     /// Tiling levels (1 = the default one-level templates; 2 adds a
     /// second-level split per knob, Fig. 13).
     pub levels: u8,
+    /// Whether the template carries the trailing `xform` knob (advanced
+    /// physical transforms: XOR swizzle, block-diagonal remap, Morton).
+    pub advanced: bool,
 }
+
+/// `xform` knob values (the trailing knob of advanced templates).
+///
+/// Each value selects one post-tiling physical transform; values that are
+/// illegal for the decoded physical shape degrade to a no-op so every
+/// point still decodes (mirroring how degenerate tile points are kept).
+pub const XFORM_NONE: i64 = 0;
+/// XOR-swizzle the innermost weight tile against the neighbouring tile
+/// dimension, 1 low bit.
+pub const XFORM_SWIZZLE1: i64 = 1;
+/// XOR-swizzle, 2 low bits.
+pub const XFORM_SWIZZLE2: i64 = 2;
+/// Block-diagonal (cyclic) remap of the innermost weight tile.
+pub const XFORM_BLOCKDIAG: i64 = 3;
+/// Morton (Z-order) interleave of the first adjacent equal power-of-two
+/// pair of output dimensions.
+pub const XFORM_MORTON: i64 = 4;
 
 /// Builds the layout template for a complex operator, or `None` for
 /// non-complex operators.
 pub fn build_layout_template(graph: &Graph, op: OpId, levels: u8) -> Option<LayoutTemplate> {
+    build_layout_template_ex(graph, op, levels, false)
+}
+
+/// [`build_layout_template`] with the opt-in advanced-primitive knob:
+/// when `advanced` is set the template gains one trailing `xform` knob
+/// whose options select a post-tiling physical transform (see the
+/// `XFORM_*` constants). Off by default so the pruned template sizes of
+/// paper §5.1 (and seeded tuning baselines) are unchanged.
+pub fn build_layout_template_ex(
+    graph: &Graph,
+    op: OpId,
+    levels: u8,
+    advanced: bool,
+) -> Option<LayoutTemplate> {
     let node = graph.node(op);
     let OpTag::Complex(kind) = node.tag else {
         return None;
@@ -276,11 +310,24 @@ pub fn build_layout_template(graph: &Graph, op: OpId, levels: u8) -> Option<Layo
             knobs.push(Knob::divisor(format!("{}2", k.name), max));
         }
     }
+    if advanced {
+        knobs.push(Knob {
+            name: "xform".into(),
+            options: vec![
+                XFORM_NONE,
+                XFORM_SWIZZLE1,
+                XFORM_SWIZZLE2,
+                XFORM_BLOCKDIAG,
+                XFORM_MORTON,
+            ],
+        });
+    }
     Some(LayoutTemplate {
         op,
         kind: template_kind,
         space: Space { knobs },
         levels,
+        advanced,
     })
 }
 
@@ -333,8 +380,13 @@ pub fn decode_layout_point(
 ) -> Result<LayoutDecision, alt_layout::LayoutError> {
     let node = graph.node(tmpl.op);
     let out_shape = graph.tensor(node.output).shape.clone();
-    let vals = tmpl.space.values(point);
-    match &tmpl.kind {
+    let mut vals = tmpl.space.values(point);
+    let xform = if tmpl.advanced {
+        vals.pop().unwrap_or(XFORM_NONE)
+    } else {
+        XFORM_NONE
+    };
+    let decision = match &tmpl.kind {
         TemplateKind::Conv {
             d,
             strides,
@@ -402,7 +454,72 @@ pub fn decode_layout_point(
                 weight: Some(presets::batch_gmm_tiled(b_shape, kt, nt)?),
             })
         }
+    }?;
+    Ok(apply_xform(decision, xform))
+}
+
+/// Applies `prim` when legal for the layout's physical shape; returns the
+/// layout unchanged otherwise, so an inapplicable `xform` choice degrades
+/// to a no-op instead of invalidating the point.
+fn try_with(layout: Layout, prim: LayoutPrim) -> Layout {
+    if prim.check(layout.physical_shape().dims()).is_ok() {
+        match layout.clone().with(prim) {
+            Ok(l) => l,
+            Err(_) => layout,
+        }
+    } else {
+        layout
     }
+}
+
+/// Applies the `xform` knob to a decoded decision.
+///
+/// Swizzle and block-diag target the weight tensor's two innermost
+/// physical dimensions (the packed tiles, where bank conflicts live);
+/// Morton targets the first adjacent equal power-of-two pair of output
+/// dimensions. Every transform is validated by [`LayoutPrim::check`] and
+/// skipped when the shape does not qualify.
+fn apply_xform(mut decision: LayoutDecision, xform: i64) -> LayoutDecision {
+    match xform {
+        XFORM_SWIZZLE1 | XFORM_SWIZZLE2 => {
+            if let Some(w) = decision.weight.take() {
+                let nd = w.physical_shape().ndim();
+                let prim = LayoutPrim::Swizzle {
+                    dim: nd.saturating_sub(1),
+                    src: nd.saturating_sub(2),
+                    bits: xform as u32,
+                };
+                decision.weight = Some(try_with(w, prim));
+            }
+        }
+        XFORM_BLOCKDIAG => {
+            if let Some(w) = decision.weight.take() {
+                let phys = w.physical_shape();
+                let nd = phys.ndim();
+                if nd >= 2 {
+                    let block = (phys.dim(nd - 1) / 2).max(1);
+                    let prim = LayoutPrim::BlockDiag {
+                        dim: nd - 1,
+                        src: nd - 2,
+                        block,
+                    };
+                    decision.weight = Some(try_with(w, prim));
+                } else {
+                    decision.weight = Some(w);
+                }
+            }
+        }
+        XFORM_MORTON => {
+            let phys = decision.output.physical_shape();
+            let candidate = (0..phys.ndim().saturating_sub(1))
+                .find(|&d| LayoutPrim::Morton { dim: d }.check(phys.dims()).is_ok());
+            if let Some(d) = candidate {
+                decision.output = try_with(decision.output, LayoutPrim::Morton { dim: d });
+            }
+        }
+        _ => {}
+    }
+    decision
 }
 
 /// Applies a decoded layout decision to the plan.
@@ -646,6 +763,97 @@ mod tests {
         let q = space.step(&p, &dirs);
         for (i, k) in q.iter().zip(space.knobs.iter()) {
             assert!(*i < k.options.len());
+        }
+    }
+
+    /// Builds a point selecting the named option values (first option for
+    /// any knob not named).
+    fn point_with(space: &Space, choose: &[(&str, i64)]) -> Point {
+        space
+            .knobs
+            .iter()
+            .map(|k| {
+                choose
+                    .iter()
+                    .find(|(n, _)| *n == k.name)
+                    .and_then(|(_, v)| k.options.iter().position(|o| o == v))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn advanced_template_appends_one_xform_knob() {
+        let (g, op) = conv_graph();
+        let base = build_layout_template(&g, op, 1).unwrap();
+        assert!(!base.advanced);
+        let adv = build_layout_template_ex(&g, op, 1, true).unwrap();
+        assert!(adv.advanced);
+        assert_eq!(adv.space.knobs.len(), base.space.knobs.len() + 1);
+        let last = adv.space.knobs.last().unwrap();
+        assert_eq!(last.name, "xform");
+        assert_eq!(last.options.len(), 5);
+    }
+
+    #[test]
+    fn xform_knob_decodes_to_advanced_primitives() {
+        let (g, op) = conv_graph();
+        let tmpl = build_layout_template_ex(&g, op, 1, true).unwrap();
+        // Weight [32, 16, 3, 3] with w_ot = 8: the packed tile dims
+        // qualify for both swizzle (8 % 4 == 0) and block-diag.
+        let base = &[("t0", 4i64), ("t1", 4), ("ot", 8), ("w_it", 4), ("w_ot", 8)][..];
+        let with_xform = |x: i64| {
+            let mut c = base.to_vec();
+            c.push(("xform", x));
+            decode_layout_point(&g, &tmpl, &point_with(&tmpl.space, &c)).expect("decodable")
+        };
+        let has = |l: &Layout, pred: &dyn Fn(&LayoutPrim) -> bool| l.prims().iter().any(pred);
+
+        let none = with_xform(XFORM_NONE);
+        assert!(!has(none.weight.as_ref().unwrap(), &|p| matches!(
+            p,
+            LayoutPrim::Swizzle { .. } | LayoutPrim::BlockDiag { .. }
+        )));
+
+        let sw = with_xform(XFORM_SWIZZLE2);
+        assert!(has(sw.weight.as_ref().unwrap(), &|p| matches!(
+            p,
+            LayoutPrim::Swizzle { bits: 2, .. }
+        )));
+
+        let bd = with_xform(XFORM_BLOCKDIAG);
+        assert!(has(bd.weight.as_ref().unwrap(), &|p| matches!(
+            p,
+            LayoutPrim::BlockDiag { .. }
+        )));
+
+        // Output [1, 32, 16, 16] tiled (4, 4) with ot = 8 exposes an
+        // adjacent equal power-of-two pair for the Morton interleave.
+        let mt = with_xform(XFORM_MORTON);
+        assert!(has(&mt.output, &|p| matches!(p, LayoutPrim::Morton { .. })));
+    }
+
+    #[test]
+    fn advanced_points_always_decode_apply_and_verify_clean() {
+        let (g, op) = conv_graph();
+        let tmpl = build_layout_template_ex(&g, op, 1, true).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let p = tmpl.space.random_point(&mut rng);
+            let dec = decode_layout_point(&g, &tmpl, &p).expect("decodable");
+            let mut plan = LayoutPlan::new(PropagationMode::Full);
+            apply_layout_decision(&g, &mut plan, op, &dec, true);
+            // The physical transforms are all bijective: element counts
+            // are preserved on every tensor they touch.
+            let out = g.node(op).output;
+            assert_eq!(
+                plan.layout_of(&g, out).physical_shape().numel(),
+                g.tensor(out).shape.numel()
+            );
+            // Every decoded point must pass the static legality engine.
+            let program = alt_loopir::lower(&g, &plan, &alt_loopir::GraphSchedule::naive());
+            let diags = alt_verify::verify_program(&g, &plan, &program);
+            assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
         }
     }
 

@@ -46,7 +46,7 @@ use crate::parallel::ordered_map;
 use crate::ppo::{pad_obs, CriticState, PpoAgent, PpoWeights, SharedCritic};
 use crate::rng::SharedRng;
 use crate::space::{
-    apply_layout_decision, build_layout_template, decode_layout_point, decode_loop_point, Point,
+    apply_layout_decision, build_layout_template_ex, decode_layout_point, decode_loop_point, Point,
 };
 
 /// How the joint stage picks layout candidates (Fig. 11's comparison).
@@ -88,6 +88,12 @@ pub struct TuneConfig {
     pub levels: u8,
     /// Loop-space spatial tiling levels (1 or 2).
     pub loop_levels: u8,
+    /// Append the advanced `xform` knob (XOR swizzle, block-diagonal
+    /// remap, Morton interleave) to every layout template. Off by
+    /// default: the extra knob multiplies the pruned template spaces and
+    /// changes seeded-run trajectories, so it is strictly opt-in
+    /// (`altc tune --advanced-layouts`).
+    pub advanced_layouts: bool,
     /// Layout propagation mode (Full / WithoutFusionAlign / None).
     pub mode: PropagationMode,
     /// Treat graph inputs as free to re-layout (single-operator
@@ -190,6 +196,7 @@ impl Default for TuneConfig {
             rounds_per_layout: 1,
             levels: 1,
             loop_levels: 1,
+            advanced_layouts: false,
             mode: PropagationMode::Full,
             free_input_layouts: false,
             seed: 0,
@@ -551,8 +558,12 @@ impl<'g> Tuner<'g> {
                         ],
                     );
                     for &clone in &clones_of[&op] {
-                        if let Some(ct) = build_layout_template(self.graph, clone, self.cfg.levels)
-                        {
+                        if let Some(ct) = build_layout_template_ex(
+                            self.graph,
+                            clone,
+                            self.cfg.levels,
+                            self.cfg.advanced_layouts,
+                        ) {
                             if let Ok(dec) = decode_layout_point(self.graph, &ct, &point) {
                                 apply_layout_decision(
                                     self.graph,
@@ -676,7 +687,12 @@ impl<'g> Tuner<'g> {
                 targets.extend(clones.iter().copied());
             }
             for t in targets {
-                if let Some(tmpl) = build_layout_template(self.graph, t, self.cfg.levels) {
+                if let Some(tmpl) = build_layout_template_ex(
+                    self.graph,
+                    t,
+                    self.cfg.levels,
+                    self.cfg.advanced_layouts,
+                ) {
                     if let Ok(dec) = decode_layout_point(self.graph, &tmpl, &c.point) {
                         apply_layout_decision(
                             self.graph,
@@ -756,7 +772,12 @@ impl<'g> Tuner<'g> {
                 targets.extend(clones.iter().copied());
             }
             for t in targets {
-                if let Some(tmpl) = build_layout_template(self.graph, t, self.cfg.levels) {
+                if let Some(tmpl) = build_layout_template_ex(
+                    self.graph,
+                    t,
+                    self.cfg.levels,
+                    self.cfg.advanced_layouts,
+                ) {
                     if let Ok(dec) = decode_layout_point(self.graph, &tmpl, &c.point) {
                         apply_layout_decision(
                             self.graph,
@@ -993,6 +1014,24 @@ impl<'g> Tuner<'g> {
         }
     }
 
+    /// Folds one candidate's set-engine counters into the run registry.
+    /// Queries and recoveries are pure functions of the candidate and
+    /// folded on the sequential merge path, so the totals (and thus the
+    /// deterministic trace and checkpoints) stay jobs-invariant. The
+    /// wall-clock emptiness time is *not* added here — workers observe
+    /// it into the timing registry, which is exempt from determinism.
+    fn add_verify_stats(&self, vs: &alt_verify::VerifyStats) {
+        if vs.set_queries == 0 && vs.conservative_recovered == 0 {
+            return;
+        }
+        self.registry
+            .add("verify.set_queries", vs.set_queries as f64);
+        self.registry.add(
+            "verify.conservative_recovered",
+            vs.conservative_recovered as f64,
+        );
+    }
+
     /// Journals a zero-budget terminal outcome (`skipped`,
     /// `quarantined`, `lower_failed`, `verify_rejected`).
     fn journal_dropped(&self, origin: &str, point: &[usize], outcome: &str, vcode: Option<String>) {
@@ -1068,7 +1107,8 @@ impl<'g> Tuner<'g> {
         plan: &mut LayoutPlan,
         sched: &mut GraphSchedule,
     ) -> Option<(Point, OpSchedule)> {
-        let tmpl = build_layout_template(self.graph, op, self.cfg.levels)?;
+        let tmpl =
+            build_layout_template_ex(self.graph, op, self.cfg.levels, self.cfg.advanced_layouts)?;
         // Not enough budget for even one layout episode: leave the op on
         // its default layout rather than burning budget on half-episodes.
         if budget < self.cfg.topk as u64 {
@@ -1391,8 +1431,14 @@ impl<'g> Tuner<'g> {
             // rejected by the verifier. Both are dropped before scoring
             // and consume zero budget; only the verifier rejections are
             // counted and traced (in the sequential merge below, so the
-            // transcript stays jobs-invariant).
-            type LoweredCandidate = Result<(OpSchedule, Vec<f32>), Option<alt_verify::Diagnostic>>;
+            // transcript stays jobs-invariant). Set-engine counters ride
+            // along per candidate and are folded on the same sequential
+            // path (they are pure functions of the candidate, so the
+            // totals are jobs-invariant too).
+            type LoweredCandidate = Result<
+                (OpSchedule, Vec<f32>, alt_verify::VerifyStats),
+                (Option<alt_verify::Diagnostic>, alt_verify::VerifyStats),
+            >;
             let timing_lower = self.cfg.timing.phase("lower");
             let lowered: Vec<LoweredCandidate> = {
                 let graph = self.graph;
@@ -1410,19 +1456,22 @@ impl<'g> Tuner<'g> {
                     let t0 = std::time::Instant::now();
                     let program = try_lower_filtered(graph, plan, &trial_sched, Some(&single));
                     timing.observe_us("candidate.lower_us", t0.elapsed().as_micros() as u64);
-                    let program = program.map_err(|_| None)?;
+                    let program =
+                        program.map_err(|_| (None, alt_verify::VerifyStats::default()))?;
+                    let mut vstats = alt_verify::VerifyStats::default();
                     if verify {
                         // The verifier is pure and deterministic, so it can
                         // run on workers; only the first (smallest-code)
                         // finding is reported per candidate.
-                        if let Some(d) = alt_verify::verify_program(graph, plan, &program)
-                            .into_iter()
-                            .next()
-                        {
-                            return Err(Some(d));
+                        let (diags, vs) =
+                            alt_verify::verify_program_with_stats(graph, plan, &program);
+                        timing.observe_us("verify.set_emptiness_us", vs.set_emptiness_us);
+                        vstats = vs;
+                        if let Some(d) = diags.into_iter().next() {
+                            return Err((Some(d), vstats));
                         }
                     }
-                    Ok((s, extract_features(&program)))
+                    Ok((s, extract_features(&program), vstats))
                 })
             };
             drop(timing_lower);
@@ -1432,12 +1481,16 @@ impl<'g> Tuner<'g> {
             let mut scored: Vec<(f64, Point, &'static str, OpSchedule, Vec<f32>)> = Vec::new();
             for ((p, origin), lf) in candidates.into_iter().zip(lowered) {
                 let (s, feats) = match lf {
-                    Ok(v) => v,
-                    Err(None) => {
+                    Ok((s, feats, vs)) => {
+                        self.add_verify_stats(&vs);
+                        (s, feats)
+                    }
+                    Err((None, _)) => {
                         self.journal_dropped(origin, &p, outcome::LOWER_FAILED, None);
                         continue;
                     }
-                    Err(Some(d)) => {
+                    Err((Some(d), vs)) => {
+                        self.add_verify_stats(&vs);
                         self.registry.add("verify.rejected", 1.0);
                         if self.cfg.telemetry.is_enabled() {
                             self.cfg.telemetry.emit(Record::VerifyRejection(
@@ -1611,7 +1664,7 @@ pub fn seed_points(graph: &Graph, tmpl: &crate::space::LayoutTemplate) -> Vec<Po
         .collect();
     let node = graph.node(tmpl.op);
     let _ = node;
-    match &tmpl.kind {
+    let mut seeds = match &tmpl.kind {
         TemplateKind::Conv { d, .. } | TemplateKind::TransposedConv { d } => {
             // Channels-last: every spatial tile = full extent, ot = O,
             // it = I (single tiles everywhere).
@@ -1656,7 +1709,18 @@ pub fn seed_points(graph: &Graph, tmpl: &crate::space::LayoutTemplate) -> Vec<Po
             }
             vec![nkn, full]
         }
+    };
+    // The well-known seed families are all plain tilings: pin the
+    // trailing `xform` knob (advanced templates) to "none" so seeds keep
+    // their intended meaning (e.g. "channels-last" is not Morton'd).
+    if tmpl.advanced {
+        for p in &mut seeds {
+            if let Some(last) = p.last_mut() {
+                *last = 0;
+            }
+        }
     }
+    seeds
 }
 
 /// Convenience wrapper.

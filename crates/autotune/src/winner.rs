@@ -107,6 +107,7 @@ pub fn task_fingerprint(graph: &Graph, profile_fp: u64, cfg: &TuneConfig) -> Opt
     h.u64(cfg.max_retries);
     h.u64(cfg.quarantine_threshold);
     h.tag(cfg.verify as u8);
+    h.tag(cfg.advanced_layouts as u8);
     Some(h.finish())
 }
 
@@ -221,6 +222,9 @@ mod tests {
         assert_ne!(task_fingerprint(&g, 11, &t), Some(fp));
         let mut t = base.clone();
         t.verify = false;
+        assert_ne!(task_fingerprint(&g, 11, &t), Some(fp));
+        let mut t = base.clone();
+        t.advanced_layouts = true;
         assert_ne!(task_fingerprint(&g, 11, &t), Some(fp));
         let mut t = base.clone();
         t.faults = Some(crate::fault::FaultConfig::uniform(0.1));

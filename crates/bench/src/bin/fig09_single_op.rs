@@ -137,6 +137,7 @@ fn main() {
             alt_wall += t0.elapsed().as_secs_f64();
             jstats.note_run(&jsink, budget);
             let program = alt_bench::verify_winner(
+                &mut report,
                 &format!("{} {} on {}", case.op, case.config, profile.name),
                 g,
                 &alt.plan,

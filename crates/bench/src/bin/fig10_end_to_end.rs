@@ -148,6 +148,7 @@ fn main() {
             alt_wall += t0.elapsed().as_secs_f64();
             jstats.note_run(&jsink, budget);
             alt_bench::verify_winner(
+                &mut report,
                 &format!("{name} on {}", profile.name),
                 &g,
                 &alt.plan,

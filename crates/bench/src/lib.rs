@@ -20,19 +20,28 @@ use rand::{Rng, SeedableRng};
 /// Lowers a tuning winner and runs the full static verifier over it,
 /// aborting the benchmark on any diagnostic. The figure harnesses call
 /// this on every winning (plan, schedule) pair so a regression in
-/// transformation legality or lowering can never ship a number.
+/// transformation legality or lowering can never ship a number. The
+/// set-engine counters of every run accumulate into the report's
+/// `verify.*` metrics (and thus the bench JSON envelope).
 ///
 /// # Panics
 ///
 /// Panics with the full diagnostic list when verification fails.
 pub fn verify_winner(
+    report: &mut BenchReport,
     what: &str,
     graph: &Graph,
     plan: &alt_layout::LayoutPlan,
     sched: &alt_loopir::GraphSchedule,
 ) -> alt_loopir::Program {
     let program = alt_loopir::lower(graph, plan, sched);
-    let diags = alt_verify::verify_program(graph, plan, &program);
+    let (diags, stats) = alt_verify::verify_program_with_stats(graph, plan, &program);
+    report.add_metric("verify.set_queries", stats.set_queries as f64);
+    report.add_metric("verify.set_emptiness_us", stats.set_emptiness_us as f64);
+    report.add_metric(
+        "verify.conservative_recovered",
+        stats.conservative_recovered as f64,
+    );
     assert!(
         diags.is_empty(),
         "static verification failed for {what}:\n{}",
@@ -387,6 +396,13 @@ impl BenchReport {
     /// informational only.
     pub fn note_metric(&mut self, name: impl Into<String>, value: f64) {
         self.metrics.insert(name.into(), value);
+    }
+
+    /// Accumulates into a named metric (creating it at zero): used for
+    /// counters folded over many runs, e.g. the verifier's `verify.*`
+    /// set-engine totals.
+    pub fn add_metric(&mut self, name: impl Into<String>, value: f64) {
+        *self.metrics.entry(name.into()).or_insert(0.0) += value;
     }
 
     /// Attaches the winning schedule's cost-attribution summary (the

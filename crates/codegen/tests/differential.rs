@@ -154,6 +154,66 @@ fn padded_and_unfolded_layouts_are_bit_identical() {
 }
 
 #[test]
+fn swizzled_morton_and_blockdiag_layouts_are_bit_identical() {
+    // The PR-10 advanced primitives: XOR swizzle and block-diagonal
+    // remap on the GMM weight's packed tiles, Morton interleave on the
+    // output. All three are bijective, so interpreter and native must
+    // agree bit for bit through the pack/compute/unpack pipeline.
+    let (g, a, op, y) = gmm_graph(8, 8, 16);
+    let b = g.tensor(y).producer.map(|p| g.node(p).inputs[1]).unwrap();
+    let mut plan = LayoutPlan::new(PropagationMode::Full);
+    // Output [8, 16]: tile to [2, 4, 4, 4] then Morton the equal pair.
+    plan.assign_output_layout(
+        &g,
+        op,
+        Layout::identity(g.tensor(y).shape.clone())
+            .with(LayoutPrim::Split {
+                dim: 0,
+                factors: vec![2, 4],
+            })
+            .unwrap()
+            .with(LayoutPrim::Split {
+                dim: 2,
+                factors: vec![4, 4],
+            })
+            .unwrap()
+            .with(LayoutPrim::Morton { dim: 1 })
+            .unwrap(),
+    );
+    // Input [8, 8]: channel-tiled + XOR swizzle of the inner tile.
+    plan.assign_input_layout(
+        &g,
+        op,
+        a,
+        presets::channel_tiled_swizzled(g.tensor(a).shape.clone(), 4, 2).unwrap(),
+    );
+    // Weight [8, 16]: block-diagonal rotation of the last dim.
+    plan.assign_input_layout(
+        &g,
+        op,
+        b,
+        presets::block_diag_rotated(g.tensor(b).shape.clone(), 3).unwrap(),
+    );
+    let program = lower(&g, &plan, &par_vec_schedule(&g));
+    // The advanced layouts must also pass the integer-set legality
+    // engine before execution (no conservative rejection regressions).
+    let diags = alt_verify::verify_program(&g, &plan, &program);
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    let bindings = random_bindings(&g, 7);
+    for p in all_profiles() {
+        assert_bit_identical(
+            &program,
+            &g,
+            &plan,
+            &bindings,
+            &p,
+            4,
+            "swizzle+morton+bdiag",
+        );
+    }
+}
+
+#[test]
 fn vec_fast_path_and_parallel_loops_are_present() {
     // Guard against the fast paths silently compiling away: the conv
     // kernel above must actually contain vector-chunked and parallel
@@ -255,7 +315,7 @@ fn random_layout(shape: Shape, seed: u64, n_prims: usize) -> Layout {
     for _ in 0..n_prims {
         let dims = layout.physical_shape();
         let nd = dims.ndim();
-        match next() % 5 {
+        match next() % 8 {
             0 => {
                 let candidates: Vec<usize> = (0..nd).filter(|&k| dims.dim(k) > 1).collect();
                 if let Some(&k) = candidates.get(next() % candidates.len().max(1)) {
@@ -293,13 +353,35 @@ fn random_layout(shape: Shape, seed: u64, n_prims: usize) -> Layout {
                     });
                 }
             }
-            _ => {
+            4 => {
                 let k = next() % nd;
                 let _ = layout.apply(LayoutPrim::Pad {
                     dim: k,
                     before: (next() % 3) as i64,
                     after: (next() % 3) as i64,
                 });
+            }
+            5 => {
+                if nd >= 2 {
+                    let dim = next() % nd;
+                    let src = next() % nd;
+                    let bits = 1 + (next() % 2) as u32;
+                    let _ = layout.apply(LayoutPrim::Swizzle { dim, src, bits });
+                }
+            }
+            6 => {
+                if nd >= 2 {
+                    let dim = next() % (nd - 1);
+                    let _ = layout.apply(LayoutPrim::Morton { dim });
+                }
+            }
+            _ => {
+                if nd >= 2 {
+                    let dim = next() % nd;
+                    let src = next() % nd;
+                    let block = 1 + (next() as i64) % dims.dim(dim).max(2);
+                    let _ = layout.apply(LayoutPrim::BlockDiag { dim, src, block });
+                }
             }
         }
     }

@@ -52,6 +52,7 @@ struct Args {
     resume: Option<String>,
     jobs: usize,
     no_verify: bool,
+    advanced_layouts: bool,
     store: Option<String>,
     timing: Option<String>,
     manifest: Option<String>,
@@ -75,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         resume: None,
         jobs: 1,
         no_verify: false,
+        advanced_layouts: false,
         store: None,
         timing: None,
         manifest: None,
@@ -129,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-verify" => args.no_verify = true,
+            "--advanced-layouts" => args.advanced_layouts = true,
             "--store" => args.store = Some(value("--store")?),
             "--timing" => args.timing = Some(value("--timing")?),
             "--manifest" => args.manifest = Some(value("--manifest")?),
@@ -187,6 +190,11 @@ OPTIONS:
         --no-verify          skip the static pre-simulation verifier (layout
                              legality, IR well-formedness, race detection)
                              when filtering tuning candidates
+        --advanced-layouts   add the `xform` knob to every layout template:
+                             XOR swizzle, block-diagonal remap, and Morton
+                             interleave become searchable alongside the
+                             tiling factors (every winner still passes the
+                             static verifier)
         --store <PATH>       durable tuning store: measurements are served
                              from (and published to) this crash-safe segment
                              file, and a finished run stores its winner so an
@@ -745,24 +753,33 @@ fn verify_presets() -> Vec<alt_verify::Diagnostic> {
             "conv_output_tiled2_nd",
             presets::conv_output_tiled2_nd(Shape::new([2, 16, 16, 16]), &[4, 4], &[2, 2], 4, 2),
         ),
+        (
+            "channel_tiled_swizzled",
+            presets::channel_tiled_swizzled(s4(), 4, 2),
+        ),
+        (
+            "morton_spatial",
+            presets::morton_spatial(Shape::new([2, 16, 16, 16])),
+        ),
+        ("block_diag_rotated", presets::block_diag_rotated(s4(), 3)),
     ];
 
     let mut diags = Vec::new();
     for (name, layout) in built {
         let group = format!("preset `{name}`");
         match layout {
-            Err(e) => diags.push(alt_verify::Diagnostic {
-                code: alt_verify::code_for(&e),
+            Err(e) => diags.push(alt_verify::Diagnostic::new(
+                alt_verify::code_for(&e),
                 group,
-                detail: format!("construction failed: {e}"),
-            }),
+                format!("construction failed: {e}"),
+            )),
             Ok(l) => {
                 if let Err(e) = l.revalidate() {
-                    diags.push(alt_verify::Diagnostic {
-                        code: alt_verify::code_for(&e),
+                    diags.push(alt_verify::Diagnostic::new(
+                        alt_verify::code_for(&e),
                         group,
-                        detail: format!("illegal primitive chain: {e}"),
-                    });
+                        format!("illegal primitive chain: {e}"),
+                    ));
                 }
             }
         }
@@ -781,6 +798,8 @@ fn run_verify(rest: &[String]) -> i32 {
     let mut seed = 0u64;
     let mut json = false;
     let mut presets = false;
+    let mut explain = false;
+    let mut advanced_layouts = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -809,17 +828,24 @@ fn run_verify(rest: &[String]) -> i32 {
                 }
                 "--json" => json = true,
                 "--presets" => presets = true,
+                "--explain" => explain = true,
+                "--advanced-layouts" => advanced_layouts = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: altc verify [--model NAME] [--platform NAME] [--budget N]\n\
                          \x20                  [--batch N] [--seed N] [--json] [--presets]\n\
+                         \x20                  [--explain] [--advanced-layouts]\n\
                          \n\
                          Runs the static verifier (layout legality, IR well-formedness,\n\
                          dependence-based race detection) over the model's compiled\n\
                          artifact. --budget 0 (the default) verifies the unoptimized\n\
                          lowering; a positive budget tunes first and verifies the winning\n\
                          layouts and schedules. --presets instead checks every layout\n\
-                         preset constructor. Exit code 1 means diagnostics were found."
+                         preset constructor. --explain prints, for every diagnostic the\n\
+                         integer-set engine proved, a concrete loop-index witness\n\
+                         demonstrating the violation. --advanced-layouts tunes with the\n\
+                         `xform` knob (swizzle / block-diagonal / Morton) enabled before\n\
+                         verifying. Exit code 1 means diagnostics were found."
                     );
                     std::process::exit(0);
                 }
@@ -833,8 +859,12 @@ fn run_verify(rest: &[String]) -> i32 {
         }
     }
 
-    let (subject, diags) = if presets {
-        ("presets".to_string(), verify_presets())
+    let (subject, diags, stats) = if presets {
+        (
+            "presets".to_string(),
+            verify_presets(),
+            alt_verify::VerifyStats::default(),
+        )
     } else {
         let graph = match build_model(&model, batch) {
             Ok(g) => g,
@@ -854,6 +884,7 @@ fn run_verify(rest: &[String]) -> i32 {
             joint_budget: (budget as f64 * 0.4) as u64,
             loop_budget: budget - (budget as f64 * 0.4) as u64,
             seed,
+            advanced_layouts,
             ..CompileOptions::default()
         });
         let compiled = if budget == 0 {
@@ -865,10 +896,16 @@ fn run_verify(rest: &[String]) -> i32 {
             );
             compiler.compile(&graph)
         };
-        (format!("{model} on {}", machine.name), compiled.verify())
+        let (diags, stats) = compiled.verify_with_stats();
+        (format!("{model} on {}", machine.name), diags, stats)
     };
 
     if json {
+        let stats_json = serde_json::json!({
+            "verify.set_queries": stats.set_queries,
+            "verify.set_emptiness_us": stats.set_emptiness_us,
+            "verify.conservative_recovered": stats.conservative_recovered,
+        });
         let record = serde_json::json!({
             "subject": subject,
             "ok": diags.is_empty(),
@@ -879,17 +916,33 @@ fn run_verify(rest: &[String]) -> i32 {
                         "code": d.code,
                         "group": d.group,
                         "detail": d.detail,
+                        "witness": d.witness,
                     })
                 })
                 .collect::<Vec<_>>(),
+            "stats": stats_json,
         });
         println!("{}", serde_json::to_string_pretty(&record).unwrap());
-    } else if diags.is_empty() {
-        println!("{subject}: ok (no diagnostics)");
     } else {
-        println!("{subject}: {} diagnostic(s)", diags.len());
-        for d in &diags {
-            println!("  {d}");
+        if diags.is_empty() {
+            println!("{subject}: ok (no diagnostics)");
+        } else {
+            println!("{subject}: {} diagnostic(s)", diags.len());
+            for d in &diags {
+                println!("  {d}");
+                if explain {
+                    match &d.witness {
+                        Some(w) => println!("    witness: {w}"),
+                        None => println!("    witness: (none — interval verdict)"),
+                    }
+                }
+            }
+        }
+        if explain {
+            println!(
+                "set engine: {} queries, {} us, {} conservative rejection(s) recovered",
+                stats.set_queries, stats.set_emptiness_us, stats.conservative_recovered
+            );
         }
     }
     i32::from(!diags.is_empty())
@@ -1205,6 +1258,7 @@ fn main() {
         resume: args.resume.clone(),
         jobs: args.jobs,
         verify: !args.no_verify,
+        advanced_layouts: args.advanced_layouts,
         journal: args.journal.clone(),
         store: args.store.clone(),
         // An unopenable trace path degrades to a warning inside

@@ -50,6 +50,11 @@ pub struct CompileOptions {
     pub loop_budget: u64,
     /// Layout template tiling levels (1 or 2).
     pub levels: u8,
+    /// Append the advanced `xform` knob (XOR swizzle, block-diagonal
+    /// remap, Morton interleave) to every layout template. Opt-in: the
+    /// extra knob grows the pruned template spaces and shifts seeded
+    /// trajectories.
+    pub advanced_layouts: bool,
     /// Layout propagation mode.
     pub propagation: PropagationMode,
     /// Treat graph inputs as re-layoutable offline (single-operator
@@ -121,6 +126,7 @@ impl Default for CompileOptions {
             joint_budget: 300,
             loop_budget: 700,
             levels: 1,
+            advanced_layouts: false,
             propagation: PropagationMode::Full,
             free_input_layouts: false,
             seed: 0,
@@ -151,11 +157,12 @@ impl Default for CompileOptions {
 /// fact, recorded in the manifest's `env` block instead).
 fn config_fingerprint(o: &CompileOptions) -> u64 {
     let canonical = format!(
-        "joint={} loop={} levels={} prop={:?} free={} seed={} pretrained={} fixed={:?} \
+        "joint={} loop={} levels={} adv={} prop={:?} free={} seed={} pretrained={} fixed={:?} \
          search={:?} faults={} verify={}",
         o.joint_budget,
         o.loop_budget,
         o.levels,
+        o.advanced_layouts,
         o.propagation,
         o.free_input_layouts,
         o.seed,
@@ -283,6 +290,7 @@ impl Compiler {
             joint_budget: o.joint_budget,
             loop_budget: o.loop_budget,
             levels: o.levels,
+            advanced_layouts: o.advanced_layouts,
             mode: o.propagation,
             free_input_layouts: o.free_input_layouts,
             seed: o.seed,
@@ -566,6 +574,13 @@ impl CompiledGraph {
     /// passed all three passes.
     pub fn verify(&self) -> Vec<alt_verify::Diagnostic> {
         alt_verify::verify_program(&self.graph, &self.plan, &self.program)
+    }
+
+    /// Like [`CompiledGraph::verify`], but also returns the set-engine
+    /// activity counters (queries issued, emptiness time, conservative
+    /// interval rejections the exact engine recovered).
+    pub fn verify_with_stats(&self) -> (Vec<alt_verify::Diagnostic>, alt_verify::VerifyStats) {
+        alt_verify::verify_program_with_stats(&self.graph, &self.plan, &self.program)
     }
 
     /// Full performance-counter profile on the target machine.

@@ -136,6 +136,16 @@ pub mod codes {
     /// A layout or schedule primitive references a nonexistent (or
     /// already-consumed) axis.
     pub const V016_UNKNOWN_AXIS: &str = "V016_UNKNOWN_AXIS";
+    /// A `swizzle` primitive is invalid: source equals target, zero or
+    /// oversized bit count, or the bit count does not divide the target
+    /// extent into whole XOR groups.
+    pub const V017_SWIZZLE_INVALID: &str = "V017_SWIZZLE_INVALID";
+    /// A `morton` primitive needs two adjacent dimensions with equal
+    /// power-of-two extents.
+    pub const V018_MORTON_INVALID: &str = "V018_MORTON_INVALID";
+    /// A `block_diag` primitive has an invalid source/target pair or a
+    /// block offset outside `[1, extent)`.
+    pub const V019_BLOCKDIAG_INVALID: &str = "V019_BLOCKDIAG_INVALID";
 }
 
 impl AltError {

@@ -1,0 +1,620 @@
+//! alt-isl: a dependency-free Presburger-lite engine over quasi-affine
+//! integer sets and relations.
+//!
+//! The model is deliberately small. A [`BasicSet`] is a conjunction of
+//! affine equalities and inequalities over named integer dimensions plus
+//! anonymous existential ("div") variables — enough to encode floordiv
+//! and mod by positive constants (`q = e div c  ⇔  e = c·q + r ∧ 0 ≤ r <
+//! c`), bit decompositions, and products with a {0,1}-bounded factor. A
+//! [`Set`] is a finite union of basic sets (disjunction — used for
+//! `min`/`max` branches), and a [`Relation`] is a set over `[in..., out...]`
+//! dimensions with exact composition by quantifying the mid dimensions.
+//!
+//! Emptiness is decided *exactly* over the integers with the Omega test:
+//! equality elimination with gcd divisibility checks (including Pugh's
+//! unit-coefficient reduction for equalities with no ±1 coefficient),
+//! then Fourier–Motzkin per variable with integer tightening, where an
+//! inexact elimination is sandwiched between the real shadow (empty ⇒
+//! empty) and the dark shadow (non-empty ⇒ non-empty) and resolved by
+//! splintering when the two disagree. All arithmetic is checked `i128`;
+//! overflow or exceeding the work caps yields `None` ("unknown") rather
+//! than a wrong answer, so callers can fall back to a conservative
+//! analysis.
+//!
+//! Witnesses: [`BasicSet::sample`] extracts a concrete integer point from
+//! a non-empty set by bound-directed backtracking search — the engine
+//! behind `altc verify --explain` counterexamples.
+
+mod omega;
+mod sample;
+
+/// Internal coefficient type. `i128` gives headroom for stride products
+/// of `i64` extents; every operation is checked and overflow degrades to
+/// "unknown" instead of wrapping.
+pub type Coeff = i128;
+
+/// A constraint row: coefficients over all variables (dims then divs)
+/// followed by the constant term.
+pub(crate) type Row = Vec<Coeff>;
+
+/// Tri-state answer for questions the engine may be unable to decide
+/// within its work caps (or without coefficient overflow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Definitely true.
+    Yes,
+    /// Definitely false.
+    No,
+    /// The engine gave up (work cap or arithmetic overflow); callers
+    /// must treat the question as undecided.
+    Unknown,
+}
+
+impl Verdict {
+    fn from_opt(o: Option<bool>) -> Self {
+        match o {
+            Some(true) => Verdict::Yes,
+            Some(false) => Verdict::No,
+            None => Verdict::Unknown,
+        }
+    }
+}
+
+/// A conjunction of affine constraints over `n_dim` visible dimensions
+/// plus `n_div` existentially quantified variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicSet {
+    n_dim: usize,
+    n_div: usize,
+    eqs: Vec<Row>,
+    ineqs: Vec<Row>,
+}
+
+impl BasicSet {
+    /// The unconstrained set over `n_dim` dimensions.
+    #[must_use]
+    pub fn universe(n_dim: usize) -> Self {
+        BasicSet {
+            n_dim,
+            n_div: 0,
+            eqs: Vec::new(),
+            ineqs: Vec::new(),
+        }
+    }
+
+    /// Number of visible dimensions.
+    #[must_use]
+    pub fn n_dims(&self) -> usize {
+        self.n_dim
+    }
+
+    /// Total variables (dims + existential divs); valid var indices are
+    /// `0..n_vars()`.
+    #[must_use]
+    pub fn n_vars(&self) -> usize {
+        self.n_dim + self.n_div
+    }
+
+    /// Number of constraints (equalities + inequalities).
+    #[must_use]
+    pub fn n_constraints(&self) -> usize {
+        self.eqs.len() + self.ineqs.len()
+    }
+
+    /// Adds a fresh existential variable and returns its var index.
+    pub fn new_div(&mut self) -> usize {
+        let at = self.n_dim + self.n_div;
+        for row in self.eqs.iter_mut().chain(self.ineqs.iter_mut()) {
+            row.insert(at, 0);
+        }
+        self.n_div += 1;
+        at
+    }
+
+    fn row(&self, terms: &[(usize, Coeff)], konst: Coeff) -> Row {
+        let mut row = vec![0; self.n_vars() + 1];
+        for &(v, c) in terms {
+            assert!(v < self.n_vars(), "var index {v} out of range");
+            row[v] += c;
+        }
+        *row.last_mut().expect("row is non-empty") = konst;
+        row
+    }
+
+    /// Adds the equality `Σ terms + konst == 0`.
+    pub fn add_eq(&mut self, terms: &[(usize, Coeff)], konst: Coeff) {
+        let row = self.row(terms, konst);
+        self.eqs.push(row);
+    }
+
+    /// Adds the inequality `Σ terms + konst >= 0`.
+    pub fn add_ge(&mut self, terms: &[(usize, Coeff)], konst: Coeff) {
+        let row = self.row(terms, konst);
+        self.ineqs.push(row);
+    }
+
+    /// Constrains `lo <= var < hi` (half-open box bound).
+    pub fn bound(&mut self, var: usize, lo: Coeff, hi: Coeff) {
+        self.add_ge(&[(var, 1)], -lo);
+        self.add_ge(&[(var, -1)], hi - 1);
+    }
+
+    /// Pins `var` to a constant value.
+    pub fn fix(&mut self, var: usize, value: Coeff) {
+        self.add_eq(&[(var, 1)], -value);
+    }
+
+    /// Conjunction of two basic sets over the same dimension space; the
+    /// divs of `other` are renumbered after the divs of `self`.
+    #[must_use]
+    pub fn intersect(&self, other: &Self) -> Self {
+        assert_eq!(self.n_dim, other.n_dim, "dimension mismatch");
+        let mut out = self.clone();
+        let shift = self.n_div;
+        out.n_div += other.n_div;
+        for row in out.eqs.iter_mut().chain(out.ineqs.iter_mut()) {
+            for _ in 0..other.n_div {
+                row.insert(row.len() - 1, 0);
+            }
+        }
+        for row in &other.eqs {
+            out.eqs.push(remap_row(
+                row,
+                other.n_dim,
+                other.n_div,
+                self.n_dim,
+                shift,
+                out.n_vars(),
+            ));
+        }
+        for row in &other.ineqs {
+            out.ineqs.push(remap_row(
+                row,
+                other.n_dim,
+                other.n_div,
+                self.n_dim,
+                shift,
+                out.n_vars(),
+            ));
+        }
+        out
+    }
+
+    /// Converts the dimensions in `drop` (indices into `0..n_dim`) into
+    /// existential divs, producing a set over the remaining dimensions in
+    /// their original order.
+    #[must_use]
+    pub fn project_out_dims(&self, drop: &[usize]) -> Self {
+        let keep: Vec<usize> = (0..self.n_dim).filter(|i| !drop.contains(i)).collect();
+        let total = self.n_vars();
+        // New order: kept dims, dropped dims (as divs), old divs.
+        let mut perm = vec![0usize; total];
+        let mut pos = 0;
+        for &k in &keep {
+            perm[k] = pos;
+            pos += 1;
+        }
+        for &d in drop {
+            perm[d] = pos;
+            pos += 1;
+        }
+        for p in perm.iter_mut().take(total).skip(self.n_dim) {
+            *p = pos;
+            pos += 1;
+        }
+        let map = |row: &Row| -> Row {
+            let mut out = vec![0; total + 1];
+            for (i, &c) in row.iter().take(total).enumerate() {
+                out[perm[i]] = c;
+            }
+            out[total] = row[total];
+            out
+        };
+        BasicSet {
+            n_dim: keep.len(),
+            n_div: self.n_div + drop.len(),
+            eqs: self.eqs.iter().map(map).collect(),
+            ineqs: self.ineqs.iter().map(map).collect(),
+        }
+    }
+
+    /// Exact integer emptiness. `Yes` / `No` are definitive; `Unknown`
+    /// means the work cap or checked arithmetic gave out.
+    #[must_use]
+    pub fn is_empty(&self) -> Verdict {
+        Verdict::from_opt(omega::empty(&self.eqs, &self.ineqs, self.n_vars()))
+    }
+
+    /// Extracts an integer point (values of the visible dims) if the set
+    /// is non-empty and the bounded search finds one.
+    #[must_use]
+    pub fn sample(&self) -> Option<Vec<i64>> {
+        sample::sample(self)
+    }
+
+    pub(crate) fn eqs(&self) -> &[Row] {
+        &self.eqs
+    }
+
+    pub(crate) fn ineqs(&self) -> &[Row] {
+        &self.ineqs
+    }
+}
+
+fn remap_row(
+    row: &Row,
+    src_dim: usize,
+    src_div: usize,
+    dst_dim: usize,
+    div_shift: usize,
+    dst_vars: usize,
+) -> Row {
+    debug_assert_eq!(src_dim, dst_dim);
+    let mut out = vec![0; dst_vars + 1];
+    out[..src_dim].copy_from_slice(&row[..src_dim]);
+    for d in 0..src_div {
+        out[dst_dim + div_shift + d] = row[src_dim + d];
+    }
+    out[dst_vars] = row[src_dim + src_div];
+    out
+}
+
+/// A finite union of basic sets over a common dimension space.
+#[derive(Clone, Debug)]
+pub struct Set {
+    n_dim: usize,
+    parts: Vec<BasicSet>,
+}
+
+/// Unions with more parts than this are truncated to "unknown" answers
+/// rather than risking exponential blowup in intersections.
+const MAX_PARTS: usize = 64;
+
+impl Set {
+    /// The empty set over `n_dim` dimensions.
+    #[must_use]
+    pub fn empty(n_dim: usize) -> Self {
+        Set {
+            n_dim,
+            parts: Vec::new(),
+        }
+    }
+
+    /// A set with a single conjunction.
+    #[must_use]
+    pub fn from_basic(bs: BasicSet) -> Self {
+        Set {
+            n_dim: bs.n_dim,
+            parts: vec![bs],
+        }
+    }
+
+    /// Number of visible dimensions.
+    #[must_use]
+    pub fn n_dims(&self) -> usize {
+        self.n_dim
+    }
+
+    /// The disjuncts.
+    #[must_use]
+    pub fn parts(&self) -> &[BasicSet] {
+        &self.parts
+    }
+
+    /// Adds one disjunct.
+    pub fn push(&mut self, bs: BasicSet) {
+        assert_eq!(bs.n_dim, self.n_dim, "dimension mismatch");
+        self.parts.push(bs);
+    }
+
+    /// Union (disjunction) of two sets. Returns `None` past the part cap.
+    #[must_use]
+    pub fn union(mut self, other: Set) -> Option<Set> {
+        assert_eq!(self.n_dim, other.n_dim, "dimension mismatch");
+        self.parts.extend(other.parts);
+        (self.parts.len() <= MAX_PARTS).then_some(self)
+    }
+
+    /// Intersection (pairwise across disjuncts). Returns `None` past the
+    /// part cap.
+    #[must_use]
+    pub fn intersect(&self, other: &Set) -> Option<Set> {
+        assert_eq!(self.n_dim, other.n_dim, "dimension mismatch");
+        let mut parts = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                parts.push(a.intersect(b));
+                if parts.len() > MAX_PARTS {
+                    return None;
+                }
+            }
+        }
+        Some(Set {
+            n_dim: self.n_dim,
+            parts,
+        })
+    }
+
+    /// Projects the listed dimensions out of every disjunct.
+    #[must_use]
+    pub fn project_out_dims(&self, drop: &[usize]) -> Set {
+        Set {
+            n_dim: self.n_dim - drop.len(),
+            parts: self
+                .parts
+                .iter()
+                .map(|p| p.project_out_dims(drop))
+                .collect(),
+        }
+    }
+
+    /// Exact emptiness over the union: empty iff every disjunct is.
+    #[must_use]
+    pub fn is_empty(&self) -> Verdict {
+        let mut unknown = false;
+        for p in &self.parts {
+            match p.is_empty() {
+                Verdict::No => return Verdict::No,
+                Verdict::Unknown => unknown = true,
+                Verdict::Yes => {}
+            }
+        }
+        if unknown {
+            Verdict::Unknown
+        } else {
+            Verdict::Yes
+        }
+    }
+
+    /// Samples a point from the first non-empty disjunct.
+    #[must_use]
+    pub fn sample(&self) -> Option<Vec<i64>> {
+        self.parts.iter().find_map(BasicSet::sample)
+    }
+}
+
+/// An integer relation from `n_in`-dimensional points to
+/// `n_out`-dimensional points, stored as a set over `[in..., out...]`.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    n_in: usize,
+    n_out: usize,
+    set: Set,
+}
+
+impl Relation {
+    /// Builds a relation from a set whose dims are `[in..., out...]`.
+    ///
+    /// # Panics
+    /// If `set.n_dims() != n_in + n_out`.
+    #[must_use]
+    pub fn from_set(n_in: usize, n_out: usize, set: Set) -> Self {
+        assert_eq!(set.n_dims(), n_in + n_out, "dimension mismatch");
+        Relation { n_in, n_out, set }
+    }
+
+    /// Input arity.
+    #[must_use]
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output arity.
+    #[must_use]
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// The underlying graph as a set over `[in..., out...]`.
+    #[must_use]
+    pub fn as_set(&self) -> &Set {
+        &self.set
+    }
+
+    /// The identity relation on `n`-dimensional points.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut bs = BasicSet::universe(2 * n);
+        for i in 0..n {
+            bs.add_eq(&[(i, 1), (n + i, -1)], 0);
+        }
+        Relation::from_set(n, n, Set::from_basic(bs))
+    }
+
+    /// Exact composition `other ∘ self` — applies `self: A→B` first, then
+    /// `other: B→C`, giving `A→C`. The mid (`B`) dimensions are
+    /// existentially quantified. Returns `None` past the part cap.
+    ///
+    /// # Panics
+    /// If the mid arities disagree (`self.n_out != other.n_in`).
+    #[must_use]
+    pub fn compose(&self, other: &Relation) -> Option<Relation> {
+        assert_eq!(self.n_out, other.n_in, "mid-dimension mismatch");
+        let (a, b, c) = (self.n_in, self.n_out, other.n_out);
+        // Work space: [A..., C..., B...] with B projected out at the end.
+        let mut parts = Vec::new();
+        for p in self.set.parts() {
+            for q in other.set.parts() {
+                // Lift p: dims [A,B] -> [A, C, B]: A stays, B shifts by C.
+                let lp = lift(p, &|v| if v < a { v } else { v + c }, a + b + c);
+                // Lift q: dims [B,C] -> [A, C, B]: B -> a+c+_, C -> a+_.
+                let lq = lift(
+                    q,
+                    &|v| if v < b { a + c + v } else { a + (v - b) },
+                    a + b + c,
+                );
+                parts.push(lp.intersect(&lq));
+                if parts.len() > MAX_PARTS {
+                    return None;
+                }
+            }
+        }
+        let joined = Set {
+            n_dim: a + b + c,
+            parts,
+        };
+        let drop: Vec<usize> = (a + c..a + b + c).collect();
+        Some(Relation::from_set(a, c, joined.project_out_dims(&drop)))
+    }
+
+    /// The image of `domain` under the relation: `{ y | ∃x ∈ domain: (x,y) ∈ R }`.
+    /// Returns `None` past the part cap.
+    ///
+    /// # Panics
+    /// If `domain.n_dims() != self.n_in`.
+    #[must_use]
+    pub fn apply(&self, domain: &Set) -> Option<Set> {
+        assert_eq!(domain.n_dims(), self.n_in, "dimension mismatch");
+        let lifted = Set {
+            n_dim: self.n_in + self.n_out,
+            parts: domain
+                .parts()
+                .iter()
+                .map(|p| lift(p, &|v| v, self.n_in + self.n_out))
+                .collect(),
+        };
+        let joined = self.set.intersect(&lifted)?;
+        let drop: Vec<usize> = (0..self.n_in).collect();
+        Some(joined.project_out_dims(&drop))
+    }
+
+    /// The inverse relation (swaps input and output tuples).
+    #[must_use]
+    pub fn inverse(&self) -> Relation {
+        let (a, b) = (self.n_in, self.n_out);
+        let parts = self
+            .set
+            .parts()
+            .iter()
+            .map(|p| lift(p, &|v| if v < a { b + v } else { v - a }, a + b))
+            .collect();
+        Relation::from_set(
+            b,
+            a,
+            Set {
+                n_dim: a + b,
+                parts,
+            },
+        )
+    }
+
+    /// Restricts the relation to inputs in `domain`. Returns `None` past
+    /// the part cap.
+    #[must_use]
+    pub fn intersect_domain(&self, domain: &Set) -> Option<Relation> {
+        assert_eq!(domain.n_dims(), self.n_in, "dimension mismatch");
+        let lifted = Set {
+            n_dim: self.n_in + self.n_out,
+            parts: domain
+                .parts()
+                .iter()
+                .map(|p| lift(p, &|v| v, self.n_in + self.n_out))
+                .collect(),
+        };
+        let set = self.set.intersect(&lifted)?;
+        Some(Relation {
+            n_in: self.n_in,
+            n_out: self.n_out,
+            set,
+        })
+    }
+
+    /// Exact emptiness of the relation's graph.
+    #[must_use]
+    pub fn is_empty(&self) -> Verdict {
+        self.set.is_empty()
+    }
+}
+
+/// Re-embeds a basic set into a wider dimension space: dim `v` of `bs`
+/// becomes dim `map(v)` of the result; divs ride along after the new
+/// dims.
+fn lift(bs: &BasicSet, map: &dyn Fn(usize) -> usize, new_dim: usize) -> BasicSet {
+    let total = new_dim + bs.n_div;
+    let conv = |row: &Row| -> Row {
+        let mut out = vec![0; total + 1];
+        for v in 0..bs.n_dim {
+            out[map(v)] = row[v];
+        }
+        for d in 0..bs.n_div {
+            out[new_dim + d] = row[bs.n_dim + d];
+        }
+        out[total] = row[bs.n_vars()];
+        out
+    };
+    BasicSet {
+        n_dim: new_dim,
+        n_div: bs.n_div,
+        eqs: bs.eqs.iter().map(conv).collect(),
+        ineqs: bs.ineqs.iter().map(conv).collect(),
+    }
+}
+
+/// Floor division on checked `i128` (helper shared by the submodules).
+pub(crate) fn div_floor(a: Coeff, b: Coeff) -> Coeff {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+/// Ceiling division on checked `i128`.
+pub(crate) fn div_ceil(a: Coeff, b: Coeff) -> Coeff {
+    debug_assert!(b > 0);
+    -((-a).div_euclid(b))
+}
+
+pub(crate) fn gcd(a: Coeff, b: Coeff) -> Coeff {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_and_point() {
+        let mut bs = BasicSet::universe(2);
+        assert_eq!(bs.is_empty(), Verdict::No);
+        bs.fix(0, 3);
+        bs.fix(1, -7);
+        assert_eq!(bs.is_empty(), Verdict::No);
+        assert_eq!(bs.sample(), Some(vec![3, -7]));
+        bs.add_ge(&[(0, 1)], -4); // 3 - 4 >= 0: false
+        assert_eq!(bs.is_empty(), Verdict::Yes);
+    }
+
+    #[test]
+    fn box_bounds() {
+        let mut bs = BasicSet::universe(1);
+        bs.bound(0, 0, 10);
+        bs.add_ge(&[(0, 1)], -9); // v >= 9
+        assert_eq!(bs.is_empty(), Verdict::No);
+        assert_eq!(bs.sample(), Some(vec![9]));
+        let mut bs2 = BasicSet::universe(1);
+        bs2.bound(0, 0, 10);
+        bs2.add_ge(&[(0, 1)], -10); // v >= 10, contradicts v < 10
+        assert_eq!(bs2.is_empty(), Verdict::Yes);
+    }
+
+    #[test]
+    fn compose_identity() {
+        let id = Relation::identity(3);
+        let id2 = id.compose(&id).expect("within caps");
+        assert_eq!(id2.n_in(), 3);
+        assert_eq!(id2.n_out(), 3);
+        // (x - y) must be forced to zero: intersect with x0=5 and y0=6.
+        let mut probe = BasicSet::universe(6);
+        probe.fix(0, 5);
+        probe.fix(3, 6);
+        let joined = id2
+            .as_set()
+            .intersect(&Set::from_basic(probe))
+            .expect("caps");
+        assert_eq!(joined.is_empty(), Verdict::Yes);
+    }
+}

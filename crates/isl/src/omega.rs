@@ -1,0 +1,377 @@
+//! Exact integer emptiness via the Omega test (Pugh 1991): equality
+//! elimination with gcd divisibility checks, then Fourier–Motzkin with
+//! integer tightening, dark-shadow certification, and splintering.
+//!
+//! Convention: `Some(true)` = definitely empty, `Some(false)` =
+//! definitely non-empty, `None` = work cap exceeded or checked `i128`
+//! arithmetic overflowed (the caller treats this as "unknown").
+
+use crate::{div_floor, gcd, Coeff, Row};
+
+/// Total budget of variable eliminations + splinter probes per query.
+const MAX_FUEL: u32 = 4000;
+/// Inequality-count cap; FM can square the row count per elimination.
+const MAX_INEQS: usize = 800;
+/// Cap on splinter probes for a single inexact elimination.
+const MAX_SPLINTERS: Coeff = 24;
+
+pub(crate) fn empty(eqs: &[Row], ineqs: &[Row], n: usize) -> Option<bool> {
+    let mut fuel = MAX_FUEL;
+    solve(eqs.to_vec(), ineqs.to_vec(), n, &mut fuel)
+}
+
+/// `a mod̂ m`: the representative of `a (mod m)` in `(-m/2, m/2]`.
+fn mod_hat(a: Coeff, m: Coeff) -> Coeff {
+    let r = a.rem_euclid(m);
+    if r > m / 2 {
+        r - m
+    } else {
+        r
+    }
+}
+
+/// Normalizes an equality row in place. Returns `Some(false)` if the row
+/// is infeasible on its own, `Some(true)` if it is trivially satisfied
+/// (and should be dropped), `None` to keep it.
+fn norm_eq(row: &mut Row, n: usize) -> Option<bool> {
+    let mut g: Coeff = 0;
+    for &c in row.iter().take(n) {
+        g = gcd(g, c);
+    }
+    let konst = row[n];
+    if g == 0 {
+        return Some(konst == 0);
+    }
+    if konst.rem_euclid(g) != 0 {
+        return Some(false);
+    }
+    for c in row.iter_mut() {
+        *c /= g;
+    }
+    None
+}
+
+/// Normalizes an inequality row in place with integer tightening
+/// (`Σ aᵢvᵢ + c ≥ 0` with `g = gcd(aᵢ)` becomes `Σ (aᵢ/g)vᵢ + ⌊c/g⌋ ≥ 0`).
+/// Returns `Some(false)` if infeasible alone, `Some(true)` if trivially
+/// satisfied, `None` to keep.
+fn norm_ineq(row: &mut Row, n: usize) -> Option<bool> {
+    let mut g: Coeff = 0;
+    for &c in row.iter().take(n) {
+        g = gcd(g, c);
+    }
+    if g == 0 {
+        return Some(row[n] >= 0);
+    }
+    if g > 1 {
+        for c in row.iter_mut().take(n) {
+            *c /= g;
+        }
+        row[n] = div_floor(row[n], g);
+    }
+    None
+}
+
+/// Substitutes the unit-coefficient equality `eq` (coefficient `s = ±1`
+/// at variable `k`) into `row`, eliminating variable `k`.
+fn substitute(row: &mut Row, eq: &Row, k: usize, s: Coeff) -> Option<()> {
+    let d = row[k];
+    if d == 0 {
+        return Some(());
+    }
+    let f = d.checked_mul(s)?;
+    for (r, e) in row.iter_mut().zip(eq.iter()) {
+        *r = r.checked_sub(f.checked_mul(*e)?)?;
+    }
+    debug_assert_eq!(row[k], 0);
+    Some(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn solve(mut eqs: Vec<Row>, mut ineqs: Vec<Row>, mut n: usize, fuel: &mut u32) -> Option<bool> {
+    // Phase 1: eliminate equalities.
+    while let Some(mut eq) = eqs.pop() {
+        if *fuel == 0 {
+            return None;
+        }
+        *fuel -= 1;
+        match norm_eq(&mut eq, n) {
+            Some(true) => continue,
+            Some(false) => return Some(true),
+            None => {}
+        }
+        // Smallest non-zero coefficient.
+        let (k, ak) = eq
+            .iter()
+            .take(n)
+            .enumerate()
+            .filter(|(_, c)| **c != 0)
+            .min_by_key(|(_, c)| c.abs())
+            .map(|(i, c)| (i, *c))?;
+        if ak.abs() == 1 {
+            for row in eqs.iter_mut().chain(ineqs.iter_mut()) {
+                substitute(row, &eq, k, ak)?;
+            }
+        } else {
+            // Pugh's reduction: introduce σ with
+            //   Σ mod̂(aᵢ,m)·vᵢ + mod̂(c,m) − m·σ = 0,  m = |a_k| + 1,
+            // whose coefficient at v_k is ±1; substitute it everywhere
+            // (shrinking the original equality's coefficients) and retry.
+            let m = ak.abs().checked_add(1)?;
+            let sigma = n;
+            n += 1;
+            for row in eqs.iter_mut().chain(ineqs.iter_mut()) {
+                row.insert(sigma, 0);
+            }
+            eq.insert(sigma, 0);
+            let mut new_eq: Row = eq.iter().map(|&c| mod_hat(c, m)).collect();
+            new_eq[sigma] = -m;
+            let s = new_eq[k];
+            debug_assert_eq!(s.abs(), 1);
+            substitute(&mut eq, &new_eq, k, s)?;
+            for row in eqs.iter_mut().chain(ineqs.iter_mut()) {
+                substitute(row, &new_eq, k, s)?;
+            }
+            eqs.push(eq);
+        }
+    }
+
+    // Phase 2: Fourier–Motzkin over the inequalities.
+    loop {
+        if *fuel == 0 || ineqs.len() > MAX_INEQS {
+            return None;
+        }
+        *fuel -= 1;
+        // Normalize + prune: keep, per coefficient vector, only the
+        // tightest constant.
+        let mut seen: std::collections::BTreeMap<Vec<Coeff>, Coeff> =
+            std::collections::BTreeMap::new();
+        for mut row in std::mem::take(&mut ineqs) {
+            match norm_ineq(&mut row, n) {
+                Some(true) => continue,
+                Some(false) => return Some(true),
+                None => {}
+            }
+            let konst = row[n];
+            row.truncate(n);
+            match seen.get_mut(&row) {
+                Some(k) => *k = (*k).min(konst),
+                None => {
+                    seen.insert(row, konst);
+                }
+            }
+        }
+        // Opposite-row contradiction check + rebuild.
+        for (coeffs, konst) in &seen {
+            let neg: Vec<Coeff> = coeffs.iter().map(|c| -c).collect();
+            if let Some(nk) = seen.get(&neg) {
+                // Σ c·v ≥ −k and Σ c·v ≤ nk  ⇒ need −k ≤ nk.
+                if konst.checked_add(*nk)? < 0 {
+                    return Some(true);
+                }
+            }
+            let mut row = coeffs.clone();
+            row.push(*konst);
+            ineqs.push(row);
+        }
+
+        // Pick a variable to eliminate.
+        let mut best: Option<(usize, usize, usize, bool)> = None; // (var, lowers, uppers, exact)
+        for v in 0..n {
+            let mut lowers = 0usize;
+            let mut uppers = 0usize;
+            let mut exact = true;
+            let mut used = false;
+            for row in &ineqs {
+                let c = row[v];
+                if c > 0 {
+                    lowers += 1;
+                    used = true;
+                } else if c < 0 {
+                    uppers += 1;
+                    used = true;
+                }
+                if c.abs() > 1 {
+                    exact = false;
+                }
+            }
+            if !used {
+                continue;
+            }
+            if lowers == 0 || uppers == 0 {
+                // Unbounded in one direction: every row touching `v` can
+                // be satisfied by pushing `v` far enough. Drop them.
+                best = Some((v, lowers, uppers, true));
+                break;
+            }
+            let cost = lowers * uppers;
+            let better = match &best {
+                None => true,
+                Some((_, bl, bu, bx)) => {
+                    let bcost = bl * bu;
+                    cost < bcost || (cost == bcost && exact && !bx)
+                }
+            };
+            if better {
+                best = Some((v, lowers, uppers, exact));
+            }
+        }
+        let Some((v, lowers, uppers, _)) = best else {
+            // No variable appears in any inequality: all rows were
+            // constants (already checked) — the system is satisfiable.
+            return Some(false);
+        };
+        if lowers == 0 || uppers == 0 {
+            ineqs.retain(|row| row[v] == 0);
+            continue;
+        }
+
+        let mut carried: Vec<Row> = Vec::new();
+        let mut lower_rows: Vec<Row> = Vec::new();
+        let mut upper_rows: Vec<Row> = Vec::new();
+        for row in &ineqs {
+            match row[v].cmp(&0) {
+                std::cmp::Ordering::Greater => lower_rows.push(row.clone()),
+                std::cmp::Ordering::Less => upper_rows.push(row.clone()),
+                std::cmp::Ordering::Equal => carried.push(row.clone()),
+            }
+        }
+        let mut exact = true;
+        let mut real: Vec<Row> = carried.clone();
+        let mut dark: Vec<Row> = carried.clone();
+        for lo in &lower_rows {
+            let a = lo[v];
+            for up in &upper_rows {
+                let b = -up[v];
+                if a > 1 && b > 1 {
+                    exact = false;
+                }
+                // real: b·(lo) + a·(up) ≥ 0 with the v column cancelling.
+                let mut combined: Row = Vec::with_capacity(n + 1);
+                for (l, u) in lo.iter().zip(up.iter()) {
+                    combined.push(b.checked_mul(*l)?.checked_add(a.checked_mul(*u)?)?);
+                }
+                debug_assert_eq!(combined[v], 0);
+                real.push(combined.clone());
+                // dark: additionally ≥ (a−1)(b−1).
+                let gap = (a - 1).checked_mul(b - 1)?;
+                let last = combined.len() - 1;
+                combined[last] = combined[last].checked_sub(gap)?;
+                dark.push(combined);
+            }
+        }
+
+        if exact {
+            ineqs = real;
+            continue;
+        }
+
+        // Inexact elimination: dark shadow certifies non-emptiness, the
+        // real shadow certifies emptiness, splinters settle the gap.
+        match solve(Vec::new(), dark, n, fuel) {
+            Some(false) => return Some(false),
+            other => {
+                let dark_empty = other;
+                let real_empty = solve(Vec::new(), real, n, fuel);
+                if real_empty == Some(true) {
+                    return Some(true);
+                }
+                // Splinter: any integer solution not in the dark shadow
+                // hugs a lower bound: for some lower row (a·v + P ≥ 0)
+                // and some 0 ≤ i ≤ (a·b_max − a − b_max)/b_max, it
+                // satisfies a·v + P = i.
+                let b_max = upper_rows.iter().map(|r| -r[v]).max()?;
+                let mut all_empty = true;
+                let mut budget = MAX_SPLINTERS;
+                for lo in &lower_rows {
+                    let a = lo[v];
+                    let hi = div_floor(
+                        a.checked_mul(b_max)?.checked_sub(a)?.checked_sub(b_max)?,
+                        b_max,
+                    );
+                    for i in 0..=hi {
+                        budget -= 1;
+                        if budget < 0 {
+                            return None;
+                        }
+                        let mut eq = lo.clone();
+                        let last = eq.len() - 1;
+                        eq[last] = eq[last].checked_sub(i)?;
+                        match solve(vec![eq], ineqs.clone(), n, fuel) {
+                            Some(false) => return Some(false),
+                            Some(true) => {}
+                            None => all_empty = false,
+                        }
+                    }
+                }
+                return if all_empty && dark_empty == Some(true) {
+                    Some(true)
+                } else {
+                    None
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: &[Coeff], konst: Coeff) -> Row {
+        let mut r = coeffs.to_vec();
+        r.push(konst);
+        r
+    }
+
+    #[test]
+    fn divisibility_split() {
+        // 2x = 1 has no integer solution.
+        assert_eq!(empty(&[row(&[2], -1)], &[], 1), Some(true));
+        // 2x = 4 does.
+        assert_eq!(empty(&[row(&[2], -4)], &[], 1), Some(false));
+        // 3x + 6y = 2: gcd 3 does not divide 2.
+        assert_eq!(empty(&[row(&[3, 6], -2)], &[], 2), Some(true));
+        // 3x + 5y = 2 is solvable (gcd 1).
+        assert_eq!(empty(&[row(&[3, 5], -2)], &[], 2), Some(false));
+    }
+
+    #[test]
+    fn dark_shadow_gap() {
+        // Classic Omega example: 3 ≤ 3x ≤ 4 — rationally non-empty,
+        // integer x = 1 works here (3·1 = 3), so non-empty…
+        assert_eq!(empty(&[], &[row(&[3], -3), row(&[-3], 4)], 1), Some(false));
+        // …but 4 ≤ 3x ≤ 5 has a rational solution and no integer one.
+        assert_eq!(empty(&[], &[row(&[3], -4), row(&[-3], 5)], 1), Some(true));
+    }
+
+    #[test]
+    fn coupled_inexact() {
+        // 2x = 3y with 1 ≤ y ≤ 1 forces 2x = 3: empty.
+        assert_eq!(
+            empty(
+                &[row(&[2, -3], 0)],
+                &[row(&[0, 1], -1), row(&[0, -1], 1)],
+                2
+            ),
+            Some(true)
+        );
+        // 2x = 3y with 2 ≤ y ≤ 2: x = 3.
+        assert_eq!(
+            empty(
+                &[row(&[2, -3], 0)],
+                &[row(&[0, 1], -2), row(&[0, -1], 2)],
+                2
+            ),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn unbounded_direction_drops_rows() {
+        // x ≥ 10 with x otherwise unbounded: non-empty.
+        assert_eq!(empty(&[], &[row(&[1], -10)], 1), Some(false));
+        // x ≥ 10 ∧ x ≤ 3: empty.
+        assert_eq!(empty(&[], &[row(&[1], -10), row(&[-1], 3)], 1), Some(true));
+    }
+}

@@ -7,10 +7,14 @@
 //!   (`NHWO`, `HWON`, `N O/ot H W ot`, the §5.1 tiling templates, ...).
 //! * [`propagation`] — the layout-propagation mechanism (Algorithm 1) that
 //!   eliminates conversion and fusion-conflict overheads.
+//! * [`relation`] — exact integer-set semantics: every primitive (and the
+//!   whole chain) as a quasi-affine logical→physical relation, the input
+//!   to the set-based legality engine in `alt-verify`.
 
 pub mod presets;
 pub mod primitives;
 pub mod propagation;
+pub mod relation;
 
 pub use primitives::{Layout, LayoutError, LayoutPrim, VarExtents};
 pub use propagation::{AssignOutcome, Conversion, LayoutPlan, PropagationMode};

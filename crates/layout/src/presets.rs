@@ -414,6 +414,45 @@ pub fn conv_output_tiled2_nd(
     l.with(LayoutPrim::Reorder { perm })
 }
 
+/// Bank-conflict-avoiding variant of [`channel_tiled`]: the inner
+/// channel-tile coordinate is XOR-swizzled against the innermost spatial
+/// coordinate, so consecutive spatial positions hit rotated channel
+/// banks (`2^bits` must divide `ct`).
+pub fn channel_tiled_swizzled(shape: Shape, ct: i64, bits: u32) -> Result<Layout, LayoutError> {
+    let l = channel_tiled(shape, ct)?;
+    let nd = l.physical_shape().ndim();
+    l.with(LayoutPrim::Swizzle {
+        dim: nd - 1,
+        src: nd - 2,
+        bits,
+    })
+}
+
+/// Morton (Z-order) interleaving of the last two dimensions — locality-
+/// preserving for stencil access over square power-of-two extents.
+pub fn morton_spatial(shape: Shape) -> Result<Layout, LayoutError> {
+    let nd = shape.ndim();
+    if nd < 2 {
+        return Err(LayoutError::BadDim { dim: 1, ndim: nd });
+    }
+    Layout::identity(shape).with(LayoutPrim::Morton { dim: nd - 2 })
+}
+
+/// Block-diagonal rotation of the innermost dimension keyed by the one
+/// before it: row `r` stores its elements rotated by `r·block`, skewing
+/// column-major walks across memory banks.
+pub fn block_diag_rotated(shape: Shape, block: i64) -> Result<Layout, LayoutError> {
+    let nd = shape.ndim();
+    if nd < 2 {
+        return Err(LayoutError::BadDim { dim: 1, ndim: nd });
+    }
+    Layout::identity(shape).with(LayoutPrim::BlockDiag {
+        dim: nd - 1,
+        src: nd - 2,
+        block,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]

@@ -61,6 +61,37 @@ pub enum LayoutError {
     },
     /// `pad` amounts are negative.
     BadPad,
+    /// `swizzle` parameters are invalid: `src` must differ from `dim`,
+    /// `bits` must be in `1..=12`, and `2^bits` must divide the swizzled
+    /// dimension's size (so each aligned block permutes onto itself).
+    BadSwizzle {
+        /// XOR'd dimension.
+        dim: usize,
+        /// Dimension supplying the XOR key.
+        src: usize,
+        /// Number of low bits swizzled.
+        bits: u32,
+        /// Size of the swizzled dimension.
+        dim_size: i64,
+    },
+    /// `morton` requires two adjacent dimensions of equal power-of-two
+    /// size (at most `2^12`).
+    BadMorton {
+        /// First (outer) interleaved dimension.
+        dim: usize,
+        /// Sizes of the two dimensions as seen.
+        sizes: Vec<i64>,
+    },
+    /// `block_diag` parameters are invalid: `src` must differ from `dim`
+    /// and `block` must be in `1..dim_size`.
+    BadBlockDiag {
+        /// Rotated dimension.
+        dim: usize,
+        /// Dimension driving the rotation.
+        src: usize,
+        /// Rotation step per unit of `src`.
+        block: i64,
+    },
     /// The primitive sequence cannot be inverted at this point.
     NotInvertible(&'static str),
     /// An index list's rank does not match the layout's rank.
@@ -121,6 +152,22 @@ impl fmt::Display for LayoutError {
                 "unfold(tile={tile}, stride={stride}) invalid for dim of size {dim_size}"
             ),
             LayoutError::BadPad => write!(f, "pad amounts must be non-negative"),
+            LayoutError::BadSwizzle {
+                dim,
+                src,
+                bits,
+                dim_size,
+            } => write!(
+                f,
+                "swizzle(dim={dim}, src={src}, bits={bits}) invalid for dim of size {dim_size}"
+            ),
+            LayoutError::BadMorton { dim, sizes } => write!(
+                f,
+                "morton({dim}) needs two equal power-of-two dims, got {sizes:?}"
+            ),
+            LayoutError::BadBlockDiag { dim, src, block } => {
+                write!(f, "block_diag(dim={dim}, src={src}, block={block}) invalid")
+            }
             LayoutError::NotInvertible(what) => write!(f, "cannot invert: {what}"),
             LayoutError::RankMismatch {
                 what,
@@ -208,6 +255,43 @@ pub enum LayoutPrim {
         /// Dimension that gains the guest slot.
         dim: usize,
     },
+    /// XOR swizzle: physical index along `dim` is the logical index with
+    /// its low `bits` bits XOR'd against the low `bits` bits of the index
+    /// along `src` (the classic shared-memory bank-conflict breaker).
+    ///
+    /// Bijective per `src` slice; requires `2^bits` to divide the size of
+    /// `dim`, so each aligned block permutes onto itself. The shape is
+    /// unchanged.
+    Swizzle {
+        /// Dimension whose low bits are XOR'd.
+        dim: usize,
+        /// Dimension supplying the XOR key.
+        src: usize,
+        /// Number of low bits swizzled (`1..=12`).
+        bits: u32,
+    },
+    /// Morton (Z-order) interleave of dimensions `dim` and `dim + 1`:
+    /// both must have the same power-of-two size `2^k`, and they fuse
+    /// into one dimension of size `2^(2k)` whose bits alternate between
+    /// the two sources (`dim` on odd bits, `dim + 1` on even bits).
+    ///
+    /// Bijective; improves locality for stencil-like pairs of axes.
+    Morton {
+        /// First (outer) of the two interleaved dimensions.
+        dim: usize,
+    },
+    /// Block-diagonal (cyclic) remap: the physical index along `dim` is
+    /// `(i + block·j) mod size(dim)` where `j` is the index along `src` —
+    /// a diagonal shift per `src` slice that spreads same-`i` accesses
+    /// across banks. Bijective for any `block`; the shape is unchanged.
+    BlockDiag {
+        /// Rotated dimension.
+        dim: usize,
+        /// Dimension driving the rotation.
+        src: usize,
+        /// Rotation step per unit of `src` (`1..size(dim)`).
+        block: i64,
+    },
 }
 
 impl LayoutPrim {
@@ -284,6 +368,54 @@ impl LayoutPrim {
                 }
                 Ok(())
             }
+            LayoutPrim::Swizzle { dim, src, bits } => {
+                if *dim >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                if *src >= ndim {
+                    return Err(LayoutError::BadDim { dim: *src, ndim });
+                }
+                let d = shape[*dim];
+                if *src == *dim || *bits == 0 || *bits > 12 || d % (1i64 << *bits) != 0 {
+                    return Err(LayoutError::BadSwizzle {
+                        dim: *dim,
+                        src: *src,
+                        bits: *bits,
+                        dim_size: d,
+                    });
+                }
+                Ok(())
+            }
+            LayoutPrim::Morton { dim } => {
+                if dim + 1 >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                let (a, b) = (shape[*dim], shape[dim + 1]);
+                let pow2 = |v: i64| v > 0 && v & (v - 1) == 0;
+                if a != b || !pow2(a) || a > (1 << 12) {
+                    return Err(LayoutError::BadMorton {
+                        dim: *dim,
+                        sizes: vec![a, b],
+                    });
+                }
+                Ok(())
+            }
+            LayoutPrim::BlockDiag { dim, src, block } => {
+                if *dim >= ndim {
+                    return Err(LayoutError::BadDim { dim: *dim, ndim });
+                }
+                if *src >= ndim {
+                    return Err(LayoutError::BadDim { dim: *src, ndim });
+                }
+                if *src == *dim || *block < 1 || *block >= shape[*dim] {
+                    return Err(LayoutError::BadBlockDiag {
+                        dim: *dim,
+                        src: *src,
+                        block: *block,
+                    });
+                }
+                Ok(())
+            }
         }
     }
 
@@ -311,6 +443,11 @@ impl LayoutPrim {
             }
             LayoutPrim::StoreAtHost { dim } => {
                 out[*dim] += 1;
+            }
+            LayoutPrim::Swizzle { .. } | LayoutPrim::BlockDiag { .. } => {}
+            LayoutPrim::Morton { dim } => {
+                let fused = shape[*dim] * shape[dim + 1];
+                out.splice(*dim..=dim + 1, [fused]);
             }
         }
         out
@@ -462,6 +599,12 @@ impl Layout {
         &self.prims
     }
 
+    /// The cached shape chain: entry 0 is the logical shape's dims and
+    /// entry `k + 1` is the shape after primitive `k`.
+    pub fn shape_chain(&self) -> &[Vec<i64>] {
+        &self.shapes
+    }
+
     /// Replays the primitive chain from the logical shape, re-checking
     /// every primitive and the cached shape chain.
     ///
@@ -538,6 +681,18 @@ impl Layout {
                     names.splice(*dim..=*dim, [format!("{base}.t"), format!("{base}.u")]);
                 }
                 LayoutPrim::Pad { .. } | LayoutPrim::StoreAtHost { .. } => {}
+                LayoutPrim::Swizzle { dim, src, .. } => {
+                    let key = names[*src].clone();
+                    names[*dim] = format!("{}^{key}", names[*dim]);
+                }
+                LayoutPrim::Morton { dim } => {
+                    let fused = format!("{}~{}", names[*dim], names[*dim + 1]);
+                    names.splice(*dim..=dim + 1, [fused]);
+                }
+                LayoutPrim::BlockDiag { dim, src, .. } => {
+                    let key = names[*src].clone();
+                    names[*dim] = format!("{}@{key}", names[*dim]);
+                }
             }
         }
         names
@@ -763,6 +918,13 @@ impl fmt::Display for Layout {
                     write!(f, " pad({dim}, {before}, {after})")?;
                 }
                 LayoutPrim::StoreAtHost { dim } => write!(f, " store_at_host({dim})")?,
+                LayoutPrim::Swizzle { dim, src, bits } => {
+                    write!(f, " swizzle({dim}, src={src}, bits={bits})")?;
+                }
+                LayoutPrim::Morton { dim } => write!(f, " morton({dim})")?,
+                LayoutPrim::BlockDiag { dim, src, block } => {
+                    write!(f, " block_diag({dim}, src={src}, block={block})")?;
+                }
             }
         }
         match self.try_physical_shape() {
@@ -773,7 +935,7 @@ impl fmt::Display for Layout {
 }
 
 /// Applies one primitive's forward access rewrite.
-fn rewrite_forward(
+pub(crate) fn rewrite_forward(
     prim: &LayoutPrim,
     shape_before: &[i64],
     exprs: &[Expr],
@@ -840,6 +1002,35 @@ fn rewrite_forward(
             out
         }
         LayoutPrim::StoreAtHost { .. } => exprs.to_vec(),
+        LayoutPrim::Swizzle { dim, src, bits } => {
+            // phys = (e with its low `bits` bits XOR'd against src's).
+            let e = &exprs[*dim];
+            let low = e.mod_c(1i64 << *bits);
+            let mut out = exprs.to_vec();
+            out[*dim] = e.sub(&low).add(&xor_low_bits(e, &exprs[*src], *bits));
+            out
+        }
+        LayoutPrim::Morton { dim } => {
+            // Interleave: bit j of `x` lands on physical bit 2j+1, bit j
+            // of `y` on physical bit 2j.
+            let k = shape_before[*dim].trailing_zeros();
+            let x = &exprs[*dim];
+            let y = &exprs[dim + 1];
+            let mut acc = Expr::c(0);
+            for j in 0..k {
+                acc = acc.add(&bit_of(x, j).mul_c(1i64 << (2 * j + 1)));
+                acc = acc.add(&bit_of(y, j).mul_c(1i64 << (2 * j)));
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*dim..=dim + 1, [acc]);
+            out
+        }
+        LayoutPrim::BlockDiag { dim, src, block } => {
+            let d = shape_before[*dim];
+            let mut out = exprs.to_vec();
+            out[*dim] = exprs[*dim].add(&exprs[*src].mul_c(*block)).mod_c(d);
+            out
+        }
     }
 }
 
@@ -848,6 +1039,26 @@ fn generic_unfold(e: &Expr, stride: i64, tiles: i64) -> (Expr, Expr) {
     let t = e.div_c(stride).min_e(&Expr::c(tiles - 1));
     let b = e.sub(&t.mul_c(stride));
     (t, b)
+}
+
+/// Bit `j` of a non-negative expression: `(e div 2^j) mod 2`.
+fn bit_of(e: &Expr, j: u32) -> Expr {
+    e.div_c(1 << j).mod_c(2)
+}
+
+/// XOR of the low `bits` bits of `a` and `b`, written with quasi-affine
+/// arithmetic only: per bit, `x ⊕ y = x + y − 2·x·y` (each factor is
+/// {0,1}-valued, which keeps the product exactly encodable as an integer
+/// set — see `alt-verify`'s set bridge).
+fn xor_low_bits(a: &Expr, b: &Expr, bits: u32) -> Expr {
+    let mut acc = Expr::c(0);
+    for j in 0..bits {
+        let x = bit_of(a, j);
+        let y = bit_of(b, j);
+        let xor = x.add(&y).sub(&x.mul(&y).mul_c(2));
+        acc = acc.add(&xor.mul_c(1 << j));
+    }
+    acc
 }
 
 /// Applies one primitive's inverse access rewrite (physical -> logical).
@@ -922,6 +1133,38 @@ fn rewrite_inverse(
             let d = shape_before[*dim];
             conds.push(Cond::Lt(exprs[*dim].clone(), Expr::c(d)));
             exprs.to_vec()
+        }
+        LayoutPrim::Swizzle { dim, src, bits } => {
+            // XOR is an involution and `src` passes through unchanged, so
+            // the inverse is the forward formula applied to physical
+            // indices. Bijective: no validity conditions.
+            let p = &exprs[*dim];
+            let low = p.mod_c(1i64 << *bits);
+            let mut out = exprs.to_vec();
+            out[*dim] = p.sub(&low).add(&xor_low_bits(p, &exprs[*src], *bits));
+            out
+        }
+        LayoutPrim::Morton { dim } => {
+            // De-interleave: odd physical bits rebuild `x`, even bits `y`.
+            let k = shape_before[*dim].trailing_zeros();
+            let p = &exprs[*dim];
+            let mut x = Expr::c(0);
+            let mut y = Expr::c(0);
+            for j in 0..k {
+                x = x.add(&bit_of(p, 2 * j + 1).mul_c(1i64 << j));
+                y = y.add(&bit_of(p, 2 * j).mul_c(1i64 << j));
+            }
+            let mut out = exprs.to_vec();
+            out.splice(*dim..dim + 1, [x, y]);
+            out
+        }
+        LayoutPrim::BlockDiag { dim, src, block } => {
+            // Euclidean mod undoes the cyclic shift even when the
+            // difference is negative. Bijective: no conditions.
+            let d = shape_before[*dim];
+            let mut out = exprs.to_vec();
+            out[*dim] = exprs[*dim].sub(&exprs[*src].mul_c(*block)).mod_c(d);
+            out
         }
     }
 }
@@ -1227,6 +1470,152 @@ mod tests {
             l.with(LayoutPrim::Fuse { start: 3, count: 2 }).unwrap_err(),
             LayoutError::BadFuseRange { .. }
         ));
+    }
+
+    #[test]
+    fn swizzle_is_a_bijection_per_src_slice() {
+        // 8x16, XOR the low 2 bits of dim 1 with the low 2 bits of dim 0.
+        let l = Layout::identity(Shape::new([8, 16]))
+            .with(LayoutPrim::Swizzle {
+                dim: 1,
+                src: 0,
+                bits: 2,
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[8, 16]);
+        // Spot-check the XOR arithmetic: col 5 (0b0101) in row 3 (0b0011)
+        // lands at 0b0101 ^ 0b0011-low-2 = 0b0110 = 6.
+        assert_eq!(l.logical_to_physical(&[3, 5]).unwrap(), vec![3, 6]);
+        // Bijection: every physical slot holds exactly one logical element.
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..8 {
+            for c in 0..16 {
+                let p = l.logical_to_physical(&[r, c]).unwrap();
+                assert_eq!(p[0], r);
+                assert!(seen.insert((p[0], p[1])), "collision at {p:?}");
+                assert_eq!(l.physical_to_logical(&p).unwrap(), Some(vec![r, c]));
+            }
+        }
+        let data = NdBuf::from_fn(Shape::new([8, 16]), |i| i as f32);
+        let packed = l.pack(&data).unwrap();
+        assert_eq!(l.unpack(&packed).unwrap().data(), data.data());
+    }
+
+    #[test]
+    fn morton_interleaves_bits() {
+        let l = Layout::identity(Shape::new([4, 4]))
+            .with(LayoutPrim::Morton { dim: 0 })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[16]);
+        // (x=0b10, y=0b01) -> bits x1 y1 x0 y0 = 1 0 0 1 = 9.
+        assert_eq!(l.logical_to_physical(&[2, 1]).unwrap(), vec![9]);
+        assert_eq!(l.physical_to_logical(&[9]).unwrap(), Some(vec![2, 1]));
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                let p = l.logical_to_physical(&[x, y]).unwrap();
+                assert!(seen.insert(p[0]));
+                assert_eq!(l.physical_to_logical(&p).unwrap(), Some(vec![x, y]));
+            }
+        }
+        let data = NdBuf::from_fn(Shape::new([4, 4]), |i| i as f32);
+        let packed = l.pack(&data).unwrap();
+        assert_eq!(l.unpack(&packed).unwrap().data(), data.data());
+    }
+
+    #[test]
+    fn block_diag_rotates_rows() {
+        let l = Layout::identity(Shape::new([4, 8]))
+            .with(LayoutPrim::BlockDiag {
+                dim: 1,
+                src: 0,
+                block: 2,
+            })
+            .unwrap();
+        assert_eq!(l.physical_shape().dims(), &[4, 8]);
+        // Row 3: col c lands at (c + 6) mod 8.
+        assert_eq!(l.logical_to_physical(&[3, 5]).unwrap(), vec![3, 3]);
+        assert_eq!(l.physical_to_logical(&[3, 3]).unwrap(), Some(vec![3, 5]));
+        let data = NdBuf::from_fn(Shape::new([4, 8]), |i| i as f32);
+        let packed = l.pack(&data).unwrap();
+        assert_eq!(l.unpack(&packed).unwrap().data(), data.data());
+    }
+
+    #[test]
+    fn new_primitives_validate_parameters() {
+        let l = Layout::identity(Shape::new([8, 12]));
+        // 12 is not divisible by 2^3.
+        assert!(matches!(
+            l.clone()
+                .with(LayoutPrim::Swizzle {
+                    dim: 1,
+                    src: 0,
+                    bits: 3
+                })
+                .unwrap_err(),
+            LayoutError::BadSwizzle { .. }
+        ));
+        assert!(matches!(
+            l.clone()
+                .with(LayoutPrim::Swizzle {
+                    dim: 0,
+                    src: 0,
+                    bits: 1
+                })
+                .unwrap_err(),
+            LayoutError::BadSwizzle { .. }
+        ));
+        // 8 != 12 and 12 is not a power of two.
+        assert!(matches!(
+            l.clone().with(LayoutPrim::Morton { dim: 0 }).unwrap_err(),
+            LayoutError::BadMorton { .. }
+        ));
+        assert!(matches!(
+            l.clone()
+                .with(LayoutPrim::BlockDiag {
+                    dim: 1,
+                    src: 0,
+                    block: 12
+                })
+                .unwrap_err(),
+            LayoutError::BadBlockDiag { .. }
+        ));
+        assert!(matches!(
+            l.with(LayoutPrim::BlockDiag {
+                dim: 1,
+                src: 1,
+                block: 2
+            })
+            .unwrap_err(),
+            LayoutError::BadBlockDiag { .. }
+        ));
+    }
+
+    #[test]
+    fn new_primitive_names_and_display() {
+        let l = Layout::identity(Shape::new([4, 4, 8]))
+            .with(LayoutPrim::Morton { dim: 0 })
+            .unwrap()
+            .with(LayoutPrim::Swizzle {
+                dim: 1,
+                src: 0,
+                bits: 2,
+            })
+            .unwrap()
+            .with(LayoutPrim::BlockDiag {
+                dim: 1,
+                src: 0,
+                block: 1,
+            })
+            .unwrap();
+        assert_eq!(
+            l.physical_dim_names(&["x", "y", "c"]),
+            vec!["x~y", "c^x~y@x~y"]
+        );
+        let s = format!("{l}");
+        assert!(s.contains("morton(0)"), "{s}");
+        assert!(s.contains("swizzle(1, src=0, bits=2)"), "{s}");
+        assert!(s.contains("block_diag(1, src=0, block=1)"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,738 @@
+//! Integer-set relation semantics for layouts (paper-adjacent: "Modeling
+//! Layout Abstractions Using Integer Set Relations").
+//!
+//! [`SetBuilder`] translates the quasi-affine index [`Expr`] language into
+//! `alt-isl` constraints: `floordiv`/`mod` by positive constants become
+//! existentially quantified quotient/remainder pairs, `min`/`max` become
+//! two-way disjunctions, and a product with a {0,1}-bounded factor (the
+//! shape every per-bit XOR term takes) is encoded exactly with one
+//! auxiliary variable and four inequalities. Anything outside that
+//! fragment returns `None` and callers fall back to interval reasoning.
+//!
+//! On top of the builder, [`prim_relation`] gives every [`LayoutPrim`] a
+//! logical→physical [`Relation`] (canonical placement for the
+//! one-to-many `unfold`), and [`Layout::to_relation`] composes the chain
+//! exactly — the single source of truth the `alt-verify` set engine
+//! checks accesses against.
+
+use std::collections::{BTreeMap, HashMap};
+
+use alt_isl::{BasicSet, Coeff, Relation, Set};
+use alt_tensor::expr::{BinOp, Expr, VarGen};
+use alt_tensor::op::Cond;
+
+use crate::primitives::{rewrite_forward, Layout, LayoutPrim, VarExtents};
+
+/// Cap on disjunction contexts a single builder may fan out to
+/// (`min`/`max`/`≠` each double the frontier).
+const MAX_CTXS: usize = 24;
+
+/// An affine form over the builder's current variables, with a
+/// conservative value range used to legalize products and tighten
+/// `mod` results. `None` endpoints mean "unbounded/unknown".
+#[derive(Clone, Debug)]
+struct Aff {
+    terms: BTreeMap<usize, Coeff>,
+    konst: Coeff,
+    lo: Option<Coeff>,
+    hi: Option<Coeff>,
+}
+
+fn radd(a: Option<Coeff>, b: Option<Coeff>) -> Option<Coeff> {
+    a?.checked_add(b?)
+}
+
+fn rmin(a: Option<Coeff>, b: Option<Coeff>) -> Option<Coeff> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        _ => None,
+    }
+}
+
+fn rmax(a: Option<Coeff>, b: Option<Coeff>) -> Option<Coeff> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        _ => None,
+    }
+}
+
+impl Aff {
+    fn konst(c: Coeff) -> Self {
+        Aff {
+            terms: BTreeMap::new(),
+            konst: c,
+            lo: Some(c),
+            hi: Some(c),
+        }
+    }
+
+    fn dim(d: usize, extent: Coeff) -> Self {
+        Aff {
+            terms: BTreeMap::from([(d, 1)]),
+            konst: 0,
+            lo: Some(0),
+            hi: Some(extent - 1),
+        }
+    }
+
+    fn div_var(d: usize, lo: Option<Coeff>, hi: Option<Coeff>) -> Self {
+        Aff {
+            terms: BTreeMap::from([(d, 1)]),
+            konst: 0,
+            lo,
+            hi,
+        }
+    }
+
+    fn is_const(&self) -> Option<Coeff> {
+        self.terms.is_empty().then_some(self.konst)
+    }
+
+    fn add(&self, o: &Aff) -> Option<Aff> {
+        let mut terms = self.terms.clone();
+        for (&d, &c) in &o.terms {
+            let e = terms.entry(d).or_insert(0);
+            *e = e.checked_add(c)?;
+        }
+        terms.retain(|_, c| *c != 0);
+        Some(Aff {
+            terms,
+            konst: self.konst.checked_add(o.konst)?,
+            lo: radd(self.lo, o.lo),
+            hi: radd(self.hi, o.hi),
+        })
+    }
+
+    fn scale(&self, k: Coeff) -> Option<Aff> {
+        let mut terms = BTreeMap::new();
+        for (&d, &c) in &self.terms {
+            let v = c.checked_mul(k)?;
+            if v != 0 {
+                terms.insert(d, v);
+            }
+        }
+        let smul = |e: Option<Coeff>| e.and_then(|v| v.checked_mul(k));
+        let (lo, hi) = if k >= 0 {
+            (smul(self.lo), smul(self.hi))
+        } else {
+            (smul(self.hi), smul(self.lo))
+        };
+        Some(Aff {
+            terms,
+            konst: self.konst.checked_mul(k)?,
+            lo,
+            hi,
+        })
+    }
+
+    fn sub(&self, o: &Aff) -> Option<Aff> {
+        self.add(&o.scale(-1)?)
+    }
+
+    /// Is this form provably {0,1}-valued?
+    fn is_bit(&self) -> bool {
+        self.lo == Some(0) && self.hi == Some(1)
+    }
+}
+
+/// Adds `Σ scaleᵢ·affᵢ + Σ extra + konst ≥ 0` (or `= 0`) to `bs`.
+fn push_row(
+    bs: &mut BasicSet,
+    parts: &[(Coeff, &Aff)],
+    extra: &[(usize, Coeff)],
+    konst: Coeff,
+    equality: bool,
+) -> Option<()> {
+    let mut terms: BTreeMap<usize, Coeff> = BTreeMap::new();
+    let mut k = konst;
+    for &(s, aff) in parts {
+        for (&d, &c) in &aff.terms {
+            let e = terms.entry(d).or_insert(0);
+            *e = e.checked_add(c.checked_mul(s)?)?;
+        }
+        k = k.checked_add(aff.konst.checked_mul(s)?)?;
+    }
+    for &(d, c) in extra {
+        let e = terms.entry(d).or_insert(0);
+        *e = e.checked_add(c)?;
+    }
+    let row: Vec<(usize, Coeff)> = terms.into_iter().collect();
+    if equality {
+        bs.add_eq(&row, k);
+    } else {
+        bs.add_ge(&row, k);
+    }
+    Some(())
+}
+
+/// Incremental translator from index expressions and conditions over a
+/// fixed dimension space into an `alt-isl` [`Set`] (a union of basic
+/// sets; disjunctions come from `min`/`max`/negations).
+pub struct SetBuilder {
+    n_dim: usize,
+    env: HashMap<u32, (usize, i64)>,
+    parts: Vec<BasicSet>,
+}
+
+impl SetBuilder {
+    /// A builder over `n_dim` dimensions. `vars` maps expression
+    /// variables to dimensions: `(var id, dim index, extent)`; each
+    /// listed dimension gets the box bound `0 ≤ dim < extent`.
+    #[must_use]
+    pub fn new(n_dim: usize, vars: &[(u32, usize, i64)]) -> Self {
+        let mut bs = BasicSet::universe(n_dim);
+        let mut env = HashMap::new();
+        for &(id, dim, extent) in vars {
+            env.insert(id, (dim, extent));
+            bs.bound(dim, 0, Coeff::from(extent));
+        }
+        SetBuilder {
+            n_dim,
+            env,
+            parts: vec![bs],
+        }
+    }
+
+    /// Replaces the variable→dimension mapping without touching the
+    /// accumulated constraints. Used for "two copies of the same loop
+    /// nest" queries (race detection): pin expressions once per copy
+    /// with different target dimensions.
+    pub fn set_env(&mut self, vars: &[(u32, usize, i64)]) {
+        self.env = vars.iter().map(|&(id, d, e)| (id, (d, e))).collect();
+    }
+
+    /// Adds the box bound `0 ≤ dim < extent` to every current context
+    /// (for dimensions not covered by the constructor's `vars`).
+    pub fn bound_dim(&mut self, dim: usize, extent: i64) {
+        for bs in &mut self.parts {
+            bs.bound(dim, 0, Coeff::from(extent));
+        }
+    }
+
+    /// Constrains `dim == e`. Returns `false` if the expression falls
+    /// outside the supported quasi-affine fragment (caller should fall
+    /// back to conservative analysis).
+    #[must_use]
+    pub fn pin(&mut self, e: &Expr, dim: usize) -> bool {
+        let parts = std::mem::take(&mut self.parts);
+        let mut next = Vec::new();
+        for bs in parts {
+            let Some(ctxs) = self.build(e, bs) else {
+                return false;
+            };
+            for (mut bs, aff) in ctxs {
+                if push_row(&mut bs, &[(1, &aff)], &[(dim, -1)], 0, true).is_none() {
+                    return false;
+                }
+                next.push(bs);
+            }
+        }
+        if next.len() > MAX_CTXS {
+            return false;
+        }
+        self.parts = next;
+        true
+    }
+
+    /// Conjoins a condition (or its negation). Returns `false` when
+    /// unsupported.
+    #[must_use]
+    pub fn add_cond(&mut self, c: &Cond, negate: bool) -> bool {
+        match (c, negate) {
+            (Cond::And(l, r), false) => self.add_cond(l, false) && self.add_cond(r, false),
+            (Cond::And(l, r), true) => {
+                // ¬(l ∧ r) = ¬l ∨ ¬r: fork the context set.
+                let saved = self.parts.clone();
+                if !self.add_cond(l, true) {
+                    return false;
+                }
+                let left = std::mem::replace(&mut self.parts, saved);
+                if !self.add_cond(r, true) {
+                    return false;
+                }
+                self.parts.extend(left);
+                self.parts.len() <= MAX_CTXS
+            }
+            // a ≥ b  ⇔  a − b ≥ 0; ¬(a < b) is the same. The negation
+            // (and a < b itself) is the strict reverse: b − a − 1 ≥ 0.
+            (Cond::Ge(a, b), false) | (Cond::Lt(a, b), true) => self.constrain_ge(a, b),
+            (Cond::Ge(a, b), true) | (Cond::Lt(a, b), false) => self.constrain_ge_strict(b, a),
+            (Cond::Eq(a, b), false) => self.constrain_eq(a, b),
+            (Cond::Eq(a, b), true) => {
+                let saved = self.parts.clone();
+                if !self.constrain_ge_strict(a, b) {
+                    return false;
+                }
+                let gt = std::mem::replace(&mut self.parts, saved);
+                if !self.constrain_ge_strict(b, a) {
+                    return false;
+                }
+                self.parts.extend(gt);
+                self.parts.len() <= MAX_CTXS
+            }
+        }
+    }
+
+    /// Constrains `dim d1 ≠ dim d2` by forking every context into the
+    /// `d1 > d2` and `d1 < d2` half-spaces. Returns `false` past the
+    /// disjunct cap.
+    #[must_use]
+    pub fn require_dims_differ(&mut self, d1: usize, d2: usize) -> bool {
+        let parts = std::mem::take(&mut self.parts);
+        let mut next = Vec::with_capacity(parts.len() * 2);
+        for bs in parts {
+            let mut gt = bs.clone();
+            gt.add_ge(&[(d1, 1), (d2, -1)], -1);
+            next.push(gt);
+            let mut lt = bs;
+            lt.add_ge(&[(d2, 1), (d1, -1)], -1);
+            next.push(lt);
+        }
+        if next.len() > MAX_CTXS {
+            return false;
+        }
+        self.parts = next;
+        true
+    }
+
+    /// The accumulated union of contexts.
+    #[must_use]
+    pub fn finish(self) -> Set {
+        let mut s = Set::empty(self.n_dim);
+        for p in self.parts {
+            s.push(p);
+        }
+        s
+    }
+
+    fn constrain_pair(&mut self, a: &Expr, b: &Expr, konst: Coeff, equality: bool) -> bool {
+        // Σ: a − b + konst (≥ or =) 0.
+        let parts = std::mem::take(&mut self.parts);
+        let mut next = Vec::new();
+        for bs in parts {
+            let Some(actxs) = self.build(a, bs) else {
+                return false;
+            };
+            for (bs1, aff_a) in actxs {
+                let Some(bctxs) = self.build(b, bs1) else {
+                    return false;
+                };
+                for (mut bs2, aff_b) in bctxs {
+                    if push_row(&mut bs2, &[(1, &aff_a), (-1, &aff_b)], &[], konst, equality)
+                        .is_none()
+                    {
+                        return false;
+                    }
+                    next.push(bs2);
+                }
+            }
+        }
+        if next.len() > MAX_CTXS {
+            return false;
+        }
+        self.parts = next;
+        true
+    }
+
+    fn constrain_ge(&mut self, a: &Expr, b: &Expr) -> bool {
+        self.constrain_pair(a, b, 0, false)
+    }
+
+    /// `a > b`, i.e. `a − b − 1 ≥ 0`.
+    fn constrain_ge_strict(&mut self, a: &Expr, b: &Expr) -> bool {
+        self.constrain_pair(a, b, -1, false)
+    }
+
+    fn constrain_eq(&mut self, a: &Expr, b: &Expr) -> bool {
+        self.constrain_pair(a, b, 0, true)
+    }
+
+    /// Recursive translation: returns, per disjunct, the context set and
+    /// the affine form of `e` in it.
+    fn build(&self, e: &Expr, bs: BasicSet) -> Option<Vec<(BasicSet, Aff)>> {
+        match e {
+            Expr::Const(c) => Some(vec![(bs, Aff::konst(Coeff::from(*c)))]),
+            Expr::Var(v) => {
+                let &(dim, extent) = self.env.get(&v.id())?;
+                Some(vec![(bs, Aff::dim(dim, Coeff::from(extent)))])
+            }
+            Expr::Bin(op, l, r) => {
+                let mut out = Vec::new();
+                for (bs1, a) in self.build(l, bs)? {
+                    for (bs2, b) in self.build(r, bs1.clone())? {
+                        self.combine(*op, &a, &b, bs2, &mut out)?;
+                        if out.len() > MAX_CTXS {
+                            return None;
+                        }
+                    }
+                }
+                Some(out)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn combine(
+        &self,
+        op: BinOp,
+        a: &Aff,
+        b: &Aff,
+        mut bs: BasicSet,
+        out: &mut Vec<(BasicSet, Aff)>,
+    ) -> Option<()> {
+        match op {
+            BinOp::Add => out.push((bs, a.add(b)?)),
+            BinOp::Sub => out.push((bs, a.sub(b)?)),
+            BinOp::Mul => {
+                if let Some(k) = b.is_const() {
+                    out.push((bs, a.scale(k)?));
+                } else if let Some(k) = a.is_const() {
+                    out.push((bs, b.scale(k)?));
+                } else {
+                    let (bit, other) = if a.is_bit() {
+                        (a, b)
+                    } else if b.is_bit() {
+                        (b, a)
+                    } else {
+                        return None; // general bilinear: unsupported
+                    };
+                    // w = bit·other with L ≤ other ≤ U, exactly:
+                    //   L·bit ≤ w ≤ U·bit
+                    //   other − U·(1−bit) ≤ w ≤ other − L·(1−bit)
+                    let (l, u) = (other.lo?, other.hi?);
+                    let w = bs.new_div();
+                    // U·bit − w ≥ 0
+                    push_row(&mut bs, &[(u, bit)], &[(w, -1)], 0, false)?;
+                    // w − L·bit ≥ 0
+                    push_row(&mut bs, &[(l.checked_neg()?, bit)], &[(w, 1)], 0, false)?;
+                    // (other − L + L·bit) − w ≥ 0
+                    push_row(
+                        &mut bs,
+                        &[(1, other), (l, bit)],
+                        &[(w, -1)],
+                        l.checked_neg()?,
+                        false,
+                    )?;
+                    // w − (other − U + U·bit) ≥ 0
+                    push_row(
+                        &mut bs,
+                        &[(-1, other), (u.checked_neg()?, bit)],
+                        &[(w, 1)],
+                        u,
+                        false,
+                    )?;
+                    out.push((bs, Aff::div_var(w, Some(l.min(0)), Some(u.max(0)))));
+                }
+            }
+            BinOp::FloorDiv | BinOp::Mod => {
+                let c = b.is_const()?;
+                if c <= 0 {
+                    return None;
+                }
+                // a = c·q + r, 0 ≤ r < c — the exact Euclidean pair.
+                let q = bs.new_div();
+                let r = bs.new_div();
+                push_row(&mut bs, &[(1, a)], &[(q, -c), (r, -1)], 0, true)?;
+                bs.bound(r, 0, c);
+                let qlo = a.lo.map(|v| v.div_euclid(c));
+                let qhi = a.hi.map(|v| v.div_euclid(c));
+                if op == BinOp::FloorDiv {
+                    out.push((bs, Aff::div_var(q, qlo, qhi)));
+                } else {
+                    // Tighten the remainder when the whole range sits in
+                    // one quotient block.
+                    let (rlo, rhi) = match (a.lo, a.hi, qlo, qhi) {
+                        (Some(l), Some(h), Some(ql), Some(qh)) if ql == qh => {
+                            (l - c * ql, h - c * ql)
+                        }
+                        _ => (0, c - 1),
+                    };
+                    out.push((bs, Aff::div_var(r, Some(rlo), Some(rhi))));
+                }
+            }
+            BinOp::Min => {
+                // Branch 1: a ≤ b, result a; branch 2: b < a, result b.
+                let mut le = bs.clone();
+                push_row(&mut le, &[(1, b), (-1, a)], &[], 0, false)?;
+                let mut aa = a.clone();
+                aa.hi = rmin(a.hi, b.hi);
+                out.push((le, aa));
+                push_row(&mut bs, &[(1, a), (-1, b)], &[], -1, false)?;
+                let mut bb = b.clone();
+                bb.hi = rmin(a.hi, b.hi);
+                out.push((bs, bb));
+            }
+            BinOp::Max => {
+                let mut ge = bs.clone();
+                push_row(&mut ge, &[(1, a), (-1, b)], &[], 0, false)?;
+                let mut aa = a.clone();
+                aa.lo = rmax(a.lo, b.lo);
+                out.push((ge, aa));
+                push_row(&mut bs, &[(1, b), (-1, a)], &[], -1, false)?;
+                let mut bb = b.clone();
+                bb.lo = rmax(a.lo, b.lo);
+                out.push((bs, bb));
+            }
+        }
+        Some(())
+    }
+}
+
+/// The logical→physical relation of one primitive applied at
+/// `shape_before`: `{ x → y : y = rewrite(prim, x), 0 ≤ x < shape }`.
+///
+/// For the one-to-many `unfold` this is the *canonical placement*
+/// function (the slot `rewrite_access` picks with no window pattern),
+/// matching what consumers are actually lowered against. Returns `None`
+/// when the rewrite falls outside the supported quasi-affine fragment.
+#[must_use]
+pub fn prim_relation(prim: &LayoutPrim, shape_before: &[i64]) -> Option<Relation> {
+    let n_in = shape_before.len();
+    let mut gen = VarGen::new();
+    let vars: Vec<alt_tensor::expr::Var> = (0..n_in).map(|k| gen.fresh(&format!("x{k}"))).collect();
+    let exprs: Vec<Expr> = vars.iter().map(Expr::v).collect();
+    let outs = rewrite_forward(prim, shape_before, &exprs, &VarExtents::new());
+    let n_out = outs.len();
+    let env: Vec<(u32, usize, i64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(k, v)| (v.id(), k, shape_before[k]))
+        .collect();
+    let mut builder = SetBuilder::new(n_in + n_out, &env);
+    for (j, e) in outs.iter().enumerate() {
+        if !builder.pin(e, n_in + j) {
+            return None;
+        }
+    }
+    Some(Relation::from_set(n_in, n_out, builder.finish()))
+}
+
+impl Layout {
+    /// The exact logical→physical relation of the whole primitive chain
+    /// (composition of [`prim_relation`]s), with the logical box as its
+    /// domain. `None` when any link is unsupported or composition
+    /// exceeds the disjunct cap.
+    #[must_use]
+    pub fn to_relation(&self) -> Option<Relation> {
+        let dims = self.logical_shape().dims();
+        let mut rel: Option<Relation> = None;
+        let mut shape: &[i64] = dims;
+        let mut shapes_iter = self.shape_chain().iter();
+        let _ = shapes_iter.next(); // skip logical shape
+        for prim in self.prims() {
+            let link = prim_relation(prim, shape)?;
+            rel = Some(match rel {
+                None => link,
+                Some(r) => r.compose(&link)?,
+            });
+            shape = shapes_iter.next()?;
+        }
+        match rel {
+            Some(r) => Some(r),
+            None => {
+                // Identity layout: identity relation on the logical box.
+                let mut bs = BasicSet::universe(2 * dims.len());
+                for (k, &d) in dims.iter().enumerate() {
+                    bs.bound(k, 0, Coeff::from(d));
+                    bs.add_eq(&[(k, 1), (dims.len() + k, -1)], 0);
+                }
+                Some(Relation::from_set(
+                    dims.len(),
+                    dims.len(),
+                    Set::from_basic(bs),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use alt_isl::{BasicSet, Coeff, Set, Verdict};
+    use alt_tensor::shape::Shape;
+
+    use crate::primitives::{Layout, LayoutPrim};
+
+    /// Enumerates every logical point of `layout` and checks the relation
+    /// maps each singleton to exactly the physical point the expression
+    /// rewriter produces.
+    fn assert_relation_matches_rewrites(layout: &Layout) {
+        let rel = layout.to_relation().expect("relation should build");
+        let dims = layout.logical_shape().dims().to_vec();
+        let total: i64 = dims.iter().product();
+        for lin in 0..total {
+            let mut rem = lin;
+            let mut idx = vec![0i64; dims.len()];
+            for k in (0..dims.len()).rev() {
+                idx[k] = rem % dims[k];
+                rem /= dims[k];
+            }
+            let expected = layout.logical_to_physical(&idx).unwrap();
+            let mut point = BasicSet::universe(dims.len());
+            for (k, &v) in idx.iter().enumerate() {
+                point.fix(k, Coeff::from(v));
+            }
+            let image = rel.apply(&Set::from_basic(point)).expect("apply");
+            let got = image.sample().expect("image should be a single point");
+            assert_eq!(got, expected, "logical {idx:?}");
+            // And nothing else is in the image: per coordinate, excluding
+            // the expected value must leave the image empty.
+            for (j, &e) in expected.iter().enumerate() {
+                let mut not_e = image.clone();
+                let mut above = BasicSet::universe(expected.len());
+                above.add_ge(&[(j, 1)], -Coeff::from(e) - 1); // y_j > e
+                let mut below = BasicSet::universe(expected.len());
+                below.add_ge(&[(j, -1)], Coeff::from(e) - 1); // y_j < e
+                let mut differs = Set::empty(expected.len());
+                differs.push(above);
+                differs.push(below);
+                not_e = not_e.intersect(&differs).expect("intersect");
+                assert_eq!(
+                    not_e.is_empty(),
+                    Verdict::Yes,
+                    "image of {idx:?} has a point with y[{j}] != {e}"
+                );
+            }
+        }
+    }
+
+    /// Exhaustive polarity check of `add_cond` against direct evaluation:
+    /// for every condition shape, the encoded set over `0 ≤ k < 8` must
+    /// contain exactly the points where the condition (or its negation)
+    /// holds — including through a `min`-clamped quasi-affine index, the
+    /// shape `unfold` lowering produces.
+    #[test]
+    fn add_cond_matches_direct_evaluation() {
+        use alt_tensor::expr::{Env, Expr, VarGen};
+        use alt_tensor::op::Cond;
+
+        use crate::relation::SetBuilder;
+
+        let mut g = VarGen::new();
+        let k = g.fresh("k");
+        // idx = k − 3·min(k/3, 2): the unfold canonical placement.
+        let idx = Expr::v(&k).sub(&Expr::v(&k).div_c(3).min_e(&Expr::c(2)).mul_c(3));
+        let conds: Vec<Cond> = vec![
+            Cond::Lt(idx.clone(), Expr::c(0)),
+            Cond::Ge(idx.clone(), Expr::c(4)),
+            Cond::Lt(Expr::v(&k), Expr::c(3)),
+            Cond::Ge(Expr::v(&k), Expr::c(6)),
+            Cond::Eq(idx.clone(), Expr::c(1)),
+            Cond::Lt(Expr::v(&k), Expr::c(5)).and(Cond::Ge(idx.clone(), Expr::c(1))),
+        ];
+        for c in &conds {
+            for negate in [false, true] {
+                let mut b = SetBuilder::new(1, &[(k.id(), 0, 8)]);
+                assert!(b.add_cond(c, negate), "encodable: {c:?}");
+                let set = b.finish();
+                for v in 0..8i64 {
+                    let mut env = Env::new();
+                    env.bind(&k, v);
+                    let holds = c.eval(&env) != negate;
+                    let mut point = BasicSet::universe(1);
+                    point.fix(0, Coeff::from(v));
+                    let hit = set.intersect(&Set::from_basic(point)).unwrap().is_empty();
+                    assert_eq!(
+                        hit,
+                        if holds { Verdict::No } else { Verdict::Yes },
+                        "cond {c:?} negate={negate} at k={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_reorder_chain_is_exact() {
+        let layout = Layout::identity(Shape::new(vec![4, 6]))
+            .with(LayoutPrim::Split {
+                dim: 1,
+                factors: vec![2, 3],
+            })
+            .unwrap()
+            .with(LayoutPrim::Reorder {
+                perm: vec![1, 0, 2],
+            })
+            .unwrap();
+        assert_relation_matches_rewrites(&layout);
+    }
+
+    #[test]
+    fn fuse_and_pad_are_exact() {
+        let layout = Layout::identity(Shape::new(vec![3, 4]))
+            .with(LayoutPrim::Pad {
+                dim: 1,
+                before: 1,
+                after: 2,
+            })
+            .unwrap()
+            .with(LayoutPrim::Fuse { start: 0, count: 2 })
+            .unwrap();
+        assert_relation_matches_rewrites(&layout);
+    }
+
+    #[test]
+    fn swizzle_relation_is_exact() {
+        let layout = Layout::identity(Shape::new(vec![4, 8]))
+            .with(LayoutPrim::Swizzle {
+                dim: 1,
+                src: 0,
+                bits: 2,
+            })
+            .unwrap();
+        assert_relation_matches_rewrites(&layout);
+    }
+
+    #[test]
+    fn morton_relation_is_exact() {
+        let layout = Layout::identity(Shape::new(vec![4, 4]))
+            .with(LayoutPrim::Morton { dim: 0 })
+            .unwrap();
+        assert_relation_matches_rewrites(&layout);
+    }
+
+    #[test]
+    fn block_diag_relation_is_exact() {
+        let layout = Layout::identity(Shape::new(vec![3, 5]))
+            .with(LayoutPrim::BlockDiag {
+                dim: 1,
+                src: 0,
+                block: 2,
+            })
+            .unwrap();
+        assert_relation_matches_rewrites(&layout);
+    }
+
+    #[test]
+    fn identity_layout_relation_is_identity_on_box() {
+        let layout = Layout::identity(Shape::new(vec![2, 3]));
+        assert_relation_matches_rewrites(&layout);
+        let rel = layout.to_relation().unwrap();
+        // (1, 2) -> (1, 2) is in; (1, 2) -> (2, 2) is not.
+        let mut inside = BasicSet::universe(4);
+        for (k, v) in [1i64, 2, 1, 2].into_iter().enumerate() {
+            inside.fix(k, Coeff::from(v));
+        }
+        let graph = rel.as_set();
+        assert_eq!(
+            graph
+                .intersect(&Set::from_basic(inside))
+                .unwrap()
+                .is_empty(),
+            Verdict::No
+        );
+        let mut outside = BasicSet::universe(4);
+        for (k, v) in [1i64, 2, 2, 2].into_iter().enumerate() {
+            outside.fix(k, Coeff::from(v));
+        }
+        assert_eq!(
+            graph
+                .intersect(&Set::from_basic(outside))
+                .unwrap()
+                .is_empty(),
+            Verdict::Yes
+        );
+    }
+}

@@ -59,25 +59,38 @@ impl Interval {
         self.is_empty() || (self.lo >= 0 && self.hi < extent)
     }
 
-    fn add(&self, o: &Interval) -> Interval {
-        Interval::new(self.lo.saturating_add(o.lo), self.hi.saturating_add(o.hi))
+    // Endpoint arithmetic must be exact: a saturated endpoint silently
+    // narrows the interval (e.g. `i64::MAX + 1` clamping back to
+    // `i64::MAX`, then a later subtraction "un-saturating" into a finite
+    // — and wrong — bound that downstream `within` checks would trust).
+    // Any overflowing corner therefore yields `None` ("cannot bound"),
+    // which callers already treat as unknown.
+
+    fn add(&self, o: &Interval) -> Option<Interval> {
+        Some(Interval::new(
+            self.lo.checked_add(o.lo)?,
+            self.hi.checked_add(o.hi)?,
+        ))
     }
 
-    fn sub(&self, o: &Interval) -> Interval {
-        Interval::new(self.lo.saturating_sub(o.hi), self.hi.saturating_sub(o.lo))
+    fn sub(&self, o: &Interval) -> Option<Interval> {
+        Some(Interval::new(
+            self.lo.checked_sub(o.hi)?,
+            self.hi.checked_sub(o.lo)?,
+        ))
     }
 
-    fn mul(&self, o: &Interval) -> Interval {
+    fn mul(&self, o: &Interval) -> Option<Interval> {
         let corners = [
-            self.lo.saturating_mul(o.lo),
-            self.lo.saturating_mul(o.hi),
-            self.hi.saturating_mul(o.lo),
-            self.hi.saturating_mul(o.hi),
+            self.lo.checked_mul(o.lo)?,
+            self.lo.checked_mul(o.hi)?,
+            self.hi.checked_mul(o.lo)?,
+            self.hi.checked_mul(o.hi)?,
         ];
-        Interval::new(
+        Some(Interval::new(
             corners.iter().copied().min().unwrap_or(0),
             corners.iter().copied().max().unwrap_or(0),
-        )
+        ))
     }
 }
 
@@ -100,9 +113,9 @@ pub fn eval(e: &Expr, env: &HashMap<u32, i64>, refine: &Refinements) -> Option<I
                 Interval::empty()
             } else {
                 match op {
-                    BinOp::Add => ia.add(&ib),
-                    BinOp::Sub => ia.sub(&ib),
-                    BinOp::Mul => ia.mul(&ib),
+                    BinOp::Add => ia.add(&ib)?,
+                    BinOp::Sub => ia.sub(&ib)?,
+                    BinOp::Mul => ia.mul(&ib)?,
                     BinOp::FloorDiv => {
                         // Precise only for a constant positive divisor
                         // (the only divisor layout rewriting produces).
@@ -253,6 +266,35 @@ mod tests {
         let mut map = Refinements::new();
         refine_from_negation(&cond, &env, &mut map);
         assert_eq!(eval(&e, &env, &map), Some(Interval::new(4, 9)));
+    }
+
+    #[test]
+    fn overflowing_endpoints_are_unknown_not_saturated() {
+        let mut g = VarGen::new();
+        let i = g.fresh("i");
+        let env: HashMap<u32, i64> = [(i.id(), 8)].into();
+        let none = Refinements::new();
+        // (i + i64::MAX) + 1 used to saturate both endpoints to i64::MAX
+        // and later arithmetic could "un-saturate" into a finite wrong
+        // bound. Any overflowing corner must now surface as `None`.
+        let big = Expr::v(&i).add(&Expr::c(i64::MAX));
+        assert_eq!(eval(&big.add(&Expr::c(1)), &env, &none), None);
+        // The regression shape: saturate up, subtract back down. The old
+        // code returned the narrowed (wrong) interval for the chain; it
+        // must be unknown. (Raw nodes: the smart constructors fold
+        // const-const arithmetic eagerly.)
+        let wrapped = Expr::Bin(
+            BinOp::Sub,
+            Expr::Bin(BinOp::Add, Expr::c(i64::MAX).into(), Expr::c(1).into()).into(),
+            Expr::c(1).into(),
+        );
+        assert_eq!(eval(&wrapped, &env, &none), None);
+        // Multiplication overflow too.
+        let prod = Expr::v(&i).add(&Expr::c(i64::MAX / 2)).mul_c(3);
+        assert_eq!(eval(&prod, &env, &none), None);
+        // Sanity: ordinary arithmetic is unaffected.
+        let fine = Expr::v(&i).mul_c(4).add(&Expr::c(-3));
+        assert_eq!(eval(&fine, &env, &none), Some(Interval::new(-3, 25)));
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub fn code_for(e: &LayoutError) -> &'static str {
         LayoutError::BadFuseRange { .. } => codes::V011_FUSE_BAD_RANGE,
         LayoutError::BadUnfold { .. } => codes::V012_UNFOLD_BAD_FACTORS,
         LayoutError::BadPad => codes::V015_NEGATIVE_PAD,
+        LayoutError::BadSwizzle { .. } => codes::V017_SWIZZLE_INVALID,
+        LayoutError::BadMorton { .. } => codes::V018_MORTON_INVALID,
+        LayoutError::BadBlockDiag { .. } => codes::V019_BLOCKDIAG_INVALID,
         _ => codes::V014_PROPAGATION_MISMATCH,
     }
 }
@@ -39,23 +42,23 @@ fn check_layout(
     diags: &mut Vec<Diagnostic>,
 ) {
     if layout.logical_shape() != tensor_shape {
-        diags.push(Diagnostic {
-            code: codes::V014_PROPAGATION_MISMATCH,
-            group: what.to_string(),
-            detail: format!(
+        diags.push(Diagnostic::new(
+            codes::V014_PROPAGATION_MISMATCH,
+            what,
+            format!(
                 "layout logical shape {} does not match tensor shape {}",
                 layout.logical_shape(),
                 tensor_shape
             ),
-        });
+        ));
         return;
     }
     if let Err(e) = layout.revalidate() {
-        diags.push(Diagnostic {
-            code: code_for(&e),
-            group: what.to_string(),
-            detail: format!("illegal primitive chain: {e}"),
-        });
+        diags.push(Diagnostic::new(
+            code_for(&e),
+            what,
+            format!("illegal primitive chain: {e}"),
+        ));
     }
 }
 
@@ -77,14 +80,14 @@ pub fn check_plan(graph: &Graph, plan: &LayoutPlan) -> Vec<Diagnostic> {
         let info = graph.tensor(conv.tensor);
         let what = format!("conversion of `{}`", info.name);
         if !info.consumers.contains(&conv.consumer) {
-            diags.push(Diagnostic {
-                code: codes::V014_PROPAGATION_MISMATCH,
-                group: what.clone(),
-                detail: format!(
+            diags.push(Diagnostic::new(
+                codes::V014_PROPAGATION_MISMATCH,
+                what.clone(),
+                format!(
                     "conversion targets op {:?}, which does not read `{}`",
                     conv.consumer, info.name
                 ),
-            });
+            ));
         }
         check_layout(&what, &conv.layout, &info.shape, &mut diags);
     }
@@ -94,11 +97,11 @@ pub fn check_plan(graph: &Graph, plan: &LayoutPlan) -> Vec<Diagnostic> {
         let hi = graph.tensor(host);
         let what = format!("store_at `{}` in `{}`", gi.name, hi.name);
         let mut bad = |detail: String| {
-            diags.push(Diagnostic {
-                code: codes::V014_PROPAGATION_MISMATCH,
-                group: what.clone(),
+            diags.push(Diagnostic::new(
+                codes::V014_PROPAGATION_MISMATCH,
+                what.clone(),
                 detail,
-            });
+            ));
         };
         if gi.kind != TensorKind::Param || hi.kind != TensorKind::Param {
             bad("store_at requires parameter tensors on both sides".into());

@@ -32,6 +32,7 @@
 pub mod interval;
 pub mod legality;
 pub mod race;
+pub mod sets;
 pub mod wellformed;
 
 use alt_error::AltError;
@@ -40,6 +41,7 @@ use alt_loopir::Program;
 use alt_tensor::Graph;
 
 pub use legality::code_for;
+pub use sets::VerifyStats;
 
 /// One static-verification finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,6 +53,11 @@ pub struct Diagnostic {
     pub group: String,
     /// Human-readable description.
     pub detail: String,
+    /// Concrete counterexample from the set engine: a loop-index
+    /// assignment demonstrating the violation (`altc verify --explain`
+    /// prints it). `None` when the finding comes from the interval pass
+    /// alone or witness sampling ran out of budget.
+    pub witness: Option<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -60,6 +67,23 @@ impl std::fmt::Display for Diagnostic {
 }
 
 impl Diagnostic {
+    /// A finding without a witness.
+    pub fn new(code: &'static str, group: impl Into<String>, detail: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            group: group.into(),
+            detail: detail.into(),
+            witness: None,
+        }
+    }
+
+    /// Attaches a counterexample witness.
+    #[must_use]
+    pub fn with_witness(mut self, witness: Option<String>) -> Self {
+        self.witness = witness;
+        self
+    }
+
     /// Converts the finding into a typed error.
     pub fn to_error(&self) -> AltError {
         AltError::Verify {
@@ -85,10 +109,23 @@ pub fn verify_plan(graph: &Graph, plan: &LayoutPlan) -> Vec<Diagnostic> {
 /// under: plan legality, IR well-formedness and race freedom. Returns
 /// all findings, deterministically ordered.
 pub fn verify_program(graph: &Graph, plan: &LayoutPlan, program: &Program) -> Vec<Diagnostic> {
+    verify_program_with_stats(graph, plan, program).0
+}
+
+/// [`verify_program`] plus the set-engine counters of the run (queries
+/// issued, microseconds spent, interval rejections recovered).
+pub fn verify_program_with_stats(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    program: &Program,
+) -> (Vec<Diagnostic>, VerifyStats) {
+    let mut stats = VerifyStats::default();
     let mut diags = legality::check_plan(graph, plan);
-    diags.extend(wellformed::check_program(graph, plan, program));
-    diags.extend(race::check_program(program));
-    sorted(diags)
+    diags.extend(wellformed::check_program_with_stats(
+        graph, plan, program, &mut stats,
+    ));
+    diags.extend(race::check_program_with_stats(program, &mut stats));
+    (sorted(diags), stats)
 }
 
 /// [`verify_program`] as a `Result`: `Err` carries the first (smallest

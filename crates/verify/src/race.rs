@@ -16,21 +16,26 @@
 //!   flattening, for which distinct iterations provably touch disjoint
 //!   slots, so these are accepted.
 //!
-//! Index expressions that do not flatten to a linear form (floor
-//! division or modulo whose residual range spans a quotient boundary,
-//! min/max, variable divisors) are skipped — a Banerjee-style give-up.
-//! Giving up *accepts*, which is the right polarity here: the
-//! accept-implies-bit-exact property is checked against a sequential
-//! interpreter, while the seeded-illegal suite pins down the cases this
-//! pass must reject.
+//! The linear screen is backed by the exact two-copy integer-set query
+//! in [`crate::sets`]: a zero coefficient is re-checked before flagging
+//! (a statement predicate can confine the store to a single iteration —
+//! the set proof recovers the rejection), and expressions that do not
+//! flatten to a linear form (floor division or modulo whose residual
+//! range spans a quotient boundary, min/max) are handed to the set
+//! engine instead of being skipped — a *proved* collision rejects with
+//! a concrete witness pair, while an out-of-fragment or over-budget
+//! query keeps the old accepting polarity (the accept-implies-bit-exact
+//! property is checked against a sequential interpreter, and the
+//! seeded-illegal suite pins down the cases this pass must reject).
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 use alt_error::codes;
 use alt_loopir::{LoopKind, Program, StoreMode, TirNode};
-use alt_tensor::expr::{BinOp, Expr};
+use alt_tensor::expr::{BinOp, Expr, Var};
 
+use crate::sets::{self, RaceQuery, SetVerdict, VerifyStats};
 use crate::Diagnostic;
 
 /// A linear form `c0 + Σ coeff_v · v` over loop variables.
@@ -159,7 +164,11 @@ struct RaceWalker<'a> {
     group: String,
     /// All live bindings, id -> extent (needed for residual ranges).
     env: HashMap<u32, i64>,
+    /// The same bindings in nesting order, with the `Var` objects the
+    /// set queries and witness formatting need.
+    scope: Vec<(Var, i64)>,
     diags: Vec<Diagnostic>,
+    stats: VerifyStats,
 }
 
 impl RaceWalker<'_> {
@@ -175,6 +184,7 @@ impl RaceWalker<'_> {
                 let fresh = !self.env.contains_key(&var.id());
                 if fresh {
                     self.env.insert(var.id(), (*extent).max(1));
+                    self.scope.push((var.clone(), (*extent).max(1)));
                 }
                 if matches!(kind, LoopKind::Parallel | LoopKind::Vectorized) && *extent > 1 {
                     let tag = if *kind == LoopKind::Parallel {
@@ -182,20 +192,74 @@ impl RaceWalker<'_> {
                     } else {
                         "@vec"
                     };
-                    self.check_par_loop(var.id(), tag, body);
+                    self.check_par_loop(var, tag, body);
                 }
                 self.walk(body);
                 if fresh {
                     self.env.remove(&var.id());
+                    self.scope.pop();
                 }
             }
         }
     }
 
+    /// Exact two-copy collision query for one store under `par`.
+    /// `inner_ext` holds extents of variables bound inside the parallel
+    /// body.
+    fn race_query(
+        &mut self,
+        par: &Var,
+        s: &alt_loopir::Stmt,
+        inner_ext: &HashMap<u32, i64>,
+    ) -> SetVerdict {
+        let mut used = Vec::new();
+        for i in &s.indices {
+            i.collect_vars(&mut used);
+        }
+        if let Some(p) = &s.pred {
+            sets::cond_vars(p, &mut used);
+        }
+        used.sort_by_key(Var::id);
+        used.dedup_by_key(|v| v.id());
+
+        let mut outer = Vec::new();
+        let mut inner = Vec::new();
+        for v in used {
+            if v.id() == par.id() {
+                // The parallel variable is passed separately.
+            } else if let Some((_, e)) = self.scope.iter().find(|(sv, _)| sv.id() == v.id()) {
+                let e = *e;
+                outer.push((v, e));
+            } else if let Some(&e) = inner_ext.get(&v.id()) {
+                inner.push((v, e));
+            } else {
+                return SetVerdict::Unknown; // unbound: pass 1's problem
+            }
+        }
+        let par_extent = self.env.get(&par.id()).copied().unwrap_or(2);
+        let rq = RaceQuery {
+            outer: &outer,
+            par: (par, par_extent),
+            inner: &inner,
+            indices: &s.indices,
+            // A predicated plain assignment still writes (0.0) when the
+            // predicate is false, so the predicate cannot be assumed for
+            // it; accumulating stores skip entirely and may assume it.
+            pred: if s.mode == StoreMode::Assign {
+                None
+            } else {
+                s.pred.as_ref()
+            },
+        };
+        sets::check_par_store(&rq, &mut self.stats)
+    }
+
     /// Checks every write under one parallel loop against its variable.
-    fn check_par_loop(&mut self, par: u32, tag: &str, body: &[TirNode]) {
+    fn check_par_loop(&mut self, par: &Var, tag: &str, body: &[TirNode]) {
         let mut stmts = Vec::new();
         collect_stmts(body, &mut stmts);
+        let mut inner_ext = HashMap::new();
+        collect_loop_extents(body, &mut inner_ext);
         for s in stmts {
             // Flattened store offset under the destination's row-major
             // strides.
@@ -216,13 +280,6 @@ impl RaceWalker<'_> {
                 }
                 stride = stride.saturating_mul(decl.shape.dim(k).max(1));
             }
-            if !ok {
-                continue; // give up: accept
-            }
-            let coeff = offset.terms.get(&par).copied().unwrap_or(0);
-            if coeff != 0 {
-                continue; // footprint moves with every iteration
-            }
             let (code, why) = match s.mode {
                 StoreMode::AddAcc | StoreMode::MaxAcc => (
                     codes::V010_PAR_REDUCTION,
@@ -235,11 +292,49 @@ impl RaceWalker<'_> {
                      (loop-carried output dependence)",
                 ),
             };
-            self.diags.push(Diagnostic {
-                code,
-                group: self.group.clone(),
-                detail: format!("{tag} loop: store to `{}` {why}", decl.name),
-            });
+            if !ok {
+                // The linear screen gave up (it used to accept here). A
+                // *proved* collision still rejects, with a witness pair;
+                // anything less keeps the accepting polarity.
+                if let SetVerdict::Violated { witness } = self.race_query(par, s, &inner_ext) {
+                    self.diags.push(
+                        Diagnostic::new(
+                            code,
+                            self.group.clone(),
+                            format!(
+                                "{tag} loop: two iterations store to the same slot of `{}`",
+                                decl.name
+                            ),
+                        )
+                        .with_witness(witness),
+                    );
+                }
+                continue;
+            }
+            let coeff = offset.terms.get(&par.id()).copied().unwrap_or(0);
+            if coeff != 0 {
+                continue; // footprint moves with every iteration
+            }
+            // The linear screen says every iteration hits one slot.
+            // Re-check exactly: a statement predicate can confine the
+            // store to a single parallel iteration.
+            let (witness, proven_safe) = match self.race_query(par, s, &inner_ext) {
+                SetVerdict::Proven => (None, true),
+                SetVerdict::Violated { witness } => (witness, false),
+                SetVerdict::Unknown => (None, false),
+            };
+            if proven_safe {
+                self.stats.conservative_recovered += 1;
+                continue;
+            }
+            self.diags.push(
+                Diagnostic::new(
+                    code,
+                    self.group.clone(),
+                    format!("{tag} loop: store to `{}` {why}", decl.name),
+                )
+                .with_witness(witness),
+            );
         }
     }
 }
@@ -253,18 +348,41 @@ fn collect_stmts<'a>(nodes: &'a [TirNode], out: &mut Vec<&'a alt_loopir::Stmt>) 
     }
 }
 
+/// Extents of every loop variable bound below a node list (first
+/// binding wins; rebinding is pass 1's problem).
+fn collect_loop_extents(nodes: &[TirNode], out: &mut HashMap<u32, i64>) {
+    for n in nodes {
+        if let TirNode::Loop {
+            var, extent, body, ..
+        } = n
+        {
+            out.entry(var.id()).or_insert((*extent).max(1));
+            collect_loop_extents(body, out);
+        }
+    }
+}
+
 /// Runs the race-detection pass over every lowered group.
 pub fn check_program(program: &Program) -> Vec<Diagnostic> {
+    let mut stats = VerifyStats::default();
+    check_program_with_stats(program, &mut stats)
+}
+
+/// [`check_program`], folding set-engine counters into `stats`.
+pub fn check_program_with_stats(program: &Program, stats: &mut VerifyStats) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for group in &program.groups {
         let mut w = RaceWalker {
             program,
             group: group.label.clone(),
             env: HashMap::new(),
+            scope: Vec::new(),
             diags: Vec::new(),
+            stats: VerifyStats::default(),
         };
         w.walk(&group.nodes);
         diags.extend(w.diags);
+        stats.absorb(&w.stats);
     }
     diags
 }

@@ -1,0 +1,354 @@
+//! Exact legality queries over integer sets.
+//!
+//! The interval pass is fast but loses correlation (a variable occurring
+//! twice, floor division straddling a quotient boundary, predicates it
+//! cannot fold). This module re-asks the *same* questions as exact
+//! emptiness queries over Presburger sets built with
+//! [`alt_layout::relation::SetBuilder`]:
+//!
+//! * **Bounds** — "can `idx` escape `[0, extent)` for some iteration
+//!   satisfying the statement predicate and enclosing guards?" is the
+//!   emptiness of the violation set
+//!   `{ i⃗ : pred(i⃗) ∧ (idx(i⃗) < 0 ∨ idx(i⃗) ≥ extent) }`.
+//! * **Races** — "do two distinct iterations of a `@par` axis write the
+//!   same slot?" is the emptiness of a two-copy set where outer loop
+//!   variables are shared, the parallel and inner variables are
+//!   duplicated, and every store coordinate is equated across copies.
+//!
+//! A non-empty violation set comes with a sampled *witness* — a concrete
+//! loop-index assignment demonstrating the escape — which `altc verify
+//! --explain` prints. An empty set is proof, and when the interval pass
+//! would have (conservatively) rejected, the verdict is recorded as a
+//! recovered rejection in [`VerifyStats`]. `Unknown` (budget or an
+//! unsupported expression) defers to the interval verdict, preserving
+//! the old behavior exactly.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use alt_isl::Verdict;
+use alt_layout::relation::SetBuilder;
+use alt_tensor::expr::{Env, Expr, Var};
+use alt_tensor::Cond;
+
+/// Counters for set-engine activity during one verification run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Exact emptiness queries issued to the integer-set engine.
+    pub set_queries: u64,
+    /// Total wall-clock microseconds spent inside set-engine queries.
+    pub set_emptiness_us: u64,
+    /// Findings the interval pass would have reported that the set
+    /// engine proved unreachable (conservative rejections recovered).
+    pub conservative_recovered: u64,
+}
+
+impl VerifyStats {
+    /// Folds another run's counters into this one.
+    pub fn absorb(&mut self, o: &VerifyStats) {
+        self.set_queries += o.set_queries;
+        self.set_emptiness_us += o.set_emptiness_us;
+        self.conservative_recovered += o.conservative_recovered;
+    }
+}
+
+/// Outcome of one exact query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetVerdict {
+    /// The violation set is empty: the property holds for every
+    /// iteration.
+    Proven,
+    /// The violation set is non-empty; `witness` is a printable
+    /// counterexample when sampling succeeded within budget.
+    Violated { witness: Option<String> },
+    /// The query fell outside the engine's fragment or budget; the
+    /// caller must keep the interval verdict.
+    Unknown,
+}
+
+/// Context shared by the bounds queries: live loop extents, the
+/// statement predicate (already restricted to the paths where it may be
+/// assumed), and enclosing `Select` guards with their polarity
+/// (`true` = the guard is known false on this path).
+pub struct AccessQuery<'a> {
+    /// Loop-variable extents in scope.
+    pub env: &'a HashMap<u32, i64>,
+    /// Statement validity predicate, when it may be assumed.
+    pub pred: Option<&'a Cond>,
+    /// `Select` guards along the value path: `(cond, negated)`.
+    pub guards: &'a [(Cond, bool)],
+}
+
+/// Distinct variables of the query, ordered by id (deterministic dim
+/// assignment). Returns `None` when a variable has no known extent.
+fn query_vars(idx: &Expr, q: &AccessQuery) -> Option<Vec<(Var, i64)>> {
+    let mut vars = Vec::new();
+    idx.collect_vars(&mut vars);
+    if let Some(p) = q.pred {
+        cond_vars(p, &mut vars);
+    }
+    for (c, _) in q.guards {
+        cond_vars(c, &mut vars);
+    }
+    vars.sort_by_key(Var::id);
+    vars.dedup_by_key(|v| v.id());
+    vars.into_iter()
+        .map(|v| q.env.get(&v.id()).map(|&e| (v, e)))
+        .collect()
+}
+
+pub(crate) fn cond_vars(c: &Cond, out: &mut Vec<Var>) {
+    match c {
+        Cond::Ge(a, b) | Cond::Lt(a, b) | Cond::Eq(a, b) => {
+            a.collect_vars(out);
+            b.collect_vars(out);
+        }
+        Cond::And(a, b) => {
+            cond_vars(a, out);
+            cond_vars(b, out);
+        }
+    }
+}
+
+/// Emptiness of one side of a violation (`viol` conjoined with the
+/// query's predicate and guards). On `Verdict::No`, also returns a
+/// sampled point (var → value), when sampling succeeds.
+fn side(vars: &[(Var, i64)], q: &AccessQuery, viol: &Cond) -> (Verdict, Option<Vec<(Var, i64)>>) {
+    let spec: Vec<(u32, usize, i64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(d, (v, e))| (v.id(), d, *e))
+        .collect();
+    let mut b = SetBuilder::new(vars.len(), &spec);
+    if let Some(p) = q.pred {
+        if !b.add_cond(p, false) {
+            return (Verdict::Unknown, None);
+        }
+    }
+    for (c, negated) in q.guards {
+        if !b.add_cond(c, *negated) {
+            return (Verdict::Unknown, None);
+        }
+    }
+    if !b.add_cond(viol, false) {
+        return (Verdict::Unknown, None);
+    }
+    let set = b.finish();
+    match set.is_empty() {
+        Verdict::No => {
+            let point = set.sample().map(|p| {
+                vars.iter()
+                    .zip(&p)
+                    .map(|((v, _), &val)| (v.clone(), val))
+                    .collect()
+            });
+            (Verdict::No, point)
+        }
+        v => (v, None),
+    }
+}
+
+fn format_point(point: &[(Var, i64)]) -> String {
+    if point.is_empty() {
+        return "(no loop variables)".to_string();
+    }
+    point
+        .iter()
+        .map(|(v, val)| format!("{v}={val}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn eval_at(idx: &Expr, point: &[(Var, i64)]) -> i64 {
+    let mut env = Env::new();
+    for (v, val) in point {
+        env.bind(v, *val);
+    }
+    idx.eval(&env)
+}
+
+/// Can `idx` escape `[0, extent)`? Exact where the builder's fragment
+/// allows; `Unknown` otherwise.
+pub fn check_index_bounds(
+    idx: &Expr,
+    extent: i64,
+    q: &AccessQuery,
+    stats: &mut VerifyStats,
+) -> SetVerdict {
+    check_violation(
+        idx,
+        &[
+            Cond::Lt(idx.clone(), Expr::c(0)),
+            Cond::Ge(idx.clone(), Expr::c(extent)),
+        ],
+        extent,
+        q,
+        stats,
+    )
+}
+
+/// Can `idx` reach `limit` or beyond (the `store_at` reserved slot)?
+pub fn check_index_below(
+    idx: &Expr,
+    limit: i64,
+    q: &AccessQuery,
+    stats: &mut VerifyStats,
+) -> SetVerdict {
+    check_violation(
+        idx,
+        &[Cond::Ge(idx.clone(), Expr::c(limit))],
+        limit,
+        q,
+        stats,
+    )
+}
+
+fn check_violation(
+    idx: &Expr,
+    sides: &[Cond],
+    bound: i64,
+    q: &AccessQuery,
+    stats: &mut VerifyStats,
+) -> SetVerdict {
+    let t0 = Instant::now();
+    stats.set_queries += 1;
+    let verdict = check_violation_inner(idx, sides, bound, q);
+    stats.set_emptiness_us += u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    verdict
+}
+
+fn check_violation_inner(idx: &Expr, sides: &[Cond], bound: i64, q: &AccessQuery) -> SetVerdict {
+    let Some(vars) = query_vars(idx, q) else {
+        return SetVerdict::Unknown;
+    };
+    let mut all_empty = true;
+    for viol in sides {
+        match side(&vars, q, viol) {
+            (Verdict::No, point) => {
+                let witness = point.map(|p| {
+                    let value = eval_at(idx, &p);
+                    format!(
+                        "at {} the index evaluates to {value}, outside [0, {bound})",
+                        format_point(&p)
+                    )
+                });
+                return SetVerdict::Violated { witness };
+            }
+            (Verdict::Yes, _) => {}
+            (Verdict::Unknown, _) => all_empty = false,
+        }
+    }
+    if all_empty {
+        SetVerdict::Proven
+    } else {
+        SetVerdict::Unknown
+    }
+}
+
+/// Two-copy race query for one store under a `@par`/`@vec` loop.
+///
+/// Outer variables (bound outside the parallel loop) are *shared*
+/// between the two copies — both iterations run inside the same
+/// instance of the enclosing nest. The parallel variable and variables
+/// bound inside the body get independent copies, the parallel copies
+/// are required to differ, and every store coordinate is equated across
+/// copies via an auxiliary pinned dimension.
+pub struct RaceQuery<'a> {
+    /// Variables bound outside the parallel loop (shared), with extents.
+    pub outer: &'a [(Var, i64)],
+    /// The parallel variable and its extent.
+    pub par: (&'a Var, i64),
+    /// Variables bound inside the parallel body, with extents.
+    pub inner: &'a [(Var, i64)],
+    /// Store coordinates.
+    pub indices: &'a [Expr],
+    /// Statement validity predicate, if any (assumed in both copies —
+    /// an iteration whose predicate is false does not store).
+    pub pred: Option<&'a Cond>,
+}
+
+/// Is there a pair of distinct parallel iterations writing the same
+/// slot? `Proven` = race-free, `Violated` = a concrete colliding pair
+/// exists.
+pub fn check_par_store(rq: &RaceQuery<'_>, stats: &mut VerifyStats) -> SetVerdict {
+    let t0 = Instant::now();
+    stats.set_queries += 1;
+    let verdict = check_par_store_inner(rq);
+    stats.set_emptiness_us += u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    verdict
+}
+
+fn check_par_store_inner(rq: &RaceQuery<'_>) -> SetVerdict {
+    let o = rq.outer.len();
+    let i = rq.inner.len();
+    let rank = rq.indices.len();
+    // Dims: [outer(shared)..., par₁, par₂, inner₁..., inner₂..., aux...].
+    let (par1, par2) = (o, o + 1);
+    let inner1 = o + 2;
+    let inner2 = inner1 + i;
+    let aux = inner2 + i;
+    let n_dim = aux + rank;
+
+    let env_for = |par_dim: usize, inner_base: usize| -> Vec<(u32, usize, i64)> {
+        let mut spec: Vec<(u32, usize, i64)> = rq
+            .outer
+            .iter()
+            .enumerate()
+            .map(|(d, (v, e))| (v.id(), d, *e))
+            .collect();
+        spec.push((rq.par.0.id(), par_dim, rq.par.1));
+        for (k, (v, e)) in rq.inner.iter().enumerate() {
+            spec.push((v.id(), inner_base + k, *e));
+        }
+        spec
+    };
+
+    let copy1 = env_for(par1, inner1);
+    let copy2 = env_for(par2, inner2);
+
+    let mut b = SetBuilder::new(n_dim, &copy1);
+    b.bound_dim(par2, rq.par.1);
+    for (k, (_, e)) in rq.inner.iter().enumerate() {
+        b.bound_dim(inner2 + k, *e);
+    }
+    if !b.require_dims_differ(par1, par2) {
+        return SetVerdict::Unknown;
+    }
+    for copy in [&copy1, &copy2] {
+        b.set_env(copy);
+        if let Some(p) = rq.pred {
+            if !b.add_cond(p, false) {
+                return SetVerdict::Unknown;
+            }
+        }
+        for (k, idx) in rq.indices.iter().enumerate() {
+            if !b.pin(idx, aux + k) {
+                return SetVerdict::Unknown;
+            }
+        }
+    }
+    let set = b.finish();
+    match set.is_empty() {
+        Verdict::Yes => SetVerdict::Proven,
+        Verdict::Unknown => SetVerdict::Unknown,
+        Verdict::No => {
+            let witness = set.sample().map(|p| {
+                let mut parts = Vec::new();
+                parts.push(format!(
+                    "{}={} and {}={}",
+                    rq.par.0, p[par1], rq.par.0, p[par2]
+                ));
+                for (d, (v, _)) in rq.outer.iter().enumerate() {
+                    parts.push(format!("{v}={}", p[d]));
+                }
+                let slot: Vec<String> = (0..rank).map(|k| p[aux + k].to_string()).collect();
+                format!(
+                    "iterations {} collide on slot [{}]",
+                    parts.join(", "),
+                    slot.join(", ")
+                )
+            });
+            SetVerdict::Violated { witness }
+        }
+    }
+}

@@ -17,11 +17,15 @@
 //! cover the access); all other escapes are `V004_OOB_READ` /
 //! `V005_OOB_WRITE`.
 //!
-//! Bounds polarity: an index range entirely outside the extent is always
-//! flagged; a range that merely *straddles* the boundary is flagged only
-//! when interval arithmetic is exact for the expression (affine over
-//! distinct variables), since otherwise the overshoot may be an artifact
-//! of lost correlation and the verifier must not reject legal candidates.
+//! Bounds polarity: the interval pass is a fast pre-filter — a range
+//! fully inside the extent accepts immediately. Anything else (a
+//! definite escape, a straddle, or an unbounded expression) is handed to
+//! the exact integer-set engine ([`crate::sets`]): an empty violation
+//! set *proves* the access safe (recovering rejections interval
+//! arithmetic would have made), a non-empty one rejects with a concrete
+//! witness iteration, and an out-of-fragment query falls back to the
+//! interval verdict — flag a definite escape or an exact straddle
+//! (affine over distinct variables), accept otherwise.
 
 use std::collections::{HashMap, HashSet};
 
@@ -32,6 +36,7 @@ use alt_tensor::expr::{Expr, Var};
 use alt_tensor::{Cond, Graph};
 
 use crate::interval::{self, Interval, Refinements};
+use crate::sets::{self, AccessQuery, SetVerdict, VerifyStats};
 use crate::Diagnostic;
 
 /// Per-buffer facts precomputed from the plan.
@@ -88,6 +93,7 @@ struct Walker<'a> {
     /// Live bindings: variable id -> loop extent.
     env: HashMap<u32, i64>,
     diags: Vec<Diagnostic>,
+    stats: VerifyStats,
 }
 
 /// True when interval arithmetic is exact for `e`: every variable occurs
@@ -153,11 +159,13 @@ fn sexpr_vars(e: &SExpr, out: &mut Vec<Var>) {
 
 impl Walker<'_> {
     fn diag(&mut self, code: &'static str, detail: String) {
-        self.diags.push(Diagnostic {
-            code,
-            group: self.group.clone(),
-            detail,
-        });
+        self.diags
+            .push(Diagnostic::new(code, self.group.clone(), detail));
+    }
+
+    fn diag_witnessed(&mut self, code: &'static str, detail: String, witness: Option<String>) {
+        self.diags
+            .push(Diagnostic::new(code, self.group.clone(), detail).with_witness(witness));
     }
 
     fn walk(&mut self, nodes: &[TirNode]) {
@@ -229,66 +237,109 @@ impl Walker<'_> {
         // invalid slot, so its destination must be in bounds without
         // assuming the predicate; accumulating stores are skipped when
         // the predicate is false and may assume it.
-        let store_map = if s.mode == StoreMode::Assign {
-            &base
+        let (store_map, store_pred) = if s.mode == StoreMode::Assign {
+            (&base, None)
         } else {
-            &pred_map
+            (&pred_map, s.pred.as_ref())
         };
-        self.check_access(s.buf.0, &s.indices, store_map, false);
-        self.check_host_slot(s, store_map);
+        self.check_access(s.buf.0, &s.indices, store_map, false, store_pred, &[]);
+        self.check_host_slot(s, store_map, store_pred);
 
         // The value expression is only evaluated when the predicate
         // holds.
-        self.walk_value(&s.value, &pred_map);
+        let mut guards = Vec::new();
+        self.walk_value(&s.value, &pred_map, s.pred.as_ref(), &mut guards);
     }
 
     /// Flags stores that can touch a `store_at` host's reserved slot.
-    fn check_host_slot(&mut self, s: &Stmt, map: &Refinements) {
+    fn check_host_slot(&mut self, s: &Stmt, map: &Refinements, pred: Option<&Cond>) {
         let Some(&(dim, reserved)) = self.facts.hosts.get(&s.buf.0) else {
             return;
         };
         let Some(idx) = s.indices.get(dim) else {
             return;
         };
-        if let Some(iv) = interval::eval(idx, &self.env, map) {
-            if !iv.is_empty() && iv.hi >= reserved {
-                self.diag(
-                    codes::V006_STORE_AT_CLOBBERED,
-                    format!(
-                        "store to `{}` can reach reserved slot {reserved} of dim {dim} \
-                         (index range [{}, {}])",
-                        self.program.buffer(s.buf).name,
-                        iv.lo,
-                        iv.hi
-                    ),
-                );
+        let iv = interval::eval(idx, &self.env, map);
+        // Fast path: the interval proves the reserved slot untouched.
+        if iv.is_some_and(|iv| iv.is_empty() || iv.hi < reserved) {
+            return;
+        }
+        let interval_flags = iv.is_some();
+        let q = AccessQuery {
+            env: &self.env,
+            pred,
+            guards: &[],
+        };
+        let name = &self.program.buffer(s.buf).name;
+        let detail = |iv: Option<Interval>| match iv {
+            Some(iv) => format!(
+                "store to `{name}` can reach reserved slot {reserved} of dim {dim} \
+                 (index range [{}, {}])",
+                iv.lo, iv.hi
+            ),
+            None => format!("store to `{name}` can reach reserved slot {reserved} of dim {dim}"),
+        };
+        match sets::check_index_below(idx, reserved, &q, &mut self.stats) {
+            SetVerdict::Proven => {
+                if interval_flags {
+                    self.stats.conservative_recovered += 1;
+                }
+            }
+            SetVerdict::Violated { witness } => {
+                self.diag_witnessed(codes::V006_STORE_AT_CLOBBERED, detail(iv), witness);
+            }
+            SetVerdict::Unknown => {
+                if interval_flags {
+                    self.diag(codes::V006_STORE_AT_CLOBBERED, detail(iv));
+                }
             }
         }
     }
 
-    fn walk_value(&mut self, e: &SExpr, map: &Refinements) {
+    fn walk_value(
+        &mut self,
+        e: &SExpr,
+        map: &Refinements,
+        pred: Option<&Cond>,
+        guards: &mut Vec<(Cond, bool)>,
+    ) {
         match e {
             SExpr::Imm(_) => {}
-            SExpr::Load { buf, indices } => self.check_access(buf.0, indices, map, true),
-            SExpr::Bin(_, a, b) => {
-                self.walk_value(a, map);
-                self.walk_value(b, map);
+            SExpr::Load { buf, indices } => {
+                self.check_access(buf.0, indices, map, true, pred, guards);
             }
-            SExpr::Unary(_, a) => self.walk_value(a, map),
+            SExpr::Bin(_, a, b) => {
+                self.walk_value(a, map, pred, guards);
+                self.walk_value(b, map, pred, guards);
+            }
+            SExpr::Unary(_, a) => self.walk_value(a, map, pred, guards),
             SExpr::Select { cond, then_, else_ } => {
                 // Only the taken branch evaluates, so each branch may
                 // assume its side of the condition.
                 let mut tm = map.clone();
                 interval::refine_from_cond(cond, &self.env, &mut tm);
-                self.walk_value(then_, &tm);
+                guards.push((cond.clone(), false));
+                self.walk_value(then_, &tm, pred, guards);
+                guards.pop();
                 let mut em = map.clone();
                 interval::refine_from_negation(cond, &self.env, &mut em);
-                self.walk_value(else_, &em);
+                guards.push((cond.clone(), true));
+                self.walk_value(else_, &em, pred, guards);
+                guards.pop();
             }
         }
     }
 
-    fn check_access(&mut self, buf: usize, indices: &[Expr], map: &Refinements, read: bool) {
+    #[allow(clippy::too_many_arguments)]
+    fn check_access(
+        &mut self,
+        buf: usize,
+        indices: &[Expr],
+        map: &Refinements,
+        read: bool,
+        pred: Option<&Cond>,
+        guards: &[(Cond, bool)],
+    ) {
         let decl = &self.program.buffers[buf];
         let (oob_code, what) = if read {
             if self.facts.padded.contains(&buf) {
@@ -313,29 +364,51 @@ impl Walker<'_> {
         }
         for (k, idx) in indices.iter().enumerate() {
             let extent = decl.shape.dim(k);
-            // `None` means the bound could not be inferred; the verifier
-            // stays conservative and accepts (the interpreter-backed
-            // property tests keep this honest).
-            let Some(iv) = interval::eval(idx, &self.env, map) else {
-                continue;
-            };
-            if iv.within(extent) {
+            let iv = interval::eval(idx, &self.env, map);
+            // Fast path: the interval proves the access in bounds; no
+            // set query is spent.
+            if iv.is_some_and(|iv| iv.within(extent)) {
                 continue;
             }
-            // A range entirely outside `[0, extent)` is out of bounds no
-            // matter how imprecise the analysis; a *straddling* range
-            // only proves an escape when interval arithmetic is exact
-            // for this expression (otherwise the overshoot may be an
-            // artifact of lost correlation, and the verifier accepts).
-            let definite = iv.hi < 0 || iv.lo >= extent;
-            if definite || interval_exact(idx) {
-                self.diag(
-                    oob_code,
-                    format!(
-                        "{what} of `{}` dim {k}: index range [{}, {}] escapes extent {extent}",
-                        decl.name, iv.lo, iv.hi
-                    ),
-                );
+            // The interval verdict for everything else: a range entirely
+            // outside `[0, extent)` is out of bounds no matter how
+            // imprecise the analysis; a *straddling* range only proves
+            // an escape when interval arithmetic is exact for this
+            // expression; an unbounded expression accepts.
+            let interval_rejects =
+                iv.is_some_and(|iv| iv.hi < 0 || iv.lo >= extent || interval_exact(idx));
+            let detail = |iv: Option<Interval>, name: &str| match iv {
+                Some(iv) => format!(
+                    "{what} of `{name}` dim {k}: index range [{}, {}] escapes extent {extent}",
+                    iv.lo, iv.hi
+                ),
+                None => {
+                    format!("{what} of `{name}` dim {k}: index can escape extent {extent}")
+                }
+            };
+            let q = AccessQuery {
+                env: &self.env,
+                pred,
+                guards,
+            };
+            match sets::check_index_bounds(idx, extent, &q, &mut self.stats) {
+                SetVerdict::Proven => {
+                    // The exact engine proved the access safe; without
+                    // it the interval verdict would have rejected.
+                    if interval_rejects {
+                        self.stats.conservative_recovered += 1;
+                    }
+                }
+                SetVerdict::Violated { witness } => {
+                    let d = detail(iv, &self.program.buffers[buf].name);
+                    self.diag_witnessed(oob_code, d, witness);
+                }
+                SetVerdict::Unknown => {
+                    if interval_rejects {
+                        let d = detail(iv, &self.program.buffers[buf].name);
+                        self.diag(oob_code, d);
+                    }
+                }
             }
         }
     }
@@ -343,6 +416,17 @@ impl Walker<'_> {
 
 /// Runs the well-formedness pass over every lowered group.
 pub fn check_program(graph: &Graph, plan: &LayoutPlan, program: &Program) -> Vec<Diagnostic> {
+    let mut stats = VerifyStats::default();
+    check_program_with_stats(graph, plan, program, &mut stats)
+}
+
+/// [`check_program`], folding set-engine counters into `stats`.
+pub fn check_program_with_stats(
+    graph: &Graph,
+    plan: &LayoutPlan,
+    program: &Program,
+    stats: &mut VerifyStats,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     for group in &program.groups {
         let mut w = Walker {
@@ -351,9 +435,11 @@ pub fn check_program(graph: &Graph, plan: &LayoutPlan, program: &Program) -> Vec
             group: group.label.clone(),
             env: HashMap::new(),
             diags: Vec::new(),
+            stats: VerifyStats::default(),
         };
         w.walk(&group.nodes);
         diags.extend(w.diags);
+        stats.absorb(&w.stats);
     }
     diags
 }
